@@ -1,0 +1,62 @@
+//! Criterion benchmarks of the simulated GPU pipeline: host cost of one
+//! generation (all four kernels) for SA and DPSO, per problem size — the
+//! quantity that bounds how fast the reproduction can sweep the paper's
+//! campaigns. (The *modeled device time* is a result, not a benchmark; it
+//! is reported by the table binaries.)
+
+use cdd_gpu::{run_gpu_dpso, run_gpu_sa, GpuDpsoParams, GpuSaParams};
+use cdd_instances::{cdd_instance, ucddcp_instance};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+
+fn bench_sa_generations(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gpu_sa_10_generations_128_threads");
+    group.sample_size(10).measurement_time(Duration::from_secs(2));
+    for n in [20usize, 100, 500] {
+        let inst = cdd_instance(n, 1, 0.6);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| {
+                run_gpu_sa(
+                    &inst,
+                    &GpuSaParams {
+                        blocks: 2,
+                        block_size: 64,
+                        iterations: 10,
+                        t0: Some(100.0), // skip the 5000-sample estimate
+                        ..Default::default()
+                    },
+                )
+                .expect("valid launch")
+                .objective
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_dpso_generations(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gpu_dpso_10_generations_128_threads");
+    group.sample_size(10).measurement_time(Duration::from_secs(2));
+    for n in [20usize, 100] {
+        let inst = ucddcp_instance(n, 1);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| {
+                run_gpu_dpso(
+                    &inst,
+                    &GpuDpsoParams {
+                        blocks: 2,
+                        block_size: 64,
+                        iterations: 10,
+                        ..Default::default()
+                    },
+                )
+                .expect("valid launch")
+                .objective
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_sa_generations, bench_dpso_generations);
+criterion_main!(benches);

@@ -1,0 +1,49 @@
+//! Criterion micro-benchmarks of layer (ii): the O(n) fixed-sequence
+//! optimizers against the O(n²) breakpoint scan and the simplex LP — the
+//! performance claim behind the paper's two-layered design.
+
+use cdd_core::exact::cdd_objective_bruteforce;
+use cdd_core::{optimize_cdd_sequence, optimize_ucddcp_sequence, JobSequence};
+use cdd_instances::{cdd_instance, ucddcp_instance};
+use cdd_lp::solve_cdd_sequence_lp;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+
+fn bench_cdd_linear(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cdd_fixed_sequence");
+    group.sample_size(20).measurement_time(Duration::from_secs(1));
+    for n in [10usize, 100, 1000] {
+        let inst = cdd_instance(n, 1, 0.6);
+        let seq = JobSequence::identity(n);
+        group.bench_with_input(BenchmarkId::new("linear_o_n", n), &n, |b, _| {
+            b.iter(|| optimize_cdd_sequence(&inst, &seq).objective)
+        });
+        if n <= 100 {
+            group.bench_with_input(BenchmarkId::new("breakpoint_scan_o_n2", n), &n, |b, _| {
+                b.iter(|| cdd_objective_bruteforce(&inst, &seq))
+            });
+        }
+        if n <= 100 {
+            group.bench_with_input(BenchmarkId::new("simplex_lp", n), &n, |b, _| {
+                b.iter(|| solve_cdd_sequence_lp(&inst, &seq).expect("feasible").objective)
+            });
+        }
+    }
+    group.finish();
+}
+
+fn bench_ucddcp_linear(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ucddcp_fixed_sequence");
+    group.sample_size(20).measurement_time(Duration::from_secs(1));
+    for n in [10usize, 100, 1000] {
+        let inst = ucddcp_instance(n, 1);
+        let seq = JobSequence::identity(n);
+        group.bench_with_input(BenchmarkId::new("linear_o_n", n), &n, |b, _| {
+            b.iter(|| optimize_ucddcp_sequence(&inst, &seq).objective)
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_cdd_linear, bench_ucddcp_linear);
+criterion_main!(benches);

@@ -1,0 +1,78 @@
+//! **Figs. 7–8 ablation** — why the paper chose *asynchronous* over
+//! *synchronous* parallel SA: "the premature convergence of the latter
+//! approach, examined from our experimental analysis".
+//!
+//! Both schemes get the same total evaluation budget
+//! (`chains × iterations`); we compare solution quality over several
+//! instances, plus the diversity of the async ensemble's final states.
+//!
+//! ```text
+//! cargo run --release -p cdd-bench --bin ablation_async_vs_sync -- \
+//!     [--n 100] [--chains 32] [--iters 1000] [--instances 5]
+//! ```
+
+use cdd_bench::{render_markdown, results_dir, write_csv, Args, Table};
+use cdd_core::eval::evaluator_for;
+use cdd_instances::InstanceId;
+use cdd_meta::{AsyncEnsemble, SaParams, SyncEnsemble};
+
+fn main() {
+    let args = Args::parse();
+    let n = args.get_or("n", 100usize);
+    let chains = args.get_or("chains", 32usize);
+    let iters = args.get_or("iters", 1000u64);
+    let instances = args.get_or("instances", 5u32);
+    let seed = args.get_or("seed", 2016u64);
+
+    // Synchronous scheme: same budget split into levels × markov-chain len.
+    let levels = 50u64.min(iters);
+    let markov = (iters / levels).max(1);
+
+    let mut table = Table::new(vec![
+        "instance",
+        "async-best",
+        "sync-best",
+        "sync-minus-async-%",
+        "async-distinct-final",
+    ]);
+    let mut async_wins = 0usize;
+    for k in 1..=instances {
+        let id = InstanceId::cdd(n, k, 0.6);
+        let inst = id.instantiate();
+        let eval = evaluator_for(&inst);
+
+        let (async_res, finals) =
+            AsyncEnsemble::new(eval.as_ref(), chains, SaParams { iterations: iters, ..Default::default() })
+                .run_detailed(seed + k as u64);
+        let distinct: std::collections::HashSet<i64> = finals.iter().copied().collect();
+
+        let sync_res = SyncEnsemble::new(eval.as_ref(), chains, markov, levels).run(seed + k as u64);
+
+        let rel = 100.0 * (sync_res.objective - async_res.objective) as f64
+            / async_res.objective as f64;
+        if async_res.objective <= sync_res.objective {
+            async_wins += 1;
+        }
+        table.push(vec![
+            id.to_string(),
+            async_res.objective.to_string(),
+            sync_res.objective.to_string(),
+            format!("{rel:.2}"),
+            format!("{}/{}", distinct.len(), chains),
+        ]);
+        eprintln!("  {id}: done");
+    }
+
+    println!(
+        "\nAsync vs sync parallel SA (n = {n}, {chains} chains, budget {iters} iterations each;\n\
+         sync = {levels} levels x {markov} Markov steps):\n"
+    );
+    println!("{}", render_markdown(&table));
+    println!(
+        "async won or tied on {async_wins}/{instances} instances. The paper preferred async \
+         (premature convergence of sync at its budgets); which scheme wins is budget- and \
+         landscape-dependent — the broadcast is pure intensification — while its per-level \
+         communication cost is unconditional (see the sync pipeline's profiler timeline)."
+    );
+    write_csv(&table, &results_dir().join("ablation_async_vs_sync.csv")).expect("write results");
+}

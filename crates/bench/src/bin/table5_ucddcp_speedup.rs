@@ -1,0 +1,43 @@
+//! **Table V / Figs. 16–17** — speed-ups and runtimes of the parallel
+//! algorithms on the UCDDCP problem relative to the `[8]`-style CPU
+//! baseline (our sequential SA; Table V has a single baseline, unlike
+//! Table III).
+//!
+//! ```text
+//! cargo run --release -p cdd-bench --bin table5_ucddcp_speedup -- \
+//!     [--sizes 10,20,50,100,200] [--full]
+//! ```
+//!
+//! Paper shape to reproduce: sub-1 speed-ups for tiny n (launch/transfer
+//! overhead dominates), growing and then saturating with n.
+
+use cdd_bench::campaign::run_speedup_suite;
+use cdd_bench::{render_markdown, results_dir, write_csv, Args, CampaignConfig};
+use cdd_instances::{InstanceId, PAPER_SIZES};
+
+fn main() {
+    let args = Args::parse();
+    let cfg = CampaignConfig {
+        sizes: if args.flag("full") {
+            PAPER_SIZES.to_vec()
+        } else {
+            args.get_list_or("sizes", &[10usize, 20, 50, 100, 200])
+        },
+        blocks: args.get_or("blocks", 4usize),
+        block_size: args.get_or("block-size", 192usize),
+        seed: args.get_or("seed", 2016u64),
+        ..Default::default()
+    };
+
+    eprintln!("Table V campaign: sizes {:?}, ensemble {}", cfg.sizes, cfg.ensemble());
+    let (speedup, runtime) = run_speedup_suite(&cfg, |n| InstanceId::ucddcp(n, 1), false);
+
+    println!("\nTable V — speed-ups vs the work-matched CPU baseline (UCDDCP):\n");
+    println!("{}", render_markdown(&speedup));
+    println!("Fig. 16 runtime series (modeled GPU s, measured CPU s):\n");
+    println!("{}", render_markdown(&runtime));
+
+    write_csv(&speedup, &results_dir().join("table5_ucddcp_speedup.csv")).expect("write results");
+    write_csv(&runtime, &results_dir().join("fig16_ucddcp_runtimes.csv")).expect("write results");
+    println!("(Fig. 17 plots the speed-up CSV in {})", results_dir().display());
+}

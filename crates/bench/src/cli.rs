@@ -1,0 +1,115 @@
+//! A tiny flag parser shared by the bench binaries (no external CLI crate —
+//! the offline dependency list is kept minimal).
+
+use std::collections::BTreeMap;
+
+/// Parsed command-line arguments: `--key value` pairs and bare `--flags`.
+#[derive(Debug, Clone, Default)]
+pub struct Args {
+    values: BTreeMap<String, String>,
+    flags: Vec<String>,
+}
+
+impl Args {
+    /// Parse the process arguments. `--key value` and `--key=value` both
+    /// work; a `--key` followed by another `--…` (or nothing) is a flag.
+    pub fn parse() -> Self {
+        Self::from_iter(std::env::args().skip(1))
+    }
+
+    /// Parse from an explicit iterator (testable).
+    pub fn from_iter<I: IntoIterator<Item = String>>(iter: I) -> Self {
+        let mut args = Args::default();
+        let mut it = iter.into_iter().peekable();
+        while let Some(a) = it.next() {
+            let Some(key) = a.strip_prefix("--") else {
+                eprintln!("warning: ignoring positional argument {a:?}");
+                continue;
+            };
+            if let Some((k, v)) = key.split_once('=') {
+                args.values.insert(k.to_string(), v.to_string());
+            } else if it.peek().is_some_and(|n| !n.starts_with("--")) {
+                args.values.insert(key.to_string(), it.next().expect("peeked"));
+            } else {
+                args.flags.push(key.to_string());
+            }
+        }
+        args
+    }
+
+    /// Whether the bare flag was given.
+    pub fn flag(&self, name: &str) -> bool {
+        self.flags.iter().any(|f| f == name)
+    }
+
+    /// String value of `--name`.
+    pub fn get(&self, name: &str) -> Option<&str> {
+        self.values.get(name).map(|s| s.as_str())
+    }
+
+    /// Parsed value of `--name`, or `default`.
+    pub fn get_or<T: std::str::FromStr>(&self, name: &str, default: T) -> T {
+        match self.get(name) {
+            Some(s) => s.parse().unwrap_or_else(|_| {
+                panic!("--{name}: cannot parse {s:?} as {}", std::any::type_name::<T>())
+            }),
+            None => default,
+        }
+    }
+
+    /// Comma-separated list of `--name`, or `default`.
+    pub fn get_list_or<T: std::str::FromStr>(&self, name: &str, default: &[T]) -> Vec<T>
+    where
+        T: Clone,
+    {
+        match self.get(name) {
+            Some(s) => s
+                .split(',')
+                .map(|x| {
+                    x.trim().parse().unwrap_or_else(|_| {
+                        panic!("--{name}: cannot parse element {x:?}")
+                    })
+                })
+                .collect(),
+            None => default.to_vec(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(s: &[&str]) -> Args {
+        Args::from_iter(s.iter().map(|x| x.to_string()))
+    }
+
+    #[test]
+    fn parses_key_value_and_flags() {
+        let a = args(&["--sizes", "10,20", "--full", "--seed=7"]);
+        assert_eq!(a.get("sizes"), Some("10,20"));
+        assert!(a.flag("full"));
+        assert_eq!(a.get_or("seed", 0u64), 7);
+        assert!(!a.flag("quick"));
+    }
+
+    #[test]
+    fn list_parsing() {
+        let a = args(&["--sizes", "10, 20,50"]);
+        assert_eq!(a.get_list_or("sizes", &[1usize]), vec![10, 20, 50]);
+        assert_eq!(a.get_list_or("gens", &[1000u64, 5000]), vec![1000, 5000]);
+    }
+
+    #[test]
+    fn defaults_apply() {
+        let a = args(&[]);
+        assert_eq!(a.get_or("threads", 768usize), 768);
+        assert!(a.get("missing").is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot parse")]
+    fn bad_value_panics() {
+        args(&["--seed", "x"]).get_or("seed", 0u64);
+    }
+}

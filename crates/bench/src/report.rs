@@ -1,0 +1,131 @@
+//! Result tables: markdown rendering (stdout) and CSV persistence
+//! (`results/`).
+
+use std::io;
+use std::path::Path;
+
+/// A rendered result table.
+#[derive(Debug, Clone, Default)]
+pub struct Table {
+    /// Column headers.
+    pub headers: Vec<String>,
+    /// Data rows (already formatted).
+    pub rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Build with headers.
+    pub fn new<S: Into<String>>(headers: Vec<S>) -> Self {
+        Table { headers: headers.into_iter().map(Into::into).collect(), rows: Vec::new() }
+    }
+
+    /// Append a row (must match the header count).
+    pub fn push<S: Into<String>>(&mut self, row: Vec<S>) {
+        let row: Vec<String> = row.into_iter().map(Into::into).collect();
+        assert_eq!(row.len(), self.headers.len(), "row/header arity mismatch");
+        self.rows.push(row);
+    }
+}
+
+/// Render a GitHub-style markdown table.
+pub fn render_markdown(table: &Table) -> String {
+    let cols = table.headers.len();
+    let mut widths: Vec<usize> = table.headers.iter().map(|h| h.len()).collect();
+    for row in &table.rows {
+        for (i, cell) in row.iter().enumerate() {
+            widths[i] = widths[i].max(cell.len());
+        }
+    }
+    let mut out = String::new();
+    let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+        let inner: Vec<String> = cells
+            .iter()
+            .enumerate()
+            .map(|(i, c)| format!("{:>width$}", c, width = widths[i]))
+            .collect();
+        format!("| {} |\n", inner.join(" | "))
+    };
+    out.push_str(&fmt_row(&table.headers, &widths));
+    let dashes: Vec<String> = widths.iter().map(|w| "-".repeat(*w)).collect();
+    out.push_str(&format!("| {} |\n", dashes.join(" | ")));
+    for row in &table.rows {
+        out.push_str(&fmt_row(row, &widths));
+    }
+    let _ = cols;
+    out
+}
+
+/// Write the table as CSV (RFC-4180-style quoting for cells containing
+/// commas or quotes), creating parent directories.
+pub fn write_csv(table: &Table, path: &Path) -> io::Result<()> {
+    if let Some(dir) = path.parent() {
+        std::fs::create_dir_all(dir)?;
+    }
+    let quote = |s: &str| -> String {
+        if s.contains(',') || s.contains('"') || s.contains('\n') {
+            format!("\"{}\"", s.replace('"', "\"\""))
+        } else {
+            s.to_string()
+        }
+    };
+    let mut out = String::new();
+    out.push_str(&table.headers.iter().map(|h| quote(h)).collect::<Vec<_>>().join(","));
+    out.push('\n');
+    for row in &table.rows {
+        out.push_str(&row.iter().map(|c| quote(c)).collect::<Vec<_>>().join(","));
+        out.push('\n');
+    }
+    std::fs::write(path, out)
+}
+
+/// Results directory (repo-relative by default, `CDD_RESULTS_DIR` override).
+pub fn results_dir() -> std::path::PathBuf {
+    std::env::var_os("CDD_RESULTS_DIR")
+        .map(Into::into)
+        .unwrap_or_else(|| std::path::PathBuf::from("results"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Table {
+        let mut t = Table::new(vec!["Jobs", "SA1000"]);
+        t.push(vec!["10", "0.159"]);
+        t.push(vec!["1000", "1.904"]);
+        t
+    }
+
+    #[test]
+    fn markdown_is_aligned() {
+        let md = render_markdown(&sample());
+        let lines: Vec<&str> = md.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].contains("Jobs"));
+        assert!(lines[1].starts_with("| ----"));
+        // All lines the same width (aligned columns).
+        assert_eq!(lines[0].len(), lines[2].len());
+        assert_eq!(lines[2].len(), lines[3].len());
+    }
+
+    #[test]
+    #[should_panic(expected = "arity")]
+    fn arity_checked() {
+        let mut t = Table::new(vec!["a", "b"]);
+        t.push(vec!["only-one"]);
+    }
+
+    #[test]
+    fn csv_round_trip_with_quoting() {
+        let mut t = Table::new(vec!["id", "note"]);
+        t.push(vec!["x", "a,b"]);
+        t.push(vec!["y", "say \"hi\""]);
+        let dir = std::env::temp_dir().join("cdd-bench-test");
+        let path = dir.join("t.csv");
+        write_csv(&t, &path).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.contains("\"a,b\""));
+        assert!(text.contains("\"say \"\"hi\"\"\""));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -1,0 +1,86 @@
+//! Error types for instance and sequence validation.
+
+use std::fmt;
+
+/// Errors produced when constructing or validating problem data.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CoreError {
+    /// The instance has no jobs.
+    EmptyInstance,
+    /// A processing time is non-positive.
+    NonPositiveProcessingTime { job: usize, value: i64 },
+    /// A minimum processing time is out of the valid range `1 ..= Pᵢ`.
+    InvalidMinProcessingTime { job: usize, min: i64, processing: i64 },
+    /// A penalty rate is negative.
+    NegativePenalty { job: usize, name: &'static str, value: i64 },
+    /// The due date is negative.
+    NegativeDueDate { due_date: i64 },
+    /// A UCDDCP instance must be unrestricted: `d ≥ Σ Pᵢ`.
+    RestrictedUcddcp { due_date: i64, total_processing: i64 },
+    /// A job sequence is not a permutation of `0..n`.
+    NotAPermutation { len: usize, detail: String },
+    /// A sequence's length does not match the instance's job count.
+    LengthMismatch { expected: usize, found: usize },
+    /// Mismatched array lengths when building an instance from arrays.
+    ArrayLengthMismatch { name: &'static str, expected: usize, found: usize },
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::EmptyInstance => write!(f, "instance has no jobs"),
+            CoreError::NonPositiveProcessingTime { job, value } => {
+                write!(f, "job {job}: processing time must be >= 1, got {value}")
+            }
+            CoreError::InvalidMinProcessingTime { job, min, processing } => write!(
+                f,
+                "job {job}: minimum processing time {min} not in 1..={processing}"
+            ),
+            CoreError::NegativePenalty { job, name, value } => {
+                write!(f, "job {job}: {name} penalty must be >= 0, got {value}")
+            }
+            CoreError::NegativeDueDate { due_date } => {
+                write!(f, "due date must be >= 0, got {due_date}")
+            }
+            CoreError::RestrictedUcddcp { due_date, total_processing } => write!(
+                f,
+                "UCDDCP requires an unrestricted due date: d = {due_date} < Σ Pᵢ = {total_processing}"
+            ),
+            CoreError::NotAPermutation { len, detail } => {
+                write!(f, "sequence of length {len} is not a permutation: {detail}")
+            }
+            CoreError::LengthMismatch { expected, found } => {
+                write!(f, "sequence length {found} does not match instance size {expected}")
+            }
+            CoreError::ArrayLengthMismatch { name, expected, found } => {
+                write!(f, "array `{name}` has length {found}, expected {expected}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CoreError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = CoreError::NonPositiveProcessingTime { job: 3, value: 0 };
+        assert!(e.to_string().contains("job 3"));
+        assert!(e.to_string().contains('0'));
+
+        let e = CoreError::RestrictedUcddcp { due_date: 5, total_processing: 21 };
+        assert!(e.to_string().contains("unrestricted"));
+
+        let e = CoreError::NotAPermutation { len: 4, detail: "duplicate 2".into() };
+        assert!(e.to_string().contains("duplicate 2"));
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn takes_err(_: &dyn std::error::Error) {}
+        takes_err(&CoreError::EmptyInstance);
+    }
+}

@@ -1,0 +1,228 @@
+//! Brute-force reference solvers used to validate the O(n) algorithms and
+//! the metaheuristics on small instances.
+//!
+//! * [`cdd_objective_bruteforce`] — optimal shift of a fixed sequence by
+//!   exhaustive breakpoint scan (O(n²)); independent of Theorem 1.
+//! * [`ucddcp_objective_bruteforce`] — optimal compressions + shift of a
+//!   fixed sequence by enumerating all 2ⁿ full-compression subsets × all
+//!   shift breakpoints; independent of Properties 1–2 except for using the
+//!   full-or-nothing compression structure (the `cdd-lp` crate provides the
+//!   fully continuous LP cross-check).
+//! * [`best_sequence_bruteforce`] — global optimum over all n! sequences
+//!   (n ≤ 10 guarded), for validating metaheuristic convergence.
+
+use crate::cdd_optimal::cdd_objective_with_shift;
+use crate::ucddcp_optimal::ucddcp_objective_raw;
+use crate::{Cost, Instance, JobSequence, ProblemKind, Time};
+
+/// Maximum `n` accepted by the exponential/factorial searches.
+pub const BRUTE_FORCE_MAX_N: usize = 12;
+
+/// Optimal CDD objective of a fixed sequence by evaluating every breakpoint
+/// of the piecewise-linear penalty function: `s = 0` and every shift that
+/// aligns some completion time with the due date. O(n²).
+pub fn cdd_objective_bruteforce(inst: &Instance, seq: &JobSequence) -> Cost {
+    let (p, _, a, b, _) = inst.to_arrays();
+    let d = inst.due_date();
+    let s = seq.as_slice();
+    let mut best = cdd_objective_with_shift(&p, &a, &b, d, s, 0);
+    let mut c: Time = 0;
+    for &j in s {
+        c += p[j as usize];
+        let shift = d - c;
+        if shift > 0 {
+            best = best.min(cdd_objective_with_shift(&p, &a, &b, d, s, shift));
+        }
+    }
+    best
+}
+
+/// Optimal UCDDCP objective of a fixed sequence by exhaustive enumeration of
+/// all full-compression subsets, re-optimizing the shift for each. O(2ⁿ·n²).
+///
+/// # Panics
+/// Panics if `inst.n() > BRUTE_FORCE_MAX_N` or the instance is not UCDDCP.
+pub fn ucddcp_objective_bruteforce(inst: &Instance, seq: &JobSequence) -> Cost {
+    assert_eq!(inst.kind(), ProblemKind::Ucddcp, "requires a UCDDCP instance");
+    assert!(
+        inst.n() <= BRUTE_FORCE_MAX_N,
+        "brute force limited to n <= {BRUTE_FORCE_MAX_N}, got {}",
+        inst.n()
+    );
+    let (p, m, a, b, g) = inst.to_arrays();
+    let d = inst.due_date();
+    let s = seq.as_slice();
+    let n = inst.n();
+
+    let mut best = Cost::MAX;
+    let mut cp = vec![0 as Time; n]; // compressed processing times, by job id
+    for mask in 0u32..(1 << n) {
+        let mut compression_cost: Cost = 0;
+        for j in 0..n {
+            if mask & (1 << j) != 0 {
+                cp[j] = m[j];
+                compression_cost += g[j] * (p[j] - m[j]);
+            } else {
+                cp[j] = p[j];
+            }
+        }
+        // Optimal shift for the compressed processing times.
+        let mut local = cdd_objective_with_shift(&cp, &a, &b, d, s, 0);
+        let mut c: Time = 0;
+        for &j in s {
+            c += cp[j as usize];
+            let shift = d - c;
+            if shift > 0 {
+                local = local.min(cdd_objective_with_shift(&cp, &a, &b, d, s, shift));
+            }
+        }
+        best = best.min(local + compression_cost);
+    }
+    best
+}
+
+/// Evaluate the optimal fixed-sequence objective of `seq` for `inst`,
+/// dispatching on the problem kind, using the **O(n)** algorithms.
+pub fn optimal_sequence_objective(inst: &Instance, seq: &JobSequence) -> Cost {
+    match inst.kind() {
+        ProblemKind::Cdd => crate::optimize_cdd_sequence(inst, seq).objective,
+        ProblemKind::Ucddcp => {
+            let (p, m, a, b, g) = inst.to_arrays();
+            ucddcp_objective_raw(&p, &m, &a, &b, &g, inst.due_date(), seq.as_slice())
+        }
+    }
+}
+
+/// Globally optimal sequence and objective by enumerating all n!
+/// permutations (each evaluated with the O(n) fixed-sequence optimizer).
+///
+/// # Panics
+/// Panics if `inst.n() > 10`.
+pub fn best_sequence_bruteforce(inst: &Instance) -> (JobSequence, Cost) {
+    assert!(inst.n() <= 10, "factorial search limited to n <= 10, got {}", inst.n());
+    let n = inst.n();
+    let mut perm: Vec<u32> = (0..n as u32).collect();
+    let mut best_perm = perm.clone();
+    let mut best = Cost::MAX;
+
+    // Heap's algorithm, iterative form.
+    let mut c = vec![0usize; n];
+    let eval = |perm: &[u32], best: &mut Cost, best_perm: &mut Vec<u32>| {
+        let seq = JobSequence::from_vec(perm.to_vec()).expect("permutation by construction");
+        let obj = optimal_sequence_objective(inst, &seq);
+        if obj < *best {
+            *best = obj;
+            best_perm.copy_from_slice(perm);
+        }
+    };
+    eval(&perm, &mut best, &mut best_perm);
+    let mut i = 0;
+    while i < n {
+        if c[i] < i {
+            if i % 2 == 0 {
+                perm.swap(0, i);
+            } else {
+                perm.swap(c[i], i);
+            }
+            eval(&perm, &mut best, &mut best_perm);
+            c[i] += 1;
+            i = 0;
+        } else {
+            c[i] = 0;
+            i += 1;
+        }
+    }
+    (JobSequence::from_vec(best_perm).expect("permutation by construction"), best)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{optimize_cdd_sequence, Instance};
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_cdd(n: usize, d_factor: f64, rng: &mut StdRng) -> Instance {
+        let p: Vec<Time> = (0..n).map(|_| rng.gen_range(1..=20)).collect();
+        let a: Vec<Time> = (0..n).map(|_| rng.gen_range(0..=10)).collect();
+        let b: Vec<Time> = (0..n).map(|_| rng.gen_range(0..=15)).collect();
+        let d = (p.iter().sum::<Time>() as f64 * d_factor) as Time;
+        Instance::cdd_from_arrays(&p, &a, &b, d).unwrap()
+    }
+
+    fn random_ucddcp(n: usize, rng: &mut StdRng) -> Instance {
+        let p: Vec<Time> = (0..n).map(|_| rng.gen_range(1..=20)).collect();
+        let m: Vec<Time> = p.iter().map(|&pi| rng.gen_range(1..=pi)).collect();
+        let a: Vec<Time> = (0..n).map(|_| rng.gen_range(0..=10)).collect();
+        let b: Vec<Time> = (0..n).map(|_| rng.gen_range(0..=15)).collect();
+        let g: Vec<Time> = (0..n).map(|_| rng.gen_range(0..=10)).collect();
+        let total: Time = p.iter().sum();
+        let d = total + rng.gen_range(0..=total / 2);
+        Instance::ucddcp_from_arrays(&p, &m, &a, &b, &g, d).unwrap()
+    }
+
+    /// The O(n) CDD algorithm must match the exhaustive breakpoint scan on
+    /// hundreds of random instances and sequences, restrictive and not.
+    #[test]
+    fn linear_cdd_matches_bruteforce() {
+        let mut rng = StdRng::seed_from_u64(42);
+        for trial in 0..300 {
+            let n = rng.gen_range(1..=12);
+            let h = [0.2, 0.4, 0.6, 0.8, 1.0, 1.3][trial % 6];
+            let inst = random_cdd(n, h, &mut rng);
+            let seq = JobSequence::random(n, &mut rng);
+            let fast = optimize_cdd_sequence(&inst, &seq).objective;
+            let slow = cdd_objective_bruteforce(&inst, &seq);
+            assert_eq!(fast, slow, "mismatch: inst={inst:?} seq={seq:?}");
+        }
+    }
+
+    /// The O(n) UCDDCP algorithm must match the 2ⁿ enumeration.
+    #[test]
+    fn linear_ucddcp_matches_bruteforce() {
+        let mut rng = StdRng::seed_from_u64(2016);
+        for _ in 0..150 {
+            let n = rng.gen_range(1..=9);
+            let inst = random_ucddcp(n, &mut rng);
+            let seq = JobSequence::random(n, &mut rng);
+            let fast = optimal_sequence_objective(&inst, &seq);
+            let slow = ucddcp_objective_bruteforce(&inst, &seq);
+            assert_eq!(fast, slow, "mismatch: inst={inst:?} seq={seq:?}");
+        }
+    }
+
+    #[test]
+    fn paper_examples_match_bruteforce() {
+        let inst = Instance::paper_example_cdd();
+        let seq = JobSequence::identity(5);
+        assert_eq!(cdd_objective_bruteforce(&inst, &seq), 81);
+
+        let inst = Instance::paper_example_ucddcp();
+        assert_eq!(ucddcp_objective_bruteforce(&inst, &seq), 77);
+    }
+
+    #[test]
+    fn best_sequence_is_at_most_identity() {
+        let inst = Instance::paper_example_cdd();
+        let (best_seq, best) = best_sequence_bruteforce(&inst);
+        assert!(best <= 81);
+        assert!(best_seq.is_valid_permutation());
+        assert_eq!(optimal_sequence_objective(&inst, &best_seq), best);
+    }
+
+    #[test]
+    fn best_sequence_single_job() {
+        let inst = Instance::cdd_from_arrays(&[5], &[1], &[1], 3).unwrap();
+        let (seq, obj) = best_sequence_bruteforce(&inst);
+        assert_eq!(seq.len(), 1);
+        assert_eq!(obj, 2); // C = 5, T = 2, β = 1.
+    }
+
+    #[test]
+    #[should_panic(expected = "factorial search")]
+    fn factorial_search_guards_large_n() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let inst = random_cdd(11, 0.5, &mut rng);
+        best_sequence_bruteforce(&inst);
+    }
+}

@@ -1,0 +1,274 @@
+//! Problem instances: a set of jobs plus a common due date.
+
+use crate::{CoreError, Job, Time};
+
+/// Which of the two problems an [`Instance`] describes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ProblemKind {
+    /// Common Due-Date problem (no compression). The due date may be
+    /// *restrictive* (`d < Σ Pᵢ`) — the OR-library benchmarks use
+    /// `d = ⌊h · Σ Pᵢ⌋` with `h ∈ {0.2, 0.4, 0.6, 0.8}`.
+    Cdd,
+    /// Unrestricted CDD with Controllable Processing Times. Requires
+    /// `d ≥ Σ Pᵢ`.
+    Ucddcp,
+}
+
+/// An immutable, validated problem instance.
+///
+/// Job indices are `0 ..= n-1`; a [`crate::JobSequence`] is a permutation of
+/// these indices. All data is integral (see [`crate::Time`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Instance {
+    jobs: Vec<Job>,
+    due_date: Time,
+    kind: ProblemKind,
+    total_processing: Time,
+}
+
+impl Instance {
+    /// Build a validated CDD instance.
+    pub fn cdd(jobs: Vec<Job>, due_date: Time) -> Result<Self, CoreError> {
+        Self::new(jobs, due_date, ProblemKind::Cdd)
+    }
+
+    /// Build a validated UCDDCP instance (checks `d ≥ Σ Pᵢ`).
+    pub fn ucddcp(jobs: Vec<Job>, due_date: Time) -> Result<Self, CoreError> {
+        Self::new(jobs, due_date, ProblemKind::Ucddcp)
+    }
+
+    fn new(jobs: Vec<Job>, due_date: Time, kind: ProblemKind) -> Result<Self, CoreError> {
+        if jobs.is_empty() {
+            return Err(CoreError::EmptyInstance);
+        }
+        if due_date < 0 {
+            return Err(CoreError::NegativeDueDate { due_date });
+        }
+        for (i, job) in jobs.iter().enumerate() {
+            job.validate(i)?;
+        }
+        let total_processing: Time = jobs.iter().map(|j| j.processing).sum();
+        if kind == ProblemKind::Ucddcp && due_date < total_processing {
+            return Err(CoreError::RestrictedUcddcp { due_date, total_processing });
+        }
+        Ok(Instance { jobs, due_date, kind, total_processing })
+    }
+
+    /// Convenience constructor for CDD instances from parallel arrays
+    /// (`Pᵢ`, `αᵢ`, `βᵢ`).
+    pub fn cdd_from_arrays(
+        processing: &[Time],
+        earliness: &[Time],
+        tardiness: &[Time],
+        due_date: Time,
+    ) -> Result<Self, CoreError> {
+        let n = processing.len();
+        for (name, len) in [("earliness", earliness.len()), ("tardiness", tardiness.len())] {
+            if len != n {
+                return Err(CoreError::ArrayLengthMismatch { name, expected: n, found: len });
+            }
+        }
+        let jobs = (0..n)
+            .map(|i| Job::cdd(processing[i], earliness[i], tardiness[i]))
+            .collect();
+        Self::cdd(jobs, due_date)
+    }
+
+    /// Convenience constructor for UCDDCP instances from parallel arrays
+    /// (`Pᵢ`, `Mᵢ`, `αᵢ`, `βᵢ`, `γᵢ`).
+    pub fn ucddcp_from_arrays(
+        processing: &[Time],
+        min_processing: &[Time],
+        earliness: &[Time],
+        tardiness: &[Time],
+        compression: &[Time],
+        due_date: Time,
+    ) -> Result<Self, CoreError> {
+        let n = processing.len();
+        for (name, len) in [
+            ("min_processing", min_processing.len()),
+            ("earliness", earliness.len()),
+            ("tardiness", tardiness.len()),
+            ("compression", compression.len()),
+        ] {
+            if len != n {
+                return Err(CoreError::ArrayLengthMismatch { name, expected: n, found: len });
+            }
+        }
+        let jobs = (0..n)
+            .map(|i| {
+                Job::ucddcp(
+                    processing[i],
+                    min_processing[i],
+                    earliness[i],
+                    tardiness[i],
+                    compression[i],
+                )
+            })
+            .collect();
+        Self::ucddcp(jobs, due_date)
+    }
+
+    /// The paper's 5-job illustrative example (Table I) as a CDD instance
+    /// with `d = 16`. Its optimum for the identity sequence is 81.
+    pub fn paper_example_cdd() -> Self {
+        Self::cdd_from_arrays(&[6, 5, 2, 4, 4], &[7, 9, 6, 9, 3], &[9, 5, 4, 3, 2], 16)
+            .expect("paper example data is valid")
+    }
+
+    /// The paper's 5-job illustrative example (Table I) as a UCDDCP instance
+    /// with `d = 22 ≥ Σ Pᵢ = 21`. Its optimum for the identity sequence is 77.
+    pub fn paper_example_ucddcp() -> Self {
+        Self::ucddcp_from_arrays(
+            &[6, 5, 2, 4, 4],
+            &[5, 5, 2, 3, 3],
+            &[7, 9, 6, 9, 3],
+            &[9, 5, 4, 3, 2],
+            &[5, 4, 3, 2, 1],
+            22,
+        )
+        .expect("paper example data is valid")
+    }
+
+    /// Number of jobs `n`.
+    #[inline]
+    pub fn n(&self) -> usize {
+        self.jobs.len()
+    }
+
+    /// The jobs, indexed `0 ..= n-1`.
+    #[inline]
+    pub fn jobs(&self) -> &[Job] {
+        &self.jobs
+    }
+
+    /// Job `i` (panics if out of range, like slice indexing).
+    #[inline]
+    pub fn job(&self, i: usize) -> &Job {
+        &self.jobs[i]
+    }
+
+    /// The common due date `d`.
+    #[inline]
+    pub fn due_date(&self) -> Time {
+        self.due_date
+    }
+
+    /// Which problem this instance describes.
+    #[inline]
+    pub fn kind(&self) -> ProblemKind {
+        self.kind
+    }
+
+    /// `Σ Pᵢ`, the makespan of any idle-free schedule without compression.
+    #[inline]
+    pub fn total_processing(&self) -> Time {
+        self.total_processing
+    }
+
+    /// Whether the due date is unrestricted (`d ≥ Σ Pᵢ`). Always true for
+    /// UCDDCP instances.
+    #[inline]
+    pub fn is_unrestricted(&self) -> bool {
+        self.due_date >= self.total_processing
+    }
+
+    /// The restrictive factor `h = d / Σ Pᵢ` (useful when reporting on the
+    /// Biskup–Feldmann benchmark classes).
+    pub fn restrictive_factor(&self) -> f64 {
+        self.due_date as f64 / self.total_processing as f64
+    }
+
+    /// Copy the per-job data into parallel arrays
+    /// `(P, M, α, β, γ)` — the layout used by GPU kernels.
+    pub fn to_arrays(&self) -> (Vec<Time>, Vec<Time>, Vec<Time>, Vec<Time>, Vec<Time>) {
+        let p = self.jobs.iter().map(|j| j.processing).collect();
+        let m = self.jobs.iter().map(|j| j.min_processing).collect();
+        let a = self.jobs.iter().map(|j| j.earliness_penalty).collect();
+        let b = self.jobs.iter().map(|j| j.tardiness_penalty).collect();
+        let g = self.jobs.iter().map(|j| j.compression_penalty).collect();
+        (p, m, a, b, g)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_example_cdd_matches_table_i() {
+        let inst = Instance::paper_example_cdd();
+        assert_eq!(inst.n(), 5);
+        assert_eq!(inst.due_date(), 16);
+        assert_eq!(inst.total_processing(), 21);
+        assert_eq!(inst.kind(), ProblemKind::Cdd);
+        assert!(!inst.is_unrestricted()); // 16 < 21
+        assert_eq!(inst.job(0).processing, 6);
+        assert_eq!(inst.job(4).tardiness_penalty, 2);
+    }
+
+    #[test]
+    fn paper_example_ucddcp_is_unrestricted() {
+        let inst = Instance::paper_example_ucddcp();
+        assert_eq!(inst.due_date(), 22);
+        assert!(inst.is_unrestricted());
+        assert_eq!(inst.job(3).min_processing, 3);
+        assert_eq!(inst.job(4).compression_penalty, 1);
+    }
+
+    #[test]
+    fn empty_instance_rejected() {
+        assert_eq!(Instance::cdd(vec![], 10), Err(CoreError::EmptyInstance));
+    }
+
+    #[test]
+    fn negative_due_date_rejected() {
+        let err = Instance::cdd(vec![Job::cdd(1, 1, 1)], -1).unwrap_err();
+        assert_eq!(err, CoreError::NegativeDueDate { due_date: -1 });
+    }
+
+    #[test]
+    fn restricted_ucddcp_rejected() {
+        let jobs = vec![Job::ucddcp(10, 5, 1, 1, 1), Job::ucddcp(10, 5, 1, 1, 1)];
+        let err = Instance::ucddcp(jobs, 19).unwrap_err();
+        assert_eq!(err, CoreError::RestrictedUcddcp { due_date: 19, total_processing: 20 });
+    }
+
+    #[test]
+    fn ucddcp_due_date_equal_to_total_processing_accepted() {
+        let jobs = vec![Job::ucddcp(10, 5, 1, 1, 1)];
+        assert!(Instance::ucddcp(jobs, 10).is_ok());
+    }
+
+    #[test]
+    fn bad_job_reported_with_index() {
+        let jobs = vec![Job::cdd(5, 1, 1), Job::cdd(0, 1, 1)];
+        assert!(matches!(
+            Instance::cdd(jobs, 10),
+            Err(CoreError::NonPositiveProcessingTime { job: 1, .. })
+        ));
+    }
+
+    #[test]
+    fn array_constructor_checks_lengths() {
+        let err = Instance::cdd_from_arrays(&[1, 2], &[1], &[1, 1], 5).unwrap_err();
+        assert!(matches!(err, CoreError::ArrayLengthMismatch { name: "earliness", .. }));
+    }
+
+    #[test]
+    fn to_arrays_round_trips() {
+        let inst = Instance::paper_example_ucddcp();
+        let (p, m, a, b, g) = inst.to_arrays();
+        assert_eq!(p, vec![6, 5, 2, 4, 4]);
+        assert_eq!(m, vec![5, 5, 2, 3, 3]);
+        assert_eq!(a, vec![7, 9, 6, 9, 3]);
+        assert_eq!(b, vec![9, 5, 4, 3, 2]);
+        assert_eq!(g, vec![5, 4, 3, 2, 1]);
+    }
+
+    #[test]
+    fn restrictive_factor_matches_benchmark_definition() {
+        let inst = Instance::cdd_from_arrays(&[10, 10], &[1, 1], &[1, 1], 8).unwrap();
+        assert!((inst.restrictive_factor() - 0.4).abs() < 1e-12);
+    }
+}

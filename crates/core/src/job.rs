@@ -1,0 +1,154 @@
+//! The [`Job`] record: one task to be scheduled on the single machine.
+
+use crate::{CoreError, Time};
+
+/// A single job of a CDD / UCDDCP instance.
+///
+/// Field names follow the paper's Section II notation:
+///
+/// | field                 | paper | meaning                                      |
+/// |-----------------------|-------|----------------------------------------------|
+/// | `processing`          | `Pᵢ`  | normal processing time                       |
+/// | `min_processing`      | `Mᵢ`  | minimum (fully compressed) processing time   |
+/// | `earliness_penalty`   | `αᵢ`  | penalty per time unit of earliness           |
+/// | `tardiness_penalty`   | `βᵢ`  | penalty per time unit of tardiness           |
+/// | `compression_penalty` | `γᵢ`  | penalty per time unit of compression         |
+///
+/// For plain CDD instances `min_processing == processing` (no compression is
+/// possible) and `compression_penalty` is irrelevant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Job {
+    /// Normal processing time `Pᵢ ≥ 1`.
+    pub processing: Time,
+    /// Minimum processing time `1 ≤ Mᵢ ≤ Pᵢ` reachable by compression.
+    pub min_processing: Time,
+    /// Earliness penalty rate `αᵢ ≥ 0`.
+    pub earliness_penalty: Time,
+    /// Tardiness penalty rate `βᵢ ≥ 0`.
+    pub tardiness_penalty: Time,
+    /// Compression penalty rate `γᵢ ≥ 0`.
+    pub compression_penalty: Time,
+}
+
+impl Job {
+    /// Build a plain CDD job (not compressible: `Mᵢ = Pᵢ`, `γᵢ = 0`).
+    pub fn cdd(processing: Time, earliness_penalty: Time, tardiness_penalty: Time) -> Self {
+        Job {
+            processing,
+            min_processing: processing,
+            earliness_penalty,
+            tardiness_penalty,
+            compression_penalty: 0,
+        }
+    }
+
+    /// Build a fully specified UCDDCP job.
+    pub fn ucddcp(
+        processing: Time,
+        min_processing: Time,
+        earliness_penalty: Time,
+        tardiness_penalty: Time,
+        compression_penalty: Time,
+    ) -> Self {
+        Job {
+            processing,
+            min_processing,
+            earliness_penalty,
+            tardiness_penalty,
+            compression_penalty,
+        }
+    }
+
+    /// Maximum possible compression `Pᵢ − Mᵢ` (the upper bound on `Xᵢ`).
+    #[inline]
+    pub fn max_compression(&self) -> Time {
+        self.processing - self.min_processing
+    }
+
+    /// Validate the job's fields, reporting `job_index` in any error.
+    pub fn validate(&self, job_index: usize) -> Result<(), CoreError> {
+        if self.processing < 1 {
+            return Err(CoreError::NonPositiveProcessingTime {
+                job: job_index,
+                value: self.processing,
+            });
+        }
+        if self.min_processing < 1 || self.min_processing > self.processing {
+            return Err(CoreError::InvalidMinProcessingTime {
+                job: job_index,
+                min: self.min_processing,
+                processing: self.processing,
+            });
+        }
+        for (name, value) in [
+            ("earliness", self.earliness_penalty),
+            ("tardiness", self.tardiness_penalty),
+            ("compression", self.compression_penalty),
+        ] {
+            if value < 0 {
+                return Err(CoreError::NegativePenalty { job: job_index, name, value });
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cdd_job_is_incompressible() {
+        let j = Job::cdd(7, 2, 3);
+        assert_eq!(j.max_compression(), 0);
+        assert_eq!(j.min_processing, 7);
+        j.validate(0).unwrap();
+    }
+
+    #[test]
+    fn ucddcp_job_reports_max_compression() {
+        let j = Job::ucddcp(6, 4, 1, 2, 3);
+        assert_eq!(j.max_compression(), 2);
+        j.validate(0).unwrap();
+    }
+
+    #[test]
+    fn validation_rejects_zero_processing() {
+        let j = Job::cdd(0, 1, 1);
+        assert_eq!(
+            j.validate(4),
+            Err(CoreError::NonPositiveProcessingTime { job: 4, value: 0 })
+        );
+    }
+
+    #[test]
+    fn validation_rejects_min_above_processing() {
+        let j = Job::ucddcp(5, 6, 1, 1, 1);
+        assert!(matches!(
+            j.validate(1),
+            Err(CoreError::InvalidMinProcessingTime { job: 1, .. })
+        ));
+    }
+
+    #[test]
+    fn validation_rejects_zero_min() {
+        let j = Job::ucddcp(5, 0, 1, 1, 1);
+        assert!(matches!(j.validate(0), Err(CoreError::InvalidMinProcessingTime { .. })));
+    }
+
+    #[test]
+    fn validation_rejects_negative_penalties() {
+        assert!(matches!(
+            Job::cdd(5, -1, 1).validate(0),
+            Err(CoreError::NegativePenalty { name: "earliness", .. })
+        ));
+        assert!(matches!(
+            Job::cdd(5, 1, -1).validate(0),
+            Err(CoreError::NegativePenalty { name: "tardiness", .. })
+        ));
+        assert!(matches!(
+            Job::ucddcp(5, 5, 1, 1, -2).validate(0),
+            Err(CoreError::NegativePenalty { name: "compression", .. })
+        ));
+    }
+}

@@ -1,0 +1,226 @@
+//! Explicit schedules: per-position completion times and compressions.
+//!
+//! The optimizers in [`crate::cdd_optimal`] / [`crate::ucddcp_optimal`]
+//! return compact solutions (shift + compressions); [`Schedule`] expands
+//! them into explicit completion times for reporting, plotting and
+//! independent objective verification.
+
+use crate::{Cost, Instance, JobSequence, Time};
+
+/// An explicit idle-free schedule of a job sequence.
+///
+/// All vectors are indexed by **sequence position** (`0..n`), not job id.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Schedule {
+    sequence: JobSequence,
+    /// Start time of the first job (the optimizer's right-shift).
+    first_start: Time,
+    /// Completion time of the job at each position.
+    completions: Vec<Time>,
+    /// Compression `X` applied to the job at each position.
+    compressions: Vec<Time>,
+}
+
+impl Schedule {
+    /// Build the idle-free schedule of `seq` whose first job starts at
+    /// `shift`, with optional per-**job-id** compressions (`None` ⇒ no
+    /// compression).
+    pub fn build(
+        inst: &Instance,
+        seq: &JobSequence,
+        shift: Time,
+        compressions_by_job: Option<&[Time]>,
+    ) -> Self {
+        assert_eq!(seq.len(), inst.n(), "sequence/instance size mismatch");
+        let n = inst.n();
+        let mut completions = Vec::with_capacity(n);
+        let mut compressions = Vec::with_capacity(n);
+        let mut t = shift;
+        for k in 0..n {
+            let j = seq.job_at(k) as usize;
+            let x = compressions_by_job.map_or(0, |c| c[j]);
+            t += inst.job(j).processing - x;
+            completions.push(t);
+            compressions.push(x);
+        }
+        Schedule { sequence: seq.clone(), first_start: shift, completions, compressions }
+    }
+
+    /// The job order this schedule realizes.
+    pub fn sequence(&self) -> &JobSequence {
+        &self.sequence
+    }
+
+    /// Completion time of the job at position `k`.
+    pub fn completion_at(&self, k: usize) -> Time {
+        self.completions[k]
+    }
+
+    /// Completion times by position.
+    pub fn completions(&self) -> &[Time] {
+        &self.completions
+    }
+
+    /// Compression amounts by position.
+    pub fn compressions(&self) -> &[Time] {
+        &self.compressions
+    }
+
+    /// Start time of the job at position `k` (idle-free: equals the
+    /// predecessor's completion, or the schedule's shift for `k = 0`).
+    pub fn start_at(&self, k: usize) -> Time {
+        if k == 0 {
+            self.first_start
+        } else {
+            self.completions[k - 1]
+        }
+    }
+
+    /// Start times by position.
+    pub fn starts(&self) -> Vec<Time> {
+        (0..self.completions.len()).map(|k| self.start_at(k)).collect()
+    }
+
+    /// Total objective `Σ (αE + βT + γX)` of this schedule — an independent
+    /// re-evaluation used to cross-check optimizer outputs.
+    pub fn objective(&self, inst: &Instance) -> Cost {
+        let d = inst.due_date();
+        let mut obj = 0;
+        for k in 0..self.completions.len() {
+            let j = self.sequence.job_at(k) as usize;
+            let job = inst.job(j);
+            let c = self.completions[k];
+            obj += if c < d {
+                job.earliness_penalty * (d - c)
+            } else {
+                job.tardiness_penalty * (c - d)
+            };
+            obj += job.compression_penalty * self.compressions[k];
+        }
+        obj
+    }
+
+    /// Validate feasibility against the instance: idle-free contiguity,
+    /// non-negative start, compression bounds. Returns a human-readable
+    /// violation description, or `Ok(())`.
+    pub fn validate(&self, inst: &Instance) -> Result<(), String> {
+        let n = inst.n();
+        if self.completions.len() != n {
+            return Err(format!(
+                "schedule has {} positions, instance has {n}",
+                self.completions.len()
+            ));
+        }
+        if self.first_start < 0 {
+            return Err(format!("first job starts at {} < 0", self.first_start));
+        }
+        for k in 0..n {
+            let j = self.sequence.job_at(k) as usize;
+            let job = inst.job(j);
+            let x = self.compressions[k];
+            if x < 0 || x > job.max_compression() {
+                return Err(format!(
+                    "position {k} (job {j}): compression {x} outside 0..={}",
+                    job.max_compression()
+                ));
+            }
+            let duration = self.completions[k] - self.start_at(k);
+            if duration != job.processing - x {
+                return Err(format!(
+                    "idle/overlap at position {k}: occupies {duration} time units \
+                     but effective processing time is {}",
+                    job.processing - x
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    /// Render a compact Gantt-style text diagram (as in the paper's Figs
+    /// 1–6), marking the due date with `|`.
+    pub fn to_gantt(&self, inst: &Instance) -> String {
+        use std::fmt::Write;
+        let d = inst.due_date();
+        let starts = self.starts();
+        let mut out = String::new();
+        for k in 0..self.completions.len() {
+            let j = self.sequence.job_at(k);
+            let c = self.completions[k];
+            let marker = if c == d { "  <- completes at due date" } else { "" };
+            writeln!(
+                out,
+                "pos {:>3}  job {:>3}  [{:>5}, {:>5})  X={}{}",
+                k + 1,
+                j + 1,
+                starts[k],
+                c,
+                self.compressions[k],
+                marker
+            )
+            .expect("writing to String cannot fail");
+        }
+        writeln!(out, "due date d = {d}").expect("writing to String cannot fail");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{optimize_cdd_sequence, optimize_ucddcp_sequence, Instance};
+
+    #[test]
+    fn schedule_reproduces_cdd_optimum() {
+        let inst = Instance::paper_example_cdd();
+        let seq = JobSequence::identity(5);
+        let sol = optimize_cdd_sequence(&inst, &seq);
+        let sched = Schedule::build(&inst, &seq, sol.shift, None);
+        assert_eq!(sched.objective(&inst), sol.objective);
+        sched.validate(&inst).unwrap();
+        // Final completion times from the paper: {11, 16, 18, 22, 26}.
+        assert_eq!(sched.completions(), &[11, 16, 18, 22, 26]);
+    }
+
+    #[test]
+    fn schedule_reproduces_ucddcp_optimum() {
+        let inst = Instance::paper_example_ucddcp();
+        let seq = JobSequence::identity(5);
+        let sol = optimize_ucddcp_sequence(&inst, &seq);
+        let sched = Schedule::build(&inst, &seq, sol.shift, Some(&sol.compressions));
+        assert_eq!(sched.objective(&inst), sol.objective);
+        sched.validate(&inst).unwrap();
+    }
+
+    #[test]
+    fn starts_are_contiguous() {
+        let inst = Instance::paper_example_cdd();
+        let seq = JobSequence::from_vec(vec![2, 0, 3, 1, 4]).unwrap();
+        let sched = Schedule::build(&inst, &seq, 4, None);
+        let starts = sched.starts();
+        assert_eq!(starts[0], 4);
+        for k in 1..5 {
+            assert_eq!(starts[k], sched.completion_at(k - 1));
+        }
+    }
+
+    #[test]
+    fn validate_rejects_out_of_bound_compression() {
+        let inst = Instance::paper_example_ucddcp();
+        let seq = JobSequence::identity(5);
+        // Job 0 has max compression 1; force 3.
+        let bad = vec![3, 0, 0, 0, 0];
+        let sched = Schedule::build(&inst, &seq, 0, Some(&bad));
+        assert!(sched.validate(&inst).unwrap_err().contains("compression"));
+    }
+
+    #[test]
+    fn gantt_marks_due_date() {
+        let inst = Instance::paper_example_cdd();
+        let seq = JobSequence::identity(5);
+        let sol = optimize_cdd_sequence(&inst, &seq);
+        let sched = Schedule::build(&inst, &seq, sol.shift, None);
+        let g = sched.to_gantt(&inst);
+        assert!(g.contains("completes at due date"));
+        assert!(g.contains("due date d = 16"));
+    }
+}

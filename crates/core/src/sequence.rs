@@ -1,0 +1,223 @@
+//! Job sequences: validated permutations of `0..n`.
+
+use crate::CoreError;
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// A processing order of the jobs — a permutation of the job indices
+/// `0 ..= n-1`. Position `k` of the sequence holds the index of the job
+/// processed `k`-th on the machine.
+///
+/// `JobSequence` guarantees the permutation invariant at construction; the
+/// mutating operators ([`swap`](Self::swap),
+/// [`shuffle_window`](Self::shuffle_window), …) preserve it by construction.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct JobSequence(Vec<u32>);
+
+impl JobSequence {
+    /// The identity sequence `0, 1, …, n-1`.
+    pub fn identity(n: usize) -> Self {
+        JobSequence((0..n as u32).collect())
+    }
+
+    /// A uniformly random permutation of `0..n`.
+    pub fn random<R: Rng + ?Sized>(n: usize, rng: &mut R) -> Self {
+        let mut v: Vec<u32> = (0..n as u32).collect();
+        v.shuffle(rng);
+        JobSequence(v)
+    }
+
+    /// Validate and wrap an explicit order.
+    pub fn from_vec(order: Vec<u32>) -> Result<Self, CoreError> {
+        let n = order.len();
+        let mut seen = vec![false; n];
+        for &j in &order {
+            let j = j as usize;
+            if j >= n {
+                return Err(CoreError::NotAPermutation {
+                    len: n,
+                    detail: format!("index {j} out of range 0..{n}"),
+                });
+            }
+            if seen[j] {
+                return Err(CoreError::NotAPermutation {
+                    len: n,
+                    detail: format!("duplicate index {j}"),
+                });
+            }
+            seen[j] = true;
+        }
+        Ok(JobSequence(order))
+    }
+
+    /// Number of jobs.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Whether the sequence is empty (never true for sequences built from a
+    /// validated [`crate::Instance`], which has `n ≥ 1`).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// The job processed at position `k`.
+    #[inline]
+    pub fn job_at(&self, k: usize) -> u32 {
+        self.0[k]
+    }
+
+    /// The raw order as a slice (position → job index).
+    #[inline]
+    pub fn as_slice(&self) -> &[u32] {
+        &self.0
+    }
+
+    /// Consume into the raw order vector.
+    pub fn into_vec(self) -> Vec<u32> {
+        self.0
+    }
+
+    /// Swap the jobs at positions `a` and `b`.
+    #[inline]
+    pub fn swap(&mut self, a: usize, b: usize) {
+        self.0.swap(a, b);
+    }
+
+    /// Fisher–Yates-shuffle the window of `size` positions starting at
+    /// `start` (the paper's perturbation: a random window of `Pert = 4` jobs
+    /// is reshuffled while every other position keeps its job).
+    ///
+    /// The window is clamped to the sequence end.
+    pub fn shuffle_window<R: Rng + ?Sized>(&mut self, start: usize, size: usize, rng: &mut R) {
+        let end = (start + size).min(self.0.len());
+        self.0[start..end].shuffle(rng);
+    }
+
+    /// Remove the job at position `from` and reinsert it at position `to`
+    /// (shifting the in-between jobs) — the classic *insert* neighborhood.
+    pub fn insert_move(&mut self, from: usize, to: usize) {
+        if from == to {
+            return;
+        }
+        let job = self.0.remove(from);
+        self.0.insert(to, job);
+    }
+
+    /// Reverse the segment `[a, b]` (inclusive) — a 2-opt style move.
+    pub fn reverse_segment(&mut self, a: usize, b: usize) {
+        let (a, b) = if a <= b { (a, b) } else { (b, a) };
+        self.0[a..=b].reverse();
+    }
+
+    /// Check the permutation invariant (used by debug assertions and tests;
+    /// the public constructors make violation impossible in safe code).
+    pub fn is_valid_permutation(&self) -> bool {
+        let n = self.0.len();
+        let mut seen = vec![false; n];
+        self.0.iter().all(|&j| {
+            let j = j as usize;
+            j < n && !std::mem::replace(&mut seen[j], true)
+        })
+    }
+}
+
+impl AsRef<[u32]> for JobSequence {
+    fn as_ref(&self) -> &[u32] {
+        &self.0
+    }
+}
+
+impl std::ops::Index<usize> for JobSequence {
+    type Output = u32;
+    fn index(&self, k: usize) -> &u32 {
+        &self.0[k]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn identity_is_sorted() {
+        let s = JobSequence::identity(5);
+        assert_eq!(s.as_slice(), &[0, 1, 2, 3, 4]);
+        assert!(s.is_valid_permutation());
+    }
+
+    #[test]
+    fn random_is_a_permutation() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for n in [1usize, 2, 10, 100] {
+            let s = JobSequence::random(n, &mut rng);
+            assert_eq!(s.len(), n);
+            assert!(s.is_valid_permutation());
+        }
+    }
+
+    #[test]
+    fn from_vec_rejects_duplicates_and_out_of_range() {
+        assert!(matches!(
+            JobSequence::from_vec(vec![0, 1, 1]),
+            Err(CoreError::NotAPermutation { .. })
+        ));
+        assert!(matches!(
+            JobSequence::from_vec(vec![0, 3]),
+            Err(CoreError::NotAPermutation { .. })
+        ));
+        assert!(JobSequence::from_vec(vec![2, 0, 1]).is_ok());
+    }
+
+    #[test]
+    fn swap_preserves_permutation() {
+        let mut s = JobSequence::identity(4);
+        s.swap(0, 3);
+        assert_eq!(s.as_slice(), &[3, 1, 2, 0]);
+        assert!(s.is_valid_permutation());
+    }
+
+    #[test]
+    fn shuffle_window_only_touches_window() {
+        let mut rng = StdRng::seed_from_u64(99);
+        let mut s = JobSequence::identity(10);
+        s.shuffle_window(3, 4, &mut rng);
+        // Outside the window untouched.
+        assert_eq!(&s.as_slice()[..3], &[0, 1, 2]);
+        assert_eq!(&s.as_slice()[7..], &[7, 8, 9]);
+        // Window is a permutation of {3,4,5,6}.
+        let mut w: Vec<u32> = s.as_slice()[3..7].to_vec();
+        w.sort_unstable();
+        assert_eq!(w, vec![3, 4, 5, 6]);
+        assert!(s.is_valid_permutation());
+    }
+
+    #[test]
+    fn shuffle_window_clamps_at_end() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut s = JobSequence::identity(5);
+        s.shuffle_window(3, 10, &mut rng);
+        assert!(s.is_valid_permutation());
+        assert_eq!(&s.as_slice()[..3], &[0, 1, 2]);
+    }
+
+    #[test]
+    fn insert_move_shifts_between() {
+        let mut s = JobSequence::identity(5);
+        s.insert_move(0, 3);
+        assert_eq!(s.as_slice(), &[1, 2, 3, 0, 4]);
+        s.insert_move(3, 0);
+        assert_eq!(s.as_slice(), &[0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn reverse_segment_handles_unordered_bounds() {
+        let mut s = JobSequence::identity(5);
+        s.reverse_segment(3, 1);
+        assert_eq!(s.as_slice(), &[0, 3, 2, 1, 4]);
+    }
+}

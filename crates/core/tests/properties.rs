@@ -1,0 +1,146 @@
+//! Property-based tests for the cdd-core invariants.
+
+use cdd_core::exact::{
+    cdd_objective_bruteforce, optimal_sequence_objective, ucddcp_objective_bruteforce,
+};
+use cdd_core::{
+    optimize_cdd_sequence, optimize_ucddcp_sequence, Instance, JobSequence, Schedule, Time,
+};
+use proptest::prelude::*;
+
+/// Strategy: a random CDD instance with n jobs and a due date anywhere from
+/// highly restrictive (h ≈ 0) to unrestricted (h > 1).
+fn cdd_instance(max_n: usize) -> impl Strategy<Value = Instance> {
+    (1..=max_n).prop_flat_map(|n| {
+        (
+            prop::collection::vec(1..=20i64, n),
+            prop::collection::vec(0..=10i64, n),
+            prop::collection::vec(0..=15i64, n),
+            0.0..1.4f64,
+        )
+            .prop_map(|(p, a, b, h)| {
+                let d = (p.iter().sum::<Time>() as f64 * h) as Time;
+                Instance::cdd_from_arrays(&p, &a, &b, d).expect("valid by construction")
+            })
+    })
+}
+
+/// Strategy: a random unrestricted UCDDCP instance.
+fn ucddcp_instance(max_n: usize) -> impl Strategy<Value = Instance> {
+    (1..=max_n).prop_flat_map(|n| {
+        (
+            prop::collection::vec((1..=20i64, 0..=10i64, 0..=15i64, 0..=10i64), n),
+            0.0..0.6f64,
+        )
+            .prop_map(|(rows, slack)| {
+                let p: Vec<Time> = rows.iter().map(|r| r.0).collect();
+                // Mᵢ drawn via a second pass so 1 ≤ Mᵢ ≤ Pᵢ.
+                let m: Vec<Time> = rows.iter().map(|r| 1 + (r.3 % r.0)).collect();
+                let a: Vec<Time> = rows.iter().map(|r| r.1).collect();
+                let b: Vec<Time> = rows.iter().map(|r| r.2).collect();
+                let g: Vec<Time> = rows.iter().map(|r| r.3).collect();
+                let total: Time = p.iter().sum();
+                let d = total + (total as f64 * slack) as Time;
+                Instance::ucddcp_from_arrays(&p, &m, &a, &b, &g, d)
+                    .expect("valid by construction")
+            })
+    })
+}
+
+/// A permutation of 0..n produced from a seed (proptest shrinks the seed).
+fn sequence_for(n: usize, seed: u64) -> JobSequence {
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    let mut rng = StdRng::seed_from_u64(seed);
+    JobSequence::random(n, &mut rng)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(200))]
+
+    /// The O(n) CDD optimizer equals the O(n²) breakpoint scan.
+    #[test]
+    fn cdd_linear_equals_breakpoint_scan(inst in cdd_instance(14), seed in any::<u64>()) {
+        let seq = sequence_for(inst.n(), seed);
+        prop_assert_eq!(
+            optimize_cdd_sequence(&inst, &seq).objective,
+            cdd_objective_bruteforce(&inst, &seq)
+        );
+    }
+
+    /// The O(n) UCDDCP optimizer equals the 2ⁿ compression enumeration.
+    #[test]
+    fn ucddcp_linear_equals_enumeration(inst in ucddcp_instance(9), seed in any::<u64>()) {
+        let seq = sequence_for(inst.n(), seed);
+        prop_assert_eq!(
+            optimal_sequence_objective(&inst, &seq),
+            ucddcp_objective_bruteforce(&inst, &seq)
+        );
+    }
+
+    /// Expanding any CDD solution into an explicit schedule reproduces the
+    /// optimizer's objective and passes feasibility validation.
+    #[test]
+    fn cdd_schedule_expansion_consistent(inst in cdd_instance(20), seed in any::<u64>()) {
+        let seq = sequence_for(inst.n(), seed);
+        let sol = optimize_cdd_sequence(&inst, &seq);
+        let sched = Schedule::build(&inst, &seq, sol.shift, None);
+        prop_assert_eq!(sched.objective(&inst), sol.objective);
+        prop_assert!(sched.validate(&inst).is_ok());
+    }
+
+    /// Same for UCDDCP, including compressions.
+    #[test]
+    fn ucddcp_schedule_expansion_consistent(inst in ucddcp_instance(20), seed in any::<u64>()) {
+        let seq = sequence_for(inst.n(), seed);
+        let sol = optimize_ucddcp_sequence(&inst, &seq);
+        let sched = Schedule::build(&inst, &seq, sol.shift, Some(&sol.compressions));
+        prop_assert_eq!(sched.objective(&inst), sol.objective);
+        prop_assert!(sched.validate(&inst).is_ok());
+    }
+
+    /// Compression can only help: UCDDCP optimum ≤ CDD optimum of the same
+    /// sequence; and objectives are never negative.
+    #[test]
+    fn ucddcp_dominates_cdd(inst in ucddcp_instance(20), seed in any::<u64>()) {
+        let seq = sequence_for(inst.n(), seed);
+        let sol = optimize_ucddcp_sequence(&inst, &seq);
+        prop_assert!(sol.objective <= sol.cdd_objective);
+        prop_assert!(sol.objective >= 0);
+    }
+
+    /// The optimal shift never exceeds the due date (the first job never
+    /// starts after d: that would make every job tardy and shifting left
+    /// back to d weakly better).
+    #[test]
+    fn shift_bounded_by_due_date(inst in cdd_instance(20), seed in any::<u64>()) {
+        let seq = sequence_for(inst.n(), seed);
+        let sol = optimize_cdd_sequence(&inst, &seq);
+        prop_assert!(sol.shift >= 0);
+        prop_assert!(sol.shift <= inst.due_date());
+    }
+
+    /// Sequence operators preserve the permutation invariant.
+    #[test]
+    fn operators_preserve_permutation(
+        n in 1usize..60,
+        seed in any::<u64>(),
+        a in any::<prop::sample::Index>(),
+        b in any::<prop::sample::Index>(),
+        start in any::<prop::sample::Index>(),
+        size in 0usize..10,
+    ) {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut s = JobSequence::random(n, &mut rng);
+        s.swap(a.index(n), b.index(n));
+        prop_assert!(s.is_valid_permutation());
+        s.shuffle_window(start.index(n), size, &mut rng);
+        prop_assert!(s.is_valid_permutation());
+        s.insert_move(a.index(n), b.index(n));
+        prop_assert!(s.is_valid_permutation());
+        s.reverse_segment(a.index(n), b.index(n));
+        prop_assert!(s.is_valid_permutation());
+    }
+}

@@ -1,0 +1,207 @@
+//! The full GPU **DPSO** pipeline (paper Section VII).
+//!
+//! One particle per thread; the swarm best is found by the same atomic
+//! argmin reduction as the SA pipeline and broadcast by a one-thread copy
+//! kernel. "Apart from the core aspect of the algorithm, the
+//! parallelization approach remains the same as for SA."
+
+use crate::init::{initial_ensemble, InitStrategy};
+use crate::kernels::{DpsoUpdateKernel, FitnessKernel, GbestCopyKernel, PbestKernel};
+use crate::layout::ProblemDevice;
+use crate::sa_pipeline::GpuRunResult;
+use cdd_core::eval::evaluator_for;
+use cdd_core::{Instance, JobSequence};
+use cuda_sim::reduce::{unpack_argmin, AtomicArgminKernel};
+use cuda_sim::{DeviceSpec, Gpu, LaunchConfig, LaunchError, XorWow};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Parameters of one GPU DPSO run.
+#[derive(Debug, Clone)]
+pub struct GpuDpsoParams {
+    /// Grid size (the paper fixes 4 blocks).
+    pub blocks: usize,
+    /// Block size (192 in the paper).
+    pub block_size: usize,
+    /// Generations (1000 or 5000 in the paper).
+    pub iterations: u64,
+    /// Velocity probability `w`.
+    pub w: f64,
+    /// Cognition probability `c₁`.
+    pub c1: f64,
+    /// Social probability `c₂`.
+    pub c2: f64,
+    /// Master seed.
+    pub seed: u64,
+    /// Starting-swarm strategy (default: V-shaped heuristic spread).
+    pub init: InitStrategy,
+    /// Simulated device.
+    pub device: DeviceSpec,
+}
+
+impl Default for GpuDpsoParams {
+    fn default() -> Self {
+        GpuDpsoParams {
+            blocks: 4,
+            block_size: 192,
+            iterations: 1000,
+            w: 0.9,
+            c1: 0.8,
+            c2: 0.8,
+            seed: 2016,
+            init: InitStrategy::default(),
+            device: DeviceSpec::gt560m(),
+        }
+    }
+}
+
+impl GpuDpsoParams {
+    /// The paper's `DPSO₁₀₀₀` configuration (768 particles).
+    pub fn paper_1000() -> Self {
+        Self::default()
+    }
+
+    /// The paper's `DPSO₅₀₀₀` configuration.
+    pub fn paper_5000() -> Self {
+        GpuDpsoParams { iterations: 5000, ..Self::default() }
+    }
+
+    /// Swarm size (total threads).
+    pub fn ensemble(&self) -> usize {
+        self.blocks * self.block_size
+    }
+}
+
+/// Run the paper's parallel DPSO on the simulated GPU.
+pub fn run_gpu_dpso(inst: &Instance, params: &GpuDpsoParams) -> Result<GpuRunResult, LaunchError> {
+    assert!(params.iterations >= 1, "need at least one generation");
+    let n = inst.n();
+    let ensemble = params.ensemble();
+    let cfg = LaunchConfig::linear(params.blocks, params.block_size);
+
+    let mut host_rng = StdRng::seed_from_u64(params.seed);
+    let evaluator = evaluator_for(inst);
+
+    let mut gpu = Gpu::new(params.device.clone());
+    let prob = ProblemDevice::upload(&mut gpu, inst)?;
+
+    let positions = gpu.alloc::<u32>(ensemble * n);
+    let flat = initial_ensemble(inst, ensemble, params.init, &mut host_rng);
+    gpu.h2d(positions, &flat);
+    let energies = gpu.alloc::<i64>(ensemble);
+    let pbest = gpu.alloc::<u32>(ensemble * n);
+    let pbest_energies = gpu.alloc::<i64>(ensemble);
+    gpu.h2d(pbest_energies, &vec![i64::MAX; ensemble]);
+    let gbest = gpu.alloc::<u32>(n);
+    let packed_best = gpu.alloc::<i64>(1);
+    gpu.h2d(packed_best, &[i64::MAX]);
+    let rng_states = gpu.alloc::<u64>(ensemble * 3);
+    let words: Vec<u64> =
+        (0..ensemble).flat_map(|t| XorWow::new(params.seed, t as u64).pack()).collect();
+    gpu.h2d(rng_states, &words);
+
+    let fitness = FitnessKernel { prob, seqs: positions, out: energies, ensemble };
+    let pbest_update =
+        PbestKernel { positions, energies, pbest, pbest_energies, n, ensemble };
+    let reduce = AtomicArgminKernel { values: pbest_energies, out: packed_best };
+    let gbest_copy = GbestCopyKernel { packed: packed_best, pbest, gbest, n };
+    let update = DpsoUpdateKernel {
+        positions,
+        pbest,
+        gbest,
+        rng: rng_states,
+        n,
+        ensemble,
+        w: params.w,
+        c1: params.c1,
+        c2: params.c2,
+    };
+
+    // Initialize: evaluate the random swarm, seed pbest/gbest (Algorithm 2,
+    // lines 1–2 plus the first "find bests").
+    gpu.launch(&fitness, cfg, &[])?;
+    gpu.launch(&pbest_update, cfg, &[])?;
+    gpu.launch(&reduce, cfg, &[])?;
+    gpu.launch(&gbest_copy, cfg, &[])?;
+
+    for _gen in 0..params.iterations {
+        gpu.launch(&update, cfg, &[])?;
+        gpu.launch(&fitness, cfg, &[])?;
+        gpu.launch(&pbest_update, cfg, &[])?;
+        gpu.launch(&reduce, cfg, &[])?;
+        gpu.launch(&gbest_copy, cfg, &[])?;
+    }
+
+    let key = gpu.d2h(packed_best)[0];
+    let (objective, winner) = unpack_argmin(key);
+    let row = gpu.d2h_range(pbest, winner * n, n);
+    let best = JobSequence::from_vec(row).expect("device rows stay permutations");
+    debug_assert_eq!(evaluator.evaluate(best.as_slice()), objective);
+
+    let profiler = gpu.profiler();
+    Ok(GpuRunResult {
+        best,
+        objective,
+        evaluations: ensemble as u64 * (params.iterations + 1),
+        t0: 0.0,
+        modeled_seconds: profiler.total_seconds(),
+        kernel_seconds: profiler.kernel_seconds(),
+        transfer_seconds: profiler.transfer_seconds(),
+        kernel_launches: profiler.kernel_launches(),
+        profiler_summary: profiler.summary(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cdd_core::exact::best_sequence_bruteforce;
+
+    fn small_params(iterations: u64) -> GpuDpsoParams {
+        GpuDpsoParams { blocks: 2, block_size: 32, iterations, ..Default::default() }
+    }
+
+    #[test]
+    fn gpu_dpso_finds_paper_example_optimum() {
+        let inst = Instance::paper_example_cdd();
+        let (_, optimum) = best_sequence_bruteforce(&inst);
+        let r = run_gpu_dpso(&inst, &small_params(200)).unwrap();
+        assert_eq!(r.objective, optimum);
+    }
+
+    #[test]
+    fn gpu_dpso_solves_ucddcp_example() {
+        let inst = Instance::paper_example_ucddcp();
+        let (_, optimum) = best_sequence_bruteforce(&inst);
+        let r = run_gpu_dpso(&inst, &small_params(200)).unwrap();
+        assert_eq!(r.objective, optimum);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let inst = Instance::paper_example_cdd();
+        let a = run_gpu_dpso(&inst, &small_params(60)).unwrap();
+        let b = run_gpu_dpso(&inst, &small_params(60)).unwrap();
+        assert_eq!(a.objective, b.objective);
+        assert_eq!(a.best, b.best);
+    }
+
+    #[test]
+    fn timeline_counts_five_kernels_per_generation() {
+        let inst = Instance::paper_example_cdd();
+        let iters = 20;
+        let r = run_gpu_dpso(&inst, &small_params(iters)).unwrap();
+        // 4 init launches + 5 per generation.
+        assert_eq!(r.kernel_launches as u64, 4 + 5 * iters);
+        assert!(r.profiler_summary.contains("dpso_update"));
+        assert!(r.profiler_summary.contains("gbest_copy"));
+    }
+
+    #[test]
+    fn gbest_improves_monotonically_via_longer_runs() {
+        let inst = Instance::paper_example_ucddcp();
+        let short = run_gpu_dpso(&inst, &small_params(5)).unwrap();
+        let long = run_gpu_dpso(&inst, &small_params(120)).unwrap();
+        assert!(long.objective <= short.objective);
+    }
+}

@@ -1,0 +1,127 @@
+//! Ensemble initialization strategies.
+//!
+//! The paper leaves the initial configurations open ("the initial
+//! configuration for the algorithm can be the same or different for all
+//! chains"). A uniformly random permutation is hopeless as a start for the
+//! published budgets — 1000 window shuffles cannot sort hundreds of jobs —
+//! so the default strategy seeds every chain/particle with the V-shaped
+//! constructive heuristic of `cdd-core`, diversified per thread by random
+//! position shuffles of growing width. Thread 0 keeps the pure heuristic.
+
+use cdd_core::heuristics::v_shaped_sequence;
+use cdd_core::{Instance, JobSequence};
+use cdd_meta::perturb::shuffle_random_positions;
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// How the starting ensemble is generated.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum InitStrategy {
+    /// Every thread starts from an independent uniformly random permutation
+    /// (useful for ablations; the paper-budget quality collapses on large
+    /// instances).
+    Random,
+    /// Every thread starts from the V-shaped constructive heuristic,
+    /// perturbed per thread for diversity (default).
+    #[default]
+    VShapedSpread,
+}
+
+/// Build the flattened row-major initial ensemble (`ensemble × n` job ids).
+pub fn initial_ensemble(
+    inst: &Instance,
+    ensemble: usize,
+    strategy: InitStrategy,
+    rng: &mut StdRng,
+) -> Vec<u32> {
+    let n = inst.n();
+    let mut flat = Vec::with_capacity(ensemble * n);
+    match strategy {
+        InitStrategy::Random => {
+            for _ in 0..ensemble {
+                flat.extend_from_slice(JobSequence::random(n, rng).as_slice());
+            }
+        }
+        InitStrategy::VShapedSpread => {
+            let base = v_shaped_sequence(inst);
+            for t in 0..ensemble {
+                let mut s = base.clone();
+                if t > 0 {
+                    // Diversification width grows with the thread index:
+                    // near-heuristic chains exploit, far ones explore.
+                    let max_width = (n / 2).max(2);
+                    let width = 2 + (t - 1) % max_width;
+                    shuffle_random_positions(&mut s, width, rng);
+                    // A few extra random swaps decorrelate equal widths.
+                    for _ in 0..rng.gen_range(0..3) {
+                        let a = rng.gen_range(0..n);
+                        let b = rng.gen_range(0..n);
+                        s.swap(a, b);
+                    }
+                }
+                flat.extend_from_slice(s.as_slice());
+            }
+        }
+    }
+    flat
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cdd_core::eval::evaluator_for;
+    use rand::SeedableRng;
+
+    fn rows(flat: &[u32], n: usize) -> Vec<JobSequence> {
+        flat.chunks(n).map(|c| JobSequence::from_vec(c.to_vec()).unwrap()).collect()
+    }
+
+    #[test]
+    fn all_rows_are_permutations() {
+        let inst = cdd_instances_sample();
+        let mut rng = StdRng::seed_from_u64(3);
+        for strategy in [InitStrategy::Random, InitStrategy::VShapedSpread] {
+            let flat = initial_ensemble(&inst, 32, strategy, &mut rng);
+            assert_eq!(flat.len(), 32 * inst.n());
+            for row in rows(&flat, inst.n()) {
+                assert!(row.is_valid_permutation());
+            }
+        }
+    }
+
+    #[test]
+    fn thread_zero_keeps_the_pure_heuristic() {
+        let inst = cdd_instances_sample();
+        let mut rng = StdRng::seed_from_u64(4);
+        let flat = initial_ensemble(&inst, 8, InitStrategy::VShapedSpread, &mut rng);
+        let base = v_shaped_sequence(&inst);
+        assert_eq!(&flat[..inst.n()], base.as_slice());
+    }
+
+    #[test]
+    fn spread_is_diverse_but_better_than_random() {
+        let inst = cdd_instances_sample();
+        let eval = evaluator_for(&inst);
+        let mut rng = StdRng::seed_from_u64(5);
+        let spread = initial_ensemble(&inst, 64, InitStrategy::VShapedSpread, &mut rng);
+        let random = initial_ensemble(&inst, 64, InitStrategy::Random, &mut rng);
+        let n = inst.n();
+        let avg = |flat: &[u32]| {
+            rows(flat, n).iter().map(|r| eval.evaluate(r.as_slice()) as f64).sum::<f64>() / 64.0
+        };
+        assert!(avg(&spread) < avg(&random), "heuristic spread not better than random");
+        // And it is not 64 copies of one sequence.
+        let distinct: std::collections::HashSet<&[u32]> = spread.chunks(n).collect();
+        assert!(distinct.len() > 32, "only {} distinct starts", distinct.len());
+    }
+
+    fn cdd_instances_sample() -> Instance {
+        use rand::Rng;
+        let mut rng = StdRng::seed_from_u64(77);
+        let p: Vec<i64> = (0..60).map(|_| rng.gen_range(1..=20)).collect();
+        let a: Vec<i64> = (0..60).map(|_| rng.gen_range(1..=10)).collect();
+        let b: Vec<i64> = (0..60).map(|_| rng.gen_range(1..=15)).collect();
+        let d = (p.iter().sum::<i64>() as f64 * 0.6) as i64;
+        Instance::cdd_from_arrays(&p, &a, &b, d).unwrap()
+    }
+}

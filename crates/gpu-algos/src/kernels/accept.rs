@@ -1,0 +1,170 @@
+//! The acceptance kernel (paper Section VI-C): the standard metropolis
+//! criterion at the host-advanced temperature, plus per-thread personal-best
+//! maintenance (so the final reduction can return the best-ever solution,
+//! not merely the best *current* state).
+
+use cdd_meta::sa::metropolis_accept;
+use cuda_sim::{Buf, Kernel, ThreadCtx};
+
+/// Applies the metropolis rule per thread and tracks personal bests.
+pub struct AcceptKernel {
+    /// Current sequences (updated in place on acceptance).
+    pub current: Buf<u32>,
+    /// Candidate sequences from the perturbation kernel.
+    pub candidate: Buf<u32>,
+    /// Current energies.
+    pub energies: Buf<i64>,
+    /// Candidate energies from the fitness kernel.
+    pub cand_energies: Buf<i64>,
+    /// Personal-best sequences.
+    pub best_rows: Buf<u32>,
+    /// Personal-best energies (seed with `i64::MAX` before the first
+    /// generation; the first pass then records the initial states).
+    pub best_energies: Buf<i64>,
+    /// XORWOW states.
+    pub rng: Buf<u64>,
+    /// Jobs per sequence.
+    pub n: usize,
+    /// Live threads.
+    pub ensemble: usize,
+    /// Current temperature (cooled on the host between generations, as the
+    /// exponential schedule of Algorithm 1 prescribes).
+    pub temperature: f64,
+}
+
+impl Kernel for AcceptKernel {
+    type Shared = ();
+    type ThreadState = ();
+
+    fn name(&self) -> &str {
+        "acceptance"
+    }
+
+    fn make_shared(&self, _block_dim: usize) {}
+
+    fn phase(&self, _p: usize, ctx: &mut ThreadCtx<'_>, _s: &mut (), _t: &mut ()) {
+        let gid = ctx.global_id();
+        if gid >= self.ensemble {
+            return;
+        }
+        let n = self.n;
+        let mut rng = ctx.load_rng(self.rng, gid);
+
+        let energy = ctx.read(self.energies, gid);
+        let energy_new = ctx.read(self.cand_energies, gid);
+        let u = rng.next_f64();
+        ctx.charge_special(1); // exp() in the metropolis rule
+        ctx.charge_alu(4);
+
+        // Personal-best maintenance, part 1: capture the pre-acceptance
+        // state *before* it can be overwritten (on the first generation this
+        // records the initial sequence; on later ones it is usually a no-op
+        // because the best already reflects this state).
+        let mut best = ctx.read(self.best_energies, gid);
+        if energy < best {
+            ctx.copy_row(self.current, gid * n, self.best_rows, gid * n, n);
+            ctx.write(self.best_energies, gid, energy);
+            best = energy;
+        }
+
+        if metropolis_accept(energy, energy_new, self.temperature, u) {
+            ctx.copy_row(self.candidate, gid * n, self.current, gid * n, n);
+            ctx.write(self.energies, gid, energy_new);
+            // Part 2: the newly accepted state may improve the best.
+            if energy_new < best {
+                ctx.copy_row(self.current, gid * n, self.best_rows, gid * n, n);
+                ctx.write(self.best_energies, gid, energy_new);
+            }
+        }
+
+        ctx.store_rng(self.rng, gid, &rng);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cuda_sim::{DeviceSpec, Gpu, LaunchConfig, XorWow};
+
+    struct Fixture {
+        gpu: Gpu,
+        k: AcceptKernel,
+    }
+
+    fn fixture(energies: &[i64], cand_energies: &[i64], temperature: f64) -> Fixture {
+        let t = energies.len();
+        let n = 4usize;
+        let mut gpu = Gpu::new(DeviceSpec::gt560m());
+        gpu.set_race_detection(true);
+        let current = gpu.alloc::<u32>(t * n);
+        gpu.h2d(current, &(0..t).flat_map(|_| [0u32, 1, 2, 3]).collect::<Vec<_>>());
+        let candidate = gpu.alloc::<u32>(t * n);
+        gpu.h2d(candidate, &(0..t).flat_map(|_| [3u32, 2, 1, 0]).collect::<Vec<_>>());
+        let e = gpu.alloc::<i64>(t);
+        gpu.h2d(e, energies);
+        let ce = gpu.alloc::<i64>(t);
+        gpu.h2d(ce, cand_energies);
+        let best_rows = gpu.alloc::<u32>(t * n);
+        let best_e = gpu.alloc::<i64>(t);
+        gpu.h2d(best_e, &vec![i64::MAX; t]);
+        let rng = gpu.alloc::<u64>(t * 3);
+        let words: Vec<u64> = (0..t).flat_map(|i| XorWow::new(3, i as u64).pack()).collect();
+        gpu.h2d(rng, &words);
+        let k = AcceptKernel {
+            current,
+            candidate,
+            energies: e,
+            cand_energies: ce,
+            best_rows,
+            best_energies: best_e,
+            rng,
+            n,
+            ensemble: t,
+            temperature,
+        };
+        Fixture { gpu, k }
+    }
+
+    #[test]
+    fn improvements_always_accepted() {
+        let mut f = fixture(&[100, 100], &[50, 99], 0.001);
+        f.gpu.launch(&f.k, LaunchConfig::linear(1, 2), &[]).unwrap();
+        assert_eq!(f.gpu.d2h(f.k.energies), vec![50, 99]);
+        // Current rows replaced by the candidate.
+        assert_eq!(&f.gpu.d2h(f.k.current)[..4], &[3, 2, 1, 0]);
+        // Personal bests recorded.
+        assert_eq!(f.gpu.d2h(f.k.best_energies), vec![50, 99]);
+        assert_eq!(&f.gpu.d2h(f.k.best_rows)[..4], &[3, 2, 1, 0]);
+    }
+
+    #[test]
+    fn cold_chain_rejects_uphill() {
+        let mut f = fixture(&[10], &[1_000_000], 1e-9);
+        f.gpu.launch(&f.k, LaunchConfig::linear(1, 1), &[]).unwrap();
+        assert_eq!(f.gpu.d2h(f.k.energies), vec![10]);
+        assert_eq!(&f.gpu.d2h(f.k.current)[..4], &[0, 1, 2, 3]);
+        // Personal best still captures the (initial) current state.
+        assert_eq!(f.gpu.d2h(f.k.best_energies), vec![10]);
+        assert_eq!(&f.gpu.d2h(f.k.best_rows)[..4], &[0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn hot_chain_accepts_uphill_often() {
+        // With T ≫ ΔE, exp(−ΔE/T) ≈ 1 ≥ u for essentially every draw.
+        let t = 64;
+        let mut f = fixture(&vec![10; t], &vec![11; t], 1e12);
+        f.gpu.launch(&f.k, LaunchConfig::linear(2, 32), &[]).unwrap();
+        let accepted = f.gpu.d2h(f.k.energies).iter().filter(|&&e| e == 11).count();
+        assert!(accepted >= 60, "only {accepted}/64 uphill moves accepted at huge T");
+    }
+
+    #[test]
+    fn personal_best_never_worsens() {
+        let mut f = fixture(&[5], &[8], 1e12); // uphill accepted at huge T
+        f.gpu.launch(&f.k, LaunchConfig::linear(1, 1), &[]).unwrap();
+        // Energy moved to 8, but best stays 5.
+        assert_eq!(f.gpu.d2h(f.k.energies), vec![8]);
+        assert_eq!(f.gpu.d2h(f.k.best_energies), vec![5]);
+        assert_eq!(&f.gpu.d2h(f.k.best_rows)[..4], &[0, 1, 2, 3]);
+    }
+}

@@ -1,0 +1,264 @@
+//! DPSO device kernels (paper Section VII).
+//!
+//! One particle per thread. The position update implements Eq. (3) of the
+//! paper with the permutation operators of Pan et al. (shared with the CPU
+//! implementation in `cdd-meta::dpso`): swap velocity `F₁`, one-point
+//! crossover `F₂` against the personal best, two-point crossover `F₃`
+//! against the swarm best.
+
+use cdd_meta::dpso::{one_point_crossover, two_point_crossover};
+use cuda_sim::reduce::unpack_argmin;
+use cuda_sim::{Buf, Kernel, ThreadCtx};
+
+/// Position update: `p ← c₂ ⊕ F₃(c₁ ⊕ F₂(w ⊕ F₁(p), pbest), gbest)`.
+pub struct DpsoUpdateKernel {
+    /// Particle positions (row-major).
+    pub positions: Buf<u32>,
+    /// Personal-best positions.
+    pub pbest: Buf<u32>,
+    /// Swarm-best position (one row of `n`).
+    pub gbest: Buf<u32>,
+    /// XORWOW states.
+    pub rng: Buf<u64>,
+    /// Jobs per sequence.
+    pub n: usize,
+    /// Live particles.
+    pub ensemble: usize,
+    /// Velocity probability `w`.
+    pub w: f64,
+    /// Cognition probability `c₁`.
+    pub c1: f64,
+    /// Social probability `c₂`.
+    pub c2: f64,
+}
+
+/// Per-thread local memory for the update.
+#[derive(Default)]
+pub struct UpdateScratch {
+    row: Vec<u32>,
+    other: Vec<u32>,
+    out: Vec<u32>,
+}
+
+impl Kernel for DpsoUpdateKernel {
+    type Shared = ();
+    type ThreadState = UpdateScratch;
+
+    fn name(&self) -> &str {
+        "dpso_update"
+    }
+
+    fn make_shared(&self, _block_dim: usize) {}
+
+    fn phase(
+        &self,
+        _p: usize,
+        ctx: &mut ThreadCtx<'_>,
+        _s: &mut (),
+        scratch: &mut UpdateScratch,
+    ) {
+        let gid = ctx.global_id();
+        if gid >= self.ensemble {
+            return;
+        }
+        let n = self.n;
+        let mut rng = ctx.load_rng(self.rng, gid);
+
+        scratch.row.resize(n, 0);
+        ctx.read_slice_into(self.positions, gid * n, &mut scratch.row);
+
+        // λ = w ⊕ F₁(p): swap two random positions.
+        if n >= 2 && rng.next_f64() < self.w {
+            let a = rng.next_below(n as u32) as usize;
+            let mut b = rng.next_below(n as u32 - 1) as usize;
+            if b >= a {
+                b += 1;
+            }
+            scratch.row.swap(a, b);
+            ctx.charge_alu(6);
+        }
+
+        // δ = c₁ ⊕ F₂(λ, pbest): one-point crossover with the personal best.
+        if n >= 2 && rng.next_f64() < self.c1 {
+            scratch.other.resize(n, 0);
+            ctx.read_slice_into(self.pbest, gid * n, &mut scratch.other);
+            let cut = 1 + rng.next_below(n as u32 - 1) as usize;
+            one_point_crossover(&scratch.row, &scratch.other, cut, &mut scratch.out);
+            std::mem::swap(&mut scratch.row, &mut scratch.out);
+            ctx.charge_alu(2 * n as u64);
+        }
+
+        // x = c₂ ⊕ F₃(δ, g): two-point crossover with the swarm best.
+        if n >= 2 && rng.next_f64() < self.c2 {
+            scratch.other.resize(n, 0);
+            ctx.read_slice_into(self.gbest, 0, &mut scratch.other);
+            let mut lo = rng.next_below(n as u32) as usize;
+            let mut hi = rng.next_below(n as u32) as usize;
+            if lo > hi {
+                std::mem::swap(&mut lo, &mut hi);
+            }
+            two_point_crossover(&scratch.row, &scratch.other, lo, hi + 1, &mut scratch.out);
+            std::mem::swap(&mut scratch.row, &mut scratch.out);
+            ctx.charge_alu(2 * n as u64);
+        }
+
+        ctx.write_slice(self.positions, gid * n, &scratch.row);
+        ctx.store_rng(self.rng, gid, &rng);
+    }
+}
+
+/// Personal-best update (the DPSO analogue of the acceptance kernel):
+/// `pbest ← position` wherever the new fitness improves it. Seed
+/// `pbest_energies` with `i64::MAX` so the first launch records the initial
+/// swarm.
+pub struct PbestKernel {
+    /// Particle positions.
+    pub positions: Buf<u32>,
+    /// Fresh fitness per particle.
+    pub energies: Buf<i64>,
+    /// Personal-best positions (updated).
+    pub pbest: Buf<u32>,
+    /// Personal-best energies (updated).
+    pub pbest_energies: Buf<i64>,
+    /// Jobs per sequence.
+    pub n: usize,
+    /// Live particles.
+    pub ensemble: usize,
+}
+
+impl Kernel for PbestKernel {
+    type Shared = ();
+    type ThreadState = ();
+
+    fn name(&self) -> &str {
+        "pbest_update"
+    }
+
+    fn make_shared(&self, _block_dim: usize) {}
+
+    fn phase(&self, _p: usize, ctx: &mut ThreadCtx<'_>, _s: &mut (), _t: &mut ()) {
+        let gid = ctx.global_id();
+        if gid >= self.ensemble {
+            return;
+        }
+        let e = ctx.read(self.energies, gid);
+        let b = ctx.read(self.pbest_energies, gid);
+        if e < b {
+            ctx.copy_row(self.positions, gid * self.n, self.pbest, gid * self.n, self.n);
+            ctx.write(self.pbest_energies, gid, e);
+        }
+    }
+}
+
+/// Broadcast the reduction winner: one thread copies the argmin particle's
+/// personal best into the swarm-best row (the second half of the paper's
+/// "find swarm's best" step).
+pub struct GbestCopyKernel {
+    /// Packed `(value, index)` argmin result from the reduction kernel.
+    pub packed: Buf<i64>,
+    /// Personal-best positions.
+    pub pbest: Buf<u32>,
+    /// Swarm-best row (written).
+    pub gbest: Buf<u32>,
+    /// Jobs per sequence.
+    pub n: usize,
+}
+
+impl Kernel for GbestCopyKernel {
+    type Shared = ();
+    type ThreadState = ();
+
+    fn name(&self) -> &str {
+        "gbest_copy"
+    }
+
+    fn make_shared(&self, _block_dim: usize) {}
+
+    fn phase(&self, _p: usize, ctx: &mut ThreadCtx<'_>, _s: &mut (), _t: &mut ()) {
+        if ctx.global_id() != 0 {
+            return;
+        }
+        let key = ctx.read(self.packed, 0);
+        let (_, idx) = unpack_argmin(key);
+        ctx.charge_alu(2);
+        ctx.copy_row(self.pbest, idx * self.n, self.gbest, 0, self.n);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cdd_core::JobSequence;
+    use cuda_sim::reduce::pack_argmin;
+    use cuda_sim::{DeviceSpec, Gpu, LaunchConfig, XorWow};
+
+    #[test]
+    fn update_keeps_rows_as_permutations() {
+        let t = 24;
+        let n = 15;
+        let mut gpu = Gpu::new(DeviceSpec::gt560m());
+        gpu.set_race_detection(true);
+        let positions = gpu.alloc::<u32>(t * n);
+        let pbest = gpu.alloc::<u32>(t * n);
+        let gbest = gpu.alloc::<u32>(n);
+        let flat: Vec<u32> = (0..t).flat_map(|_| (0..n as u32).rev()).collect();
+        gpu.h2d(positions, &flat);
+        gpu.h2d(pbest, &(0..t).flat_map(|_| 0..n as u32).collect::<Vec<_>>());
+        gpu.h2d(gbest, &(0..n as u32).collect::<Vec<_>>());
+        let rng = gpu.alloc::<u64>(t * 3);
+        let words: Vec<u64> = (0..t).flat_map(|i| XorWow::new(5, i as u64).pack()).collect();
+        gpu.h2d(rng, &words);
+        let k = DpsoUpdateKernel {
+            positions,
+            pbest,
+            gbest,
+            rng,
+            n,
+            ensemble: t,
+            w: 0.9,
+            c1: 0.8,
+            c2: 0.8,
+        };
+        gpu.launch(&k, LaunchConfig::cover(t, 8), &[]).unwrap();
+        let out = gpu.d2h(positions);
+        for i in 0..t {
+            let row = out[i * n..(i + 1) * n].to_vec();
+            assert!(
+                JobSequence::from_vec(row).unwrap().is_valid_permutation(),
+                "particle {i} left the permutation space"
+            );
+        }
+    }
+
+    #[test]
+    fn pbest_updates_only_improvements() {
+        let n = 3;
+        let mut gpu = Gpu::new(DeviceSpec::gt560m());
+        let positions = gpu.alloc::<u32>(2 * n);
+        gpu.h2d(positions, &[2, 1, 0, 2, 0, 1]);
+        let energies = gpu.alloc::<i64>(2);
+        gpu.h2d(energies, &[5, 50]);
+        let pbest = gpu.alloc::<u32>(2 * n);
+        gpu.h2d(pbest, &[0, 1, 2, 0, 1, 2]);
+        let pbest_e = gpu.alloc::<i64>(2);
+        gpu.h2d(pbest_e, &[10, 10]);
+        let k = PbestKernel { positions, energies, pbest, pbest_energies: pbest_e, n, ensemble: 2 };
+        gpu.launch(&k, LaunchConfig::linear(1, 2), &[]).unwrap();
+        assert_eq!(gpu.d2h(pbest_e), vec![5, 10]);
+        assert_eq!(gpu.d2h(pbest), vec![2, 1, 0, 0, 1, 2]);
+    }
+
+    #[test]
+    fn gbest_copy_fetches_winning_row() {
+        let n = 4;
+        let mut gpu = Gpu::new(DeviceSpec::gt560m());
+        let pbest = gpu.alloc::<u32>(3 * n);
+        gpu.h2d(pbest, &[0, 1, 2, 3, 3, 2, 1, 0, 1, 0, 3, 2]);
+        let gbest = gpu.alloc::<u32>(n);
+        let packed = gpu.alloc::<i64>(1);
+        gpu.h2d(packed, &[pack_argmin(42, 1)]); // particle 1 won
+        let k = GbestCopyKernel { packed, pbest, gbest, n };
+        gpu.launch(&k, LaunchConfig::linear(1, 32), &[]).unwrap();
+        assert_eq!(gpu.d2h(gbest), vec![3, 2, 1, 0]);
+    }
+}

@@ -1,0 +1,228 @@
+//! The fitness kernel (paper Section VI-A).
+//!
+//! Phase 0 cooperatively stages the earliness/tardiness (and compression)
+//! penalty rates into **shared memory** — "because this memory has shorter
+//! latency than global memory" — and the engine's phase boundary plays the
+//! role of the `__syncthreads()` barrier that "ensures that all the write
+//! operations on the shared memory are finished before reading them".
+//!
+//! Phase 1 reads the thread's job sequence and the (deliberately uncached)
+//! processing times from global memory and runs the O(n) fixed-sequence
+//! optimizer of `cdd-core` as the fitness function.
+
+use crate::layout::ProblemDevice;
+use cdd_core::cdd_optimal::cdd_objective_raw;
+use cdd_core::ucddcp_optimal::ucddcp_objective_raw;
+use cdd_core::ProblemKind;
+use cuda_sim::{Buf, Kernel, ThreadCtx};
+
+/// Evaluates one job sequence per thread.
+pub struct FitnessKernel {
+    /// Uploaded problem data.
+    pub prob: ProblemDevice,
+    /// Sequences, row-major: thread `t` owns `seqs[t·n .. (t+1)·n]`.
+    pub seqs: Buf<u32>,
+    /// Output objective per thread.
+    pub out: Buf<i64>,
+    /// Number of live threads (threads with `gid ≥ ensemble` idle).
+    pub ensemble: usize,
+}
+
+/// Penalty rates staged in shared memory.
+#[derive(Default)]
+pub struct StagedRates {
+    alpha: Vec<i64>,
+    beta: Vec<i64>,
+    gamma: Vec<i64>,
+}
+
+/// Per-thread registers/local memory.
+#[derive(Default)]
+pub struct FitnessScratch {
+    seq: Vec<u32>,
+    p: Vec<i64>,
+    m: Vec<i64>,
+}
+
+impl Kernel for FitnessKernel {
+    type Shared = StagedRates;
+    type ThreadState = FitnessScratch;
+
+    fn name(&self) -> &str {
+        "fitness"
+    }
+
+    fn make_shared(&self, _block_dim: usize) -> StagedRates {
+        StagedRates::default()
+    }
+
+    fn shared_mem_bytes(&self, _block_dim: usize) -> usize {
+        self.prob.staged_shared_bytes()
+    }
+
+    fn num_phases(&self) -> usize {
+        2
+    }
+
+    fn phase(
+        &self,
+        phase: usize,
+        ctx: &mut ThreadCtx<'_>,
+        shared: &mut StagedRates,
+        scratch: &mut FitnessScratch,
+    ) {
+        let n = self.prob.n;
+        if phase == 0 {
+            // Cooperative staging: threads conceptually load elements
+            // tid, tid+blockDim, …; the engine performs the copy once and
+            // every thread charges its share of the traffic.
+            if ctx.thread_idx == 0 {
+                shared.alpha.resize(n, 0);
+                ctx.cooperative_read(self.prob.alpha, 0, &mut shared.alpha);
+                shared.beta.resize(n, 0);
+                ctx.cooperative_read(self.prob.beta, 0, &mut shared.beta);
+                if self.prob.kind == ProblemKind::Ucddcp {
+                    shared.gamma.resize(n, 0);
+                    ctx.cooperative_read(self.prob.gamma, 0, &mut shared.gamma);
+                }
+            }
+            let arrays = if self.prob.kind == ProblemKind::Ucddcp { 3 } else { 2 };
+            let share = n.div_ceil(ctx.block_dim) as u64;
+            ctx.charge_global(arrays * share);
+            ctx.charge_shared(arrays * share);
+            return;
+        }
+
+        // Phase 1: evaluate (past the barrier, staged rates are visible).
+        let gid = ctx.global_id();
+        if gid >= self.ensemble {
+            return;
+        }
+        let d = ctx.read_const(self.prob.scalars, 0);
+        debug_assert_eq!(ctx.read_const(self.prob.scalars, 1), n as i64);
+
+        scratch.seq.resize(n, 0);
+        ctx.read_slice_into(self.seqs, gid * n, &mut scratch.seq);
+        scratch.p.resize(n, 0);
+        ctx.read_slice_into(self.prob.p, 0, &mut scratch.p);
+
+        let objective = match self.prob.kind {
+            ProblemKind::Cdd => {
+                // ~2 passes over shared rates + register arithmetic.
+                ctx.charge_shared(2 * n as u64);
+                ctx.charge_alu(8 * n as u64);
+                cdd_objective_raw(&scratch.p, &shared.alpha, &shared.beta, d, &scratch.seq)
+            }
+            ProblemKind::Ucddcp => {
+                scratch.m.resize(n, 0);
+                ctx.read_slice_into(self.prob.m, 0, &mut scratch.m);
+                ctx.charge_shared(3 * n as u64);
+                ctx.charge_alu(12 * n as u64);
+                ucddcp_objective_raw(
+                    &scratch.p,
+                    &scratch.m,
+                    &shared.alpha,
+                    &shared.beta,
+                    &shared.gamma,
+                    d,
+                    &scratch.seq,
+                )
+            }
+        };
+        ctx.write(self.out, gid, objective);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layout::ProblemDevice;
+    use cdd_core::eval::evaluator_for;
+    use cdd_core::{Instance, JobSequence};
+    use cuda_sim::{DeviceSpec, Gpu, LaunchConfig};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn check_matches_cpu(inst: &Instance, threads: usize, block: usize) {
+        let n = inst.n();
+        let mut gpu = Gpu::new(DeviceSpec::gt560m());
+        gpu.set_race_detection(true);
+        let prob = ProblemDevice::upload(&mut gpu, inst).unwrap();
+
+        let mut rng = StdRng::seed_from_u64(42);
+        let seqs: Vec<JobSequence> =
+            (0..threads).map(|_| JobSequence::random(n, &mut rng)).collect();
+        let flat: Vec<u32> = seqs.iter().flat_map(|s| s.as_slice().iter().copied()).collect();
+        let seq_buf = gpu.alloc::<u32>(threads * n);
+        gpu.h2d(seq_buf, &flat);
+        let out = gpu.alloc::<i64>(threads);
+
+        let kernel = FitnessKernel { prob, seqs: seq_buf, out, ensemble: threads };
+        let stats = gpu
+            .launch(&kernel, LaunchConfig::cover(threads, block), &[])
+            .unwrap();
+        assert!(stats.timing.seconds > 0.0);
+
+        let device = gpu.d2h(out);
+        let eval = evaluator_for(inst);
+        for (t, seq) in seqs.iter().enumerate() {
+            assert_eq!(
+                device[t],
+                eval.evaluate(seq.as_slice()),
+                "thread {t} disagrees with the CPU evaluator"
+            );
+        }
+    }
+
+    #[test]
+    fn cdd_fitness_matches_cpu_evaluator() {
+        check_matches_cpu(&Instance::paper_example_cdd(), 64, 32);
+    }
+
+    #[test]
+    fn ucddcp_fitness_matches_cpu_evaluator() {
+        check_matches_cpu(&Instance::paper_example_ucddcp(), 48, 16);
+    }
+
+    #[test]
+    fn paper_identity_sequence_scores_81() {
+        let inst = Instance::paper_example_cdd();
+        let mut gpu = Gpu::new(DeviceSpec::gt560m());
+        let prob = ProblemDevice::upload(&mut gpu, &inst).unwrap();
+        let seq_buf = gpu.alloc::<u32>(5);
+        gpu.h2d(seq_buf, &[0, 1, 2, 3, 4]);
+        let out = gpu.alloc::<i64>(1);
+        let kernel = FitnessKernel { prob, seqs: seq_buf, out, ensemble: 1 };
+        gpu.launch(&kernel, LaunchConfig::linear(1, 32), &[]).unwrap();
+        assert_eq!(gpu.d2h(out)[0], 81);
+    }
+
+    #[test]
+    fn idle_threads_do_not_touch_memory() {
+        // ensemble = 1 but 64 threads: only out[0] may be written.
+        let inst = Instance::paper_example_cdd();
+        let mut gpu = Gpu::new(DeviceSpec::gt560m());
+        gpu.set_race_detection(true);
+        let prob = ProblemDevice::upload(&mut gpu, &inst).unwrap();
+        let seq_buf = gpu.alloc::<u32>(5);
+        gpu.h2d(seq_buf, &[4, 3, 2, 1, 0]);
+        let out = gpu.alloc::<i64>(2);
+        gpu.h2d(out, &[-1, -1]);
+        let kernel = FitnessKernel { prob, seqs: seq_buf, out, ensemble: 1 };
+        gpu.launch(&kernel, LaunchConfig::linear(2, 32), &[]).unwrap();
+        let host = gpu.d2h(out);
+        assert_ne!(host[0], -1);
+        assert_eq!(host[1], -1);
+    }
+
+    #[test]
+    fn shared_footprint_scales_with_problem() {
+        let inst = Instance::paper_example_ucddcp();
+        let mut gpu = Gpu::new(DeviceSpec::gt560m());
+        let prob = ProblemDevice::upload(&mut gpu, &inst).unwrap();
+        let seq_buf = gpu.alloc::<u32>(5);
+        let out = gpu.alloc::<i64>(1);
+        let k = FitnessKernel { prob, seqs: seq_buf, out, ensemble: 1 };
+        assert_eq!(k.shared_mem_bytes(192), 3 * 5 * 8);
+    }
+}

@@ -1,0 +1,160 @@
+//! The perturbation kernel (paper Section VI-B).
+//!
+//! Each thread derives a candidate sequence from its parent: `Pert` jobs at
+//! randomly selected positions are reshuffled with the Fisher–Yates
+//! algorithm while "retaining the position of other jobs in the sequence".
+//! Randomness comes from the thread's device-resident XORWOW stream (the
+//! cuRAND analogue).
+
+use cuda_sim::{Buf, Kernel, ThreadCtx};
+
+/// Derives `dst[row] = perturb(src[row])` per thread.
+pub struct PerturbKernel {
+    /// Parent sequences (row-major, `n` per thread).
+    pub src: Buf<u32>,
+    /// Candidate sequences (written).
+    pub dst: Buf<u32>,
+    /// XORWOW states (3 words per thread).
+    pub rng: Buf<u64>,
+    /// Jobs per sequence.
+    pub n: usize,
+    /// Live threads.
+    pub ensemble: usize,
+    /// Perturbation size `Pert` (paper: 4).
+    pub pert: usize,
+}
+
+/// Per-thread local memory.
+#[derive(Default)]
+pub struct PerturbScratch {
+    row: Vec<u32>,
+    positions: Vec<u32>,
+}
+
+impl Kernel for PerturbKernel {
+    type Shared = ();
+    type ThreadState = PerturbScratch;
+
+    fn name(&self) -> &str {
+        "perturbation"
+    }
+
+    fn make_shared(&self, _block_dim: usize) {}
+
+    fn phase(
+        &self,
+        _phase: usize,
+        ctx: &mut ThreadCtx<'_>,
+        _shared: &mut (),
+        scratch: &mut PerturbScratch,
+    ) {
+        let gid = ctx.global_id();
+        if gid >= self.ensemble {
+            return;
+        }
+        let n = self.n;
+        let mut rng = ctx.load_rng(self.rng, gid);
+
+        scratch.row.resize(n, 0);
+        ctx.read_slice_into(self.src, gid * n, &mut scratch.row);
+
+        let pert = self.pert.min(n);
+        if pert >= 2 {
+            // Select `pert` distinct positions (rejection sampling — cheap
+            // for the paper's Pert = 4, exact for any pert ≤ n).
+            scratch.positions.clear();
+            while scratch.positions.len() < pert {
+                let c = rng.next_below(n as u32);
+                if !scratch.positions.contains(&c) {
+                    scratch.positions.push(c);
+                }
+                ctx.charge_alu(2);
+            }
+            // Fisher–Yates over the jobs at the selected positions.
+            for i in (1..pert).rev() {
+                let j = rng.next_below(i as u32 + 1) as usize;
+                scratch.row.swap(scratch.positions[i] as usize, scratch.positions[j] as usize);
+                ctx.charge_alu(4);
+            }
+        }
+
+        ctx.write_slice(self.dst, gid * n, &scratch.row);
+        ctx.store_rng(self.rng, gid, &rng);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cdd_core::JobSequence;
+    use cuda_sim::{DeviceSpec, Gpu, LaunchConfig, XorWow};
+
+    fn setup(threads: usize, n: usize) -> (Gpu, Buf<u32>, Buf<u32>, Buf<u64>) {
+        let mut gpu = Gpu::new(DeviceSpec::gt560m());
+        gpu.set_race_detection(true);
+        let src = gpu.alloc::<u32>(threads * n);
+        let flat: Vec<u32> = (0..threads).flat_map(|_| 0..n as u32).collect();
+        gpu.h2d(src, &flat);
+        let dst = gpu.alloc::<u32>(threads * n);
+        let rng = gpu.alloc::<u64>(threads * 3);
+        let words: Vec<u64> =
+            (0..threads).flat_map(|t| XorWow::new(7, t as u64).pack()).collect();
+        gpu.h2d(rng, &words);
+        (gpu, src, dst, rng)
+    }
+
+    #[test]
+    fn candidates_are_permutations_with_bounded_displacement() {
+        let (mut gpu, src, dst, rng) = setup(32, 20);
+        let kernel = PerturbKernel { src, dst, rng, n: 20, ensemble: 32, pert: 4 };
+        gpu.launch(&kernel, LaunchConfig::linear(1, 32), &[]).unwrap();
+        let out = gpu.d2h(dst);
+        for t in 0..32 {
+            let row: Vec<u32> = out[t * 20..(t + 1) * 20].to_vec();
+            let seq = JobSequence::from_vec(row.clone()).unwrap();
+            assert!(seq.is_valid_permutation());
+            let moved = row.iter().enumerate().filter(|(i, &j)| *i != j as usize).count();
+            assert!(moved <= 4, "thread {t} moved {moved} positions");
+        }
+    }
+
+    #[test]
+    fn parent_rows_are_untouched() {
+        let (mut gpu, src, dst, rng) = setup(8, 10);
+        let before = gpu.peek(src);
+        let kernel = PerturbKernel { src, dst, rng, n: 10, ensemble: 8, pert: 4 };
+        gpu.launch(&kernel, LaunchConfig::linear(1, 8), &[]).unwrap();
+        assert_eq!(gpu.peek(src), before);
+    }
+
+    #[test]
+    fn threads_perturb_differently() {
+        let (mut gpu, src, dst, rng) = setup(16, 30);
+        let kernel = PerturbKernel { src, dst, rng, n: 30, ensemble: 16, pert: 4 };
+        gpu.launch(&kernel, LaunchConfig::linear(1, 16), &[]).unwrap();
+        let out = gpu.d2h(dst);
+        let rows: std::collections::HashSet<Vec<u32>> =
+            (0..16).map(|t| out[t * 30..(t + 1) * 30].to_vec()).collect();
+        // Distinct XORWOW streams → overwhelmingly distinct candidates.
+        assert!(rows.len() >= 12, "only {} distinct candidates", rows.len());
+    }
+
+    #[test]
+    fn successive_launches_advance_the_stream() {
+        let (mut gpu, src, dst, rng) = setup(4, 12);
+        let kernel = PerturbKernel { src, dst, rng, n: 12, ensemble: 4, pert: 4 };
+        gpu.launch(&kernel, LaunchConfig::linear(1, 4), &[]).unwrap();
+        let first = gpu.d2h(dst);
+        gpu.launch(&kernel, LaunchConfig::linear(1, 4), &[]).unwrap();
+        let second = gpu.d2h(dst);
+        assert_ne!(first, second, "RNG state failed to persist across launches");
+    }
+
+    #[test]
+    fn tiny_sequences_pass_through() {
+        let (mut gpu, src, dst, rng) = setup(2, 1);
+        let kernel = PerturbKernel { src, dst, rng, n: 1, ensemble: 2, pert: 4 };
+        gpu.launch(&kernel, LaunchConfig::linear(1, 2), &[]).unwrap();
+        assert_eq!(gpu.d2h(dst), vec![0, 0]);
+    }
+}

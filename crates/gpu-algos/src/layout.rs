@@ -1,0 +1,100 @@
+//! Device memory layout for a problem instance (the paper's Fig. 9).
+//!
+//! Per-job arrays live in global memory; the scalars `d` and `n` go to
+//! constant memory "to benefit from its broadcast mechanism". Sequences are
+//! stored row-major, one row of `n` job ids per thread.
+
+use cdd_core::{Instance, ProblemKind, Time};
+use cuda_sim::{Buf, ConstBuf, Gpu, LaunchError};
+
+/// Handles to an uploaded problem instance.
+#[derive(Debug, Clone, Copy)]
+pub struct ProblemDevice {
+    /// Which problem the kernels must solve.
+    pub kind: ProblemKind,
+    /// Job count `n` (also mirrored in constant memory).
+    pub n: usize,
+    /// Due date `d` (also mirrored in constant memory).
+    pub d: Time,
+    /// Processing times `Pᵢ` (global; the paper deliberately does **not**
+    /// cache these in shared memory — "there are only a few reads").
+    pub p: Buf<i64>,
+    /// Minimum processing times `Mᵢ` (UCDDCP; equals `p` content for CDD).
+    pub m: Buf<i64>,
+    /// Earliness penalty rates `αᵢ` (staged to shared memory by kernels).
+    pub alpha: Buf<i64>,
+    /// Tardiness penalty rates `βᵢ` (staged to shared memory by kernels).
+    pub beta: Buf<i64>,
+    /// Compression penalty rates `γᵢ` (UCDDCP).
+    pub gamma: Buf<i64>,
+    /// `[d, n]` in constant memory.
+    pub scalars: ConstBuf<i64>,
+}
+
+impl ProblemDevice {
+    /// Upload `inst` to the device (records the H2D transfers of Fig. 9).
+    pub fn upload(gpu: &mut Gpu, inst: &Instance) -> Result<Self, LaunchError> {
+        let (p, m, a, b, g) = inst.to_arrays();
+        let n = inst.n();
+        let pb = gpu.alloc::<i64>(n);
+        gpu.h2d(pb, &p);
+        let mb = gpu.alloc::<i64>(n);
+        gpu.h2d(mb, &m);
+        let ab = gpu.alloc::<i64>(n);
+        gpu.h2d(ab, &a);
+        let bb = gpu.alloc::<i64>(n);
+        gpu.h2d(bb, &b);
+        let gb = gpu.alloc::<i64>(n);
+        gpu.h2d(gb, &g);
+        let scalars = gpu.alloc_const(&[inst.due_date(), n as i64])?;
+        Ok(ProblemDevice {
+            kind: inst.kind(),
+            n,
+            d: inst.due_date(),
+            p: pb,
+            m: mb,
+            alpha: ab,
+            beta: bb,
+            gamma: gb,
+            scalars,
+        })
+    }
+
+    /// Shared-memory bytes the fitness kernel stages for this problem
+    /// (α and β, plus γ for UCDDCP — 8 bytes per rate).
+    pub fn staged_shared_bytes(&self) -> usize {
+        match self.kind {
+            ProblemKind::Cdd => 2 * self.n * 8,
+            ProblemKind::Ucddcp => 3 * self.n * 8,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cuda_sim::DeviceSpec;
+
+    #[test]
+    fn upload_records_transfers_and_mirrors_scalars() {
+        let mut gpu = Gpu::new(DeviceSpec::gt560m());
+        let inst = Instance::paper_example_ucddcp();
+        let dev = ProblemDevice::upload(&mut gpu, &inst).unwrap();
+        assert_eq!(dev.n, 5);
+        assert_eq!(dev.d, 22);
+        assert_eq!(gpu.peek(dev.p), vec![6, 5, 2, 4, 4]);
+        assert_eq!(gpu.peek(dev.gamma), vec![5, 4, 3, 2, 1]);
+        // 5 buffers + constant region = 6 recorded H2D transfers.
+        assert_eq!(gpu.profiler().events().len(), 6);
+        assert!(gpu.profiler().transfer_seconds() > 0.0);
+    }
+
+    #[test]
+    fn staged_bytes_depend_on_problem_kind() {
+        let mut gpu = Gpu::new(DeviceSpec::gt560m());
+        let cdd = ProblemDevice::upload(&mut gpu, &Instance::paper_example_cdd()).unwrap();
+        let uc = ProblemDevice::upload(&mut gpu, &Instance::paper_example_ucddcp()).unwrap();
+        assert_eq!(cdd.staged_shared_bytes(), 2 * 5 * 8);
+        assert_eq!(uc.staged_shared_bytes(), 3 * 5 * 8);
+    }
+}

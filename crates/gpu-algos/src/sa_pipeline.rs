@@ -1,0 +1,282 @@
+//! The full GPU **asynchronous parallel SA** pipeline (paper Figs. 9–10).
+//!
+//! Host side: estimate `T₀` (stddev of 5000 random fitness values), generate
+//! the initial ensemble and RNG states, copy everything to the device, then
+//! per generation launch *perturbation → fitness → acceptance → reduction*
+//! and cool the temperature. At the end, copy back the packed global best
+//! and the winning thread's personal-best row.
+//!
+//! All reported times are the simulator's modeled device times, including
+//! every host↔device transfer — matching the paper's accounting ("the total
+//! runtime of our parallel algorithms incorporating all the memory transfers
+//! between the host and the device").
+
+use crate::init::{initial_ensemble, InitStrategy};
+use crate::kernels::{AcceptKernel, FitnessKernel, PerturbKernel};
+use crate::layout::ProblemDevice;
+use cdd_core::eval::evaluator_for;
+use cdd_core::{Cost, Instance, JobSequence};
+use cdd_meta::temperature::initial_temperature;
+use cuda_sim::reduce::{unpack_argmin, AtomicArgminKernel};
+use cuda_sim::{DeviceSpec, Gpu, LaunchConfig, LaunchError, XorWow};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Parameters of one GPU SA run.
+#[derive(Debug, Clone)]
+pub struct GpuSaParams {
+    /// Grid size (the paper fixes 4 blocks).
+    pub blocks: usize,
+    /// Block size (the paper found 192 best on its device).
+    pub block_size: usize,
+    /// Generations (1000 or 5000 in the paper).
+    pub iterations: u64,
+    /// Perturbation size `Pert`.
+    pub pert: usize,
+    /// Exponential cooling factor μ.
+    pub cooling_rate: f64,
+    /// Initial temperature; `None` applies the stddev-of-5000-samples rule.
+    pub t0: Option<f64>,
+    /// Samples for the `T₀` estimate.
+    pub t0_samples: usize,
+    /// Master seed (thread `t` uses XORWOW stream `t`).
+    pub seed: u64,
+    /// Starting-ensemble strategy (default: V-shaped heuristic spread).
+    pub init: InitStrategy,
+    /// Simulated device.
+    pub device: DeviceSpec,
+}
+
+impl Default for GpuSaParams {
+    fn default() -> Self {
+        GpuSaParams {
+            blocks: 4,
+            block_size: 192,
+            iterations: 1000,
+            pert: 4,
+            cooling_rate: 0.88,
+            t0: None,
+            t0_samples: 5000,
+            seed: 2016,
+            init: InitStrategy::default(),
+            device: DeviceSpec::gt560m(),
+        }
+    }
+}
+
+impl GpuSaParams {
+    /// The paper's `SA₁₀₀₀` configuration (768 threads = 4 × 192).
+    pub fn paper_1000() -> Self {
+        Self::default()
+    }
+
+    /// The paper's `SA₅₀₀₀` configuration.
+    pub fn paper_5000() -> Self {
+        GpuSaParams { iterations: 5000, ..Self::default() }
+    }
+
+    /// Ensemble size (total threads).
+    pub fn ensemble(&self) -> usize {
+        self.blocks * self.block_size
+    }
+}
+
+/// Result of a GPU pipeline run (SA or DPSO).
+#[derive(Debug, Clone)]
+pub struct GpuRunResult {
+    /// Best sequence found by the ensemble.
+    pub best: JobSequence,
+    /// Its objective value.
+    pub objective: Cost,
+    /// Fitness evaluations across all threads.
+    pub evaluations: u64,
+    /// Initial temperature used (SA; 0 for DPSO).
+    pub t0: f64,
+    /// Total modeled device time (kernels + transfers), seconds.
+    pub modeled_seconds: f64,
+    /// Modeled kernel time, seconds.
+    pub kernel_seconds: f64,
+    /// Modeled transfer time, seconds.
+    pub transfer_seconds: f64,
+    /// Kernel launches performed.
+    pub kernel_launches: usize,
+    /// Per-kernel profiler summary (the Fig. 9/10 timeline evidence).
+    pub profiler_summary: String,
+}
+
+/// Run the paper's parallel asynchronous SA on the simulated GPU.
+pub fn run_gpu_sa(inst: &Instance, params: &GpuSaParams) -> Result<GpuRunResult, LaunchError> {
+    assert!(params.iterations >= 1, "need at least one generation");
+    let n = inst.n();
+    let ensemble = params.ensemble();
+    let cfg = LaunchConfig::linear(params.blocks, params.block_size);
+
+    // Host-side setup: T₀ rule and initial ensemble. Randomly initialized
+    // chains use the paper's global rule (stddev of `t0_samples` random
+    // fitnesses); heuristically seeded chains calibrate to the local move
+    // scale so the good start survives the hot phase (see
+    // `cdd_meta::temperature::initial_temperature_local`).
+    let mut host_rng = StdRng::seed_from_u64(params.seed);
+    let evaluator = evaluator_for(inst);
+    let t0 = params.t0.unwrap_or_else(|| match params.init {
+        InitStrategy::Random => {
+            initial_temperature(evaluator.as_ref(), params.t0_samples, &mut host_rng)
+        }
+        InitStrategy::VShapedSpread => cdd_meta::initial_temperature_local(
+            evaluator.as_ref(),
+            &cdd_core::heuristics::v_shaped_sequence(inst),
+            params.pert,
+            params.t0_samples.min(500),
+            &mut host_rng,
+        ),
+    });
+
+    let mut gpu = Gpu::new(params.device.clone());
+    let prob = ProblemDevice::upload(&mut gpu, inst)?;
+
+    // Fig. 9: initial sequences + cuRAND states host → device.
+    let current = gpu.alloc::<u32>(ensemble * n);
+    let flat = initial_ensemble(inst, ensemble, params.init, &mut host_rng);
+    gpu.h2d(current, &flat);
+    let candidate = gpu.alloc::<u32>(ensemble * n);
+    let energies = gpu.alloc::<i64>(ensemble);
+    let cand_energies = gpu.alloc::<i64>(ensemble);
+    let best_rows = gpu.alloc::<u32>(ensemble * n);
+    let best_energies = gpu.alloc::<i64>(ensemble);
+    gpu.h2d(best_energies, &vec![i64::MAX; ensemble]);
+    let global_best = gpu.alloc::<i64>(1);
+    gpu.h2d(global_best, &[i64::MAX]);
+    let rng_states = gpu.alloc::<u64>(ensemble * 3);
+    let words: Vec<u64> =
+        (0..ensemble).flat_map(|t| XorWow::new(params.seed, t as u64).pack()).collect();
+    gpu.h2d(rng_states, &words);
+
+    // Initial fitness of the starting ensemble.
+    let fitness_current =
+        FitnessKernel { prob, seqs: current, out: energies, ensemble };
+    gpu.launch(&fitness_current, cfg, &[])?;
+
+    let perturb = PerturbKernel {
+        src: current,
+        dst: candidate,
+        rng: rng_states,
+        n,
+        ensemble,
+        pert: params.pert,
+    };
+    let fitness_candidate =
+        FitnessKernel { prob, seqs: candidate, out: cand_energies, ensemble };
+    let reduce = AtomicArgminKernel { values: best_energies, out: global_best };
+
+    let mut temperature = t0;
+    for _gen in 0..params.iterations {
+        gpu.launch(&perturb, cfg, &[])?;
+        gpu.launch(&fitness_candidate, cfg, &[])?;
+        let accept = AcceptKernel {
+            current,
+            candidate,
+            energies,
+            cand_energies,
+            best_rows,
+            best_energies,
+            rng: rng_states,
+            n,
+            ensemble,
+            temperature,
+        };
+        gpu.launch(&accept, cfg, &[])?;
+        gpu.launch(&reduce, cfg, &[])?;
+        temperature *= params.cooling_rate;
+    }
+
+    // Fig. 9: global best (and the winning row) device → host.
+    let key = gpu.d2h(global_best)[0];
+    let (objective, winner) = unpack_argmin(key);
+    let row = gpu.d2h_range(best_rows, winner * n, n);
+    let best = JobSequence::from_vec(row).expect("device rows stay permutations");
+    debug_assert_eq!(evaluator.evaluate(best.as_slice()), objective);
+
+    let profiler = gpu.profiler();
+    Ok(GpuRunResult {
+        best,
+        objective,
+        evaluations: ensemble as u64 * (params.iterations + 1),
+        t0,
+        modeled_seconds: profiler.total_seconds(),
+        kernel_seconds: profiler.kernel_seconds(),
+        transfer_seconds: profiler.transfer_seconds(),
+        kernel_launches: profiler.kernel_launches(),
+        profiler_summary: profiler.summary(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cdd_core::exact::best_sequence_bruteforce;
+
+    fn small_params(iterations: u64) -> GpuSaParams {
+        GpuSaParams { blocks: 2, block_size: 32, iterations, ..Default::default() }
+    }
+
+    #[test]
+    fn gpu_sa_finds_paper_example_optimum() {
+        let inst = Instance::paper_example_cdd();
+        let (_, optimum) = best_sequence_bruteforce(&inst);
+        let r = run_gpu_sa(&inst, &small_params(300)).unwrap();
+        assert_eq!(r.objective, optimum);
+        assert!(r.best.is_valid_permutation());
+    }
+
+    #[test]
+    fn gpu_sa_solves_ucddcp_example() {
+        let inst = Instance::paper_example_ucddcp();
+        let (_, optimum) = best_sequence_bruteforce(&inst);
+        let r = run_gpu_sa(&inst, &small_params(300)).unwrap();
+        assert_eq!(r.objective, optimum);
+    }
+
+    #[test]
+    fn result_is_deterministic_per_seed() {
+        let inst = Instance::paper_example_cdd();
+        let a = run_gpu_sa(&inst, &small_params(100)).unwrap();
+        let b = run_gpu_sa(&inst, &small_params(100)).unwrap();
+        assert_eq!(a.objective, b.objective);
+        assert_eq!(a.best, b.best);
+        assert_eq!(a.modeled_seconds, b.modeled_seconds);
+    }
+
+    #[test]
+    fn timeline_matches_four_kernels_per_generation() {
+        let inst = Instance::paper_example_cdd();
+        let iters = 50;
+        let r = run_gpu_sa(&inst, &small_params(iters)).unwrap();
+        // 1 initial fitness + 4 kernels × generations.
+        assert_eq!(r.kernel_launches as u64, 1 + 4 * iters);
+        assert!(r.modeled_seconds > 0.0);
+        assert!(r.kernel_seconds > 0.0);
+        assert!(r.transfer_seconds > 0.0);
+        assert!(r.profiler_summary.contains("fitness"));
+        assert!(r.profiler_summary.contains("perturbation"));
+        assert!(r.profiler_summary.contains("acceptance"));
+        assert!(r.profiler_summary.contains("reduce_atomic_argmin"));
+    }
+
+    #[test]
+    fn five_x_iterations_cost_about_five_x_modeled_time() {
+        // The paper: "increasing the number of generations by a factor of
+        // five also increases the runtime by a factor about five".
+        let inst = Instance::paper_example_cdd();
+        let r1 = run_gpu_sa(&inst, &small_params(100)).unwrap();
+        let r5 = run_gpu_sa(&inst, &small_params(500)).unwrap();
+        let ratio = r5.kernel_seconds / r1.kernel_seconds;
+        assert!((4.0..6.0).contains(&ratio), "ratio = {ratio}");
+    }
+
+    #[test]
+    fn evaluations_counted_across_ensemble() {
+        let inst = Instance::paper_example_cdd();
+        let r = run_gpu_sa(&inst, &small_params(10)).unwrap();
+        assert_eq!(r.evaluations, 64 * 11);
+    }
+}

@@ -1,0 +1,986 @@
+//! Kernel execution engine: launches, barriers, memory access, data-race
+//! detection, cost aggregation.
+
+use crate::cost::{model_kernel_time, CostCounter, KernelTiming};
+use crate::device::DeviceSpec;
+use crate::grid::LaunchConfig;
+use crate::memory::{Buf, ConstBuf, DeviceValue, ErasedBuf, MemoryPool};
+use crate::profiler::{Profiler, TimelineEvent, TransferDir};
+use crate::rng::XorWow;
+use std::collections::HashMap;
+use std::fmt;
+
+/// Why a launch or allocation was rejected.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LaunchError {
+    /// The launch configuration violates a device limit.
+    InvalidConfig(String),
+    /// Two threads made conflicting, unsynchronized accesses to the same
+    /// global-memory location (only reported when
+    /// [`Gpu::set_race_detection`] is on).
+    DataRace(String),
+    /// Constant memory is exhausted.
+    ConstantMemoryExceeded {
+        /// Bytes requested by this allocation.
+        requested: usize,
+        /// Bytes still available.
+        available: usize,
+    },
+}
+
+impl fmt::Display for LaunchError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LaunchError::InvalidConfig(msg) => write!(f, "invalid launch config: {msg}"),
+            LaunchError::DataRace(msg) => write!(f, "data race: {msg}"),
+            LaunchError::ConstantMemoryExceeded { requested, available } => {
+                write!(f, "constant memory exceeded: requested {requested} B, {available} B free")
+            }
+        }
+    }
+}
+
+impl std::error::Error for LaunchError {}
+
+/// A simulated CUDA kernel.
+///
+/// `__syncthreads()` barriers are expressed structurally: the kernel body is
+/// split into [`num_phases`](Kernel::num_phases) phases, and the engine
+/// guarantees that every thread of a block completes phase `p` before any
+/// thread enters `p + 1` — exactly the barrier semantics the paper relies on
+/// in its fitness kernel ("this synchronization ensures that all the write
+/// operations on the shared memory are finished before reading them").
+pub trait Kernel {
+    /// Per-block shared memory (built once per block, mutated by all of the
+    /// block's threads).
+    type Shared;
+    /// Per-thread registers persisting across phases.
+    type ThreadState: Default;
+
+    /// Kernel name (profiler label).
+    fn name(&self) -> &str;
+
+    /// Construct the block's shared memory.
+    fn make_shared(&self, block_dim: usize) -> Self::Shared;
+
+    /// Shared-memory footprint in bytes (validated against the device
+    /// limit). Kernels report their true footprint; the default of 0 suits
+    /// kernels without shared memory.
+    fn shared_mem_bytes(&self, _block_dim: usize) -> usize {
+        0
+    }
+
+    /// Number of barrier-delimited phases (≥ 1).
+    fn num_phases(&self) -> usize {
+        1
+    }
+
+    /// Execute one phase for one thread.
+    fn phase(
+        &self,
+        phase: usize,
+        ctx: &mut ThreadCtx<'_>,
+        shared: &mut Self::Shared,
+        state: &mut Self::ThreadState,
+    );
+}
+
+/// Buffer-handle argument accepted by the typed access methods: either a
+/// typed [`Buf<T>`] or an [`ErasedBuf`] kernel argument.
+pub trait AsBuf<T> {
+    /// `(pool id, element count)`.
+    fn id_len(&self) -> (usize, usize);
+}
+
+impl<T: DeviceValue> AsBuf<T> for Buf<T> {
+    fn id_len(&self) -> (usize, usize) {
+        (self.id, self.len)
+    }
+}
+
+impl<T: DeviceValue> AsBuf<T> for ErasedBuf {
+    fn id_len(&self) -> (usize, usize) {
+        (self.id, self.len)
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct ThreadRef {
+    block: u32,
+    phase: u32,
+    thread: u32,
+}
+
+#[derive(Debug, Default)]
+struct LocationHistory {
+    last_write: Option<ThreadRef>,
+    /// A bounded sample of readers since the last write (existence of one
+    /// conflicting reader is enough to report a race).
+    readers: Vec<ThreadRef>,
+}
+
+/// Tracks conflicting accesses within one launch.
+///
+/// Two accesses to the same location conflict when they come from different
+/// threads, at least one is a write, and they are **not** ordered by a
+/// barrier — i.e. not in the same block with the earlier access in an
+/// earlier phase. (Blocks share no barrier, so cross-block accesses are
+/// never ordered.)
+#[derive(Debug, Default)]
+struct RaceTracker {
+    locations: HashMap<(usize, usize), LocationHistory>,
+    first_race: Option<String>,
+}
+
+impl RaceTracker {
+    fn ordered_before(a: ThreadRef, b: ThreadRef) -> bool {
+        a.block == b.block && a.phase < b.phase
+    }
+
+    fn conflict(a: ThreadRef, b: ThreadRef) -> bool {
+        (a.block != b.block || a.thread != b.thread) && !Self::ordered_before(a, b)
+    }
+
+    fn on_read(&mut self, buf: usize, idx: usize, who: ThreadRef) {
+        if self.first_race.is_some() {
+            return;
+        }
+        let h = self.locations.entry((buf, idx)).or_default();
+        if let Some(w) = h.last_write {
+            if Self::conflict(w, who) {
+                self.first_race = Some(format!(
+                    "buffer {buf}[{idx}]: read by (block {}, thread {}, phase {}) races with \
+                     write by (block {}, thread {}, phase {})",
+                    who.block, who.thread, who.phase, w.block, w.thread, w.phase
+                ));
+                return;
+            }
+        }
+        if h.readers.len() < 4 && !h.readers.contains(&who) {
+            h.readers.push(who);
+        }
+    }
+
+    fn on_write(&mut self, buf: usize, idx: usize, who: ThreadRef) {
+        if self.first_race.is_some() {
+            return;
+        }
+        let h = self.locations.entry((buf, idx)).or_default();
+        if let Some(w) = h.last_write {
+            if Self::conflict(w, who) {
+                self.first_race = Some(format!(
+                    "buffer {buf}[{idx}]: write by (block {}, thread {}, phase {}) races with \
+                     write by (block {}, thread {}, phase {})",
+                    who.block, who.thread, who.phase, w.block, w.thread, w.phase
+                ));
+                return;
+            }
+        }
+        if let Some(&r) = h.readers.iter().find(|&&r| Self::conflict(r, who)) {
+            self.first_race = Some(format!(
+                "buffer {buf}[{idx}]: write by (block {}, thread {}, phase {}) races with \
+                 read by (block {}, thread {}, phase {})",
+                who.block, who.thread, who.phase, r.block, r.thread, r.phase
+            ));
+            return;
+        }
+        h.last_write = Some(who);
+        h.readers.clear();
+    }
+}
+
+/// Per-thread execution context handed to [`Kernel::phase`].
+pub struct ThreadCtx<'a> {
+    /// Thread index within the block (`threadIdx.x` for linear blocks).
+    pub thread_idx: usize,
+    /// Block index within the grid (`blockIdx.x`).
+    pub block_idx: usize,
+    /// Threads per block (`blockDim.x`).
+    pub block_dim: usize,
+    /// Blocks per grid (`gridDim.x`).
+    pub grid_dim: usize,
+    phase: usize,
+    args: &'a [ErasedBuf],
+    mem: &'a mut MemoryPool,
+    /// This thread's cost counters (kernels may charge extra work through
+    /// the `charge_*` helpers).
+    pub cost: &'a mut CostCounter,
+    race: Option<&'a mut RaceTracker>,
+}
+
+impl ThreadCtx<'_> {
+    /// Global linear thread id (`blockIdx.x * blockDim.x + threadIdx.x`).
+    #[inline]
+    pub fn global_id(&self) -> usize {
+        self.block_idx * self.block_dim + self.thread_idx
+    }
+
+    /// Total threads in the launch.
+    #[inline]
+    pub fn total_threads(&self) -> usize {
+        self.grid_dim * self.block_dim
+    }
+
+    /// The `i`-th kernel argument.
+    pub fn arg_buf(&self, i: usize) -> ErasedBuf {
+        self.args[i]
+    }
+
+    fn who(&self) -> ThreadRef {
+        ThreadRef {
+            block: self.block_idx as u32,
+            phase: self.phase as u32,
+            thread: self.thread_idx as u32,
+        }
+    }
+
+    #[inline]
+    fn check_bounds(&self, id: usize, len: usize, idx: usize) {
+        assert!(
+            idx < len,
+            "global memory access out of bounds: buffer {id} has {len} elements, index {idx}"
+        );
+    }
+
+    /// Read one element from global memory (counts one transaction).
+    #[inline]
+    pub fn read<T: DeviceValue>(&mut self, buf: impl AsBuf<T>, idx: usize) -> T {
+        let (id, len) = buf.id_len();
+        self.check_bounds(id, len, idx);
+        self.cost.global_transactions += 1;
+        self.cost.alu += 1;
+        let who = self.who();
+        if let Some(race) = self.race.as_deref_mut() {
+            race.on_read(id, idx, who);
+        }
+        T::from_bits(self.mem.global[id][idx])
+    }
+
+    /// Write one element to global memory (counts one transaction).
+    #[inline]
+    pub fn write<T: DeviceValue>(&mut self, buf: impl AsBuf<T>, idx: usize, value: T) {
+        let (id, len) = buf.id_len();
+        self.check_bounds(id, len, idx);
+        self.cost.global_transactions += 1;
+        self.cost.alu += 1;
+        let who = self.who();
+        if let Some(race) = self.race.as_deref_mut() {
+            race.on_write(id, idx, who);
+        }
+        self.mem.global[id][idx] = value.to_bits();
+    }
+
+    /// Read one element through the **texture path** (read-only, spatially
+    /// cached — the paper's conclusion proposes this for future work). The
+    /// memory model amortizes
+    /// [`crate::cost::TEXTURE_READS_PER_TRANSACTION`] texture reads per
+    /// global transaction. Semantically identical to [`read`](Self::read);
+    /// must only be used for data no kernel writes during the launch (race
+    /// detection still checks this).
+    #[inline]
+    pub fn read_texture<T: DeviceValue>(&mut self, buf: impl AsBuf<T>, idx: usize) -> T {
+        let (id, len) = buf.id_len();
+        self.check_bounds(id, len, idx);
+        self.cost.texture_reads += 1;
+        self.cost.alu += 1;
+        let who = self.who();
+        if let Some(race) = self.race.as_deref_mut() {
+            race.on_read(id, idx, who);
+        }
+        T::from_bits(self.mem.global[id][idx])
+    }
+
+    /// Bulk texture-path read (one [`read_texture`](Self::read_texture) per
+    /// element).
+    pub fn read_texture_slice_into<T: DeviceValue>(
+        &mut self,
+        buf: impl AsBuf<T>,
+        start: usize,
+        dst: &mut [T],
+    ) {
+        let (id, len) = buf.id_len();
+        assert!(
+            start + dst.len() <= len,
+            "texture slice out of bounds: buffer {id} has {len} elements"
+        );
+        self.cost.texture_reads += dst.len() as u64;
+        self.cost.alu += dst.len() as u64;
+        if self.race.is_some() {
+            let who = self.who();
+            let race = self.race.as_deref_mut().expect("checked above");
+            for i in 0..dst.len() {
+                race.on_read(id, start + i, who);
+            }
+        }
+        let src = &self.mem.global[id][start..start + dst.len()];
+        for (d, &bits) in dst.iter_mut().zip(src) {
+            *d = T::from_bits(bits);
+        }
+    }
+
+    /// Read from constant memory (broadcast-cached: ALU cost only).
+    #[inline]
+    pub fn read_const<T: DeviceValue>(&mut self, cb: ConstBuf<T>, idx: usize) -> T {
+        assert!(
+            idx < cb.len,
+            "constant memory access out of bounds: region {} has {} elements, index {idx}",
+            cb.id,
+            cb.len
+        );
+        self.cost.alu += 1;
+        T::from_bits(self.mem.constant[cb.id][idx])
+    }
+
+    /// `atomicMin` on a signed 64-bit global location; returns the previous
+    /// value. Atomics never race (they serialize at L2) but pay
+    /// [`DeviceSpec::cpi_atomic`].
+    pub fn atomic_min_i64(&mut self, buf: impl AsBuf<i64>, idx: usize, value: i64) -> i64 {
+        let (id, len) = buf.id_len();
+        self.check_bounds(id, len, idx);
+        self.cost.atomics += 1;
+        let old = i64::from_bits(self.mem.global[id][idx]);
+        if value < old {
+            self.mem.global[id][idx] = value.to_bits();
+        }
+        old
+    }
+
+    /// `atomicAdd` on a signed 64-bit global location; returns the previous
+    /// value.
+    pub fn atomic_add_i64(&mut self, buf: impl AsBuf<i64>, idx: usize, value: i64) -> i64 {
+        let (id, len) = buf.id_len();
+        self.check_bounds(id, len, idx);
+        self.cost.atomics += 1;
+        let old = i64::from_bits(self.mem.global[id][idx]);
+        self.mem.global[id][idx] = (old + value).to_bits();
+        old
+    }
+
+    /// Bulk read `dst.len()` consecutive elements starting at `start`
+    /// (charges one transaction per element, like the per-element
+    /// [`read`](Self::read) — per-thread rows are strided across threads, so
+    /// accesses do not coalesce; see the crate docs).
+    pub fn read_slice_into<T: DeviceValue>(
+        &mut self,
+        buf: impl AsBuf<T>,
+        start: usize,
+        dst: &mut [T],
+    ) {
+        let (id, len) = buf.id_len();
+        assert!(
+            start + dst.len() <= len,
+            "global memory slice out of bounds: buffer {id} has {len} elements, \
+             range {start}..{}",
+            start + dst.len()
+        );
+        self.cost.global_transactions += dst.len() as u64;
+        self.cost.alu += dst.len() as u64;
+        if self.race.is_some() {
+            let who = self.who();
+            let race = self.race.as_deref_mut().expect("checked above");
+            for i in 0..dst.len() {
+                race.on_read(id, start + i, who);
+            }
+        }
+        let src = &self.mem.global[id][start..start + dst.len()];
+        for (d, &bits) in dst.iter_mut().zip(src) {
+            *d = T::from_bits(bits);
+        }
+    }
+
+    /// Bulk write `src.len()` consecutive elements starting at `start`
+    /// (charges one transaction per element).
+    pub fn write_slice<T: DeviceValue>(&mut self, buf: impl AsBuf<T>, start: usize, src: &[T]) {
+        let (id, len) = buf.id_len();
+        assert!(
+            start + src.len() <= len,
+            "global memory slice out of bounds: buffer {id} has {len} elements, \
+             range {start}..{}",
+            start + src.len()
+        );
+        self.cost.global_transactions += src.len() as u64;
+        self.cost.alu += src.len() as u64;
+        if self.race.is_some() {
+            let who = self.who();
+            let race = self.race.as_deref_mut().expect("checked above");
+            for i in 0..src.len() {
+                race.on_write(id, start + i, who);
+            }
+        }
+        let dst = &mut self.mem.global[id][start..start + src.len()];
+        for (slot, &v) in dst.iter_mut().zip(src) {
+            *slot = v.to_bits();
+        }
+    }
+
+    /// Device-to-device row copy (`memcpy` within global memory); charges a
+    /// read and a write transaction per element.
+    pub fn copy_row<T: DeviceValue>(
+        &mut self,
+        src: impl AsBuf<T>,
+        src_start: usize,
+        dst: impl AsBuf<T>,
+        dst_start: usize,
+        count: usize,
+    ) {
+        let (sid, slen) = src.id_len();
+        let (did, dlen) = dst.id_len();
+        assert!(src_start + count <= slen, "copy_row source range out of bounds");
+        assert!(dst_start + count <= dlen, "copy_row destination range out of bounds");
+        self.cost.global_transactions += 2 * count as u64;
+        self.cost.alu += count as u64;
+        if self.race.is_some() {
+            let who = self.who();
+            let race = self.race.as_deref_mut().expect("checked above");
+            for i in 0..count {
+                race.on_read(sid, src_start + i, who);
+                race.on_write(did, dst_start + i, who);
+            }
+        }
+        if sid == did {
+            self.mem.global[sid]
+                .copy_within(src_start..src_start + count, dst_start);
+        } else {
+            // Disjoint buffers: split borrows around the larger index.
+            let (source, dest) = if sid < did {
+                let (lo, hi) = self.mem.global.split_at_mut(did);
+                (&lo[sid], &mut hi[0])
+            } else {
+                let (lo, hi) = self.mem.global.split_at_mut(sid);
+                (&hi[0], &mut lo[did])
+            };
+            dest[dst_start..dst_start + count]
+                .copy_from_slice(&source[src_start..src_start + count]);
+        }
+    }
+
+    /// Uncharged bulk load used for **cooperative** staging: one thread does
+    /// the physical copy while *every* participating thread charges its own
+    /// share via [`charge_global`](Self::charge_global)/
+    /// [`charge_shared`](Self::charge_shared). Race detection still sees the
+    /// reads.
+    pub fn cooperative_read<T: DeviceValue>(
+        &mut self,
+        buf: impl AsBuf<T>,
+        start: usize,
+        dst: &mut [T],
+    ) {
+        let (id, len) = buf.id_len();
+        assert!(
+            start + dst.len() <= len,
+            "cooperative read out of bounds: buffer {id} has {len} elements"
+        );
+        if self.race.is_some() {
+            let who = self.who();
+            let race = self.race.as_deref_mut().expect("checked above");
+            for i in 0..dst.len() {
+                race.on_read(id, start + i, who);
+            }
+        }
+        let src = &self.mem.global[id][start..start + dst.len()];
+        for (d, &bits) in dst.iter_mut().zip(src) {
+            *d = T::from_bits(bits);
+        }
+    }
+
+    /// Charge `n` global-memory transactions (the accounting half of a
+    /// cooperative load).
+    #[inline]
+    pub fn charge_global(&mut self, n: u64) {
+        self.cost.global_transactions += n;
+    }
+
+    /// Charge `n` warp-wide ALU instructions (self-instrumentation for work
+    /// the engine cannot observe, e.g. register arithmetic in a loop).
+    #[inline]
+    pub fn charge_alu(&mut self, n: u64) {
+        self.cost.alu += n;
+    }
+
+    /// Charge `n` special-function instructions (`exp`, …).
+    #[inline]
+    pub fn charge_special(&mut self, n: u64) {
+        self.cost.special += n;
+    }
+
+    /// Charge `n` shared-memory accesses.
+    #[inline]
+    pub fn charge_shared(&mut self, n: u64) {
+        self.cost.shared_accesses += n;
+    }
+
+    /// Charge `n` shared-memory bank conflicts.
+    #[inline]
+    pub fn charge_bank_conflicts(&mut self, n: u64) {
+        self.cost.bank_conflicts += n;
+    }
+
+    /// Load this thread's XORWOW state from a device-resident state array
+    /// (3 words per stream, like a `curandState*` argument).
+    pub fn load_rng(&mut self, states: impl AsBuf<u64>, slot: usize) -> XorWow {
+        let words = [
+            self.read::<u64>(ErasedBuf { id: states.id_len().0, len: states.id_len().1 }, slot * 3),
+            self.read::<u64>(ErasedBuf { id: states.id_len().0, len: states.id_len().1 }, slot * 3 + 1),
+            self.read::<u64>(ErasedBuf { id: states.id_len().0, len: states.id_len().1 }, slot * 3 + 2),
+        ];
+        XorWow::unpack(words)
+    }
+
+    /// Store this thread's XORWOW state back to the device array.
+    pub fn store_rng(&mut self, states: impl AsBuf<u64>, slot: usize, rng: &XorWow) {
+        let (id, len) = states.id_len();
+        let e = ErasedBuf { id, len };
+        let words = rng.pack();
+        self.write::<u64>(e, slot * 3, words[0]);
+        self.write::<u64>(e, slot * 3 + 1, words[1]);
+        self.write::<u64>(e, slot * 3 + 2, words[2]);
+    }
+}
+
+/// Outcome of a successful launch.
+#[derive(Debug, Clone)]
+pub struct LaunchStats {
+    /// Modeled timing of the launch.
+    pub timing: KernelTiming,
+    /// Device-wide summed cost counters.
+    pub total_cost: CostCounter,
+    /// Threads executed.
+    pub threads: usize,
+}
+
+/// One simulated GPU: device spec, memory, profiler.
+#[derive(Debug)]
+pub struct Gpu {
+    spec: DeviceSpec,
+    pool: MemoryPool,
+    profiler: Profiler,
+    race_detection: bool,
+}
+
+impl Gpu {
+    /// Bring up a device.
+    pub fn new(spec: DeviceSpec) -> Self {
+        Gpu { spec, pool: MemoryPool::default(), profiler: Profiler::new(), race_detection: false }
+    }
+
+    /// The device description.
+    pub fn spec(&self) -> &DeviceSpec {
+        &self.spec
+    }
+
+    /// Enable/disable data-race detection for subsequent launches.
+    /// Detection is exact for the access patterns it tracks but costs memory
+    /// proportional to the touched locations — intended for tests and small
+    /// launches.
+    pub fn set_race_detection(&mut self, on: bool) {
+        self.race_detection = on;
+    }
+
+    /// Allocate a zero-initialized global buffer of `len` elements.
+    pub fn alloc<T: DeviceValue>(&mut self, len: usize) -> Buf<T> {
+        Buf::new(self.pool.alloc(len), len)
+    }
+
+    /// Copy host data into a device buffer (`cudaMemcpyHostToDevice`),
+    /// recording the modeled transfer time.
+    ///
+    /// # Panics
+    /// Panics if `data.len() != buf.len()`.
+    pub fn h2d<T: DeviceValue>(&mut self, buf: Buf<T>, data: &[T]) {
+        assert_eq!(data.len(), buf.len, "h2d length mismatch");
+        for (slot, v) in self.pool.global[buf.id].iter_mut().zip(data) {
+            *slot = v.to_bits();
+        }
+        let bytes = data.len() * std::mem::size_of::<T>();
+        self.profiler.push(TimelineEvent::Transfer {
+            dir: TransferDir::HostToDevice,
+            bytes,
+            seconds: self.spec.transfer_time(bytes),
+        });
+    }
+
+    /// Copy a device buffer back to the host (`cudaMemcpyDeviceToHost`),
+    /// recording the modeled transfer time.
+    pub fn d2h<T: DeviceValue>(&mut self, buf: Buf<T>) -> Vec<T> {
+        let out: Vec<T> =
+            self.pool.global[buf.id].iter().map(|&bits| T::from_bits(bits)).collect();
+        let bytes = out.len() * std::mem::size_of::<T>();
+        self.profiler.push(TimelineEvent::Transfer {
+            dir: TransferDir::DeviceToHost,
+            bytes,
+            seconds: self.spec.transfer_time(bytes),
+        });
+        out
+    }
+
+    /// Copy a sub-range of a device buffer back to the host, recording the
+    /// modeled transfer time for exactly those bytes (e.g. fetching only the
+    /// winning thread's sequence row after the final reduction).
+    pub fn d2h_range<T: DeviceValue>(&mut self, buf: Buf<T>, start: usize, len: usize) -> Vec<T> {
+        assert!(start + len <= buf.len, "d2h_range out of bounds");
+        let out: Vec<T> = self.pool.global[buf.id][start..start + len]
+            .iter()
+            .map(|&bits| T::from_bits(bits))
+            .collect();
+        let bytes = len * std::mem::size_of::<T>();
+        self.profiler.push(TimelineEvent::Transfer {
+            dir: TransferDir::DeviceToHost,
+            bytes,
+            seconds: self.spec.transfer_time(bytes),
+        });
+        out
+    }
+
+    /// Host-side peek at device memory **without** a modeled transfer (a
+    /// debugging aid; real experiments must use [`d2h`](Self::d2h) so the
+    /// timing includes the copy, as the paper's speed-ups do).
+    pub fn peek<T: DeviceValue>(&self, buf: Buf<T>) -> Vec<T> {
+        self.pool.global[buf.id].iter().map(|&bits| T::from_bits(bits)).collect()
+    }
+
+    /// Allocate and fill a constant-memory region.
+    pub fn alloc_const<T: DeviceValue>(&mut self, data: &[T]) -> Result<ConstBuf<T>, LaunchError> {
+        let requested = data.len() * 8;
+        let available = self.spec.constant_mem_bytes.saturating_sub(self.pool.constant_bytes);
+        if requested > available {
+            return Err(LaunchError::ConstantMemoryExceeded { requested, available });
+        }
+        let words: Vec<u64> = data.iter().map(|v| v.to_bits()).collect();
+        let id = self.pool.alloc_const(words);
+        let bytes = data.len() * std::mem::size_of::<T>();
+        self.profiler.push(TimelineEvent::Transfer {
+            dir: TransferDir::HostToDevice,
+            bytes,
+            seconds: self.spec.transfer_time(bytes),
+        });
+        Ok(ConstBuf::new(id, data.len()))
+    }
+
+    /// Launch a kernel.
+    ///
+    /// Blocks are executed sequentially (single-core host); barrier
+    /// semantics are exact (phase-structured); timing is produced by the
+    /// analytic model in [`crate::cost`] and recorded in the profiler.
+    pub fn launch<K: Kernel>(
+        &mut self,
+        kernel: &K,
+        cfg: LaunchConfig,
+        args: &[ErasedBuf],
+    ) -> Result<LaunchStats, LaunchError> {
+        let block_dim = cfg.block_size();
+        let shared_bytes = kernel.shared_mem_bytes(block_dim);
+        cfg.validate(&self.spec, shared_bytes).map_err(LaunchError::InvalidConfig)?;
+
+        let grid_dim = cfg.num_blocks();
+        let phases = kernel.num_phases().max(1);
+        let mut race = self.race_detection.then(RaceTracker::default);
+        let mut per_block_warp_costs = Vec::with_capacity(grid_dim);
+        let mut total_cost = CostCounter::default();
+
+        for block_idx in 0..grid_dim {
+            let mut shared = kernel.make_shared(block_dim);
+            let mut states: Vec<K::ThreadState> =
+                (0..block_dim).map(|_| K::ThreadState::default()).collect();
+            let mut costs = vec![CostCounter::default(); block_dim];
+            for phase in 0..phases {
+                for thread_idx in 0..block_dim {
+                    let mut ctx = ThreadCtx {
+                        thread_idx,
+                        block_idx,
+                        block_dim,
+                        grid_dim,
+                        phase,
+                        args,
+                        mem: &mut self.pool,
+                        cost: &mut costs[thread_idx],
+                        race: race.as_mut(),
+                    };
+                    kernel.phase(phase, &mut ctx, &mut shared, &mut states[thread_idx]);
+                }
+            }
+            // Fold threads into lockstep warps.
+            let warps: Vec<CostCounter> = costs
+                .chunks(self.spec.warp_size)
+                .map(|lanes| {
+                    lanes.iter().fold(CostCounter::default(), |acc, c| CostCounter::lane_max(&acc, c))
+                })
+                .collect();
+            for c in &costs {
+                total_cost.add(c);
+            }
+            per_block_warp_costs.push(warps);
+        }
+
+        if let Some(race) = race {
+            if let Some(msg) = race.first_race {
+                return Err(LaunchError::DataRace(msg));
+            }
+        }
+
+        let timing = model_kernel_time(&self.spec, &cfg, &per_block_warp_costs, phases);
+        self.profiler.push(TimelineEvent::Kernel {
+            name: kernel.name().to_string(),
+            config: cfg,
+            seconds: timing.seconds,
+            total_cost,
+        });
+        Ok(LaunchStats { timing, total_cost, threads: cfg.total_threads() })
+    }
+
+    /// The profiler timeline.
+    pub fn profiler(&self) -> &Profiler {
+        &self.profiler
+    }
+
+    /// Reset the profiler (start a new measurement window).
+    pub fn reset_profiler(&mut self) {
+        self.profiler.reset();
+    }
+
+    /// Total modeled device time so far (kernels + transfers), seconds.
+    pub fn elapsed_modeled(&self) -> f64 {
+        self.profiler.total_seconds()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Doubles every element of its single argument.
+    struct Double;
+    impl Kernel for Double {
+        type Shared = ();
+        type ThreadState = ();
+        fn name(&self) -> &str {
+            "double"
+        }
+        fn make_shared(&self, _block: usize) {}
+        fn phase(&self, _p: usize, ctx: &mut ThreadCtx<'_>, _s: &mut (), _t: &mut ()) {
+            let buf = ctx.arg_buf(0);
+            let gid = ctx.global_id();
+            if gid < buf.len() {
+                let v: i64 = ctx.read(buf, gid);
+                ctx.write(buf, gid, v * 2);
+            }
+        }
+    }
+
+    #[test]
+    fn simple_kernel_runs() {
+        let mut gpu = Gpu::new(DeviceSpec::gt560m());
+        let buf = gpu.alloc::<i64>(10);
+        gpu.h2d(buf, &[1, 2, 3, 4, 5, 6, 7, 8, 9, 10]);
+        let stats = gpu.launch(&Double, LaunchConfig::cover(10, 4), &[buf.erased()]).unwrap();
+        assert_eq!(gpu.d2h(buf), vec![2, 4, 6, 8, 10, 12, 14, 16, 18, 20]);
+        assert_eq!(stats.threads, 12); // 3 blocks × 4
+        assert!(stats.timing.seconds > 0.0);
+        assert!(stats.total_cost.global_transactions >= 20);
+    }
+
+    /// Phase 0 writes shared; phase 1 reads it — barrier semantics.
+    struct BarrierSum;
+    impl Kernel for BarrierSum {
+        type Shared = Vec<i64>;
+        type ThreadState = ();
+        fn name(&self) -> &str {
+            "barrier_sum"
+        }
+        fn make_shared(&self, block: usize) -> Vec<i64> {
+            vec![0; block]
+        }
+        fn shared_mem_bytes(&self, block: usize) -> usize {
+            block * 8
+        }
+        fn num_phases(&self) -> usize {
+            2
+        }
+        fn phase(&self, p: usize, ctx: &mut ThreadCtx<'_>, sh: &mut Vec<i64>, _t: &mut ()) {
+            let buf = ctx.arg_buf(0);
+            match p {
+                0 => {
+                    // Each thread stages its value; thread 0 reads *everyone's*
+                    // value in phase 1, which is only safe past the barrier.
+                    let v: i64 = ctx.read(buf, ctx.global_id());
+                    sh[ctx.thread_idx] = v;
+                    ctx.charge_shared(1);
+                }
+                _ => {
+                    if ctx.thread_idx == 0 {
+                        let sum: i64 = sh.iter().sum();
+                        ctx.charge_shared(sh.len() as u64);
+                        ctx.write(buf, ctx.block_idx * ctx.block_dim, sum);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn barrier_makes_staged_values_visible() {
+        let mut gpu = Gpu::new(DeviceSpec::gt560m());
+        let buf = gpu.alloc::<i64>(4);
+        gpu.h2d(buf, &[1, 2, 3, 4]);
+        gpu.launch(&BarrierSum, LaunchConfig::linear(1, 4), &[buf.erased()]).unwrap();
+        assert_eq!(gpu.d2h(buf)[0], 10);
+    }
+
+    /// All threads write location 0 — an obvious data race.
+    struct Racy;
+    impl Kernel for Racy {
+        type Shared = ();
+        type ThreadState = ();
+        fn name(&self) -> &str {
+            "racy"
+        }
+        fn make_shared(&self, _b: usize) {}
+        fn phase(&self, _p: usize, ctx: &mut ThreadCtx<'_>, _s: &mut (), _t: &mut ()) {
+            let buf = ctx.arg_buf(0);
+            let id = ctx.global_id() as i64;
+            ctx.write(buf, 0, id);
+        }
+    }
+
+    #[test]
+    fn race_detection_catches_conflicting_writes() {
+        let mut gpu = Gpu::new(DeviceSpec::gt560m());
+        gpu.set_race_detection(true);
+        let buf = gpu.alloc::<i64>(1);
+        let err = gpu.launch(&Racy, LaunchConfig::linear(1, 4), &[buf.erased()]).unwrap_err();
+        assert!(matches!(err, LaunchError::DataRace(_)), "{err}");
+    }
+
+    #[test]
+    fn race_detection_allows_disjoint_writes() {
+        let mut gpu = Gpu::new(DeviceSpec::gt560m());
+        gpu.set_race_detection(true);
+        let buf = gpu.alloc::<i64>(8);
+        gpu.launch(&Double, LaunchConfig::linear(2, 4), &[buf.erased()]).unwrap();
+    }
+
+    /// Same-location atomic min from every thread — must not race and must
+    /// produce the true minimum.
+    struct AtomicMin;
+    impl Kernel for AtomicMin {
+        type Shared = ();
+        type ThreadState = ();
+        fn name(&self) -> &str {
+            "atomic_min"
+        }
+        fn make_shared(&self, _b: usize) {}
+        fn phase(&self, _p: usize, ctx: &mut ThreadCtx<'_>, _s: &mut (), _t: &mut ()) {
+            let values = ctx.arg_buf(0);
+            let out = ctx.arg_buf(1);
+            let v: i64 = ctx.read(values, ctx.global_id());
+            ctx.atomic_min_i64(out, 0, v);
+        }
+    }
+
+    #[test]
+    fn atomic_min_finds_minimum_without_race() {
+        let mut gpu = Gpu::new(DeviceSpec::gt560m());
+        gpu.set_race_detection(true);
+        let values = gpu.alloc::<i64>(8);
+        gpu.h2d(values, &[9, 4, 7, 1, 8, 2, 6, 3]);
+        let out = gpu.alloc::<i64>(1);
+        gpu.h2d(out, &[i64::MAX]);
+        let stats = gpu
+            .launch(&AtomicMin, LaunchConfig::linear(2, 4), &[values.erased(), out.erased()])
+            .unwrap();
+        assert_eq!(gpu.d2h(out)[0], 1);
+        assert_eq!(stats.total_cost.atomics, 8);
+    }
+
+    #[test]
+    fn launch_rejects_oversized_block() {
+        let mut gpu = Gpu::new(DeviceSpec::gt560m());
+        let buf = gpu.alloc::<i64>(1);
+        let err =
+            gpu.launch(&Double, LaunchConfig::linear(1, 2048), &[buf.erased()]).unwrap_err();
+        assert!(matches!(err, LaunchError::InvalidConfig(_)));
+    }
+
+    #[test]
+    fn constant_memory_limit_enforced() {
+        let mut gpu = Gpu::new(DeviceSpec::gt560m());
+        let big = vec![0i64; 9000]; // 72 KB > 64 KB
+        let err = gpu.alloc_const(&big).unwrap_err();
+        assert!(matches!(err, LaunchError::ConstantMemoryExceeded { .. }));
+        // A small region still fits afterwards.
+        assert!(gpu.alloc_const(&[1i64, 2, 3]).is_ok());
+    }
+
+    #[test]
+    fn transfers_are_profiled() {
+        let mut gpu = Gpu::new(DeviceSpec::gt560m());
+        let buf = gpu.alloc::<i64>(1000);
+        gpu.h2d(buf, &vec![0i64; 1000]);
+        let _ = gpu.d2h(buf);
+        assert!(gpu.profiler().transfer_seconds() > 0.0);
+        assert_eq!(gpu.profiler().events().len(), 2);
+        assert!(gpu.elapsed_modeled() > 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn out_of_bounds_read_panics() {
+        struct Oob;
+        impl Kernel for Oob {
+            type Shared = ();
+            type ThreadState = ();
+            fn name(&self) -> &str {
+                "oob"
+            }
+            fn make_shared(&self, _b: usize) {}
+            fn phase(&self, _p: usize, ctx: &mut ThreadCtx<'_>, _s: &mut (), _t: &mut ()) {
+                let buf = ctx.arg_buf(0);
+                let _: i64 = ctx.read(buf, 99);
+            }
+        }
+        let mut gpu = Gpu::new(DeviceSpec::gt560m());
+        let buf = gpu.alloc::<i64>(4);
+        let _ = gpu.launch(&Oob, LaunchConfig::linear(1, 1), &[buf.erased()]);
+    }
+
+    #[test]
+    fn rng_state_survives_round_trip_through_device_memory() {
+        struct RngStep;
+        impl Kernel for RngStep {
+            type Shared = ();
+            type ThreadState = ();
+            fn name(&self) -> &str {
+                "rng_step"
+            }
+            fn make_shared(&self, _b: usize) {}
+            fn phase(&self, _p: usize, ctx: &mut ThreadCtx<'_>, _s: &mut (), _t: &mut ()) {
+                let states = ctx.arg_buf(0);
+                let out = ctx.arg_buf(1);
+                let slot = ctx.global_id();
+                let mut rng = ctx.load_rng(states, slot);
+                let v = rng.next_u32() as i64;
+                ctx.write(out, slot, v);
+                ctx.store_rng(states, slot, &rng);
+            }
+        }
+        let mut gpu = Gpu::new(DeviceSpec::gt560m());
+        let states = gpu.alloc::<u64>(2 * 3);
+        let mut host_states = Vec::new();
+        for t in 0..2 {
+            host_states.extend(XorWow::new(99, t as u64).pack());
+        }
+        gpu.h2d(states, &host_states);
+        let out = gpu.alloc::<i64>(2);
+        gpu.launch(&RngStep, LaunchConfig::linear(1, 2), &[states.erased(), out.erased()])
+            .unwrap();
+        let first = gpu.d2h(out);
+        gpu.launch(&RngStep, LaunchConfig::linear(1, 2), &[states.erased(), out.erased()])
+            .unwrap();
+        let second = gpu.d2h(out);
+        // Host reference streams must match the device sequence.
+        for t in 0..2 {
+            let mut reference = XorWow::new(99, t as u64);
+            assert_eq!(first[t], reference.next_u32() as i64);
+            assert_eq!(second[t], reference.next_u32() as i64);
+        }
+    }
+}

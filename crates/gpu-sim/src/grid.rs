@@ -1,0 +1,164 @@
+//! Grid/block geometry and launch configurations.
+
+use crate::device::DeviceSpec;
+use std::fmt;
+
+/// A CUDA `dim3`: extents in x, y, z (all ≥ 1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Dim3 {
+    pub x: usize,
+    pub y: usize,
+    pub z: usize,
+}
+
+impl Dim3 {
+    /// One-dimensional extent `(n, 1, 1)` — the configuration the paper
+    /// uses for both grid and blocks ("linear configurations … to avoid
+    /// race-conditions").
+    pub fn linear(n: usize) -> Self {
+        Dim3 { x: n, y: 1, z: 1 }
+    }
+
+    /// Total element count `x·y·z`.
+    pub fn count(&self) -> usize {
+        self.x * self.y * self.z
+    }
+
+    /// Whether the extent is purely one-dimensional.
+    pub fn is_linear(&self) -> bool {
+        self.y == 1 && self.z == 1
+    }
+}
+
+impl fmt::Display for Dim3 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({}, {}, {})", self.x, self.y, self.z)
+    }
+}
+
+/// A kernel launch configuration `<<<grid, block>>>`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct LaunchConfig {
+    pub grid: Dim3,
+    pub block: Dim3,
+}
+
+impl LaunchConfig {
+    /// Linear launch: `blocks` blocks of `threads_per_block` threads — the
+    /// paper's `G = (⌈N/N_B⌉, 1, 1)`, `B = (N_B, 1, 1)`.
+    pub fn linear(blocks: usize, threads_per_block: usize) -> Self {
+        LaunchConfig { grid: Dim3::linear(blocks), block: Dim3::linear(threads_per_block) }
+    }
+
+    /// Linear launch covering an ensemble of `total` threads with the given
+    /// block size: grid = ⌈total / block⌉.
+    pub fn cover(total: usize, threads_per_block: usize) -> Self {
+        let blocks = total.div_ceil(threads_per_block).max(1);
+        Self::linear(blocks, threads_per_block)
+    }
+
+    /// Total number of threads in the launch.
+    pub fn total_threads(&self) -> usize {
+        self.grid.count() * self.block.count()
+    }
+
+    /// Number of blocks.
+    pub fn num_blocks(&self) -> usize {
+        self.grid.count()
+    }
+
+    /// Threads per block.
+    pub fn block_size(&self) -> usize {
+        self.block.count()
+    }
+
+    /// Warps per block on the given device (rounded up).
+    pub fn warps_per_block(&self, spec: &DeviceSpec) -> usize {
+        self.block_size().div_ceil(spec.warp_size)
+    }
+
+    /// Check hardware limits, returning a description of the violation.
+    pub fn validate(&self, spec: &DeviceSpec, shared_bytes: usize) -> Result<(), String> {
+        if self.grid.count() == 0 || self.block.count() == 0 {
+            return Err("grid and block extents must be >= 1".into());
+        }
+        if self.block.count() > spec.max_threads_per_block {
+            return Err(format!(
+                "block size {} exceeds device limit {}",
+                self.block.count(),
+                spec.max_threads_per_block
+            ));
+        }
+        if self.warps_per_block(spec) > spec.max_warps_per_sm {
+            return Err(format!(
+                "block needs {} warps, SM holds at most {}",
+                self.warps_per_block(spec),
+                spec.max_warps_per_sm
+            ));
+        }
+        if shared_bytes > spec.shared_mem_per_block {
+            return Err(format!(
+                "kernel requests {shared_bytes} B shared memory, device offers {}",
+                spec.shared_mem_per_block
+            ));
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for LaunchConfig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "<<<{}, {}>>>", self.grid, self.block)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn linear_counts() {
+        let c = LaunchConfig::linear(4, 192); // the paper's configuration
+        assert_eq!(c.total_threads(), 768);
+        assert_eq!(c.num_blocks(), 4);
+        assert_eq!(c.block_size(), 192);
+        assert!(c.grid.is_linear() && c.block.is_linear());
+        assert_eq!(c.warps_per_block(&DeviceSpec::gt560m()), 6);
+    }
+
+    #[test]
+    fn cover_rounds_up() {
+        assert_eq!(LaunchConfig::cover(768, 192).num_blocks(), 4);
+        assert_eq!(LaunchConfig::cover(769, 192).num_blocks(), 5);
+        assert_eq!(LaunchConfig::cover(1, 192).num_blocks(), 1);
+        assert_eq!(LaunchConfig::cover(0, 192).num_blocks(), 1);
+    }
+
+    #[test]
+    fn validate_enforces_block_limit() {
+        let spec = DeviceSpec::gt560m();
+        assert!(LaunchConfig::linear(1, 1024).validate(&spec, 0).is_ok());
+        let err = LaunchConfig::linear(1, 1025).validate(&spec, 0).unwrap_err();
+        assert!(err.contains("block size"));
+    }
+
+    #[test]
+    fn validate_enforces_shared_limit() {
+        let spec = DeviceSpec::gt560m();
+        let err = LaunchConfig::linear(1, 64).validate(&spec, 1 << 20).unwrap_err();
+        assert!(err.contains("shared memory"));
+    }
+
+    #[test]
+    fn validate_rejects_empty() {
+        let spec = DeviceSpec::gt560m();
+        let cfg = LaunchConfig { grid: Dim3 { x: 0, y: 1, z: 1 }, block: Dim3::linear(32) };
+        assert!(cfg.validate(&spec, 0).is_err());
+    }
+
+    #[test]
+    fn display_formats_cuda_style() {
+        let c = LaunchConfig::linear(4, 192);
+        assert_eq!(c.to_string(), "<<<(4, 1, 1), (192, 1, 1)>>>");
+    }
+}

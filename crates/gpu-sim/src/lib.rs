@@ -1,0 +1,71 @@
+//! # cuda-sim
+//!
+//! A **CUDA execution-model simulator**: the substrate that stands in for
+//! the paper's NVIDIA GT 560M + CUDA runtime in this reproduction (no GPU is
+//! available — see DESIGN.md §2).
+//!
+//! The simulator reproduces the *semantics* the paper's algorithms rely on
+//! and *models* the timing its evaluation reports:
+//!
+//! * **Execution semantics (exact):** grid/block/thread hierarchy, linear
+//!   launch configurations, per-block shared memory, constant memory with
+//!   broadcast reads, `__syncthreads` barriers (kernels are phase-structured:
+//!   every thread of a block finishes phase *p* before any enters *p+1*),
+//!   global-memory reads/writes with optional data-race detection, atomic
+//!   operations, and per-thread XORWOW random streams (the cuRAND default
+//!   generator).
+//! * **Performance model (analytic):** per-thread cost counters (ALU,
+//!   special-function, global transactions, shared accesses, atomics) are
+//!   aggregated per warp (lockstep: a warp pays the maximum of its lanes),
+//!   then per block and per SM under a roofline rule
+//!   (`max(compute, memory)`), with blocks distributed round-robin over the
+//!   SMs, plus fixed kernel-launch and PCIe transfer overheads. The model
+//!   yields *modeled seconds* with the qualitative behaviour the paper
+//!   describes: oversubscribed blocks serialize on SMs, small kernels are
+//!   dominated by launch/transfer overhead, and memory-heavy kernels are
+//!   bandwidth-bound.
+//!
+//! Blocks are *executed* sequentially on the host (the evaluation host has a
+//! single CPU core); all parallel timing comes from the model, and
+//! `EXPERIMENTS.md` labels every GPU time as modeled.
+//!
+//! ```
+//! use cuda_sim::{DeviceSpec, Gpu, Kernel, LaunchConfig, ThreadCtx};
+//!
+//! struct AddOne;
+//! impl Kernel for AddOne {
+//!     type Shared = ();
+//!     type ThreadState = ();
+//!     fn name(&self) -> &str { "add_one" }
+//!     fn make_shared(&self, _block_dim: usize) -> () {}
+//!     fn phase(&self, _p: usize, ctx: &mut ThreadCtx<'_>, _s: &mut (), _t: &mut ()) {
+//!         let buf = ctx.arg_buf(0);
+//!         let gid = ctx.global_id();
+//!         let v: i64 = ctx.read(buf, gid);
+//!         ctx.write(buf, gid, v + 1);
+//!     }
+//! }
+//!
+//! let mut gpu = Gpu::new(DeviceSpec::gt560m());
+//! let buf = gpu.alloc::<i64>(8);
+//! gpu.h2d(buf, &[0i64, 1, 2, 3, 4, 5, 6, 7]);
+//! gpu.launch(&AddOne, LaunchConfig::linear(2, 4), &[buf.erased()]).unwrap();
+//! assert_eq!(gpu.d2h(buf), vec![1i64, 2, 3, 4, 5, 6, 7, 8]);
+//! ```
+
+pub mod cost;
+pub mod device;
+pub mod engine;
+pub mod grid;
+pub mod memory;
+pub mod profiler;
+pub mod reduce;
+pub mod rng;
+
+pub use cost::{CostCounter, KernelTiming};
+pub use device::DeviceSpec;
+pub use engine::{Gpu, Kernel, LaunchError, LaunchStats, ThreadCtx};
+pub use grid::{Dim3, LaunchConfig};
+pub use memory::{Buf, ConstBuf, ErasedBuf};
+pub use profiler::{Profiler, TimelineEvent};
+pub use rng::XorWow;

@@ -1,0 +1,194 @@
+//! The simulator's profiler: a timeline of kernel launches and transfers
+//! with modeled durations (the stand-in for the "Nvidia CUDA profiler" the
+//! paper used to tune its implementation).
+
+use crate::cost::CostCounter;
+use crate::grid::LaunchConfig;
+use std::fmt::Write as _;
+
+/// Direction of a host↔device copy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TransferDir {
+    /// Host → device (`cudaMemcpyHostToDevice`).
+    HostToDevice,
+    /// Device → host (`cudaMemcpyDeviceToHost`).
+    DeviceToHost,
+}
+
+/// One profiled event.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TimelineEvent {
+    /// A kernel launch.
+    Kernel {
+        /// Kernel name.
+        name: String,
+        /// Launch configuration.
+        config: LaunchConfig,
+        /// Modeled duration, seconds.
+        seconds: f64,
+        /// Device-wide aggregated cost.
+        total_cost: CostCounter,
+    },
+    /// A host↔device transfer.
+    Transfer {
+        /// Copy direction.
+        dir: TransferDir,
+        /// Payload size.
+        bytes: usize,
+        /// Modeled duration, seconds.
+        seconds: f64,
+    },
+}
+
+impl TimelineEvent {
+    /// Modeled duration of the event, seconds.
+    pub fn seconds(&self) -> f64 {
+        match self {
+            TimelineEvent::Kernel { seconds, .. } => *seconds,
+            TimelineEvent::Transfer { seconds, .. } => *seconds,
+        }
+    }
+}
+
+/// Accumulating timeline of one simulated device.
+#[derive(Debug, Clone, Default)]
+pub struct Profiler {
+    events: Vec<TimelineEvent>,
+}
+
+impl Profiler {
+    /// Empty timeline.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub(crate) fn push(&mut self, e: TimelineEvent) {
+        self.events.push(e);
+    }
+
+    /// All recorded events, in order.
+    pub fn events(&self) -> &[TimelineEvent] {
+        &self.events
+    }
+
+    /// Total modeled device time (kernels + transfers), seconds. The paper's
+    /// speed-ups "incorporate all the memory transfers between the host and
+    /// the device", so this is the number the benches report.
+    pub fn total_seconds(&self) -> f64 {
+        self.events.iter().map(|e| e.seconds()).sum()
+    }
+
+    /// Modeled seconds spent in kernels only.
+    pub fn kernel_seconds(&self) -> f64 {
+        self.events
+            .iter()
+            .filter(|e| matches!(e, TimelineEvent::Kernel { .. }))
+            .map(|e| e.seconds())
+            .sum()
+    }
+
+    /// Modeled seconds spent in transfers only.
+    pub fn transfer_seconds(&self) -> f64 {
+        self.events
+            .iter()
+            .filter(|e| matches!(e, TimelineEvent::Transfer { .. }))
+            .map(|e| e.seconds())
+            .sum()
+    }
+
+    /// Number of kernel launches recorded.
+    pub fn kernel_launches(&self) -> usize {
+        self.events.iter().filter(|e| matches!(e, TimelineEvent::Kernel { .. })).count()
+    }
+
+    /// Drop all events (start a new measurement window).
+    pub fn reset(&mut self) {
+        self.events.clear();
+    }
+
+    /// Per-kernel-name summary table (launch count, total modeled ms),
+    /// rendered as text.
+    pub fn summary(&self) -> String {
+        use std::collections::BTreeMap;
+        let mut per_kernel: BTreeMap<&str, (usize, f64)> = BTreeMap::new();
+        let mut transfers = (0usize, 0usize, 0.0f64);
+        for e in &self.events {
+            match e {
+                TimelineEvent::Kernel { name, seconds, .. } => {
+                    let entry = per_kernel.entry(name).or_default();
+                    entry.0 += 1;
+                    entry.1 += seconds;
+                }
+                TimelineEvent::Transfer { bytes, seconds, .. } => {
+                    transfers.0 += 1;
+                    transfers.1 += bytes;
+                    transfers.2 += seconds;
+                }
+            }
+        }
+        let mut out = String::from("kernel                      launches   modeled-ms\n");
+        for (name, (count, secs)) in &per_kernel {
+            writeln!(out, "{name:<28}{count:>8}   {:>10.3}", secs * 1e3)
+                .expect("writing to String cannot fail");
+        }
+        writeln!(
+            out,
+            "transfers: {} copies, {} bytes, {:.3} ms",
+            transfers.0,
+            transfers.1,
+            transfers.2 * 1e3
+        )
+        .expect("writing to String cannot fail");
+        writeln!(out, "total modeled time: {:.3} ms", self.total_seconds() * 1e3)
+            .expect("writing to String cannot fail");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kernel_event(name: &str, secs: f64) -> TimelineEvent {
+        TimelineEvent::Kernel {
+            name: name.into(),
+            config: LaunchConfig::linear(1, 32),
+            seconds: secs,
+            total_cost: CostCounter::default(),
+        }
+    }
+
+    #[test]
+    fn totals_split_by_kind() {
+        let mut p = Profiler::new();
+        p.push(kernel_event("fitness", 0.002));
+        p.push(TimelineEvent::Transfer { dir: TransferDir::HostToDevice, bytes: 64, seconds: 0.001 });
+        p.push(kernel_event("reduce", 0.003));
+        assert!((p.total_seconds() - 0.006).abs() < 1e-12);
+        assert!((p.kernel_seconds() - 0.005).abs() < 1e-12);
+        assert!((p.transfer_seconds() - 0.001).abs() < 1e-12);
+        assert_eq!(p.kernel_launches(), 2);
+        assert_eq!(p.events().len(), 3);
+    }
+
+    #[test]
+    fn summary_mentions_each_kernel() {
+        let mut p = Profiler::new();
+        p.push(kernel_event("fitness", 0.002));
+        p.push(kernel_event("fitness", 0.002));
+        p.push(kernel_event("perturb", 0.001));
+        let s = p.summary();
+        assert!(s.contains("fitness"));
+        assert!(s.contains("perturb"));
+        assert!(s.contains("total modeled time"));
+    }
+
+    #[test]
+    fn reset_clears() {
+        let mut p = Profiler::new();
+        p.push(kernel_event("k", 1.0));
+        p.reset();
+        assert_eq!(p.total_seconds(), 0.0);
+        assert!(p.events().is_empty());
+    }
+}

@@ -1,0 +1,163 @@
+//! Reduction utilities: the paper's fourth kernel finds the ensemble-best
+//! solution with an atomic minimization; this module provides that kernel
+//! plus a host-side helper for (value, index) argmin reductions.
+
+use crate::engine::{Gpu, Kernel, LaunchError, ThreadCtx};
+use crate::grid::LaunchConfig;
+use crate::memory::Buf;
+
+/// Kernel: `atomicMin(out[0], values[gid])` over all threads — the paper's
+/// reduction kernel ("the minimal value among all the threads is calculated
+/// by performing an atomic minimization function").
+pub struct AtomicMinKernel {
+    /// Fitness values, one per thread.
+    pub values: Buf<i64>,
+    /// Single-element output; must be pre-seeded with `i64::MAX`.
+    pub out: Buf<i64>,
+}
+
+impl Kernel for AtomicMinKernel {
+    type Shared = ();
+    type ThreadState = ();
+
+    fn name(&self) -> &str {
+        "reduce_atomic_min"
+    }
+
+    fn make_shared(&self, _block_dim: usize) {}
+
+    fn phase(&self, _p: usize, ctx: &mut ThreadCtx<'_>, _s: &mut (), _t: &mut ()) {
+        let gid = ctx.global_id();
+        if gid < self.values.len() {
+            let v = ctx.read(self.values, gid);
+            ctx.atomic_min_i64(self.out, 0, v);
+        }
+    }
+}
+
+/// Kernel: argmin via `atomicMin` on a packed `(value << 20 | index)` key.
+///
+/// Packing keeps the reduction a single atomic (as on real hardware, where a
+/// 64-bit `atomicMin` over value-major packed keys is the standard argmin
+/// trick). Requires `index < 2^20` threads and `|value| < 2^42`; both hold
+/// for every experiment in the paper (≤ 4096 threads, objectives ≤ 10⁹).
+pub struct AtomicArgminKernel {
+    /// Fitness values, one per thread.
+    pub values: Buf<i64>,
+    /// Single-element packed output; pre-seed with `i64::MAX`.
+    pub out: Buf<i64>,
+}
+
+/// Bits reserved for the index in the packed argmin key.
+pub const ARGMIN_INDEX_BITS: u32 = 20;
+
+/// Pack a `(value, index)` pair into an order-preserving i64 key.
+pub fn pack_argmin(value: i64, index: usize) -> i64 {
+    debug_assert!(index < (1 << ARGMIN_INDEX_BITS));
+    debug_assert!(value.unsigned_abs() < (1 << (62 - ARGMIN_INDEX_BITS)));
+    (value << ARGMIN_INDEX_BITS) | index as i64
+}
+
+/// Invert [`pack_argmin`].
+pub fn unpack_argmin(key: i64) -> (i64, usize) {
+    (key >> ARGMIN_INDEX_BITS, (key & ((1 << ARGMIN_INDEX_BITS) - 1)) as usize)
+}
+
+impl Kernel for AtomicArgminKernel {
+    type Shared = ();
+    type ThreadState = ();
+
+    fn name(&self) -> &str {
+        "reduce_atomic_argmin"
+    }
+
+    fn make_shared(&self, _block_dim: usize) {}
+
+    fn phase(&self, _p: usize, ctx: &mut ThreadCtx<'_>, _s: &mut (), _t: &mut ()) {
+        let gid = ctx.global_id();
+        if gid < self.values.len() {
+            let v = ctx.read(self.values, gid);
+            ctx.charge_alu(2); // shift + or
+            ctx.atomic_min_i64(self.out, 0, pack_argmin(v, gid));
+        }
+    }
+}
+
+/// Host-side convenience: run the argmin reduction over `values` and return
+/// `(min value, index)`. Allocates and seeds the output buffer.
+pub fn device_argmin(
+    gpu: &mut Gpu,
+    values: Buf<i64>,
+    block_size: usize,
+) -> Result<(i64, usize), LaunchError> {
+    let out = gpu.alloc::<i64>(1);
+    gpu.h2d(out, &[i64::MAX]);
+    let kernel = AtomicArgminKernel { values, out };
+    gpu.launch(&kernel, LaunchConfig::cover(values.len(), block_size), &[])?;
+    let key = gpu.d2h(out)[0];
+    Ok(unpack_argmin(key))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::device::DeviceSpec;
+
+    #[test]
+    fn pack_preserves_order() {
+        // Smaller value always wins regardless of index.
+        assert!(pack_argmin(5, 999) < pack_argmin(6, 0));
+        // Ties break toward the smaller index (deterministic).
+        assert!(pack_argmin(5, 3) < pack_argmin(5, 7));
+        // Negative values order correctly.
+        assert!(pack_argmin(-10, 0) < pack_argmin(-9, 0));
+        assert!(pack_argmin(-10, 5) < pack_argmin(0, 0));
+    }
+
+    #[test]
+    fn unpack_inverts_pack() {
+        for (v, i) in [(0i64, 0usize), (123, 45), (-7, 1023), (1 << 30, 99)] {
+            assert_eq!(unpack_argmin(pack_argmin(v, i)), (v, i));
+        }
+    }
+
+    #[test]
+    fn atomic_min_kernel_reduces() {
+        let mut gpu = Gpu::new(DeviceSpec::gt560m());
+        let values = gpu.alloc::<i64>(100);
+        let host: Vec<i64> = (0..100).map(|i| ((i * 37) % 91) as i64 + 5).collect();
+        gpu.h2d(values, &host);
+        let out = gpu.alloc::<i64>(1);
+        gpu.h2d(out, &[i64::MAX]);
+        gpu.launch(
+            &AtomicMinKernel { values, out },
+            LaunchConfig::cover(100, 32),
+            &[],
+        )
+        .unwrap();
+        assert_eq!(gpu.d2h(out)[0], *host.iter().min().unwrap());
+    }
+
+    #[test]
+    fn device_argmin_matches_host() {
+        let mut gpu = Gpu::new(DeviceSpec::gt560m());
+        let values = gpu.alloc::<i64>(768);
+        let host: Vec<i64> = (0..768).map(|i| (((i * 7919) % 4093) as i64) - 50).collect();
+        gpu.h2d(values, &host);
+        let (v, idx) = device_argmin(&mut gpu, values, 192).unwrap();
+        let host_min = *host.iter().min().unwrap();
+        assert_eq!(v, host_min);
+        assert_eq!(host[idx], host_min);
+    }
+
+    #[test]
+    fn argmin_with_race_detection_is_clean() {
+        let mut gpu = Gpu::new(DeviceSpec::gt560m());
+        gpu.set_race_detection(true);
+        let values = gpu.alloc::<i64>(64);
+        gpu.h2d(values, &(0..64).map(|i| 100 - i as i64).collect::<Vec<_>>());
+        let (v, idx) = device_argmin(&mut gpu, values, 32).unwrap();
+        assert_eq!(v, 37);
+        assert_eq!(idx, 63);
+    }
+}

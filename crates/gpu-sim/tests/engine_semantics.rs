@@ -1,0 +1,246 @@
+//! Integration tests of the simulator's execution semantics: bulk memory
+//! operations, barrier ordering, cross-block race detection, and the
+//! monotonicity of the performance model.
+
+use cuda_sim::{DeviceSpec, Gpu, Kernel, LaunchConfig, LaunchError, ThreadCtx};
+
+/// Reverses its row via bulk read + bulk write.
+struct RowReverse {
+    n: usize,
+}
+impl Kernel for RowReverse {
+    type Shared = ();
+    type ThreadState = Vec<i64>;
+    fn name(&self) -> &str {
+        "row_reverse"
+    }
+    fn make_shared(&self, _b: usize) {}
+    fn phase(&self, _p: usize, ctx: &mut ThreadCtx<'_>, _s: &mut (), row: &mut Vec<i64>) {
+        let buf = ctx.arg_buf(0);
+        let gid = ctx.global_id();
+        row.resize(self.n, 0);
+        ctx.read_slice_into::<i64>(buf, gid * self.n, row);
+        row.reverse();
+        ctx.write_slice::<i64>(buf, gid * self.n, row);
+    }
+}
+
+#[test]
+fn bulk_read_write_round_trip() {
+    let mut gpu = Gpu::new(DeviceSpec::gt560m());
+    gpu.set_race_detection(true);
+    let n = 5;
+    let buf = gpu.alloc::<i64>(4 * n);
+    let data: Vec<i64> = (0..20).collect();
+    gpu.h2d(buf, &data);
+    let stats = gpu
+        .launch(&RowReverse { n }, LaunchConfig::linear(2, 2), &[buf.erased()])
+        .unwrap();
+    let out = gpu.d2h(buf);
+    assert_eq!(&out[..5], &[4, 3, 2, 1, 0]);
+    assert_eq!(&out[15..], &[19, 18, 17, 16, 15]);
+    // Bulk ops charge per element: 4 threads × (5 reads + 5 writes).
+    assert_eq!(stats.total_cost.global_transactions, 4 * 10);
+}
+
+/// Thread 0 copies row 0 → row 1 with `copy_row`.
+struct CopyFirstRow {
+    n: usize,
+}
+impl Kernel for CopyFirstRow {
+    type Shared = ();
+    type ThreadState = ();
+    fn name(&self) -> &str {
+        "copy_first_row"
+    }
+    fn make_shared(&self, _b: usize) {}
+    fn phase(&self, _p: usize, ctx: &mut ThreadCtx<'_>, _s: &mut (), _t: &mut ()) {
+        if ctx.global_id() == 0 {
+            let src = ctx.arg_buf(0);
+            let dst = ctx.arg_buf(1);
+            ctx.copy_row::<i64>(src, 0, dst, self.n, self.n);
+        }
+    }
+}
+
+#[test]
+fn copy_row_across_and_within_buffers() {
+    let mut gpu = Gpu::new(DeviceSpec::gt560m());
+    let a = gpu.alloc::<i64>(6);
+    gpu.h2d(a, &[7, 8, 9, 0, 0, 0]);
+    let b = gpu.alloc::<i64>(6);
+    // Across buffers (a → b, offset 3).
+    gpu.launch(&CopyFirstRow { n: 3 }, LaunchConfig::linear(1, 1), &[a.erased(), b.erased()])
+        .unwrap();
+    assert_eq!(gpu.d2h(b), vec![0, 0, 0, 7, 8, 9]);
+    // Within one buffer (a → a, offset 3).
+    gpu.launch(&CopyFirstRow { n: 3 }, LaunchConfig::linear(1, 1), &[a.erased(), a.erased()])
+        .unwrap();
+    assert_eq!(gpu.d2h(a), vec![7, 8, 9, 7, 8, 9]);
+}
+
+/// Block 0 writes location 0 in phase 0; block 1 reads it in phase 1.
+/// Phases only order threads *within* a block — this is a true CUDA race.
+struct CrossBlockRace;
+impl Kernel for CrossBlockRace {
+    type Shared = ();
+    type ThreadState = ();
+    fn name(&self) -> &str {
+        "cross_block_race"
+    }
+    fn make_shared(&self, _b: usize) {}
+    fn num_phases(&self) -> usize {
+        2
+    }
+    fn phase(&self, p: usize, ctx: &mut ThreadCtx<'_>, _s: &mut (), _t: &mut ()) {
+        let buf = ctx.arg_buf(0);
+        if p == 0 && ctx.block_idx == 0 && ctx.thread_idx == 0 {
+            ctx.write(buf, 0, 1i64);
+        }
+        if p == 1 && ctx.block_idx == 1 && ctx.thread_idx == 0 {
+            let _: i64 = ctx.read(buf, 0);
+        }
+    }
+}
+
+#[test]
+fn cross_block_access_is_a_race_even_across_phases() {
+    let mut gpu = Gpu::new(DeviceSpec::gt560m());
+    gpu.set_race_detection(true);
+    let buf = gpu.alloc::<i64>(1);
+    let err = gpu
+        .launch(&CrossBlockRace, LaunchConfig::linear(2, 1), &[buf.erased()])
+        .unwrap_err();
+    assert!(matches!(err, LaunchError::DataRace(_)), "{err}");
+}
+
+/// Same pattern within ONE block: phase 0 write, phase 1 read by another
+/// thread — ordered by the barrier, NOT a race.
+struct BarrierOrdered;
+impl Kernel for BarrierOrdered {
+    type Shared = ();
+    type ThreadState = ();
+    fn name(&self) -> &str {
+        "barrier_ordered"
+    }
+    fn make_shared(&self, _b: usize) {}
+    fn num_phases(&self) -> usize {
+        2
+    }
+    fn phase(&self, p: usize, ctx: &mut ThreadCtx<'_>, _s: &mut (), _t: &mut ()) {
+        let buf = ctx.arg_buf(0);
+        if p == 0 && ctx.thread_idx == 0 {
+            ctx.write(buf, 0, 42i64);
+        }
+        if p == 1 && ctx.thread_idx == 1 {
+            let v: i64 = ctx.read(buf, 0);
+            ctx.write(buf, 1, v + 1);
+        }
+    }
+}
+
+#[test]
+fn barrier_ordered_accesses_are_not_a_race() {
+    let mut gpu = Gpu::new(DeviceSpec::gt560m());
+    gpu.set_race_detection(true);
+    let buf = gpu.alloc::<i64>(2);
+    gpu.launch(&BarrierOrdered, LaunchConfig::linear(1, 2), &[buf.erased()]).unwrap();
+    assert_eq!(gpu.d2h(buf), vec![42, 43]);
+}
+
+/// A memory-heavy kernel models slower than a light one; doubling work at
+/// least doubles neither nothing — monotone model sanity.
+struct Toucher {
+    reads_per_thread: usize,
+}
+impl Kernel for Toucher {
+    type Shared = ();
+    type ThreadState = ();
+    fn name(&self) -> &str {
+        "toucher"
+    }
+    fn make_shared(&self, _b: usize) {}
+    fn phase(&self, _p: usize, ctx: &mut ThreadCtx<'_>, _s: &mut (), _t: &mut ()) {
+        let buf = ctx.arg_buf(0);
+        for i in 0..self.reads_per_thread {
+            let _: i64 = ctx.read(buf, i % buf.len());
+        }
+    }
+}
+
+#[test]
+fn model_time_grows_with_work() {
+    let mut gpu = Gpu::new(DeviceSpec::gt560m());
+    let buf = gpu.alloc::<i64>(64);
+    let cfg = LaunchConfig::linear(4, 32);
+    let light = gpu.launch(&Toucher { reads_per_thread: 10 }, cfg, &[buf.erased()]).unwrap();
+    let heavy = gpu.launch(&Toucher { reads_per_thread: 1000 }, cfg, &[buf.erased()]).unwrap();
+    assert!(heavy.timing.seconds > light.timing.seconds);
+    // 100× the traffic → at least 10× the kernel-only cycle count.
+    assert!(heavy.timing.critical_sm_cycles > 10.0 * light.timing.critical_sm_cycles);
+}
+
+/// Reads its whole argument either through the plain global path or the
+/// texture path (the paper's future-work proposal).
+struct PathReader {
+    use_texture: bool,
+}
+impl Kernel for PathReader {
+    type Shared = ();
+    type ThreadState = ();
+    fn name(&self) -> &str {
+        "path_reader"
+    }
+    fn make_shared(&self, _b: usize) {}
+    fn phase(&self, _p: usize, ctx: &mut ThreadCtx<'_>, _s: &mut (), _t: &mut ()) {
+        let buf = ctx.arg_buf(0);
+        for i in 0..buf.len() {
+            if self.use_texture {
+                let _: i64 = ctx.read_texture(buf, i);
+            } else {
+                let _: i64 = ctx.read(buf, i);
+            }
+        }
+    }
+}
+
+/// The texture path returns identical data but models faster for read-only
+/// sweeps (spatial cache amortization) — quantifying the paper's
+/// future-work suggestion.
+#[test]
+fn texture_path_is_faster_for_read_only_sweeps() {
+    let mut gpu = Gpu::new(DeviceSpec::gt560m());
+    gpu.set_race_detection(true);
+    let buf = gpu.alloc::<i64>(2048);
+    gpu.h2d(buf, &(0..2048).collect::<Vec<i64>>());
+    let cfg = LaunchConfig::linear(4, 64);
+    let plain = gpu.launch(&PathReader { use_texture: false }, cfg, &[buf.erased()]).unwrap();
+    let tex = gpu.launch(&PathReader { use_texture: true }, cfg, &[buf.erased()]).unwrap();
+    assert_eq!(plain.total_cost.global_transactions, 256 * 2048);
+    assert_eq!(tex.total_cost.texture_reads, 256 * 2048);
+    assert!(
+        tex.timing.critical_sm_cycles < plain.timing.critical_sm_cycles,
+        "texture {} !< global {}",
+        tex.timing.critical_sm_cycles,
+        plain.timing.critical_sm_cycles
+    );
+}
+
+#[test]
+fn d2h_range_fetches_exact_window() {
+    let mut gpu = Gpu::new(DeviceSpec::gt560m());
+    let buf = gpu.alloc::<i64>(10);
+    gpu.h2d(buf, &(0..10).collect::<Vec<i64>>());
+    let before = gpu.profiler().transfer_seconds();
+    let win = gpu.d2h_range(buf, 3, 4);
+    assert_eq!(win, vec![3, 4, 5, 6]);
+    assert!(gpu.profiler().transfer_seconds() > before);
+}
+
+#[test]
+#[should_panic(expected = "out of bounds")]
+fn d2h_range_checks_bounds() {
+    let mut gpu = Gpu::new(DeviceSpec::gt560m());
+    let buf = gpu.alloc::<i64>(4);
+    let _ = gpu.d2h_range(buf, 2, 3);
+}

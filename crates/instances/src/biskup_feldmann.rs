@@ -1,0 +1,149 @@
+//! Deterministic re-generation of the Biskup–Feldmann OR-library job data.
+//!
+//! Every instance is identified by `(n, k)` — job count and instance number
+//! `1..=10` — exactly as in the OR-library files `sch<n>.dat`. The job data
+//! is independent of the restrictive factor `h`; the due date
+//! `d = ⌊h · Σ Pᵢ⌋` is applied when materializing a [`cdd_core::Instance`].
+//!
+//! Generation is fully deterministic: the RNG is seeded from `(n, k)` with a
+//! SplitMix64 hash, so every crate in the workspace sees identical data for
+//! the same identifier, across runs and platforms.
+
+use cdd_core::{Instance, Time};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Published distribution bounds of the benchmark set.
+pub const PROCESSING_RANGE: (Time, Time) = (1, 20);
+/// Earliness penalty rate bounds.
+pub const EARLINESS_RANGE: (Time, Time) = (1, 10);
+/// Tardiness penalty rate bounds.
+pub const TARDINESS_RANGE: (Time, Time) = (1, 15);
+
+/// The `h`-independent part of a benchmark instance: raw per-job data.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RawJobData {
+    /// Job count `n`.
+    pub n: usize,
+    /// Instance number `k ∈ 1..=10` within its size class.
+    pub k: u32,
+    /// Processing times `Pᵢ`.
+    pub processing: Vec<Time>,
+    /// Earliness penalty rates `αᵢ`.
+    pub earliness: Vec<Time>,
+    /// Tardiness penalty rates `βᵢ`.
+    pub tardiness: Vec<Time>,
+}
+
+impl RawJobData {
+    /// `Σ Pᵢ`.
+    pub fn total_processing(&self) -> Time {
+        self.processing.iter().sum()
+    }
+
+    /// Materialize a CDD instance with due date `d = ⌊h · Σ Pᵢ⌋`.
+    pub fn with_restrictive_factor(&self, h: f64) -> Instance {
+        let d = (self.total_processing() as f64 * h).floor() as Time;
+        Instance::cdd_from_arrays(&self.processing, &self.earliness, &self.tardiness, d)
+            .expect("generated data is valid")
+    }
+}
+
+/// SplitMix64 — stable across platforms, used to derive per-instance seeds.
+pub(crate) fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e3779b97f4a7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+    z ^ (z >> 31)
+}
+
+pub(crate) fn instance_seed(domain: u64, n: usize, k: u32) -> u64 {
+    splitmix64(domain ^ splitmix64((n as u64) << 32 | k as u64))
+}
+
+/// Generate the raw (h-independent) job data of benchmark instance `(n, k)`.
+///
+/// # Panics
+/// Panics if `n == 0` or `k` is outside `1..=10` (the benchmark defines ten
+/// instances per size; relaxing this would silently leave the published
+/// suite).
+pub fn raw_job_data(n: usize, k: u32) -> RawJobData {
+    assert!(n >= 1, "instance must have at least one job");
+    assert!((1..=10).contains(&k), "instance number k must be in 1..=10, got {k}");
+    let mut rng = StdRng::seed_from_u64(instance_seed(0xB15C0F_FE1D, n, k));
+    let processing = (0..n).map(|_| rng.gen_range(PROCESSING_RANGE.0..=PROCESSING_RANGE.1)).collect();
+    let earliness = (0..n).map(|_| rng.gen_range(EARLINESS_RANGE.0..=EARLINESS_RANGE.1)).collect();
+    let tardiness = (0..n).map(|_| rng.gen_range(TARDINESS_RANGE.0..=TARDINESS_RANGE.1)).collect();
+    RawJobData { n, k, processing, earliness, tardiness }
+}
+
+/// Generate CDD benchmark instance `(n, k, h)`.
+pub fn cdd_instance(n: usize, k: u32, h: f64) -> Instance {
+    raw_job_data(n, k).with_restrictive_factor(h)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = raw_job_data(50, 3);
+        let b = raw_job_data(50, 3);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_ids_differ() {
+        assert_ne!(raw_job_data(50, 3), raw_job_data(50, 4));
+        assert_ne!(raw_job_data(50, 3).processing, raw_job_data(100, 3).processing[..50]);
+    }
+
+    #[test]
+    fn data_respects_published_ranges() {
+        for k in 1..=10 {
+            let raw = raw_job_data(100, k);
+            assert!(raw.processing.iter().all(|&p| (1..=20).contains(&p)));
+            assert!(raw.earliness.iter().all(|&a| (1..=10).contains(&a)));
+            assert!(raw.tardiness.iter().all(|&b| (1..=15).contains(&b)));
+        }
+    }
+
+    #[test]
+    fn due_date_follows_restrictive_factor() {
+        let raw = raw_job_data(20, 1);
+        let total = raw.total_processing();
+        for h in [0.2, 0.4, 0.6, 0.8] {
+            let inst = raw.with_restrictive_factor(h);
+            assert_eq!(inst.due_date(), (total as f64 * h).floor() as i64);
+            assert_eq!(inst.n(), 20);
+        }
+    }
+
+    #[test]
+    fn same_jobs_across_h_values() {
+        let i1 = cdd_instance(10, 2, 0.2);
+        let i2 = cdd_instance(10, 2, 0.8);
+        assert_eq!(i1.jobs(), i2.jobs());
+        assert!(i1.due_date() < i2.due_date());
+    }
+
+    #[test]
+    #[should_panic(expected = "k must be in 1..=10")]
+    fn k_out_of_range_rejected() {
+        raw_job_data(10, 11);
+    }
+
+    #[test]
+    fn seeds_are_well_spread() {
+        // Adjacent identifiers must not collide (sanity check on the hash).
+        let mut seeds: Vec<u64> = Vec::new();
+        for n in [10usize, 20, 50] {
+            for k in 1..=10 {
+                seeds.push(instance_seed(0xB15C0F_FE1D, n, k));
+            }
+        }
+        let unique: std::collections::HashSet<_> = seeds.iter().collect();
+        assert_eq!(unique.len(), seeds.len());
+    }
+}

@@ -1,0 +1,164 @@
+//! Enumeration of the paper's benchmark suites.
+
+use crate::{biskup_feldmann, ucddcp_gen};
+use cdd_core::Instance;
+use std::fmt;
+
+/// Job sizes evaluated in the paper (Tables II–V).
+pub const PAPER_SIZES: [usize; 7] = [10, 20, 50, 100, 200, 500, 1000];
+
+/// Restrictive factors of the OR-library benchmark.
+pub const PAPER_H_VALUES: [f64; 4] = [0.2, 0.4, 0.6, 0.8];
+
+/// Instances per `(n, h)` class in the OR-library benchmark.
+pub const INSTANCES_PER_CLASS: u32 = 10;
+
+/// Identifier of one benchmark instance.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct InstanceId {
+    /// Job count.
+    pub n: usize,
+    /// Instance number within the size class (`1..=10`).
+    pub k: u32,
+    /// Restrictive factor (`None` for UCDDCP — its due date is generated,
+    /// not derived from `h`).
+    pub h: Option<f64>,
+}
+
+impl InstanceId {
+    /// CDD identifier `(n, k, h)`.
+    pub fn cdd(n: usize, k: u32, h: f64) -> Self {
+        InstanceId { n, k, h: Some(h) }
+    }
+
+    /// UCDDCP identifier `(n, k)`.
+    pub fn ucddcp(n: usize, k: u32) -> Self {
+        InstanceId { n, k, h: None }
+    }
+
+    /// Materialize the instance.
+    pub fn instantiate(&self) -> Instance {
+        match self.h {
+            Some(h) => biskup_feldmann::cdd_instance(self.n, self.k, h),
+            None => ucddcp_gen::ucddcp_instance(self.n, self.k),
+        }
+    }
+}
+
+impl fmt::Display for InstanceId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.h {
+            Some(h) => write!(f, "cdd-n{}-k{}-h{:.1}", self.n, self.k, h),
+            None => write!(f, "ucddcp-n{}-k{}", self.n, self.k),
+        }
+    }
+}
+
+/// A set of benchmark instances (one evaluation campaign).
+#[derive(Debug, Clone)]
+pub struct Suite {
+    /// Human-readable suite name (used in reports).
+    pub name: String,
+    /// Member instances.
+    pub ids: Vec<InstanceId>,
+}
+
+impl Suite {
+    /// The paper's full CDD evaluation suite: every size in [`PAPER_SIZES`]
+    /// × 10 instances × 4 restrictive factors (40 per size).
+    pub fn paper_cdd() -> Self {
+        Self::cdd_for_sizes(&PAPER_SIZES)
+    }
+
+    /// CDD suite restricted to the given sizes (40 instances per size).
+    pub fn cdd_for_sizes(sizes: &[usize]) -> Self {
+        let mut ids = Vec::new();
+        for &n in sizes {
+            for k in 1..=INSTANCES_PER_CLASS {
+                for &h in &PAPER_H_VALUES {
+                    ids.push(InstanceId::cdd(n, k, h));
+                }
+            }
+        }
+        Suite { name: format!("cdd-sizes-{sizes:?}"), ids }
+    }
+
+    /// The paper's full UCDDCP suite: every size × 10 instances.
+    pub fn paper_ucddcp() -> Self {
+        Self::ucddcp_for_sizes(&PAPER_SIZES)
+    }
+
+    /// UCDDCP suite restricted to the given sizes (10 instances per size).
+    pub fn ucddcp_for_sizes(sizes: &[usize]) -> Self {
+        let mut ids = Vec::new();
+        for &n in sizes {
+            for k in 1..=INSTANCES_PER_CLASS {
+                ids.push(InstanceId::ucddcp(n, k));
+            }
+        }
+        Suite { name: format!("ucddcp-sizes-{sizes:?}"), ids }
+    }
+
+    /// Member identifiers of one size class.
+    pub fn of_size(&self, n: usize) -> impl Iterator<Item = &InstanceId> {
+        self.ids.iter().filter(move |id| id.n == n)
+    }
+
+    /// Distinct sizes present, ascending.
+    pub fn sizes(&self) -> Vec<usize> {
+        let mut s: Vec<usize> = self.ids.iter().map(|id| id.n).collect();
+        s.sort_unstable();
+        s.dedup();
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_cdd_suite_has_40_per_size() {
+        let suite = Suite::paper_cdd();
+        assert_eq!(suite.ids.len(), 7 * 40);
+        for &n in &PAPER_SIZES {
+            assert_eq!(suite.of_size(n).count(), 40);
+        }
+        assert_eq!(suite.sizes(), PAPER_SIZES.to_vec());
+    }
+
+    #[test]
+    fn paper_ucddcp_suite_has_10_per_size() {
+        let suite = Suite::paper_ucddcp();
+        assert_eq!(suite.ids.len(), 70);
+        assert_eq!(suite.of_size(200).count(), 10);
+    }
+
+    #[test]
+    fn ids_display_uniquely() {
+        let suite = Suite::paper_cdd();
+        let mut names: Vec<String> = suite.ids.iter().map(|id| id.to_string()).collect();
+        names.sort();
+        let before = names.len();
+        names.dedup();
+        assert_eq!(names.len(), before);
+    }
+
+    #[test]
+    fn id_instantiates_matching_instance() {
+        let id = InstanceId::cdd(20, 3, 0.4);
+        let inst = id.instantiate();
+        assert_eq!(inst.n(), 20);
+        assert!((inst.restrictive_factor() - 0.4).abs() < 0.05);
+
+        let id = InstanceId::ucddcp(20, 3);
+        let inst = id.instantiate();
+        assert!(inst.is_unrestricted());
+    }
+
+    #[test]
+    fn display_format_examples() {
+        assert_eq!(InstanceId::cdd(100, 7, 0.6).to_string(), "cdd-n100-k7-h0.6");
+        assert_eq!(InstanceId::ucddcp(50, 2).to_string(), "ucddcp-n50-k2");
+    }
+}

@@ -1,0 +1,149 @@
+//! Reader/writer for the OR-library common-due-date text format.
+//!
+//! The OR-library distributes one file per job size (`sch10`, `sch20`, …)
+//! with the layout:
+//!
+//! ```text
+//! K                  ← number of instances in the file (10)
+//! n                  ← jobs in instance 1
+//! p₁ a₁ b₁           ← processing, earliness rate, tardiness rate
+//! …                  (n rows)
+//! n                  ← jobs in instance 2
+//! …
+//! ```
+//!
+//! Due dates are *not* stored; they are derived as `d = ⌊h · Σ pᵢ⌋` by the
+//! consumer. This module lets authentic OR-library files replace our
+//! re-generated data transparently (see the crate docs).
+
+use crate::biskup_feldmann::RawJobData;
+use cdd_core::Time;
+use std::fmt::Write as _;
+
+/// Parse a whole OR-library file into its raw instances.
+///
+/// Instance numbers `k` are assigned `1..=K` in file order.
+pub fn parse_orlib(text: &str) -> Result<Vec<RawJobData>, String> {
+    let mut tokens = text.split_whitespace().map(|t| {
+        t.parse::<i64>().map_err(|e| format!("bad token {t:?}: {e}"))
+    });
+    let mut next = |what: &str| -> Result<i64, String> {
+        tokens.next().ok_or_else(|| format!("unexpected end of file, expected {what}"))?
+    };
+
+    let count = next("instance count")?;
+    if count < 1 {
+        return Err(format!("instance count must be >= 1, got {count}"));
+    }
+    let mut out = Vec::with_capacity(count as usize);
+    for k in 1..=count {
+        let n = next("job count")?;
+        if n < 1 {
+            return Err(format!("instance {k}: job count must be >= 1, got {n}"));
+        }
+        let n = n as usize;
+        let mut processing = Vec::with_capacity(n);
+        let mut earliness = Vec::with_capacity(n);
+        let mut tardiness = Vec::with_capacity(n);
+        for row in 0..n {
+            let p = next("processing time")?;
+            let a = next("earliness penalty")?;
+            let b = next("tardiness penalty")?;
+            if p < 1 {
+                return Err(format!("instance {k} row {row}: processing {p} < 1"));
+            }
+            if a < 0 || b < 0 {
+                return Err(format!("instance {k} row {row}: negative penalty"));
+            }
+            processing.push(p as Time);
+            earliness.push(a as Time);
+            tardiness.push(b as Time);
+        }
+        out.push(RawJobData { n, k: k as u32, processing, earliness, tardiness });
+    }
+    if tokens.next().is_some() {
+        return Err("trailing tokens after last instance".into());
+    }
+    Ok(out)
+}
+
+/// Render instances in the OR-library format (inverse of [`parse_orlib`]).
+pub fn write_orlib(instances: &[RawJobData]) -> String {
+    let mut out = String::new();
+    writeln!(out, "{}", instances.len()).expect("writing to String cannot fail");
+    for inst in instances {
+        writeln!(out, "{}", inst.n).expect("writing to String cannot fail");
+        for i in 0..inst.n {
+            writeln!(out, "{} {} {}", inst.processing[i], inst.earliness[i], inst.tardiness[i])
+                .expect("writing to String cannot fail");
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::biskup_feldmann::raw_job_data;
+
+    const SAMPLE: &str = "2\n3\n5 1 2\n7 3 4\n2 5 6\n1\n10 1 1\n";
+
+    #[test]
+    fn parses_well_formed_file() {
+        let v = parse_orlib(SAMPLE).unwrap();
+        assert_eq!(v.len(), 2);
+        assert_eq!(v[0].n, 3);
+        assert_eq!(v[0].k, 1);
+        assert_eq!(v[0].processing, vec![5, 7, 2]);
+        assert_eq!(v[0].earliness, vec![1, 3, 5]);
+        assert_eq!(v[0].tardiness, vec![2, 4, 6]);
+        assert_eq!(v[1].n, 1);
+        assert_eq!(v[1].k, 2);
+    }
+
+    #[test]
+    fn round_trip_through_writer() {
+        let original = vec![raw_job_data(10, 1), raw_job_data(10, 2)];
+        let text = write_orlib(&original);
+        let parsed = parse_orlib(&text).unwrap();
+        assert_eq!(parsed.len(), 2);
+        for (a, b) in original.iter().zip(&parsed) {
+            assert_eq!(a.processing, b.processing);
+            assert_eq!(a.earliness, b.earliness);
+            assert_eq!(a.tardiness, b.tardiness);
+        }
+    }
+
+    #[test]
+    fn truncated_file_rejected() {
+        let err = parse_orlib("1\n3\n5 1 2\n7 3\n").unwrap_err();
+        assert!(err.contains("unexpected end"), "{err}");
+    }
+
+    #[test]
+    fn trailing_garbage_rejected() {
+        let err = parse_orlib("1\n1\n5 1 2\n9\n").unwrap_err();
+        assert!(err.contains("trailing"), "{err}");
+    }
+
+    #[test]
+    fn non_numeric_rejected() {
+        let err = parse_orlib("1\n1\n5 x 2\n").unwrap_err();
+        assert!(err.contains("bad token"), "{err}");
+    }
+
+    #[test]
+    fn invalid_values_rejected() {
+        assert!(parse_orlib("1\n1\n0 1 1\n").unwrap_err().contains("processing"));
+        assert!(parse_orlib("1\n1\n5 -1 1\n").unwrap_err().contains("negative"));
+        assert!(parse_orlib("0\n").unwrap_err().contains("count"));
+    }
+
+    #[test]
+    fn parsed_data_materializes_instances() {
+        let v = parse_orlib(SAMPLE).unwrap();
+        let inst = v[0].with_restrictive_factor(0.5);
+        assert_eq!(inst.due_date(), 7); // ⌊0.5 · 14⌋
+        assert_eq!(inst.n(), 3);
+    }
+}

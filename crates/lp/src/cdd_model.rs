@@ -1,0 +1,216 @@
+//! Fixed-sequence LP models for CDD and UCDDCP (paper Section III).
+//!
+//! For a fixed job order (all `δᵢⱼ` of the 0-1 formulation decided), the
+//! remaining problem in `Cᵢ`, `Eᵢ`, `Tᵢ` (and `Xᵢ`) is a linear program:
+//!
+//! ```text
+//! min Σ (αᵢEᵢ + βᵢTᵢ + γᵢXᵢ)
+//! s.t. Eᵢ + Cᵢ ≥ d                       (Eᵢ ≥ d − Cᵢ)
+//!      Tᵢ − Cᵢ ≥ −d                      (Tᵢ ≥ Cᵢ − d)
+//!      C_{σ(1)} + X_{σ(1)} ≥ P_{σ(1)}    (first job starts at t ≥ 0)
+//!      C_{σ(k)} − C_{σ(k−1)} + X_{σ(k)} ≥ P_{σ(k)}   (no overlap)
+//!      Xᵢ ≤ Pᵢ − Mᵢ
+//!      Cᵢ, Eᵢ, Tᵢ, Xᵢ ≥ 0
+//! ```
+//!
+//! Idle time is permitted by the model (`≥`), but an optimum without idle
+//! always exists (Cheng & Kahlbacher), so the LP optimum equals the O(n)
+//! combinatorial optimum of `cdd-core` — the property the tests assert.
+
+use crate::model::{ConstraintSense::*, Model, VarId};
+use crate::simplex::LpError;
+use cdd_core::{Instance, JobSequence, ProblemKind};
+
+/// Solution of a fixed-sequence LP.
+#[derive(Debug, Clone)]
+pub struct LpSequenceSolution {
+    /// Minimal total penalty (continuous relaxation — matches the integral
+    /// combinatorial optimum for these models).
+    pub objective: f64,
+    /// Optimal completion time per **job id**.
+    pub completions: Vec<f64>,
+    /// Optimal compression per **job id** (all zeros for CDD).
+    pub compressions: Vec<f64>,
+    /// Simplex pivots used (for the LP-vs-linear ablation).
+    pub pivots: usize,
+}
+
+struct JobVars {
+    c: Vec<VarId>,
+    x: Option<Vec<VarId>>,
+}
+
+fn build(inst: &Instance, seq: &JobSequence, with_compression: bool) -> (Model, JobVars) {
+    let n = inst.n();
+    let d = inst.due_date() as f64;
+    let mut m = Model::minimize();
+
+    let c: Vec<VarId> = (0..n).map(|i| m.add_var(format!("C_{i}"), 0.0)).collect();
+    let e: Vec<VarId> = (0..n)
+        .map(|i| m.add_var(format!("E_{i}"), inst.job(i).earliness_penalty as f64))
+        .collect();
+    let t: Vec<VarId> = (0..n)
+        .map(|i| m.add_var(format!("T_{i}"), inst.job(i).tardiness_penalty as f64))
+        .collect();
+    let x: Option<Vec<VarId>> = with_compression.then(|| {
+        (0..n)
+            .map(|i| m.add_var(format!("X_{i}"), inst.job(i).compression_penalty as f64))
+            .collect()
+    });
+
+    for i in 0..n {
+        m.add_constraint(vec![(e[i], 1.0), (c[i], 1.0)], Ge, d);
+        m.add_constraint(vec![(t[i], 1.0), (c[i], -1.0)], Ge, -d);
+        if let Some(x) = &x {
+            m.add_constraint(
+                vec![(x[i], 1.0)],
+                Le,
+                inst.job(i).max_compression() as f64,
+            );
+        }
+    }
+    for k in 0..n {
+        let j = seq.job_at(k) as usize;
+        let mut terms = vec![(c[j], 1.0)];
+        if k > 0 {
+            terms.push((c[seq.job_at(k - 1) as usize], -1.0));
+        }
+        if let Some(x) = &x {
+            terms.push((x[j], 1.0));
+        }
+        m.add_constraint(terms, Ge, inst.job(j).processing as f64);
+    }
+    (m, JobVars { c, x })
+}
+
+fn extract(model_sol: crate::simplex::LpSolution, vars: JobVars, n: usize) -> LpSequenceSolution {
+    let completions = vars.c.iter().map(|v| model_sol.x[v.0]).collect();
+    let compressions = match vars.x {
+        Some(xs) => xs.iter().map(|v| model_sol.x[v.0]).collect(),
+        None => vec![0.0; n],
+    };
+    LpSequenceSolution {
+        objective: model_sol.objective,
+        completions,
+        compressions,
+        pivots: model_sol.pivots,
+    }
+}
+
+/// Solve the fixed-sequence **CDD** LP for `seq`.
+pub fn solve_cdd_sequence_lp(
+    inst: &Instance,
+    seq: &JobSequence,
+) -> Result<LpSequenceSolution, LpError> {
+    assert_eq!(seq.len(), inst.n(), "sequence/instance size mismatch");
+    let (m, vars) = build(inst, seq, false);
+    Ok(extract(m.solve()?, vars, inst.n()))
+}
+
+/// Solve the fixed-sequence **UCDDCP** LP (with continuous compressions)
+/// for `seq`.
+pub fn solve_ucddcp_sequence_lp(
+    inst: &Instance,
+    seq: &JobSequence,
+) -> Result<LpSequenceSolution, LpError> {
+    assert_eq!(seq.len(), inst.n(), "sequence/instance size mismatch");
+    assert_eq!(inst.kind(), ProblemKind::Ucddcp, "requires a UCDDCP instance");
+    let (m, vars) = build(inst, seq, true);
+    Ok(extract(m.solve()?, vars, inst.n()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cdd_core::{optimize_cdd_sequence, optimize_ucddcp_sequence, Instance, JobSequence};
+
+    #[test]
+    fn paper_cdd_example_lp_matches_81() {
+        let inst = Instance::paper_example_cdd();
+        let seq = JobSequence::identity(5);
+        let sol = solve_cdd_sequence_lp(&inst, &seq).unwrap();
+        assert!((sol.objective - 81.0).abs() < 1e-6, "objective = {}", sol.objective);
+    }
+
+    #[test]
+    fn paper_ucddcp_example_lp_matches_77() {
+        let inst = Instance::paper_example_ucddcp();
+        let seq = JobSequence::identity(5);
+        let sol = solve_ucddcp_sequence_lp(&inst, &seq).unwrap();
+        assert!((sol.objective - 77.0).abs() < 1e-6, "objective = {}", sol.objective);
+        // Jobs 4 and 5 (ids 3, 4) compressed by exactly 1 in the paper.
+        assert!((sol.compressions[3] - 1.0).abs() < 1e-6);
+        assert!((sol.compressions[4] - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn lp_completions_respect_sequence() {
+        let inst = Instance::paper_example_cdd();
+        let seq = JobSequence::from_vec(vec![4, 2, 0, 1, 3]).unwrap();
+        let sol = solve_cdd_sequence_lp(&inst, &seq).unwrap();
+        // Completion times strictly increase along the sequence.
+        for k in 1..5 {
+            let prev = sol.completions[seq.job_at(k - 1) as usize];
+            let cur = sol.completions[seq.job_at(k) as usize];
+            assert!(cur > prev, "position {k}: {cur} <= {prev}");
+        }
+    }
+
+    #[test]
+    fn lp_matches_linear_algorithm_on_many_random_cases() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(77);
+        for trial in 0..40 {
+            let n = rng.gen_range(1..=10);
+            let p: Vec<i64> = (0..n).map(|_| rng.gen_range(1..=20)).collect();
+            let a: Vec<i64> = (0..n).map(|_| rng.gen_range(0..=10)).collect();
+            let b: Vec<i64> = (0..n).map(|_| rng.gen_range(0..=15)).collect();
+            let h = [0.2, 0.4, 0.6, 0.8, 1.0][trial % 5];
+            let d = (p.iter().sum::<i64>() as f64 * h) as i64;
+            let inst = Instance::cdd_from_arrays(&p, &a, &b, d).unwrap();
+            let seq = JobSequence::random(n, &mut rng);
+            let fast = optimize_cdd_sequence(&inst, &seq).objective as f64;
+            let lp = solve_cdd_sequence_lp(&inst, &seq).unwrap().objective;
+            assert!(
+                (fast - lp).abs() < 1e-5,
+                "trial {trial}: linear {fast} vs LP {lp}\ninst={inst:?}\nseq={seq:?}"
+            );
+        }
+    }
+
+    /// The continuous LP also validates Property 2 (full-or-nothing
+    /// compression is optimal): its optimum must equal the combinatorial
+    /// optimum that only considers full compression.
+    #[test]
+    fn ucddcp_lp_matches_linear_algorithm_on_many_random_cases() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(2015);
+        for trial in 0..40 {
+            let n = rng.gen_range(1..=10);
+            let p: Vec<i64> = (0..n).map(|_| rng.gen_range(1..=20)).collect();
+            let m: Vec<i64> = p.iter().map(|&pi| rng.gen_range(1..=pi)).collect();
+            let a: Vec<i64> = (0..n).map(|_| rng.gen_range(0..=10)).collect();
+            let b: Vec<i64> = (0..n).map(|_| rng.gen_range(0..=15)).collect();
+            let g: Vec<i64> = (0..n).map(|_| rng.gen_range(0..=10)).collect();
+            let total: i64 = p.iter().sum();
+            let d = total + rng.gen_range(0..=total / 2);
+            let inst = Instance::ucddcp_from_arrays(&p, &m, &a, &b, &g, d).unwrap();
+            let seq = JobSequence::random(n, &mut rng);
+            let fast = optimize_ucddcp_sequence(&inst, &seq).objective as f64;
+            let lp = solve_ucddcp_sequence_lp(&inst, &seq).unwrap().objective;
+            assert!(
+                (fast - lp).abs() < 1e-5,
+                "trial {trial}: linear {fast} vs LP {lp}\ninst={inst:?}\nseq={seq:?}"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "requires a UCDDCP instance")]
+    fn ucddcp_lp_rejects_cdd_instance() {
+        let inst = Instance::paper_example_cdd();
+        let _ = solve_ucddcp_sequence_lp(&inst, &JobSequence::identity(5));
+    }
+}

@@ -1,0 +1,161 @@
+//! A minimal dense row-major matrix used for the simplex tableau.
+
+use std::fmt;
+use std::ops::{Index, IndexMut};
+
+/// Dense `rows × cols` matrix of `f64`, row-major, indexed `m[(r, c)]`.
+#[derive(Clone, PartialEq)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl Matrix {
+    /// All-zero matrix.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Matrix { rows, cols, data: vec![0.0; rows * cols] }
+    }
+
+    /// Build from nested rows (each inner slice must have equal length).
+    pub fn from_rows(rows: &[Vec<f64>]) -> Self {
+        let r = rows.len();
+        let c = rows.first().map_or(0, |row| row.len());
+        assert!(rows.iter().all(|row| row.len() == c), "ragged rows");
+        let mut data = Vec::with_capacity(r * c);
+        for row in rows {
+            data.extend_from_slice(row);
+        }
+        Matrix { rows: r, cols: c, data }
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Borrow row `r` as a slice.
+    #[inline]
+    pub fn row(&self, r: usize) -> &[f64] {
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Borrow row `r` mutably.
+    #[inline]
+    pub fn row_mut(&mut self, r: usize) -> &mut [f64] {
+        &mut self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Row operation `row[dst] += factor * row[src]` (the simplex pivot
+    /// elimination step). `dst != src`.
+    pub fn axpy_rows(&mut self, dst: usize, src: usize, factor: f64) {
+        assert_ne!(dst, src, "axpy_rows requires distinct rows");
+        if factor == 0.0 {
+            return;
+        }
+        let cols = self.cols;
+        let (a, b) = if dst < src {
+            let (lo, hi) = self.data.split_at_mut(src * cols);
+            (&mut lo[dst * cols..dst * cols + cols], &hi[..cols])
+        } else {
+            let (lo, hi) = self.data.split_at_mut(dst * cols);
+            (&mut hi[..cols], &lo[src * cols..src * cols + cols])
+        };
+        for (x, &y) in a.iter_mut().zip(b.iter()) {
+            *x += factor * y;
+        }
+    }
+
+    /// Scale row `r` by `factor`.
+    pub fn scale_row(&mut self, r: usize, factor: f64) {
+        for x in self.row_mut(r) {
+            *x *= factor;
+        }
+    }
+}
+
+impl Index<(usize, usize)> for Matrix {
+    type Output = f64;
+    #[inline]
+    fn index(&self, (r, c): (usize, usize)) -> &f64 {
+        debug_assert!(r < self.rows && c < self.cols);
+        &self.data[r * self.cols + c]
+    }
+}
+
+impl IndexMut<(usize, usize)> for Matrix {
+    #[inline]
+    fn index_mut(&mut self, (r, c): (usize, usize)) -> &mut f64 {
+        debug_assert!(r < self.rows && c < self.cols);
+        &mut self.data[r * self.cols + c]
+    }
+}
+
+impl fmt::Debug for Matrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Matrix {}x{} [", self.rows, self.cols)?;
+        for r in 0..self.rows {
+            write!(f, "  [")?;
+            for c in 0..self.cols {
+                write!(f, "{:>9.3}", self[(r, c)])?;
+            }
+            writeln!(f, " ]")?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn indexing_round_trips() {
+        let mut m = Matrix::zeros(2, 3);
+        m[(1, 2)] = 5.0;
+        m[(0, 0)] = -1.0;
+        assert_eq!(m[(1, 2)], 5.0);
+        assert_eq!(m.row(1), &[0.0, 0.0, 5.0]);
+        assert_eq!(m.row(0), &[-1.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn from_rows_matches_manual_fill() {
+        let m = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]);
+        assert_eq!(m.rows(), 2);
+        assert_eq!(m.cols(), 2);
+        assert_eq!(m[(0, 1)], 2.0);
+        assert_eq!(m[(1, 0)], 3.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "ragged")]
+    fn from_rows_rejects_ragged() {
+        Matrix::from_rows(&[vec![1.0], vec![1.0, 2.0]]);
+    }
+
+    #[test]
+    fn axpy_rows_both_directions() {
+        let mut m = Matrix::from_rows(&[vec![1.0, 2.0], vec![10.0, 20.0]]);
+        m.axpy_rows(0, 1, 0.5);
+        assert_eq!(m.row(0), &[6.0, 12.0]);
+        assert_eq!(m.row(1), &[10.0, 20.0]);
+        m.axpy_rows(1, 0, -1.0);
+        assert_eq!(m.row(1), &[4.0, 8.0]);
+    }
+
+    #[test]
+    fn scale_row_scales_only_target() {
+        let mut m = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]);
+        m.scale_row(1, 2.0);
+        assert_eq!(m.row(0), &[1.0, 2.0]);
+        assert_eq!(m.row(1), &[6.0, 8.0]);
+    }
+}

@@ -1,0 +1,114 @@
+//! A small modelling layer: named non-negative variables, linear
+//! constraints, minimization objective.
+
+/// Handle to a model variable (index into the model's variable list).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct VarId(pub(crate) usize);
+
+/// Direction of a linear constraint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ConstraintSense {
+    /// `Σ aᵢxᵢ ≤ b`
+    Le,
+    /// `Σ aᵢxᵢ ≥ b`
+    Ge,
+    /// `Σ aᵢxᵢ = b`
+    Eq,
+}
+
+#[derive(Debug, Clone)]
+pub(crate) struct Constraint {
+    pub(crate) terms: Vec<(VarId, f64)>,
+    pub(crate) sense: ConstraintSense,
+    pub(crate) rhs: f64,
+}
+
+/// A minimization LP over non-negative variables.
+///
+/// All variables have implicit bound `x ≥ 0` (matching the paper's
+/// formulation, where `Eᵢ, Tᵢ, Xᵢ, Cᵢ ≥ 0`).
+#[derive(Debug, Clone, Default)]
+pub struct Model {
+    pub(crate) names: Vec<String>,
+    pub(crate) costs: Vec<f64>,
+    pub(crate) constraints: Vec<Constraint>,
+}
+
+impl Model {
+    /// An empty minimization model.
+    pub fn minimize() -> Self {
+        Model::default()
+    }
+
+    /// Add a non-negative variable with objective coefficient `cost`.
+    pub fn add_var(&mut self, name: impl Into<String>, cost: f64) -> VarId {
+        self.names.push(name.into());
+        self.costs.push(cost);
+        VarId(self.names.len() - 1)
+    }
+
+    /// Add the constraint `Σ terms  sense  rhs`.
+    pub fn add_constraint(
+        &mut self,
+        terms: Vec<(VarId, f64)>,
+        sense: ConstraintSense,
+        rhs: f64,
+    ) {
+        debug_assert!(
+            terms.iter().all(|(v, _)| v.0 < self.names.len()),
+            "constraint references unknown variable"
+        );
+        self.constraints.push(Constraint { terms, sense, rhs });
+    }
+
+    /// Number of variables.
+    pub fn num_vars(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Number of constraints.
+    pub fn num_constraints(&self) -> usize {
+        self.constraints.len()
+    }
+
+    /// Variable name (for diagnostics).
+    pub fn var_name(&self, v: VarId) -> &str {
+        &self.names[v.0]
+    }
+
+    /// Solve with the two-phase simplex solver.
+    pub fn solve(&self) -> Result<crate::simplex::LpSolution, crate::simplex::LpError> {
+        crate::simplex::solve(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_tracks_vars_and_constraints() {
+        let mut m = Model::minimize();
+        let x = m.add_var("x", 1.0);
+        let y = m.add_var("y", 2.0);
+        m.add_constraint(vec![(x, 1.0), (y, 1.0)], ConstraintSense::Ge, 3.0);
+        assert_eq!(m.num_vars(), 2);
+        assert_eq!(m.num_constraints(), 1);
+        assert_eq!(m.var_name(x), "x");
+        assert_eq!(m.var_name(y), "y");
+    }
+
+    #[test]
+    fn solve_round_trip() {
+        // min x + 2y  s.t.  x + y >= 3, x <= 2  →  x = 2, y = 1, obj = 4.
+        let mut m = Model::minimize();
+        let x = m.add_var("x", 1.0);
+        let y = m.add_var("y", 2.0);
+        m.add_constraint(vec![(x, 1.0), (y, 1.0)], ConstraintSense::Ge, 3.0);
+        m.add_constraint(vec![(x, 1.0)], ConstraintSense::Le, 2.0);
+        let sol = m.solve().unwrap();
+        assert!((sol.objective - 4.0).abs() < 1e-9);
+        assert!((sol.x[0] - 2.0).abs() < 1e-9);
+        assert!((sol.x[1] - 1.0).abs() < 1e-9);
+    }
+}

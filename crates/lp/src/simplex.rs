@@ -1,0 +1,408 @@
+//! Dense two-phase primal simplex with Bland's anti-cycling rule.
+//!
+//! Designed for the small/medium fixed-sequence LPs of this suite
+//! (a few hundred variables and constraints). Numerically plain (no
+//! factorization refresh), which is adequate for the integral, well-scaled
+//! scheduling data.
+
+use crate::matrix::Matrix;
+use crate::model::{ConstraintSense, Model};
+use std::fmt;
+
+/// Comparison tolerance for reduced costs and ratio tests.
+const EPS: f64 = 1e-9;
+
+/// An optimal LP solution.
+#[derive(Debug, Clone)]
+pub struct LpSolution {
+    /// Minimal objective value.
+    pub objective: f64,
+    /// Optimal values of the model's structural variables.
+    pub x: Vec<f64>,
+    /// Total simplex pivots performed across both phases (for the
+    /// LP-vs-linear-algorithm ablation).
+    pub pivots: usize,
+}
+
+/// Why the solver could not return an optimum.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LpError {
+    /// No feasible point (phase 1 ended with a positive artificial sum).
+    Infeasible,
+    /// The objective is unbounded below.
+    Unbounded,
+    /// The pivot limit was exceeded (numerical trouble).
+    IterationLimit,
+}
+
+impl fmt::Display for LpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LpError::Infeasible => write!(f, "LP is infeasible"),
+            LpError::Unbounded => write!(f, "LP is unbounded below"),
+            LpError::IterationLimit => write!(f, "simplex iteration limit exceeded"),
+        }
+    }
+}
+
+impl std::error::Error for LpError {}
+
+struct Tableau {
+    /// Constraint rows; the last column is the right-hand side.
+    a: Matrix,
+    /// Reduced-cost row (same column layout, rhs slot holds −objective).
+    obj: Vec<f64>,
+    /// Basic variable (column index) of each row.
+    basis: Vec<usize>,
+    /// First artificial column (artificials occupy `art_start..rhs_col`).
+    art_start: usize,
+    rhs_col: usize,
+}
+
+impl Tableau {
+    fn rhs(&self, r: usize) -> f64 {
+        self.a[(r, self.rhs_col)]
+    }
+
+    /// One simplex pivot: enter column `j`, leave row `r`.
+    fn pivot(&mut self, r: usize, j: usize) {
+        let piv = self.a[(r, j)];
+        debug_assert!(piv.abs() > EPS, "pivot on near-zero element");
+        self.a.scale_row(r, 1.0 / piv);
+        for i in 0..self.a.rows() {
+            if i != r {
+                let f = self.a[(i, j)];
+                if f != 0.0 {
+                    self.a.axpy_rows(i, r, -f);
+                }
+            }
+        }
+        let f = self.obj[j];
+        if f != 0.0 {
+            for c in 0..self.obj.len() {
+                self.obj[c] -= f * self.a[(r, c)];
+            }
+        }
+        self.basis[r] = j;
+    }
+
+    /// Run Bland-rule simplex on the current objective row.
+    /// `allowed` limits the entering columns (used to ban artificials in
+    /// phase 2).
+    fn optimize(&mut self, allowed_cols: usize, pivots: &mut usize) -> Result<(), LpError> {
+        let m = self.a.rows();
+        let limit = 200 * (m + allowed_cols) + 1000;
+        loop {
+            // Bland: first column with negative reduced cost.
+            let Some(j) = (0..allowed_cols).find(|&c| self.obj[c] < -EPS) else {
+                return Ok(());
+            };
+            // Ratio test; Bland tie-break on the leaving basic variable.
+            let mut leave: Option<(usize, f64)> = None;
+            for r in 0..m {
+                let arj = self.a[(r, j)];
+                if arj > EPS {
+                    let ratio = self.rhs(r) / arj;
+                    let better = match leave {
+                        None => true,
+                        Some((lr, lratio)) => {
+                            ratio < lratio - EPS
+                                || (ratio < lratio + EPS && self.basis[r] < self.basis[lr])
+                        }
+                    };
+                    if better {
+                        leave = Some((r, ratio));
+                    }
+                }
+            }
+            let Some((r, _)) = leave else {
+                return Err(LpError::Unbounded);
+            };
+            self.pivot(r, j);
+            *pivots += 1;
+            if *pivots > limit {
+                return Err(LpError::IterationLimit);
+            }
+        }
+    }
+}
+
+/// Solve the model with two-phase primal simplex.
+pub fn solve(model: &Model) -> Result<LpSolution, LpError> {
+    let n = model.num_vars();
+    let m = model.num_constraints();
+    if m == 0 {
+        // With x ≥ 0 and minimization, the optimum puts every positively
+        // priced variable at 0; any negatively priced variable is unbounded.
+        if model.costs.iter().any(|&c| c < -EPS) {
+            return Err(LpError::Unbounded);
+        }
+        return Ok(LpSolution { objective: 0.0, x: vec![0.0; n], pivots: 0 });
+    }
+
+    // Normalize rows to rhs ≥ 0 and count auxiliary columns.
+    let mut senses = Vec::with_capacity(m);
+    let mut rows: Vec<Vec<f64>> = Vec::with_capacity(m);
+    let mut rhs: Vec<f64> = Vec::with_capacity(m);
+    for con in &model.constraints {
+        let mut row = vec![0.0; n];
+        for &(v, coef) in &con.terms {
+            row[v.0] += coef;
+        }
+        let (row, sense, b) = if con.rhs < 0.0 {
+            let flipped = match con.sense {
+                ConstraintSense::Le => ConstraintSense::Ge,
+                ConstraintSense::Ge => ConstraintSense::Le,
+                ConstraintSense::Eq => ConstraintSense::Eq,
+            };
+            (row.iter().map(|x| -x).collect(), flipped, -con.rhs)
+        } else {
+            (row, con.sense, con.rhs)
+        };
+        senses.push(sense);
+        rows.push(row);
+        rhs.push(b);
+    }
+
+    let n_slack = senses
+        .iter()
+        .filter(|s| matches!(s, ConstraintSense::Le | ConstraintSense::Ge))
+        .count();
+    let n_art = senses
+        .iter()
+        .filter(|s| matches!(s, ConstraintSense::Ge | ConstraintSense::Eq))
+        .count();
+    let slack_start = n;
+    let art_start = n + n_slack;
+    let rhs_col = art_start + n_art;
+    let total = rhs_col + 1;
+
+    let mut a = Matrix::zeros(m, total);
+    let mut basis = vec![usize::MAX; m];
+    let mut next_slack = slack_start;
+    let mut next_art = art_start;
+    for r in 0..m {
+        for c in 0..n {
+            a[(r, c)] = rows[r][c];
+        }
+        a[(r, rhs_col)] = rhs[r];
+        match senses[r] {
+            ConstraintSense::Le => {
+                a[(r, next_slack)] = 1.0;
+                basis[r] = next_slack;
+                next_slack += 1;
+            }
+            ConstraintSense::Ge => {
+                a[(r, next_slack)] = -1.0;
+                next_slack += 1;
+                a[(r, next_art)] = 1.0;
+                basis[r] = next_art;
+                next_art += 1;
+            }
+            ConstraintSense::Eq => {
+                a[(r, next_art)] = 1.0;
+                basis[r] = next_art;
+                next_art += 1;
+            }
+        }
+    }
+
+    let mut t = Tableau { a, obj: vec![0.0; total], basis, art_start, rhs_col };
+    let mut pivots = 0usize;
+
+    // ---- Phase 1: minimize the artificial sum. ----
+    if n_art > 0 {
+        for c in t.art_start..t.rhs_col {
+            t.obj[c] = 1.0;
+        }
+        // Reduce against the rows whose basic variable is artificial.
+        for r in 0..m {
+            if t.basis[r] >= t.art_start {
+                for c in 0..total {
+                    t.obj[c] -= t.a[(r, c)];
+                }
+            }
+        }
+        t.optimize(rhs_col, &mut pivots)?;
+        let phase1 = -t.obj[rhs_col];
+        if phase1 > 1e-7 {
+            return Err(LpError::Infeasible);
+        }
+        // Drive any remaining (zero-valued) artificials out of the basis.
+        for r in 0..m {
+            if t.basis[r] >= t.art_start {
+                if let Some(j) = (0..t.art_start).find(|&c| t.a[(r, c)].abs() > EPS) {
+                    t.pivot(r, j);
+                    pivots += 1;
+                }
+                // Otherwise the row is redundant; the artificial stays basic
+                // at value 0 and artificials are banned from re-entering.
+            }
+        }
+    }
+
+    // ---- Phase 2: original objective. ----
+    t.obj.iter_mut().for_each(|c| *c = 0.0);
+    for (c, &cost) in model.costs.iter().enumerate() {
+        t.obj[c] = cost;
+    }
+    for r in 0..m {
+        let b = t.basis[r];
+        if b < n && model.costs[b] != 0.0 {
+            let f = t.obj[b];
+            if f != 0.0 {
+                for c in 0..total {
+                    t.obj[c] -= f * t.a[(r, c)];
+                }
+            }
+        }
+    }
+    t.optimize(t.art_start, &mut pivots)?; // artificials banned from entering
+
+    let mut x = vec![0.0; n];
+    for r in 0..m {
+        if t.basis[r] < n {
+            x[t.basis[r]] = t.rhs(r);
+        }
+    }
+    let objective = model.costs.iter().zip(&x).map(|(c, v)| c * v).sum();
+    Ok(LpSolution { objective, x, pivots })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{ConstraintSense::*, Model};
+
+    fn approx(a: f64, b: f64) -> bool {
+        (a - b).abs() < 1e-7
+    }
+
+    #[test]
+    fn simple_le_problem() {
+        // min -x - y  s.t.  x + 2y <= 4, 3x + y <= 6  →  x=1.6, y=1.2.
+        let mut m = Model::minimize();
+        let x = m.add_var("x", -1.0);
+        let y = m.add_var("y", -1.0);
+        m.add_constraint(vec![(x, 1.0), (y, 2.0)], Le, 4.0);
+        m.add_constraint(vec![(x, 3.0), (y, 1.0)], Le, 6.0);
+        let s = solve(&m).unwrap();
+        assert!(approx(s.objective, -2.8), "obj = {}", s.objective);
+        assert!(approx(s.x[0], 1.6));
+        assert!(approx(s.x[1], 1.2));
+    }
+
+    #[test]
+    fn ge_constraints_need_phase1() {
+        // min 2x + 3y  s.t.  x + y >= 10, x >= 3  →  x=10 (cheaper), y=0? No:
+        // cost of x is 2 < 3 = cost of y, so x = 10, y = 0, obj = 20.
+        let mut m = Model::minimize();
+        let x = m.add_var("x", 2.0);
+        let y = m.add_var("y", 3.0);
+        m.add_constraint(vec![(x, 1.0), (y, 1.0)], Ge, 10.0);
+        m.add_constraint(vec![(x, 1.0)], Ge, 3.0);
+        let s = solve(&m).unwrap();
+        assert!(approx(s.objective, 20.0));
+        assert!(approx(s.x[0], 10.0));
+    }
+
+    #[test]
+    fn equality_constraints() {
+        // min x + y  s.t.  x + 2y = 6, x - y = 0  →  x = y = 2, obj = 4.
+        let mut m = Model::minimize();
+        let x = m.add_var("x", 1.0);
+        let y = m.add_var("y", 1.0);
+        m.add_constraint(vec![(x, 1.0), (y, 2.0)], Eq, 6.0);
+        m.add_constraint(vec![(x, 1.0), (y, -1.0)], Eq, 0.0);
+        let s = solve(&m).unwrap();
+        assert!(approx(s.objective, 4.0));
+        assert!(approx(s.x[0], 2.0));
+        assert!(approx(s.x[1], 2.0));
+    }
+
+    #[test]
+    fn negative_rhs_is_normalized() {
+        // x - y <= -2 with x,y >= 0: means y >= x + 2.
+        // min y  →  x = 0, y = 2.
+        let mut m = Model::minimize();
+        let x = m.add_var("x", 0.0);
+        let y = m.add_var("y", 1.0);
+        m.add_constraint(vec![(x, 1.0), (y, -1.0)], Le, -2.0);
+        let s = solve(&m).unwrap();
+        assert!(approx(s.objective, 2.0));
+        assert!(approx(s.x[1], 2.0));
+    }
+
+    #[test]
+    fn infeasible_detected() {
+        // x <= 1 and x >= 3.
+        let mut m = Model::minimize();
+        let x = m.add_var("x", 1.0);
+        m.add_constraint(vec![(x, 1.0)], Le, 1.0);
+        m.add_constraint(vec![(x, 1.0)], Ge, 3.0);
+        assert_eq!(solve(&m).unwrap_err(), LpError::Infeasible);
+    }
+
+    #[test]
+    fn unbounded_detected() {
+        // min -x  s.t.  x >= 1  →  unbounded below.
+        let mut m = Model::minimize();
+        let x = m.add_var("x", -1.0);
+        m.add_constraint(vec![(x, 1.0)], Ge, 1.0);
+        assert_eq!(solve(&m).unwrap_err(), LpError::Unbounded);
+    }
+
+    #[test]
+    fn no_constraints_trivial_optimum() {
+        let mut m = Model::minimize();
+        m.add_var("x", 3.0);
+        let s = solve(&m).unwrap();
+        assert_eq!(s.objective, 0.0);
+        assert_eq!(s.x, vec![0.0]);
+    }
+
+    #[test]
+    fn no_constraints_unbounded() {
+        let mut m = Model::minimize();
+        m.add_var("x", -3.0);
+        assert_eq!(solve(&m).unwrap_err(), LpError::Unbounded);
+    }
+
+    #[test]
+    fn degenerate_problem_terminates() {
+        // Multiple identical constraints create degeneracy; Bland's rule
+        // must still terminate.
+        let mut m = Model::minimize();
+        let x = m.add_var("x", 1.0);
+        let y = m.add_var("y", 1.0);
+        for _ in 0..5 {
+            m.add_constraint(vec![(x, 1.0), (y, 1.0)], Ge, 4.0);
+        }
+        m.add_constraint(vec![(x, 1.0), (y, 1.0)], Le, 4.0);
+        let s = solve(&m).unwrap();
+        assert!(approx(s.objective, 4.0));
+    }
+
+    #[test]
+    fn redundant_equalities_leave_artificial_basic_at_zero() {
+        // Second equality is a duplicate → redundant row in phase 1.
+        let mut m = Model::minimize();
+        let x = m.add_var("x", 1.0);
+        let y = m.add_var("y", 2.0);
+        m.add_constraint(vec![(x, 1.0), (y, 1.0)], Eq, 5.0);
+        m.add_constraint(vec![(x, 2.0), (y, 2.0)], Eq, 10.0);
+        let s = solve(&m).unwrap();
+        assert!(approx(s.objective, 5.0)); // all weight on x (cheaper)
+        assert!(approx(s.x[0], 5.0));
+    }
+
+    #[test]
+    fn pivots_are_counted() {
+        let mut m = Model::minimize();
+        let x = m.add_var("x", -1.0);
+        m.add_constraint(vec![(x, 1.0)], Le, 7.0);
+        let s = solve(&m).unwrap();
+        assert!(s.pivots >= 1);
+        assert!(approx(s.objective, -7.0));
+    }
+}

@@ -1,0 +1,121 @@
+//! Property-based validation of the simplex solver and the fixed-sequence
+//! LP models: the continuous LP optimum must equal the O(n) combinatorial
+//! optimum on arbitrary instances/sequences — the strongest independent
+//! check of both layers (and of the paper's Properties 1–2).
+
+use cdd_core::{optimize_cdd_sequence, optimize_ucddcp_sequence, Instance, JobSequence, Time};
+use cdd_lp::{solve_cdd_sequence_lp, solve_ucddcp_sequence_lp};
+use cdd_lp::{ConstraintSense, Model};
+use proptest::prelude::*;
+
+fn cdd_instance(max_n: usize) -> impl Strategy<Value = Instance> {
+    (1..=max_n).prop_flat_map(|n| {
+        (
+            prop::collection::vec(1..=20i64, n),
+            prop::collection::vec(0..=10i64, n),
+            prop::collection::vec(0..=15i64, n),
+            0.0..1.3f64,
+        )
+            .prop_map(|(p, a, b, h)| {
+                let d = (p.iter().sum::<Time>() as f64 * h) as Time;
+                Instance::cdd_from_arrays(&p, &a, &b, d).expect("valid")
+            })
+    })
+}
+
+fn ucddcp_instance(max_n: usize) -> impl Strategy<Value = Instance> {
+    (1..=max_n).prop_flat_map(|n| {
+        (
+            prop::collection::vec((1..=20i64, 0..=10i64, 0..=15i64, 0..=10i64, 0..=19i64), n),
+            0.0..0.5f64,
+        )
+            .prop_map(|(rows, slack)| {
+                let p: Vec<Time> = rows.iter().map(|r| r.0).collect();
+                let m: Vec<Time> = rows.iter().map(|r| 1 + (r.4 % r.0)).collect();
+                let a: Vec<Time> = rows.iter().map(|r| r.1).collect();
+                let b: Vec<Time> = rows.iter().map(|r| r.2).collect();
+                let g: Vec<Time> = rows.iter().map(|r| r.3).collect();
+                let total: Time = p.iter().sum();
+                let d = total + (total as f64 * slack) as Time;
+                Instance::ucddcp_from_arrays(&p, &m, &a, &b, &g, d).expect("valid")
+            })
+    })
+}
+
+fn sequence_for(n: usize, seed: u64) -> JobSequence {
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    JobSequence::random(n, &mut StdRng::seed_from_u64(seed))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(120))]
+
+    /// Simplex(LP model) == O(n) algorithm, CDD.
+    #[test]
+    fn lp_equals_linear_cdd(inst in cdd_instance(12), seed in any::<u64>()) {
+        let seq = sequence_for(inst.n(), seed);
+        let fast = optimize_cdd_sequence(&inst, &seq).objective as f64;
+        let lp = solve_cdd_sequence_lp(&inst, &seq).expect("feasible").objective;
+        prop_assert!((fast - lp).abs() < 1e-5, "linear {fast} vs LP {lp}");
+    }
+
+    /// Simplex(LP model) == O(n) algorithm, UCDDCP — validates that
+    /// continuous compression never beats full-or-nothing (Property 2).
+    #[test]
+    fn lp_equals_linear_ucddcp(inst in ucddcp_instance(10), seed in any::<u64>()) {
+        let seq = sequence_for(inst.n(), seed);
+        let fast = optimize_ucddcp_sequence(&inst, &seq).objective as f64;
+        let lp = solve_ucddcp_sequence_lp(&inst, &seq).expect("feasible").objective;
+        prop_assert!((fast - lp).abs() < 1e-5, "linear {fast} vs LP {lp}");
+    }
+
+    /// LP completion times are themselves a feasible schedule whose cost
+    /// matches the LP objective (primal feasibility spot-check).
+    #[test]
+    fn lp_solution_is_feasible(inst in cdd_instance(10), seed in any::<u64>()) {
+        let seq = sequence_for(inst.n(), seed);
+        let sol = solve_cdd_sequence_lp(&inst, &seq).expect("feasible");
+        let d = inst.due_date() as f64;
+        let mut prev_completion = 0.0f64;
+        let mut cost = 0.0;
+        for k in 0..inst.n() {
+            let j = seq.job_at(k) as usize;
+            let c = sol.completions[j];
+            let p = inst.job(j).processing as f64;
+            prop_assert!(c >= prev_completion + p - 1e-6,
+                "overlap at position {k}: {c} < {prev_completion} + {p}");
+            prev_completion = c;
+            cost += inst.job(j).earliness_penalty as f64 * (d - c).max(0.0)
+                  + inst.job(j).tardiness_penalty as f64 * (c - d).max(0.0);
+        }
+        prop_assert!((cost - sol.objective).abs() < 1e-4,
+            "recomputed {cost} vs LP {}", sol.objective);
+    }
+
+    /// Random small LPs with box constraints: simplex never returns a point
+    /// violating its own constraints, and the objective matches c·x.
+    #[test]
+    fn simplex_primal_feasibility(
+        costs in prop::collection::vec(-5.0..5.0f64, 1..5),
+        bounds in prop::collection::vec(0.5..10.0f64, 1..5),
+    ) {
+        let n = costs.len().min(bounds.len());
+        let mut m = Model::minimize();
+        let vars: Vec<_> = (0..n).map(|i| m.add_var(format!("x{i}"), costs[i])).collect();
+        for (i, &v) in vars.iter().enumerate() {
+            m.add_constraint(vec![(v, 1.0)], ConstraintSense::Le, bounds[i]);
+        }
+        // Bounded box → always solvable.
+        let sol = m.solve().expect("box LP is feasible and bounded");
+        let mut expect = 0.0;
+        for i in 0..n {
+            prop_assert!(sol.x[i] >= -1e-9 && sol.x[i] <= bounds[i] + 1e-9);
+            // Optimal box solution: full bound when cost < 0, else 0.
+            let opt = if costs[i] < 0.0 { bounds[i] } else { 0.0 };
+            prop_assert!((sol.x[i] - opt).abs() < 1e-7);
+            expect += costs[i] * opt;
+        }
+        prop_assert!((sol.objective - expect).abs() < 1e-7);
+    }
+}

@@ -1,0 +1,103 @@
+//! Cooling schedules for Simulated Annealing.
+
+/// How the temperature evolves over iterations.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Cooling {
+    /// `T ← μ·T` each iteration (the paper uses μ = 0.88).
+    Exponential {
+        /// Multiplicative factor `0 < μ < 1`.
+        rate: f64,
+    },
+    /// `T ← max(T − step, floor)` each iteration.
+    Linear {
+        /// Subtracted amount per iteration.
+        step: f64,
+        /// Lowest reachable temperature.
+        floor: f64,
+    },
+    /// `T(k) = T₀ / (1 + k)` — classic logarithmic-style decay, useful in
+    /// the cooling ablation.
+    Harmonic,
+}
+
+impl Cooling {
+    /// The paper's schedule: exponential with μ = 0.88.
+    pub fn paper() -> Self {
+        Cooling::Exponential { rate: 0.88 }
+    }
+
+    /// Temperature at iteration `k` (0-based) for initial temperature `t0`.
+    pub fn temperature(&self, t0: f64, k: u64) -> f64 {
+        match *self {
+            Cooling::Exponential { rate } => t0 * rate.powi(k.min(i32::MAX as u64) as i32),
+            Cooling::Linear { step, floor } => (t0 - step * k as f64).max(floor),
+            Cooling::Harmonic => t0 / (1.0 + k as f64),
+        }
+    }
+
+    /// One in-place step (`T ← next(T)` given the iteration just finished).
+    pub fn step(&self, t: f64, t0: f64, next_k: u64) -> f64 {
+        match *self {
+            Cooling::Exponential { rate } => t * rate,
+            _ => self.temperature(t0, next_k),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exponential_matches_power() {
+        let c = Cooling::paper();
+        let t0 = 100.0;
+        assert!((c.temperature(t0, 0) - 100.0).abs() < 1e-12);
+        assert!((c.temperature(t0, 1) - 88.0).abs() < 1e-12);
+        assert!((c.temperature(t0, 2) - 77.44).abs() < 1e-10);
+    }
+
+    #[test]
+    fn exponential_step_is_consistent_with_closed_form() {
+        let c = Cooling::paper();
+        let t0 = 42.0;
+        let mut t = t0;
+        for k in 1..=20 {
+            t = c.step(t, t0, k);
+            assert!((t - c.temperature(t0, k)).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn linear_clamps_at_floor() {
+        let c = Cooling::Linear { step: 10.0, floor: 5.0 };
+        assert_eq!(c.temperature(100.0, 0), 100.0);
+        assert_eq!(c.temperature(100.0, 5), 50.0);
+        assert_eq!(c.temperature(100.0, 50), 5.0);
+    }
+
+    #[test]
+    fn harmonic_decays() {
+        let c = Cooling::Harmonic;
+        assert_eq!(c.temperature(100.0, 0), 100.0);
+        assert_eq!(c.temperature(100.0, 1), 50.0);
+        assert_eq!(c.temperature(100.0, 99), 1.0);
+    }
+
+    #[test]
+    fn all_schedules_are_monotone_nonincreasing() {
+        for c in [
+            Cooling::paper(),
+            Cooling::Linear { step: 3.0, floor: 0.5 },
+            Cooling::Harmonic,
+        ] {
+            let mut prev = f64::INFINITY;
+            for k in 0..100 {
+                let t = c.temperature(50.0, k);
+                assert!(t <= prev + 1e-12, "{c:?} increased at k={k}");
+                assert!(t >= 0.0);
+                prev = t;
+            }
+        }
+    }
+}

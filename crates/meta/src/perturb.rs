@@ -1,0 +1,134 @@
+//! Neighborhood operators on job sequences.
+//!
+//! The paper's SA neighborhood (Section VI): "`Pert` number of jobs are
+//! selected at random from the current sequence and shuffled using the
+//! Fisher Yates algorithm", with `Pert = 4` for all experiments.
+
+use cdd_core::JobSequence;
+use rand::Rng;
+
+/// The paper's perturbation size.
+pub const PAPER_PERT: usize = 4;
+
+/// Shuffle the jobs at `pert` distinct random positions among themselves
+/// (Fisher–Yates over the selected positions). Every other position keeps
+/// its job; the result is always a valid permutation.
+pub fn shuffle_random_positions<R: Rng + ?Sized>(
+    seq: &mut JobSequence,
+    pert: usize,
+    rng: &mut R,
+) {
+    let n = seq.len();
+    if n < 2 || pert < 2 {
+        return;
+    }
+    let pert = pert.min(n);
+    // Reservoir-style draw of `pert` distinct positions (n is small enough
+    // that a partial Fisher–Yates over an index pool is cheapest and exact).
+    let mut pool: Vec<usize> = (0..n).collect();
+    for i in 0..pert {
+        let j = i + rng.gen_range(0..n - i);
+        pool.swap(i, j);
+    }
+    let positions = &mut pool[..pert];
+    // Fisher–Yates over the *jobs* at those positions.
+    for i in (1..pert).rev() {
+        let j = rng.gen_range(0..=i);
+        seq.swap(positions[i], positions[j]);
+    }
+}
+
+/// Swap two distinct random positions (the DPSO velocity operator F₁).
+pub fn random_swap<R: Rng + ?Sized>(seq: &mut JobSequence, rng: &mut R) {
+    let n = seq.len();
+    if n < 2 {
+        return;
+    }
+    let a = rng.gen_range(0..n);
+    let mut b = rng.gen_range(0..n - 1);
+    if b >= a {
+        b += 1;
+    }
+    seq.swap(a, b);
+}
+
+/// Remove a random job and reinsert it at a random position (insertion
+/// neighborhood, used by the ES baseline).
+pub fn random_insert<R: Rng + ?Sized>(seq: &mut JobSequence, rng: &mut R) {
+    let n = seq.len();
+    if n < 2 {
+        return;
+    }
+    let from = rng.gen_range(0..n);
+    let to = rng.gen_range(0..n);
+    seq.insert_move(from, to);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn shuffle_touches_at_most_pert_positions() {
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..200 {
+            let mut s = JobSequence::identity(20);
+            shuffle_random_positions(&mut s, 4, &mut rng);
+            assert!(s.is_valid_permutation());
+            let moved = s.as_slice().iter().enumerate().filter(|(i, &j)| *i != j as usize).count();
+            assert!(moved <= 4, "moved {moved} positions");
+        }
+    }
+
+    #[test]
+    fn shuffle_eventually_moves_something() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let mut changed = 0;
+        for _ in 0..100 {
+            let mut s = JobSequence::identity(10);
+            shuffle_random_positions(&mut s, 4, &mut rng);
+            if s != JobSequence::identity(10) {
+                changed += 1;
+            }
+        }
+        // A 4-element random permutation is the identity 1/24 of the time;
+        // 100 draws virtually never stay all-identity.
+        assert!(changed > 50, "only {changed} perturbations changed the sequence");
+    }
+
+    #[test]
+    fn shuffle_handles_degenerate_sizes() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut s = JobSequence::identity(1);
+        shuffle_random_positions(&mut s, 4, &mut rng);
+        assert_eq!(s.as_slice(), &[0]);
+
+        let mut s = JobSequence::identity(3);
+        shuffle_random_positions(&mut s, 10, &mut rng); // pert > n clamps
+        assert!(s.is_valid_permutation());
+    }
+
+    #[test]
+    fn random_swap_swaps_exactly_two() {
+        let mut rng = StdRng::seed_from_u64(8);
+        for _ in 0..100 {
+            let mut s = JobSequence::identity(15);
+            random_swap(&mut s, &mut rng);
+            let moved = s.as_slice().iter().enumerate().filter(|(i, &j)| *i != j as usize).count();
+            assert_eq!(moved, 2);
+            assert!(s.is_valid_permutation());
+        }
+    }
+
+    #[test]
+    fn random_insert_preserves_permutation() {
+        let mut rng = StdRng::seed_from_u64(9);
+        for _ in 0..100 {
+            let mut s = JobSequence::identity(12);
+            random_insert(&mut s, &mut rng);
+            assert!(s.is_valid_permutation());
+        }
+    }
+}

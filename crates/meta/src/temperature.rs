@@ -1,0 +1,169 @@
+//! Initial-temperature estimation.
+//!
+//! The paper (Section VI) takes `T₀` as "the standard deviation of fitness
+//! values of 5000 different job sequences, generated randomly", following
+//! Salamon, Sibani & Frost, *Facts, Conjectures, and Improvements for
+//! Simulated Annealing* (SIAM 2002).
+
+use cdd_core::eval::SequenceEvaluator;
+use cdd_core::JobSequence;
+use rand::Rng;
+
+/// Number of random samples the paper uses.
+pub const PAPER_SAMPLES: usize = 5000;
+
+/// Estimate `T₀` as the standard deviation of the objective over `samples`
+/// uniformly random sequences.
+///
+/// Returns at least `1.0` so the metropolis rule stays well-defined even on
+/// degenerate landscapes (e.g. all-zero penalties).
+pub fn initial_temperature<E: SequenceEvaluator + ?Sized, R: Rng + ?Sized>(
+    eval: &E,
+    samples: usize,
+    rng: &mut R,
+) -> f64 {
+    assert!(samples >= 2, "need at least two samples for a standard deviation");
+    let n = eval.n();
+    // Welford's online algorithm: single pass, numerically stable.
+    let mut mean = 0.0f64;
+    let mut m2 = 0.0f64;
+    let mut seq = JobSequence::identity(n);
+    for count in 1..=samples {
+        // In-place reshuffle (full Fisher–Yates) avoids re-allocating.
+        seq.shuffle_window(0, n, rng);
+        let x = eval.evaluate(seq.as_slice()) as f64;
+        let delta = x - mean;
+        mean += delta / count as f64;
+        m2 += delta * (x - mean);
+    }
+    let variance = m2 / (samples - 1) as f64;
+    variance.sqrt().max(1.0)
+}
+
+/// Estimate `T₀` from the **local move scale**: the standard deviation of
+/// the fitness deltas of single perturbation moves (window shuffles of size
+/// `pert`) applied to `start`.
+///
+/// The paper's random-sequence rule calibrates the temperature to the
+/// *global* fitness spread, which is appropriate for randomly initialized
+/// chains. When chains start from a constructive heuristic (see
+/// `cdd-gpu::InitStrategy::VShapedSpread`), that global scale is orders of
+/// magnitude above any single move's delta, and the first dozens of
+/// accepted uphill moves destroy the good start. Calibrating to the move
+/// scale keeps early exploration local — the deviation from the paper is
+/// recorded in DESIGN.md/EXPERIMENTS.md.
+pub fn initial_temperature_local<E: SequenceEvaluator + ?Sized, R: Rng + ?Sized>(
+    eval: &E,
+    start: &JobSequence,
+    pert: usize,
+    samples: usize,
+    rng: &mut R,
+) -> f64 {
+    assert!(samples >= 2, "need at least two samples for a standard deviation");
+    let base = eval.evaluate(start.as_slice()) as f64;
+    let mut mean = 0.0f64;
+    let mut m2 = 0.0f64;
+    let mut probe = start.clone();
+    for count in 1..=samples {
+        probe.clone_from(start);
+        crate::perturb::shuffle_random_positions(&mut probe, pert, rng);
+        let x = eval.evaluate(probe.as_slice()) as f64 - base;
+        let delta = x - mean;
+        mean += delta / count as f64;
+        m2 += delta * (x - mean);
+    }
+    let variance = m2 / (samples - 1) as f64;
+    variance.sqrt().max(1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cdd_core::eval::CddEvaluator;
+    use cdd_core::Instance;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn local_estimate_is_much_smaller_than_global_on_large_instances() {
+        use rand::Rng;
+        let mut rng = StdRng::seed_from_u64(8);
+        let p: Vec<i64> = (0..100).map(|_| rng.gen_range(1..=20)).collect();
+        let a: Vec<i64> = (0..100).map(|_| rng.gen_range(1..=10)).collect();
+        let b: Vec<i64> = (0..100).map(|_| rng.gen_range(1..=15)).collect();
+        let d = (p.iter().sum::<i64>() as f64 * 0.6) as i64;
+        let inst = Instance::cdd_from_arrays(&p, &a, &b, d).unwrap();
+        let eval = CddEvaluator::new(&inst);
+        let start = cdd_core::heuristics::v_shaped_sequence(&inst);
+
+        let global = initial_temperature(&eval, 1000, &mut rng);
+        let local = initial_temperature_local(&eval, &start, 4, 200, &mut rng);
+        assert!(local > 0.0);
+        assert!(
+            local < global / 3.0,
+            "local T0 {local} not clearly below global T0 {global}"
+        );
+    }
+
+    #[test]
+    fn local_estimate_is_deterministic_per_rng() {
+        let inst = Instance::paper_example_cdd();
+        let eval = CddEvaluator::new(&inst);
+        let start = cdd_core::heuristics::v_shaped_sequence(&inst);
+        let a = initial_temperature_local(&eval, &start, 4, 100, &mut StdRng::seed_from_u64(1));
+        let b = initial_temperature_local(&eval, &start, 4, 100, &mut StdRng::seed_from_u64(1));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn estimate_is_positive_and_stable() {
+        let inst = Instance::paper_example_cdd();
+        let eval = CddEvaluator::new(&inst);
+        let mut rng = StdRng::seed_from_u64(1);
+        let t1 = initial_temperature(&eval, 2000, &mut rng);
+        let mut rng = StdRng::seed_from_u64(2);
+        let t2 = initial_temperature(&eval, 2000, &mut rng);
+        assert!(t1 > 1.0);
+        // Two independent estimates agree within a loose tolerance.
+        assert!((t1 - t2).abs() / t1 < 0.25, "t1={t1} t2={t2}");
+    }
+
+    #[test]
+    fn matches_two_pass_reference() {
+        let inst = Instance::paper_example_cdd();
+        let eval = CddEvaluator::new(&inst);
+        // Welford vs. naive two-pass on the same sample stream.
+        let mut rng = StdRng::seed_from_u64(3);
+        let welford = initial_temperature(&eval, 500, &mut rng);
+
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut seq = JobSequence::identity(5);
+        let xs: Vec<f64> = (0..500)
+            .map(|_| {
+                seq.shuffle_window(0, 5, &mut rng);
+                eval.evaluate(seq.as_slice()) as f64
+            })
+            .collect();
+        let mean = xs.iter().sum::<f64>() / xs.len() as f64;
+        let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (xs.len() - 1) as f64;
+        assert!((welford - var.sqrt().max(1.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn degenerate_landscape_floors_at_one() {
+        // All penalties zero → every sequence costs 0 → stddev 0 → floor 1.
+        let inst = Instance::cdd_from_arrays(&[3, 4], &[0, 0], &[0, 0], 100).unwrap();
+        let eval = CddEvaluator::new(&inst);
+        let mut rng = StdRng::seed_from_u64(4);
+        assert_eq!(initial_temperature(&eval, 100, &mut rng), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two samples")]
+    fn rejects_single_sample() {
+        let inst = Instance::paper_example_cdd();
+        let eval = CddEvaluator::new(&inst);
+        let mut rng = StdRng::seed_from_u64(5);
+        initial_temperature(&eval, 1, &mut rng);
+    }
+}

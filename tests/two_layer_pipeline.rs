@@ -1,0 +1,109 @@
+//! Integration tests spanning the whole two-layered pipeline:
+//! instances → O(n) optimizers ↔ LP oracle → CPU/GPU metaheuristics.
+
+use cdd_suite::core::exact::{best_sequence_bruteforce, optimal_sequence_objective};
+use cdd_suite::core::eval::evaluator_for;
+use cdd_suite::gpu::{run_gpu_dpso, run_gpu_sa, GpuDpsoParams, GpuSaParams};
+use cdd_suite::instances;
+use cdd_suite::lp::{solve_cdd_sequence_lp, solve_ucddcp_sequence_lp};
+use cdd_suite::meta::{AsyncEnsemble, SaParams};
+use cdd_suite::JobSequence;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// The O(n) optimizers agree with the simplex LP on real benchmark
+/// instances (not just the random ones the unit tests draw).
+#[test]
+fn linear_algorithms_match_lp_on_benchmark_instances() {
+    let mut rng = StdRng::seed_from_u64(99);
+    for k in 1..=3 {
+        let inst = instances::cdd_instance(20, k, 0.4);
+        for _ in 0..5 {
+            let seq = JobSequence::random(20, &mut rng);
+            let fast = optimal_sequence_objective(&inst, &seq) as f64;
+            let lp = solve_cdd_sequence_lp(&inst, &seq).expect("feasible").objective;
+            assert!((fast - lp).abs() < 1e-5, "CDD n=20 k={k}: {fast} vs {lp}");
+        }
+
+        let inst = instances::ucddcp_instance(15, k);
+        for _ in 0..5 {
+            let seq = JobSequence::random(15, &mut rng);
+            let fast = optimal_sequence_objective(&inst, &seq) as f64;
+            let lp = solve_ucddcp_sequence_lp(&inst, &seq).expect("feasible").objective;
+            assert!((fast - lp).abs() < 1e-5, "UCDDCP n=15 k={k}: {fast} vs {lp}");
+        }
+    }
+}
+
+/// GPU SA, GPU DPSO and the CPU ensemble all find the global optimum of a
+/// small benchmark instance (verified by factorial enumeration).
+#[test]
+fn all_three_solvers_reach_global_optimum_small() {
+    let inst = instances::cdd_instance(8, 1, 0.6);
+    let (_, optimum) = best_sequence_bruteforce(&inst);
+
+    let sa = run_gpu_sa(
+        &inst,
+        &GpuSaParams { blocks: 2, block_size: 32, iterations: 400, ..Default::default() },
+    )
+    .expect("valid launch");
+    assert_eq!(sa.objective, optimum, "GPU SA missed the optimum");
+
+    let dpso = run_gpu_dpso(
+        &inst,
+        &GpuDpsoParams { blocks: 2, block_size: 32, iterations: 400, ..Default::default() },
+    )
+    .expect("valid launch");
+    assert_eq!(dpso.objective, optimum, "GPU DPSO missed the optimum");
+
+    let eval = evaluator_for(&inst);
+    let cpu = AsyncEnsemble::new(eval.as_ref(), 16, SaParams::paper_1000()).run(5);
+    assert_eq!(cpu.objective, optimum, "CPU ensemble missed the optimum");
+}
+
+/// Same for a UCDDCP benchmark instance.
+#[test]
+fn gpu_sa_reaches_ucddcp_global_optimum_small() {
+    let inst = instances::ucddcp_instance(8, 2);
+    let (_, optimum) = best_sequence_bruteforce(&inst);
+    let sa = run_gpu_sa(
+        &inst,
+        &GpuSaParams { blocks: 2, block_size: 32, iterations: 500, ..Default::default() },
+    )
+    .expect("valid launch");
+    assert_eq!(sa.objective, optimum);
+}
+
+/// The objective the GPU reports is exactly what the CPU evaluator assigns
+/// to the returned sequence — no drift between device and host fitness.
+#[test]
+fn gpu_objective_is_consistent_with_host_evaluation() {
+    for (name, inst) in [
+        ("cdd", instances::cdd_instance(30, 1, 0.2)),
+        ("ucddcp", instances::ucddcp_instance(30, 1)),
+    ] {
+        let r = run_gpu_sa(
+            &inst,
+            &GpuSaParams { blocks: 2, block_size: 16, iterations: 150, ..Default::default() },
+        )
+        .expect("valid launch");
+        let eval = evaluator_for(&inst);
+        assert_eq!(
+            eval.evaluate(r.best.as_slice()),
+            r.objective,
+            "{name}: device/host fitness drift"
+        );
+        assert!(r.best.is_valid_permutation());
+    }
+}
+
+/// Restrictive factors order the optima sensibly: a tighter due date can
+/// only make the best reachable penalty worse or equal (same job data).
+#[test]
+fn tighter_due_dates_cost_more() {
+    let loose = instances::cdd_instance(8, 3, 0.8);
+    let tight = instances::cdd_instance(8, 3, 0.2);
+    let (_, loose_opt) = best_sequence_bruteforce(&loose);
+    let (_, tight_opt) = best_sequence_bruteforce(&tight);
+    assert!(tight_opt >= loose_opt, "tight {tight_opt} < loose {loose_opt}");
+}
