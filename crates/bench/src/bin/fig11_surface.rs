@@ -62,7 +62,8 @@ fn main() {
         AlgoKind::Sa1000,
         &CampaignConfig { sizes: vec![n], ..Default::default() },
         instance_seed(seed, &id),
-    );
+    )
+    .expect("clean device run succeeds");
     println!(
         "(reference: paper configuration 4x192 @1000 gens -> {:.6} modeled s)",
         anchor.modeled_seconds

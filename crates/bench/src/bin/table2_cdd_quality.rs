@@ -3,14 +3,25 @@
 //!
 //! ```text
 //! cargo run --release -p cdd-bench --bin table2_cdd_quality -- \
-//!     [--sizes 10,20,50,100,200] [--ks 1,2] [--blocks 4] [--block-size 192] [--full]
+//!     [--sizes 10,20,50,100,200] [--ks 1,2] [--blocks 4] [--block-size 192] [--full] \
+//!     [--fault-seed S --launch-failure-rate P --bit-flip-rate P --hang-rate P] \
+//!     [--resume] [--max-cells N]
 //! ```
+//!
+//! Completed cells are journaled to `results/table2_cdd_quality.journal.jsonl`
+//! after every cell; `--resume` replays the journal and continues from where
+//! a killed run stopped, producing byte-identical CSVs. `--max-cells` bounds
+//! the cells executed this invocation (journal replays are free).
 //!
 //! Paper shape to reproduce: SA stays within ~2 % at every size (SA₅₀₀₀
 //! under ~0.5 %), while DPSO degrades sharply from n ≈ 100 upward.
 
-use cdd_bench::campaign::{best_known_path, ensure_best_known, run_quality_suite};
-use cdd_bench::{gpu_algorithms, render_markdown, results_dir, write_csv, Args, CampaignConfig, Table};
+use cdd_bench::campaign::{
+    best_known_path, ensure_best_known, fault_plan_from_args, run_quality_suite,
+};
+use cdd_bench::{
+    gpu_algorithms, render_markdown, results_dir, write_csv, Args, CampaignConfig, Journal, Table,
+};
 use cdd_instances::{BestKnown, InstanceId, PAPER_H_VALUES, PAPER_SIZES};
 
 fn main() {
@@ -25,6 +36,7 @@ fn main() {
         blocks: args.get_or("blocks", 4usize),
         block_size: args.get_or("block-size", 192usize),
         seed: args.get_or("seed", 2016u64),
+        fault: fault_plan_from_args(&args),
         ..Default::default()
     };
     let ks: Vec<u32> =
@@ -54,7 +66,17 @@ fn main() {
         cfg.blocks,
         cfg.block_size
     );
-    let (rows, detail) = run_quality_suite(&cfg, &ids, &best);
+    if let Some(plan) = &cfg.fault {
+        eprintln!("fault injection: {plan:?}");
+    }
+    let journal_path = results_dir().join("table2_cdd_quality.journal.jsonl");
+    let mut journal =
+        Journal::open(&journal_path, args.flag("resume")).expect("journal readable");
+    if !journal.is_empty() {
+        eprintln!("resuming: {} cells replayed from {}", journal.len(), journal_path.display());
+    }
+    let max_cells = args.get("max-cells").map(|s| s.parse().expect("--max-cells: integer"));
+    let (rows, detail) = run_quality_suite(&cfg, &ids, &best, Some(&mut journal), max_cells);
 
     let mut table = Table::new(vec!["Jobs", "SA1000", "SA5000", "DPSO1000", "DPSO5000"]);
     for r in &rows {

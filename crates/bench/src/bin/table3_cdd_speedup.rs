@@ -15,7 +15,7 @@
 //! Paper shape to reproduce: speed-ups grow with n and flatten at the top
 //! end; SA₅₀₀₀ costs about 5× SA₁₀₀₀.
 
-use cdd_bench::campaign::run_speedup_suite;
+use cdd_bench::campaign::{fault_plan_from_args, run_speedup_suite};
 use cdd_bench::{render_markdown, results_dir, write_csv, Args, CampaignConfig};
 use cdd_instances::{InstanceId, PAPER_SIZES};
 
@@ -30,6 +30,7 @@ fn main() {
         blocks: args.get_or("blocks", 4usize),
         block_size: args.get_or("block-size", 192usize),
         seed: args.get_or("seed", 2016u64),
+        fault: fault_plan_from_args(&args),
         ..Default::default()
     };
     let h = args.get_or("h", 0.6f64);

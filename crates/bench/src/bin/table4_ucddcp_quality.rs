@@ -3,15 +3,26 @@
 //!
 //! ```text
 //! cargo run --release -p cdd-bench --bin table4_ucddcp_quality -- \
-//!     [--sizes 10,20,50,100,200] [--ks 1,2,3] [--full]
+//!     [--sizes 10,20,50,100,200] [--ks 1,2,3] [--full] \
+//!     [--fault-seed S --launch-failure-rate P --bit-flip-rate P --hang-rate P] \
+//!     [--resume] [--max-cells N]
 //! ```
+//!
+//! Completed cells are journaled to
+//! `results/table4_ucddcp_quality.journal.jsonl`; `--resume` continues a
+//! killed campaign with byte-identical CSVs, `--max-cells` bounds the cells
+//! executed per invocation.
 //!
 //! Paper shape to reproduce: SA₅₀₀₀ can *beat* the best-known values
 //! (negative `%Δ`) because the reference is a finite-budget CPU heuristic,
 //! while DPSO again degrades with size.
 
-use cdd_bench::campaign::{best_known_path, ensure_best_known, run_quality_suite};
-use cdd_bench::{render_markdown, results_dir, write_csv, Args, CampaignConfig, Table};
+use cdd_bench::campaign::{
+    best_known_path, ensure_best_known, fault_plan_from_args, run_quality_suite,
+};
+use cdd_bench::{
+    render_markdown, results_dir, write_csv, Args, CampaignConfig, Journal, Table,
+};
 use cdd_instances::{BestKnown, InstanceId, PAPER_SIZES};
 
 fn main() {
@@ -26,6 +37,7 @@ fn main() {
         blocks: args.get_or("blocks", 4usize),
         block_size: args.get_or("block-size", 192usize),
         seed: args.get_or("seed", 2016u64),
+        fault: fault_plan_from_args(&args),
         ..Default::default()
     };
     let ks: Vec<u32> =
@@ -50,7 +62,17 @@ fn main() {
         ids.len(),
         cfg.ensemble()
     );
-    let (rows, detail) = run_quality_suite(&cfg, &ids, &best);
+    if let Some(plan) = &cfg.fault {
+        eprintln!("fault injection: {plan:?}");
+    }
+    let journal_path = results_dir().join("table4_ucddcp_quality.journal.jsonl");
+    let mut journal =
+        Journal::open(&journal_path, args.flag("resume")).expect("journal readable");
+    if !journal.is_empty() {
+        eprintln!("resuming: {} cells replayed from {}", journal.len(), journal_path.display());
+    }
+    let max_cells = args.get("max-cells").map(|s| s.parse().expect("--max-cells: integer"));
+    let (rows, detail) = run_quality_suite(&cfg, &ids, &best, Some(&mut journal), max_cells);
 
     let mut table = Table::new(vec!["Jobs", "SA1000", "SA5000", "DPSO1000", "DPSO5000"]);
     for r in &rows {

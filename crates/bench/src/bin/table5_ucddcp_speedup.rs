@@ -11,7 +11,7 @@
 //! Paper shape to reproduce: sub-1 speed-ups for tiny n (launch/transfer
 //! overhead dominates), growing and then saturating with n.
 
-use cdd_bench::campaign::run_speedup_suite;
+use cdd_bench::campaign::{fault_plan_from_args, run_speedup_suite};
 use cdd_bench::{render_markdown, results_dir, write_csv, Args, CampaignConfig};
 use cdd_instances::{InstanceId, PAPER_SIZES};
 
@@ -26,6 +26,7 @@ fn main() {
         blocks: args.get_or("blocks", 4usize),
         block_size: args.get_or("block-size", 192usize),
         seed: args.get_or("seed", 2016u64),
+        fault: fault_plan_from_args(&args),
         ..Default::default()
     };
 

@@ -2,12 +2,13 @@
 //! algorithm configurations of the paper, GPU runs, and measured CPU
 //! baselines.
 
+use crate::journal::{CellRecord, Journal};
 use cdd_core::eval::evaluator_for;
-use cdd_core::{Cost, Instance};
+use cdd_core::{Cost, Instance, SuiteError};
 use cdd_gpu::{run_gpu_dpso, run_gpu_sa, GpuDpsoParams, GpuRunResult, GpuSaParams};
 use cdd_instances::{BestKnown, InstanceId};
 use cdd_meta::{EsParams, EvolutionStrategy, SaParams, SimulatedAnnealing};
-use cuda_sim::DeviceSpec;
+use cuda_sim::{DeviceSpec, FaultPlan};
 use std::path::PathBuf;
 use std::time::Instant;
 
@@ -67,6 +68,10 @@ pub struct CampaignConfig {
     pub seed: u64,
     /// Simulated device.
     pub device: DeviceSpec,
+    /// Base fault plan (None = clean device). Each campaign cell derives its
+    /// own plan from this seed and the cell seed, so interrupted and
+    /// uninterrupted runs inject identical faults per cell.
+    pub fault: Option<FaultPlan>,
 }
 
 impl Default for CampaignConfig {
@@ -77,6 +82,7 @@ impl Default for CampaignConfig {
             block_size: 192,
             seed: 2016,
             device: DeviceSpec::gt560m(),
+            fault: None,
         }
     }
 }
@@ -91,15 +97,43 @@ impl CampaignConfig {
     pub fn ensemble(&self) -> usize {
         self.blocks * self.block_size
     }
+
+    /// Derive the fault plan for one campaign cell: a pure function of the
+    /// base plan and the cell seed, so resumed runs replay identical faults.
+    pub fn cell_fault_plan(&self, cell_seed: u64) -> Option<FaultPlan> {
+        self.fault.as_ref().map(|p| p.reseeded(p.seed ^ cell_seed.rotate_left(17)))
+    }
 }
 
-/// Run one of the four parallel configurations on one instance.
+/// Build a fault plan from the shared CLI flags (`--fault-seed`,
+/// `--launch-failure-rate`, `--bit-flip-rate`, `--hang-rate`); all-zero
+/// rates mean a clean device (`None`).
+pub fn fault_plan_from_args(args: &crate::cli::Args) -> Option<FaultPlan> {
+    let launch_failure = args.get_or("launch-failure-rate", 0.0f64);
+    let bit_flip = args.get_or("bit-flip-rate", 0.0f64);
+    let hang = args.get_or("hang-rate", 0.0f64);
+    if launch_failure == 0.0 && bit_flip == 0.0 && hang == 0.0 {
+        return None;
+    }
+    Some(FaultPlan::with_rates(
+        args.get_or("fault-seed", 0xFA17u64),
+        launch_failure,
+        bit_flip,
+        hang,
+    ))
+}
+
+/// Run one of the four parallel configurations on one instance. Launch
+/// failures, injected faults and corrupt results surface as [`SuiteError`]
+/// (resilience — retries, reseeded re-attempts, oracle repair, CPU fallback
+/// — has already been applied inside the pipelines by this point).
 pub fn run_algo_on_instance(
     inst: &Instance,
     algo: AlgoKind,
     cfg: &CampaignConfig,
     seed: u64,
-) -> GpuRunResult {
+) -> Result<GpuRunResult, SuiteError> {
+    let fault = cfg.cell_fault_plan(seed);
     if algo.is_sa() {
         run_gpu_sa(
             inst,
@@ -109,10 +143,10 @@ pub fn run_algo_on_instance(
                 iterations: algo.iterations(),
                 seed,
                 device: cfg.device.clone(),
+                fault,
                 ..Default::default()
             },
         )
-        .expect("launch configuration is valid")
     } else {
         run_gpu_dpso(
             inst,
@@ -122,10 +156,10 @@ pub fn run_algo_on_instance(
                 iterations: algo.iterations(),
                 seed,
                 device: cfg.device.clone(),
+                fault,
                 ..Default::default()
             },
         )
-        .expect("launch configuration is valid")
     }
 }
 
@@ -259,23 +293,42 @@ pub fn ensure_best_known(
 /// Run the four parallel configurations over a suite and aggregate average
 /// `%Δ` per size class — the computation behind Tables II and IV.
 ///
+/// Resilience plumbing:
+///
+/// - every completed cell is appended to `journal` (when given) with an
+///   atomic rewrite, so a killed campaign resumes from its intact prefix;
+///   journaled cells are replayed instead of re-run, and because per-cell
+///   seeds and fault plans are pure functions of `cfg`, the resumed CSVs
+///   are byte-identical to an uninterrupted run's;
+/// - a failing cell (device unusable, result unrecoverable) is isolated: it
+///   becomes a `failed: …` detail row and is excluded from that size's
+///   average instead of aborting the campaign;
+/// - `max_cells` bounds the number of cells *executed* (journal replays are
+///   free) — the campaign stops early once the budget is spent, which is
+///   how the resume test (and an operator pacing a long campaign) slices
+///   work.
+///
 /// Returns `(summary rows, per-instance detail table)`.
 pub fn run_quality_suite(
     cfg: &CampaignConfig,
     ids: &[InstanceId],
     best: &BestKnown,
+    mut journal: Option<&mut Journal>,
+    max_cells: Option<usize>,
 ) -> (Vec<QualityRow>, crate::report::Table) {
     let algos = gpu_algorithms();
     let mut detail = crate::report::Table::new(vec![
-        "instance", "algorithm", "objective", "best_known", "pct_delta", "gpu_modeled_s",
+        "instance", "algorithm", "objective", "best_known", "pct_delta", "gpu_modeled_s", "status",
     ]);
     let mut rows = Vec::new();
-    for &n in &cfg.sizes {
+    let mut executed = 0usize;
+    'sizes: for &n in &cfg.sizes {
         let members: Vec<&InstanceId> = ids.iter().filter(|id| id.n == n).collect();
         if members.is_empty() {
             continue;
         }
         let mut sums = vec![0.0f64; algos.len()];
+        let mut counts = vec![0usize; algos.len()];
         for id in &members {
             let inst = id.instantiate();
             let key = id.to_string();
@@ -283,26 +336,82 @@ pub fn run_quality_suite(
                 .get(&key)
                 .unwrap_or_else(|| panic!("no best-known value for {key}; run make_best_known"));
             for (a, &algo) in algos.iter().enumerate() {
-                let r = run_algo_on_instance(&inst, algo, cfg, instance_seed(cfg.seed, id));
-                let delta = best.percent_delta(&key, r.objective).expect("key checked above");
-                sums[a] += delta;
-                detail.push(vec![
-                    key.clone(),
-                    algo.label().to_string(),
-                    r.objective.to_string(),
-                    best_value.to_string(),
-                    format!("{delta:.3}"),
-                    format!("{:.6}", r.modeled_seconds),
-                ]);
+                let seed = instance_seed(cfg.seed, id);
+                let cell = match journal.as_ref().and_then(|j| j.get(&key, algo.label(), seed)) {
+                    Some(rec) => Ok(rec.clone()),
+                    None => {
+                        if max_cells.is_some_and(|limit| executed >= limit) {
+                            eprintln!(
+                                "  stopping early: --max-cells {} exhausted (resume to continue)",
+                                executed
+                            );
+                            break 'sizes;
+                        }
+                        executed += 1;
+                        match run_algo_on_instance(&inst, algo, cfg, seed) {
+                            Ok(r) => {
+                                let rec = CellRecord {
+                                    instance: key.clone(),
+                                    algo: algo.label().to_string(),
+                                    seed,
+                                    objective: r.objective,
+                                    modeled_seconds: r.modeled_seconds,
+                                    status: if r.recovery.cpu_fallback {
+                                        "ok-cpu-fallback".to_string()
+                                    } else {
+                                        "ok".to_string()
+                                    },
+                                };
+                                if let Some(j) = journal.as_deref_mut() {
+                                    j.record(rec.clone()).expect("journal writable");
+                                }
+                                Ok(rec)
+                            }
+                            Err(e) => Err(e),
+                        }
+                    }
+                };
+                match cell {
+                    Ok(rec) => {
+                        let delta =
+                            best.percent_delta(&key, rec.objective).expect("key checked above");
+                        sums[a] += delta;
+                        counts[a] += 1;
+                        detail.push(vec![
+                            key.clone(),
+                            algo.label().to_string(),
+                            rec.objective.to_string(),
+                            best_value.to_string(),
+                            format!("{delta:.3}"),
+                            format!("{:.6}", rec.modeled_seconds),
+                            rec.status,
+                        ]);
+                    }
+                    Err(e) => {
+                        eprintln!("  cell {key}/{} failed: {e}", algo.label());
+                        detail.push(vec![
+                            key.clone(),
+                            algo.label().to_string(),
+                            "-".to_string(),
+                            best_value.to_string(),
+                            "-".to_string(),
+                            "-".to_string(),
+                            format!("failed: {e}"),
+                        ]);
+                    }
+                }
             }
         }
-        let count = members.len();
         rows.push(QualityRow {
             n,
-            deltas: sums.iter().map(|s| s / count as f64).collect(),
-            instances: count,
+            deltas: sums
+                .iter()
+                .zip(&counts)
+                .map(|(s, &c)| if c == 0 { f64::NAN } else { s / c as f64 })
+                .collect(),
+            instances: members.len(),
         });
-        eprintln!("  n = {n}: averaged {count} instances");
+        eprintln!("  n = {n}: averaged {} instances", members.len());
     }
     (rows, detail)
 }
@@ -356,27 +465,37 @@ pub fn run_speedup_suite(
         };
 
         let mut srow = vec![n.to_string()];
-        let mut gpu_secs = Vec::new();
+        let mut gpu_cells = Vec::new();
         for algo in algos {
-            let r = run_algo_on_instance(&inst, algo, cfg, seed);
-            let cpu_sa = if algo.iterations() == 1000 { cpu_sa_1000 } else { cpu_sa_5000 };
-            srow.push(format!("{:.1}", cpu_sa / r.modeled_seconds));
-            if with_es_baseline {
-                let cpu_es = if algo.iterations() == 1000 { cpu_es_1000 } else { cpu_es_5000 };
-                srow.push(format!("{:.1}", cpu_es / r.modeled_seconds));
+            // A failed cell is isolated: its columns render as `err` and the
+            // rest of the sweep continues.
+            match run_algo_on_instance(&inst, algo, cfg, seed) {
+                Ok(r) => {
+                    let cpu_sa = if algo.iterations() == 1000 { cpu_sa_1000 } else { cpu_sa_5000 };
+                    srow.push(format!("{:.1}", cpu_sa / r.modeled_seconds));
+                    if with_es_baseline {
+                        let cpu_es =
+                            if algo.iterations() == 1000 { cpu_es_1000 } else { cpu_es_5000 };
+                        srow.push(format!("{:.1}", cpu_es / r.modeled_seconds));
+                    }
+                    gpu_cells.push(format!("{:.6}", r.modeled_seconds));
+                }
+                Err(e) => {
+                    eprintln!("  cell n={n}/{} failed: {e}", algo.label());
+                    srow.push("err".to_string());
+                    if with_es_baseline {
+                        srow.push("err".to_string());
+                    }
+                    gpu_cells.push("err".to_string());
+                }
             }
-            gpu_secs.push(r.modeled_seconds);
         }
         speedup.push(srow);
-        runtime.push(vec![
-            n.to_string(),
-            format!("{:.6}", gpu_secs[0]),
-            format!("{:.6}", gpu_secs[1]),
-            format!("{:.6}", gpu_secs[2]),
-            format!("{:.6}", gpu_secs[3]),
-            format!("{cpu_sa_1000:.4}"),
-            format!("{cpu_sa_5000:.4}"),
-        ]);
+        let mut rrow = vec![n.to_string()];
+        rrow.extend(gpu_cells);
+        rrow.push(format!("{cpu_sa_1000:.4}"));
+        rrow.push(format!("{cpu_sa_5000:.4}"));
+        runtime.push(rrow);
         eprintln!("  n = {n}: done");
     }
     (speedup, runtime)
@@ -433,15 +552,41 @@ mod tests {
             AlgoKind::Sa1000,
             &CampaignConfig { sizes: vec![], blocks: 1, block_size: 16, ..cfg.clone() },
             1,
-        );
+        )
+        .unwrap();
         assert!(sa.objective > 0 && sa.modeled_seconds > 0.0);
         let dpso = run_algo_on_instance(
             &inst,
             AlgoKind::Dpso1000,
             &CampaignConfig { sizes: vec![], blocks: 1, block_size: 16, ..cfg },
             1,
-        );
+        )
+        .unwrap();
         assert!(dpso.objective > 0 && dpso.modeled_seconds > 0.0);
+    }
+
+    #[test]
+    fn cell_fault_plans_are_deterministic_and_decorrelated() {
+        let base = FaultPlan::with_rates(77, 0.05, 0.01, 0.02);
+        let cfg = CampaignConfig { fault: Some(base), ..Default::default() };
+        let a = cfg.cell_fault_plan(1).unwrap();
+        let b = cfg.cell_fault_plan(1).unwrap();
+        let c = cfg.cell_fault_plan(2).unwrap();
+        assert_eq!(a, b, "same cell seed, same plan");
+        assert_ne!(a.seed, c.seed, "different cells draw different fault sequences");
+        assert!(CampaignConfig::default().cell_fault_plan(1).is_none());
+    }
+
+    #[test]
+    fn fault_flags_build_a_plan_only_when_nonzero() {
+        let clean = crate::cli::Args::from_iter(["--seed".to_string(), "1".into()]);
+        assert!(fault_plan_from_args(&clean).is_none());
+        let faulty = crate::cli::Args::from_iter(
+            ["--launch-failure-rate", "0.05", "--fault-seed", "9"].map(String::from),
+        );
+        let plan = fault_plan_from_args(&faulty).unwrap();
+        assert_eq!(plan.seed, 9);
+        assert!(plan.is_active());
     }
 
     #[test]

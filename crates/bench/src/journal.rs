@@ -1,0 +1,338 @@
+//! Resumable campaign journal: one JSONL record per completed campaign cell
+//! (`instance × algorithm × seed`), rewritten atomically (temp file + rename)
+//! after every completed cell so a killed run never leaves a torn journal.
+//!
+//! A fresh run truncates the journal; `--resume` loads it and skips every
+//! cell already recorded, replaying the stored result instead. Because the
+//! per-cell seeds and fault plans are pure functions of the campaign
+//! configuration, an interrupted-then-resumed campaign produces CSVs that
+//! are byte-identical to an uninterrupted one.
+//!
+//! The format is deliberately minimal — flat JSON objects with string,
+//! integer, float and boolean values, parsed by a tiny scanner below (the
+//! offline dependency list rules out serde). Malformed lines are skipped on
+//! load, so a journal truncated by a crash still resumes from its intact
+//! prefix.
+
+use cdd_core::Cost;
+use std::collections::BTreeMap;
+use std::io;
+use std::path::PathBuf;
+
+/// One completed campaign cell.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CellRecord {
+    /// Instance id (e.g. `cdd-n10-k1-h0.6`).
+    pub instance: String,
+    /// Algorithm label (e.g. `SA1000`).
+    pub algo: String,
+    /// Per-cell seed the run used.
+    pub seed: u64,
+    /// Oracle-verified objective.
+    pub objective: Cost,
+    /// Modeled GPU seconds (0 for CPU-fallback cells).
+    pub modeled_seconds: f64,
+    /// Outcome label carried into the detail table (`ok`,
+    /// `ok-cpu-fallback`, …) so replayed rows render identically.
+    pub status: String,
+}
+
+impl CellRecord {
+    fn key(&self) -> (String, String, u64) {
+        (self.instance.clone(), self.algo.clone(), self.seed)
+    }
+
+    fn to_json(&self) -> String {
+        format!(
+            "{{\"instance\":{},\"algo\":{},\"seed\":{},\"objective\":{},\"modeled_seconds\":{:?},\"status\":{}}}",
+            escape(&self.instance),
+            escape(&self.algo),
+            self.seed,
+            self.objective,
+            self.modeled_seconds,
+            escape(&self.status),
+        )
+    }
+
+    fn from_json(line: &str) -> Option<Self> {
+        let fields = parse_flat_object(line)?;
+        Some(CellRecord {
+            instance: fields.get("instance")?.as_str()?.to_string(),
+            algo: fields.get("algo")?.as_str()?.to_string(),
+            seed: fields.get("seed")?.as_num()?,
+            objective: fields.get("objective")?.as_num()?,
+            modeled_seconds: fields.get("modeled_seconds")?.as_num()?,
+            status: fields.get("status")?.as_str()?.to_string(),
+        })
+    }
+}
+
+/// The on-disk journal plus its in-memory index.
+#[derive(Debug)]
+pub struct Journal {
+    path: PathBuf,
+    records: BTreeMap<(String, String, u64), CellRecord>,
+}
+
+impl Journal {
+    /// Open a journal at `path`. With `resume` the existing file is loaded
+    /// (tolerantly — malformed lines are skipped); without it the journal
+    /// starts empty and the first recorded cell truncates any stale file.
+    pub fn open(path: impl Into<PathBuf>, resume: bool) -> io::Result<Self> {
+        let path = path.into();
+        let mut records = BTreeMap::new();
+        if resume {
+            match std::fs::read_to_string(&path) {
+                Ok(text) => {
+                    for line in text.lines() {
+                        if let Some(rec) = CellRecord::from_json(line) {
+                            records.insert(rec.key(), rec);
+                        }
+                    }
+                }
+                Err(e) if e.kind() == io::ErrorKind::NotFound => {}
+                Err(e) => return Err(e),
+            }
+        }
+        Ok(Journal { path, records })
+    }
+
+    /// Completed cells currently journaled.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Whether no cell has completed yet.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Look up a completed cell.
+    pub fn get(&self, instance: &str, algo: &str, seed: u64) -> Option<&CellRecord> {
+        self.records.get(&(instance.to_string(), algo.to_string(), seed))
+    }
+
+    /// Record a completed cell and persist the whole journal atomically
+    /// (write to a sibling temp file, then rename over the journal).
+    pub fn record(&mut self, rec: CellRecord) -> io::Result<()> {
+        self.records.insert(rec.key(), rec);
+        if let Some(dir) = self.path.parent() {
+            if !dir.as_os_str().is_empty() {
+                std::fs::create_dir_all(dir)?;
+            }
+        }
+        let mut out = String::new();
+        for rec in self.records.values() {
+            out.push_str(&rec.to_json());
+            out.push('\n');
+        }
+        let tmp = self.path.with_extension("jsonl.tmp");
+        std::fs::write(&tmp, out)?;
+        std::fs::rename(&tmp, &self.path)
+    }
+}
+
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[derive(Debug, PartialEq)]
+enum Value {
+    Str(String),
+    /// Numbers and booleans, kept as raw token text and parsed on demand.
+    Raw(String),
+}
+
+impl Value {
+    fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            Value::Raw(_) => None,
+        }
+    }
+
+    fn as_num<T: std::str::FromStr>(&self) -> Option<T> {
+        match self {
+            Value::Raw(s) => s.parse().ok(),
+            Value::Str(_) => None,
+        }
+    }
+}
+
+/// Parse one flat JSON object (no nesting, no arrays). Returns `None` on any
+/// syntax error — the caller skips the line.
+fn parse_flat_object(line: &str) -> Option<BTreeMap<String, Value>> {
+    let mut chars = line.trim().chars().peekable();
+    let mut fields = BTreeMap::new();
+    if chars.next()? != '{' {
+        return None;
+    }
+    loop {
+        skip_ws(&mut chars);
+        match chars.peek()? {
+            '}' => {
+                chars.next();
+                break;
+            }
+            '"' => {}
+            _ => return None,
+        }
+        let key = parse_string(&mut chars)?;
+        skip_ws(&mut chars);
+        if chars.next()? != ':' {
+            return None;
+        }
+        skip_ws(&mut chars);
+        let value = match chars.peek()? {
+            '"' => Value::Str(parse_string(&mut chars)?),
+            _ => {
+                let mut raw = String::new();
+                while let Some(&c) = chars.peek() {
+                    if c == ',' || c == '}' {
+                        break;
+                    }
+                    raw.push(c);
+                    chars.next();
+                }
+                Value::Raw(raw.trim().to_string())
+            }
+        };
+        fields.insert(key, value);
+        skip_ws(&mut chars);
+        match chars.next()? {
+            ',' => {}
+            '}' => break,
+            _ => return None,
+        }
+    }
+    Some(fields)
+}
+
+fn skip_ws(chars: &mut std::iter::Peekable<std::str::Chars<'_>>) {
+    while chars.peek().is_some_and(|c| c.is_whitespace()) {
+        chars.next();
+    }
+}
+
+fn parse_string(chars: &mut std::iter::Peekable<std::str::Chars<'_>>) -> Option<String> {
+    if chars.next()? != '"' {
+        return None;
+    }
+    let mut out = String::new();
+    loop {
+        match chars.next()? {
+            '"' => return Some(out),
+            '\\' => match chars.next()? {
+                '"' => out.push('"'),
+                '\\' => out.push('\\'),
+                'n' => out.push('\n'),
+                'r' => out.push('\r'),
+                't' => out.push('\t'),
+                'u' => {
+                    let hex: String = (0..4).map_while(|_| chars.next()).collect();
+                    let code = u32::from_str_radix(&hex, 16).ok()?;
+                    out.push(char::from_u32(code)?);
+                }
+                _ => return None,
+            },
+            c => out.push(c),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(seed: u64) -> CellRecord {
+        CellRecord {
+            instance: "cdd-n10-k1-h0.6".into(),
+            algo: "SA1000".into(),
+            seed,
+            objective: 124,
+            modeled_seconds: 0.001953125,
+            status: "ok".into(),
+        }
+    }
+
+    fn tmp(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join("cdd-journal-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name)
+    }
+
+    #[test]
+    fn round_trips_records_through_disk() {
+        let path = tmp("round_trip.jsonl");
+        let _ = std::fs::remove_file(&path);
+        let mut j = Journal::open(&path, false).unwrap();
+        j.record(sample(1)).unwrap();
+        j.record(sample(2)).unwrap();
+
+        let j2 = Journal::open(&path, true).unwrap();
+        assert_eq!(j2.len(), 2);
+        assert_eq!(j2.get("cdd-n10-k1-h0.6", "SA1000", 1), Some(&sample(1)));
+        assert_eq!(j2.get("cdd-n10-k1-h0.6", "SA1000", 3), None);
+    }
+
+    #[test]
+    fn float_round_trip_is_exact() {
+        let path = tmp("float.jsonl");
+        let _ = std::fs::remove_file(&path);
+        let mut rec = sample(7);
+        rec.modeled_seconds = 0.1 + 0.2; // not representable prettily
+        let mut j = Journal::open(&path, false).unwrap();
+        j.record(rec.clone()).unwrap();
+        let j2 = Journal::open(&path, true).unwrap();
+        let got = j2.get(&rec.instance, &rec.algo, 7).unwrap();
+        assert_eq!(got.modeled_seconds.to_bits(), rec.modeled_seconds.to_bits());
+    }
+
+    #[test]
+    fn malformed_lines_are_skipped_on_resume() {
+        let path = tmp("torn.jsonl");
+        let good = sample(9).to_json();
+        std::fs::write(&path, format!("{good}\nnot json\n{{\"instance\":\"x\"\n")).unwrap();
+        let j = Journal::open(&path, true).unwrap();
+        assert_eq!(j.len(), 1);
+        assert!(j.get("cdd-n10-k1-h0.6", "SA1000", 9).is_some());
+    }
+
+    #[test]
+    fn fresh_open_ignores_existing_file() {
+        let path = tmp("fresh.jsonl");
+        std::fs::write(&path, sample(4).to_json()).unwrap();
+        let mut j = Journal::open(&path, false).unwrap();
+        assert!(j.is_empty());
+        j.record(sample(5)).unwrap();
+        let j2 = Journal::open(&path, true).unwrap();
+        assert_eq!(j2.len(), 1, "fresh run truncates the stale journal");
+        assert!(j2.get("cdd-n10-k1-h0.6", "SA1000", 4).is_none());
+    }
+
+    #[test]
+    fn escaped_strings_survive() {
+        let path = tmp("escape.jsonl");
+        let _ = std::fs::remove_file(&path);
+        let mut rec = sample(11);
+        rec.status = "failed: \"quote\"\\back\nline".into();
+        let mut j = Journal::open(&path, false).unwrap();
+        j.record(rec.clone()).unwrap();
+        let j2 = Journal::open(&path, true).unwrap();
+        assert_eq!(j2.get(&rec.instance, &rec.algo, 11).unwrap().status, rec.status);
+    }
+}

@@ -25,11 +25,13 @@
 
 pub mod campaign;
 pub mod cli;
+pub mod journal;
 pub mod report;
 
 pub use campaign::{
-    cpu_baseline_seconds, gpu_algorithms, run_algo_on_instance, AlgoKind, CampaignConfig,
-    CpuBaseline, QualityRow, SpeedupRow,
+    cpu_baseline_seconds, fault_plan_from_args, gpu_algorithms, run_algo_on_instance, AlgoKind,
+    CampaignConfig, CpuBaseline, QualityRow, SpeedupRow,
 };
 pub use cli::Args;
+pub use journal::{CellRecord, Journal};
 pub use report::{render_markdown, results_dir, write_csv, Table};

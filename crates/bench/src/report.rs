@@ -56,7 +56,9 @@ pub fn render_markdown(table: &Table) -> String {
 }
 
 /// Write the table as CSV (RFC-4180-style quoting for cells containing
-/// commas or quotes), creating parent directories.
+/// commas or quotes), creating parent directories. The write is atomic
+/// (temp file + rename in the same directory), so a campaign killed
+/// mid-write never leaves a torn CSV behind.
 pub fn write_csv(table: &Table, path: &Path) -> io::Result<()> {
     if let Some(dir) = path.parent() {
         std::fs::create_dir_all(dir)?;
@@ -75,7 +77,9 @@ pub fn write_csv(table: &Table, path: &Path) -> io::Result<()> {
         out.push_str(&row.iter().map(|c| quote(c)).collect::<Vec<_>>().join(","));
         out.push('\n');
     }
-    std::fs::write(path, out)
+    let tmp = path.with_extension("csv.tmp");
+    std::fs::write(&tmp, out)?;
+    std::fs::rename(&tmp, path)
 }
 
 /// Results directory (repo-relative by default, `CDD_RESULTS_DIR` override).
@@ -126,6 +130,7 @@ mod tests {
         let text = std::fs::read_to_string(&path).unwrap();
         assert!(text.contains("\"a,b\""));
         assert!(text.contains("\"say \"\"hi\"\"\""));
+        assert!(!path.with_extension("csv.tmp").exists(), "atomic write leaves no temp file");
         std::fs::remove_dir_all(&dir).unwrap();
     }
 }

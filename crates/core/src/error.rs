@@ -61,6 +61,102 @@ impl fmt::Display for CoreError {
 
 impl std::error::Error for CoreError {}
 
+/// Umbrella error for whole-suite operations (GPU pipeline runs, campaign
+/// cells, report I/O): everything a resilient runner must distinguish to
+/// decide between *retry*, *CPU fallback* and *give up*.
+///
+/// Device errors are represented structurally (`detail` + `transient`)
+/// rather than by wrapping the simulator's `LaunchError`, so `cdd-core`
+/// stays independent of the simulator crate; `cdd-gpu` provides the
+/// conversion.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SuiteError {
+    /// Invalid problem data or sequences.
+    Core(CoreError),
+    /// A device-side failure. `transient` marks faults where a retry can
+    /// succeed (injected launch failures, watchdog kills) as opposed to
+    /// genuine bugs (invalid launch configuration, data races).
+    Device {
+        /// Human-readable failure description.
+        detail: String,
+        /// Whether retrying the operation can succeed.
+        transient: bool,
+    },
+    /// A device run completed but its result failed CPU-oracle validation
+    /// beyond repair.
+    CorruptResult {
+        /// What the oracle rejected.
+        detail: String,
+    },
+    /// A filesystem failure (journals, reports).
+    Io {
+        /// Path involved.
+        path: String,
+        /// Underlying error description.
+        detail: String,
+    },
+}
+
+impl SuiteError {
+    /// Build a device error.
+    pub fn device(detail: impl Into<String>, transient: bool) -> Self {
+        SuiteError::Device { detail: detail.into(), transient }
+    }
+
+    /// Build a corrupt-result error.
+    pub fn corrupt(detail: impl Into<String>) -> Self {
+        SuiteError::CorruptResult { detail: detail.into() }
+    }
+
+    /// Build an I/O error.
+    pub fn io(path: impl Into<String>, detail: impl Into<String>) -> Self {
+        SuiteError::Io { path: path.into(), detail: detail.into() }
+    }
+
+    /// Whether a whole-run retry (fresh device attempt or CPU fallback) is a
+    /// sensible response. Core/config errors are deterministic and would
+    /// fail again; transient device faults and corrupted results are not.
+    pub fn is_recoverable(&self) -> bool {
+        matches!(
+            self,
+            SuiteError::Device { transient: true, .. } | SuiteError::CorruptResult { .. }
+        )
+    }
+}
+
+impl fmt::Display for SuiteError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SuiteError::Core(e) => write!(f, "{e}"),
+            SuiteError::Device { detail, transient: true } => {
+                write!(f, "transient device failure: {detail}")
+            }
+            SuiteError::Device { detail, transient: false } => {
+                write!(f, "device failure: {detail}")
+            }
+            SuiteError::CorruptResult { detail } => {
+                write!(f, "result failed oracle validation: {detail}")
+            }
+            SuiteError::Io { path, detail } => write!(f, "io error on {path}: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for SuiteError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SuiteError::Core(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<CoreError> for SuiteError {
+    fn from(e: CoreError) -> Self {
+        SuiteError::Core(e)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -82,5 +178,22 @@ mod tests {
     fn error_is_std_error() {
         fn takes_err(_: &dyn std::error::Error) {}
         takes_err(&CoreError::EmptyInstance);
+        takes_err(&SuiteError::corrupt("x"));
+    }
+
+    #[test]
+    fn recoverability_split() {
+        assert!(SuiteError::device("launch failed", true).is_recoverable());
+        assert!(SuiteError::corrupt("bad winner row").is_recoverable());
+        assert!(!SuiteError::device("data race", false).is_recoverable());
+        assert!(!SuiteError::from(CoreError::EmptyInstance).is_recoverable());
+        assert!(!SuiteError::io("a.csv", "denied").is_recoverable());
+    }
+
+    #[test]
+    fn suite_error_wraps_core_error() {
+        let e = SuiteError::from(CoreError::NegativeDueDate { due_date: -1 });
+        assert!(e.to_string().contains("due date"));
+        assert!(std::error::Error::source(&e).is_some());
     }
 }

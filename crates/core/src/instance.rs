@@ -2,6 +2,10 @@
 
 use crate::{CoreError, Job, Time};
 
+/// Per-job data as parallel arrays `(P, M, α, β, γ)` — the layout GPU
+/// kernels upload (see [`Instance::to_arrays`]).
+pub type JobArrays = (Vec<Time>, Vec<Time>, Vec<Time>, Vec<Time>, Vec<Time>);
+
 /// Which of the two problems an [`Instance`] describes.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum ProblemKind {
@@ -181,7 +185,7 @@ impl Instance {
 
     /// Copy the per-job data into parallel arrays
     /// `(P, M, α, β, γ)` — the layout used by GPU kernels.
-    pub fn to_arrays(&self) -> (Vec<Time>, Vec<Time>, Vec<Time>, Vec<Time>, Vec<Time>) {
+    pub fn to_arrays(&self) -> JobArrays {
         let p = self.jobs.iter().map(|j| j.processing).collect();
         let m = self.jobs.iter().map(|j| j.min_processing).collect();
         let a = self.jobs.iter().map(|j| j.earliness_penalty).collect();

@@ -55,7 +55,7 @@ pub mod sequence;
 pub mod ucddcp_optimal;
 
 pub use cdd_optimal::{optimize_cdd_sequence, CddSequenceSolution};
-pub use error::CoreError;
+pub use error::{CoreError, SuiteError};
 pub use eval::{CddEvaluator, SequenceEvaluator, UcddcpEvaluator};
 pub use instance::{Instance, ProblemKind};
 pub use job::Job;

@@ -143,9 +143,8 @@ impl Schedule {
         let d = inst.due_date();
         let starts = self.starts();
         let mut out = String::new();
-        for k in 0..self.completions.len() {
+        for (k, &c) in self.completions.iter().enumerate() {
             let j = self.sequence.job_at(k);
-            let c = self.completions[k];
             let marker = if c == d { "  <- completes at due date" } else { "" };
             writeln!(
                 out,

@@ -89,8 +89,8 @@ pub fn ucddcp_objective_raw(
     // Early side: walk positions 1..r (1-based), accumulating the prefix
     // earliness-rate sum over strict predecessors.
     let mut prefix_alpha: Time = 0;
-    for k in 0..r {
-        let j = seq[k] as usize;
+    for &job in &seq[..r] {
+        let j = job as usize;
         let x = p[j] - m[j];
         if x > 0 && prefix_alpha > gamma[j] {
             obj -= x * (prefix_alpha - gamma[j]);
@@ -142,8 +142,8 @@ pub fn optimize_ucddcp_sequence(inst: &Instance, seq: &JobSequence) -> UcddcpSeq
     }
     let mut prefix_alpha: Time = 0;
     let mut early_compression: Time = 0;
-    for k in 0..r {
-        let j = s[k] as usize;
+    for &job in &s[..r] {
+        let j = job as usize;
         let x = p[j] - m[j];
         if x > 0 && prefix_alpha > g[j] {
             objective -= x * (prefix_alpha - g[j]);

@@ -8,11 +8,16 @@
 use crate::init::{initial_ensemble, InitStrategy};
 use crate::kernels::{DpsoUpdateKernel, FitnessKernel, GbestCopyKernel, PbestKernel};
 use crate::layout::ProblemDevice;
+use crate::recovery::{
+    launch_with_retry, merge_faults, run_with_recovery, suite_device_error, verified_best,
+    RecoveryPolicy, RecoveryStats,
+};
 use crate::sa_pipeline::GpuRunResult;
-use cdd_core::eval::evaluator_for;
-use cdd_core::{Instance, JobSequence};
+use cdd_core::eval::{evaluator_for, SequenceEvaluator};
+use cdd_core::{Cost, Instance, JobSequence, SuiteError};
+use cdd_meta::{Dpso, DpsoParams};
 use cuda_sim::reduce::{unpack_argmin, AtomicArgminKernel};
-use cuda_sim::{DeviceSpec, Gpu, LaunchConfig, LaunchError, XorWow};
+use cuda_sim::{DeviceSpec, FaultPlan, Gpu, LaunchConfig, XorWow};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -37,6 +42,10 @@ pub struct GpuDpsoParams {
     pub init: InitStrategy,
     /// Simulated device.
     pub device: DeviceSpec,
+    /// Optional fault-injection plan installed on the simulated device.
+    pub fault: Option<FaultPlan>,
+    /// Retry / re-attempt / fallback policy.
+    pub recovery: RecoveryPolicy,
 }
 
 impl Default for GpuDpsoParams {
@@ -51,6 +60,8 @@ impl Default for GpuDpsoParams {
             seed: 2016,
             init: InitStrategy::default(),
             device: DeviceSpec::gt560m(),
+            fault: None,
+            recovery: RecoveryPolicy::default(),
         }
     }
 }
@@ -73,71 +84,107 @@ impl GpuDpsoParams {
 }
 
 /// Run the paper's parallel DPSO on the simulated GPU.
-pub fn run_gpu_dpso(inst: &Instance, params: &GpuDpsoParams) -> Result<GpuRunResult, LaunchError> {
+///
+/// Wrapped in the same resilience layer as the SA pipelines: bounded launch
+/// retries, reseeded device re-attempts, CPU-oracle validation of the
+/// returned swarm best, and degradation to the CPU DPSO after repeated
+/// device failures.
+pub fn run_gpu_dpso(inst: &Instance, params: &GpuDpsoParams) -> Result<GpuRunResult, SuiteError> {
     assert!(params.iterations >= 1, "need at least one generation");
+    let evaluator = evaluator_for(inst);
+    let host_rng = StdRng::seed_from_u64(params.seed);
+
+    run_with_recovery(
+        &params.recovery,
+        params.fault.as_ref(),
+        |plan, stats| dpso_attempt(inst, params, &*evaluator, &host_rng, plan, stats),
+        || cpu_fallback_dpso(params, &*evaluator),
+    )
+}
+
+/// One complete device run of the DPSO pipeline.
+fn dpso_attempt(
+    inst: &Instance,
+    params: &GpuDpsoParams,
+    evaluator: &dyn SequenceEvaluator,
+    host_rng: &StdRng,
+    plan: Option<FaultPlan>,
+    stats: &mut RecoveryStats,
+) -> Result<GpuRunResult, SuiteError> {
     let n = inst.n();
     let ensemble = params.ensemble();
     let cfg = LaunchConfig::linear(params.blocks, params.block_size);
-
-    let mut host_rng = StdRng::seed_from_u64(params.seed);
-    let evaluator = evaluator_for(inst);
+    let mut host_rng = host_rng.clone();
+    let policy = &params.recovery;
 
     let mut gpu = Gpu::new(params.device.clone());
-    let prob = ProblemDevice::upload(&mut gpu, inst)?;
+    gpu.set_fault_plan(plan);
 
-    let positions = gpu.alloc::<u32>(ensemble * n);
-    let flat = initial_ensemble(inst, ensemble, params.init, &mut host_rng);
-    gpu.h2d(positions, &flat);
-    let energies = gpu.alloc::<i64>(ensemble);
-    let pbest = gpu.alloc::<u32>(ensemble * n);
-    let pbest_energies = gpu.alloc::<i64>(ensemble);
-    gpu.h2d(pbest_energies, &vec![i64::MAX; ensemble]);
-    let gbest = gpu.alloc::<u32>(n);
-    let packed_best = gpu.alloc::<i64>(1);
-    gpu.h2d(packed_best, &[i64::MAX]);
-    let rng_states = gpu.alloc::<u64>(ensemble * 3);
-    let words: Vec<u64> =
-        (0..ensemble).flat_map(|t| XorWow::new(params.seed, t as u64).pack()).collect();
-    gpu.h2d(rng_states, &words);
+    let outcome = (|| -> Result<(JobSequence, Cost), SuiteError> {
+        let prob = ProblemDevice::upload(&mut gpu, inst).map_err(|e| suite_device_error(&e))?;
 
-    let fitness = FitnessKernel { prob, seqs: positions, out: energies, ensemble };
-    let pbest_update =
-        PbestKernel { positions, energies, pbest, pbest_energies, n, ensemble };
-    let reduce = AtomicArgminKernel { values: pbest_energies, out: packed_best };
-    let gbest_copy = GbestCopyKernel { packed: packed_best, pbest, gbest, n };
-    let update = DpsoUpdateKernel {
-        positions,
-        pbest,
-        gbest,
-        rng: rng_states,
-        n,
-        ensemble,
-        w: params.w,
-        c1: params.c1,
-        c2: params.c2,
-    };
+        let positions = gpu.alloc::<u32>(ensemble * n);
+        let flat = initial_ensemble(inst, ensemble, params.init, &mut host_rng);
+        gpu.h2d(positions, &flat);
+        let energies = gpu.alloc::<i64>(ensemble);
+        let pbest = gpu.alloc::<u32>(ensemble * n);
+        let pbest_energies = gpu.alloc::<i64>(ensemble);
+        gpu.h2d(pbest_energies, &vec![i64::MAX; ensemble]);
+        let gbest = gpu.alloc::<u32>(n);
+        let packed_best = gpu.alloc::<i64>(1);
+        gpu.h2d(packed_best, &[i64::MAX]);
+        let rng_states = gpu.alloc::<u64>(ensemble * 3);
+        let words: Vec<u64> =
+            (0..ensemble).flat_map(|t| XorWow::new(params.seed, t as u64).pack()).collect();
+        gpu.h2d(rng_states, &words);
 
-    // Initialize: evaluate the random swarm, seed pbest/gbest (Algorithm 2,
-    // lines 1–2 plus the first "find bests").
-    gpu.launch(&fitness, cfg, &[])?;
-    gpu.launch(&pbest_update, cfg, &[])?;
-    gpu.launch(&reduce, cfg, &[])?;
-    gpu.launch(&gbest_copy, cfg, &[])?;
+        let fitness = FitnessKernel { prob, seqs: positions, out: energies, ensemble };
+        let pbest_update = PbestKernel { positions, energies, pbest, pbest_energies, n, ensemble };
+        let reduce = AtomicArgminKernel { values: pbest_energies, out: packed_best };
+        let gbest_copy = GbestCopyKernel { packed: packed_best, pbest, gbest, n };
+        let update = DpsoUpdateKernel {
+            positions,
+            pbest,
+            gbest,
+            rng: rng_states,
+            n,
+            ensemble,
+            w: params.w,
+            c1: params.c1,
+            c2: params.c2,
+        };
 
-    for _gen in 0..params.iterations {
-        gpu.launch(&update, cfg, &[])?;
-        gpu.launch(&fitness, cfg, &[])?;
-        gpu.launch(&pbest_update, cfg, &[])?;
-        gpu.launch(&reduce, cfg, &[])?;
-        gpu.launch(&gbest_copy, cfg, &[])?;
-    }
+        // Initialize: evaluate the random swarm, seed pbest/gbest
+        // (Algorithm 2, lines 1–2 plus the first "find bests").
+        launch_with_retry(&mut gpu, &fitness, cfg, policy, stats)
+            .map_err(|e| suite_device_error(&e))?;
+        launch_with_retry(&mut gpu, &pbest_update, cfg, policy, stats)
+            .map_err(|e| suite_device_error(&e))?;
+        launch_with_retry(&mut gpu, &reduce, cfg, policy, stats)
+            .map_err(|e| suite_device_error(&e))?;
+        launch_with_retry(&mut gpu, &gbest_copy, cfg, policy, stats)
+            .map_err(|e| suite_device_error(&e))?;
 
-    let key = gpu.d2h(packed_best)[0];
-    let (objective, winner) = unpack_argmin(key);
-    let row = gpu.d2h_range(pbest, winner * n, n);
-    let best = JobSequence::from_vec(row).expect("device rows stay permutations");
-    debug_assert_eq!(evaluator.evaluate(best.as_slice()), objective);
+        for _gen in 0..params.iterations {
+            launch_with_retry(&mut gpu, &update, cfg, policy, stats)
+                .map_err(|e| suite_device_error(&e))?;
+            launch_with_retry(&mut gpu, &fitness, cfg, policy, stats)
+                .map_err(|e| suite_device_error(&e))?;
+            launch_with_retry(&mut gpu, &pbest_update, cfg, policy, stats)
+                .map_err(|e| suite_device_error(&e))?;
+            launch_with_retry(&mut gpu, &reduce, cfg, policy, stats)
+                .map_err(|e| suite_device_error(&e))?;
+            launch_with_retry(&mut gpu, &gbest_copy, cfg, policy, stats)
+                .map_err(|e| suite_device_error(&e))?;
+        }
 
+        let key = gpu.d2h(packed_best)[0];
+        let (claimed, winner) = unpack_argmin(key);
+        verified_best(&mut gpu, pbest, n, ensemble, winner, claimed, evaluator, stats)
+    })();
+
+    merge_faults(&mut stats.faults, gpu.fault_stats());
+    let (best, objective) = outcome?;
     let profiler = gpu.profiler();
     Ok(GpuRunResult {
         best,
@@ -149,7 +196,33 @@ pub fn run_gpu_dpso(inst: &Instance, params: &GpuDpsoParams) -> Result<GpuRunRes
         transfer_seconds: profiler.transfer_seconds(),
         kernel_launches: profiler.kernel_launches(),
         profiler_summary: profiler.summary(),
+        recovery: RecoveryStats::default(),
     })
+}
+
+/// CPU degradation target for the DPSO pipeline: the sequential `cdd-meta`
+/// DPSO at the same swarm size, generations and operator probabilities.
+fn cpu_fallback_dpso(params: &GpuDpsoParams, evaluator: &dyn SequenceEvaluator) -> GpuRunResult {
+    let dpso = DpsoParams {
+        particles: params.ensemble(),
+        iterations: params.iterations,
+        w: params.w,
+        c1: params.c1,
+        c2: params.c2,
+    };
+    let m = Dpso::new(evaluator, dpso).run(params.seed);
+    GpuRunResult {
+        best: m.best,
+        objective: m.objective,
+        evaluations: m.evaluations,
+        t0: 0.0,
+        modeled_seconds: 0.0,
+        kernel_seconds: 0.0,
+        transfer_seconds: 0.0,
+        kernel_launches: 0,
+        profiler_summary: "cpu-fallback: sequential CPU DPSO".into(),
+        recovery: RecoveryStats::default(),
+    }
 }
 
 #[cfg(test)]
@@ -203,5 +276,33 @@ mod tests {
         let short = run_gpu_dpso(&inst, &small_params(5)).unwrap();
         let long = run_gpu_dpso(&inst, &small_params(120)).unwrap();
         assert!(long.objective <= short.objective);
+    }
+
+    #[test]
+    fn survives_fault_injection_with_oracle_verified_result() {
+        let inst = Instance::paper_example_cdd();
+        let p = GpuDpsoParams {
+            fault: Some(cuda_sim::FaultPlan::with_rates(13, 0.05, 0.01, 0.02)),
+            ..small_params(100)
+        };
+        let r = run_gpu_dpso(&inst, &p).unwrap();
+        let eval = cdd_core::eval::evaluator_for(&inst);
+        assert_eq!(eval.evaluate(r.best.as_slice()), r.objective, "oracle must confirm");
+        assert!(r.best.is_valid_permutation());
+        assert!(r.recovery.faults.bit_flips > 0);
+    }
+
+    #[test]
+    fn degrades_to_cpu_dpso_when_device_unusable() {
+        let inst = Instance::paper_example_cdd();
+        let p = GpuDpsoParams {
+            fault: Some(cuda_sim::FaultPlan::with_rates(2, 1.0, 0.0, 0.0)),
+            ..small_params(50)
+        };
+        let r = run_gpu_dpso(&inst, &p).unwrap();
+        assert!(r.recovery.cpu_fallback);
+        assert!(r.profiler_summary.contains("cpu-fallback"));
+        let eval = cdd_core::eval::evaluator_for(&inst);
+        assert_eq!(eval.evaluate(r.best.as_slice()), r.objective);
     }
 }

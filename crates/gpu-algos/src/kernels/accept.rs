@@ -3,6 +3,7 @@
 //! maintenance (so the final reduction can return the best-ever solution,
 //! not merely the best *current* state).
 
+use crate::kernels::fitness::CORRUPT_ENERGY;
 use cdd_meta::sa::metropolis_accept;
 use cuda_sim::{Buf, Kernel, ThreadCtx};
 
@@ -50,8 +51,15 @@ impl Kernel for AcceptKernel {
         let n = self.n;
         let mut rng = ctx.load_rng(self.rng, gid);
 
-        let energy = ctx.read(self.energies, gid);
-        let energy_new = ctx.read(self.cand_energies, gid);
+        let mut energy = ctx.read(self.energies, gid);
+        let mut energy_new = ctx.read(self.cand_energies, gid);
+        if ctx.fault_injection_active() {
+            // A flipped energy read can reach ±2^63; clamping bounds the
+            // metropolis difference (and any corrupted value loses to every
+            // genuine objective anyway).
+            energy = energy.clamp(0, CORRUPT_ENERGY);
+            energy_new = energy_new.clamp(0, CORRUPT_ENERGY);
+        }
         let u = rng.next_f64();
         ctx.charge_special(1); // exp() in the metropolis rule
         ctx.charge_alu(4);

@@ -38,6 +38,26 @@ pub struct UpdateScratch {
     row: Vec<u32>,
     other: Vec<u32>,
     out: Vec<u32>,
+    /// Seen-marks for permutation repair under fault injection.
+    marks: Vec<bool>,
+}
+
+/// Repair `row` in place if it is not a permutation of `0..n` (reset to the
+/// identity). Only called under fault injection, where a flipped read can
+/// hand the crossover operators job ids that index out of bounds.
+fn sanitize_row(row: &mut [u32], marks: &mut Vec<bool>) {
+    let n = row.len();
+    marks.clear();
+    marks.resize(n, false);
+    let valid = row.iter().all(|&j| {
+        let j = j as usize;
+        j < n && !std::mem::replace(&mut marks[j], true)
+    });
+    if !valid {
+        for (k, slot) in row.iter_mut().enumerate() {
+            *slot = k as u32;
+        }
+    }
 }
 
 impl Kernel for DpsoUpdateKernel {
@@ -66,6 +86,10 @@ impl Kernel for DpsoUpdateKernel {
 
         scratch.row.resize(n, 0);
         ctx.read_slice_into(self.positions, gid * n, &mut scratch.row);
+        if ctx.fault_injection_active() {
+            sanitize_row(&mut scratch.row, &mut scratch.marks);
+            ctx.charge_alu(2 * n as u64);
+        }
 
         // λ = w ⊕ F₁(p): swap two random positions.
         if n >= 2 && rng.next_f64() < self.w {
@@ -82,6 +106,10 @@ impl Kernel for DpsoUpdateKernel {
         if n >= 2 && rng.next_f64() < self.c1 {
             scratch.other.resize(n, 0);
             ctx.read_slice_into(self.pbest, gid * n, &mut scratch.other);
+            if ctx.fault_injection_active() {
+                sanitize_row(&mut scratch.other, &mut scratch.marks);
+                ctx.charge_alu(2 * n as u64);
+            }
             let cut = 1 + rng.next_below(n as u32 - 1) as usize;
             one_point_crossover(&scratch.row, &scratch.other, cut, &mut scratch.out);
             std::mem::swap(&mut scratch.row, &mut scratch.out);
@@ -92,6 +120,10 @@ impl Kernel for DpsoUpdateKernel {
         if n >= 2 && rng.next_f64() < self.c2 {
             scratch.other.resize(n, 0);
             ctx.read_slice_into(self.gbest, 0, &mut scratch.other);
+            if ctx.fault_injection_active() {
+                sanitize_row(&mut scratch.other, &mut scratch.marks);
+                ctx.charge_alu(2 * n as u64);
+            }
             let mut lo = rng.next_below(n as u32) as usize;
             let mut hi = rng.next_below(n as u32) as usize;
             if lo > hi {
@@ -181,6 +213,13 @@ impl Kernel for GbestCopyKernel {
         let key = ctx.read(self.packed, 0);
         let (_, idx) = unpack_argmin(key);
         ctx.charge_alu(2);
+        // A corrupted packed key can decode to an index past the swarm; skip
+        // the copy rather than read out of bounds (gbest keeps its previous
+        // row, which is still a valid permutation). The range check is cheap
+        // enough to keep unconditionally.
+        if (idx + 1) * self.n > self.pbest.len() {
+            return;
+        }
         ctx.copy_row(self.pbest, idx * self.n, self.gbest, 0, self.n);
     }
 }

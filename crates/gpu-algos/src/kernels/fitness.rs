@@ -16,6 +16,17 @@ use cdd_core::ucddcp_optimal::ucddcp_objective_raw;
 use cdd_core::ProblemKind;
 use cuda_sim::{Buf, Kernel, ThreadCtx};
 
+/// Sentinel energy written when fault injection corrupted a thread's inputs
+/// beyond evaluation (non-permutation sequence, out-of-range data). Large
+/// enough to lose every argmin against a genuine objective, yet below the
+/// packed-argmin value cap (`2^42`), so reductions stay well-defined.
+pub const CORRUPT_ENERGY: i64 = 1 << 40;
+
+/// Upper bound accepted for problem data (processing times, penalty rates)
+/// when validating under fault injection. Benchmark data is orders of
+/// magnitude below this; a high bit flip lands far above it.
+const VALUE_CAP: i64 = 1 << 20;
+
 /// Evaluates one job sequence per thread.
 pub struct FitnessKernel {
     /// Uploaded problem data.
@@ -42,6 +53,47 @@ pub struct FitnessScratch {
     seq: Vec<u32>,
     p: Vec<i64>,
     m: Vec<i64>,
+    /// Seen-marks for the permutation check under fault injection.
+    marks: Vec<bool>,
+}
+
+impl FitnessKernel {
+    /// Validate the thread's staged inputs before evaluating. Only consulted
+    /// under fault injection: a bit flip can turn a job id into an
+    /// out-of-bounds index, a processing time into an overflowing magnitude,
+    /// or (UCDDCP) break the unrestricted-due-date precondition — all of
+    /// which the evaluators are entitled to assume away on clean hardware.
+    fn inputs_valid(&self, shared: &StagedRates, scratch: &mut FitnessScratch, d: i64) -> bool {
+        let n = self.prob.n;
+        scratch.marks.clear();
+        scratch.marks.resize(n, false);
+        for &j in &scratch.seq {
+            let j = j as usize;
+            if j >= n || scratch.marks[j] {
+                return false;
+            }
+            scratch.marks[j] = true;
+        }
+        let rates_ok = |v: &[i64]| v.iter().all(|&x| (0..=VALUE_CAP).contains(&x));
+        if !scratch.p.iter().all(|&x| (1..=VALUE_CAP).contains(&x))
+            || !rates_ok(&shared.alpha)
+            || !rates_ok(&shared.beta)
+        {
+            return false;
+        }
+        if self.prob.kind == ProblemKind::Ucddcp {
+            if !rates_ok(&shared.gamma)
+                || !scratch.m.iter().zip(&scratch.p).all(|(&m, &p)| (0..=p).contains(&m))
+            {
+                return false;
+            }
+            // The UCDDCP evaluator requires an unrestricted due date (Σp ≤ d).
+            if scratch.p.iter().sum::<i64>() > d {
+                return false;
+            }
+        }
+        true
+    }
 }
 
 impl Kernel for FitnessKernel {
@@ -105,6 +157,21 @@ impl Kernel for FitnessKernel {
         ctx.read_slice_into(self.seqs, gid * n, &mut scratch.seq);
         scratch.p.resize(n, 0);
         ctx.read_slice_into(self.prob.p, 0, &mut scratch.p);
+        if self.prob.kind == ProblemKind::Ucddcp {
+            scratch.m.resize(n, 0);
+            ctx.read_slice_into(self.prob.m, 0, &mut scratch.m);
+        }
+
+        // Under fault injection, a corrupted input set is detected up front
+        // and scored with the sentinel instead of evaluated (the evaluators
+        // would index out of bounds or overflow on it). The clean path skips
+        // the validation entirely, so timing and results are bit-identical
+        // with no plan installed.
+        if ctx.fault_injection_active() && !self.inputs_valid(shared, scratch, d) {
+            ctx.charge_alu(4 * n as u64); // the validation scan
+            ctx.write(self.out, gid, CORRUPT_ENERGY);
+            return;
+        }
 
         let objective = match self.prob.kind {
             ProblemKind::Cdd => {
@@ -114,8 +181,6 @@ impl Kernel for FitnessKernel {
                 cdd_objective_raw(&scratch.p, &shared.alpha, &shared.beta, d, &scratch.seq)
             }
             ProblemKind::Ucddcp => {
-                scratch.m.resize(n, 0);
-                ctx.read_slice_into(self.prob.m, 0, &mut scratch.m);
                 ctx.charge_shared(3 * n as u64);
                 ctx.charge_alu(12 * n as u64);
                 ucddcp_objective_raw(
@@ -129,6 +194,10 @@ impl Kernel for FitnessKernel {
                 )
             }
         };
+        // Flipped-but-valid data can still produce objectives past the
+        // packed-argmin range; the clamp keeps downstream reductions safe.
+        let objective =
+            if ctx.fault_injection_active() { objective.clamp(0, CORRUPT_ENERGY) } else { objective };
         ctx.write(self.out, gid, objective);
     }
 }

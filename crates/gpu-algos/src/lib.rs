@@ -40,11 +40,14 @@ pub mod dpso_pipeline;
 pub mod init;
 pub mod kernels;
 pub mod layout;
+pub mod recovery;
 pub mod sa_pipeline;
 pub mod sync_pipeline;
 
 pub use dpso_pipeline::{run_gpu_dpso, GpuDpsoParams};
 pub use init::{initial_ensemble, InitStrategy};
+pub use kernels::fitness::CORRUPT_ENERGY;
 pub use layout::ProblemDevice;
+pub use recovery::{RecoveryPolicy, RecoveryStats};
 pub use sa_pipeline::{run_gpu_sa, GpuRunResult, GpuSaParams};
 pub use sync_pipeline::{run_gpu_sa_sync, BroadcastKernel};

@@ -14,11 +14,16 @@
 use crate::init::{initial_ensemble, InitStrategy};
 use crate::kernels::{AcceptKernel, FitnessKernel, PerturbKernel};
 use crate::layout::ProblemDevice;
-use cdd_core::eval::evaluator_for;
-use cdd_core::{Cost, Instance, JobSequence};
+use crate::recovery::{
+    launch_with_retry, merge_faults, run_with_recovery, suite_device_error, verified_best,
+    RecoveryPolicy, RecoveryStats,
+};
+use cdd_core::eval::{evaluator_for, SequenceEvaluator};
+use cdd_core::{Cost, Instance, JobSequence, SuiteError};
 use cdd_meta::temperature::initial_temperature;
+use cdd_meta::{AsyncEnsemble, Cooling, SaParams};
 use cuda_sim::reduce::{unpack_argmin, AtomicArgminKernel};
-use cuda_sim::{DeviceSpec, Gpu, LaunchConfig, LaunchError, XorWow};
+use cuda_sim::{DeviceSpec, FaultPlan, Gpu, LaunchConfig, XorWow};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -45,6 +50,10 @@ pub struct GpuSaParams {
     pub init: InitStrategy,
     /// Simulated device.
     pub device: DeviceSpec,
+    /// Optional fault-injection plan installed on the simulated device.
+    pub fault: Option<FaultPlan>,
+    /// Retry / re-attempt / fallback policy.
+    pub recovery: RecoveryPolicy,
 }
 
 impl Default for GpuSaParams {
@@ -60,6 +69,8 @@ impl Default for GpuSaParams {
             seed: 2016,
             init: InitStrategy::default(),
             device: DeviceSpec::gt560m(),
+            fault: None,
+            recovery: RecoveryPolicy::default(),
         }
     }
 }
@@ -102,14 +113,20 @@ pub struct GpuRunResult {
     pub kernel_launches: usize,
     /// Per-kernel profiler summary (the Fig. 9/10 timeline evidence).
     pub profiler_summary: String,
+    /// What the resilience layer did (retries, oracle repairs, fallback).
+    pub recovery: RecoveryStats,
 }
 
 /// Run the paper's parallel asynchronous SA on the simulated GPU.
-pub fn run_gpu_sa(inst: &Instance, params: &GpuSaParams) -> Result<GpuRunResult, LaunchError> {
+///
+/// The run is wrapped in the resilience layer of [`crate::recovery`]:
+/// transient launch failures are retried in place, a failed or
+/// oracle-rejected device run is re-attempted (with a reseeded fault plan),
+/// and after [`RecoveryPolicy::max_device_attempts`] failures the CPU
+/// asynchronous ensemble produces the result. The returned objective is
+/// always verified against the exact CPU evaluator.
+pub fn run_gpu_sa(inst: &Instance, params: &GpuSaParams) -> Result<GpuRunResult, SuiteError> {
     assert!(params.iterations >= 1, "need at least one generation");
-    let n = inst.n();
-    let ensemble = params.ensemble();
-    let cfg = LaunchConfig::linear(params.blocks, params.block_size);
 
     // Host-side setup: T₀ rule and initial ensemble. Randomly initialized
     // chains use the paper's global rule (stddev of `t0_samples` random
@@ -131,71 +148,106 @@ pub fn run_gpu_sa(inst: &Instance, params: &GpuSaParams) -> Result<GpuRunResult,
         ),
     });
 
+    run_with_recovery(
+        &params.recovery,
+        params.fault.as_ref(),
+        |plan, stats| sa_attempt(inst, params, &*evaluator, t0, &host_rng, plan, stats),
+        || cpu_fallback_sa(params, &*evaluator, t0, params.iterations),
+    )
+}
+
+/// One complete device run of the asynchronous SA pipeline.
+fn sa_attempt(
+    inst: &Instance,
+    params: &GpuSaParams,
+    evaluator: &dyn SequenceEvaluator,
+    t0: f64,
+    host_rng: &StdRng,
+    plan: Option<FaultPlan>,
+    stats: &mut RecoveryStats,
+) -> Result<GpuRunResult, SuiteError> {
+    let n = inst.n();
+    let ensemble = params.ensemble();
+    let cfg = LaunchConfig::linear(params.blocks, params.block_size);
+    // Each attempt restarts from the same host RNG state, so a clean run is
+    // byte-identical to the pre-recovery pipeline.
+    let mut host_rng = host_rng.clone();
+    let policy = &params.recovery;
+
     let mut gpu = Gpu::new(params.device.clone());
-    let prob = ProblemDevice::upload(&mut gpu, inst)?;
+    gpu.set_fault_plan(plan);
 
-    // Fig. 9: initial sequences + cuRAND states host → device.
-    let current = gpu.alloc::<u32>(ensemble * n);
-    let flat = initial_ensemble(inst, ensemble, params.init, &mut host_rng);
-    gpu.h2d(current, &flat);
-    let candidate = gpu.alloc::<u32>(ensemble * n);
-    let energies = gpu.alloc::<i64>(ensemble);
-    let cand_energies = gpu.alloc::<i64>(ensemble);
-    let best_rows = gpu.alloc::<u32>(ensemble * n);
-    let best_energies = gpu.alloc::<i64>(ensemble);
-    gpu.h2d(best_energies, &vec![i64::MAX; ensemble]);
-    let global_best = gpu.alloc::<i64>(1);
-    gpu.h2d(global_best, &[i64::MAX]);
-    let rng_states = gpu.alloc::<u64>(ensemble * 3);
-    let words: Vec<u64> =
-        (0..ensemble).flat_map(|t| XorWow::new(params.seed, t as u64).pack()).collect();
-    gpu.h2d(rng_states, &words);
+    let outcome = (|| -> Result<(JobSequence, Cost), SuiteError> {
+        let prob = ProblemDevice::upload(&mut gpu, inst).map_err(|e| suite_device_error(&e))?;
 
-    // Initial fitness of the starting ensemble.
-    let fitness_current =
-        FitnessKernel { prob, seqs: current, out: energies, ensemble };
-    gpu.launch(&fitness_current, cfg, &[])?;
+        // Fig. 9: initial sequences + cuRAND states host → device.
+        let current = gpu.alloc::<u32>(ensemble * n);
+        let flat = initial_ensemble(inst, ensemble, params.init, &mut host_rng);
+        gpu.h2d(current, &flat);
+        let candidate = gpu.alloc::<u32>(ensemble * n);
+        let energies = gpu.alloc::<i64>(ensemble);
+        let cand_energies = gpu.alloc::<i64>(ensemble);
+        let best_rows = gpu.alloc::<u32>(ensemble * n);
+        let best_energies = gpu.alloc::<i64>(ensemble);
+        gpu.h2d(best_energies, &vec![i64::MAX; ensemble]);
+        let global_best = gpu.alloc::<i64>(1);
+        gpu.h2d(global_best, &[i64::MAX]);
+        let rng_states = gpu.alloc::<u64>(ensemble * 3);
+        let words: Vec<u64> =
+            (0..ensemble).flat_map(|t| XorWow::new(params.seed, t as u64).pack()).collect();
+        gpu.h2d(rng_states, &words);
 
-    let perturb = PerturbKernel {
-        src: current,
-        dst: candidate,
-        rng: rng_states,
-        n,
-        ensemble,
-        pert: params.pert,
-    };
-    let fitness_candidate =
-        FitnessKernel { prob, seqs: candidate, out: cand_energies, ensemble };
-    let reduce = AtomicArgminKernel { values: best_energies, out: global_best };
+        // Initial fitness of the starting ensemble.
+        let fitness_current = FitnessKernel { prob, seqs: current, out: energies, ensemble };
+        launch_with_retry(&mut gpu, &fitness_current, cfg, policy, stats)
+            .map_err(|e| suite_device_error(&e))?;
 
-    let mut temperature = t0;
-    for _gen in 0..params.iterations {
-        gpu.launch(&perturb, cfg, &[])?;
-        gpu.launch(&fitness_candidate, cfg, &[])?;
-        let accept = AcceptKernel {
-            current,
-            candidate,
-            energies,
-            cand_energies,
-            best_rows,
-            best_energies,
+        let perturb = PerturbKernel {
+            src: current,
+            dst: candidate,
             rng: rng_states,
             n,
             ensemble,
-            temperature,
+            pert: params.pert,
         };
-        gpu.launch(&accept, cfg, &[])?;
-        gpu.launch(&reduce, cfg, &[])?;
-        temperature *= params.cooling_rate;
-    }
+        let fitness_candidate =
+            FitnessKernel { prob, seqs: candidate, out: cand_energies, ensemble };
+        let reduce = AtomicArgminKernel { values: best_energies, out: global_best };
 
-    // Fig. 9: global best (and the winning row) device → host.
-    let key = gpu.d2h(global_best)[0];
-    let (objective, winner) = unpack_argmin(key);
-    let row = gpu.d2h_range(best_rows, winner * n, n);
-    let best = JobSequence::from_vec(row).expect("device rows stay permutations");
-    debug_assert_eq!(evaluator.evaluate(best.as_slice()), objective);
+        let mut temperature = t0;
+        for _gen in 0..params.iterations {
+            launch_with_retry(&mut gpu, &perturb, cfg, policy, stats)
+                .map_err(|e| suite_device_error(&e))?;
+            launch_with_retry(&mut gpu, &fitness_candidate, cfg, policy, stats)
+                .map_err(|e| suite_device_error(&e))?;
+            let accept = AcceptKernel {
+                current,
+                candidate,
+                energies,
+                cand_energies,
+                best_rows,
+                best_energies,
+                rng: rng_states,
+                n,
+                ensemble,
+                temperature,
+            };
+            launch_with_retry(&mut gpu, &accept, cfg, policy, stats)
+                .map_err(|e| suite_device_error(&e))?;
+            launch_with_retry(&mut gpu, &reduce, cfg, policy, stats)
+                .map_err(|e| suite_device_error(&e))?;
+            temperature *= params.cooling_rate;
+        }
 
+        // Fig. 9: global best (and the winning row) device → host, oracle-
+        // verified (a corrupted reduction is repaired on the host).
+        let key = gpu.d2h(global_best)[0];
+        let (claimed, winner) = unpack_argmin(key);
+        verified_best(&mut gpu, best_rows, n, ensemble, winner, claimed, evaluator, stats)
+    })();
+
+    merge_faults(&mut stats.faults, gpu.fault_stats());
+    let (best, objective) = outcome?;
     let profiler = gpu.profiler();
     Ok(GpuRunResult {
         best,
@@ -207,7 +259,39 @@ pub fn run_gpu_sa(inst: &Instance, params: &GpuSaParams) -> Result<GpuRunResult,
         transfer_seconds: profiler.transfer_seconds(),
         kernel_launches: profiler.kernel_launches(),
         profiler_summary: profiler.summary(),
+        recovery: RecoveryStats::default(),
     })
+}
+
+/// CPU degradation target for the SA pipelines: the asynchronous CPU
+/// ensemble (`cdd-meta`) at the same chain count, iteration budget, T₀ and
+/// cooling schedule. Used by both the async and sync GPU variants.
+pub(crate) fn cpu_fallback_sa(
+    params: &GpuSaParams,
+    evaluator: &dyn SequenceEvaluator,
+    t0: f64,
+    iterations: u64,
+) -> GpuRunResult {
+    let sa = SaParams {
+        iterations,
+        t0: Some(t0),
+        cooling: Cooling::Exponential { rate: params.cooling_rate },
+        pert: params.pert,
+        t0_samples: params.t0_samples,
+    };
+    let m = AsyncEnsemble::new(evaluator, params.ensemble(), sa).run(params.seed);
+    GpuRunResult {
+        best: m.best,
+        objective: m.objective,
+        evaluations: m.evaluations,
+        t0,
+        modeled_seconds: 0.0,
+        kernel_seconds: 0.0,
+        transfer_seconds: 0.0,
+        kernel_launches: 0,
+        profiler_summary: "cpu-fallback: asynchronous CPU ensemble".into(),
+        recovery: RecoveryStats::default(),
+    }
 }
 
 #[cfg(test)]
@@ -278,5 +362,66 @@ mod tests {
         let inst = Instance::paper_example_cdd();
         let r = run_gpu_sa(&inst, &small_params(10)).unwrap();
         assert_eq!(r.evaluations, 64 * 11);
+    }
+
+    #[test]
+    fn clean_run_reports_empty_recovery() {
+        let inst = Instance::paper_example_cdd();
+        let r = run_gpu_sa(&inst, &small_params(20)).unwrap();
+        assert_eq!(r.recovery.device_attempts, 1);
+        assert_eq!(r.recovery.launch_retries, 0);
+        assert_eq!(r.recovery.oracle_rejections, 0);
+        assert!(!r.recovery.cpu_fallback);
+        assert_eq!(r.recovery.faults.launches_attempted, 0, "no plan installed");
+    }
+
+    #[test]
+    fn survives_fault_injection_with_oracle_verified_result() {
+        // 5% launch failures, 1% read bit flips, 2% hangs — the acceptance
+        // scenario. The returned cost must match the CPU oracle exactly.
+        let inst = Instance::paper_example_cdd();
+        let p = GpuSaParams {
+            fault: Some(cuda_sim::FaultPlan::with_rates(99, 0.05, 0.01, 0.02)),
+            ..small_params(150)
+        };
+        let r = run_gpu_sa(&inst, &p).unwrap();
+        let eval = evaluator_for(&inst);
+        assert_eq!(eval.evaluate(r.best.as_slice()), r.objective, "oracle must confirm");
+        assert!(r.best.is_valid_permutation());
+        let f = r.recovery.faults;
+        assert!(f.launches_attempted > 0);
+        assert!(f.bit_flips > 0, "1% per read over 150 generations must flip");
+        assert!(r.recovery.launch_retries > 0, "5% launch failures must trigger retries");
+    }
+
+    #[test]
+    fn fault_injected_run_is_deterministic() {
+        let inst = Instance::paper_example_cdd();
+        let p = GpuSaParams {
+            fault: Some(cuda_sim::FaultPlan::with_rates(7, 0.03, 0.005, 0.01)),
+            ..small_params(80)
+        };
+        let a = run_gpu_sa(&inst, &p).unwrap();
+        let b = run_gpu_sa(&inst, &p).unwrap();
+        assert_eq!(a.objective, b.objective);
+        assert_eq!(a.best, b.best);
+        assert_eq!(a.recovery, b.recovery);
+    }
+
+    #[test]
+    fn degrades_to_cpu_ensemble_when_device_unusable() {
+        // Every launch fails: all retries and device attempts are consumed,
+        // then the CPU ensemble supplies an oracle-exact result.
+        let inst = Instance::paper_example_cdd();
+        let p = GpuSaParams {
+            fault: Some(cuda_sim::FaultPlan::with_rates(1, 1.0, 0.0, 0.0)),
+            ..small_params(30)
+        };
+        let r = run_gpu_sa(&inst, &p).unwrap();
+        assert!(r.recovery.cpu_fallback);
+        assert_eq!(r.recovery.device_attempts, p.recovery.max_device_attempts);
+        assert!(r.profiler_summary.contains("cpu-fallback"));
+        let eval = evaluator_for(&inst);
+        assert_eq!(eval.evaluate(r.best.as_slice()), r.objective);
     }
 }

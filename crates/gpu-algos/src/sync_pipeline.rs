@@ -17,12 +17,16 @@
 use crate::init::initial_ensemble;
 use crate::kernels::{AcceptKernel, FitnessKernel, PerturbKernel};
 use crate::layout::ProblemDevice;
-use crate::sa_pipeline::{GpuRunResult, GpuSaParams};
-use cdd_core::eval::evaluator_for;
-use cdd_core::{Instance, JobSequence};
+use crate::recovery::{
+    launch_with_retry, merge_faults, run_with_recovery, suite_device_error, verified_best,
+    RecoveryStats,
+};
+use crate::sa_pipeline::{cpu_fallback_sa, GpuRunResult, GpuSaParams};
+use cdd_core::eval::{evaluator_for, SequenceEvaluator};
+use cdd_core::{Cost, Instance, JobSequence, SuiteError};
 use cdd_meta::initial_temperature;
 use cuda_sim::reduce::{unpack_argmin, AtomicArgminKernel};
-use cuda_sim::{Buf, Gpu, Kernel, LaunchConfig, LaunchError, ThreadCtx, XorWow};
+use cuda_sim::{Buf, FaultPlan, Gpu, Kernel, LaunchConfig, ThreadCtx, XorWow};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -59,6 +63,12 @@ impl Kernel for BroadcastKernel {
         let key = ctx.read(self.packed, 0);
         let (value, winner) = unpack_argmin(key);
         ctx.charge_alu(2);
+        // A corrupted packed key can decode past the ensemble; skip the
+        // restart rather than read out of bounds (the chain keeps its own
+        // state for the next level). Cheap enough to keep unconditionally.
+        if winner >= self.ensemble {
+            return;
+        }
         if winner != gid {
             ctx.copy_row(self.current, winner * self.n, self.current, gid * self.n, self.n);
             ctx.write(self.energies, gid, value);
@@ -74,11 +84,8 @@ pub fn run_gpu_sa_sync(
     params: &GpuSaParams,
     levels: u64,
     markov_len: u64,
-) -> Result<GpuRunResult, LaunchError> {
+) -> Result<GpuRunResult, SuiteError> {
     assert!(levels >= 1 && markov_len >= 1, "need at least one level and one step");
-    let n = inst.n();
-    let ensemble = params.ensemble();
-    let cfg = LaunchConfig::linear(params.blocks, params.block_size);
 
     let mut host_rng = StdRng::seed_from_u64(params.seed);
     let evaluator = evaluator_for(inst);
@@ -86,75 +93,117 @@ pub fn run_gpu_sa_sync(
         .t0
         .unwrap_or_else(|| initial_temperature(evaluator.as_ref(), params.t0_samples, &mut host_rng));
 
+    run_with_recovery(
+        &params.recovery,
+        params.fault.as_ref(),
+        |plan, stats| {
+            sync_attempt(inst, params, levels, markov_len, &*evaluator, t0, &host_rng, plan, stats)
+        },
+        || cpu_fallback_sa(params, &*evaluator, t0, levels * markov_len),
+    )
+}
+
+/// One complete device run of the synchronous SA pipeline.
+#[allow(clippy::too_many_arguments)]
+fn sync_attempt(
+    inst: &Instance,
+    params: &GpuSaParams,
+    levels: u64,
+    markov_len: u64,
+    evaluator: &dyn SequenceEvaluator,
+    t0: f64,
+    host_rng: &StdRng,
+    plan: Option<FaultPlan>,
+    stats: &mut RecoveryStats,
+) -> Result<GpuRunResult, SuiteError> {
+    let n = inst.n();
+    let ensemble = params.ensemble();
+    let cfg = LaunchConfig::linear(params.blocks, params.block_size);
+    let mut host_rng = host_rng.clone();
+    let policy = &params.recovery;
+
     let mut gpu = Gpu::new(params.device.clone());
-    let prob = ProblemDevice::upload(&mut gpu, inst)?;
+    gpu.set_fault_plan(plan);
 
-    let current = gpu.alloc::<u32>(ensemble * n);
-    let flat = initial_ensemble(inst, ensemble, params.init, &mut host_rng);
-    gpu.h2d(current, &flat);
-    let candidate = gpu.alloc::<u32>(ensemble * n);
-    let energies = gpu.alloc::<i64>(ensemble);
-    let cand_energies = gpu.alloc::<i64>(ensemble);
-    let best_rows = gpu.alloc::<u32>(ensemble * n);
-    let best_energies = gpu.alloc::<i64>(ensemble);
-    gpu.h2d(best_energies, &vec![i64::MAX; ensemble]);
-    let packed = gpu.alloc::<i64>(1);
-    let rng_states = gpu.alloc::<u64>(ensemble * 3);
-    let words: Vec<u64> =
-        (0..ensemble).flat_map(|t| XorWow::new(params.seed, t as u64).pack()).collect();
-    gpu.h2d(rng_states, &words);
+    let outcome = (|| -> Result<(JobSequence, Cost), SuiteError> {
+        let prob = ProblemDevice::upload(&mut gpu, inst).map_err(|e| suite_device_error(&e))?;
 
-    let fitness_current = FitnessKernel { prob, seqs: current, out: energies, ensemble };
-    gpu.launch(&fitness_current, cfg, &[])?;
+        let current = gpu.alloc::<u32>(ensemble * n);
+        let flat = initial_ensemble(inst, ensemble, params.init, &mut host_rng);
+        gpu.h2d(current, &flat);
+        let candidate = gpu.alloc::<u32>(ensemble * n);
+        let energies = gpu.alloc::<i64>(ensemble);
+        let cand_energies = gpu.alloc::<i64>(ensemble);
+        let best_rows = gpu.alloc::<u32>(ensemble * n);
+        let best_energies = gpu.alloc::<i64>(ensemble);
+        gpu.h2d(best_energies, &vec![i64::MAX; ensemble]);
+        let packed = gpu.alloc::<i64>(1);
+        let rng_states = gpu.alloc::<u64>(ensemble * 3);
+        let words: Vec<u64> =
+            (0..ensemble).flat_map(|t| XorWow::new(params.seed, t as u64).pack()).collect();
+        gpu.h2d(rng_states, &words);
 
-    let perturb = PerturbKernel {
-        src: current,
-        dst: candidate,
-        rng: rng_states,
-        n,
-        ensemble,
-        pert: params.pert,
-    };
-    let fitness_candidate = FitnessKernel { prob, seqs: candidate, out: cand_energies, ensemble };
-    let reduce_current = AtomicArgminKernel { values: energies, out: packed };
-    let broadcast = BroadcastKernel { packed, current, energies, n, ensemble };
-    let reduce_best = AtomicArgminKernel { values: best_energies, out: packed };
+        let fitness_current = FitnessKernel { prob, seqs: current, out: energies, ensemble };
+        launch_with_retry(&mut gpu, &fitness_current, cfg, policy, stats)
+            .map_err(|e| suite_device_error(&e))?;
 
-    for level in 0..levels {
-        let temperature = t0 * params.cooling_rate.powi(level.min(i32::MAX as u64) as i32);
-        for _ in 0..markov_len {
-            gpu.launch(&perturb, cfg, &[])?;
-            gpu.launch(&fitness_candidate, cfg, &[])?;
-            let accept = AcceptKernel {
-                current,
-                candidate,
-                energies,
-                cand_energies,
-                best_rows,
-                best_energies,
-                rng: rng_states,
-                n,
-                ensemble,
-                temperature,
-            };
-            gpu.launch(&accept, cfg, &[])?;
+        let perturb = PerturbKernel {
+            src: current,
+            dst: candidate,
+            rng: rng_states,
+            n,
+            ensemble,
+            pert: params.pert,
+        };
+        let fitness_candidate =
+            FitnessKernel { prob, seqs: candidate, out: cand_energies, ensemble };
+        let reduce_current = AtomicArgminKernel { values: energies, out: packed };
+        let broadcast = BroadcastKernel { packed, current, energies, n, ensemble };
+        let reduce_best = AtomicArgminKernel { values: best_energies, out: packed };
+
+        for level in 0..levels {
+            let temperature = t0 * params.cooling_rate.powi(level.min(i32::MAX as u64) as i32);
+            for _ in 0..markov_len {
+                launch_with_retry(&mut gpu, &perturb, cfg, policy, stats)
+                    .map_err(|e| suite_device_error(&e))?;
+                launch_with_retry(&mut gpu, &fitness_candidate, cfg, policy, stats)
+                    .map_err(|e| suite_device_error(&e))?;
+                let accept = AcceptKernel {
+                    current,
+                    candidate,
+                    energies,
+                    cand_energies,
+                    best_rows,
+                    best_energies,
+                    rng: rng_states,
+                    n,
+                    ensemble,
+                    temperature,
+                };
+                launch_with_retry(&mut gpu, &accept, cfg, policy, stats)
+                    .map_err(|e| suite_device_error(&e))?;
+            }
+            // Level barrier: reduce over the current states and broadcast
+            // s_j^min as everyone's next start.
+            gpu.h2d(packed, &[i64::MAX]);
+            launch_with_retry(&mut gpu, &reduce_current, cfg, policy, stats)
+                .map_err(|e| suite_device_error(&e))?;
+            launch_with_retry(&mut gpu, &broadcast, cfg, policy, stats)
+                .map_err(|e| suite_device_error(&e))?;
         }
-        // Level barrier: reduce over the current states and broadcast
-        // s_j^min as everyone's next start.
+
+        // Final reduction over the personal bests (as in the async
+        // pipeline), oracle-verified.
         gpu.h2d(packed, &[i64::MAX]);
-        gpu.launch(&reduce_current, cfg, &[])?;
-        gpu.launch(&broadcast, cfg, &[])?;
-    }
+        launch_with_retry(&mut gpu, &reduce_best, cfg, policy, stats)
+            .map_err(|e| suite_device_error(&e))?;
+        let key = gpu.d2h(packed)[0];
+        let (claimed, winner) = unpack_argmin(key);
+        verified_best(&mut gpu, best_rows, n, ensemble, winner, claimed, evaluator, stats)
+    })();
 
-    // Final reduction over the personal bests (as in the async pipeline).
-    gpu.h2d(packed, &[i64::MAX]);
-    gpu.launch(&reduce_best, cfg, &[])?;
-    let key = gpu.d2h(packed)[0];
-    let (objective, winner) = unpack_argmin(key);
-    let row = gpu.d2h_range(best_rows, winner * n, n);
-    let best = JobSequence::from_vec(row).expect("device rows stay permutations");
-    debug_assert_eq!(evaluator.evaluate(best.as_slice()), objective);
-
+    merge_faults(&mut stats.faults, gpu.fault_stats());
+    let (best, objective) = outcome?;
     let profiler = gpu.profiler();
     Ok(GpuRunResult {
         best,
@@ -166,6 +215,7 @@ pub fn run_gpu_sa_sync(
         transfer_seconds: profiler.transfer_seconds(),
         kernel_launches: profiler.kernel_launches(),
         profiler_summary: profiler.summary(),
+        recovery: RecoveryStats::default(),
     })
 }
 
@@ -230,6 +280,20 @@ mod tests {
             (a - s).abs() / a.min(s) < 0.15,
             "schemes diverged unexpectedly far: async avg {a}, sync avg {s}"
         );
+    }
+
+    #[test]
+    fn sync_survives_fault_injection_with_oracle_verified_result() {
+        let inst = Instance::paper_example_cdd();
+        let p = GpuSaParams {
+            fault: Some(FaultPlan::with_rates(17, 0.05, 0.01, 0.02)),
+            ..params()
+        };
+        let r = run_gpu_sa_sync(&inst, &p, 10, 6).unwrap();
+        let eval = cdd_core::eval::evaluator_for(&inst);
+        assert_eq!(eval.evaluate(r.best.as_slice()), r.objective, "oracle must confirm");
+        assert!(r.best.is_valid_permutation());
+        assert!(r.recovery.faults.launches_attempted > 0);
     }
 
     fn cdd_instances_like() -> Instance {

@@ -3,6 +3,7 @@
 
 use crate::cost::{model_kernel_time, CostCounter, KernelTiming};
 use crate::device::DeviceSpec;
+use crate::fault::{FaultPlan, FaultState, FaultStats};
 use crate::grid::LaunchConfig;
 use crate::memory::{Buf, ConstBuf, DeviceValue, ErasedBuf, MemoryPool};
 use crate::profiler::{Profiler, TimelineEvent, TransferDir};
@@ -11,7 +12,7 @@ use std::collections::HashMap;
 use std::fmt;
 
 /// Why a launch or allocation was rejected.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum LaunchError {
     /// The launch configuration violates a device limit.
     InvalidConfig(String),
@@ -26,6 +27,30 @@ pub enum LaunchError {
         /// Bytes still available.
         available: usize,
     },
+    /// The launch failed before any thread ran (injected by an installed
+    /// [`FaultPlan`]). Device memory is untouched; retrying is safe.
+    TransientFault(String),
+    /// The kernel exceeded the watchdog budget and was killed. Its writes
+    /// up to the kill are in an unspecified state: recovery must treat the
+    /// launch as failed and never trust its outputs without re-running.
+    KernelTimeout {
+        /// Kernel name.
+        kernel: String,
+        /// Modeled seconds the hung launch would have taken.
+        modeled_seconds: f64,
+        /// Watchdog budget it exceeded (`watchdog_factor ×` the clean
+        /// modeled time).
+        budget_seconds: f64,
+    },
+}
+
+impl LaunchError {
+    /// Whether retrying the same launch can succeed. Transient faults and
+    /// watchdog kills are retryable; configuration errors, data races and
+    /// allocation failures are deterministic bugs and are not.
+    pub fn is_transient(&self) -> bool {
+        matches!(self, LaunchError::TransientFault(_) | LaunchError::KernelTimeout { .. })
+    }
 }
 
 impl fmt::Display for LaunchError {
@@ -36,6 +61,12 @@ impl fmt::Display for LaunchError {
             LaunchError::ConstantMemoryExceeded { requested, available } => {
                 write!(f, "constant memory exceeded: requested {requested} B, {available} B free")
             }
+            LaunchError::TransientFault(msg) => write!(f, "transient launch failure: {msg}"),
+            LaunchError::KernelTimeout { kernel, modeled_seconds, budget_seconds } => write!(
+                f,
+                "kernel `{kernel}` killed by watchdog: modeled {modeled_seconds:.6} s \
+                 exceeds budget {budget_seconds:.6} s"
+            ),
         }
     }
 }
@@ -206,6 +237,7 @@ pub struct ThreadCtx<'a> {
     /// the `charge_*` helpers).
     pub cost: &'a mut CostCounter,
     race: Option<&'a mut RaceTracker>,
+    fault: Option<&'a mut FaultState>,
 }
 
 impl ThreadCtx<'_> {
@@ -242,6 +274,26 @@ impl ThreadCtx<'_> {
         );
     }
 
+    /// Whether a fault-injection plan is installed for this launch. Kernels
+    /// that derive memory indices from *data* (not thread ids) use this to
+    /// turn on defensive validation of values read from global memory —
+    /// modeling resilient device code — without perturbing the clean path's
+    /// cost model.
+    #[inline]
+    pub fn fault_injection_active(&self) -> bool {
+        self.fault.is_some()
+    }
+
+    /// Pass a loaded word through the fault layer (possibly flipping a bit
+    /// of its low `width_bits`).
+    #[inline]
+    fn observe_read_bits(&mut self, bits: u64, width_bits: u32) -> u64 {
+        match self.fault.as_deref_mut() {
+            Some(f) => f.observe_read(bits, width_bits),
+            None => bits,
+        }
+    }
+
     /// Read one element from global memory (counts one transaction).
     #[inline]
     pub fn read<T: DeviceValue>(&mut self, buf: impl AsBuf<T>, idx: usize) -> T {
@@ -253,7 +305,9 @@ impl ThreadCtx<'_> {
         if let Some(race) = self.race.as_deref_mut() {
             race.on_read(id, idx, who);
         }
-        T::from_bits(self.mem.global[id][idx])
+        let bits = self.mem.global[id][idx];
+        let bits = self.observe_read_bits(bits, 8 * std::mem::size_of::<T>() as u32);
+        T::from_bits(bits)
     }
 
     /// Write one element to global memory (counts one transaction).
@@ -287,7 +341,9 @@ impl ThreadCtx<'_> {
         if let Some(race) = self.race.as_deref_mut() {
             race.on_read(id, idx, who);
         }
-        T::from_bits(self.mem.global[id][idx])
+        let bits = self.mem.global[id][idx];
+        let bits = self.observe_read_bits(bits, 8 * std::mem::size_of::<T>() as u32);
+        T::from_bits(bits)
     }
 
     /// Bulk texture-path read (one [`read_texture`](Self::read_texture) per
@@ -312,9 +368,20 @@ impl ThreadCtx<'_> {
                 race.on_read(id, start + i, who);
             }
         }
+        let fault = self.fault.as_deref_mut();
         let src = &self.mem.global[id][start..start + dst.len()];
-        for (d, &bits) in dst.iter_mut().zip(src) {
-            *d = T::from_bits(bits);
+        match fault {
+            Some(f) => {
+                let width = 8 * std::mem::size_of::<T>() as u32;
+                for (d, &bits) in dst.iter_mut().zip(src) {
+                    *d = T::from_bits(f.observe_read(bits, width));
+                }
+            }
+            None => {
+                for (d, &bits) in dst.iter_mut().zip(src) {
+                    *d = T::from_bits(bits);
+                }
+            }
         }
     }
 
@@ -382,9 +449,20 @@ impl ThreadCtx<'_> {
                 race.on_read(id, start + i, who);
             }
         }
+        let fault = self.fault.as_deref_mut();
         let src = &self.mem.global[id][start..start + dst.len()];
-        for (d, &bits) in dst.iter_mut().zip(src) {
-            *d = T::from_bits(bits);
+        match fault {
+            Some(f) => {
+                let width = 8 * std::mem::size_of::<T>() as u32;
+                for (d, &bits) in dst.iter_mut().zip(src) {
+                    *d = T::from_bits(f.observe_read(bits, width));
+                }
+            }
+            None => {
+                for (d, &bits) in dst.iter_mut().zip(src) {
+                    *d = T::from_bits(bits);
+                }
+            }
         }
     }
 
@@ -477,9 +555,20 @@ impl ThreadCtx<'_> {
                 race.on_read(id, start + i, who);
             }
         }
+        let fault = self.fault.as_deref_mut();
         let src = &self.mem.global[id][start..start + dst.len()];
-        for (d, &bits) in dst.iter_mut().zip(src) {
-            *d = T::from_bits(bits);
+        match fault {
+            Some(f) => {
+                let width = 8 * std::mem::size_of::<T>() as u32;
+                for (d, &bits) in dst.iter_mut().zip(src) {
+                    *d = T::from_bits(f.observe_read(bits, width));
+                }
+            }
+            None => {
+                for (d, &bits) in dst.iter_mut().zip(src) {
+                    *d = T::from_bits(bits);
+                }
+            }
         }
     }
 
@@ -555,12 +644,19 @@ pub struct Gpu {
     pool: MemoryPool,
     profiler: Profiler,
     race_detection: bool,
+    fault: Option<FaultState>,
 }
 
 impl Gpu {
     /// Bring up a device.
     pub fn new(spec: DeviceSpec) -> Self {
-        Gpu { spec, pool: MemoryPool::default(), profiler: Profiler::new(), race_detection: false }
+        Gpu {
+            spec,
+            pool: MemoryPool::default(),
+            profiler: Profiler::new(),
+            race_detection: false,
+            fault: None,
+        }
     }
 
     /// The device description.
@@ -574,6 +670,24 @@ impl Gpu {
     /// launches.
     pub fn set_race_detection(&mut self, on: bool) {
         self.race_detection = on;
+    }
+
+    /// Install (or remove, with `None`) a fault-injection plan for
+    /// subsequent launches. Installing a plan resets its decision streams
+    /// and counters; a plan whose rates are all zero is treated as absent.
+    pub fn set_fault_plan(&mut self, plan: Option<FaultPlan>) {
+        self.fault = plan.filter(FaultPlan::is_active).map(FaultState::new);
+    }
+
+    /// The installed fault plan, if any.
+    pub fn fault_plan(&self) -> Option<&FaultPlan> {
+        self.fault.as_ref().map(FaultState::plan)
+    }
+
+    /// Counters of the faults injected so far (zeroes when no plan is
+    /// installed).
+    pub fn fault_stats(&self) -> FaultStats {
+        self.fault.as_ref().map(|f| f.stats).unwrap_or_default()
     }
 
     /// Allocate a zero-initialized global buffer of `len` elements.
@@ -591,7 +705,7 @@ impl Gpu {
         for (slot, v) in self.pool.global[buf.id].iter_mut().zip(data) {
             *slot = v.to_bits();
         }
-        let bytes = data.len() * std::mem::size_of::<T>();
+        let bytes = std::mem::size_of_val(data);
         self.profiler.push(TimelineEvent::Transfer {
             dir: TransferDir::HostToDevice,
             bytes,
@@ -647,7 +761,7 @@ impl Gpu {
         }
         let words: Vec<u64> = data.iter().map(|v| v.to_bits()).collect();
         let id = self.pool.alloc_const(words);
-        let bytes = data.len() * std::mem::size_of::<T>();
+        let bytes = std::mem::size_of_val(data);
         self.profiler.push(TimelineEvent::Transfer {
             dir: TransferDir::HostToDevice,
             bytes,
@@ -670,6 +784,21 @@ impl Gpu {
         let block_dim = cfg.block_size();
         let shared_bytes = kernel.shared_mem_bytes(block_dim);
         cfg.validate(&self.spec, shared_bytes).map_err(LaunchError::InvalidConfig)?;
+
+        // Fault injection, launch-level decisions. A transient failure
+        // aborts before any thread runs (memory untouched, retry safe); a
+        // hang lets the launch execute and is handled by the watchdog after
+        // timing (below).
+        let mut hang = false;
+        if let Some(f) = self.fault.as_mut() {
+            if f.draw_launch_failure() {
+                return Err(LaunchError::TransientFault(format!(
+                    "kernel `{}` failed to launch (injected)",
+                    kernel.name()
+                )));
+            }
+            hang = f.draw_hang();
+        }
 
         let grid_dim = cfg.num_blocks();
         let phases = kernel.num_phases().max(1);
@@ -694,6 +823,7 @@ impl Gpu {
                         mem: &mut self.pool,
                         cost: &mut costs[thread_idx],
                         race: race.as_mut(),
+                        fault: self.fault.as_mut(),
                     };
                     kernel.phase(phase, &mut ctx, &mut shared, &mut states[thread_idx]);
                 }
@@ -718,6 +848,33 @@ impl Gpu {
         }
 
         let timing = model_kernel_time(&self.spec, &cfg, &per_block_warp_costs, phases);
+
+        // Watchdog: an injected hang inflates the launch's modeled time; if
+        // it exceeds `watchdog_factor ×` the clean cost-model budget, the
+        // kernel is killed. The device was busy until the kill, so the
+        // budget is charged to the timeline; the launch's writes are
+        // unspecified (treated as failed by the recovery layers).
+        if hang {
+            let f = self.fault.as_mut().expect("hang implies an installed plan");
+            let plan = f.plan();
+            let budget = timing.seconds * plan.watchdog_factor;
+            let hung_seconds = timing.seconds * plan.hang_slowdown;
+            if hung_seconds > budget {
+                f.record_watchdog_kill();
+                self.profiler.push(TimelineEvent::Kernel {
+                    name: format!("{}[watchdog-kill]", kernel.name()),
+                    config: cfg,
+                    seconds: budget,
+                    total_cost,
+                });
+                return Err(LaunchError::KernelTimeout {
+                    kernel: kernel.name().to_string(),
+                    modeled_seconds: hung_seconds,
+                    budget_seconds: budget,
+                });
+            }
+        }
+
         self.profiler.push(TimelineEvent::Kernel {
             name: kernel.name().to_string(),
             config: cfg,
@@ -940,6 +1097,175 @@ mod tests {
         let mut gpu = Gpu::new(DeviceSpec::gt560m());
         let buf = gpu.alloc::<i64>(4);
         let _ = gpu.launch(&Oob, LaunchConfig::linear(1, 1), &[buf.erased()]);
+    }
+
+    /// Doubles with wrapping arithmetic: under bit-flip injection a read can
+    /// return any i64, so the test kernel must tolerate extreme values
+    /// (exactly the hardening real kernels need).
+    struct WrappingDouble;
+    impl Kernel for WrappingDouble {
+        type Shared = ();
+        type ThreadState = ();
+        fn name(&self) -> &str {
+            "wrapping_double"
+        }
+        fn make_shared(&self, _block: usize) {}
+        fn phase(&self, _p: usize, ctx: &mut ThreadCtx<'_>, _s: &mut (), _t: &mut ()) {
+            let buf = ctx.arg_buf(0);
+            let gid = ctx.global_id();
+            if gid < buf.len() {
+                let v: i64 = ctx.read(buf, gid);
+                ctx.write(buf, gid, v.wrapping_mul(2));
+            }
+        }
+    }
+
+    /// Run `launches` WrappingDouble launches under `plan`, returning the
+    /// error sequence, final memory and fault stats.
+    fn faulted_run(
+        plan: FaultPlan,
+        launches: usize,
+    ) -> (Vec<Option<LaunchError>>, Vec<i64>, FaultStats) {
+        let mut gpu = Gpu::new(DeviceSpec::gt560m());
+        let buf = gpu.alloc::<i64>(8);
+        gpu.h2d(buf, &[1, 2, 3, 4, 5, 6, 7, 8]);
+        gpu.set_fault_plan(Some(plan));
+        let mut errors = Vec::new();
+        for _ in 0..launches {
+            errors.push(
+                gpu.launch(&WrappingDouble, LaunchConfig::linear(2, 4), &[buf.erased()]).err(),
+            );
+        }
+        (errors, gpu.d2h(buf), gpu.fault_stats())
+    }
+
+    #[test]
+    fn fault_sequence_is_reproducible_per_seed() {
+        let plan = FaultPlan::with_rates(77, 0.3, 0.02, 0.1);
+        let (e1, m1, s1) = faulted_run(plan.clone(), 200);
+        let (e2, m2, s2) = faulted_run(plan.clone(), 200);
+        assert_eq!(e1, e2, "same plan must reproduce the identical error sequence");
+        assert_eq!(m1, m2, "same plan must reproduce identical memory");
+        assert_eq!(s1, s2);
+        assert!(s1.transient_launch_failures > 0);
+        assert!(s1.hung_kernels > 0);
+        assert_eq!(s1.launches_attempted, 200);
+        // A different seed diverges.
+        let (e3, _, _) = faulted_run(plan.reseeded(78), 200);
+        assert_ne!(e1, e3);
+    }
+
+    #[test]
+    fn transient_failure_leaves_memory_untouched() {
+        let mut gpu = Gpu::new(DeviceSpec::gt560m());
+        let buf = gpu.alloc::<i64>(4);
+        gpu.h2d(buf, &[1, 2, 3, 4]);
+        gpu.set_fault_plan(Some(FaultPlan::with_rates(0, 1.0, 0.0, 0.0)));
+        let err = gpu.launch(&Double, LaunchConfig::linear(1, 4), &[buf.erased()]).unwrap_err();
+        assert!(matches!(err, LaunchError::TransientFault(_)), "{err}");
+        assert!(err.is_transient());
+        assert_eq!(gpu.peek(buf), vec![1, 2, 3, 4], "failed launch must not execute");
+        assert_eq!(gpu.profiler().kernel_launches(), 0);
+    }
+
+    #[test]
+    fn watchdog_kills_hung_kernels_and_charges_the_budget() {
+        let mut gpu = Gpu::new(DeviceSpec::gt560m());
+        let buf = gpu.alloc::<i64>(4);
+        gpu.h2d(buf, &[1, 2, 3, 4]);
+        let plan = FaultPlan {
+            watchdog_factor: 8.0,
+            hang_slowdown: 1e4,
+            ..FaultPlan::with_rates(0, 0.0, 0.0, 1.0)
+        };
+        gpu.set_fault_plan(Some(plan));
+        let err = gpu.launch(&Double, LaunchConfig::linear(1, 4), &[buf.erased()]).unwrap_err();
+        let LaunchError::KernelTimeout { kernel, modeled_seconds, budget_seconds } = &err else {
+            panic!("expected KernelTimeout, got {err}");
+        };
+        assert_eq!(kernel, "double");
+        assert!(modeled_seconds > budget_seconds);
+        assert!(err.is_transient());
+        assert_eq!(gpu.fault_stats().hung_kernels, 1);
+        // The timeline charges the watchdog budget for the killed attempt.
+        assert!((gpu.profiler().kernel_seconds() - budget_seconds).abs() < 1e-12);
+    }
+
+    #[test]
+    fn hang_below_watchdog_budget_completes() {
+        // slowdown ≤ factor: the kernel is slow but finishes before the
+        // watchdog fires, so the launch succeeds.
+        let mut gpu = Gpu::new(DeviceSpec::gt560m());
+        let buf = gpu.alloc::<i64>(4);
+        gpu.h2d(buf, &[1, 2, 3, 4]);
+        let plan = FaultPlan {
+            watchdog_factor: 8.0,
+            hang_slowdown: 2.0,
+            ..FaultPlan::with_rates(0, 0.0, 0.0, 1.0)
+        };
+        gpu.set_fault_plan(Some(plan));
+        gpu.launch(&Double, LaunchConfig::linear(1, 4), &[buf.erased()]).unwrap();
+        assert_eq!(gpu.fault_stats().hung_kernels, 0);
+    }
+
+    #[test]
+    fn bit_flips_corrupt_reads_but_not_memory() {
+        let mut gpu = Gpu::new(DeviceSpec::gt560m());
+        let buf = gpu.alloc::<i64>(64);
+        let host: Vec<i64> = (0..64).collect();
+        gpu.h2d(buf, &host);
+        gpu.set_fault_plan(Some(FaultPlan::with_rates(5, 0.0, 1.0, 0.0)));
+        let out = gpu.alloc::<i64>(64);
+
+        /// Copies src[gid] → out[gid] (read passes through the fault layer).
+        struct CopyK;
+        impl Kernel for CopyK {
+            type Shared = ();
+            type ThreadState = ();
+            fn name(&self) -> &str {
+                "copy"
+            }
+            fn make_shared(&self, _b: usize) {}
+            fn phase(&self, _p: usize, ctx: &mut ThreadCtx<'_>, _s: &mut (), _t: &mut ()) {
+                let src = ctx.arg_buf(0);
+                let dst = ctx.arg_buf(1);
+                let gid = ctx.global_id();
+                let v: i64 = ctx.read(src, gid);
+                ctx.write(dst, gid, v);
+            }
+        }
+        gpu.launch(&CopyK, LaunchConfig::linear(2, 32), &[buf.erased(), out.erased()]).unwrap();
+        let copied = gpu.peek(out);
+        assert_ne!(copied, host, "flip rate 1.0 must corrupt the copied values");
+        for (c, h) in copied.iter().zip(&host) {
+            assert_eq!((c ^ h).count_ones(), 1, "exactly one bit flips per read");
+        }
+        // The *source* memory is intact: flips are read-side transients.
+        gpu.set_fault_plan(None);
+        assert_eq!(gpu.peek(buf), host);
+        assert_eq!(gpu.fault_stats().bit_flips, 0, "stats reset with the plan");
+    }
+
+    #[test]
+    fn race_detection_still_fires_with_injection_enabled() {
+        let mut gpu = Gpu::new(DeviceSpec::gt560m());
+        gpu.set_race_detection(true);
+        gpu.set_fault_plan(Some(FaultPlan::with_rates(11, 0.0, 0.2, 0.0)));
+        let buf = gpu.alloc::<i64>(1);
+        let err = gpu.launch(&Racy, LaunchConfig::linear(1, 4), &[buf.erased()]).unwrap_err();
+        assert!(matches!(err, LaunchError::DataRace(_)), "{err}");
+        assert!(!err.is_transient(), "races are bugs, not retryable faults");
+    }
+
+    #[test]
+    fn inactive_plan_is_not_installed() {
+        let mut gpu = Gpu::new(DeviceSpec::gt560m());
+        gpu.set_fault_plan(Some(FaultPlan::disabled()));
+        assert!(gpu.fault_plan().is_none());
+        let buf = gpu.alloc::<i64>(4);
+        gpu.h2d(buf, &[1, 2, 3, 4]);
+        gpu.launch(&Double, LaunchConfig::linear(1, 4), &[buf.erased()]).unwrap();
+        assert_eq!(gpu.d2h(buf), vec![2, 4, 6, 8]);
     }
 
     #[test]

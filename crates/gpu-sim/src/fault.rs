@@ -1,0 +1,281 @@
+//! Deterministic fault injection for the simulated GPU.
+//!
+//! The paper's target device (GeForce GT 560M) is a consumer part without
+//! ECC on its GDDR5, and long metaheuristic campaigns are exactly the
+//! workloads where launch hiccups, soft memory errors and wedged kernels
+//! surface. This module lets the simulator *inject* those failures
+//! deterministically so the recovery layers above it (retry, CPU-oracle
+//! re-validation, CPU fallback, resumable campaign journal) can be tested
+//! end to end:
+//!
+//! * **Transient launch failures** — a launch aborts before any thread runs
+//!   ([`crate::LaunchError::TransientFault`]); device memory is untouched,
+//!   so a retry is safe.
+//! * **Silent bit flips** — a global-memory *read* returns the stored word
+//!   with one bit inverted (memory itself stays intact — a transient read
+//!   error, the non-ECC GDDR model). Constant memory (broadcast cache),
+//!   atomics (L2-serialized) and PCIe transfers (link-level CRC) stay
+//!   clean.
+//! * **Hung kernels** — the launch executes but its modeled time is
+//!   inflated past the watchdog budget
+//!   (`watchdog_factor × model_kernel_time`), so the engine reports
+//!   [`crate::LaunchError::KernelTimeout`] as a driver watchdog kill would.
+//!
+//! All decisions come from two private SplitMix64 streams seeded by
+//! [`FaultPlan::seed`]: one advanced per launch, one per read. The same
+//! plan over the same operation sequence therefore reproduces the *exact*
+//! same fault sequence, which is what makes failure campaigns replayable.
+
+use std::fmt;
+
+/// SplitMix64 step (the same finalizer the RNG seeding uses elsewhere).
+#[inline]
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e3779b97f4a7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+    z ^ (z >> 31)
+}
+
+/// Uniform f64 in `[0, 1)` from a SplitMix64 draw.
+#[inline]
+fn unit_f64(draw: u64) -> f64 {
+    (draw >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// A seeded, deterministic fault-injection plan.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultPlan {
+    /// Seed of the two private decision streams.
+    pub seed: u64,
+    /// Probability that a launch fails before executing.
+    pub launch_failure_rate: f64,
+    /// Probability that a single global-memory read returns a word with one
+    /// flipped bit.
+    pub bit_flip_rate: f64,
+    /// Probability that a launch hangs (its modeled time is inflated by
+    /// [`hang_slowdown`](Self::hang_slowdown)).
+    pub hang_rate: f64,
+    /// Watchdog budget as a multiple of the clean modeled kernel time.
+    pub watchdog_factor: f64,
+    /// Slowdown factor applied to a hung kernel's modeled time. A hang is
+    /// killed by the watchdog iff `hang_slowdown > watchdog_factor`.
+    pub hang_slowdown: f64,
+}
+
+impl FaultPlan {
+    /// A plan that injects nothing (useful as a baseline).
+    pub fn disabled() -> Self {
+        FaultPlan {
+            seed: 0,
+            launch_failure_rate: 0.0,
+            bit_flip_rate: 0.0,
+            hang_rate: 0.0,
+            watchdog_factor: 8.0,
+            hang_slowdown: 1e4,
+        }
+    }
+
+    /// A plan with the given rates and default watchdog geometry.
+    pub fn with_rates(seed: u64, launch_failure: f64, bit_flip: f64, hang: f64) -> Self {
+        FaultPlan {
+            seed,
+            launch_failure_rate: launch_failure,
+            bit_flip_rate: bit_flip,
+            hang_rate: hang,
+            ..Self::disabled()
+        }
+    }
+
+    /// The same plan under a different seed (used to decorrelate retries of
+    /// a whole device attempt and per-cell campaign plans).
+    pub fn reseeded(&self, seed: u64) -> Self {
+        FaultPlan { seed, ..self.clone() }
+    }
+
+    /// Whether the plan can inject anything at all.
+    pub fn is_active(&self) -> bool {
+        self.launch_failure_rate > 0.0 || self.bit_flip_rate > 0.0 || self.hang_rate > 0.0
+    }
+}
+
+/// Counters of what a [`FaultState`] actually injected.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct FaultStats {
+    /// Launches attempted while the plan was installed.
+    pub launches_attempted: u64,
+    /// Launches aborted with a transient failure.
+    pub transient_launch_failures: u64,
+    /// Global-memory reads that returned a flipped word.
+    pub bit_flips: u64,
+    /// Launches killed by the watchdog.
+    pub hung_kernels: u64,
+}
+
+impl fmt::Display for FaultStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} launches: {} transient failures, {} watchdog kills, {} bit flips",
+            self.launches_attempted,
+            self.transient_launch_failures,
+            self.hung_kernels,
+            self.bit_flips
+        )
+    }
+}
+
+/// Runtime state of an installed plan: the two decision streams plus the
+/// injection counters. Owned by [`crate::Gpu`]; one per device.
+#[derive(Debug, Clone)]
+pub struct FaultState {
+    plan: FaultPlan,
+    /// Stream advanced once per launch-level decision (failure, hang).
+    launch_stream: u64,
+    /// Stream advanced once per global-memory read. Keeping it separate
+    /// means the number of reads a kernel performs cannot perturb
+    /// launch-level decisions (and vice versa).
+    read_stream: u64,
+    /// What was injected so far.
+    pub stats: FaultStats,
+}
+
+impl FaultState {
+    /// Install `plan` with fresh streams and zeroed counters.
+    pub fn new(plan: FaultPlan) -> Self {
+        let mut seed = plan.seed;
+        let launch_stream = splitmix64(&mut seed);
+        let read_stream = splitmix64(&mut seed);
+        FaultState { plan, launch_stream, read_stream, stats: FaultStats::default() }
+    }
+
+    /// The installed plan.
+    pub fn plan(&self) -> &FaultPlan {
+        &self.plan
+    }
+
+    /// Per-launch decision: should this launch fail transiently?
+    pub(crate) fn draw_launch_failure(&mut self) -> bool {
+        self.stats.launches_attempted += 1;
+        if self.plan.launch_failure_rate <= 0.0 {
+            return false;
+        }
+        let fail = unit_f64(splitmix64(&mut self.launch_stream)) < self.plan.launch_failure_rate;
+        if fail {
+            self.stats.transient_launch_failures += 1;
+        }
+        fail
+    }
+
+    /// Per-launch decision: does this launch hang? (Counted as a hung
+    /// kernel only when the engine's watchdog actually kills it.)
+    pub(crate) fn draw_hang(&mut self) -> bool {
+        if self.plan.hang_rate <= 0.0 {
+            return false;
+        }
+        unit_f64(splitmix64(&mut self.launch_stream)) < self.plan.hang_rate
+    }
+
+    /// Record a watchdog kill.
+    pub(crate) fn record_watchdog_kill(&mut self) {
+        self.stats.hung_kernels += 1;
+    }
+
+    /// Per-read decision: pass `bits` through, or flip one bit of it.
+    /// `width_bits` bounds the flipped position to the value's meaningful
+    /// low bits (a `u32` buffer only has 32 payload bits per word).
+    #[inline]
+    pub(crate) fn observe_read(&mut self, bits: u64, width_bits: u32) -> u64 {
+        if self.plan.bit_flip_rate <= 0.0 {
+            return bits;
+        }
+        let draw = splitmix64(&mut self.read_stream);
+        if unit_f64(draw) >= self.plan.bit_flip_rate {
+            return bits;
+        }
+        self.stats.bit_flips += 1;
+        // Reuse the draw's untouched low bits to pick the position.
+        let bit = (draw % width_bits.max(1) as u64) as u32;
+        bits ^ 1u64 << bit
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_plan_injects_nothing() {
+        let mut s = FaultState::new(FaultPlan::disabled());
+        for i in 0..1000u64 {
+            assert!(!s.draw_launch_failure());
+            assert!(!s.draw_hang());
+            assert_eq!(s.observe_read(i, 64), i);
+        }
+        assert_eq!(s.stats, FaultStats { launches_attempted: 1000, ..Default::default() });
+        assert!(!s.plan().is_active());
+    }
+
+    #[test]
+    fn same_seed_reproduces_identical_fault_sequence() {
+        let plan = FaultPlan::with_rates(42, 0.1, 0.05, 0.02);
+        let run = |plan: &FaultPlan| {
+            let mut s = FaultState::new(plan.clone());
+            let mut trace = Vec::new();
+            for i in 0..500u64 {
+                trace.push((s.draw_launch_failure(), s.draw_hang(), s.observe_read(i, 64)));
+            }
+            (trace, s.stats)
+        };
+        let (t1, s1) = run(&plan);
+        let (t2, s2) = run(&plan);
+        assert_eq!(t1, t2);
+        assert_eq!(s1, s2);
+        assert!(s1.transient_launch_failures > 0, "rate 0.1 over 500 draws must fire");
+        assert!(s1.bit_flips > 0);
+        // A different seed produces a different sequence.
+        let (t3, _) = run(&plan.reseeded(43));
+        assert_ne!(t1, t3);
+    }
+
+    #[test]
+    fn read_faults_do_not_perturb_launch_decisions() {
+        let plan = FaultPlan::with_rates(7, 0.2, 0.5, 0.0);
+        let mut a = FaultState::new(plan.clone());
+        let mut b = FaultState::new(plan);
+        let mut fa = Vec::new();
+        let mut fb = Vec::new();
+        for i in 0..100u64 {
+            fa.push(a.draw_launch_failure());
+            // b interleaves plenty of reads between launches.
+            for k in 0..17 {
+                b.observe_read(i * k, 64);
+            }
+            fb.push(b.draw_launch_failure());
+        }
+        assert_eq!(fa, fb);
+    }
+
+    #[test]
+    fn flips_respect_value_width() {
+        let plan = FaultPlan { bit_flip_rate: 1.0, ..FaultPlan::with_rates(3, 0.0, 1.0, 0.0) };
+        let mut s = FaultState::new(plan);
+        for _ in 0..200 {
+            let out = s.observe_read(0, 32);
+            assert!(out != 0, "rate 1.0 must flip");
+            assert!(out < 1 << 32, "flip must stay in the 32 payload bits");
+        }
+        assert_eq!(s.stats.bit_flips, 200);
+    }
+
+    #[test]
+    fn rates_scale_counts() {
+        let mut s = FaultState::new(FaultPlan::with_rates(9, 0.5, 0.0, 0.0));
+        for _ in 0..2000 {
+            s.draw_launch_failure();
+        }
+        let frac = s.stats.transient_launch_failures as f64 / 2000.0;
+        assert!((0.4..0.6).contains(&frac), "observed failure fraction {frac}");
+    }
+}

@@ -24,6 +24,11 @@
 //!   describes: oversubscribed blocks serialize on SMs, small kernels are
 //!   dominated by launch/transfer overhead, and memory-heavy kernels are
 //!   bandwidth-bound.
+//! * **Fault injection (optional):** a seeded [`FaultPlan`] installed via
+//!   [`Gpu::set_fault_plan`] deterministically injects transient launch
+//!   failures, read-side bit flips and watchdog-killed hangs (see the
+//!   [`fault`] module docs) so resilience layers above the simulator can be
+//!   tested end to end.
 //!
 //! Blocks are *executed* sequentially on the host (the evaluation host has a
 //! single CPU core); all parallel timing comes from the model, and
@@ -56,6 +61,7 @@
 pub mod cost;
 pub mod device;
 pub mod engine;
+pub mod fault;
 pub mod grid;
 pub mod memory;
 pub mod profiler;
@@ -65,6 +71,7 @@ pub mod rng;
 pub use cost::{CostCounter, KernelTiming};
 pub use device::DeviceSpec;
 pub use engine::{Gpu, Kernel, LaunchError, LaunchStats, ThreadCtx};
+pub use fault::{FaultPlan, FaultStats};
 pub use grid::{Dim3, LaunchConfig};
 pub use memory::{Buf, ConstBuf, ErasedBuf};
 pub use profiler::{Profiler, TimelineEvent};

@@ -76,7 +76,14 @@ impl Kernel for AtomicArgminKernel {
     fn phase(&self, _p: usize, ctx: &mut ThreadCtx<'_>, _s: &mut (), _t: &mut ()) {
         let gid = ctx.global_id();
         if gid < self.values.len() {
-            let v = ctx.read(self.values, gid);
+            let mut v = ctx.read(self.values, gid);
+            if ctx.fault_injection_active() {
+                // A flipped read can exceed the packable range; saturate so
+                // the key stays order-preserving (a corrupted extreme loses
+                // the argmin, and recovery layers re-validate the winner).
+                const CAP: i64 = (1 << (62 - ARGMIN_INDEX_BITS)) - 1;
+                v = v.clamp(-CAP, CAP);
+            }
             ctx.charge_alu(2); // shift + or
             ctx.atomic_min_i64(self.out, 0, pack_argmin(v, gid));
         }

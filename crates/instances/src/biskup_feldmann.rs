@@ -70,7 +70,7 @@ pub(crate) fn instance_seed(domain: u64, n: usize, k: u32) -> u64 {
 pub fn raw_job_data(n: usize, k: u32) -> RawJobData {
     assert!(n >= 1, "instance must have at least one job");
     assert!((1..=10).contains(&k), "instance number k must be in 1..=10, got {k}");
-    let mut rng = StdRng::seed_from_u64(instance_seed(0xB15C0F_FE1D, n, k));
+    let mut rng = StdRng::seed_from_u64(instance_seed(0x00B1_5C0F_FE1D, n, k));
     let processing = (0..n).map(|_| rng.gen_range(PROCESSING_RANGE.0..=PROCESSING_RANGE.1)).collect();
     let earliness = (0..n).map(|_| rng.gen_range(EARLINESS_RANGE.0..=EARLINESS_RANGE.1)).collect();
     let tardiness = (0..n).map(|_| rng.gen_range(TARDINESS_RANGE.0..=TARDINESS_RANGE.1)).collect();
@@ -140,7 +140,7 @@ mod tests {
         let mut seeds: Vec<u64> = Vec::new();
         for n in [10usize, 20, 50] {
             for k in 1..=10 {
-                seeds.push(instance_seed(0xB15C0F_FE1D, n, k));
+                seeds.push(instance_seed(0x00B1_5C0F_FE1D, n, k));
             }
         }
         let unique: std::collections::HashSet<_> = seeds.iter().collect();

@@ -26,7 +26,7 @@ pub const COMPRESSION_RANGE: (Time, Time) = (1, 10);
 /// Panics if `n == 0` or `k ∉ 1..=10` (as for the CDD generator).
 pub fn ucddcp_instance(n: usize, k: u32) -> Instance {
     let raw = raw_job_data(n, k);
-    let mut rng = StdRng::seed_from_u64(instance_seed(0x0C0_FFEE_CDD, n, k));
+    let mut rng = StdRng::seed_from_u64(instance_seed(0x000C_0FFE_ECDD, n, k));
     let min_processing: Vec<Time> =
         raw.processing.iter().map(|&p| rng.gen_range(1..=p)).collect();
     let compression: Vec<Time> =

@@ -1,0 +1,173 @@
+//! Offline vendored stand-in for `criterion`.
+//!
+//! Provides the API subset the workspace benches use (`benchmark_group`,
+//! `sample_size`, `measurement_time`, `bench_function`, `bench_with_input`,
+//! `BenchmarkId`, the `criterion_group!`/`criterion_main!` macros) with a
+//! minimal measurement loop: each benchmark body runs `sample_size`
+//! iterations and the mean wall time is printed. No statistics, HTML
+//! reports, or baselines — enough to keep `cargo bench` compiling and
+//! producing indicative numbers offline.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Benchmark identifier (`group/function/parameter`).
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// Function name + parameter.
+    pub fn new<P: fmt::Display>(function: &str, parameter: P) -> Self {
+        BenchmarkId { label: format!("{function}/{parameter}") }
+    }
+
+    /// Parameter-only id.
+    pub fn from_parameter<P: fmt::Display>(parameter: P) -> Self {
+        BenchmarkId { label: parameter.to_string() }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.label)
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { label: s.to_string() }
+    }
+}
+
+/// Timing harness handed to benchmark closures.
+pub struct Bencher {
+    iters: u64,
+    total: Duration,
+}
+
+impl Bencher {
+    /// Run `f` for the configured iteration count, recording wall time.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            std::hint::black_box(f());
+        }
+        self.total = start.elapsed();
+    }
+}
+
+/// A named group of benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: u64,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Iterations per benchmark (upstream: samples per estimate).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1) as u64;
+        self
+    }
+
+    /// Accepted for API compatibility; the stand-in's budget is iteration
+    /// count, not wall time.
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Benchmark a closure.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        mut f: F,
+    ) -> &mut Self {
+        let id = id.into();
+        let mut b = Bencher { iters: self.sample_size, total: Duration::ZERO };
+        f(&mut b);
+        self.report(&id, &b);
+        self
+    }
+
+    /// Benchmark a closure with an input value.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        let mut b = Bencher { iters: self.sample_size, total: Duration::ZERO };
+        f(&mut b, input);
+        self.report(&id, &b);
+        self
+    }
+
+    /// Finish the group (upstream writes reports; here a no-op).
+    pub fn finish(self) {}
+
+    fn report(&self, id: &BenchmarkId, b: &Bencher) {
+        let mean = b.total.as_secs_f64() / b.iters.max(1) as f64;
+        println!("{}/{}: {:.6e} s/iter ({} iters)", self.name, id, mean, b.iters);
+    }
+}
+
+/// Top-level benchmark driver.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Start a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { name: name.into(), sample_size: 10, _parent: self }
+    }
+}
+
+/// Hide a value from the optimizer.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Declare a benchmark group function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declare the bench binary's `main`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_runs_and_times_bodies() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("g");
+        group.sample_size(3).measurement_time(Duration::from_millis(1));
+        let mut runs = 0u64;
+        group.bench_with_input(BenchmarkId::from_parameter(7), &7usize, |b, &x| {
+            b.iter(|| {
+                runs += 1;
+                x * 2
+            })
+        });
+        group.bench_function("f", |b| b.iter(|| 1 + 1));
+        group.finish();
+        assert_eq!(runs, 3);
+    }
+}

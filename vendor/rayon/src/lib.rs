@@ -1,0 +1,58 @@
+//! Offline vendored stand-in for `rayon`.
+//!
+//! The evaluation host has a single CPU core and no crates.io access, so the
+//! parallel-iterator calls degrade to their exact sequential equivalents:
+//! `into_par_iter()`/`par_iter()` simply return the standard iterators, and
+//! every adapter (`map`, `enumerate`, `collect`, …) is the `std::iter` one.
+//! Results are bit-identical to what a real rayon pool would produce for the
+//! deterministic map-collect patterns this workspace uses.
+
+/// Sequential stand-ins for rayon's prelude traits.
+pub mod prelude {
+    /// `into_par_iter()` — sequential fallback returning the plain iterator.
+    pub trait IntoParallelIterator: IntoIterator + Sized {
+        /// Identical to [`IntoIterator::into_iter`].
+        fn into_par_iter(self) -> Self::IntoIter {
+            self.into_iter()
+        }
+    }
+
+    impl<I: IntoIterator> IntoParallelIterator for I {}
+
+    /// `par_iter()` on slices and `Vec`s — sequential fallback.
+    pub trait ParallelRefIterator {
+        /// Element type.
+        type Item;
+
+        /// Identical to `.iter()`.
+        fn par_iter(&self) -> std::slice::Iter<'_, Self::Item>;
+    }
+
+    impl<T> ParallelRefIterator for [T] {
+        type Item = T;
+        fn par_iter(&self) -> std::slice::Iter<'_, T> {
+            self.iter()
+        }
+    }
+
+    impl<T> ParallelRefIterator for Vec<T> {
+        type Item = T;
+        fn par_iter(&self) -> std::slice::Iter<'_, T> {
+            self.as_slice().iter()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn sequential_fallbacks_match_std() {
+        let doubled: Vec<usize> = (0..5usize).into_par_iter().map(|x| x * 2).collect();
+        assert_eq!(doubled, vec![0, 2, 4, 6, 8]);
+        let v = vec![3, 1, 2];
+        let indexed: Vec<(usize, i32)> = v.par_iter().enumerate().map(|(i, &x)| (i, x)).collect();
+        assert_eq!(indexed, vec![(0, 3), (1, 1), (2, 2)]);
+    }
+}
