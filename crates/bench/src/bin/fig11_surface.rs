@@ -12,7 +12,7 @@
 //! processing through the SMs (the effect Section VIII discusses).
 
 use cdd_bench::campaign::{instance_seed, run_algo_on_instance, AlgoKind};
-use cdd_bench::{render_markdown, results_dir, write_csv, Args, CampaignConfig, Table};
+use cdd_bench::{campaign_from_args, render_markdown, results_dir, write_csv, Args, Table};
 use cdd_gpu::{run_gpu_sa, GpuSaParams};
 use cdd_instances::InstanceId;
 
@@ -21,8 +21,10 @@ fn main() {
     let n = args.get_or("n", 200usize);
     let threads = args.get_list_or("threads", &[96usize, 192, 384, 768, 1536]);
     let gens = args.get_list_or("gens", &[200u64, 500, 1000, 2000]);
-    let block_size = args.get_or("block-size", 192usize);
-    let seed = args.get_or("seed", 2016u64);
+    // Shared campaign flags (--block-size, --seed, fault flags) parse through
+    // the same helper as the table binaries.
+    let cfg = campaign_from_args(&args, &[]);
+    let (block_size, seed) = (cfg.block_size, cfg.seed);
 
     let id = InstanceId::ucddcp(n, 1);
     let inst = id.instantiate();
@@ -60,7 +62,7 @@ fn main() {
     let anchor = run_algo_on_instance(
         &inst,
         AlgoKind::Sa1000,
-        &CampaignConfig { sizes: vec![n], ..Default::default() },
+        &cdd_bench::CampaignConfig { sizes: vec![n], ..Default::default() },
         instance_seed(seed, &id),
     )
     .expect("clean device run succeeds");

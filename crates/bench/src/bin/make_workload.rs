@@ -1,0 +1,40 @@
+//! Generate a mixed CDD/UCDDCP request stream for the solver service
+//! (`cdd-serve --workload …`).
+//!
+//! ```text
+//! cargo run --release -p cdd-bench --bin make_workload -- \
+//!     [--requests 64] [--seed 2016] [--iterations 150] [--sizes 10,20] \
+//!     [--out results/workload.txt]
+//! ```
+//!
+//! About a quarter of the stream repeats earlier requests verbatim, so a
+//! replay through `cdd-serve` exercises the solution cache.
+
+use cdd_bench::workload::{generate_mixed, save, WorkloadEntry};
+use cdd_bench::{results_dir, Args};
+use std::collections::BTreeSet;
+use std::path::PathBuf;
+
+fn main() {
+    let args = Args::parse();
+    let requests = args.get_or("requests", 64usize);
+    let seed = args.get_or("seed", 2016u64);
+    let iterations = args.get_or("iterations", 150u64);
+    let sizes = args.get_list_or("sizes", &[10usize, 20]);
+    let out = args
+        .get("out")
+        .map(PathBuf::from)
+        .unwrap_or_else(|| results_dir().join("workload.txt"));
+
+    let entries = generate_mixed(requests, seed, iterations, &sizes);
+    save(&out, &entries).expect("workload file writable");
+
+    let distinct: BTreeSet<String> = entries.iter().map(WorkloadEntry::to_line).collect();
+    println!(
+        "wrote {} requests ({} distinct, {} duplicates) to {}",
+        entries.len(),
+        distinct.len(),
+        entries.len() - distinct.len(),
+        out.display()
+    );
+}

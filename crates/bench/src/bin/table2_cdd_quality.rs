@@ -16,29 +16,17 @@
 //! Paper shape to reproduce: SA stays within ~2 % at every size (SA₅₀₀₀
 //! under ~0.5 %), while DPSO degrades sharply from n ≈ 100 upward.
 
-use cdd_bench::campaign::{
-    best_known_path, ensure_best_known, fault_plan_from_args, run_quality_suite,
-};
+use cdd_bench::campaign::{best_known_path, ensure_best_known, run_quality_suite};
 use cdd_bench::{
-    gpu_algorithms, render_markdown, results_dir, write_csv, Args, CampaignConfig, Journal, Table,
+    campaign_from_args, gpu_algorithms, render_markdown, results_dir, write_csv, Args, Journal,
+    Table,
 };
-use cdd_instances::{BestKnown, InstanceId, PAPER_H_VALUES, PAPER_SIZES};
+use cdd_instances::{BestKnown, InstanceId, PAPER_H_VALUES};
 
 fn main() {
     let args = Args::parse();
     let full = args.flag("full");
-    let cfg = CampaignConfig {
-        sizes: if full {
-            PAPER_SIZES.to_vec()
-        } else {
-            args.get_list_or("sizes", &[10usize, 20, 50, 100])
-        },
-        blocks: args.get_or("blocks", 4usize),
-        block_size: args.get_or("block-size", 192usize),
-        seed: args.get_or("seed", 2016u64),
-        fault: fault_plan_from_args(&args),
-        ..Default::default()
-    };
+    let cfg = campaign_from_args(&args, &[10, 20, 50, 100]);
     let ks: Vec<u32> =
         if full { (1..=10).collect() } else { args.get_list_or("ks", &[1u32]) };
 

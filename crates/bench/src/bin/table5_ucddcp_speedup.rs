@@ -11,24 +11,13 @@
 //! Paper shape to reproduce: sub-1 speed-ups for tiny n (launch/transfer
 //! overhead dominates), growing and then saturating with n.
 
-use cdd_bench::campaign::{fault_plan_from_args, run_speedup_suite};
-use cdd_bench::{render_markdown, results_dir, write_csv, Args, CampaignConfig};
-use cdd_instances::{InstanceId, PAPER_SIZES};
+use cdd_bench::campaign::run_speedup_suite;
+use cdd_bench::{campaign_from_args, render_markdown, results_dir, write_csv, Args};
+use cdd_instances::InstanceId;
 
 fn main() {
     let args = Args::parse();
-    let cfg = CampaignConfig {
-        sizes: if args.flag("full") {
-            PAPER_SIZES.to_vec()
-        } else {
-            args.get_list_or("sizes", &[10usize, 20, 50, 100, 200])
-        },
-        blocks: args.get_or("blocks", 4usize),
-        block_size: args.get_or("block-size", 192usize),
-        seed: args.get_or("seed", 2016u64),
-        fault: fault_plan_from_args(&args),
-        ..Default::default()
-    };
+    let cfg = campaign_from_args(&args, &[10, 20, 50, 100, 200]);
 
     eprintln!("Table V campaign: sizes {:?}, ensemble {}", cfg.sizes, cfg.ensemble());
     let (speedup, runtime) = run_speedup_suite(&cfg, |n| InstanceId::ucddcp(n, 1), false);

@@ -4,8 +4,8 @@
 
 use crate::journal::{CellRecord, Journal};
 use cdd_core::eval::evaluator_for;
-use cdd_core::{Cost, Instance, SuiteError};
-use cdd_gpu::{run_gpu_dpso, run_gpu_sa, GpuDpsoParams, GpuRunResult, GpuSaParams};
+use cdd_core::{Algorithm, Cost, Instance, SuiteError};
+use cdd_gpu::{run_gpu_solve, GpuRunResult, GpuSolveSpec};
 use cdd_instances::{BestKnown, InstanceId};
 use cdd_meta::{EsParams, EvolutionStrategy, SaParams, SimulatedAnnealing};
 use cuda_sim::{DeviceSpec, FaultPlan};
@@ -47,6 +47,17 @@ impl AlgoKind {
     /// Whether this is an SA configuration.
     pub fn is_sa(self) -> bool {
         matches!(self, AlgoKind::Sa1000 | AlgoKind::Sa5000)
+    }
+
+    /// The underlying algorithm (the service-layer vocabulary of
+    /// `cdd_core::solve`): a table configuration is an algorithm plus a
+    /// generation budget.
+    pub fn algorithm(self) -> Algorithm {
+        if self.is_sa() {
+            Algorithm::Sa
+        } else {
+            Algorithm::Dpso
+        }
     }
 }
 
@@ -105,23 +116,9 @@ impl CampaignConfig {
     }
 }
 
-/// Build a fault plan from the shared CLI flags (`--fault-seed`,
-/// `--launch-failure-rate`, `--bit-flip-rate`, `--hang-rate`); all-zero
-/// rates mean a clean device (`None`).
-pub fn fault_plan_from_args(args: &crate::cli::Args) -> Option<FaultPlan> {
-    let launch_failure = args.get_or("launch-failure-rate", 0.0f64);
-    let bit_flip = args.get_or("bit-flip-rate", 0.0f64);
-    let hang = args.get_or("hang-rate", 0.0f64);
-    if launch_failure == 0.0 && bit_flip == 0.0 && hang == 0.0 {
-        return None;
-    }
-    Some(FaultPlan::with_rates(
-        args.get_or("fault-seed", 0xFA17u64),
-        launch_failure,
-        bit_flip,
-        hang,
-    ))
-}
+// Parsed from CLI flags in `crate::cli` since the service PR; re-exported
+// here because campaign code is where callers historically found it.
+pub use crate::cli::fault_plan_from_args;
 
 /// Run one of the four parallel configurations on one instance. Launch
 /// failures, injected faults and corrupt results surface as [`SuiteError`]
@@ -133,34 +130,14 @@ pub fn run_algo_on_instance(
     cfg: &CampaignConfig,
     seed: u64,
 ) -> Result<GpuRunResult, SuiteError> {
-    let fault = cfg.cell_fault_plan(seed);
-    if algo.is_sa() {
-        run_gpu_sa(
-            inst,
-            &GpuSaParams {
-                blocks: cfg.blocks,
-                block_size: cfg.block_size,
-                iterations: algo.iterations(),
-                seed,
-                device: cfg.device.clone(),
-                fault,
-                ..Default::default()
-            },
-        )
-    } else {
-        run_gpu_dpso(
-            inst,
-            &GpuDpsoParams {
-                blocks: cfg.blocks,
-                block_size: cfg.block_size,
-                iterations: algo.iterations(),
-                seed,
-                device: cfg.device.clone(),
-                fault,
-                ..Default::default()
-            },
-        )
-    }
+    let spec = GpuSolveSpec {
+        blocks: cfg.blocks,
+        block_size: cfg.block_size,
+        device: cfg.device.clone(),
+        fault: cfg.cell_fault_plan(seed),
+        ..Default::default()
+    };
+    run_gpu_solve(inst, algo.algorithm(), algo.iterations(), seed, &spec)
 }
 
 /// Which CPU implementation a speed-up is measured against.
@@ -533,6 +510,8 @@ mod tests {
         assert_eq!(AlgoKind::Dpso1000.label(), "DPSO1000");
         assert!(AlgoKind::Sa1000.is_sa());
         assert!(!AlgoKind::Dpso5000.is_sa());
+        assert_eq!(AlgoKind::Sa5000.algorithm(), Algorithm::Sa);
+        assert_eq!(AlgoKind::Dpso1000.algorithm(), Algorithm::Dpso);
         assert_eq!(gpu_algorithms().len(), 4);
     }
 

@@ -1,6 +1,12 @@
 //! A tiny flag parser shared by the bench binaries (no external CLI crate —
-//! the offline dependency list is kept minimal).
+//! the offline dependency list is kept minimal), plus the flag→config
+//! helpers every campaign binary shares ([`campaign_from_args`],
+//! [`fault_plan_from_args`]) so the fault/seed/geometry flags are parsed in
+//! exactly one place.
 
+use crate::campaign::CampaignConfig;
+use cdd_instances::PAPER_SIZES;
+use cuda_sim::FaultPlan;
 use std::collections::BTreeMap;
 
 /// Parsed command-line arguments: `--key value` pairs and bare `--flags`.
@@ -15,26 +21,6 @@ impl Args {
     /// work; a `--key` followed by another `--…` (or nothing) is a flag.
     pub fn parse() -> Self {
         Self::from_iter(std::env::args().skip(1))
-    }
-
-    /// Parse from an explicit iterator (testable).
-    pub fn from_iter<I: IntoIterator<Item = String>>(iter: I) -> Self {
-        let mut args = Args::default();
-        let mut it = iter.into_iter().peekable();
-        while let Some(a) = it.next() {
-            let Some(key) = a.strip_prefix("--") else {
-                eprintln!("warning: ignoring positional argument {a:?}");
-                continue;
-            };
-            if let Some((k, v)) = key.split_once('=') {
-                args.values.insert(k.to_string(), v.to_string());
-            } else if it.peek().is_some_and(|n| !n.starts_with("--")) {
-                args.values.insert(key.to_string(), it.next().expect("peeked"));
-            } else {
-                args.flags.push(key.to_string());
-            }
-        }
-        args
     }
 
     /// Whether the bare flag was given.
@@ -58,9 +44,9 @@ impl Args {
     }
 
     /// Comma-separated list of `--name`, or `default`.
-    pub fn get_list_or<T: std::str::FromStr>(&self, name: &str, default: &[T]) -> Vec<T>
+    pub fn get_list_or<T>(&self, name: &str, default: &[T]) -> Vec<T>
     where
-        T: Clone,
+        T: std::str::FromStr + Clone,
     {
         match self.get(name) {
             Some(s) => s
@@ -73,6 +59,66 @@ impl Args {
                 .collect(),
             None => default.to_vec(),
         }
+    }
+}
+
+/// Parse from an explicit iterator (testable) — same grammar as
+/// [`Args::parse`].
+impl FromIterator<String> for Args {
+    fn from_iter<I: IntoIterator<Item = String>>(iter: I) -> Self {
+        let mut args = Args::default();
+        let mut it = iter.into_iter().peekable();
+        while let Some(a) = it.next() {
+            let Some(key) = a.strip_prefix("--") else {
+                eprintln!("warning: ignoring positional argument {a:?}");
+                continue;
+            };
+            if let Some((k, v)) = key.split_once('=') {
+                args.values.insert(k.to_string(), v.to_string());
+            } else if it.peek().is_some_and(|n| !n.starts_with("--")) {
+                args.values.insert(key.to_string(), it.next().expect("peeked"));
+            } else {
+                args.flags.push(key.to_string());
+            }
+        }
+        args
+    }
+}
+
+/// Build a fault plan from the shared CLI flags (`--fault-seed`,
+/// `--launch-failure-rate`, `--bit-flip-rate`, `--hang-rate`); all-zero
+/// rates mean a clean device (`None`).
+pub fn fault_plan_from_args(args: &Args) -> Option<FaultPlan> {
+    let launch_failure = args.get_or("launch-failure-rate", 0.0f64);
+    let bit_flip = args.get_or("bit-flip-rate", 0.0f64);
+    let hang = args.get_or("hang-rate", 0.0f64);
+    if launch_failure == 0.0 && bit_flip == 0.0 && hang == 0.0 {
+        return None;
+    }
+    Some(FaultPlan::with_rates(
+        args.get_or("fault-seed", 0xFA17u64),
+        launch_failure,
+        bit_flip,
+        hang,
+    ))
+}
+
+/// Parse the campaign flags shared by every table/figure binary — `--sizes`
+/// (or `--full` for the paper's complete sweep), `--blocks`, `--block-size`,
+/// `--seed` and the fault-injection flags — into a [`CampaignConfig`].
+/// `default_sizes` is the binary's reduced default sweep.
+pub fn campaign_from_args(args: &Args, default_sizes: &[usize]) -> CampaignConfig {
+    CampaignConfig {
+        sizes: if args.flag("full") {
+            PAPER_SIZES.to_vec()
+        } else {
+            args.get_list_or("sizes", default_sizes)
+        },
+        blocks: args.get_or("blocks", 4usize),
+        block_size: args.get_or("block-size", 192usize),
+        seed: args.get_or("seed", 2016u64),
+        fault: fault_plan_from_args(args),
+        ..Default::default()
     }
 }
 
@@ -111,5 +157,26 @@ mod tests {
     #[should_panic(expected = "cannot parse")]
     fn bad_value_panics() {
         args(&["--seed", "x"]).get_or("seed", 0u64);
+    }
+
+    #[test]
+    fn campaign_flags_parse_into_one_config() {
+        let cfg = campaign_from_args(
+            &args(&["--sizes", "10,20", "--blocks", "2", "--block-size", "64", "--seed", "9"]),
+            &[10, 20, 50],
+        );
+        assert_eq!(cfg.sizes, vec![10, 20]);
+        assert_eq!(cfg.blocks, 2);
+        assert_eq!(cfg.block_size, 64);
+        assert_eq!(cfg.seed, 9);
+        assert!(cfg.fault.is_none());
+
+        let defaulted = campaign_from_args(&args(&[]), &[10, 20, 50]);
+        assert_eq!(defaulted.sizes, vec![10, 20, 50]);
+        assert_eq!(defaulted.ensemble(), 768, "paper geometry by default");
+
+        let full = campaign_from_args(&args(&["--full", "--launch-failure-rate", "0.05"]), &[10]);
+        assert_eq!(full.sizes, PAPER_SIZES.to_vec());
+        assert!(full.fault.as_ref().is_some_and(FaultPlan::is_active));
     }
 }

@@ -18,6 +18,7 @@
 //! | `ablation_lp_vs_linear` | Section III's LP-vs-linear-algorithm claim |
 //! | `ablation_cooling` | Section VI's cooling-rate choice (μ = 0.88) |
 //! | `tuning_block_size` | Section VIII's block-size finding (192 beats 1024) |
+//! | `make_workload` | a mixed CDD/UCDDCP request stream for `cdd-serve` |
 //!
 //! Every binary accepts `--help`-documented flags; the defaults run a
 //! reduced campaign (small sizes, few instances) sized for a laptop, and
@@ -27,11 +28,13 @@ pub mod campaign;
 pub mod cli;
 pub mod journal;
 pub mod report;
+pub mod workload;
 
 pub use campaign::{
-    cpu_baseline_seconds, fault_plan_from_args, gpu_algorithms, run_algo_on_instance, AlgoKind,
-    CampaignConfig, CpuBaseline, QualityRow, SpeedupRow,
+    cpu_baseline_seconds, gpu_algorithms, run_algo_on_instance, AlgoKind, CampaignConfig,
+    CpuBaseline, QualityRow, SpeedupRow,
 };
-pub use cli::Args;
+pub use cli::{campaign_from_args, fault_plan_from_args, Args};
 pub use journal::{CellRecord, Journal};
 pub use report::{render_markdown, results_dir, write_csv, Table};
+pub use workload::WorkloadEntry;

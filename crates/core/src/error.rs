@@ -95,6 +95,19 @@ pub enum SuiteError {
         /// Underlying error description.
         detail: String,
     },
+    /// The solver service refused to admit the request (submission queue
+    /// saturated, or the service is shutting down). The work was never
+    /// started; the client may resubmit later.
+    Rejected {
+        /// Why admission control refused.
+        reason: String,
+    },
+    /// The request's deadline expired before it was dispatched to a device;
+    /// no device time was spent on it.
+    DeadlineExceeded {
+        /// The deadline the request carried, milliseconds.
+        deadline_ms: u64,
+    },
 }
 
 impl SuiteError {
@@ -111,6 +124,16 @@ impl SuiteError {
     /// Build an I/O error.
     pub fn io(path: impl Into<String>, detail: impl Into<String>) -> Self {
         SuiteError::Io { path: path.into(), detail: detail.into() }
+    }
+
+    /// Build an admission-control rejection.
+    pub fn rejected(reason: impl Into<String>) -> Self {
+        SuiteError::Rejected { reason: reason.into() }
+    }
+
+    /// Build a deadline-expiry error.
+    pub fn deadline(deadline_ms: u64) -> Self {
+        SuiteError::DeadlineExceeded { deadline_ms }
     }
 
     /// Whether a whole-run retry (fresh device attempt or CPU fallback) is a
@@ -138,6 +161,10 @@ impl fmt::Display for SuiteError {
                 write!(f, "result failed oracle validation: {detail}")
             }
             SuiteError::Io { path, detail } => write!(f, "io error on {path}: {detail}"),
+            SuiteError::Rejected { reason } => write!(f, "request rejected: {reason}"),
+            SuiteError::DeadlineExceeded { deadline_ms } => {
+                write!(f, "deadline of {deadline_ms} ms expired before dispatch")
+            }
         }
     }
 }
@@ -188,6 +215,16 @@ mod tests {
         assert!(!SuiteError::device("data race", false).is_recoverable());
         assert!(!SuiteError::from(CoreError::EmptyInstance).is_recoverable());
         assert!(!SuiteError::io("a.csv", "denied").is_recoverable());
+        // Service-level refusals are not device faults: retrying on another
+        // device cannot help (resubmission is a client decision).
+        assert!(!SuiteError::rejected("queue full").is_recoverable());
+        assert!(!SuiteError::deadline(50).is_recoverable());
+    }
+
+    #[test]
+    fn service_errors_display_their_cause() {
+        assert!(SuiteError::rejected("queue full (capacity 8)").to_string().contains("capacity 8"));
+        assert!(SuiteError::deadline(250).to_string().contains("250 ms"));
     }
 
     #[test]

@@ -183,6 +183,29 @@ impl Instance {
         self.due_date as f64 / self.total_processing as f64
     }
 
+    /// Content hash of the instance: a stable FNV-1a digest of the problem
+    /// kind, the due date and every job's data. Equal hashes identify (up to
+    /// hash collisions) identical problems regardless of how they were
+    /// constructed — the key the solver service's solution cache addresses
+    /// by.
+    pub fn content_hash(&self) -> u64 {
+        let mut h = crate::solve::Fnv::new();
+        h.write_u64(match self.kind {
+            ProblemKind::Cdd => 1,
+            ProblemKind::Ucddcp => 2,
+        });
+        h.write_i64(self.due_date);
+        h.write_u64(self.jobs.len() as u64);
+        for job in &self.jobs {
+            h.write_i64(job.processing);
+            h.write_i64(job.min_processing);
+            h.write_i64(job.earliness_penalty);
+            h.write_i64(job.tardiness_penalty);
+            h.write_i64(job.compression_penalty);
+        }
+        h.finish()
+    }
+
     /// Copy the per-job data into parallel arrays
     /// `(P, M, α, β, γ)` — the layout used by GPU kernels.
     pub fn to_arrays(&self) -> JobArrays {
@@ -268,6 +291,18 @@ mod tests {
         assert_eq!(a, vec![7, 9, 6, 9, 3]);
         assert_eq!(b, vec![9, 5, 4, 3, 2]);
         assert_eq!(g, vec![5, 4, 3, 2, 1]);
+    }
+
+    #[test]
+    fn content_hash_distinguishes_problems() {
+        let cdd = Instance::paper_example_cdd();
+        assert_eq!(cdd.content_hash(), Instance::paper_example_cdd().content_hash());
+        assert_ne!(cdd.content_hash(), Instance::paper_example_ucddcp().content_hash());
+        // Same job data, different due date.
+        let other_d =
+            Instance::cdd_from_arrays(&[6, 5, 2, 4, 4], &[7, 9, 6, 9, 3], &[9, 5, 4, 3, 2], 17)
+                .unwrap();
+        assert_ne!(cdd.content_hash(), other_d.content_hash());
     }
 
     #[test]

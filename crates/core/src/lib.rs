@@ -52,6 +52,7 @@ pub mod instance;
 pub mod job;
 pub mod schedule;
 pub mod sequence;
+pub mod solve;
 pub mod ucddcp_optimal;
 
 pub use cdd_optimal::{optimize_cdd_sequence, CddSequenceSolution};
@@ -61,6 +62,7 @@ pub use instance::{Instance, ProblemKind};
 pub use job::Job;
 pub use schedule::Schedule;
 pub use sequence::JobSequence;
+pub use solve::{Algorithm, SolveOutcome, SolveRequest};
 pub use ucddcp_optimal::{optimize_ucddcp_sequence, UcddcpSequenceSolution};
 
 /// Integer time/penalty scalar used throughout the suite.

@@ -1,0 +1,182 @@
+//! Typed solve requests and responses — the wire types of the solver
+//! service (`cdd-service`).
+//!
+//! A [`SolveRequest`] bundles everything that determines a metaheuristic
+//! solve: the problem instance, the algorithm, its generation budget and the
+//! master seed. The content of a request — not its arrival time, queue
+//! position or the device it lands on — fully determines the returned
+//! fitness, which is what makes responses cacheable by content hash (see
+//! [`SolveRequest::content_key`]) and lets a service replay a workload
+//! deterministically.
+//!
+//! These types live in `cdd-core` (rather than the service crate) so the
+//! GPU pipelines, the bench harness and the service all speak the same
+//! vocabulary without depending on each other.
+
+use crate::{Cost, Instance, JobSequence};
+use std::fmt;
+use std::str::FromStr;
+
+/// Which metaheuristic a request asks for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Algorithm {
+    /// Asynchronous parallel Simulated Annealing (paper Section VI).
+    Sa,
+    /// Discrete Particle Swarm Optimization (paper Section VII).
+    Dpso,
+}
+
+impl Algorithm {
+    /// Lower-case wire label (`sa` / `dpso`), as used in workload files.
+    pub fn label(self) -> &'static str {
+        match self {
+            Algorithm::Sa => "sa",
+            Algorithm::Dpso => "dpso",
+        }
+    }
+}
+
+impl fmt::Display for Algorithm {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+impl FromStr for Algorithm {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "sa" => Ok(Algorithm::Sa),
+            "dpso" => Ok(Algorithm::Dpso),
+            other => Err(format!("unknown algorithm {other:?} (expected `sa` or `dpso`)")),
+        }
+    }
+}
+
+/// One solve request: instance + algorithm + budget + seed, plus an
+/// optional service-level deadline.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SolveRequest {
+    /// The problem instance (CDD or UCDDCP).
+    pub instance: Instance,
+    /// Which metaheuristic to run.
+    pub algorithm: Algorithm,
+    /// Generation budget (1000 or 5000 in the paper's configurations).
+    pub iterations: u64,
+    /// Master seed of the solve (drives the ensemble, the RNG streams and —
+    /// via reseeding — any fault plan a device applies to this request).
+    pub seed: u64,
+    /// Milliseconds the request may wait *before dispatch*; `None` waits
+    /// forever. An expired request is answered with
+    /// [`crate::SuiteError::DeadlineExceeded`] without consuming device time.
+    pub deadline_ms: Option<u64>,
+}
+
+impl SolveRequest {
+    /// A request with no deadline.
+    pub fn new(instance: Instance, algorithm: Algorithm, iterations: u64, seed: u64) -> Self {
+        SolveRequest { instance, algorithm, iterations, seed, deadline_ms: None }
+    }
+
+    /// Content hash of the request: a pure function of the instance data,
+    /// the algorithm, the budget and the seed. Two requests with equal keys
+    /// ask for *exactly* the same computation, so a solution cache may serve
+    /// one from the other's result bit-identically.
+    pub fn content_key(&self) -> u64 {
+        let mut h = Fnv::new();
+        h.write_u64(self.instance.content_hash());
+        h.write_u64(match self.algorithm {
+            Algorithm::Sa => 1,
+            Algorithm::Dpso => 2,
+        });
+        h.write_u64(self.iterations);
+        h.write_u64(self.seed);
+        h.finish()
+    }
+}
+
+/// The result of one completed solve.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SolveOutcome {
+    /// Best sequence found (oracle-verified by the pipelines).
+    pub sequence: JobSequence,
+    /// Its objective value.
+    pub objective: Cost,
+    /// Modeled device seconds the solve cost (0 for CPU-fallback or cached
+    /// responses).
+    pub modeled_seconds: f64,
+    /// Fitness evaluations performed across the ensemble.
+    pub evaluations: u64,
+    /// Whether this response was served from the solution cache (including
+    /// joining an identical in-flight request) instead of a fresh dispatch.
+    pub cache_hit: bool,
+    /// Pool device that computed the result (`None` for cached responses).
+    pub device: Option<usize>,
+    /// Whether the resilience layer degraded the solve to the CPU ensemble.
+    pub cpu_fallback: bool,
+}
+
+/// FNV-1a, 64-bit — tiny, dependency-free and stable across platforms
+/// (guaranteeing cache keys mean the same thing everywhere).
+pub(crate) struct Fnv(u64);
+
+impl Fnv {
+    pub(crate) fn new() -> Self {
+        Fnv(0xcbf29ce484222325)
+    }
+
+    pub(crate) fn write_u64(&mut self, v: u64) {
+        for byte in v.to_le_bytes() {
+            self.0 ^= byte as u64;
+            self.0 = self.0.wrapping_mul(0x100000001b3);
+        }
+    }
+
+    pub(crate) fn write_i64(&mut self, v: i64) {
+        self.write_u64(v as u64);
+    }
+
+    pub(crate) fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn algorithm_round_trips_through_labels() {
+        for algo in [Algorithm::Sa, Algorithm::Dpso] {
+            assert_eq!(algo.label().parse::<Algorithm>().unwrap(), algo);
+        }
+        assert_eq!("DPSO".parse::<Algorithm>().unwrap(), Algorithm::Dpso);
+        assert!("tabu".parse::<Algorithm>().is_err());
+    }
+
+    #[test]
+    fn content_key_is_stable_and_content_sensitive() {
+        let req = SolveRequest::new(Instance::paper_example_cdd(), Algorithm::Sa, 1000, 42);
+        let same = SolveRequest::new(Instance::paper_example_cdd(), Algorithm::Sa, 1000, 42);
+        assert_eq!(req.content_key(), same.content_key());
+
+        let other_algo = SolveRequest { algorithm: Algorithm::Dpso, ..req.clone() };
+        let other_seed = SolveRequest { seed: 43, ..req.clone() };
+        let other_budget = SolveRequest { iterations: 5000, ..req.clone() };
+        let other_inst = SolveRequest {
+            instance: Instance::paper_example_ucddcp(),
+            ..req.clone()
+        };
+        for different in [other_algo, other_seed, other_budget, other_inst] {
+            assert_ne!(req.content_key(), different.content_key());
+        }
+    }
+
+    #[test]
+    fn deadline_is_not_part_of_the_content() {
+        let req = SolveRequest::new(Instance::paper_example_cdd(), Algorithm::Sa, 100, 7);
+        let hurried = SolveRequest { deadline_ms: Some(5), ..req.clone() };
+        assert_eq!(req.content_key(), hurried.content_key(), "deadline changes urgency, not work");
+    }
+}

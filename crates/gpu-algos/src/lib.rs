@@ -42,6 +42,7 @@ pub mod kernels;
 pub mod layout;
 pub mod recovery;
 pub mod sa_pipeline;
+pub mod solve;
 pub mod sync_pipeline;
 
 pub use dpso_pipeline::{run_gpu_dpso, GpuDpsoParams};
@@ -50,4 +51,5 @@ pub use kernels::fitness::CORRUPT_ENERGY;
 pub use layout::ProblemDevice;
 pub use recovery::{RecoveryPolicy, RecoveryStats};
 pub use sa_pipeline::{run_gpu_sa, GpuRunResult, GpuSaParams};
+pub use solve::{run_gpu_solve, GpuSolveSpec};
 pub use sync_pipeline::{run_gpu_sa_sync, BroadcastKernel};

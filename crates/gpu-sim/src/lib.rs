@@ -64,6 +64,7 @@ pub mod engine;
 pub mod fault;
 pub mod grid;
 pub mod memory;
+pub mod pool;
 pub mod profiler;
 pub mod reduce;
 pub mod rng;
@@ -74,5 +75,6 @@ pub use engine::{Gpu, Kernel, LaunchError, LaunchStats, ThreadCtx};
 pub use fault::{FaultPlan, FaultStats};
 pub use grid::{Dim3, LaunchConfig};
 pub use memory::{Buf, ConstBuf, ErasedBuf};
-pub use profiler::{Profiler, TimelineEvent};
+pub use pool::{DeviceHandle, DeviceUsage};
+pub use profiler::{Profiler, ProfilerAggregate, TimelineEvent};
 pub use rng::XorWow;

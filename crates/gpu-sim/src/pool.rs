@@ -1,0 +1,170 @@
+//! Device-pool handles: the identity, configuration and accumulated usage
+//! of one simulated device inside a multi-device pool.
+//!
+//! A [`DeviceHandle`] is *not* a live [`crate::Gpu`] — the pipelines build a
+//! fresh `Gpu` per run (real campaign runners likewise re-establish a CUDA
+//! context per attempt after faults). The handle carries what persists
+//! across runs on a pool member: which [`DeviceSpec`] to instantiate, the
+//! device's base [`FaultPlan`], and the usage counters a pool aggregates for
+//! utilization reporting ([`DeviceUsage`]).
+//!
+//! **Determinism note.** [`DeviceHandle::request_plan`] derives the
+//! effective fault plan for one request purely from the base plan and the
+//! request seed — the device *id* is deliberately not mixed in. A pool whose
+//! members share one base plan therefore produces request outcomes that do
+//! not depend on routing, which is what lets a service keep its
+//! identical-fitness-per-seed contract while scheduling on the wall clock.
+
+use crate::device::DeviceSpec;
+use crate::fault::{FaultPlan, FaultStats};
+use crate::profiler::ProfilerAggregate;
+
+/// Accumulated usage of one pool device across many runs.
+#[derive(Debug, Default, Clone, PartialEq)]
+pub struct DeviceUsage {
+    /// Modeled device time, aggregated over every run's profiler window.
+    pub modeled: ProfilerAggregate,
+    /// Wall-clock seconds the device's worker spent executing runs (host
+    /// time — the denominator of real-throughput accounting).
+    pub busy_wall_seconds: f64,
+    /// Requests that completed on this device (successfully or not).
+    pub requests: u64,
+    /// Requests that ended in an error on this device.
+    pub failed: u64,
+    /// Faults injected across all runs on this device.
+    pub faults: FaultStats,
+}
+
+impl DeviceUsage {
+    /// Fold one run's numbers into the usage record.
+    pub fn record_run(
+        &mut self,
+        modeled_total: f64,
+        modeled_kernel: f64,
+        modeled_transfer: f64,
+        launches: usize,
+        wall_seconds: f64,
+        failed: bool,
+    ) {
+        self.modeled.record(modeled_total, modeled_kernel, modeled_transfer, launches);
+        self.busy_wall_seconds += wall_seconds;
+        self.requests += 1;
+        if failed {
+            self.failed += 1;
+        }
+    }
+
+    /// Merge another device's fault counters (per-run `Gpu::fault_stats`).
+    pub fn merge_faults(&mut self, f: FaultStats) {
+        self.faults.launches_attempted += f.launches_attempted;
+        self.faults.transient_launch_failures += f.transient_launch_failures;
+        self.faults.bit_flips += f.bit_flips;
+        self.faults.hung_kernels += f.hung_kernels;
+    }
+
+    /// Busy-wall-seconds / window-wall-seconds utilization of the device.
+    #[must_use]
+    pub fn utilization(&self, wall_seconds: f64) -> f64 {
+        if wall_seconds <= 0.0 {
+            0.0
+        } else {
+            self.busy_wall_seconds / wall_seconds
+        }
+    }
+}
+
+/// One member of a device pool.
+#[derive(Debug, Clone)]
+pub struct DeviceHandle {
+    /// Pool-local device index.
+    pub id: usize,
+    /// Hardware description used to instantiate the device's `Gpu` runs.
+    pub spec: DeviceSpec,
+    /// Base fault plan of this device (`None` = healthy device).
+    pub fault: Option<FaultPlan>,
+    /// Accumulated usage.
+    pub usage: DeviceUsage,
+}
+
+impl DeviceHandle {
+    /// A healthy device.
+    pub fn new(id: usize, spec: DeviceSpec) -> Self {
+        DeviceHandle { id, spec, fault: None, usage: DeviceUsage::default() }
+    }
+
+    /// The same device with a base fault plan installed.
+    #[must_use]
+    pub fn with_fault(mut self, plan: FaultPlan) -> Self {
+        self.fault = Some(plan);
+        self
+    }
+
+    /// Derive the fault plan for one request: the base plan reseeded by the
+    /// request seed (SplitMix64-mixed so nearby seeds decorrelate). Pure in
+    /// `(base plan, request_seed)` — independent of the device id and of any
+    /// previous request, so rerouting or reordering requests cannot change a
+    /// request's fault sequence.
+    #[must_use]
+    pub fn request_plan(&self, request_seed: u64) -> Option<FaultPlan> {
+        self.fault.as_ref().map(|p| {
+            let mut z = p.seed ^ request_seed.rotate_left(31);
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+            p.reseeded(z ^ (z >> 31))
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn healthy_device_has_no_request_plan() {
+        let h = DeviceHandle::new(0, DeviceSpec::gt560m());
+        assert!(h.request_plan(42).is_none());
+        assert_eq!(h.usage, DeviceUsage::default());
+    }
+
+    #[test]
+    fn request_plans_are_deterministic_and_device_independent() {
+        let base = FaultPlan::with_rates(9, 0.05, 0.01, 0.02);
+        let dev0 = DeviceHandle::new(0, DeviceSpec::gt560m()).with_fault(base.clone());
+        let dev3 = DeviceHandle::new(3, DeviceSpec::gt560m()).with_fault(base.clone());
+        let a = dev0.request_plan(1234).unwrap();
+        let b = dev0.request_plan(1234).unwrap();
+        let c = dev3.request_plan(1234).unwrap();
+        assert_eq!(a, b, "same request, same plan");
+        assert_eq!(a, c, "routing to another identically-configured device changes nothing");
+        assert_ne!(a.seed, dev0.request_plan(1235).unwrap().seed, "requests decorrelate");
+        assert_eq!(a.launch_failure_rate, base.launch_failure_rate, "rates carry over");
+    }
+
+    #[test]
+    fn usage_accumulates_runs_and_utilization() {
+        let mut u = DeviceUsage::default();
+        u.record_run(0.010, 0.008, 0.002, 40, 0.5, false);
+        u.record_run(0.020, 0.015, 0.005, 80, 1.5, true);
+        assert_eq!(u.requests, 2);
+        assert_eq!(u.failed, 1);
+        assert_eq!(u.modeled.kernel_launches, 120);
+        assert!((u.modeled.busy_seconds - 0.030).abs() < 1e-12);
+        assert!((u.busy_wall_seconds - 2.0).abs() < 1e-12);
+        assert!((u.utilization(4.0) - 0.5).abs() < 1e-12);
+        assert_eq!(u.utilization(0.0), 0.0);
+    }
+
+    #[test]
+    fn fault_merge_sums_counters() {
+        let mut u = DeviceUsage::default();
+        u.merge_faults(FaultStats {
+            launches_attempted: 10,
+            transient_launch_failures: 2,
+            bit_flips: 1,
+            hung_kernels: 1,
+        });
+        u.merge_faults(FaultStats { launches_attempted: 5, ..Default::default() });
+        assert_eq!(u.faults.launches_attempted, 15);
+        assert_eq!(u.faults.transient_launch_failures, 2);
+    }
+}

@@ -42,6 +42,7 @@ pub enum TimelineEvent {
 
 impl TimelineEvent {
     /// Modeled duration of the event, seconds.
+    #[must_use]
     pub fn seconds(&self) -> f64 {
         match self {
             TimelineEvent::Kernel { seconds, .. } => *seconds,
@@ -67,6 +68,7 @@ impl Profiler {
     }
 
     /// All recorded events, in order.
+    #[must_use]
     pub fn events(&self) -> &[TimelineEvent] {
         &self.events
     }
@@ -74,11 +76,13 @@ impl Profiler {
     /// Total modeled device time (kernels + transfers), seconds. The paper's
     /// speed-ups "incorporate all the memory transfers between the host and
     /// the device", so this is the number the benches report.
+    #[must_use]
     pub fn total_seconds(&self) -> f64 {
         self.events.iter().map(|e| e.seconds()).sum()
     }
 
     /// Modeled seconds spent in kernels only.
+    #[must_use]
     pub fn kernel_seconds(&self) -> f64 {
         self.events
             .iter()
@@ -88,6 +92,7 @@ impl Profiler {
     }
 
     /// Modeled seconds spent in transfers only.
+    #[must_use]
     pub fn transfer_seconds(&self) -> f64 {
         self.events
             .iter()
@@ -97,6 +102,7 @@ impl Profiler {
     }
 
     /// Number of kernel launches recorded.
+    #[must_use]
     pub fn kernel_launches(&self) -> usize {
         self.events.iter().filter(|e| matches!(e, TimelineEvent::Kernel { .. })).count()
     }
@@ -108,6 +114,7 @@ impl Profiler {
 
     /// Per-kernel-name summary table (launch count, total modeled ms),
     /// rendered as text.
+    #[must_use]
     pub fn summary(&self) -> String {
         use std::collections::BTreeMap;
         let mut per_kernel: BTreeMap<&str, (usize, f64)> = BTreeMap::new();
@@ -142,6 +149,62 @@ impl Profiler {
         writeln!(out, "total modeled time: {:.3} ms", self.total_seconds() * 1e3)
             .expect("writing to String cannot fail");
         out
+    }
+}
+
+/// Cross-run aggregation of profiler timelines — the per-device utilization
+/// view a multi-run consumer (device pool, campaign runner) needs, instead
+/// of the raw event lists of each individual [`Profiler`] window.
+///
+/// `busy_seconds` accumulates modeled device-busy time across every absorbed
+/// window; dividing by a wall-clock measurement window gives the device's
+/// utilization (a modeled-busy / wall-observed ratio, the same shape
+/// `nvidia-smi` reports).
+#[derive(Debug, Default, Clone, Copy, PartialEq)]
+pub struct ProfilerAggregate {
+    /// Total modeled busy seconds (kernels + transfers) across all windows.
+    pub busy_seconds: f64,
+    /// Modeled kernel seconds across all windows.
+    pub kernel_seconds: f64,
+    /// Modeled transfer seconds across all windows.
+    pub transfer_seconds: f64,
+    /// Kernel launches across all windows.
+    pub kernel_launches: usize,
+    /// Profiler windows absorbed.
+    pub windows: usize,
+}
+
+impl ProfilerAggregate {
+    /// Empty aggregate.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Fold one profiler window into the aggregate.
+    pub fn absorb(&mut self, p: &Profiler) {
+        self.record(p.total_seconds(), p.kernel_seconds(), p.transfer_seconds(), p.kernel_launches());
+    }
+
+    /// Fold already-extracted window totals into the aggregate (for
+    /// consumers that only kept the numbers, not the `Profiler`).
+    pub fn record(&mut self, total: f64, kernel: f64, transfer: f64, launches: usize) {
+        self.busy_seconds += total;
+        self.kernel_seconds += kernel;
+        self.transfer_seconds += transfer;
+        self.kernel_launches += launches;
+        self.windows += 1;
+    }
+
+    /// Busy-seconds / wall-seconds utilization over a measurement window.
+    /// Returns 0 for an empty or unstarted window.
+    #[must_use]
+    pub fn utilization(&self, wall_seconds: f64) -> f64 {
+        if wall_seconds <= 0.0 {
+            0.0
+        } else {
+            self.busy_seconds / wall_seconds
+        }
     }
 }
 
@@ -190,5 +253,36 @@ mod tests {
         p.reset();
         assert_eq!(p.total_seconds(), 0.0);
         assert!(p.events().is_empty());
+    }
+
+    #[test]
+    fn aggregate_accumulates_across_windows() {
+        let mut window_a = Profiler::new();
+        window_a.push(kernel_event("fitness", 0.002));
+        window_a.push(TimelineEvent::Transfer {
+            dir: TransferDir::HostToDevice,
+            bytes: 64,
+            seconds: 0.001,
+        });
+        let mut window_b = Profiler::new();
+        window_b.push(kernel_event("reduce", 0.003));
+
+        let mut agg = ProfilerAggregate::new();
+        agg.absorb(&window_a);
+        agg.absorb(&window_b);
+        assert!((agg.busy_seconds - 0.006).abs() < 1e-12);
+        assert!((agg.kernel_seconds - 0.005).abs() < 1e-12);
+        assert!((agg.transfer_seconds - 0.001).abs() < 1e-12);
+        assert_eq!(agg.kernel_launches, 2);
+        assert_eq!(agg.windows, 2);
+    }
+
+    #[test]
+    fn utilization_is_busy_over_wall() {
+        let mut agg = ProfilerAggregate::new();
+        agg.record(0.5, 0.4, 0.1, 10);
+        assert!((agg.utilization(2.0) - 0.25).abs() < 1e-12);
+        assert_eq!(agg.utilization(0.0), 0.0, "degenerate window reports 0, not NaN");
+        assert_eq!(ProfilerAggregate::new().utilization(1.0), 0.0);
     }
 }

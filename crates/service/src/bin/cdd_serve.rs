@@ -1,0 +1,256 @@
+//! **cdd-serve** — replay a workload through the solver service and report
+//! throughput, latency percentiles, cache hit rate and per-device
+//! utilization.
+//!
+//! ```text
+//! cargo run --release -p cdd-service --bin cdd-serve -- \
+//!     [--workload results/workload.txt | --requests 64 --sizes 10,20 --iterations 150] \
+//!     [--devices 4] [--queue-capacity N] [--cache-capacity 256] \
+//!     [--blocks 1] [--block-size 64] [--seed 2016] [--window W] [--deadline-ms D] \
+//!     [--fault-seed S --launch-failure-rate P --bit-flip-rate P --hang-rate P] \
+//!     [--faulty-device IDX] \
+//!     [--summary results/serve_summary.json] [--detail results/serve_requests.csv]
+//! ```
+//!
+//! Without `--workload`, a mixed CDD/UCDDCP stream is generated in-process
+//! (deterministic in `--seed`, same generator as `make_workload`). The
+//! client keeps at most `--window` requests in flight (default
+//! `4 × devices`), which bounds queue depth and lets later duplicates score
+//! direct cache hits against completed entries.
+//!
+//! Outputs: a human summary on stdout, a JSON summary (machine-checkable —
+//! the CI smoke job parses it), and a per-request CSV whose first nine
+//! columns (`idx..cpu_fallback`) are deterministic under a fixed workload
+//! and fault configuration — routing and latency live in the last two.
+
+use cdd_bench::workload::{generate_mixed, load};
+use cdd_bench::{fault_plan_from_args, results_dir, write_csv, Args, Table};
+use cdd_core::SuiteError;
+use cdd_service::{RequestOutcome, ServiceConfig, ServiceReport, SolverService};
+use std::collections::VecDeque;
+use std::path::{Path, PathBuf};
+
+fn percentile(sorted_ms: &[f64], q: f64) -> f64 {
+    if sorted_ms.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted_ms.len() - 1) as f64 * q).round() as usize;
+    sorted_ms[idx]
+}
+
+fn status_of(outcome: &RequestOutcome) -> &'static str {
+    match &outcome.result {
+        Ok(_) => "ok",
+        Err(SuiteError::DeadlineExceeded { .. }) => "expired",
+        Err(SuiteError::Rejected { .. }) => "rejected",
+        Err(_) => "failed",
+    }
+}
+
+fn summary_json(report: &ServiceReport, requests: usize, latencies_sorted: &[f64]) -> String {
+    let mut devices = String::new();
+    for (i, d) in report.devices.iter().enumerate() {
+        if i > 0 {
+            devices.push_str(",\n");
+        }
+        devices.push_str(&format!(
+            "    {{\"id\": {}, \"requests\": {}, \"failed\": {}, \"busy_wall_seconds\": {:.6}, \
+             \"utilization\": {:.4}, \"modeled_seconds\": {:.6}, \"kernel_launches\": {}, \
+             \"faults_injected\": {}}}",
+            d.id,
+            d.usage.requests,
+            d.usage.failed,
+            d.usage.busy_wall_seconds,
+            d.utilization,
+            d.usage.modeled.busy_seconds,
+            d.usage.modeled.kernel_launches,
+            d.usage.faults.transient_launch_failures
+                + d.usage.faults.bit_flips
+                + d.usage.faults.hung_kernels,
+        ));
+    }
+    let c = &report.cache;
+    format!(
+        "{{\n\
+         \x20 \"requests\": {requests},\n\
+         \x20 \"completed\": {},\n\
+         \x20 \"failed\": {},\n\
+         \x20 \"expired\": {},\n\
+         \x20 \"rejected\": {},\n\
+         \x20 \"wall_seconds\": {:.6},\n\
+         \x20 \"throughput_rps\": {:.3},\n\
+         \x20 \"latency_ms\": {{\"p50\": {:.3}, \"p95\": {:.3}, \"max\": {:.3}}},\n\
+         \x20 \"queue\": {{\"peak_depth\": {}, \"rejected\": {}}},\n\
+         \x20 \"cache\": {{\"hits\": {}, \"coalesced\": {}, \"served_from_cache\": {}, \
+         \"misses\": {}, \"insertions\": {}, \"evictions\": {}, \"hit_rate\": {:.4}}},\n\
+         \x20 \"devices\": [\n{devices}\n  ]\n\
+         }}\n",
+        report.completed,
+        report.failed,
+        report.expired,
+        report.rejected,
+        report.wall_seconds,
+        report.completed as f64 / report.wall_seconds.max(1e-9),
+        percentile(latencies_sorted, 0.50),
+        percentile(latencies_sorted, 0.95),
+        latencies_sorted.last().copied().unwrap_or(0.0),
+        report.queue.peak_depth,
+        report.queue.rejected,
+        c.hits,
+        c.coalesced,
+        c.hits + c.coalesced,
+        c.misses,
+        c.insertions,
+        c.evictions,
+        c.hit_rate(),
+    )
+}
+
+fn main() {
+    let args = Args::parse();
+    let seed = args.get_or("seed", 2016u64);
+    let entries = match args.get("workload") {
+        Some(path) => load(Path::new(path)).expect("workload file readable"),
+        None => generate_mixed(
+            args.get_or("requests", 64usize),
+            seed,
+            args.get_or("iterations", 150u64),
+            &args.get_list_or("sizes", &[10usize, 20]),
+        ),
+    };
+    let devices = args.get_or("devices", 2usize).max(1);
+
+    // --faulty-device confines the fault plan to one pool member;
+    // otherwise the plan (if any) applies fleet-wide.
+    let plan = fault_plan_from_args(&args);
+    let (fleet_fault, device_faults) = match (plan, args.get("faulty-device")) {
+        (Some(p), Some(id)) => {
+            let id: usize = id.parse().expect("--faulty-device: device index");
+            (None, vec![(id, p)])
+        }
+        (p, _) => (p, Vec::new()),
+    };
+
+    let config = ServiceConfig {
+        devices,
+        queue_capacity: args.get_or("queue-capacity", entries.len().max(64)),
+        cache_capacity: args.get_or("cache-capacity", 256usize),
+        blocks: args.get_or("blocks", 1usize),
+        block_size: args.get_or("block-size", 64usize),
+        fault: fleet_fault,
+        device_faults,
+        ..Default::default()
+    };
+    let deadline_ms: Option<u64> = args.get("deadline-ms").map(|s| s.parse().expect("--deadline-ms: milliseconds"));
+    let window = args.get_or("window", 4 * devices).max(1);
+
+    eprintln!(
+        "cdd-serve: {} requests over {} devices ({}x{} geometry), window {window}",
+        entries.len(),
+        devices,
+        config.blocks,
+        config.block_size
+    );
+
+    let service = SolverService::start(config);
+    let mut results: Vec<Option<RequestOutcome>> = vec![None; entries.len()];
+    let mut outstanding: VecDeque<(usize, u64)> = VecDeque::new();
+    for (i, entry) in entries.iter().enumerate() {
+        let mut request = entry.to_request();
+        request.deadline_ms = deadline_ms;
+        match service.submit(request) {
+            Ok(ticket) => outstanding.push_back((i, ticket)),
+            Err(e) => {
+                results[i] = Some(RequestOutcome {
+                    ticket: u64::MAX,
+                    device: None,
+                    wall_ms: 0.0,
+                    result: Err(e),
+                });
+            }
+        }
+        if outstanding.len() >= window {
+            let (j, ticket) = outstanding.pop_front().expect("window non-empty");
+            results[j] = Some(service.wait(ticket));
+        }
+    }
+    while let Some((j, ticket)) = outstanding.pop_front() {
+        results[j] = Some(service.wait(ticket));
+    }
+    let report = service.shutdown();
+
+    // Per-request detail CSV.
+    let mut detail = Table::new(vec![
+        "idx", "instance", "algorithm", "iterations", "seed", "status", "objective", "cache_hit",
+        "cpu_fallback", "device", "wall_ms",
+    ]);
+    let mut latencies: Vec<f64> = Vec::new();
+    for (i, (entry, outcome)) in entries.iter().zip(&results).enumerate() {
+        let outcome = outcome.as_ref().expect("every request answered");
+        if outcome.ticket != u64::MAX {
+            latencies.push(outcome.wall_ms);
+        }
+        let (objective, cache_hit, cpu_fallback) = match &outcome.result {
+            Ok(o) => (o.objective.to_string(), o.cache_hit.to_string(), o.cpu_fallback.to_string()),
+            Err(_) => ("-".to_string(), "-".to_string(), "-".to_string()),
+        };
+        detail.push(vec![
+            i.to_string(),
+            entry.id.to_string(),
+            entry.algorithm.to_string(),
+            entry.iterations.to_string(),
+            entry.seed.to_string(),
+            status_of(outcome).to_string(),
+            objective,
+            cache_hit,
+            cpu_fallback,
+            outcome.device.map_or("-".to_string(), |d| d.to_string()),
+            format!("{:.3}", outcome.wall_ms),
+        ]);
+    }
+    let detail_path =
+        args.get("detail").map(PathBuf::from).unwrap_or_else(|| results_dir().join("serve_requests.csv"));
+    write_csv(&detail, &detail_path).expect("detail CSV writable");
+
+    latencies.sort_by(|a, b| a.partial_cmp(b).expect("latencies are finite"));
+    let json = summary_json(&report, entries.len(), &latencies);
+    let summary_path =
+        args.get("summary").map(PathBuf::from).unwrap_or_else(|| results_dir().join("serve_summary.json"));
+    if let Some(dir) = summary_path.parent() {
+        std::fs::create_dir_all(dir).expect("results dir creatable");
+    }
+    std::fs::write(&summary_path, &json).expect("summary writable");
+
+    println!(
+        "\ncompleted {}/{} requests ({} failed, {} expired, {} rejected) in {:.3}s -> {:.2} req/s",
+        report.completed,
+        entries.len(),
+        report.failed,
+        report.expired,
+        report.rejected,
+        report.wall_seconds,
+        report.completed as f64 / report.wall_seconds.max(1e-9),
+    );
+    println!(
+        "latency p50 {:.1} ms, p95 {:.1} ms | cache: {} hits + {} coalesced / {} lookups ({:.0}% served from cache)",
+        percentile(&latencies, 0.50),
+        percentile(&latencies, 0.95),
+        report.cache.hits,
+        report.cache.coalesced,
+        report.cache.hits + report.cache.coalesced + report.cache.misses,
+        report.cache.hit_rate() * 100.0,
+    );
+    for d in &report.devices {
+        println!(
+            "device {}: {} requests ({} failed), {:.0}% utilized, {:.4} modeled s, {} launches, faults {}",
+            d.id,
+            d.usage.requests,
+            d.usage.failed,
+            d.utilization * 100.0,
+            d.usage.modeled.busy_seconds,
+            d.usage.modeled.kernel_launches,
+            d.usage.faults,
+        );
+    }
+    println!("summary: {} | detail: {}", summary_path.display(), detail_path.display());
+}

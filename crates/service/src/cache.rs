@@ -1,0 +1,198 @@
+//! Content-addressed solution cache.
+//!
+//! Keys are [`cdd_core::SolveRequest::content_key`] values: a request's
+//! instance data, algorithm, budget and seed fully determine its result
+//! (the determinism contract of the pipelines), so serving a stored outcome
+//! for an equal key is *bit-identical* to re-running the solve — same
+//! sequence, same objective. The deadline is deliberately not part of the
+//! key: it changes urgency, not work.
+//!
+//! Eviction is LRU over a logical clock (no wall-clock reads — cache
+//! contents stay deterministic under replay). The stats distinguish
+//! *hits* (served from a completed entry), *coalesced* requests (attached
+//! to an identical in-flight solve — the service's cache layer, not this
+//! struct, detects those) and *misses* (fresh dispatches).
+
+use cdd_core::SolveOutcome;
+use std::collections::HashMap;
+
+/// Hit/miss/eviction counters of the cache layer.
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Requests served from a completed cache entry.
+    pub hits: u64,
+    /// Requests coalesced onto an identical queued or in-flight solve.
+    pub coalesced: u64,
+    /// Requests that required a fresh dispatch.
+    pub misses: u64,
+    /// Entries stored.
+    pub insertions: u64,
+    /// Entries evicted to respect the capacity bound.
+    pub evictions: u64,
+}
+
+impl CacheStats {
+    /// Fraction of lookups served without a fresh dispatch (direct hits
+    /// plus coalesced requests).
+    #[must_use]
+    pub fn hit_rate(&self) -> f64 {
+        let served = self.hits + self.coalesced;
+        let total = served + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            served as f64 / total as f64
+        }
+    }
+}
+
+struct Entry {
+    outcome: SolveOutcome,
+    last_used: u64,
+}
+
+/// A capacity-bounded LRU map from request content key to solved outcome.
+pub struct SolutionCache {
+    capacity: usize,
+    clock: u64,
+    entries: HashMap<u64, Entry>,
+    stats: CacheStats,
+}
+
+impl SolutionCache {
+    /// An empty cache holding at most `capacity` entries (0 disables
+    /// caching entirely — every request is a miss and nothing is stored).
+    pub fn new(capacity: usize) -> Self {
+        SolutionCache { capacity, clock: 0, entries: HashMap::new(), stats: CacheStats::default() }
+    }
+
+    /// Look up a completed outcome. On a hit, returns the stored outcome
+    /// re-labelled as a cached response (`cache_hit = true`, `device =
+    /// None`) and counts the hit; absence counts nothing (the service
+    /// decides between *coalesced* and *miss* afterwards).
+    pub fn lookup(&mut self, key: u64) -> Option<SolveOutcome> {
+        self.clock += 1;
+        let clock = self.clock;
+        let entry = self.entries.get_mut(&key)?;
+        entry.last_used = clock;
+        self.stats.hits += 1;
+        Some(SolveOutcome { cache_hit: true, device: None, ..entry.outcome.clone() })
+    }
+
+    /// Record that a request joined an identical queued or in-flight solve.
+    pub fn note_coalesced(&mut self) {
+        self.stats.coalesced += 1;
+    }
+
+    /// Record that a request required a fresh dispatch.
+    pub fn note_miss(&mut self) {
+        self.stats.misses += 1;
+    }
+
+    /// Store a completed outcome, evicting the least-recently-used entry if
+    /// the cache is full.
+    pub fn insert(&mut self, key: u64, outcome: &SolveOutcome) {
+        if self.capacity == 0 {
+            return;
+        }
+        self.clock += 1;
+        if !self.entries.contains_key(&key) && self.entries.len() >= self.capacity {
+            if let Some(&lru) =
+                self.entries.iter().min_by_key(|(_, e)| e.last_used).map(|(k, _)| k)
+            {
+                self.entries.remove(&lru);
+                self.stats.evictions += 1;
+            }
+        }
+        let previous = self.entries.insert(
+            key,
+            Entry { outcome: outcome.clone(), last_used: self.clock },
+        );
+        if previous.is_none() {
+            self.stats.insertions += 1;
+        }
+    }
+
+    /// Entries currently stored.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the cache holds no entries.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Counter snapshot.
+    #[must_use]
+    pub fn stats(&self) -> &CacheStats {
+        &self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cdd_core::JobSequence;
+
+    fn outcome(objective: i64) -> SolveOutcome {
+        SolveOutcome {
+            sequence: JobSequence::identity(3),
+            objective,
+            modeled_seconds: 0.5,
+            evaluations: 100,
+            cache_hit: false,
+            device: Some(1),
+            cpu_fallback: false,
+        }
+    }
+
+    #[test]
+    fn hits_return_relabelled_outcomes() {
+        let mut cache = SolutionCache::new(4);
+        assert!(cache.lookup(7).is_none());
+        cache.insert(7, &outcome(42));
+        let hit = cache.lookup(7).expect("stored");
+        assert_eq!(hit.objective, 42);
+        assert!(hit.cache_hit);
+        assert_eq!(hit.device, None);
+        assert_eq!(cache.stats().hits, 1);
+        assert_eq!(cache.stats().insertions, 1);
+    }
+
+    #[test]
+    fn lru_eviction_respects_capacity() {
+        let mut cache = SolutionCache::new(2);
+        cache.insert(1, &outcome(1));
+        cache.insert(2, &outcome(2));
+        cache.lookup(1); // makes 2 the LRU entry
+        cache.insert(3, &outcome(3));
+        assert_eq!(cache.len(), 2);
+        assert!(cache.lookup(2).is_none(), "LRU entry evicted");
+        assert!(cache.lookup(1).is_some() && cache.lookup(3).is_some());
+        assert_eq!(cache.stats().evictions, 1);
+    }
+
+    #[test]
+    fn zero_capacity_disables_storage() {
+        let mut cache = SolutionCache::new(0);
+        cache.insert(1, &outcome(1));
+        assert!(cache.is_empty());
+        assert!(cache.lookup(1).is_none());
+        assert_eq!(cache.stats().insertions, 0);
+    }
+
+    #[test]
+    fn hit_rate_counts_coalesced_requests_as_served() {
+        let mut cache = SolutionCache::new(4);
+        cache.note_miss();
+        cache.note_coalesced();
+        cache.insert(1, &outcome(1));
+        cache.lookup(1);
+        let s = cache.stats();
+        assert_eq!((s.hits, s.coalesced, s.misses), (1, 1, 1));
+        assert!((s.hit_rate() - 2.0 / 3.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,143 @@
+//! The bounded submission queue: FIFO admission of solve jobs with
+//! capacity-based back-pressure and pre-dispatch deadline expiry.
+//!
+//! This is a plain data structure — the service serializes access to it
+//! under its state mutex. Admission control is synchronous and immediate:
+//! [`SubmissionQueue::try_push`] on a full queue returns
+//! [`SuiteError::Rejected`] rather than blocking, so an overloaded service
+//! sheds load at submission time instead of hanging clients.
+
+use cdd_core::{SolveRequest, SuiteError};
+use std::collections::VecDeque;
+use std::time::Instant;
+
+/// One queued solve: the primary carrier of a content key. Identical
+/// requests submitted while this job is queued or in flight coalesce onto
+/// it (tracked by the service's waiter table, not the queue).
+#[derive(Debug)]
+pub(crate) struct QueuedJob {
+    /// Ticket of the submitting client.
+    pub ticket: u64,
+    /// The work to run.
+    pub request: SolveRequest,
+    /// Cached `request.content_key()`.
+    pub key: u64,
+    /// Submission time (latency accounting and deadline expiry).
+    pub submitted: Instant,
+}
+
+impl QueuedJob {
+    /// Whether the request's pre-dispatch deadline has passed. A deadline
+    /// of 0 ms expires immediately (and deterministically); `None` never
+    /// expires.
+    pub fn expired(&self) -> bool {
+        match self.request.deadline_ms {
+            Some(ms) => self.submitted.elapsed().as_millis() as u64 >= ms,
+            None => false,
+        }
+    }
+}
+
+/// Depth/admission counters of the queue.
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct QueueStats {
+    /// Jobs accepted into the queue.
+    pub enqueued: u64,
+    /// Submissions refused because the queue was full.
+    pub rejected: u64,
+    /// Deepest the queue ever got.
+    pub peak_depth: usize,
+}
+
+/// A capacity-bounded FIFO of pending solves.
+pub(crate) struct SubmissionQueue {
+    capacity: usize,
+    jobs: VecDeque<QueuedJob>,
+    stats: QueueStats,
+}
+
+impl SubmissionQueue {
+    pub fn new(capacity: usize) -> Self {
+        SubmissionQueue { capacity: capacity.max(1), jobs: VecDeque::new(), stats: QueueStats::default() }
+    }
+
+    /// Admit a job, or reject it immediately when the queue is full.
+    pub fn try_push(&mut self, job: QueuedJob) -> Result<(), SuiteError> {
+        if self.jobs.len() >= self.capacity {
+            self.stats.rejected += 1;
+            return Err(SuiteError::rejected(format!(
+                "submission queue full ({} pending requests)",
+                self.jobs.len()
+            )));
+        }
+        self.jobs.push_back(job);
+        self.stats.enqueued += 1;
+        self.stats.peak_depth = self.stats.peak_depth.max(self.jobs.len());
+        Ok(())
+    }
+
+    /// Re-admit a job at the *front*, bypassing the capacity check — used
+    /// when a coalesced follower outlives an expired primary and inherits
+    /// its (already admitted) queue slot.
+    pub fn requeue_front(&mut self, job: QueuedJob) {
+        self.jobs.push_front(job);
+        self.stats.peak_depth = self.stats.peak_depth.max(self.jobs.len());
+    }
+
+    /// Next job in FIFO order.
+    pub fn pop(&mut self) -> Option<QueuedJob> {
+        self.jobs.pop_front()
+    }
+
+    pub fn stats(&self) -> &QueueStats {
+        &self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cdd_core::{Algorithm, Instance};
+
+    fn job(ticket: u64, deadline_ms: Option<u64>) -> QueuedJob {
+        let request = SolveRequest {
+            deadline_ms,
+            ..SolveRequest::new(Instance::paper_example_cdd(), Algorithm::Sa, 10, ticket)
+        };
+        let key = request.content_key();
+        QueuedJob { ticket, request, key, submitted: Instant::now() }
+    }
+
+    #[test]
+    fn saturation_rejects_instead_of_blocking() {
+        let mut q = SubmissionQueue::new(2);
+        q.try_push(job(1, None)).unwrap();
+        q.try_push(job(2, None)).unwrap();
+        let err = q.try_push(job(3, None)).unwrap_err();
+        assert!(matches!(err, SuiteError::Rejected { .. }), "got {err:?}");
+        assert_eq!(q.stats().rejected, 1);
+        q.pop().unwrap();
+        q.try_push(job(3, None)).expect("slot freed");
+        assert_eq!(q.stats().peak_depth, 2);
+    }
+
+    #[test]
+    fn fifo_order_and_front_requeue() {
+        let mut q = SubmissionQueue::new(4);
+        q.try_push(job(1, None)).unwrap();
+        q.try_push(job(2, None)).unwrap();
+        let first = q.pop().unwrap();
+        assert_eq!(first.ticket, 1);
+        q.requeue_front(first);
+        assert_eq!(q.pop().unwrap().ticket, 1, "requeued job runs next");
+        assert_eq!(q.pop().unwrap().ticket, 2);
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn zero_deadline_expires_immediately_and_none_never() {
+        assert!(job(1, Some(0)).expired());
+        assert!(!job(1, None).expired());
+        assert!(!job(1, Some(60_000)).expired());
+    }
+}

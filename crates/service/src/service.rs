@@ -1,0 +1,506 @@
+//! The solver service: a bounded submission queue feeding a pool of
+//! simulated GPU devices through work stealing, fronted by a
+//! content-addressed solution cache.
+//!
+//! # Architecture
+//!
+//! ```text
+//! submit() ──► cache lookup ──hit──► answered immediately
+//!                  │miss
+//!                  ├─► identical job queued/in flight? ──► coalesce onto it
+//!                  │no
+//!                  └─► bounded FIFO queue ──full──► SuiteError::Rejected
+//!                            │
+//!            (work stealing: each idle device worker pops the next job)
+//!                            │
+//!          device 0 ─ device 1 ─ … ─ device N-1   (one in-flight run each)
+//!                            │
+//!                  completion: cache insert + ticket fulfilment
+//! ```
+//!
+//! # Determinism contract
+//!
+//! Which *device* runs a request and how long it waits are wall-clock
+//! matters and vary run to run. The request's *fitness* does not: the
+//! pipelines are deterministic in `(instance, algorithm, iterations,
+//! seed)`, and a device's per-request fault plan is derived purely from its
+//! base plan and the request seed ([`DeviceHandle::request_plan`] — device
+//! id deliberately excluded). A uniform fleet therefore returns the same
+//! sequence and objective for a request no matter how it is routed, and a
+//! cached response is bit-identical to a fresh solve of the same request.
+//! Per-device utilization, latency and the hit/coalesced split are *not*
+//! part of the contract.
+
+use crate::cache::{CacheStats, SolutionCache};
+use crate::queue::{QueueStats, QueuedJob, SubmissionQueue};
+use cdd_core::{SolveOutcome, SolveRequest, SuiteError};
+use cdd_gpu::{run_gpu_solve, GpuSolveSpec, RecoveryPolicy};
+use cuda_sim::{DeviceHandle, DeviceSpec, DeviceUsage, FaultPlan};
+use std::collections::HashMap;
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::{self, JoinHandle};
+use std::time::Instant;
+
+/// Static configuration of a [`SolverService`].
+#[derive(Debug, Clone)]
+pub struct ServiceConfig {
+    /// Pool size (how many simulated devices run concurrently; min 1).
+    pub devices: usize,
+    /// Submission-queue capacity; a full queue rejects new requests.
+    pub queue_capacity: usize,
+    /// Solution-cache capacity in entries (0 disables caching).
+    pub cache_capacity: usize,
+    /// Grid size of every dispatched solve.
+    pub blocks: usize,
+    /// Block size of every dispatched solve.
+    pub block_size: usize,
+    /// Hardware description shared by all pool devices.
+    pub device_spec: DeviceSpec,
+    /// Base fault plan installed on *every* device (`None` = clean fleet).
+    pub fault: Option<FaultPlan>,
+    /// Per-device overrides: `(device id, plan)` — takes precedence over
+    /// `fault` for that device, making single-device failure scenarios
+    /// expressible.
+    pub device_faults: Vec<(usize, FaultPlan)>,
+    /// Retry/re-attempt/fallback policy applied to every solve.
+    pub recovery: RecoveryPolicy,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            devices: 2,
+            queue_capacity: 64,
+            cache_capacity: 256,
+            blocks: 1,
+            block_size: 64,
+            device_spec: DeviceSpec::gt560m(),
+            fault: None,
+            device_faults: Vec::new(),
+            recovery: RecoveryPolicy::default(),
+        }
+    }
+}
+
+/// The answer to one submitted request.
+#[derive(Debug, Clone)]
+pub struct RequestOutcome {
+    /// The ticket this outcome fulfils.
+    pub ticket: u64,
+    /// Device that did the work (`None` when answered from the cache or
+    /// expired before dispatch; coalesced requests report the device that
+    /// ran the shared solve).
+    pub device: Option<usize>,
+    /// Milliseconds from submission to fulfilment.
+    pub wall_ms: f64,
+    /// The solve result, or why it was not produced.
+    pub result: Result<SolveOutcome, SuiteError>,
+}
+
+/// Per-device section of the final report.
+#[derive(Debug, Clone)]
+pub struct DeviceReport {
+    /// Pool device id.
+    pub id: usize,
+    /// Accumulated usage (modeled time, run counts, injected faults).
+    pub usage: DeviceUsage,
+    /// Busy-wall-seconds / service-wall-seconds.
+    pub utilization: f64,
+}
+
+/// Counters and per-device usage returned by [`SolverService::shutdown`].
+#[derive(Debug, Clone)]
+pub struct ServiceReport {
+    /// Wall-clock lifetime of the service, seconds.
+    pub wall_seconds: f64,
+    /// Tickets accepted (admitted, coalesced or cache-answered).
+    pub submitted: u64,
+    /// Tickets answered with a solve outcome.
+    pub completed: u64,
+    /// Tickets answered with a device/pipeline error.
+    pub failed: u64,
+    /// Tickets expired before dispatch.
+    pub expired: u64,
+    /// Submissions refused by admission control.
+    pub rejected: u64,
+    /// Queue depth/admission counters.
+    pub queue: QueueStats,
+    /// Cache hit/miss/eviction counters.
+    pub cache: CacheStats,
+    /// Per-device usage and utilization.
+    pub devices: Vec<DeviceReport>,
+}
+
+/// A request coalesced onto an identical queued or in-flight primary.
+struct Follower {
+    ticket: u64,
+    submitted: Instant,
+    deadline_ms: Option<u64>,
+}
+
+struct State {
+    queue: SubmissionQueue,
+    /// `content key → followers`; a key is present exactly while a primary
+    /// with that key is queued or in flight.
+    waiters: HashMap<u64, Vec<Follower>>,
+    results: HashMap<u64, RequestOutcome>,
+    cache: SolutionCache,
+    submitted: u64,
+    completed: u64,
+    failed: u64,
+    expired: u64,
+    next_ticket: u64,
+    shutdown: bool,
+}
+
+struct Shared {
+    state: Mutex<State>,
+    /// Signalled when work arrives or shutdown begins (workers wait here).
+    work: Condvar,
+    /// Signalled when a ticket is fulfilled (clients wait here).
+    done: Condvar,
+    blocks: usize,
+    block_size: usize,
+    recovery: RecoveryPolicy,
+}
+
+fn elapsed_ms(since: Instant) -> f64 {
+    since.elapsed().as_secs_f64() * 1e3
+}
+
+/// A running solver service. Submit requests with [`submit`](Self::submit)
+/// (or the blocking [`solve`](Self::solve)), collect answers with
+/// [`wait`](Self::wait), and finish with [`shutdown`](Self::shutdown) to
+/// drain the queue and obtain the [`ServiceReport`].
+pub struct SolverService {
+    shared: Arc<Shared>,
+    workers: Vec<JoinHandle<DeviceHandle>>,
+    started: Instant,
+}
+
+impl SolverService {
+    /// Start the worker pool (one thread per device).
+    pub fn start(config: ServiceConfig) -> Self {
+        let devices = config.devices.max(1);
+        let shared = Arc::new(Shared {
+            state: Mutex::new(State {
+                queue: SubmissionQueue::new(config.queue_capacity),
+                waiters: HashMap::new(),
+                results: HashMap::new(),
+                cache: SolutionCache::new(config.cache_capacity),
+                submitted: 0,
+                completed: 0,
+                failed: 0,
+                expired: 0,
+                next_ticket: 0,
+                shutdown: false,
+            }),
+            work: Condvar::new(),
+            done: Condvar::new(),
+            blocks: config.blocks,
+            block_size: config.block_size,
+            recovery: config.recovery.clone(),
+        });
+        let workers = (0..devices)
+            .map(|id| {
+                let plan = config
+                    .device_faults
+                    .iter()
+                    .find(|(dev, _)| *dev == id)
+                    .map(|(_, p)| p.clone())
+                    .or_else(|| config.fault.clone());
+                let mut handle = DeviceHandle::new(id, config.device_spec.clone());
+                if let Some(p) = plan {
+                    handle = handle.with_fault(p);
+                }
+                let shared = Arc::clone(&shared);
+                thread::Builder::new()
+                    .name(format!("cdd-device-{id}"))
+                    .spawn(move || worker_loop(&shared, handle))
+                    .expect("worker thread spawns")
+            })
+            .collect();
+        SolverService { shared, workers, started: Instant::now() }
+    }
+
+    /// Submit a request. Returns a ticket to [`wait`](Self::wait) on, or
+    /// [`SuiteError::Rejected`] immediately when the queue is full or the
+    /// service is shutting down. Never blocks on a full queue.
+    pub fn submit(&self, request: SolveRequest) -> Result<u64, SuiteError> {
+        let key = request.content_key();
+        let mut st = self.shared.state.lock().expect("service state lock");
+        if st.shutdown {
+            return Err(SuiteError::rejected("service is shutting down"));
+        }
+        let ticket = st.next_ticket;
+
+        // 1. Completed identical solve in the cache?
+        if let Some(outcome) = st.cache.lookup(key) {
+            st.next_ticket += 1;
+            st.submitted += 1;
+            st.completed += 1;
+            st.results.insert(
+                ticket,
+                RequestOutcome { ticket, device: None, wall_ms: 0.0, result: Ok(outcome) },
+            );
+            self.shared.done.notify_all();
+            return Ok(ticket);
+        }
+
+        // 2. Identical solve queued or in flight? Ride along.
+        if let Some(followers) = st.waiters.get_mut(&key) {
+            followers.push(Follower {
+                ticket,
+                submitted: Instant::now(),
+                deadline_ms: request.deadline_ms,
+            });
+            st.cache.note_coalesced();
+            st.next_ticket += 1;
+            st.submitted += 1;
+            return Ok(ticket);
+        }
+
+        // 3. Fresh dispatch — subject to admission control.
+        st.queue.try_push(QueuedJob { ticket, request, key, submitted: Instant::now() })?;
+        st.cache.note_miss();
+        st.waiters.insert(key, Vec::new());
+        st.next_ticket += 1;
+        st.submitted += 1;
+        self.shared.work.notify_one();
+        Ok(ticket)
+    }
+
+    /// Block until the ticket (from [`submit`](Self::submit)) is answered.
+    pub fn wait(&self, ticket: u64) -> RequestOutcome {
+        let mut st = self.shared.state.lock().expect("service state lock");
+        loop {
+            if let Some(outcome) = st.results.remove(&ticket) {
+                return outcome;
+            }
+            st = self.shared.done.wait(st).expect("service state lock");
+        }
+    }
+
+    /// Submit and wait: the synchronous client API.
+    pub fn solve(&self, request: SolveRequest) -> Result<SolveOutcome, SuiteError> {
+        let ticket = self.submit(request)?;
+        self.wait(ticket).result
+    }
+
+    /// Stop accepting work, drain the queue, join the workers and report.
+    pub fn shutdown(mut self) -> ServiceReport {
+        {
+            let mut st = self.shared.state.lock().expect("service state lock");
+            st.shutdown = true;
+            self.shared.work.notify_all();
+        }
+        let handles: Vec<DeviceHandle> =
+            self.workers.drain(..).map(|w| w.join().expect("worker thread exits")).collect();
+        let wall_seconds = self.started.elapsed().as_secs_f64();
+        let st = self.shared.state.lock().expect("service state lock");
+        ServiceReport {
+            wall_seconds,
+            submitted: st.submitted,
+            completed: st.completed,
+            failed: st.failed,
+            expired: st.expired,
+            rejected: st.queue.stats().rejected,
+            queue: st.queue.stats().clone(),
+            cache: st.cache.stats().clone(),
+            devices: handles
+                .into_iter()
+                .map(|h| DeviceReport {
+                    id: h.id,
+                    utilization: h.usage.utilization(wall_seconds),
+                    usage: h.usage,
+                })
+                .collect(),
+        }
+    }
+}
+
+impl Drop for SolverService {
+    fn drop(&mut self) {
+        if self.workers.is_empty() {
+            return; // shutdown() already joined them
+        }
+        if let Ok(mut st) = self.shared.state.lock() {
+            st.shutdown = true;
+        }
+        self.shared.work.notify_all();
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+/// One device worker: steal the next job off the shared queue, run it on
+/// this device, publish the outcome. Returns the handle (with accumulated
+/// usage) when the service shuts down and the queue is drained.
+fn worker_loop(shared: &Arc<Shared>, mut handle: DeviceHandle) -> DeviceHandle {
+    loop {
+        let job = {
+            let mut st = shared.state.lock().expect("service state lock");
+            loop {
+                match st.queue.pop() {
+                    Some(job) if job.expired() => {
+                        expire_locked(&mut st, job);
+                        shared.done.notify_all();
+                        // A promoted follower (if any) is at the queue
+                        // front; keep popping.
+                    }
+                    Some(job) => break Some(job),
+                    None if st.shutdown => break None,
+                    None => st = shared.work.wait(st).expect("service state lock"),
+                }
+            }
+        };
+        let Some(job) = job else { return handle };
+
+        // Run outside the lock — this is the long part, and it is what
+        // makes the pool concurrent: every other worker keeps stealing
+        // while this device is busy.
+        let run_started = Instant::now();
+        let spec = GpuSolveSpec {
+            blocks: shared.blocks,
+            block_size: shared.block_size,
+            device: handle.spec.clone(),
+            fault: handle.request_plan(job.request.seed),
+            recovery: shared.recovery.clone(),
+        };
+        let result = run_gpu_solve(
+            &job.request.instance,
+            job.request.algorithm,
+            job.request.iterations,
+            job.request.seed,
+            &spec,
+        );
+        let run_wall = run_started.elapsed().as_secs_f64();
+        match &result {
+            Ok(r) => {
+                handle.usage.record_run(
+                    r.modeled_seconds,
+                    r.kernel_seconds,
+                    r.transfer_seconds,
+                    r.kernel_launches,
+                    run_wall,
+                    false,
+                );
+                handle.usage.merge_faults(r.recovery.faults);
+            }
+            Err(_) => handle.usage.record_run(0.0, 0.0, 0.0, 0, run_wall, true),
+        }
+
+        let mut st = shared.state.lock().expect("service state lock");
+        complete_locked(&mut st, job, handle.id, result);
+        shared.done.notify_all();
+    }
+}
+
+/// Fulfil an expired primary; promote its oldest still-live follower into
+/// the vacated queue slot (at the front — it has been waiting longest).
+fn expire_locked(st: &mut State, job: QueuedJob) {
+    st.expired += 1;
+    let deadline = job.request.deadline_ms.unwrap_or(0);
+    st.results.insert(
+        job.ticket,
+        RequestOutcome {
+            ticket: job.ticket,
+            device: None,
+            wall_ms: elapsed_ms(job.submitted),
+            result: Err(SuiteError::deadline(deadline)),
+        },
+    );
+    let Some(followers) = st.waiters.remove(&job.key) else { return };
+    let mut rest = followers.into_iter();
+    for f in rest.by_ref() {
+        let f_expired = match f.deadline_ms {
+            Some(ms) => f.submitted.elapsed().as_millis() as u64 >= ms,
+            None => false,
+        };
+        if f_expired {
+            st.expired += 1;
+            st.results.insert(
+                f.ticket,
+                RequestOutcome {
+                    ticket: f.ticket,
+                    device: None,
+                    wall_ms: elapsed_ms(f.submitted),
+                    result: Err(SuiteError::deadline(f.deadline_ms.unwrap_or(0))),
+                },
+            );
+            continue;
+        }
+        let request = SolveRequest { deadline_ms: f.deadline_ms, ..job.request.clone() };
+        st.queue.requeue_front(QueuedJob {
+            ticket: f.ticket,
+            request,
+            key: job.key,
+            submitted: f.submitted,
+        });
+        st.waiters.insert(job.key, rest.collect());
+        return;
+    }
+}
+
+/// Publish a finished solve: update the cache, fulfil the primary ticket
+/// and every coalesced follower.
+fn complete_locked(
+    st: &mut State,
+    job: QueuedJob,
+    device: usize,
+    result: Result<cdd_gpu::GpuRunResult, SuiteError>,
+) {
+    let outcome: Result<SolveOutcome, SuiteError> = match result {
+        Ok(r) => {
+            let o = SolveOutcome {
+                sequence: r.best,
+                objective: r.objective,
+                modeled_seconds: r.modeled_seconds,
+                evaluations: r.evaluations,
+                cache_hit: false,
+                device: Some(device),
+                cpu_fallback: r.recovery.cpu_fallback,
+            };
+            st.cache.insert(job.key, &o);
+            Ok(o)
+        }
+        Err(e) => Err(e),
+    };
+    fulfil(st, job.ticket, device, job.submitted, &outcome, false);
+    if let Some(followers) = st.waiters.remove(&job.key) {
+        for f in followers {
+            fulfil(st, f.ticket, device, f.submitted, &outcome, true);
+        }
+    }
+}
+
+fn fulfil(
+    st: &mut State,
+    ticket: u64,
+    device: usize,
+    submitted: Instant,
+    outcome: &Result<SolveOutcome, SuiteError>,
+    coalesced: bool,
+) {
+    let result = match outcome {
+        Ok(o) => {
+            st.completed += 1;
+            Ok(if coalesced {
+                // A follower's answer came from the shared computation —
+                // semantically a cache hit that was satisfied in flight.
+                SolveOutcome { cache_hit: true, device: None, ..o.clone() }
+            } else {
+                o.clone()
+            })
+        }
+        Err(e) => {
+            st.failed += 1;
+            Err(e.clone())
+        }
+    };
+    st.results.insert(
+        ticket,
+        RequestOutcome { ticket, device: Some(device), wall_ms: elapsed_ms(submitted), result },
+    );
+}

@@ -1,0 +1,190 @@
+//! End-to-end tests of the solver service: admission control, cache
+//! bit-identity, coalescing, per-device fault isolation, deadlines and the
+//! cross-run determinism contract.
+
+use cdd_core::{Algorithm, SolveRequest, SuiteError};
+use cdd_gpu::{run_gpu_solve, GpuSolveSpec, RecoveryPolicy};
+use cdd_instances::InstanceId;
+use cdd_service::{ServiceConfig, SolverService};
+use cuda_sim::FaultPlan;
+
+fn small_config(devices: usize) -> ServiceConfig {
+    ServiceConfig { devices, blocks: 1, block_size: 32, ..Default::default() }
+}
+
+fn request(n: usize, k: u32, algo: Algorithm, iterations: u64, seed: u64) -> SolveRequest {
+    SolveRequest::new(InstanceId::ucddcp(n, k).instantiate(), algo, iterations, seed)
+}
+
+#[test]
+fn cached_response_is_bit_identical_to_a_fresh_solve() {
+    let service = SolverService::start(small_config(1));
+    let req = request(10, 1, Algorithm::Sa, 120, 7);
+
+    let fresh = service.solve(req.clone()).expect("clean solve succeeds");
+    assert!(!fresh.cache_hit);
+    assert_eq!(fresh.device, Some(0));
+
+    let cached = service.solve(req.clone()).expect("cached solve succeeds");
+    assert!(cached.cache_hit);
+    assert_eq!(cached.device, None);
+    assert_eq!(cached.objective, fresh.objective, "fitness is bit-identical");
+    assert_eq!(cached.sequence, fresh.sequence, "schedule is bit-identical");
+
+    // …and both match a direct pipeline call outside the service.
+    let direct = run_gpu_solve(
+        &req.instance,
+        req.algorithm,
+        req.iterations,
+        req.seed,
+        &GpuSolveSpec { blocks: 1, block_size: 32, ..Default::default() },
+    )
+    .expect("direct run succeeds");
+    assert_eq!(fresh.objective, direct.objective);
+    assert_eq!(fresh.sequence, direct.best);
+
+    let report = service.shutdown();
+    assert_eq!(report.completed, 2);
+    assert_eq!(report.cache.hits, 1);
+    assert_eq!(report.cache.misses, 1);
+    assert_eq!(report.devices.len(), 1);
+    assert_eq!(report.devices[0].usage.requests, 1, "the cache saved one dispatch");
+}
+
+#[test]
+fn queue_saturation_returns_admission_error_not_a_hang() {
+    let service = SolverService::start(ServiceConfig {
+        devices: 1,
+        queue_capacity: 2,
+        ..small_config(1)
+    });
+
+    // Occupy the single device with a slow request, and give the worker a
+    // moment to steal it so the queue is empty again.
+    let slow = service.submit(request(30, 1, Algorithm::Sa, 2000, 1)).expect("admitted");
+    std::thread::sleep(std::time::Duration::from_millis(100));
+
+    // Two distinct fillers fit; the third must be refused immediately.
+    let fill_a = service.submit(request(10, 1, Algorithm::Sa, 100, 2)).expect("queued");
+    let fill_b = service.submit(request(10, 1, Algorithm::Sa, 100, 3)).expect("queued");
+    let err = service.submit(request(10, 1, Algorithm::Sa, 100, 4)).unwrap_err();
+    assert!(matches!(err, SuiteError::Rejected { .. }), "got {err:?}");
+
+    for ticket in [slow, fill_a, fill_b] {
+        service.wait(ticket).result.expect("admitted requests still complete");
+    }
+    let report = service.shutdown();
+    assert_eq!(report.rejected, 1);
+    assert_eq!(report.completed, 3);
+    assert_eq!(report.queue.peak_depth, 2);
+}
+
+#[test]
+fn identical_inflight_requests_coalesce_onto_one_dispatch() {
+    let service = SolverService::start(small_config(1));
+    let req = request(20, 1, Algorithm::Sa, 1500, 77);
+    let first = service.submit(req.clone()).expect("admitted");
+    let second = service.submit(req.clone()).expect("admitted");
+
+    let a = service.wait(first).result.expect("solve succeeds");
+    let b = service.wait(second).result.expect("solve succeeds");
+    assert_eq!(a.objective, b.objective);
+    assert_eq!(a.sequence, b.sequence);
+    assert!(b.cache_hit, "the rider is flagged as served from the cache layer");
+
+    let report = service.shutdown();
+    assert_eq!(report.cache.misses, 1, "exactly one fresh dispatch");
+    assert_eq!(report.cache.hits + report.cache.coalesced, 1);
+    assert_eq!(report.completed, 2);
+}
+
+#[test]
+fn a_faulted_device_only_fails_the_requests_routed_to_it() {
+    let lethal = FaultPlan::with_rates(0xDEAD, 1.0, 0.0, 0.0);
+    let service = SolverService::start(ServiceConfig {
+        devices: 2,
+        device_faults: vec![(1, lethal)],
+        // No retries, no fallback: a request on the dead device fails fast
+        // and visibly instead of being silently repaired.
+        recovery: RecoveryPolicy {
+            max_launch_retries: 1,
+            max_device_attempts: 1,
+            cpu_fallback: false,
+        },
+        ..small_config(2)
+    });
+
+    let tickets: Vec<u64> = (0..12)
+        .map(|i| {
+            service
+                .submit(request(12, 1 + (i % 3), Algorithm::Sa, 200, 1000 + u64::from(i)))
+                .expect("admitted")
+        })
+        .collect();
+    let outcomes: Vec<_> = tickets.into_iter().map(|t| service.wait(t)).collect();
+
+    let (mut ok, mut failed) = (0u64, 0u64);
+    for outcome in &outcomes {
+        match &outcome.result {
+            Ok(solved) => {
+                ok += 1;
+                assert_eq!(outcome.device, Some(0), "successes come from the clean device");
+                assert_eq!(solved.device, Some(0));
+                assert!(!solved.cpu_fallback);
+            }
+            Err(e) => {
+                failed += 1;
+                assert_eq!(outcome.device, Some(1), "only the faulted device fails: {e}");
+            }
+        }
+    }
+    assert!(ok > 0, "the clean device must have served requests");
+    assert!(failed > 0, "the lethal device must have failed requests");
+
+    let report = service.shutdown();
+    assert_eq!(report.completed, ok);
+    assert_eq!(report.failed, failed);
+    let dev1 = report.devices.iter().find(|d| d.id == 1).expect("device 1 reported");
+    assert_eq!(dev1.usage.failed, failed, "failures are attributed to the faulted device");
+    let dev0 = report.devices.iter().find(|d| d.id == 0).expect("device 0 reported");
+    assert_eq!(dev0.usage.failed, 0);
+}
+
+#[test]
+fn per_request_fitness_is_identical_across_runs_despite_routing() {
+    fn run_once() -> Vec<i64> {
+        let entries = cdd_bench::workload::generate_mixed(10, 99, 80, &[10]);
+        let service = SolverService::start(ServiceConfig {
+            devices: 3,
+            // Fleet-wide faults: per-request plans derive from the request
+            // seed alone, so whichever device a request lands on, the
+            // recovery layer sees the same fault sequence.
+            fault: Some(FaultPlan::with_rates(0xFA17, 0.02, 0.005, 0.0)),
+            ..small_config(3)
+        });
+        let tickets: Vec<u64> =
+            entries.iter().map(|e| service.submit(e.to_request()).expect("admitted")).collect();
+        let objectives = tickets
+            .into_iter()
+            .map(|t| service.wait(t).result.expect("recovery absorbs injected faults").objective)
+            .collect();
+        service.shutdown();
+        objectives
+    }
+    assert_eq!(run_once(), run_once(), "fitness must not depend on scheduling");
+}
+
+#[test]
+fn zero_deadline_expires_before_dispatch() {
+    let service = SolverService::start(small_config(1));
+    let req = SolveRequest {
+        deadline_ms: Some(0),
+        ..request(10, 2, Algorithm::Dpso, 100, 5)
+    };
+    let err = service.solve(req).unwrap_err();
+    assert!(matches!(err, SuiteError::DeadlineExceeded { .. }), "got {err:?}");
+    let report = service.shutdown();
+    assert_eq!(report.expired, 1);
+    assert_eq!(report.completed, 0);
+    assert_eq!(report.devices[0].usage.requests, 0, "no device time was spent");
+}

@@ -12,6 +12,7 @@
 //! | [`cuda`] | `cuda-sim` | CUDA execution-model simulator + performance model |
 //! | [`meta`] | `cdd-meta` | CPU metaheuristics (SA, DPSO, ES) and ensembles |
 //! | [`gpu`] | `cdd-gpu` | GPU-parallel SA/DPSO pipelines (4 kernels) |
+//! | [`service`] | `cdd-service` | multi-device solver service (queue, pool, cache) |
 //!
 //! See the repository `README.md` for a quickstart and `DESIGN.md` for the
 //! system inventory and per-experiment index.
@@ -21,7 +22,8 @@ pub use cdd_gpu as gpu;
 pub use cdd_instances as instances;
 pub use cdd_lp as lp;
 pub use cdd_meta as meta;
+pub use cdd_service as service;
 pub use cuda_sim as cuda;
 
 // Convenience re-exports of the types almost every user needs.
-pub use cdd_core::{Instance, Job, JobSequence, ProblemKind, Schedule};
+pub use cdd_core::{Algorithm, Instance, Job, JobSequence, ProblemKind, Schedule, SolveRequest};
