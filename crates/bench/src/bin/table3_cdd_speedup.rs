@@ -16,7 +16,7 @@
 //! end; SA₅₀₀₀ costs about 5× SA₁₀₀₀.
 
 use cdd_bench::campaign::run_speedup_suite;
-use cdd_bench::{campaign_from_args, render_markdown, results_dir, write_csv, Args};
+use cdd_bench::{campaign_from_args, render_markdown, results_dir, write_csv, Args, CampaignObserver};
 use cdd_instances::InstanceId;
 
 fn main() {
@@ -25,7 +25,10 @@ fn main() {
     let h = args.get_or("h", 0.6f64);
 
     eprintln!("Table III campaign: sizes {:?}, ensemble {}", cfg.sizes, cfg.ensemble());
-    let (speedup, runtime) = run_speedup_suite(&cfg, |n| InstanceId::cdd(n, 1, h), true);
+    let mut observer = CampaignObserver::from_args(&args);
+    let (speedup, runtime) =
+        run_speedup_suite(&cfg, |n| InstanceId::cdd(n, 1, h), true, Some(&mut observer));
+    observer.finish().expect("metrics/trace outputs writable");
 
     println!("\nTable III — speed-ups vs the work-matched CPU baselines (CDD):\n");
     println!("{}", render_markdown(&speedup));

@@ -18,7 +18,10 @@
 //! while DPSO again degrades with size.
 
 use cdd_bench::campaign::{best_known_path, ensure_best_known, run_quality_suite};
-use cdd_bench::{campaign_from_args, render_markdown, results_dir, write_csv, Args, Journal, Table};
+use cdd_bench::{
+    campaign_from_args, render_markdown, results_dir, write_csv, Args, CampaignObserver, Journal,
+    Table,
+};
 use cdd_instances::{BestKnown, InstanceId};
 
 fn main() {
@@ -57,7 +60,10 @@ fn main() {
         eprintln!("resuming: {} cells replayed from {}", journal.len(), journal_path.display());
     }
     let max_cells = args.get("max-cells").map(|s| s.parse().expect("--max-cells: integer"));
-    let (rows, detail) = run_quality_suite(&cfg, &ids, &best, Some(&mut journal), max_cells);
+    let mut observer = CampaignObserver::from_args(&args);
+    let (rows, detail) =
+        run_quality_suite(&cfg, &ids, &best, Some(&mut journal), max_cells, Some(&mut observer));
+    observer.finish().expect("metrics/trace outputs writable");
 
     let mut table = Table::new(vec!["Jobs", "SA1000", "SA5000", "DPSO1000", "DPSO5000"]);
     for r in &rows {

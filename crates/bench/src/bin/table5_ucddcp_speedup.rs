@@ -12,7 +12,7 @@
 //! overhead dominates), growing and then saturating with n.
 
 use cdd_bench::campaign::run_speedup_suite;
-use cdd_bench::{campaign_from_args, render_markdown, results_dir, write_csv, Args};
+use cdd_bench::{campaign_from_args, render_markdown, results_dir, write_csv, Args, CampaignObserver};
 use cdd_instances::InstanceId;
 
 fn main() {
@@ -20,7 +20,10 @@ fn main() {
     let cfg = campaign_from_args(&args, &[10, 20, 50, 100, 200]);
 
     eprintln!("Table V campaign: sizes {:?}, ensemble {}", cfg.sizes, cfg.ensemble());
-    let (speedup, runtime) = run_speedup_suite(&cfg, |n| InstanceId::ucddcp(n, 1), false);
+    let mut observer = CampaignObserver::from_args(&args);
+    let (speedup, runtime) =
+        run_speedup_suite(&cfg, |n| InstanceId::ucddcp(n, 1), false, Some(&mut observer));
+    observer.finish().expect("metrics/trace outputs writable");
 
     println!("\nTable V — speed-ups vs the work-matched CPU baseline (UCDDCP):\n");
     println!("{}", render_markdown(&speedup));

@@ -3,6 +3,7 @@
 //! baselines.
 
 use crate::journal::{CellRecord, Journal};
+use crate::observer::{CampaignObserver, CellSource};
 use cdd_core::eval::evaluator_for;
 use cdd_core::{Algorithm, Cost, Instance, SuiteError};
 use cdd_gpu::{run_gpu_solve, GpuRunResult, GpuSolveSpec};
@@ -283,7 +284,10 @@ pub fn ensure_best_known(
 /// - `max_cells` bounds the number of cells *executed* (journal replays are
 ///   free) — the campaign stops early once the budget is spent, which is
 ///   how the resume test (and an operator pacing a long campaign) slices
-///   work.
+///   work;
+/// - `observer` (when given) accumulates per-kernel metrics and the
+///   modeled-clock trace; replayed cells fold their journaled metrics in,
+///   so a resumed campaign's cell counters match an uninterrupted one's.
 ///
 /// Returns `(summary rows, per-instance detail table)`.
 pub fn run_quality_suite(
@@ -292,6 +296,7 @@ pub fn run_quality_suite(
     best: &BestKnown,
     mut journal: Option<&mut Journal>,
     max_cells: Option<usize>,
+    mut observer: Option<&mut CampaignObserver>,
 ) -> (Vec<QualityRow>, crate::report::Table) {
     let algos = gpu_algorithms();
     let mut detail = crate::report::Table::new(vec![
@@ -315,7 +320,13 @@ pub fn run_quality_suite(
             for (a, &algo) in algos.iter().enumerate() {
                 let seed = instance_seed(cfg.seed, id);
                 let cell = match journal.as_ref().and_then(|j| j.get(&key, algo.label(), seed)) {
-                    Some(rec) => Ok(rec.clone()),
+                    Some(rec) => {
+                        let rec = rec.clone();
+                        if let Some(obs) = observer.as_deref_mut() {
+                            obs.record_cell(&rec, CellSource::Replayed);
+                        }
+                        Ok(rec)
+                    }
                     None => {
                         if max_cells.is_some_and(|limit| executed >= limit) {
                             eprintln!(
@@ -327,24 +338,22 @@ pub fn run_quality_suite(
                         executed += 1;
                         match run_algo_on_instance(&inst, algo, cfg, seed) {
                             Ok(r) => {
-                                let rec = CellRecord {
-                                    instance: key.clone(),
-                                    algo: algo.label().to_string(),
-                                    seed,
-                                    objective: r.objective,
-                                    modeled_seconds: r.modeled_seconds,
-                                    status: if r.recovery.cpu_fallback {
-                                        "ok-cpu-fallback".to_string()
-                                    } else {
-                                        "ok".to_string()
-                                    },
-                                };
+                                let rec = cell_record(&key, algo, seed, &r);
                                 if let Some(j) = journal.as_deref_mut() {
                                     j.record(rec.clone()).expect("journal writable");
                                 }
+                                if let Some(obs) = observer.as_deref_mut() {
+                                    obs.record_run(&format!("{key}/{}", algo.label()), &r);
+                                    obs.record_cell(&rec, CellSource::Executed);
+                                }
                                 Ok(rec)
                             }
-                            Err(e) => Err(e),
+                            Err(e) => {
+                                if let Some(obs) = observer.as_deref_mut() {
+                                    obs.record_failure();
+                                }
+                                Err(e)
+                            }
                         }
                     }
                 };
@@ -393,16 +402,42 @@ pub fn run_quality_suite(
     (rows, detail)
 }
 
+/// Build the journal record for one completed run (also the unit the
+/// observer counts, so fresh and replayed cells fold identical numbers).
+fn cell_record(key: &str, algo: AlgoKind, seed: u64, r: &GpuRunResult) -> CellRecord {
+    CellRecord {
+        instance: key.to_string(),
+        algo: algo.label().to_string(),
+        seed,
+        objective: r.objective,
+        modeled_seconds: r.modeled_seconds,
+        kernel_seconds: r.kernel_seconds,
+        transfer_seconds: r.transfer_seconds,
+        kernel_launches: r.kernel_launches as u64,
+        faults_injected: r.recovery.faults.transient_launch_failures
+            + r.recovery.faults.bit_flips
+            + r.recovery.faults.hung_kernels,
+        status: if r.recovery.cpu_fallback {
+            "ok-cpu-fallback".to_string()
+        } else {
+            "ok".to_string()
+        },
+    }
+}
+
 /// Run the speed-up measurement for one problem kind — the computation
 /// behind Tables III/V and Figs. 13–14/16–17.
 ///
 /// GPU modeled time is taken on a representative instance per size (runtime
 /// is penalty-independent); the CPU baselines get a work-matched evaluation
-/// budget (see [`cpu_baseline_seconds`]).
+/// budget (see [`cpu_baseline_seconds`]); `observer` (when given) collects
+/// the same per-kernel metrics and modeled-clock trace as the quality
+/// campaigns.
 pub fn run_speedup_suite(
     cfg: &CampaignConfig,
     representative: impl Fn(usize) -> InstanceId,
     with_es_baseline: bool,
+    mut observer: Option<&mut CampaignObserver>,
 ) -> (crate::report::Table, crate::report::Table) {
     let algos = gpu_algorithms();
     let mut headers = vec!["Jobs".to_string()];
@@ -448,6 +483,11 @@ pub fn run_speedup_suite(
             // rest of the sweep continues.
             match run_algo_on_instance(&inst, algo, cfg, seed) {
                 Ok(r) => {
+                    if let Some(obs) = observer.as_deref_mut() {
+                        let key = id.to_string();
+                        obs.record_run(&format!("{key}/{}", algo.label()), &r);
+                        obs.record_cell(&cell_record(&key, algo, seed, &r), CellSource::Executed);
+                    }
                     let cpu_sa = if algo.iterations() == 1000 { cpu_sa_1000 } else { cpu_sa_5000 };
                     srow.push(format!("{:.1}", cpu_sa / r.modeled_seconds));
                     if with_es_baseline {
@@ -459,6 +499,9 @@ pub fn run_speedup_suite(
                 }
                 Err(e) => {
                     eprintln!("  cell n={n}/{} failed: {e}", algo.label());
+                    if let Some(obs) = observer.as_deref_mut() {
+                        obs.record_failure();
+                    }
                     srow.push("err".to_string());
                     if with_es_baseline {
                         srow.push("err".to_string());

@@ -32,6 +32,14 @@ pub struct CellRecord {
     pub objective: Cost,
     /// Modeled GPU seconds (0 for CPU-fallback cells).
     pub modeled_seconds: f64,
+    /// Modeled seconds spent inside kernels (subset of `modeled_seconds`).
+    pub kernel_seconds: f64,
+    /// Modeled seconds spent on host↔device transfers.
+    pub transfer_seconds: f64,
+    /// Kernel launches the winning device attempt performed.
+    pub kernel_launches: u64,
+    /// Faults injected across all device attempts of the cell.
+    pub faults_injected: u64,
     /// Outcome label carried into the detail table (`ok`,
     /// `ok-cpu-fallback`, …) so replayed rows render identically.
     pub status: String,
@@ -44,24 +52,44 @@ impl CellRecord {
 
     fn to_json(&self) -> String {
         format!(
-            "{{\"instance\":{},\"algo\":{},\"seed\":{},\"objective\":{},\"modeled_seconds\":{:?},\"status\":{}}}",
+            "{{\"instance\":{},\"algo\":{},\"seed\":{},\"objective\":{},\"modeled_seconds\":{:?},\
+             \"kernel_seconds\":{:?},\"transfer_seconds\":{:?},\"kernel_launches\":{},\
+             \"faults_injected\":{},\"status\":{}}}",
             escape(&self.instance),
             escape(&self.algo),
             self.seed,
             self.objective,
             self.modeled_seconds,
+            self.kernel_seconds,
+            self.transfer_seconds,
+            self.kernel_launches,
+            self.faults_injected,
             escape(&self.status),
         )
     }
 
     fn from_json(line: &str) -> Option<Self> {
         let fields = parse_flat_object(line)?;
+        // The metric fields arrived after the first journals shipped, so
+        // they default to zero — an old journal still resumes cleanly (and
+        // since none of them feed the CSVs, replayed rows stay
+        // byte-identical either way).
+        fn num_or_zero<T: std::str::FromStr + Default>(
+            fields: &BTreeMap<String, Value>,
+            key: &str,
+        ) -> T {
+            fields.get(key).and_then(Value::as_num).unwrap_or_default()
+        }
         Some(CellRecord {
             instance: fields.get("instance")?.as_str()?.to_string(),
             algo: fields.get("algo")?.as_str()?.to_string(),
             seed: fields.get("seed")?.as_num()?,
             objective: fields.get("objective")?.as_num()?,
             modeled_seconds: fields.get("modeled_seconds")?.as_num()?,
+            kernel_seconds: num_or_zero(&fields, "kernel_seconds"),
+            transfer_seconds: num_or_zero(&fields, "transfer_seconds"),
+            kernel_launches: num_or_zero(&fields, "kernel_launches"),
+            faults_injected: num_or_zero(&fields, "faults_injected"),
             status: fields.get("status")?.as_str()?.to_string(),
         })
     }
@@ -265,6 +293,10 @@ mod tests {
             seed,
             objective: 124,
             modeled_seconds: 0.001953125,
+            kernel_seconds: 0.0015,
+            transfer_seconds: 0.000453125,
+            kernel_launches: 4000,
+            faults_injected: 3,
             status: "ok".into(),
         }
     }
@@ -310,6 +342,23 @@ mod tests {
         let j = Journal::open(&path, true).unwrap();
         assert_eq!(j.len(), 1);
         assert!(j.get("cdd-n10-k1-h0.6", "SA1000", 9).is_some());
+    }
+
+    #[test]
+    fn journals_without_metric_fields_still_load() {
+        // Journals written before the metrics PR lack the kernel/transfer
+        // fields; they must still resume, with the metrics defaulted to 0.
+        let path = tmp("legacy.jsonl");
+        let legacy = "{\"instance\":\"cdd-n10-k1-h0.6\",\"algo\":\"SA1000\",\"seed\":9,\
+                      \"objective\":124,\"modeled_seconds\":0.5,\"status\":\"ok\"}";
+        std::fs::write(&path, format!("{legacy}\n")).unwrap();
+        let j = Journal::open(&path, true).unwrap();
+        let rec = j.get("cdd-n10-k1-h0.6", "SA1000", 9).expect("legacy line parses");
+        assert_eq!(rec.objective, 124);
+        assert_eq!(rec.kernel_seconds, 0.0);
+        assert_eq!(rec.transfer_seconds, 0.0);
+        assert_eq!(rec.kernel_launches, 0);
+        assert_eq!(rec.faults_injected, 0);
     }
 
     #[test]

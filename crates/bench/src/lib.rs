@@ -27,6 +27,7 @@
 pub mod campaign;
 pub mod cli;
 pub mod journal;
+pub mod observer;
 pub mod report;
 pub mod workload;
 
@@ -36,5 +37,6 @@ pub use campaign::{
 };
 pub use cli::{campaign_from_args, fault_plan_from_args, Args};
 pub use journal::{CellRecord, Journal};
+pub use observer::{CampaignObserver, CellSource};
 pub use report::{render_markdown, results_dir, write_csv, Table};
 pub use workload::WorkloadEntry;

@@ -4,7 +4,7 @@
 //! uninterrupted one.
 
 use cdd_bench::campaign::{instance_seed, run_quality_suite};
-use cdd_bench::{write_csv, CampaignConfig, Journal, Table};
+use cdd_bench::{write_csv, CampaignConfig, CampaignObserver, Journal, Table};
 use cdd_instances::{BestKnown, InstanceId};
 use cuda_sim::FaultPlan;
 use std::path::PathBuf;
@@ -54,7 +54,7 @@ fn faulty_campaign_completes_and_every_row_is_oracle_verified() {
     let dir = tmp_dir("faulty");
     let (cfg, ids, best) = small_faulty_config();
     let mut journal = Journal::open(dir.join("journal.jsonl"), false).unwrap();
-    let (rows, detail) = run_quality_suite(&cfg, &ids, &best, Some(&mut journal), None);
+    let (rows, detail) = run_quality_suite(&cfg, &ids, &best, Some(&mut journal), None, None);
 
     assert_eq!(rows.len(), 1);
     assert_eq!(detail.rows.len(), 4, "one instance x four algorithms");
@@ -88,7 +88,9 @@ fn interrupted_then_resumed_run_matches_uninterrupted_byte_for_byte() {
     // Reference: one uninterrupted run.
     let dir_a = tmp_dir("uninterrupted");
     let mut journal_a = Journal::open(dir_a.join("journal.jsonl"), false).unwrap();
-    let (rows_a, detail_a) = run_quality_suite(&cfg, &ids, &best, Some(&mut journal_a), None);
+    let mut observer_a = CampaignObserver::new();
+    let (rows_a, detail_a) =
+        run_quality_suite(&cfg, &ids, &best, Some(&mut journal_a), None, Some(&mut observer_a));
     let (summary_a, detail_csv_a) = render_csvs(&dir_a, &rows_a, &detail_a);
 
     // Interrupted: stop after 2 of the 4 cells (simulating a kill), then
@@ -97,16 +99,29 @@ fn interrupted_then_resumed_run_matches_uninterrupted_byte_for_byte() {
     let journal_path = dir_b.join("journal.jsonl");
     let mut journal_b = Journal::open(&journal_path, false).unwrap();
     let (_partial_rows, _partial_detail) =
-        run_quality_suite(&cfg, &ids, &best, Some(&mut journal_b), Some(2));
+        run_quality_suite(&cfg, &ids, &best, Some(&mut journal_b), Some(2), None);
     drop(journal_b);
     let reloaded = Journal::open(&journal_path, true).unwrap();
     assert_eq!(reloaded.len(), 2, "exactly the budgeted cells were journaled");
 
     let mut journal_b = Journal::open(&journal_path, true).unwrap();
-    let (rows_b, detail_b) = run_quality_suite(&cfg, &ids, &best, Some(&mut journal_b), None);
+    let mut observer_b = CampaignObserver::new();
+    let (rows_b, detail_b) =
+        run_quality_suite(&cfg, &ids, &best, Some(&mut journal_b), None, Some(&mut observer_b));
     assert_eq!(journal_b.len(), 4, "resume completed the remaining cells");
     let (summary_b, detail_csv_b) = render_csvs(&dir_b, &rows_b, &detail_b);
 
     assert_eq!(summary_a, summary_b, "summary CSV must be byte-identical after resume");
     assert_eq!(detail_csv_a, detail_csv_b, "detail CSV must be byte-identical after resume");
+
+    // The journal carries each cell's metrics, so the resumed campaign's
+    // cell-level counters match the uninterrupted one's even though two of
+    // its cells were never re-executed (only the `source` label differs).
+    for series in ["campaign_kernel_launches_total", "campaign_faults_injected_total"] {
+        assert_eq!(
+            observer_a.registry().counter(series, &[]),
+            observer_b.registry().counter(series, &[]),
+            "{series} must survive resume"
+        );
+    }
 }

@@ -166,16 +166,22 @@ fn dpso_attempt(
             .map_err(|e| suite_device_error(&e))?;
 
         for _gen in 0..params.iterations {
-            launch_with_retry(&mut gpu, &update, cfg, policy, stats)
-                .map_err(|e| suite_device_error(&e))?;
-            launch_with_retry(&mut gpu, &fitness, cfg, policy, stats)
-                .map_err(|e| suite_device_error(&e))?;
-            launch_with_retry(&mut gpu, &pbest_update, cfg, policy, stats)
-                .map_err(|e| suite_device_error(&e))?;
-            launch_with_retry(&mut gpu, &reduce, cfg, policy, stats)
-                .map_err(|e| suite_device_error(&e))?;
-            launch_with_retry(&mut gpu, &gbest_copy, cfg, policy, stats)
-                .map_err(|e| suite_device_error(&e))?;
+            gpu.span_begin("dpso-generation");
+            let gen_result = (|gpu: &mut Gpu| -> Result<(), SuiteError> {
+                launch_with_retry(gpu, &update, cfg, policy, stats)
+                    .map_err(|e| suite_device_error(&e))?;
+                launch_with_retry(gpu, &fitness, cfg, policy, stats)
+                    .map_err(|e| suite_device_error(&e))?;
+                launch_with_retry(gpu, &pbest_update, cfg, policy, stats)
+                    .map_err(|e| suite_device_error(&e))?;
+                launch_with_retry(gpu, &reduce, cfg, policy, stats)
+                    .map_err(|e| suite_device_error(&e))?;
+                launch_with_retry(gpu, &gbest_copy, cfg, policy, stats)
+                    .map_err(|e| suite_device_error(&e))?;
+                Ok(())
+            })(&mut gpu);
+            gpu.span_end("dpso-generation");
+            gen_result?;
         }
 
         let key = gpu.d2h(packed_best)[0];
@@ -196,6 +202,7 @@ fn dpso_attempt(
         transfer_seconds: profiler.transfer_seconds(),
         kernel_launches: profiler.kernel_launches(),
         profiler_summary: profiler.summary(),
+        timeline: profiler.events().to_vec(),
         recovery: RecoveryStats::default(),
     })
 }
@@ -221,6 +228,7 @@ fn cpu_fallback_dpso(params: &GpuDpsoParams, evaluator: &dyn SequenceEvaluator) 
         transfer_seconds: 0.0,
         kernel_launches: 0,
         profiler_summary: "cpu-fallback: sequential CPU DPSO".into(),
+        timeline: Vec::new(),
         recovery: RecoveryStats::default(),
     }
 }

@@ -206,6 +206,7 @@ mod tests {
             transfer_seconds: 0.0,
             kernel_launches: 0,
             profiler_summary: String::new(),
+            timeline: Vec::new(),
             recovery: RecoveryStats::default(),
         }
     }

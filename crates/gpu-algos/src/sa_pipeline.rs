@@ -23,7 +23,7 @@ use cdd_core::{Cost, Instance, JobSequence, SuiteError};
 use cdd_meta::temperature::initial_temperature;
 use cdd_meta::{AsyncEnsemble, Cooling, SaParams};
 use cuda_sim::reduce::{unpack_argmin, AtomicArgminKernel};
-use cuda_sim::{DeviceSpec, FaultPlan, Gpu, LaunchConfig, XorWow};
+use cuda_sim::{DeviceSpec, FaultPlan, Gpu, LaunchConfig, TimelineEvent, XorWow};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -113,6 +113,10 @@ pub struct GpuRunResult {
     pub kernel_launches: usize,
     /// Per-kernel profiler summary (the Fig. 9/10 timeline evidence).
     pub profiler_summary: String,
+    /// The raw profiler timeline of the winning device attempt: kernels,
+    /// transfers, and the pipeline's per-generation spans. Consumed by the
+    /// trace exporter (`cdd_metrics::trace`); empty for CPU fallbacks.
+    pub timeline: Vec<TimelineEvent>,
     /// What the resilience layer did (retries, oracle repairs, fallback).
     pub recovery: RecoveryStats,
 }
@@ -216,26 +220,32 @@ fn sa_attempt(
 
         let mut temperature = t0;
         for _gen in 0..params.iterations {
-            launch_with_retry(&mut gpu, &perturb, cfg, policy, stats)
-                .map_err(|e| suite_device_error(&e))?;
-            launch_with_retry(&mut gpu, &fitness_candidate, cfg, policy, stats)
-                .map_err(|e| suite_device_error(&e))?;
-            let accept = AcceptKernel {
-                current,
-                candidate,
-                energies,
-                cand_energies,
-                best_rows,
-                best_energies,
-                rng: rng_states,
-                n,
-                ensemble,
-                temperature,
-            };
-            launch_with_retry(&mut gpu, &accept, cfg, policy, stats)
-                .map_err(|e| suite_device_error(&e))?;
-            launch_with_retry(&mut gpu, &reduce, cfg, policy, stats)
-                .map_err(|e| suite_device_error(&e))?;
+            gpu.span_begin("sa-generation");
+            let gen_result = (|gpu: &mut Gpu| -> Result<(), SuiteError> {
+                launch_with_retry(gpu, &perturb, cfg, policy, stats)
+                    .map_err(|e| suite_device_error(&e))?;
+                launch_with_retry(gpu, &fitness_candidate, cfg, policy, stats)
+                    .map_err(|e| suite_device_error(&e))?;
+                let accept = AcceptKernel {
+                    current,
+                    candidate,
+                    energies,
+                    cand_energies,
+                    best_rows,
+                    best_energies,
+                    rng: rng_states,
+                    n,
+                    ensemble,
+                    temperature,
+                };
+                launch_with_retry(gpu, &accept, cfg, policy, stats)
+                    .map_err(|e| suite_device_error(&e))?;
+                launch_with_retry(gpu, &reduce, cfg, policy, stats)
+                    .map_err(|e| suite_device_error(&e))?;
+                Ok(())
+            })(&mut gpu);
+            gpu.span_end("sa-generation");
+            gen_result?;
             temperature *= params.cooling_rate;
         }
 
@@ -259,6 +269,7 @@ fn sa_attempt(
         transfer_seconds: profiler.transfer_seconds(),
         kernel_launches: profiler.kernel_launches(),
         profiler_summary: profiler.summary(),
+        timeline: profiler.events().to_vec(),
         recovery: RecoveryStats::default(),
     })
 }
@@ -290,6 +301,7 @@ pub(crate) fn cpu_fallback_sa(
         transfer_seconds: 0.0,
         kernel_launches: 0,
         profiler_summary: "cpu-fallback: asynchronous CPU ensemble".into(),
+        timeline: Vec::new(),
         recovery: RecoveryStats::default(),
     }
 }
@@ -344,6 +356,28 @@ mod tests {
         assert!(r.profiler_summary.contains("perturbation"));
         assert!(r.profiler_summary.contains("acceptance"));
         assert!(r.profiler_summary.contains("reduce_atomic_argmin"));
+    }
+
+    #[test]
+    fn timeline_carries_one_span_per_generation() {
+        let inst = Instance::paper_example_cdd();
+        let iters = 20;
+        let r = run_gpu_sa(&inst, &small_params(iters)).unwrap();
+        let begins = r
+            .timeline
+            .iter()
+            .filter(|e| matches!(e, TimelineEvent::SpanBegin { name } if name == "sa-generation"))
+            .count();
+        let ends = r
+            .timeline
+            .iter()
+            .filter(|e| matches!(e, TimelineEvent::SpanEnd { name } if name == "sa-generation"))
+            .count();
+        assert_eq!(begins as u64, iters);
+        assert_eq!(ends as u64, iters, "every span closes");
+        let kernels =
+            r.timeline.iter().filter(|e| matches!(e, TimelineEvent::Kernel { .. })).count();
+        assert_eq!(kernels, r.kernel_launches, "timeline and counters agree");
     }
 
     #[test]

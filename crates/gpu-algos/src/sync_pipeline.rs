@@ -163,33 +163,39 @@ fn sync_attempt(
 
         for level in 0..levels {
             let temperature = t0 * params.cooling_rate.powi(level.min(i32::MAX as u64) as i32);
-            for _ in 0..markov_len {
-                launch_with_retry(&mut gpu, &perturb, cfg, policy, stats)
+            gpu.span_begin("sync-sa-level");
+            let level_result = (|gpu: &mut Gpu| -> Result<(), SuiteError> {
+                for _ in 0..markov_len {
+                    launch_with_retry(gpu, &perturb, cfg, policy, stats)
+                        .map_err(|e| suite_device_error(&e))?;
+                    launch_with_retry(gpu, &fitness_candidate, cfg, policy, stats)
+                        .map_err(|e| suite_device_error(&e))?;
+                    let accept = AcceptKernel {
+                        current,
+                        candidate,
+                        energies,
+                        cand_energies,
+                        best_rows,
+                        best_energies,
+                        rng: rng_states,
+                        n,
+                        ensemble,
+                        temperature,
+                    };
+                    launch_with_retry(gpu, &accept, cfg, policy, stats)
+                        .map_err(|e| suite_device_error(&e))?;
+                }
+                // Level barrier: reduce over the current states and broadcast
+                // s_j^min as everyone's next start.
+                gpu.h2d(packed, &[i64::MAX]);
+                launch_with_retry(gpu, &reduce_current, cfg, policy, stats)
                     .map_err(|e| suite_device_error(&e))?;
-                launch_with_retry(&mut gpu, &fitness_candidate, cfg, policy, stats)
+                launch_with_retry(gpu, &broadcast, cfg, policy, stats)
                     .map_err(|e| suite_device_error(&e))?;
-                let accept = AcceptKernel {
-                    current,
-                    candidate,
-                    energies,
-                    cand_energies,
-                    best_rows,
-                    best_energies,
-                    rng: rng_states,
-                    n,
-                    ensemble,
-                    temperature,
-                };
-                launch_with_retry(&mut gpu, &accept, cfg, policy, stats)
-                    .map_err(|e| suite_device_error(&e))?;
-            }
-            // Level barrier: reduce over the current states and broadcast
-            // s_j^min as everyone's next start.
-            gpu.h2d(packed, &[i64::MAX]);
-            launch_with_retry(&mut gpu, &reduce_current, cfg, policy, stats)
-                .map_err(|e| suite_device_error(&e))?;
-            launch_with_retry(&mut gpu, &broadcast, cfg, policy, stats)
-                .map_err(|e| suite_device_error(&e))?;
+                Ok(())
+            })(&mut gpu);
+            gpu.span_end("sync-sa-level");
+            level_result?;
         }
 
         // Final reduction over the personal bests (as in the async
@@ -215,6 +221,7 @@ fn sync_attempt(
         transfer_seconds: profiler.transfer_seconds(),
         kernel_launches: profiler.kernel_launches(),
         profiler_summary: profiler.summary(),
+        timeline: profiler.events().to_vec(),
         recovery: RecoveryStats::default(),
     })
 }

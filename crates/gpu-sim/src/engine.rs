@@ -889,6 +889,18 @@ impl Gpu {
         &self.profiler
     }
 
+    /// Open a named span on the profiler timeline (e.g. one per SA
+    /// generation). Spans carry no modeled time; they only annotate the
+    /// timeline for trace rendering.
+    pub fn span_begin(&mut self, name: impl Into<String>) {
+        self.profiler.span_begin(name);
+    }
+
+    /// Close the innermost open span with this name.
+    pub fn span_end(&mut self, name: impl Into<String>) {
+        self.profiler.span_end(name);
+    }
+
     /// Reset the profiler (start a new measurement window).
     pub fn reset_profiler(&mut self) {
         self.profiler.reset();

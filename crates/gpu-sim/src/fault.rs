@@ -26,6 +26,7 @@
 //! plan over the same operation sequence therefore reproduces the *exact*
 //! same fault sequence, which is what makes failure campaigns replayable.
 
+use cdd_metrics::MetricsRegistry;
 use std::fmt;
 
 /// SplitMix64 step (the same finalizer the RNG seeding uses elsewhere).
@@ -111,6 +112,31 @@ pub struct FaultStats {
     pub bit_flips: u64,
     /// Launches killed by the watchdog.
     pub hung_kernels: u64,
+}
+
+impl FaultStats {
+    /// Fold the counters into a metrics registry as
+    /// `{prefix}_launches_attempted_total`, `{prefix}_transient_launch_failures_total`,
+    /// `{prefix}_bit_flips_total` and `{prefix}_hung_kernels_total`, all
+    /// carrying `labels`. Zero counts are still registered (an `inc` by 0
+    /// creates the series), so the *set* of rendered lines is identical
+    /// across runs — a requirement for byte-comparing snapshots.
+    pub fn observe_into(
+        &self,
+        registry: &mut MetricsRegistry,
+        prefix: &str,
+        labels: &[(&str, &str)],
+    ) {
+        let name = |suffix: &str| format!("{prefix}_{suffix}");
+        registry.inc(&name("launches_attempted_total"), labels, self.launches_attempted);
+        registry.inc(
+            &name("transient_launch_failures_total"),
+            labels,
+            self.transient_launch_failures,
+        );
+        registry.inc(&name("bit_flips_total"), labels, self.bit_flips);
+        registry.inc(&name("hung_kernels_total"), labels, self.hung_kernels);
+    }
 }
 
 impl fmt::Display for FaultStats {
@@ -267,6 +293,20 @@ mod tests {
             assert!(out < 1 << 32, "flip must stay in the 32 payload bits");
         }
         assert_eq!(s.stats.bit_flips, 200);
+    }
+
+    #[test]
+    fn observe_into_registers_all_series_even_at_zero() {
+        let stats = FaultStats { launches_attempted: 7, bit_flips: 2, ..Default::default() };
+        let mut reg = MetricsRegistry::new();
+        stats.observe_into(&mut reg, "sim_fault", &[]);
+        assert_eq!(reg.counter("sim_fault_launches_attempted_total", &[]), 7);
+        assert_eq!(reg.counter("sim_fault_bit_flips_total", &[]), 2);
+        // Zero counters still render, so snapshots of clean and faulty runs
+        // expose the same line set.
+        let text = reg.render_prometheus();
+        assert!(text.contains("sim_fault_hung_kernels_total 0"));
+        assert!(text.contains("sim_fault_transient_launch_failures_total 0"));
     }
 
     #[test]

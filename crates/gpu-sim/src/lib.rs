@@ -76,5 +76,8 @@ pub use fault::{FaultPlan, FaultStats};
 pub use grid::{Dim3, LaunchConfig};
 pub use memory::{Buf, ConstBuf, ErasedBuf};
 pub use pool::{DeviceHandle, DeviceUsage};
-pub use profiler::{Profiler, ProfilerAggregate, TimelineEvent};
+pub use profiler::{
+    observe_timeline, timeline_trace_events, transfer_dir_label, Profiler, ProfilerAggregate,
+    TimelineEvent, TransferDir,
+};
 pub use rng::XorWow;

@@ -18,6 +18,7 @@
 use crate::device::DeviceSpec;
 use crate::fault::{FaultPlan, FaultStats};
 use crate::profiler::ProfilerAggregate;
+use cdd_metrics::MetricsRegistry;
 
 /// Accumulated usage of one pool device across many runs.
 #[derive(Debug, Default, Clone, PartialEq)]
@@ -60,6 +61,22 @@ impl DeviceUsage {
         self.faults.transient_launch_failures += f.transient_launch_failures;
         self.faults.bit_flips += f.bit_flips;
         self.faults.hung_kernels += f.hung_kernels;
+    }
+
+    /// Fold the usage record into a metrics registry under the `device_`
+    /// namespace, labelled `{device="<device>"}`. Counters here are split
+    /// per device — which requests landed where depends on wall-clock worker
+    /// scheduling — so the whole namespace is timing-*dependent* and is
+    /// deliberately kept out of the `service_` prefix that CI byte-compares.
+    pub fn observe_into(&self, registry: &mut MetricsRegistry, device: &str, wall_seconds: f64) {
+        let labels: &[(&str, &str)] = &[("device", device)];
+        registry.inc("device_requests_total", labels, self.requests);
+        registry.inc("device_failed_total", labels, self.failed);
+        registry.inc("device_kernel_launches_total", labels, self.modeled.kernel_launches as u64);
+        registry.set_gauge("device_modeled_busy_seconds", labels, self.modeled.busy_seconds);
+        registry.set_gauge("device_busy_wall_seconds", labels, self.busy_wall_seconds);
+        registry.set_gauge("device_utilization", labels, self.utilization(wall_seconds));
+        self.faults.observe_into(registry, "device_fault", labels);
     }
 
     /// Busy-wall-seconds / window-wall-seconds utilization of the device.
@@ -152,6 +169,21 @@ mod tests {
         assert!((u.busy_wall_seconds - 2.0).abs() < 1e-12);
         assert!((u.utilization(4.0) - 0.5).abs() < 1e-12);
         assert_eq!(u.utilization(0.0), 0.0);
+    }
+
+    #[test]
+    fn observe_into_labels_series_by_device() {
+        let mut u = DeviceUsage::default();
+        u.record_run(0.010, 0.008, 0.002, 40, 0.5, false);
+        u.merge_faults(FaultStats { launches_attempted: 40, ..Default::default() });
+        let mut reg = cdd_metrics::MetricsRegistry::new();
+        u.observe_into(&mut reg, "2", 1.0);
+        let labels: &[(&str, &str)] = &[("device", "2")];
+        assert_eq!(reg.counter("device_requests_total", labels), 1);
+        assert_eq!(reg.counter("device_kernel_launches_total", labels), 40);
+        assert_eq!(reg.counter("device_fault_launches_attempted_total", labels), 40);
+        assert!((reg.gauge("device_utilization", labels).unwrap() - 0.5).abs() < 1e-12);
+        assert!(reg.render_prometheus().contains("device_requests_total{device=\"2\"} 1"));
     }
 
     #[test]

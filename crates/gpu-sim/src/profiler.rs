@@ -4,6 +4,8 @@
 
 use crate::cost::CostCounter;
 use crate::grid::LaunchConfig;
+use cdd_metrics::trace::TraceEvent;
+use cdd_metrics::{modeled_seconds_buckets, MetricsRegistry};
 use std::fmt::Write as _;
 
 /// Direction of a host↔device copy.
@@ -38,15 +40,28 @@ pub enum TimelineEvent {
         /// Modeled duration, seconds.
         seconds: f64,
     },
+    /// Start of a named span (zero modeled duration — an annotation layered
+    /// over the timeline by the pipelines, e.g. one span per SA generation).
+    SpanBegin {
+        /// Span label.
+        name: String,
+    },
+    /// End of the innermost open span with this name.
+    SpanEnd {
+        /// Span label.
+        name: String,
+    },
 }
 
 impl TimelineEvent {
-    /// Modeled duration of the event, seconds.
+    /// Modeled duration of the event, seconds (spans are instantaneous
+    /// annotations and contribute nothing).
     #[must_use]
     pub fn seconds(&self) -> f64 {
         match self {
             TimelineEvent::Kernel { seconds, .. } => *seconds,
             TimelineEvent::Transfer { seconds, .. } => *seconds,
+            TimelineEvent::SpanBegin { .. } | TimelineEvent::SpanEnd { .. } => 0.0,
         }
     }
 }
@@ -65,6 +80,16 @@ impl Profiler {
 
     pub(crate) fn push(&mut self, e: TimelineEvent) {
         self.events.push(e);
+    }
+
+    /// Open a named span on the timeline (zero modeled duration).
+    pub fn span_begin(&mut self, name: impl Into<String>) {
+        self.events.push(TimelineEvent::SpanBegin { name: name.into() });
+    }
+
+    /// Close the innermost open span with this name.
+    pub fn span_end(&mut self, name: impl Into<String>) {
+        self.events.push(TimelineEvent::SpanEnd { name: name.into() });
     }
 
     /// All recorded events, in order.
@@ -131,11 +156,23 @@ impl Profiler {
                     transfers.1 += bytes;
                     transfers.2 += seconds;
                 }
+                TimelineEvent::SpanBegin { .. } | TimelineEvent::SpanEnd { .. } => {}
             }
         }
-        let mut out = String::from("kernel                      launches   modeled-ms\n");
+        // Name column width follows the data, so names of any length stay
+        // aligned with the header and with each other.
+        let name_w = per_kernel
+            .keys()
+            .map(|n| n.len())
+            .chain(std::iter::once("kernel".len()))
+            .max()
+            .expect("iterator is never empty")
+            + 2;
+        let mut out = String::new();
+        writeln!(out, "{:<name_w$}{:>8}   {:>10}", "kernel", "launches", "modeled-ms")
+            .expect("writing to String cannot fail");
         for (name, (count, secs)) in &per_kernel {
-            writeln!(out, "{name:<28}{count:>8}   {:>10.3}", secs * 1e3)
+            writeln!(out, "{name:<name_w$}{count:>8}   {:>10.3}", secs * 1e3)
                 .expect("writing to String cannot fail");
         }
         writeln!(
@@ -150,6 +187,97 @@ impl Profiler {
             .expect("writing to String cannot fail");
         out
     }
+}
+
+/// Short label for a transfer direction, used both as a metric label value
+/// and a trace-event name (`h2d` / `d2h`, the CUDA memcpy shorthand).
+#[must_use]
+pub fn transfer_dir_label(dir: TransferDir) -> &'static str {
+    match dir {
+        TransferDir::HostToDevice => "h2d",
+        TransferDir::DeviceToHost => "d2h",
+    }
+}
+
+/// Fold a profiler timeline into a metrics registry under the `sim_`
+/// namespace: per-kernel-name launch counters and modeled-duration
+/// histograms, plus per-direction transfer counters/bytes/durations.
+///
+/// Modeled durations are timing-*independent* (they come from the analytic
+/// performance model, not the wall clock), so everything this function
+/// writes is reproducible across runs of the same workload — including the
+/// histograms.
+pub fn observe_timeline(registry: &mut MetricsRegistry, events: &[TimelineEvent]) {
+    for e in events {
+        match e {
+            TimelineEvent::Kernel { name, seconds, .. } => {
+                registry.inc("sim_kernel_launches_total", &[("kernel", name)], 1);
+                registry.observe(
+                    "sim_kernel_seconds",
+                    &[("kernel", name)],
+                    *seconds,
+                    modeled_seconds_buckets(),
+                );
+            }
+            TimelineEvent::Transfer { dir, bytes, seconds } => {
+                let dir = transfer_dir_label(*dir);
+                registry.inc("sim_transfers_total", &[("dir", dir)], 1);
+                registry.inc("sim_transfer_bytes_total", &[("dir", dir)], *bytes as u64);
+                registry.observe(
+                    "sim_transfer_seconds",
+                    &[("dir", dir)],
+                    *seconds,
+                    modeled_seconds_buckets(),
+                );
+            }
+            TimelineEvent::SpanBegin { .. } | TimelineEvent::SpanEnd { .. } => {}
+        }
+    }
+}
+
+/// Convert a profiler timeline into Chrome trace events on track
+/// `(pid, tid)`, starting at `start_us` on the modeled clock. Kernels and
+/// transfers become complete (`X`) events laid end to end; spans become
+/// `B`/`E` markers nesting around them. Returns the events and the clock
+/// position after the last one, so successive windows (e.g. one per request
+/// on the same device) can be chained onto one track.
+#[must_use]
+pub fn timeline_trace_events(
+    events: &[TimelineEvent],
+    pid: u32,
+    tid: u32,
+    start_us: f64,
+) -> (Vec<TraceEvent>, f64) {
+    let mut out = Vec::with_capacity(events.len());
+    let mut clock = start_us;
+    for e in events {
+        match e {
+            TimelineEvent::Kernel { name, config, seconds, .. } => {
+                let dur = seconds * 1e6;
+                out.push(
+                    TraceEvent::complete(name, "kernel", pid, tid, clock, dur)
+                        .with_arg("grid", config.grid.x)
+                        .with_arg("block", config.block.x),
+                );
+                clock += dur;
+            }
+            TimelineEvent::Transfer { dir, bytes, seconds } => {
+                let dur = seconds * 1e6;
+                out.push(
+                    TraceEvent::complete(transfer_dir_label(*dir), "transfer", pid, tid, clock, dur)
+                        .with_arg("bytes", bytes),
+                );
+                clock += dur;
+            }
+            TimelineEvent::SpanBegin { name } => {
+                out.push(TraceEvent::begin(name, "span", pid, tid, clock));
+            }
+            TimelineEvent::SpanEnd { name } => {
+                out.push(TraceEvent::end(name, "span", pid, tid, clock));
+            }
+        }
+    }
+    (out, clock)
 }
 
 /// Cross-run aggregation of profiler timelines — the per-device utilization
@@ -244,6 +372,86 @@ mod tests {
         assert!(s.contains("fitness"));
         assert!(s.contains("perturb"));
         assert!(s.contains("total modeled time"));
+    }
+
+    #[test]
+    fn summary_aligns_long_kernel_names() {
+        // Regression: names at or past the old fixed 28-column width used to
+        // overflow their column and shear the table.
+        let long = "fitness_candidate_with_tabu_memory_pass"; // 39 chars
+        assert!(long.len() >= 28);
+        let mut p = Profiler::new();
+        p.push(kernel_event(long, 0.002));
+        p.push(kernel_event("reduce", 0.001));
+        let s = p.summary();
+        let lines: Vec<&str> = s.lines().collect();
+        // Header + both kernel rows share one fixed-width layout, so they
+        // render to the same length; the old fixed 28-column format made the
+        // long row overflow and come out wider than the header.
+        assert_eq!(lines[0].len(), lines[1].len(), "header vs first row in:\n{s}");
+        assert_eq!(lines[0].len(), lines[2].len(), "header vs second row in:\n{s}");
+        // And the name itself is intact in its row.
+        assert!(lines[1].starts_with(long) || lines[2].starts_with(long));
+        // The short name's row is padded out to the long name's column.
+        let short_row = lines.iter().find(|l| l.starts_with("reduce")).unwrap();
+        assert!(short_row.len() > long.len(), "short row padded to the widened column");
+    }
+
+    #[test]
+    fn spans_are_zero_cost_annotations() {
+        let mut p = Profiler::new();
+        p.span_begin("sa-generation");
+        p.push(kernel_event("perturb", 0.002));
+        p.span_end("sa-generation");
+        assert_eq!(p.events().len(), 3);
+        assert!((p.total_seconds() - 0.002).abs() < 1e-12, "spans add no modeled time");
+        assert_eq!(p.kernel_launches(), 1);
+        assert!(p.summary().contains("perturb"), "spans don't disturb the summary");
+    }
+
+    #[test]
+    fn observe_timeline_populates_sim_metrics() {
+        let mut p = Profiler::new();
+        p.push(kernel_event("fitness", 0.002));
+        p.push(kernel_event("fitness", 0.004));
+        p.push(TimelineEvent::Transfer {
+            dir: TransferDir::HostToDevice,
+            bytes: 256,
+            seconds: 0.001,
+        });
+        let mut reg = MetricsRegistry::new();
+        observe_timeline(&mut reg, p.events());
+        assert_eq!(reg.counter("sim_kernel_launches_total", &[("kernel", "fitness")]), 2);
+        assert_eq!(reg.counter("sim_transfers_total", &[("dir", "h2d")]), 1);
+        assert_eq!(reg.counter("sim_transfer_bytes_total", &[("dir", "h2d")]), 256);
+        let h = reg.histogram("sim_kernel_seconds", &[("kernel", "fitness")]).unwrap();
+        assert_eq!(h.count(), 2);
+        assert!((h.sum() - 0.006).abs() < 1e-12);
+    }
+
+    #[test]
+    fn trace_events_lay_work_end_to_end_on_the_modeled_clock() {
+        let mut p = Profiler::new();
+        p.span_begin("gen");
+        p.push(kernel_event("perturb", 0.002));
+        p.push(TimelineEvent::Transfer {
+            dir: TransferDir::DeviceToHost,
+            bytes: 64,
+            seconds: 0.001,
+        });
+        p.span_end("gen");
+        let (evs, end_us) = timeline_trace_events(p.events(), 0, 3, 100.0);
+        assert_eq!(evs.len(), 4);
+        assert!((end_us - (100.0 + 3000.0)).abs() < 1e-9, "clock advanced by 3 modeled ms");
+        assert_eq!(evs[0].ph, 'B');
+        assert_eq!(evs[1].name, "perturb");
+        assert_eq!(evs[1].ts_us, 100.0);
+        assert_eq!(evs[1].dur_us, Some(2000.0));
+        assert_eq!(evs[2].name, "d2h");
+        assert_eq!(evs[2].ts_us, 2100.0);
+        assert_eq!(evs[3].ph, 'E');
+        assert_eq!(evs[3].ts_us, 3100.0, "span closes after the work it wraps");
+        assert!(evs.iter().all(|e| e.tid == 3), "all events stay on the device track");
     }
 
     #[test]

@@ -1,0 +1,523 @@
+//! # cdd-metrics
+//!
+//! A **deterministic** metrics registry for the workspace: counters, gauges
+//! and fixed-bucket histograms with exact percentiles, plus a Prometheus
+//! text exporter, a JSON snapshot exporter and (in [`trace`]) a Chrome
+//! `trace_event` sink for `gpu-sim` timelines.
+//!
+//! Determinism is the design constraint everything else follows from (it is
+//! what lets CI byte-compare two runs of the same workload, mirroring the
+//! service's determinism contract):
+//!
+//! * all series live in `BTreeMap`s keyed by `(name, sorted labels)` —
+//!   iteration (and therefore rendering) order never depends on insertion
+//!   order or hash seeds;
+//! * counters are integers, so their rendered value is independent of the
+//!   order in which concurrent contributors were folded in;
+//! * nothing in this crate reads the wall clock — time enters only as
+//!   values the *caller* observes (modeled seconds, measured latencies), so
+//!   the hot path stays free of `Instant::now` calls;
+//! * floats render through Rust's shortest-roundtrip formatter (`{:?}`),
+//!   which is a pure function of the bits.
+//!
+//! Histograms keep both fixed bucket counts (for the Prometheus exposition)
+//! and the raw samples (for *exact* p50/p95/p99 — no interpolation error at
+//! the sample counts this workspace produces).
+//!
+//! ```
+//! use cdd_metrics::{latency_ms_buckets, MetricsRegistry};
+//!
+//! let mut reg = MetricsRegistry::new();
+//! reg.inc("service_requests_total", &[], 3);
+//! reg.observe("timing_request_wall_ms", &[], 12.5, latency_ms_buckets());
+//! let text = reg.render_prometheus();
+//! assert!(text.contains("service_requests_total 3"));
+//! assert!(text.contains("timing_request_wall_ms_count 1"));
+//! ```
+
+pub mod trace;
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Fixed bucket bounds for request-latency histograms, milliseconds
+/// (50 µs … 10 s, roughly 1–2.5–5 per decade).
+#[must_use]
+pub fn latency_ms_buckets() -> &'static [f64] {
+    &[
+        0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 25.0, 50.0, 100.0, 250.0, 500.0, 1000.0,
+        2500.0, 5000.0, 10000.0,
+    ]
+}
+
+/// Fixed bucket bounds for modeled device durations, seconds
+/// (100 ns … 1 s — the range the simulator's kernels and transfers span).
+#[must_use]
+pub fn modeled_seconds_buckets() -> &'static [f64] {
+    &[
+        1e-7, 2.5e-7, 5e-7, 1e-6, 2.5e-6, 5e-6, 1e-5, 2.5e-5, 5e-5, 1e-4, 2.5e-4, 5e-4, 1e-3,
+        2.5e-3, 5e-3, 1e-2, 2.5e-2, 5e-2, 1e-1, 2.5e-1, 5e-1, 1.0,
+    ]
+}
+
+/// Render an f64 deterministically (shortest string that round-trips).
+fn fmt_f64(v: f64) -> String {
+    format!("{v:?}")
+}
+
+/// Escape a string for a JSON literal or a Prometheus label value.
+pub(crate) fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// A fully-qualified series identity: metric name plus sorted label pairs.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+struct SeriesKey {
+    name: String,
+    labels: Vec<(String, String)>,
+}
+
+impl SeriesKey {
+    fn new(name: &str, labels: &[(&str, &str)]) -> Self {
+        let mut labels: Vec<(String, String)> =
+            labels.iter().map(|(k, v)| (k.to_string(), v.to_string())).collect();
+        labels.sort();
+        SeriesKey { name: name.to_string(), labels }
+    }
+
+    /// `name{k="v",…}` — the Prometheus sample identity.
+    fn render(&self) -> String {
+        if self.labels.is_empty() {
+            return self.name.clone();
+        }
+        let inner: Vec<String> =
+            self.labels.iter().map(|(k, v)| format!("{k}=\"{}\"", escape(v))).collect();
+        format!("{}{{{}}}", self.name, inner.join(","))
+    }
+
+    /// Same, with extra label pairs appended (histogram `le`).
+    fn render_with(&self, extra: &[(&str, String)]) -> String {
+        let mut inner: Vec<String> =
+            self.labels.iter().map(|(k, v)| format!("{k}=\"{}\"", escape(v))).collect();
+        inner.extend(extra.iter().map(|(k, v)| format!("{k}=\"{}\"", escape(v))));
+        format!("{}{{{}}}", self.name, inner.join(","))
+    }
+
+    fn labels_json(&self) -> String {
+        let inner: Vec<String> =
+            self.labels.iter().map(|(k, v)| format!("\"{}\":\"{}\"", escape(k), escape(v))).collect();
+        format!("{{{}}}", inner.join(","))
+    }
+}
+
+/// A fixed-bucket histogram that also keeps its raw samples, so bucket
+/// counts serve the Prometheus exposition while percentiles stay exact.
+#[derive(Debug, Clone, Default)]
+pub struct Histogram {
+    /// Strictly increasing finite bucket upper bounds; `+Inf` is implicit.
+    bounds: Vec<f64>,
+    /// Per-bucket (non-cumulative) counts; `counts[bounds.len()]` is the
+    /// overflow (`+Inf`) bucket.
+    counts: Vec<u64>,
+    sum: f64,
+    samples: Vec<f64>,
+}
+
+impl Histogram {
+    /// A histogram over the given finite upper bounds (must be sorted).
+    #[must_use]
+    pub fn new(bounds: &[f64]) -> Self {
+        assert!(
+            bounds.windows(2).all(|w| w[0] < w[1]),
+            "histogram bounds must be strictly increasing"
+        );
+        Histogram {
+            bounds: bounds.to_vec(),
+            counts: vec![0; bounds.len() + 1],
+            sum: 0.0,
+            samples: Vec::new(),
+        }
+    }
+
+    /// Record one observation.
+    pub fn observe(&mut self, value: f64) {
+        let idx =
+            self.bounds.iter().position(|&b| value <= b).unwrap_or(self.bounds.len());
+        self.counts[idx] += 1;
+        self.sum += value;
+        self.samples.push(value);
+    }
+
+    /// Observations recorded.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.samples.len() as u64
+    }
+
+    /// Sum of all observations.
+    #[must_use]
+    pub fn sum(&self) -> f64 {
+        self.sum
+    }
+
+    /// Largest observation (0 when empty; observations are durations, so
+    /// they are non-negative).
+    #[must_use]
+    pub fn max(&self) -> f64 {
+        self.samples.iter().copied().fold(0.0, f64::max)
+    }
+
+    /// Exact q-quantile by the nearest-rank rule over the raw samples
+    /// (0 when empty). `quantile(0.5)` is the median element itself, not an
+    /// interpolation.
+    #[must_use]
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        let mut sorted = self.samples.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("samples are finite"));
+        let n = sorted.len();
+        let rank = ((q * n as f64).ceil() as usize).clamp(1, n);
+        sorted[rank - 1]
+    }
+
+    /// Finite bucket bounds.
+    #[must_use]
+    pub fn bounds(&self) -> &[f64] {
+        &self.bounds
+    }
+
+    /// Cumulative counts per bound, Prometheus style: one entry per finite
+    /// bound plus the final `+Inf` total.
+    #[must_use]
+    pub fn cumulative_counts(&self) -> Vec<u64> {
+        let mut acc = 0;
+        self.counts
+            .iter()
+            .map(|c| {
+                acc += c;
+                acc
+            })
+            .collect()
+    }
+}
+
+/// A deterministic registry of counters, gauges and histograms.
+///
+/// Series are created on first touch; touching a series with an increment of
+/// zero still creates it, so two runs that take the same code paths render
+/// the same *set* of lines even where the values are zero.
+#[derive(Debug, Clone, Default)]
+pub struct MetricsRegistry {
+    counters: BTreeMap<SeriesKey, u64>,
+    gauges: BTreeMap<SeriesKey, f64>,
+    histograms: BTreeMap<SeriesKey, Histogram>,
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add `by` to a counter (creating it at zero first).
+    pub fn inc(&mut self, name: &str, labels: &[(&str, &str)], by: u64) {
+        *self.counters.entry(SeriesKey::new(name, labels)).or_insert(0) += by;
+    }
+
+    /// Set a gauge to `value`.
+    pub fn set_gauge(&mut self, name: &str, labels: &[(&str, &str)], value: f64) {
+        self.gauges.insert(SeriesKey::new(name, labels), value);
+    }
+
+    /// Record one observation into a histogram; the series is created with
+    /// `bounds` on first touch (later calls reuse the existing buckets).
+    pub fn observe(&mut self, name: &str, labels: &[(&str, &str)], value: f64, bounds: &[f64]) {
+        self.histograms
+            .entry(SeriesKey::new(name, labels))
+            .or_insert_with(|| Histogram::new(bounds))
+            .observe(value);
+    }
+
+    /// Current counter value (0 if the series does not exist).
+    #[must_use]
+    pub fn counter(&self, name: &str, labels: &[(&str, &str)]) -> u64 {
+        self.counters.get(&SeriesKey::new(name, labels)).copied().unwrap_or(0)
+    }
+
+    /// Current gauge value.
+    #[must_use]
+    pub fn gauge(&self, name: &str, labels: &[(&str, &str)]) -> Option<f64> {
+        self.gauges.get(&SeriesKey::new(name, labels)).copied()
+    }
+
+    /// Histogram series, if it exists.
+    #[must_use]
+    pub fn histogram(&self, name: &str, labels: &[(&str, &str)]) -> Option<&Histogram> {
+        self.histograms.get(&SeriesKey::new(name, labels))
+    }
+
+    /// Whether nothing has been recorded.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty() && self.gauges.is_empty() && self.histograms.is_empty()
+    }
+
+    /// Render the registry in the Prometheus text exposition format.
+    /// Counters first, then gauges, then histograms; within each kind,
+    /// series sort by `(name, labels)`. The output is a pure function of
+    /// the recorded values.
+    #[must_use]
+    pub fn render_prometheus(&self) -> String {
+        let mut out = String::new();
+        let mut last_type_line = String::new();
+        let mut type_line = |out: &mut String, name: &str, kind: &str| {
+            let line = format!("# TYPE {name} {kind}\n");
+            if line != last_type_line {
+                out.push_str(&line);
+                last_type_line = line;
+            }
+        };
+        for (key, value) in &self.counters {
+            type_line(&mut out, &key.name, "counter");
+            let _ = writeln!(out, "{} {}", key.render(), value);
+        }
+        for (key, value) in &self.gauges {
+            type_line(&mut out, &key.name, "gauge");
+            let _ = writeln!(out, "{} {}", key.render(), fmt_f64(*value));
+        }
+        for (key, hist) in &self.histograms {
+            type_line(&mut out, &key.name, "histogram");
+            let bucket_key = SeriesKey { name: format!("{}_bucket", key.name), ..key.clone() };
+            let cumulative = hist.cumulative_counts();
+            for (bound, count) in hist.bounds().iter().zip(&cumulative) {
+                let _ = writeln!(
+                    out,
+                    "{} {}",
+                    bucket_key.render_with(&[("le", fmt_f64(*bound))]),
+                    count
+                );
+            }
+            let _ = writeln!(
+                out,
+                "{} {}",
+                bucket_key.render_with(&[("le", "+Inf".to_string())]),
+                cumulative.last().copied().unwrap_or(0)
+            );
+            let sum_key = SeriesKey { name: format!("{}_sum", key.name), ..key.clone() };
+            let _ = writeln!(out, "{} {}", sum_key.render(), fmt_f64(hist.sum()));
+            let count_key = SeriesKey { name: format!("{}_count", key.name), ..key.clone() };
+            let _ = writeln!(out, "{} {}", count_key.render(), hist.count());
+        }
+        out
+    }
+
+    /// Render a JSON snapshot: every series with its labels, plus exact
+    /// p50/p95/p99 and min/max for histograms. Deterministic ordering.
+    #[must_use]
+    pub fn render_json(&self) -> String {
+        let mut out = String::from("{\n  \"counters\": [");
+        let mut first = true;
+        for (key, value) in &self.counters {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            let _ = write!(
+                out,
+                "\n    {{\"name\": \"{}\", \"labels\": {}, \"value\": {}}}",
+                escape(&key.name),
+                key.labels_json(),
+                value
+            );
+        }
+        out.push_str("\n  ],\n  \"gauges\": [");
+        first = true;
+        for (key, value) in &self.gauges {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            let _ = write!(
+                out,
+                "\n    {{\"name\": \"{}\", \"labels\": {}, \"value\": {}}}",
+                escape(&key.name),
+                key.labels_json(),
+                fmt_f64(*value)
+            );
+        }
+        out.push_str("\n  ],\n  \"histograms\": [");
+        first = true;
+        for (key, hist) in &self.histograms {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            let mut buckets = String::new();
+            let cumulative = hist.cumulative_counts();
+            for (bound, count) in hist.bounds().iter().zip(&cumulative) {
+                let _ = write!(buckets, "{{\"le\": {}, \"count\": {}}}, ", fmt_f64(*bound), count);
+            }
+            let _ = write!(
+                buckets,
+                "{{\"le\": \"+Inf\", \"count\": {}}}",
+                cumulative.last().copied().unwrap_or(0)
+            );
+            let _ = write!(
+                out,
+                "\n    {{\"name\": \"{}\", \"labels\": {}, \"count\": {}, \"sum\": {}, \
+                 \"max\": {}, \"p50\": {}, \"p95\": {}, \"p99\": {}, \"buckets\": [{}]}}",
+                escape(&key.name),
+                key.labels_json(),
+                hist.count(),
+                fmt_f64(hist.sum()),
+                fmt_f64(hist.max()),
+                fmt_f64(hist.quantile(0.50)),
+                fmt_f64(hist.quantile(0.95)),
+                fmt_f64(hist.quantile(0.99)),
+                buckets
+            );
+        }
+        out.push_str("\n  ]\n}\n");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_and_default_to_zero() {
+        let mut reg = MetricsRegistry::new();
+        reg.inc("requests_total", &[], 2);
+        reg.inc("requests_total", &[], 3);
+        reg.inc("errors_total", &[("kind", "timeout")], 0);
+        assert_eq!(reg.counter("requests_total", &[]), 5);
+        assert_eq!(reg.counter("errors_total", &[("kind", "timeout")]), 0);
+        assert_eq!(reg.counter("absent", &[]), 0);
+        let text = reg.render_prometheus();
+        assert!(text.contains("# TYPE requests_total counter"));
+        assert!(text.contains("requests_total 5"));
+        assert!(text.contains("errors_total{kind=\"timeout\"} 0"), "zero series still render");
+    }
+
+    #[test]
+    fn label_order_does_not_matter() {
+        let mut a = MetricsRegistry::new();
+        a.inc("m", &[("x", "1"), ("y", "2")], 1);
+        let mut b = MetricsRegistry::new();
+        b.inc("m", &[("y", "2"), ("x", "1")], 1);
+        assert_eq!(a.render_prometheus(), b.render_prometheus());
+        assert_eq!(a.counter("m", &[("y", "2"), ("x", "1")]), 1);
+    }
+
+    #[test]
+    fn gauges_render_shortest_roundtrip_floats() {
+        let mut reg = MetricsRegistry::new();
+        reg.set_gauge("utilization", &[("device", "0")], 0.25);
+        reg.set_gauge("utilization", &[("device", "0")], 0.5); // overwrite
+        let text = reg.render_prometheus();
+        assert!(text.contains("utilization{device=\"0\"} 0.5"));
+        assert_eq!(reg.gauge("utilization", &[("device", "0")]), Some(0.5));
+    }
+
+    #[test]
+    fn histogram_buckets_are_cumulative_and_percentiles_exact() {
+        let mut h = Histogram::new(&[1.0, 5.0, 10.0]);
+        for v in [0.5, 0.7, 3.0, 7.0, 20.0] {
+            h.observe(v);
+        }
+        assert_eq!(h.cumulative_counts(), vec![2, 3, 4, 5]);
+        assert_eq!(h.count(), 5);
+        assert!((h.sum() - 31.2).abs() < 1e-12);
+        assert_eq!(h.quantile(0.5), 3.0, "median is the exact middle sample");
+        assert_eq!(h.quantile(0.95), 20.0);
+        assert_eq!(h.quantile(0.0), 0.5);
+        assert_eq!(h.max(), 20.0);
+        assert_eq!(Histogram::new(&[1.0]).quantile(0.5), 0.0, "empty histogram");
+    }
+
+    #[test]
+    fn boundary_observation_lands_in_its_le_bucket() {
+        let mut h = Histogram::new(&[1.0, 2.0]);
+        h.observe(1.0); // le="1" is inclusive, Prometheus semantics
+        assert_eq!(h.cumulative_counts(), vec![1, 1, 1]);
+    }
+
+    #[test]
+    fn prometheus_histogram_exposition_shape() {
+        let mut reg = MetricsRegistry::new();
+        reg.observe("lat_ms", &[("op", "solve")], 0.3, &[0.25, 0.5]);
+        reg.observe("lat_ms", &[("op", "solve")], 0.1, &[0.25, 0.5]);
+        let text = reg.render_prometheus();
+        assert!(text.contains("# TYPE lat_ms histogram"));
+        assert!(text.contains("lat_ms_bucket{op=\"solve\",le=\"0.25\"} 1"));
+        assert!(text.contains("lat_ms_bucket{op=\"solve\",le=\"0.5\"} 2"));
+        assert!(text.contains("lat_ms_bucket{op=\"solve\",le=\"+Inf\"} 2"));
+        assert!(text.contains("lat_ms_sum{op=\"solve\"} 0.4"));
+        assert!(text.contains("lat_ms_count{op=\"solve\"} 2"));
+    }
+
+    #[test]
+    fn rendering_is_deterministic_across_insertion_orders() {
+        let mut a = MetricsRegistry::new();
+        a.inc("z_total", &[], 1);
+        a.inc("a_total", &[("dev", "1")], 2);
+        a.set_gauge("g", &[], 1.5);
+        a.observe("h", &[], 2.0, &[1.0, 3.0]);
+
+        let mut b = MetricsRegistry::new();
+        b.observe("h", &[], 2.0, &[1.0, 3.0]);
+        b.set_gauge("g", &[], 1.5);
+        b.inc("a_total", &[("dev", "1")], 2);
+        b.inc("z_total", &[], 1);
+
+        assert_eq!(a.render_prometheus(), b.render_prometheus());
+        assert_eq!(a.render_json(), b.render_json());
+    }
+
+    #[test]
+    fn json_snapshot_contains_percentiles() {
+        let mut reg = MetricsRegistry::new();
+        for v in 1..=100 {
+            reg.observe("lat", &[], f64::from(v), latency_ms_buckets());
+        }
+        let json = reg.render_json();
+        assert!(json.contains("\"p50\": 50.0"), "{json}");
+        assert!(json.contains("\"p95\": 95.0"));
+        assert!(json.contains("\"p99\": 99.0"));
+        assert!(json.contains("\"max\": 100.0"));
+    }
+
+    #[test]
+    fn escaping_handles_quotes_and_newlines() {
+        let mut reg = MetricsRegistry::new();
+        reg.inc("m", &[("msg", "a\"b\\c\nd")], 1);
+        let text = reg.render_prometheus();
+        assert!(text.contains("m{msg=\"a\\\"b\\\\c\\nd\"} 1"));
+    }
+
+    #[test]
+    fn preset_buckets_are_strictly_increasing() {
+        for bounds in [latency_ms_buckets(), modeled_seconds_buckets()] {
+            assert!(bounds.windows(2).all(|w| w[0] < w[1]));
+        }
+    }
+}

@@ -1,0 +1,261 @@
+//! Structured trace sink: Chrome `trace_event` JSON (loadable in
+//! `chrome://tracing` and [Perfetto](https://ui.perfetto.dev)) and JSONL.
+//!
+//! Events are positioned on a `(pid, tid)` track at microsecond timestamps.
+//! Consumers of `gpu-sim` timelines derive those timestamps from the
+//! *modeled* device clock (cumulative modeled seconds × 10⁶), never from
+//! the wall clock — so a trace of a deterministic run is itself
+//! reproducible, and track time reads as device time, matching how the
+//! paper's Nvidia-profiler timelines are labelled.
+//!
+//! Event phases used here: `X` (complete, with a duration), `B`/`E`
+//! (nested span begin/end — the pipelines' per-generation spans), and `M`
+//! (metadata: process/track names).
+
+use crate::escape;
+use std::fmt::Write as _;
+
+/// One Chrome `trace_event` record.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceEvent {
+    /// Event name (kernel name, span label, …).
+    pub name: String,
+    /// Category (`kernel`, `transfer`, `span`, `request`, …).
+    pub cat: String,
+    /// Phase: `X` complete, `B` begin, `E` end, `M` metadata.
+    pub ph: char,
+    /// Timestamp, microseconds on the track's clock.
+    pub ts_us: f64,
+    /// Duration in microseconds (`X` events only).
+    pub dur_us: Option<f64>,
+    /// Process id (trace-viewer grouping, not an OS pid).
+    pub pid: u32,
+    /// Thread id — one per simulated device.
+    pub tid: u32,
+    /// Extra key/value payload rendered into `args`.
+    pub args: Vec<(String, String)>,
+}
+
+impl TraceEvent {
+    /// A complete (`ph = X`) event covering `[ts_us, ts_us + dur_us]`.
+    #[must_use]
+    pub fn complete(name: &str, cat: &str, pid: u32, tid: u32, ts_us: f64, dur_us: f64) -> Self {
+        TraceEvent {
+            name: name.to_string(),
+            cat: cat.to_string(),
+            ph: 'X',
+            ts_us,
+            dur_us: Some(dur_us),
+            pid,
+            tid,
+            args: Vec::new(),
+        }
+    }
+
+    /// A span-begin (`ph = B`) marker.
+    #[must_use]
+    pub fn begin(name: &str, cat: &str, pid: u32, tid: u32, ts_us: f64) -> Self {
+        TraceEvent { ph: 'B', dur_us: None, ..Self::complete(name, cat, pid, tid, ts_us, 0.0) }
+    }
+
+    /// A span-end (`ph = E`) marker.
+    #[must_use]
+    pub fn end(name: &str, cat: &str, pid: u32, tid: u32, ts_us: f64) -> Self {
+        TraceEvent { ph: 'E', dur_us: None, ..Self::complete(name, cat, pid, tid, ts_us, 0.0) }
+    }
+
+    /// The same event with one more `args` entry.
+    #[must_use]
+    pub fn with_arg(mut self, key: &str, value: impl ToString) -> Self {
+        self.args.push((key.to_string(), value.to_string()));
+        self
+    }
+
+    /// Render as a single JSON object (one line, no trailing newline).
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        let _ = write!(
+            out,
+            "{{\"name\":\"{}\",\"cat\":\"{}\",\"ph\":\"{}\",\"ts\":{:?},\"pid\":{},\"tid\":{}",
+            escape(&self.name),
+            escape(&self.cat),
+            self.ph,
+            self.ts_us,
+            self.pid,
+            self.tid
+        );
+        if let Some(dur) = self.dur_us {
+            let _ = write!(out, ",\"dur\":{dur:?}");
+        }
+        if !self.args.is_empty() {
+            let inner: Vec<String> = self
+                .args
+                .iter()
+                .map(|(k, v)| format!("\"{}\":\"{}\"", escape(k), escape(v)))
+                .collect();
+            let _ = write!(out, ",\"args\":{{{}}}", inner.join(","));
+        }
+        out.push('}');
+        out
+    }
+}
+
+/// An accumulating list of trace events with Chrome-JSON and JSONL
+/// renderers.
+#[derive(Debug, Clone, Default)]
+pub struct TraceSink {
+    events: Vec<TraceEvent>,
+}
+
+impl TraceSink {
+    /// An empty sink.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Append one event.
+    pub fn push(&mut self, event: TraceEvent) {
+        self.events.push(event);
+    }
+
+    /// Append many events.
+    pub fn extend(&mut self, events: impl IntoIterator<Item = TraceEvent>) {
+        self.events.extend(events);
+    }
+
+    /// Name the process group `pid` (metadata event).
+    pub fn name_process(&mut self, pid: u32, name: &str) {
+        self.events.push(
+            TraceEvent {
+                ph: 'M',
+                dur_us: None,
+                ..TraceEvent::complete("process_name", "__metadata", pid, 0, 0.0, 0.0)
+            }
+            .with_arg("name", name),
+        );
+    }
+
+    /// Name the `(pid, tid)` track (metadata event) — e.g. `device 0`.
+    pub fn name_track(&mut self, pid: u32, tid: u32, name: &str) {
+        self.events.push(
+            TraceEvent {
+                ph: 'M',
+                dur_us: None,
+                ..TraceEvent::complete("thread_name", "__metadata", pid, tid, 0.0, 0.0)
+            }
+            .with_arg("name", name),
+        );
+    }
+
+    /// Events recorded so far, in order.
+    #[must_use]
+    pub fn events(&self) -> &[TraceEvent] {
+        &self.events
+    }
+
+    /// Number of events recorded.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether no event was recorded.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Render the Chrome `trace_event` JSON object
+    /// (`{"displayTimeUnit": "ms", "traceEvents": […]}`).
+    #[must_use]
+    pub fn render_chrome_json(&self) -> String {
+        let mut out = String::from("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n");
+        for (i, e) in self.events.iter().enumerate() {
+            out.push_str(&e.to_json());
+            if i + 1 < self.events.len() {
+                out.push(',');
+            }
+            out.push('\n');
+        }
+        out.push_str("]}\n");
+        out
+    }
+
+    /// Render one JSON object per line (streaming-friendly).
+    #[must_use]
+    pub fn render_jsonl(&self) -> String {
+        let mut out = String::new();
+        for e in &self.events {
+            out.push_str(&e.to_json());
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn complete_event_renders_ts_and_dur() {
+        let e = TraceEvent::complete("fitness", "kernel", 0, 3, 12.5, 100.0)
+            .with_arg("blocks", 4)
+            .with_arg("threads", 192);
+        let json = e.to_json();
+        assert_eq!(
+            json,
+            "{\"name\":\"fitness\",\"cat\":\"kernel\",\"ph\":\"X\",\"ts\":12.5,\"pid\":0,\
+             \"tid\":3,\"dur\":100.0,\"args\":{\"blocks\":\"4\",\"threads\":\"192\"}}"
+        );
+    }
+
+    #[test]
+    fn begin_end_events_have_no_duration() {
+        let b = TraceEvent::begin("sa-generation", "span", 0, 1, 5.0);
+        assert_eq!(b.ph, 'B');
+        assert!(!b.to_json().contains("dur"));
+        let e = TraceEvent::end("sa-generation", "span", 0, 1, 9.0);
+        assert_eq!(e.ph, 'E');
+    }
+
+    #[test]
+    fn chrome_json_wraps_events_with_metadata_tracks() {
+        let mut sink = TraceSink::new();
+        sink.name_process(0, "cdd-service");
+        sink.name_track(0, 1, "device 1");
+        sink.push(TraceEvent::complete("h2d", "transfer", 0, 1, 0.0, 2.0));
+        let json = sink.render_chrome_json();
+        assert!(json.starts_with("{\"displayTimeUnit\":\"ms\",\"traceEvents\":["));
+        assert!(json.contains("\"ph\":\"M\""));
+        assert!(json.contains("\"name\":\"thread_name\""));
+        assert!(json.contains("\"args\":{\"name\":\"device 1\"}"));
+        assert!(json.trim_end().ends_with("]}"));
+        assert_eq!(sink.len(), 3);
+        // Exactly one comma separator per event gap: valid JSON.
+        assert_eq!(json.matches(",\n").count(), sink.len() - 1);
+    }
+
+    #[test]
+    fn jsonl_is_one_event_per_line() {
+        let mut sink = TraceSink::new();
+        sink.push(TraceEvent::complete("a", "kernel", 0, 0, 0.0, 1.0));
+        sink.push(TraceEvent::complete("b", "kernel", 0, 0, 1.0, 1.0));
+        let jsonl = sink.render_jsonl();
+        assert_eq!(jsonl.lines().count(), 2);
+        assert!(jsonl.lines().all(|l| l.starts_with('{') && l.ends_with('}')));
+    }
+
+    #[test]
+    fn rendering_is_deterministic() {
+        let build = || {
+            let mut sink = TraceSink::new();
+            sink.name_track(0, 0, "device 0");
+            sink.push(TraceEvent::complete("k", "kernel", 0, 0, 0.25, 0.125));
+            sink.render_chrome_json()
+        };
+        assert_eq!(build(), build());
+    }
+}

@@ -9,7 +9,9 @@
 //!     [--blocks 1] [--block-size 64] [--seed 2016] [--window W] [--deadline-ms D] \
 //!     [--fault-seed S --launch-failure-rate P --bit-flip-rate P --hang-rate P] \
 //!     [--faulty-device IDX] \
-//!     [--summary results/serve_summary.json] [--detail results/serve_requests.csv]
+//!     [--summary results/serve_summary.json] [--detail results/serve_requests.csv] \
+//!     [--metrics-out metrics.prom] [--metrics-json metrics.json] \
+//!     [--trace-out trace.json] [--trace-jsonl trace.jsonl]
 //! ```
 //!
 //! Without `--workload`, a mixed CDD/UCDDCP stream is generated in-process
@@ -19,9 +21,19 @@
 //! direct cache hits against completed entries.
 //!
 //! Outputs: a human summary on stdout, a JSON summary (machine-checkable —
-//! the CI smoke job parses it), and a per-request CSV whose first nine
+//! the CI smoke job parses it), a per-request CSV whose first nine
 //! columns (`idx..cpu_fallback`) are deterministic under a fixed workload
-//! and fault configuration — routing and latency live in the last two.
+//! and fault configuration — routing and latency live in the last two —
+//! and, on request, a Prometheus-text / JSON metrics snapshot
+//! (`--metrics-out` / `--metrics-json`; `service_`-prefixed lines are
+//! byte-identical across runs of the same workload) and a Chrome
+//! `trace_event` timeline with one track per device (`--trace-out` loads
+//! in `chrome://tracing` or Perfetto; `--trace-jsonl` is the streaming
+//! flavour).
+//!
+//! Latency percentiles come from the service's own metrics registry
+//! (`timing_request_wall_ms`, exact nearest-rank quantiles over every
+//! answered request) — the CLI no longer keeps its own latency math.
 
 use cdd_bench::workload::{generate_mixed, load};
 use cdd_bench::{fault_plan_from_args, results_dir, write_csv, Args, Table};
@@ -30,12 +42,21 @@ use cdd_service::{RequestOutcome, ServiceConfig, ServiceReport, SolverService};
 use std::collections::VecDeque;
 use std::path::{Path, PathBuf};
 
-fn percentile(sorted_ms: &[f64], q: f64) -> f64 {
-    if sorted_ms.is_empty() {
-        return 0.0;
+/// Latency summary `(p50, p95, max)` in ms, from the registry histogram.
+fn latency_summary(report: &ServiceReport) -> (f64, f64, f64) {
+    match report.metrics.histogram("timing_request_wall_ms", &[]) {
+        Some(h) => (h.quantile(0.50), h.quantile(0.95), h.max()),
+        None => (0.0, 0.0, 0.0),
     }
-    let idx = ((sorted_ms.len() - 1) as f64 * q).round() as usize;
-    sorted_ms[idx]
+}
+
+fn write_text(path: &Path, contents: &str, what: &str) {
+    if let Some(dir) = path.parent() {
+        if !dir.as_os_str().is_empty() {
+            std::fs::create_dir_all(dir).unwrap_or_else(|e| panic!("{what} dir creatable: {e}"));
+        }
+    }
+    std::fs::write(path, contents).unwrap_or_else(|e| panic!("{what} writable: {e}"));
 }
 
 fn status_of(outcome: &RequestOutcome) -> &'static str {
@@ -47,7 +68,8 @@ fn status_of(outcome: &RequestOutcome) -> &'static str {
     }
 }
 
-fn summary_json(report: &ServiceReport, requests: usize, latencies_sorted: &[f64]) -> String {
+fn summary_json(report: &ServiceReport, requests: usize) -> String {
+    let (p50, p95, max) = latency_summary(report);
     let mut devices = String::new();
     for (i, d) in report.devices.iter().enumerate() {
         if i > 0 {
@@ -91,9 +113,9 @@ fn summary_json(report: &ServiceReport, requests: usize, latencies_sorted: &[f64
         report.rejected,
         report.wall_seconds,
         report.completed as f64 / report.wall_seconds.max(1e-9),
-        percentile(latencies_sorted, 0.50),
-        percentile(latencies_sorted, 0.95),
-        latencies_sorted.last().copied().unwrap_or(0.0),
+        p50,
+        p95,
+        max,
         report.queue.peak_depth,
         report.queue.rejected,
         c.hits,
@@ -131,6 +153,10 @@ fn main() {
         (p, _) => (p, Vec::new()),
     };
 
+    // Trace capture costs memory proportional to kernel launches, so it is
+    // only enabled when a trace output was actually requested.
+    let capture_trace = args.get("trace-out").is_some() || args.get("trace-jsonl").is_some();
+
     let config = ServiceConfig {
         devices,
         queue_capacity: args.get_or("queue-capacity", entries.len().max(64)),
@@ -139,6 +165,7 @@ fn main() {
         block_size: args.get_or("block-size", 64usize),
         fault: fleet_fault,
         device_faults,
+        capture_trace,
         ..Default::default()
     };
     let deadline_ms: Option<u64> = args.get("deadline-ms").map(|s| s.parse().expect("--deadline-ms: milliseconds"));
@@ -184,12 +211,8 @@ fn main() {
         "idx", "instance", "algorithm", "iterations", "seed", "status", "objective", "cache_hit",
         "cpu_fallback", "device", "wall_ms",
     ]);
-    let mut latencies: Vec<f64> = Vec::new();
     for (i, (entry, outcome)) in entries.iter().zip(&results).enumerate() {
         let outcome = outcome.as_ref().expect("every request answered");
-        if outcome.ticket != u64::MAX {
-            latencies.push(outcome.wall_ms);
-        }
         let (objective, cache_hit, cpu_fallback) = match &outcome.result {
             Ok(o) => (o.objective.to_string(), o.cache_hit.to_string(), o.cpu_fallback.to_string()),
             Err(_) => ("-".to_string(), "-".to_string(), "-".to_string()),
@@ -212,14 +235,27 @@ fn main() {
         args.get("detail").map(PathBuf::from).unwrap_or_else(|| results_dir().join("serve_requests.csv"));
     write_csv(&detail, &detail_path).expect("detail CSV writable");
 
-    latencies.sort_by(|a, b| a.partial_cmp(b).expect("latencies are finite"));
-    let json = summary_json(&report, entries.len(), &latencies);
+    let json = summary_json(&report, entries.len());
     let summary_path =
         args.get("summary").map(PathBuf::from).unwrap_or_else(|| results_dir().join("serve_summary.json"));
-    if let Some(dir) = summary_path.parent() {
-        std::fs::create_dir_all(dir).expect("results dir creatable");
+    write_text(&summary_path, &json, "summary");
+
+    // Optional metrics / trace exports. The `service_`-prefixed lines of
+    // the Prometheus snapshot are timing-independent counters and compare
+    // byte-identical across runs of the same workload + fault config.
+    if let Some(path) = args.get("metrics-out") {
+        write_text(Path::new(path), &report.metrics.render_prometheus(), "metrics snapshot");
     }
-    std::fs::write(&summary_path, &json).expect("summary writable");
+    if let Some(path) = args.get("metrics-json") {
+        write_text(Path::new(path), &report.metrics.render_json(), "metrics JSON");
+    }
+    if let Some(path) = args.get("trace-out") {
+        write_text(Path::new(path), &report.trace.render_chrome_json(), "trace JSON");
+        eprintln!("trace: {path} ({} events; load in chrome://tracing or ui.perfetto.dev)", report.trace.len());
+    }
+    if let Some(path) = args.get("trace-jsonl") {
+        write_text(Path::new(path), &report.trace.render_jsonl(), "trace JSONL");
+    }
 
     println!(
         "\ncompleted {}/{} requests ({} failed, {} expired, {} rejected) in {:.3}s -> {:.2} req/s",
@@ -231,10 +267,11 @@ fn main() {
         report.wall_seconds,
         report.completed as f64 / report.wall_seconds.max(1e-9),
     );
+    let (p50, p95, _) = latency_summary(&report);
     println!(
         "latency p50 {:.1} ms, p95 {:.1} ms | cache: {} hits + {} coalesced / {} lookups ({:.0}% served from cache)",
-        percentile(&latencies, 0.50),
-        percentile(&latencies, 0.95),
+        p50,
+        p95,
         report.cache.hits,
         report.cache.coalesced,
         report.cache.hits + report.cache.coalesced + report.cache.misses,

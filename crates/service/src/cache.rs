@@ -27,6 +27,9 @@ pub struct CacheStats {
     pub misses: u64,
     /// Entries stored.
     pub insertions: u64,
+    /// Inserts that found the key already present and refreshed the stored
+    /// outcome in place (the entry count does not grow).
+    pub replacements: u64,
     /// Entries evicted to respect the capacity bound.
     pub evictions: u64,
 }
@@ -90,18 +93,23 @@ impl SolutionCache {
     }
 
     /// Store a completed outcome, evicting the least-recently-used entry if
-    /// the cache is full.
-    pub fn insert(&mut self, key: u64, outcome: &SolveOutcome) {
+    /// the cache is full. Returns the evicted key, if any — the victim is
+    /// fully determined by the operation history (every entry's `last_used`
+    /// clock value is unique, so the LRU minimum is unambiguous even though
+    /// the underlying `HashMap` iterates in randomized order).
+    pub fn insert(&mut self, key: u64, outcome: &SolveOutcome) -> Option<u64> {
         if self.capacity == 0 {
-            return;
+            return None;
         }
         self.clock += 1;
+        let mut evicted = None;
         if !self.entries.contains_key(&key) && self.entries.len() >= self.capacity {
             if let Some(&lru) =
                 self.entries.iter().min_by_key(|(_, e)| e.last_used).map(|(k, _)| k)
             {
                 self.entries.remove(&lru);
                 self.stats.evictions += 1;
+                evicted = Some(lru);
             }
         }
         let previous = self.entries.insert(
@@ -110,7 +118,12 @@ impl SolutionCache {
         );
         if previous.is_none() {
             self.stats.insertions += 1;
+        } else {
+            // Refreshing an existing key is still a write the operator
+            // should see — it used to vanish from the stats entirely.
+            self.stats.replacements += 1;
         }
+        evicted
     }
 
     /// Entries currently stored.
@@ -173,6 +186,33 @@ mod tests {
         assert!(cache.lookup(2).is_none(), "LRU entry evicted");
         assert!(cache.lookup(1).is_some() && cache.lookup(3).is_some());
         assert_eq!(cache.stats().evictions, 1);
+    }
+
+    #[test]
+    fn reinsert_counts_as_replacement_not_insertion() {
+        // Regression: refreshing an existing key used to leave every
+        // counter untouched, making repeated writes invisible in the stats.
+        let mut cache = SolutionCache::new(2);
+        cache.insert(1, &outcome(1));
+        cache.insert(1, &outcome(10));
+        cache.insert(1, &outcome(20));
+        assert_eq!(cache.stats().insertions, 1, "one distinct key stored");
+        assert_eq!(cache.stats().replacements, 2, "both refreshes counted");
+        assert_eq!(cache.stats().evictions, 0, "a refresh never evicts");
+        assert_eq!(cache.len(), 1);
+        assert_eq!(cache.lookup(1).unwrap().objective, 20, "latest outcome wins");
+    }
+
+    #[test]
+    fn replacement_refreshes_recency() {
+        let mut cache = SolutionCache::new(2);
+        cache.insert(1, &outcome(1));
+        cache.insert(2, &outcome(2));
+        cache.insert(1, &outcome(10)); // refresh makes key 2 the LRU entry
+        cache.insert(3, &outcome(3));
+        assert!(cache.lookup(2).is_none(), "stale key evicted");
+        assert!(cache.lookup(1).is_some());
+        assert_eq!(cache.stats().replacements, 1);
     }
 
     #[test]

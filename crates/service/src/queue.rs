@@ -29,10 +29,11 @@ pub(crate) struct QueuedJob {
 impl QueuedJob {
     /// Whether the request's pre-dispatch deadline has passed. A deadline
     /// of 0 ms expires immediately (and deterministically); `None` never
-    /// expires.
+    /// expires. The comparison is done in `u128` — truncating the elapsed
+    /// milliseconds to `u64` could wrap and expire a huge deadline early.
     pub fn expired(&self) -> bool {
         match self.request.deadline_ms {
-            Some(ms) => self.submitted.elapsed().as_millis() as u64 >= ms,
+            Some(ms) => self.submitted.elapsed().as_millis() >= u128::from(ms),
             None => false,
         }
     }
@@ -45,7 +46,12 @@ pub struct QueueStats {
     pub enqueued: u64,
     /// Submissions refused because the queue was full.
     pub rejected: u64,
-    /// Deepest the queue ever got.
+    /// Jobs re-admitted at the front into an inherited slot
+    /// ([`SubmissionQueue::requeue_front`]).
+    pub requeued: u64,
+    /// Deepest the queue of *admitted* slots ever got. Inherited re-admits
+    /// reuse a slot that was already counted at admission, so this never
+    /// exceeds the configured capacity.
     pub peak_depth: usize,
 }
 
@@ -53,12 +59,29 @@ pub struct QueueStats {
 pub(crate) struct SubmissionQueue {
     capacity: usize,
     jobs: VecDeque<QueuedJob>,
+    /// Jobs currently in the queue that entered through
+    /// [`requeue_front`](Self::requeue_front). Inherited jobs only ever
+    /// enter at the front and `pop` takes from the front, so while this is
+    /// non-zero the front `inherited` jobs are exactly the inherited ones —
+    /// which lets `pop` decrement the count without per-job flags.
+    inherited: usize,
     stats: QueueStats,
 }
 
 impl SubmissionQueue {
     pub fn new(capacity: usize) -> Self {
-        SubmissionQueue { capacity: capacity.max(1), jobs: VecDeque::new(), stats: QueueStats::default() }
+        SubmissionQueue {
+            capacity: capacity.max(1),
+            jobs: VecDeque::new(),
+            inherited: 0,
+            stats: QueueStats::default(),
+        }
+    }
+
+    /// Queue depth counting only admitted slots: a job re-admitted into an
+    /// inherited slot was already counted when its slot was first admitted.
+    fn admitted_depth(&self) -> usize {
+        self.jobs.len() - self.inherited
     }
 
     /// Admit a job, or reject it immediately when the queue is full.
@@ -72,21 +95,30 @@ impl SubmissionQueue {
         }
         self.jobs.push_back(job);
         self.stats.enqueued += 1;
-        self.stats.peak_depth = self.stats.peak_depth.max(self.jobs.len());
+        self.stats.peak_depth = self.stats.peak_depth.max(self.admitted_depth());
         Ok(())
     }
 
     /// Re-admit a job at the *front*, bypassing the capacity check — used
     /// when a coalesced follower outlives an expired primary and inherits
-    /// its (already admitted) queue slot.
+    /// its (already admitted) queue slot. The slot was counted in
+    /// `peak_depth` when it was first admitted, so re-admission leaves the
+    /// admitted depth unchanged (it cannot push `peak_depth` past the
+    /// configured capacity).
     pub fn requeue_front(&mut self, job: QueuedJob) {
         self.jobs.push_front(job);
-        self.stats.peak_depth = self.stats.peak_depth.max(self.jobs.len());
+        self.inherited += 1;
+        self.stats.requeued += 1;
+        self.stats.peak_depth = self.stats.peak_depth.max(self.admitted_depth());
     }
 
     /// Next job in FIFO order.
     pub fn pop(&mut self) -> Option<QueuedJob> {
-        self.jobs.pop_front()
+        let job = self.jobs.pop_front();
+        if job.is_some() && self.inherited > 0 {
+            self.inherited -= 1;
+        }
+        job
     }
 
     pub fn stats(&self) -> &QueueStats {
@@ -139,5 +171,55 @@ mod tests {
         assert!(job(1, Some(0)).expired());
         assert!(!job(1, None).expired());
         assert!(!job(1, Some(60_000)).expired());
+    }
+
+    #[test]
+    fn huge_deadline_cannot_expire_prematurely() {
+        // Regression: the elapsed/deadline comparison used to truncate the
+        // u128 elapsed-ms to u64 before comparing; the comparison now stays
+        // in u128 so a deadline near u64::MAX can never wrap into an
+        // immediate expiry.
+        assert!(!job(1, Some(u64::MAX)).expired());
+        assert!(!job(1, Some(u64::MAX - 1)).expired());
+    }
+
+    #[test]
+    fn inherited_requeue_cannot_push_peak_depth_past_capacity() {
+        // Regression: requeue_front between a pop and a refill used to
+        // report peak_depth = capacity + 1 even though only `capacity` slots
+        // were ever admitted.
+        let mut q = SubmissionQueue::new(2);
+        q.try_push(job(1, None)).unwrap();
+        q.try_push(job(2, None)).unwrap();
+        let popped = q.pop().unwrap();
+        q.try_push(job(3, None)).expect("slot freed by pop");
+        q.requeue_front(popped); // inherits its already-admitted slot back
+        assert_eq!(q.stats().peak_depth, 2, "peak stays at the configured capacity");
+        assert_eq!(q.stats().requeued, 1, "the inherited re-admit is tracked separately");
+        // The physical queue really does hold 3 jobs; draining proves no
+        // job was lost to the accounting.
+        assert_eq!(q.pop().unwrap().ticket, 1);
+        assert_eq!(q.pop().unwrap().ticket, 2);
+        assert_eq!(q.pop().unwrap().ticket, 3);
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn inherited_count_tracks_interleaved_pops_and_requeues() {
+        let mut q = SubmissionQueue::new(3);
+        q.try_push(job(1, None)).unwrap();
+        q.try_push(job(2, None)).unwrap();
+        let a = q.pop().unwrap();
+        let b = q.pop().unwrap();
+        q.requeue_front(b);
+        q.requeue_front(a); // front is now [a, b] — both inherited
+        assert_eq!(q.stats().peak_depth, 2);
+        assert_eq!(q.pop().unwrap().ticket, 1, "inherited jobs run first, LIFO among themselves");
+        // One inherited job (b) still in the queue; a fresh admission counts
+        // against the freed slots as usual.
+        q.try_push(job(4, None)).unwrap();
+        q.try_push(job(5, None)).unwrap();
+        assert_eq!(q.stats().peak_depth, 2, "1 inherited + 2 fresh = 2 admitted slots");
+        assert_eq!(q.stats().requeued, 2);
     }
 }

@@ -35,7 +35,9 @@ use crate::cache::{CacheStats, SolutionCache};
 use crate::queue::{QueueStats, QueuedJob, SubmissionQueue};
 use cdd_core::{SolveOutcome, SolveRequest, SuiteError};
 use cdd_gpu::{run_gpu_solve, GpuSolveSpec, RecoveryPolicy};
-use cuda_sim::{DeviceHandle, DeviceSpec, DeviceUsage, FaultPlan};
+use cdd_metrics::trace::{TraceEvent, TraceSink};
+use cdd_metrics::{latency_ms_buckets, MetricsRegistry};
+use cuda_sim::{timeline_trace_events, DeviceHandle, DeviceSpec, DeviceUsage, FaultPlan, FaultStats};
 use std::collections::HashMap;
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::{self, JoinHandle};
@@ -64,6 +66,10 @@ pub struct ServiceConfig {
     pub device_faults: Vec<(usize, FaultPlan)>,
     /// Retry/re-attempt/fallback policy applied to every solve.
     pub recovery: RecoveryPolicy,
+    /// Record every run's profiler timeline as Chrome trace events (one
+    /// track per device, timestamps on the modeled clock). Off by default —
+    /// traces grow with the workload.
+    pub capture_trace: bool,
 }
 
 impl Default for ServiceConfig {
@@ -78,6 +84,7 @@ impl Default for ServiceConfig {
             fault: None,
             device_faults: Vec::new(),
             recovery: RecoveryPolicy::default(),
+            capture_trace: false,
         }
     }
 }
@@ -129,6 +136,18 @@ pub struct ServiceReport {
     pub cache: CacheStats,
     /// Per-device usage and utilization.
     pub devices: Vec<DeviceReport>,
+    /// Metrics snapshot of the whole service lifetime. Series under the
+    /// `service_` prefix are timing-independent for a deterministic
+    /// workload (no deadline expiries, no capacity evictions): they count
+    /// *what* was computed, which the determinism contract fixes, not
+    /// *where or when*, which it does not. The `timing_` and `device_`
+    /// prefixes carry the wall-clock-dependent remainder (latency
+    /// histograms, the hit/coalesce split, per-device placement).
+    pub metrics: MetricsRegistry,
+    /// Chrome trace of every run's profiler timeline, one track per device
+    /// on the modeled clock. Empty unless [`ServiceConfig::capture_trace`]
+    /// was set.
+    pub trace: TraceSink,
 }
 
 /// A request coalesced onto an identical queued or in-flight primary.
@@ -145,12 +164,23 @@ struct State {
     waiters: HashMap<u64, Vec<Follower>>,
     results: HashMap<u64, RequestOutcome>,
     cache: SolutionCache,
+    /// Live registry: per-request latency observations land here as they
+    /// happen; the lifetime counters are folded in once at shutdown.
+    metrics: MetricsRegistry,
     submitted: u64,
     completed: u64,
     failed: u64,
     expired: u64,
     next_ticket: u64,
     shutdown: bool,
+}
+
+impl State {
+    /// Record one request's submission→fulfilment latency. Wall-clock
+    /// durations vary run to run, hence the `timing_` prefix.
+    fn observe_latency(&mut self, wall_ms: f64) {
+        self.metrics.observe("timing_request_wall_ms", &[], wall_ms, latency_ms_buckets());
+    }
 }
 
 struct Shared {
@@ -162,6 +192,7 @@ struct Shared {
     blocks: usize,
     block_size: usize,
     recovery: RecoveryPolicy,
+    capture_trace: bool,
 }
 
 fn elapsed_ms(since: Instant) -> f64 {
@@ -174,7 +205,7 @@ fn elapsed_ms(since: Instant) -> f64 {
 /// drain the queue and obtain the [`ServiceReport`].
 pub struct SolverService {
     shared: Arc<Shared>,
-    workers: Vec<JoinHandle<DeviceHandle>>,
+    workers: Vec<JoinHandle<(DeviceHandle, Vec<TraceEvent>)>>,
     started: Instant,
 }
 
@@ -188,6 +219,7 @@ impl SolverService {
                 waiters: HashMap::new(),
                 results: HashMap::new(),
                 cache: SolutionCache::new(config.cache_capacity),
+                metrics: MetricsRegistry::new(),
                 submitted: 0,
                 completed: 0,
                 failed: 0,
@@ -200,6 +232,7 @@ impl SolverService {
             blocks: config.blocks,
             block_size: config.block_size,
             recovery: config.recovery.clone(),
+            capture_trace: config.capture_trace,
         });
         let workers = (0..devices)
             .map(|id| {
@@ -239,6 +272,7 @@ impl SolverService {
             st.next_ticket += 1;
             st.submitted += 1;
             st.completed += 1;
+            st.observe_latency(0.0);
             st.results.insert(
                 ticket,
                 RequestOutcome { ticket, device: None, wall_ms: 0.0, result: Ok(outcome) },
@@ -294,29 +328,103 @@ impl SolverService {
             st.shutdown = true;
             self.shared.work.notify_all();
         }
-        let handles: Vec<DeviceHandle> =
+        let joined: Vec<(DeviceHandle, Vec<TraceEvent>)> =
             self.workers.drain(..).map(|w| w.join().expect("worker thread exits")).collect();
         let wall_seconds = self.started.elapsed().as_secs_f64();
-        let st = self.shared.state.lock().expect("service state lock");
+        let mut st = self.shared.state.lock().expect("service state lock");
+
+        let mut metrics = std::mem::take(&mut st.metrics);
+        let queue = st.queue.stats().clone();
+        let cache = st.cache.stats().clone();
+        fold_final_metrics(&mut metrics, &st, &queue, &cache, &joined, wall_seconds);
+
+        let mut trace = TraceSink::new();
+        if self.shared.capture_trace {
+            trace.name_process(0, "cdd-service");
+            // One named track per device, present even when a device never
+            // ran a request — the Perfetto view shows the whole fleet.
+            for (h, _) in &joined {
+                trace.name_track(0, h.id as u32, &format!("device {}", h.id));
+            }
+            for (_, events) in &joined {
+                trace.extend(events.iter().cloned());
+            }
+        }
+
         ServiceReport {
             wall_seconds,
             submitted: st.submitted,
             completed: st.completed,
             failed: st.failed,
             expired: st.expired,
-            rejected: st.queue.stats().rejected,
-            queue: st.queue.stats().clone(),
-            cache: st.cache.stats().clone(),
-            devices: handles
+            rejected: queue.rejected,
+            queue,
+            cache,
+            devices: joined
                 .into_iter()
-                .map(|h| DeviceReport {
+                .map(|(h, _)| DeviceReport {
                     id: h.id,
                     utilization: h.usage.utilization(wall_seconds),
                     usage: h.usage,
                 })
                 .collect(),
+            metrics,
+            trace,
         }
     }
+}
+
+/// Fold the service's lifetime counters into the registry at shutdown.
+///
+/// Naming contract: the `service_` prefix carries only series that are
+/// reproducible across runs of a deterministic workload (pure u64 counts of
+/// admitted/answered work and injected faults — per-request fault plans are
+/// routing-independent, so the fleet-wide totals don't depend on placement).
+/// Anything shaped by the wall clock — latency, the hit-vs-coalesced split,
+/// per-device placement and utilization — lives under `timing_` or
+/// `device_` instead, so a consumer can byte-compare the deterministic
+/// subset with `grep '^service_'`.
+fn fold_final_metrics(
+    metrics: &mut MetricsRegistry,
+    st: &State,
+    queue: &QueueStats,
+    cache: &CacheStats,
+    joined: &[(DeviceHandle, Vec<TraceEvent>)],
+    wall_seconds: f64,
+) {
+    metrics.inc("service_requests_submitted_total", &[], st.submitted);
+    metrics.inc("service_requests_completed_total", &[], st.completed);
+    metrics.inc("service_requests_failed_total", &[], st.failed);
+    metrics.inc("service_requests_expired_total", &[], st.expired);
+
+    metrics.inc("service_queue_enqueued_total", &[], queue.enqueued);
+    metrics.inc("service_queue_rejected_total", &[], queue.rejected);
+    metrics.inc("service_queue_requeued_total", &[], queue.requeued);
+    // Peak depth is a race between the submitting client and the draining
+    // workers — timing-shaped, so it stays out of the `service_` namespace.
+    metrics.set_gauge("timing_queue_peak_depth", &[], queue.peak_depth as f64);
+
+    // Whether a repeat is served as a direct hit or by coalescing depends
+    // on whether the primary finished first — a race. Their *sum* does not.
+    metrics.inc("service_cache_served_total", &[], cache.hits + cache.coalesced);
+    metrics.inc("service_cache_misses_total", &[], cache.misses);
+    metrics.inc("service_cache_insertions_total", &[], cache.insertions);
+    metrics.inc("service_cache_replacements_total", &[], cache.replacements);
+    metrics.inc("service_cache_evictions_total", &[], cache.evictions);
+    metrics.inc("timing_cache_hits_total", &[], cache.hits);
+    metrics.inc("timing_cache_coalesced_total", &[], cache.coalesced);
+
+    let mut fleet_faults = FaultStats::default();
+    for (h, _) in joined {
+        fleet_faults.launches_attempted += h.usage.faults.launches_attempted;
+        fleet_faults.transient_launch_failures += h.usage.faults.transient_launch_failures;
+        fleet_faults.bit_flips += h.usage.faults.bit_flips;
+        fleet_faults.hung_kernels += h.usage.faults.hung_kernels;
+        h.usage.observe_into(metrics, &h.id.to_string(), wall_seconds);
+    }
+    fleet_faults.observe_into(metrics, "service_fault", &[]);
+
+    metrics.set_gauge("timing_wall_seconds", &[], wall_seconds);
 }
 
 impl Drop for SolverService {
@@ -337,7 +445,15 @@ impl Drop for SolverService {
 /// One device worker: steal the next job off the shared queue, run it on
 /// this device, publish the outcome. Returns the handle (with accumulated
 /// usage) when the service shuts down and the queue is drained.
-fn worker_loop(shared: &Arc<Shared>, mut handle: DeviceHandle) -> DeviceHandle {
+fn worker_loop(
+    shared: &Arc<Shared>,
+    mut handle: DeviceHandle,
+) -> (DeviceHandle, Vec<TraceEvent>) {
+    // This device's trace track: each run's timeline is appended where the
+    // previous one ended, so the track reads as one continuous modeled-time
+    // axis per device.
+    let mut trace: Vec<TraceEvent> = Vec::new();
+    let mut trace_clock_us = 0.0f64;
     loop {
         let job = {
             let mut st = shared.state.lock().expect("service state lock");
@@ -355,7 +471,7 @@ fn worker_loop(shared: &Arc<Shared>, mut handle: DeviceHandle) -> DeviceHandle {
                 }
             }
         };
-        let Some(job) = job else { return handle };
+        let Some(job) = job else { return (handle, trace) };
 
         // Run outside the lock — this is the long part, and it is what
         // makes the pool concurrent: every other worker keeps stealing
@@ -387,6 +503,31 @@ fn worker_loop(shared: &Arc<Shared>, mut handle: DeviceHandle) -> DeviceHandle {
                     false,
                 );
                 handle.usage.merge_faults(r.recovery.faults);
+                if shared.capture_trace {
+                    let tid = handle.id as u32;
+                    let (events, end_us) =
+                        timeline_trace_events(&r.timeline, 0, tid, trace_clock_us);
+                    trace.push(
+                        TraceEvent::begin(
+                            &format!("request seed={}", job.request.seed),
+                            "request",
+                            0,
+                            tid,
+                            trace_clock_us,
+                        )
+                        .with_arg("algorithm", job.request.algorithm)
+                        .with_arg("iterations", job.request.iterations),
+                    );
+                    trace.extend(events);
+                    trace.push(TraceEvent::end(
+                        &format!("request seed={}", job.request.seed),
+                        "request",
+                        0,
+                        tid,
+                        end_us,
+                    ));
+                    trace_clock_us = end_us;
+                }
             }
             Err(_) => handle.usage.record_run(0.0, 0.0, 0.0, 0, run_wall, true),
         }
@@ -402,6 +543,7 @@ fn worker_loop(shared: &Arc<Shared>, mut handle: DeviceHandle) -> DeviceHandle {
 fn expire_locked(st: &mut State, job: QueuedJob) {
     st.expired += 1;
     let deadline = job.request.deadline_ms.unwrap_or(0);
+    st.observe_latency(elapsed_ms(job.submitted));
     st.results.insert(
         job.ticket,
         RequestOutcome {
@@ -414,12 +556,15 @@ fn expire_locked(st: &mut State, job: QueuedJob) {
     let Some(followers) = st.waiters.remove(&job.key) else { return };
     let mut rest = followers.into_iter();
     for f in rest.by_ref() {
+        // Compare in u128 — truncating elapsed ms to u64 could wrap a huge
+        // deadline into a premature expiry (same fix as `QueuedJob::expired`).
         let f_expired = match f.deadline_ms {
-            Some(ms) => f.submitted.elapsed().as_millis() as u64 >= ms,
+            Some(ms) => f.submitted.elapsed().as_millis() >= u128::from(ms),
             None => false,
         };
         if f_expired {
             st.expired += 1;
+            st.observe_latency(elapsed_ms(f.submitted));
             st.results.insert(
                 f.ticket,
                 RequestOutcome {
@@ -499,8 +644,7 @@ fn fulfil(
             Err(e.clone())
         }
     };
-    st.results.insert(
-        ticket,
-        RequestOutcome { ticket, device: Some(device), wall_ms: elapsed_ms(submitted), result },
-    );
+    let wall_ms = elapsed_ms(submitted);
+    st.observe_latency(wall_ms);
+    st.results.insert(ticket, RequestOutcome { ticket, device: Some(device), wall_ms, result });
 }

@@ -1,0 +1,60 @@
+//! Property test: the solution cache is a deterministic machine. Replaying
+//! the same operation sequence on two fresh caches produces the same
+//! eviction sequence, the same stored entries and the same stats — even
+//! though the backing `HashMap` iterates in randomized order (the LRU
+//! victim is selected by a strictly increasing logical clock, so the
+//! minimum is always unique).
+
+use cdd_core::{JobSequence, SolveOutcome};
+use cdd_service::SolutionCache;
+use proptest::prelude::*;
+
+fn outcome(objective: i64) -> SolveOutcome {
+    SolveOutcome {
+        sequence: JobSequence::identity(3),
+        objective,
+        modeled_seconds: 0.25,
+        evaluations: 10,
+        cache_hit: false,
+        device: Some(0),
+        cpu_fallback: false,
+    }
+}
+
+/// Replay: byte `b` drives one operation on a small key space (8 keys over
+/// capacity 4 forces plenty of evictions). High bit picks insert vs lookup.
+/// Returns everything observable: the eviction sequence in order, each
+/// lookup's result, and the final stats.
+fn replay(ops: &[u8]) -> (Vec<Option<u64>>, Vec<Option<i64>>, cdd_service::CacheStats) {
+    let mut cache = SolutionCache::new(4);
+    let mut evictions = Vec::new();
+    let mut lookups = Vec::new();
+    for (i, &b) in ops.iter().enumerate() {
+        let key = u64::from(b % 8);
+        if b >= 128 {
+            evictions.push(cache.insert(key, &outcome(i as i64)));
+        } else {
+            lookups.push(cache.lookup(key).map(|o| o.objective));
+        }
+    }
+    (evictions, lookups, cache.stats().clone())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn eviction_order_is_identical_across_replays(
+        ops in prop::collection::vec(any::<u8>(), 1..200)
+    ) {
+        let (ev_a, lk_a, st_a) = replay(&ops);
+        let (ev_b, lk_b, st_b) = replay(&ops);
+        prop_assert_eq!(&ev_a, &ev_b, "eviction sequence must be replay-invariant");
+        prop_assert_eq!(lk_a, lk_b, "lookup results must be replay-invariant");
+        prop_assert_eq!(st_a, st_b, "stats must be replay-invariant");
+        // An evicted key is never the key being inserted (a refresh does
+        // not evict), and every eviction is counted.
+        let evicted_count = ev_a.iter().flatten().count() as u64;
+        prop_assert_eq!(evicted_count, replay(&ops).2.evictions);
+    }
+}

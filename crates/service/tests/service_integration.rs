@@ -174,6 +174,112 @@ fn per_request_fitness_is_identical_across_runs_despite_routing() {
     assert_eq!(run_once(), run_once(), "fitness must not depend on scheduling");
 }
 
+/// The deterministic (`service_`-prefixed) lines of a Prometheus snapshot —
+/// the exact subset CI byte-compares across two runs of the same workload.
+fn deterministic_lines(report: &cdd_service::ServiceReport) -> String {
+    report
+        .metrics
+        .render_prometheus()
+        .lines()
+        .filter(|l| l.starts_with("service_"))
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+#[test]
+fn service_metrics_are_byte_identical_across_runs() {
+    fn run_once() -> (String, cdd_service::ServiceReport) {
+        let entries = cdd_bench::workload::generate_mixed(12, 41, 80, &[10]);
+        let service = SolverService::start(ServiceConfig {
+            devices: 3,
+            fault: Some(FaultPlan::with_rates(0xFA17, 0.05, 0.01, 0.02)),
+            ..small_config(3)
+        });
+        let tickets: Vec<u64> =
+            entries.iter().map(|e| service.submit(e.to_request()).expect("admitted")).collect();
+        for t in tickets {
+            service.wait(t).result.expect("recovery absorbs injected faults");
+        }
+        let report = service.shutdown();
+        (deterministic_lines(&report), report)
+    }
+    let (a, report_a) = run_once();
+    let (b, _) = run_once();
+    assert_eq!(a, b, "the service_ namespace must not depend on scheduling");
+    assert!(!a.is_empty());
+    // The snapshot agrees with the report's own counters.
+    let m = &report_a.metrics;
+    assert_eq!(m.counter("service_requests_submitted_total", &[]), report_a.submitted);
+    assert_eq!(m.counter("service_requests_completed_total", &[]), report_a.completed);
+    assert_eq!(
+        m.counter("service_cache_served_total", &[]),
+        report_a.cache.hits + report_a.cache.coalesced
+    );
+    assert_eq!(m.counter("service_cache_misses_total", &[]), report_a.cache.misses);
+    assert_eq!(
+        m.counter("service_fault_launches_attempted_total", &[]),
+        report_a.devices.iter().map(|d| d.usage.faults.launches_attempted).sum::<u64>()
+    );
+    // Timing-dependent series exist, but outside the compared namespace.
+    assert!(m.histogram("timing_request_wall_ms", &[]).is_some());
+    assert_eq!(
+        m.histogram("timing_request_wall_ms", &[]).unwrap().count(),
+        report_a.submitted,
+        "every answered request contributes one latency sample"
+    );
+}
+
+#[test]
+fn trace_capture_produces_one_track_per_device() {
+    let entries = cdd_bench::workload::generate_mixed(8, 23, 60, &[10]);
+    let service = SolverService::start(ServiceConfig {
+        devices: 2,
+        capture_trace: true,
+        ..small_config(2)
+    });
+    let tickets: Vec<u64> =
+        entries.iter().map(|e| service.submit(e.to_request()).expect("admitted")).collect();
+    for t in tickets {
+        service.wait(t).result.expect("clean fleet");
+    }
+    let report = service.shutdown();
+
+    let trace = &report.trace;
+    assert!(!trace.is_empty());
+    // Exactly one thread_name metadata event per device.
+    let tracks: Vec<&str> = trace
+        .events()
+        .iter()
+        .filter(|e| e.ph == 'M' && e.name == "thread_name")
+        .filter_map(|e| e.args.iter().find(|(k, _)| k == "name").map(|(_, v)| v.as_str()))
+        .collect();
+    assert_eq!(tracks, vec!["device 0", "device 1"]);
+    // Kernel events exist and sit on valid device tracks with durations.
+    let kernels: Vec<_> =
+        trace.events().iter().filter(|e| e.ph == 'X' && e.cat == "kernel").collect();
+    assert!(!kernels.is_empty());
+    assert!(kernels.iter().all(|e| e.tid < 2 && e.dur_us.unwrap_or(0.0) > 0.0));
+    // Request spans open and close in equal numbers.
+    let begins = trace.events().iter().filter(|e| e.ph == 'B' && e.cat == "request").count();
+    let ends = trace.events().iter().filter(|e| e.ph == 'E' && e.cat == "request").count();
+    assert_eq!(begins, ends);
+    assert_eq!(begins as u64, report.devices.iter().map(|d| d.usage.requests).sum::<u64>());
+    // The rendered JSON is loadable (well-formed enough for Perfetto's
+    // parser: object wrapper + one JSON object per event).
+    let json = trace.render_chrome_json();
+    assert!(json.starts_with("{\"displayTimeUnit\":\"ms\",\"traceEvents\":["));
+    assert!(json.trim_end().ends_with("]}"));
+}
+
+#[test]
+fn trace_capture_off_by_default_keeps_the_report_lean() {
+    let service = SolverService::start(small_config(1));
+    service.solve(request(10, 1, Algorithm::Sa, 60, 3)).expect("solve succeeds");
+    let report = service.shutdown();
+    assert!(report.trace.is_empty(), "no trace unless explicitly requested");
+    assert!(!report.metrics.is_empty(), "metrics are always on");
+}
+
 #[test]
 fn zero_deadline_expires_before_dispatch() {
     let service = SolverService::start(small_config(1));
