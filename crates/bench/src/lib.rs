@@ -18,6 +18,7 @@
 //! | `ablation_lp_vs_linear` | Section III's LP-vs-linear-algorithm claim |
 //! | `ablation_cooling` | Section VI's cooling-rate choice (μ = 0.88) |
 //! | `tuning_block_size` | Section VIII's block-size finding (192 beats 1024) |
+//! | `fig12_convergence` | per-generation convergence curves + trajectory summaries |
 //! | `make_workload` | a mixed CDD/UCDDCP request stream for `cdd-serve` |
 //!
 //! Every binary accepts `--help`-documented flags; the defaults run a
@@ -26,6 +27,7 @@
 
 pub mod campaign;
 pub mod cli;
+pub mod convergence;
 pub mod journal;
 pub mod observer;
 pub mod report;

@@ -6,18 +6,19 @@
 //! parallelization approach remains the same as for SA."
 
 use crate::init::{initial_ensemble, InitStrategy};
-use crate::kernels::{DpsoUpdateKernel, FitnessKernel, GbestCopyKernel, PbestKernel};
+use crate::kernels::{DpsoProbe, DpsoUpdateKernel, FitnessKernel, GbestCopyKernel, PbestKernel};
 use crate::layout::ProblemDevice;
 use crate::recovery::{
     launch_with_retry, merge_faults, run_with_recovery, suite_device_error, verified_best,
     RecoveryPolicy, RecoveryStats,
 };
-use crate::sa_pipeline::GpuRunResult;
+use crate::sa_pipeline::{check_argmin_domain, GpuRunResult};
+use crate::trajectory::ConvergenceTrace;
 use cdd_core::eval::{evaluator_for, SequenceEvaluator};
 use cdd_core::{Cost, Instance, JobSequence, SuiteError};
 use cdd_meta::{Dpso, DpsoParams};
 use cuda_sim::reduce::{unpack_argmin, AtomicArgminKernel};
-use cuda_sim::{DeviceSpec, FaultPlan, Gpu, LaunchConfig, XorWow};
+use cuda_sim::{DeviceSpec, FaultPlan, Gpu, LaunchConfig, TelemetryConfig, TelemetryRing, XorWow};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -46,6 +47,9 @@ pub struct GpuDpsoParams {
     pub fault: Option<FaultPlan>,
     /// Retry / re-attempt / fallback policy.
     pub recovery: RecoveryPolicy,
+    /// Convergence-telemetry policy (disabled by default; sampling changes
+    /// no result — see `cuda_sim::telemetry`).
+    pub telemetry: TelemetryConfig,
 }
 
 impl Default for GpuDpsoParams {
@@ -62,6 +66,7 @@ impl Default for GpuDpsoParams {
             device: DeviceSpec::gt560m(),
             fault: None,
             recovery: RecoveryPolicy::default(),
+            telemetry: TelemetryConfig::disabled(),
         }
     }
 }
@@ -91,6 +96,7 @@ impl GpuDpsoParams {
 /// device failures.
 pub fn run_gpu_dpso(inst: &Instance, params: &GpuDpsoParams) -> Result<GpuRunResult, SuiteError> {
     assert!(params.iterations >= 1, "need at least one generation");
+    check_argmin_domain(inst, params.ensemble())?;
     let evaluator = evaluator_for(inst);
     let host_rng = StdRng::seed_from_u64(params.seed);
 
@@ -120,6 +126,12 @@ fn dpso_attempt(
     let mut gpu = Gpu::new(params.device.clone());
     gpu.set_fault_plan(plan);
 
+    // Telemetry state lives outside the attempt closure so the ring can be
+    // drained from `&gpu` once the closure's mutable borrow ends.
+    let telem_cap = params.telemetry.effective_capacity(params.iterations.saturating_sub(1));
+    let mut ring: Option<TelemetryRing> = None;
+    let mut sample_headers: Vec<(u64, f64)> = Vec::new();
+
     let outcome = (|| -> Result<(JobSequence, Cost), SuiteError> {
         let prob = ProblemDevice::upload(&mut gpu, inst).map_err(|e| suite_device_error(&e))?;
 
@@ -138,8 +150,25 @@ fn dpso_attempt(
             (0..ensemble).flat_map(|t| XorWow::new(params.seed, t as u64).pack()).collect();
         gpu.h2d(rng_states, &words);
 
+        // Telemetry ring last, after every algorithm buffer, so buffer
+        // handles match the telemetry-off run exactly (alloc itself records
+        // no profiler event and models no cost).
+        if params.telemetry.enabled() {
+            ring = Some(TelemetryRing::alloc(&mut gpu, ensemble, telem_cap));
+        }
+
         let fitness = FitnessKernel { prob, seqs: positions, out: energies, ensemble };
-        let pbest_update = PbestKernel { positions, energies, pbest, pbest_energies, n, ensemble };
+        // Init-time pbest seeding carries no probe: the improvement counter
+        // counts in-loop generations only.
+        let pbest_update = PbestKernel {
+            positions,
+            energies,
+            pbest,
+            pbest_energies,
+            n,
+            ensemble,
+            telemetry: None,
+        };
         let reduce = AtomicArgminKernel { values: pbest_energies, out: packed_best };
         let gbest_copy = GbestCopyKernel { packed: packed_best, pbest, gbest, n };
         let update = DpsoUpdateKernel {
@@ -165,14 +194,32 @@ fn dpso_attempt(
         launch_with_retry(&mut gpu, &gbest_copy, cfg, policy, stats)
             .map_err(|e| suite_device_error(&e))?;
 
-        for _gen in 0..params.iterations {
-            gpu.span_begin("dpso-generation");
+        for gen in 0..params.iterations {
+            // Span metadata is attached whether or not telemetry samples
+            // this generation, so the timeline is stride-independent.
+            gpu.span_begin_args(
+                "dpso-generation",
+                vec![("gen".to_string(), gen.to_string())],
+            );
+            let slot = ring.and_then(|_| params.telemetry.slot_for(gen, telem_cap));
+            if slot.is_some() {
+                sample_headers.push((gen, 0.0));
+            }
             let gen_result = (|gpu: &mut Gpu| -> Result<(), SuiteError> {
                 launch_with_retry(gpu, &update, cfg, policy, stats)
                     .map_err(|e| suite_device_error(&e))?;
                 launch_with_retry(gpu, &fitness, cfg, policy, stats)
                     .map_err(|e| suite_device_error(&e))?;
-                launch_with_retry(gpu, &pbest_update, cfg, policy, stats)
+                let pbest_probe = PbestKernel {
+                    positions,
+                    energies,
+                    pbest,
+                    pbest_energies,
+                    n,
+                    ensemble,
+                    telemetry: ring.map(|r| DpsoProbe { ring: r, slot, gbest }),
+                };
+                launch_with_retry(gpu, &pbest_probe, cfg, policy, stats)
                     .map_err(|e| suite_device_error(&e))?;
                 launch_with_retry(gpu, &reduce, cfg, policy, stats)
                     .map_err(|e| suite_device_error(&e))?;
@@ -191,6 +238,9 @@ fn dpso_attempt(
 
     merge_faults(&mut stats.faults, gpu.fault_stats());
     let (best, objective) = outcome?;
+    let convergence = ring.map(|r| {
+        ConvergenceTrace::from_ring("dpso", params.telemetry.stride, 1, &sample_headers, &r, &gpu)
+    });
     let profiler = gpu.profiler();
     Ok(GpuRunResult {
         best,
@@ -204,6 +254,7 @@ fn dpso_attempt(
         profiler_summary: profiler.summary(),
         timeline: profiler.events().to_vec(),
         recovery: RecoveryStats::default(),
+        convergence,
     })
 }
 
@@ -230,6 +281,7 @@ fn cpu_fallback_dpso(params: &GpuDpsoParams, evaluator: &dyn SequenceEvaluator) 
         profiler_summary: "cpu-fallback: sequential CPU DPSO".into(),
         timeline: Vec::new(),
         recovery: RecoveryStats::default(),
+        convergence: None,
     }
 }
 
@@ -276,6 +328,27 @@ mod tests {
         assert_eq!(r.kernel_launches as u64, 4 + 5 * iters);
         assert!(r.profiler_summary.contains("dpso_update"));
         assert!(r.profiler_summary.contains("gbest_copy"));
+    }
+
+    #[test]
+    fn telemetry_traces_pbest_and_diversity_without_perturbing_the_swarm() {
+        let inst = Instance::paper_example_cdd();
+        let base = run_gpu_dpso(&inst, &small_params(30)).unwrap();
+        let p = GpuDpsoParams { telemetry: TelemetryConfig::every(3), ..small_params(30) };
+        let r = run_gpu_dpso(&inst, &p).unwrap();
+        assert_eq!(r.best, base.best);
+        assert_eq!(r.objective, base.objective);
+        assert_eq!(r.modeled_seconds, base.modeled_seconds);
+        let trace = r.convergence.expect("telemetry was on");
+        assert_eq!(trace.algorithm, "dpso");
+        assert_eq!(trace.samples.len(), 10, "gens 0, 3, …, 27");
+        let curve = trace.ensemble_best_curve();
+        assert!(curve.windows(2).all(|w| w[1].1 <= w[0].1), "swarm best never worsens");
+        // Diversity (Hamming to gbest) is within range and not all-zero at
+        // the start of a heuristically spread swarm.
+        let first = &trace.samples[0];
+        assert!(first.aux.iter().all(|&d| (0..=inst.n() as i64).contains(&d)));
+        assert!(first.aux.iter().any(|&d| d > 0));
     }
 
     #[test]

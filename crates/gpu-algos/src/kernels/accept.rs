@@ -5,7 +5,19 @@
 
 use crate::kernels::fitness::CORRUPT_ENERGY;
 use cdd_meta::sa::metropolis_accept;
-use cuda_sim::{Buf, Kernel, ThreadCtx};
+use cuda_sim::{Buf, Kernel, TelemetryRing, ThreadCtx};
+
+/// Telemetry probe handed to the acceptance kernel on sampled runs. Probe
+/// access goes through the simulator's instrumentation port, so carrying one
+/// changes no result, cost, or fault behaviour (see `cuda_sim::telemetry`).
+#[derive(Debug, Clone, Copy)]
+pub struct SaProbe {
+    /// Destination ring.
+    pub ring: TelemetryRing,
+    /// Ring slot for this generation; `None` still counts accepted moves
+    /// but records no sample.
+    pub slot: Option<usize>,
+}
 
 /// Applies the metropolis rule per thread and tracks personal bests.
 pub struct AcceptKernel {
@@ -31,6 +43,8 @@ pub struct AcceptKernel {
     /// Current temperature (cooled on the host between generations, as the
     /// exponential schedule of Algorithm 1 prescribes).
     pub temperature: f64,
+    /// Optional convergence-telemetry probe; `None` when telemetry is off.
+    pub telemetry: Option<SaProbe>,
 }
 
 impl Kernel for AcceptKernel {
@@ -75,13 +89,23 @@ impl Kernel for AcceptKernel {
             best = energy;
         }
 
-        if metropolis_accept(energy, energy_new, self.temperature, u) {
+        let accepted = metropolis_accept(energy, energy_new, self.temperature, u);
+        if accepted {
             ctx.copy_row(self.candidate, gid * n, self.current, gid * n, n);
             ctx.write(self.energies, gid, energy_new);
             // Part 2: the newly accepted state may improve the best.
             if energy_new < best {
                 ctx.copy_row(self.current, gid * n, self.best_rows, gid * n, n);
                 ctx.write(self.best_energies, gid, energy_new);
+                best = energy_new;
+            }
+        }
+
+        if let Some(probe) = &self.telemetry {
+            let count = probe.ring.bump_counter(ctx, gid, i64::from(accepted));
+            if let Some(slot) = probe.slot {
+                let settled = if accepted { energy_new } else { energy };
+                probe.ring.write_sample(ctx, slot, gid, [best, settled, count]);
             }
         }
 
@@ -129,6 +153,7 @@ mod tests {
             n,
             ensemble: t,
             temperature,
+            telemetry: None,
         };
         Fixture { gpu, k }
     }
@@ -164,6 +189,20 @@ mod tests {
         f.gpu.launch(&f.k, LaunchConfig::linear(2, 32), &[]).unwrap();
         let accepted = f.gpu.d2h(f.k.energies).iter().filter(|&&e| e == 11).count();
         assert!(accepted >= 60, "only {accepted}/64 uphill moves accepted at huge T");
+    }
+
+    #[test]
+    fn probe_records_best_current_and_accept_count() {
+        let mut f = fixture(&[100, 10], &[50, 1_000_000], 1e-9);
+        let ring = cuda_sim::TelemetryRing::alloc(&mut f.gpu, 2, 1);
+        f.k.telemetry = Some(SaProbe { ring, slot: Some(0) });
+        f.gpu.launch(&f.k, LaunchConfig::linear(1, 2), &[]).unwrap();
+        let (lanes, counters) = ring.snapshot(&f.gpu);
+        // Chain 0 accepts the downhill move: best = settled = 50, 1 accept.
+        assert_eq!(&lanes[..3], &[50, 50, 1]);
+        // Chain 1 rejects uphill at cold T: best = settled = 10, 0 accepts.
+        assert_eq!(&lanes[3..6], &[10, 10, 0]);
+        assert_eq!(counters, vec![1, 0]);
     }
 
     #[test]

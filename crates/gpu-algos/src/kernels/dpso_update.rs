@@ -8,7 +8,24 @@
 
 use cdd_meta::dpso::{one_point_crossover, two_point_crossover};
 use cuda_sim::reduce::unpack_argmin;
-use cuda_sim::{Buf, Kernel, ThreadCtx};
+use cuda_sim::{Buf, Kernel, TelemetryRing, ThreadCtx};
+
+/// Telemetry probe handed to the personal-best kernel on sampled runs.
+/// Probe access goes through the simulator's instrumentation port, so
+/// carrying one changes no result, cost, or fault behaviour (see
+/// `cuda_sim::telemetry`).
+#[derive(Debug, Clone, Copy)]
+pub struct DpsoProbe {
+    /// Destination ring.
+    pub ring: TelemetryRing,
+    /// Ring slot for this generation; `None` still counts personal-best
+    /// improvements but records no sample.
+    pub slot: Option<usize>,
+    /// Swarm-best row as of the *start* of the generation (the broadcast
+    /// kernel that crowns this generation's winner runs after the
+    /// personal-best update), used for the Hamming-diversity proxy.
+    pub gbest: Buf<u32>,
+}
 
 /// Position update: `p ← c₂ ⊕ F₃(c₁ ⊕ F₂(w ⊕ F₁(p), pbest), gbest)`.
 pub struct DpsoUpdateKernel {
@@ -156,6 +173,8 @@ pub struct PbestKernel {
     pub n: usize,
     /// Live particles.
     pub ensemble: usize,
+    /// Optional convergence-telemetry probe; `None` when telemetry is off.
+    pub telemetry: Option<DpsoProbe>,
 }
 
 impl Kernel for PbestKernel {
@@ -175,9 +194,26 @@ impl Kernel for PbestKernel {
         }
         let e = ctx.read(self.energies, gid);
         let b = ctx.read(self.pbest_energies, gid);
-        if e < b {
+        let improved = e < b;
+        if improved {
             ctx.copy_row(self.positions, gid * self.n, self.pbest, gid * self.n, self.n);
             ctx.write(self.pbest_energies, gid, e);
+        }
+
+        if let Some(probe) = &self.telemetry {
+            probe.ring.bump_counter(ctx, gid, i64::from(improved));
+            if let Some(slot) = probe.slot {
+                let pb = if improved { e } else { b };
+                // Diversity proxy: Hamming distance between this particle and
+                // the generation-start swarm best.
+                let mut dist = 0i64;
+                for j in 0..self.n {
+                    let mine: u32 = ctx.telemetry_read(self.positions, gid * self.n + j);
+                    let swarm: u32 = ctx.telemetry_read(probe.gbest, j);
+                    dist += i64::from(mine != swarm);
+                }
+                probe.ring.write_sample(ctx, slot, gid, [pb, e, dist]);
+            }
         }
     }
 }
@@ -281,10 +317,50 @@ mod tests {
         gpu.h2d(pbest, &[0, 1, 2, 0, 1, 2]);
         let pbest_e = gpu.alloc::<i64>(2);
         gpu.h2d(pbest_e, &[10, 10]);
-        let k = PbestKernel { positions, energies, pbest, pbest_energies: pbest_e, n, ensemble: 2 };
+        let k = PbestKernel {
+            positions,
+            energies,
+            pbest,
+            pbest_energies: pbest_e,
+            n,
+            ensemble: 2,
+            telemetry: None,
+        };
         gpu.launch(&k, LaunchConfig::linear(1, 2), &[]).unwrap();
         assert_eq!(gpu.d2h(pbest_e), vec![5, 10]);
         assert_eq!(gpu.d2h(pbest), vec![2, 1, 0, 0, 1, 2]);
+    }
+
+    #[test]
+    fn probe_records_pbest_energy_and_hamming_diversity() {
+        let n = 3;
+        let mut gpu = Gpu::new(DeviceSpec::gt560m());
+        let positions = gpu.alloc::<u32>(2 * n);
+        gpu.h2d(positions, &[2, 1, 0, 0, 1, 2]);
+        let energies = gpu.alloc::<i64>(2);
+        gpu.h2d(energies, &[5, 50]);
+        let pbest = gpu.alloc::<u32>(2 * n);
+        let pbest_e = gpu.alloc::<i64>(2);
+        gpu.h2d(pbest_e, &[10, 10]);
+        let gbest = gpu.alloc::<u32>(n);
+        gpu.h2d(gbest, &[0, 1, 2]);
+        let ring = cuda_sim::TelemetryRing::alloc(&mut gpu, 2, 1);
+        let k = PbestKernel {
+            positions,
+            energies,
+            pbest,
+            pbest_energies: pbest_e,
+            n,
+            ensemble: 2,
+            telemetry: Some(DpsoProbe { ring, slot: Some(0), gbest }),
+        };
+        gpu.launch(&k, LaunchConfig::linear(1, 2), &[]).unwrap();
+        let (lanes, counters) = ring.snapshot(&gpu);
+        // Particle 0 improved (5 < 10) and sits 2 swaps from gbest [0,1,2].
+        assert_eq!(&lanes[..3], &[5, 5, 2]);
+        // Particle 1 kept pbest 10 and matches gbest exactly.
+        assert_eq!(&lanes[3..6], &[10, 50, 0]);
+        assert_eq!(counters, vec![1, 0]);
     }
 
     #[test]

@@ -13,7 +13,7 @@ pub mod dpso_update;
 pub mod fitness;
 pub mod perturb;
 
-pub use accept::AcceptKernel;
-pub use dpso_update::{DpsoUpdateKernel, GbestCopyKernel, PbestKernel};
+pub use accept::{AcceptKernel, SaProbe};
+pub use dpso_update::{DpsoProbe, DpsoUpdateKernel, GbestCopyKernel, PbestKernel};
 pub use fitness::FitnessKernel;
 pub use perturb::PerturbKernel;

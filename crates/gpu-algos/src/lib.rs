@@ -44,6 +44,7 @@ pub mod recovery;
 pub mod sa_pipeline;
 pub mod solve;
 pub mod sync_pipeline;
+pub mod trajectory;
 
 pub use dpso_pipeline::{run_gpu_dpso, GpuDpsoParams};
 pub use init::{initial_ensemble, InitStrategy};
@@ -53,3 +54,6 @@ pub use recovery::{RecoveryPolicy, RecoveryStats};
 pub use sa_pipeline::{run_gpu_sa, GpuRunResult, GpuSaParams};
 pub use solve::{run_gpu_solve, GpuSolveSpec};
 pub use sync_pipeline::{run_gpu_sa_sync, BroadcastKernel};
+pub use trajectory::{
+    counter_trace_events, ConvergenceSummary, ConvergenceTrace, GenerationSample,
+};

@@ -208,6 +208,7 @@ mod tests {
             profiler_summary: String::new(),
             timeline: Vec::new(),
             recovery: RecoveryStats::default(),
+            convergence: None,
         }
     }
 

@@ -12,20 +12,44 @@
 //! between the host and the device").
 
 use crate::init::{initial_ensemble, InitStrategy};
-use crate::kernels::{AcceptKernel, FitnessKernel, PerturbKernel};
+use crate::kernels::fitness::CORRUPT_ENERGY;
+use crate::kernels::{AcceptKernel, FitnessKernel, PerturbKernel, SaProbe};
 use crate::layout::ProblemDevice;
 use crate::recovery::{
     launch_with_retry, merge_faults, run_with_recovery, suite_device_error, verified_best,
     RecoveryPolicy, RecoveryStats,
 };
+use crate::trajectory::ConvergenceTrace;
 use cdd_core::eval::{evaluator_for, SequenceEvaluator};
 use cdd_core::{Cost, Instance, JobSequence, SuiteError};
 use cdd_meta::temperature::initial_temperature;
 use cdd_meta::{AsyncEnsemble, Cooling, SaParams};
 use cuda_sim::reduce::{unpack_argmin, AtomicArgminKernel};
-use cuda_sim::{DeviceSpec, FaultPlan, Gpu, LaunchConfig, TimelineEvent, XorWow};
+use cuda_sim::{
+    DeviceSpec, FaultPlan, Gpu, LaunchConfig, TelemetryConfig, TelemetryRing, TimelineEvent,
+    XorWow,
+};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+
+/// Validate, before any kernel runs, that every objective this instance can
+/// produce — plus the fault-injection sentinel energy — fits the packed
+/// argmin encoding, and that the ensemble fits its index field. The bound is
+/// a deliberate over-approximation (every job maximally early *and* late);
+/// see `cuda_sim::reduce::argmin_domain_check`.
+pub(crate) fn check_argmin_domain(inst: &Instance, ensemble: usize) -> Result<(), SuiteError> {
+    let horizon = inst.due_date() as i128 + inst.total_processing() as i128;
+    let bound: i128 = inst
+        .jobs()
+        .iter()
+        .map(|j| {
+            let coeff = j.earliness_penalty.max(j.tardiness_penalty).max(j.compression_penalty);
+            coeff as i128 * horizon
+        })
+        .sum();
+    cuda_sim::reduce::argmin_domain_check(bound.max(CORRUPT_ENERGY as i128), ensemble)
+        .map_err(SuiteError::rejected)
+}
 
 /// Parameters of one GPU SA run.
 #[derive(Debug, Clone)]
@@ -54,6 +78,9 @@ pub struct GpuSaParams {
     pub fault: Option<FaultPlan>,
     /// Retry / re-attempt / fallback policy.
     pub recovery: RecoveryPolicy,
+    /// Convergence-telemetry policy (disabled by default; sampling changes
+    /// no result — see `cuda_sim::telemetry`).
+    pub telemetry: TelemetryConfig,
 }
 
 impl Default for GpuSaParams {
@@ -71,6 +98,7 @@ impl Default for GpuSaParams {
             device: DeviceSpec::gt560m(),
             fault: None,
             recovery: RecoveryPolicy::default(),
+            telemetry: TelemetryConfig::disabled(),
         }
     }
 }
@@ -119,6 +147,9 @@ pub struct GpuRunResult {
     pub timeline: Vec<TimelineEvent>,
     /// What the resilience layer did (retries, oracle repairs, fallback).
     pub recovery: RecoveryStats,
+    /// Decoded search trajectory of the winning device attempt; `None` when
+    /// telemetry is disabled or the run fell back to the CPU.
+    pub convergence: Option<ConvergenceTrace>,
 }
 
 /// Run the paper's parallel asynchronous SA on the simulated GPU.
@@ -131,6 +162,7 @@ pub struct GpuRunResult {
 /// always verified against the exact CPU evaluator.
 pub fn run_gpu_sa(inst: &Instance, params: &GpuSaParams) -> Result<GpuRunResult, SuiteError> {
     assert!(params.iterations >= 1, "need at least one generation");
+    check_argmin_domain(inst, params.ensemble())?;
 
     // Host-side setup: T₀ rule and initial ensemble. Randomly initialized
     // chains use the paper's global rule (stddev of `t0_samples` random
@@ -181,6 +213,12 @@ fn sa_attempt(
     let mut gpu = Gpu::new(params.device.clone());
     gpu.set_fault_plan(plan);
 
+    // Telemetry state lives outside the attempt closure so the ring can be
+    // drained from `&gpu` once the closure's mutable borrow ends.
+    let telem_cap = params.telemetry.effective_capacity(params.iterations.saturating_sub(1));
+    let mut ring: Option<TelemetryRing> = None;
+    let mut sample_headers: Vec<(u64, f64)> = Vec::new();
+
     let outcome = (|| -> Result<(JobSequence, Cost), SuiteError> {
         let prob = ProblemDevice::upload(&mut gpu, inst).map_err(|e| suite_device_error(&e))?;
 
@@ -201,6 +239,13 @@ fn sa_attempt(
             (0..ensemble).flat_map(|t| XorWow::new(params.seed, t as u64).pack()).collect();
         gpu.h2d(rng_states, &words);
 
+        // Telemetry ring last, after every algorithm buffer, so buffer
+        // handles match the telemetry-off run exactly (alloc itself records
+        // no profiler event and models no cost).
+        if params.telemetry.enabled() {
+            ring = Some(TelemetryRing::alloc(&mut gpu, ensemble, telem_cap));
+        }
+
         // Initial fitness of the starting ensemble.
         let fitness_current = FitnessKernel { prob, seqs: current, out: energies, ensemble };
         launch_with_retry(&mut gpu, &fitness_current, cfg, policy, stats)
@@ -219,8 +264,20 @@ fn sa_attempt(
         let reduce = AtomicArgminKernel { values: best_energies, out: global_best };
 
         let mut temperature = t0;
-        for _gen in 0..params.iterations {
-            gpu.span_begin("sa-generation");
+        for gen in 0..params.iterations {
+            // Span metadata is attached whether or not telemetry samples
+            // this generation, so the timeline is stride-independent.
+            gpu.span_begin_args(
+                "sa-generation",
+                vec![
+                    ("gen".to_string(), gen.to_string()),
+                    ("temperature".to_string(), format!("{temperature:.6e}")),
+                ],
+            );
+            let slot = ring.and_then(|_| params.telemetry.slot_for(gen, telem_cap));
+            if slot.is_some() {
+                sample_headers.push((gen, temperature));
+            }
             let gen_result = (|gpu: &mut Gpu| -> Result<(), SuiteError> {
                 launch_with_retry(gpu, &perturb, cfg, policy, stats)
                     .map_err(|e| suite_device_error(&e))?;
@@ -237,6 +294,7 @@ fn sa_attempt(
                     n,
                     ensemble,
                     temperature,
+                    telemetry: ring.map(|r| SaProbe { ring: r, slot }),
                 };
                 launch_with_retry(gpu, &accept, cfg, policy, stats)
                     .map_err(|e| suite_device_error(&e))?;
@@ -258,6 +316,9 @@ fn sa_attempt(
 
     merge_faults(&mut stats.faults, gpu.fault_stats());
     let (best, objective) = outcome?;
+    let convergence = ring.map(|r| {
+        ConvergenceTrace::from_ring("sa", params.telemetry.stride, 1, &sample_headers, &r, &gpu)
+    });
     let profiler = gpu.profiler();
     Ok(GpuRunResult {
         best,
@@ -271,6 +332,7 @@ fn sa_attempt(
         profiler_summary: profiler.summary(),
         timeline: profiler.events().to_vec(),
         recovery: RecoveryStats::default(),
+        convergence,
     })
 }
 
@@ -303,6 +365,7 @@ pub(crate) fn cpu_fallback_sa(
         profiler_summary: "cpu-fallback: asynchronous CPU ensemble".into(),
         timeline: Vec::new(),
         recovery: RecoveryStats::default(),
+        convergence: None,
     }
 }
 
@@ -366,7 +429,9 @@ mod tests {
         let begins = r
             .timeline
             .iter()
-            .filter(|e| matches!(e, TimelineEvent::SpanBegin { name } if name == "sa-generation"))
+            .filter(
+                |e| matches!(e, TimelineEvent::SpanBegin { name, .. } if name == "sa-generation"),
+            )
             .count();
         let ends = r
             .timeline
@@ -378,6 +443,70 @@ mod tests {
         let kernels =
             r.timeline.iter().filter(|e| matches!(e, TimelineEvent::Kernel { .. })).count();
         assert_eq!(kernels, r.kernel_launches, "timeline and counters agree");
+    }
+
+    #[test]
+    fn spans_carry_generation_and_temperature_args() {
+        let inst = Instance::paper_example_cdd();
+        let r = run_gpu_sa(&inst, &small_params(3)).unwrap();
+        let args: Vec<_> = r
+            .timeline
+            .iter()
+            .filter_map(|e| match e {
+                TimelineEvent::SpanBegin { name, args } if name == "sa-generation" => Some(args),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(args.len(), 3);
+        assert_eq!(args[0][0], ("gen".to_string(), "0".to_string()));
+        assert_eq!(args[2][0], ("gen".to_string(), "2".to_string()));
+        for a in &args {
+            assert_eq!(a[1].0, "temperature");
+            assert!(a[1].1.parse::<f64>().unwrap() > 0.0);
+        }
+    }
+
+    #[test]
+    fn telemetry_records_a_monotone_best_curve() {
+        let inst = Instance::paper_example_cdd();
+        let iters = 60;
+        let p = GpuSaParams { telemetry: TelemetryConfig::every(5), ..small_params(iters) };
+        let r = run_gpu_sa(&inst, &p).unwrap();
+        let trace = r.convergence.expect("telemetry was on");
+        assert_eq!(trace.algorithm, "sa");
+        assert_eq!(trace.chains, 64);
+        assert_eq!(trace.samples.len(), 12, "gens 0, 5, …, 55");
+        assert_eq!(trace.samples[0].gen, 0);
+        assert_eq!(trace.samples[11].gen, 55);
+        let curve = trace.ensemble_best_curve();
+        assert!(curve.windows(2).all(|w| w[1].1 <= w[0].1), "best-so-far never worsens");
+        // Gens 56–59 run after the last sample, so the curve can only sit at
+        // or above the final (oracle-verified) objective.
+        assert!(curve.last().unwrap().1 >= r.objective);
+        // Counters saw every generation, not just sampled ones.
+        assert!(trace.counters.iter().any(|&c| c > 0));
+        assert!(trace.counters.iter().all(|&c| c <= iters as i64));
+    }
+
+    #[test]
+    fn telemetry_does_not_perturb_the_search() {
+        let inst = Instance::paper_example_cdd();
+        let base = run_gpu_sa(&inst, &small_params(40)).unwrap();
+        let p = GpuSaParams { telemetry: TelemetryConfig::every(1), ..small_params(40) };
+        let on = run_gpu_sa(&inst, &p).unwrap();
+        assert_eq!(on.best, base.best);
+        assert_eq!(on.objective, base.objective);
+        assert_eq!(on.modeled_seconds, base.modeled_seconds);
+        assert_eq!(on.timeline, base.timeline, "timelines byte-identical");
+        assert!(base.convergence.is_none());
+    }
+
+    #[test]
+    fn oversized_ensemble_is_rejected_at_setup() {
+        let inst = Instance::paper_example_cdd();
+        let p = GpuSaParams { blocks: 1 << 15, block_size: 64, ..small_params(1) };
+        let err = run_gpu_sa(&inst, &p).unwrap_err();
+        assert!(format!("{err}").contains("ensemble too large"), "{err}");
     }
 
     #[test]

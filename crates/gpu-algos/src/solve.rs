@@ -13,7 +13,7 @@ use crate::dpso_pipeline::{run_gpu_dpso, GpuDpsoParams};
 use crate::recovery::RecoveryPolicy;
 use crate::sa_pipeline::{run_gpu_sa, GpuRunResult, GpuSaParams};
 use cdd_core::{Algorithm, Instance, SuiteError};
-use cuda_sim::{DeviceSpec, FaultPlan};
+use cuda_sim::{DeviceSpec, FaultPlan, TelemetryConfig};
 
 /// Device, geometry and resilience configuration shared by every solve a
 /// caller dispatches — everything about *where and how safely* to run, as
@@ -30,6 +30,9 @@ pub struct GpuSolveSpec {
     pub fault: Option<FaultPlan>,
     /// Retry / re-attempt / fallback policy.
     pub recovery: RecoveryPolicy,
+    /// Convergence-telemetry policy (disabled by default; sampling changes
+    /// no result — see `cuda_sim::telemetry`).
+    pub telemetry: TelemetryConfig,
 }
 
 impl Default for GpuSolveSpec {
@@ -40,6 +43,7 @@ impl Default for GpuSolveSpec {
             device: DeviceSpec::gt560m(),
             fault: None,
             recovery: RecoveryPolicy::default(),
+            telemetry: TelemetryConfig::disabled(),
         }
     }
 }
@@ -73,6 +77,7 @@ pub fn run_gpu_solve(
                 device: spec.device.clone(),
                 fault: spec.fault.clone(),
                 recovery: spec.recovery.clone(),
+                telemetry: spec.telemetry,
                 ..Default::default()
             },
         ),
@@ -86,6 +91,7 @@ pub fn run_gpu_solve(
                 device: spec.device.clone(),
                 fault: spec.fault.clone(),
                 recovery: spec.recovery.clone(),
+                telemetry: spec.telemetry,
                 ..Default::default()
             },
         ),

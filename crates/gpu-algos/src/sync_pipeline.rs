@@ -15,18 +15,19 @@
 //! (`ablation_async_vs_sync`).
 
 use crate::init::initial_ensemble;
-use crate::kernels::{AcceptKernel, FitnessKernel, PerturbKernel};
+use crate::kernels::{AcceptKernel, FitnessKernel, PerturbKernel, SaProbe};
 use crate::layout::ProblemDevice;
 use crate::recovery::{
     launch_with_retry, merge_faults, run_with_recovery, suite_device_error, verified_best,
     RecoveryStats,
 };
-use crate::sa_pipeline::{cpu_fallback_sa, GpuRunResult, GpuSaParams};
+use crate::sa_pipeline::{check_argmin_domain, cpu_fallback_sa, GpuRunResult, GpuSaParams};
+use crate::trajectory::ConvergenceTrace;
 use cdd_core::eval::{evaluator_for, SequenceEvaluator};
 use cdd_core::{Cost, Instance, JobSequence, SuiteError};
 use cdd_meta::initial_temperature;
 use cuda_sim::reduce::{unpack_argmin, AtomicArgminKernel};
-use cuda_sim::{Buf, FaultPlan, Gpu, Kernel, LaunchConfig, ThreadCtx, XorWow};
+use cuda_sim::{Buf, FaultPlan, Gpu, Kernel, LaunchConfig, TelemetryRing, ThreadCtx, XorWow};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -86,6 +87,7 @@ pub fn run_gpu_sa_sync(
     markov_len: u64,
 ) -> Result<GpuRunResult, SuiteError> {
     assert!(levels >= 1 && markov_len >= 1, "need at least one level and one step");
+    check_argmin_domain(inst, params.ensemble())?;
 
     let mut host_rng = StdRng::seed_from_u64(params.seed);
     let evaluator = evaluator_for(inst);
@@ -125,6 +127,14 @@ fn sync_attempt(
     let mut gpu = Gpu::new(params.device.clone());
     gpu.set_fault_plan(plan);
 
+    // Telemetry state lives outside the attempt closure so the ring can be
+    // drained from `&gpu` once the closure's mutable borrow ends. The global
+    // generation index is `level × markov_len + step`.
+    let total_gens = levels.saturating_mul(markov_len);
+    let telem_cap = params.telemetry.effective_capacity(total_gens.saturating_sub(1));
+    let mut ring: Option<TelemetryRing> = None;
+    let mut sample_headers: Vec<(u64, f64)> = Vec::new();
+
     let outcome = (|| -> Result<(JobSequence, Cost), SuiteError> {
         let prob = ProblemDevice::upload(&mut gpu, inst).map_err(|e| suite_device_error(&e))?;
 
@@ -142,6 +152,12 @@ fn sync_attempt(
         let words: Vec<u64> =
             (0..ensemble).flat_map(|t| XorWow::new(params.seed, t as u64).pack()).collect();
         gpu.h2d(rng_states, &words);
+
+        // Telemetry ring last, after every algorithm buffer, so buffer
+        // handles match the telemetry-off run exactly.
+        if params.telemetry.enabled() {
+            ring = Some(TelemetryRing::alloc(&mut gpu, ensemble, telem_cap));
+        }
 
         let fitness_current = FitnessKernel { prob, seqs: current, out: energies, ensemble };
         launch_with_retry(&mut gpu, &fitness_current, cfg, policy, stats)
@@ -163,9 +179,22 @@ fn sync_attempt(
 
         for level in 0..levels {
             let temperature = t0 * params.cooling_rate.powi(level.min(i32::MAX as u64) as i32);
-            gpu.span_begin("sync-sa-level");
+            // Span metadata is attached whether or not telemetry samples
+            // this level, so the timeline is stride-independent.
+            gpu.span_begin_args(
+                "sync-sa-level",
+                vec![
+                    ("level".to_string(), level.to_string()),
+                    ("temperature".to_string(), format!("{temperature:.6e}")),
+                ],
+            );
             let level_result = (|gpu: &mut Gpu| -> Result<(), SuiteError> {
-                for _ in 0..markov_len {
+                for step in 0..markov_len {
+                    let gen = level * markov_len + step;
+                    let slot = ring.and_then(|_| params.telemetry.slot_for(gen, telem_cap));
+                    if slot.is_some() {
+                        sample_headers.push((gen, temperature));
+                    }
                     launch_with_retry(gpu, &perturb, cfg, policy, stats)
                         .map_err(|e| suite_device_error(&e))?;
                     launch_with_retry(gpu, &fitness_candidate, cfg, policy, stats)
@@ -181,6 +210,7 @@ fn sync_attempt(
                         n,
                         ensemble,
                         temperature,
+                        telemetry: ring.map(|r| SaProbe { ring: r, slot }),
                     };
                     launch_with_retry(gpu, &accept, cfg, policy, stats)
                         .map_err(|e| suite_device_error(&e))?;
@@ -210,6 +240,16 @@ fn sync_attempt(
 
     merge_faults(&mut stats.faults, gpu.fault_stats());
     let (best, objective) = outcome?;
+    let convergence = ring.map(|r| {
+        ConvergenceTrace::from_ring(
+            "sync-sa",
+            params.telemetry.stride,
+            markov_len,
+            &sample_headers,
+            &r,
+            &gpu,
+        )
+    });
     let profiler = gpu.profiler();
     Ok(GpuRunResult {
         best,
@@ -223,6 +263,7 @@ fn sync_attempt(
         profiler_summary: profiler.summary(),
         timeline: profiler.events().to_vec(),
         recovery: RecoveryStats::default(),
+        convergence,
     })
 }
 
@@ -252,6 +293,26 @@ mod tests {
         assert!(r.profiler_summary.contains("broadcast_best"));
         // 1 init fitness + levels×(3×markov + 2) + 1 final reduction.
         assert_eq!(r.kernel_launches as u64, 1 + 5 * (3 * 4 + 2) + 1);
+    }
+
+    #[test]
+    fn telemetry_indexes_generations_globally_across_levels() {
+        let inst = Instance::paper_example_cdd();
+        let p = GpuSaParams {
+            telemetry: cuda_sim::TelemetryConfig::every(4),
+            ..params()
+        };
+        let r = run_gpu_sa_sync(&inst, &p, 3, 5).unwrap();
+        let trace = r.convergence.expect("telemetry was on");
+        assert_eq!(trace.algorithm, "sync-sa");
+        assert_eq!(trace.gens_per_span, 5, "one span covers a whole Markov chain");
+        let gens: Vec<u64> = trace.samples.iter().map(|s| s.gen).collect();
+        assert_eq!(gens, vec![0, 4, 8, 12], "global index runs across levels");
+        // Temperatures cool level by level: gen 4 is level 0, gen 8 level 1.
+        assert!(trace.samples[2].temperature < trace.samples[1].temperature);
+        // The broadcast makes every chain share a current state at the start
+        // of the next level; gen 12 (level 2, step 2) best lanes are finite.
+        assert!(trace.samples[3].best.iter().all(|&b| b < i64::MAX));
     }
 
     #[test]

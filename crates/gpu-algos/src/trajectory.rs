@@ -1,0 +1,378 @@
+//! Search-trajectory traces: the host-side decode of the `cuda-sim`
+//! telemetry ring ([`cuda_sim::telemetry`]) into per-generation convergence
+//! data, plus the summary statistics and Chrome-trace counter events built
+//! from it.
+//!
+//! Lane semantics per algorithm (fixed by the writing kernels):
+//!
+//! | algorithm | lane 0 (`best`) | lane 1 (`current`) | lane 2 (`aux`) | counter |
+//! |---|---|---|---|---|
+//! | `sa` / `sync-sa` | best-so-far energy | post-acceptance energy | cumulative accepted moves | accepted moves |
+//! | `dpso` | personal-best energy | current energy | Hamming distance to the generation-start swarm best | pbest improvements |
+//!
+//! Retried watchdog-killed launches re-run their telemetry writes, so the
+//! cumulative counters can over-count under fault injection; samples are
+//! last-writer-wins and stay exact. Nothing in this module feeds back into
+//! results, metrics snapshots or fault streams — see the determinism
+//! contract in DESIGN.md §10.
+
+use cdd_metrics::trace::TraceEvent;
+use cuda_sim::telemetry::{TelemetryRing, TELEMETRY_LANES};
+use cuda_sim::{Gpu, TimelineEvent};
+
+/// One sampled generation across the whole ensemble.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GenerationSample {
+    /// Generation index (global across levels for the sync pipeline).
+    pub gen: u64,
+    /// Temperature the generation ran at (0 for DPSO).
+    pub temperature: f64,
+    /// Lane 0 per chain: best-so-far (SA) / personal-best (DPSO) energy.
+    pub best: Vec<i64>,
+    /// Lane 1 per chain: the chain's current energy after the generation.
+    pub current: Vec<i64>,
+    /// Lane 2 per chain: cumulative accepted moves (SA) or Hamming distance
+    /// to the generation-start swarm best (DPSO).
+    pub aux: Vec<i64>,
+}
+
+impl GenerationSample {
+    /// Minimum best-so-far across the ensemble at this sample.
+    #[must_use]
+    pub fn ensemble_best(&self) -> i64 {
+        self.best.iter().copied().min().unwrap_or(i64::MAX)
+    }
+}
+
+/// A decoded search trajectory, carried on
+/// [`GpuRunResult`](crate::GpuRunResult) next to the profiler timeline.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ConvergenceTrace {
+    /// `"sa"`, `"dpso"` or `"sync-sa"`.
+    pub algorithm: String,
+    /// Sampling stride (generations between samples).
+    pub stride: u64,
+    /// Chains (ensemble size) recorded.
+    pub chains: usize,
+    /// Generations covered by one profiler span of this pipeline (1 for the
+    /// per-generation spans; the Markov length for the sync pipeline's
+    /// per-level spans). Maps sampled generations onto span indices when
+    /// plotting on the modeled clock.
+    pub gens_per_span: u64,
+    /// Samples in chronological order (the ring's retained window).
+    pub samples: Vec<GenerationSample>,
+    /// Final cumulative per-chain event counters (accepted moves / pbest
+    /// improvements).
+    pub counters: Vec<i64>,
+}
+
+impl ConvergenceTrace {
+    /// Drain a device ring into a chronological trace. `headers` is the
+    /// host-kept `(generation, temperature)` list, one entry per sampled
+    /// generation in run order; when the run sampled more generations than
+    /// the ring holds, only the newest `capacity` survive.
+    #[must_use]
+    pub fn from_ring(
+        algorithm: &str,
+        stride: u64,
+        gens_per_span: u64,
+        headers: &[(u64, f64)],
+        ring: &TelemetryRing,
+        gpu: &Gpu,
+    ) -> Self {
+        let (lanes, counters) = ring.snapshot(gpu);
+        let kept = headers.len().min(ring.capacity);
+        let samples = headers[headers.len() - kept..]
+            .iter()
+            .map(|&(gen, temperature)| {
+                let slot = ((gen / stride.max(1)) as usize) % ring.capacity;
+                let mut sample = GenerationSample {
+                    gen,
+                    temperature,
+                    best: Vec::with_capacity(ring.chains),
+                    current: Vec::with_capacity(ring.chains),
+                    aux: Vec::with_capacity(ring.chains),
+                };
+                for chain in 0..ring.chains {
+                    let base = (slot * ring.chains + chain) * TELEMETRY_LANES;
+                    sample.best.push(lanes[base]);
+                    sample.current.push(lanes[base + 1]);
+                    sample.aux.push(lanes[base + 2]);
+                }
+                sample
+            })
+            .collect();
+        ConvergenceTrace {
+            algorithm: algorithm.to_string(),
+            stride,
+            chains: ring.chains,
+            gens_per_span: gens_per_span.max(1),
+            samples,
+            counters,
+        }
+    }
+
+    /// The profiler span label this pipeline wraps its generations in.
+    #[must_use]
+    pub fn span_label(&self) -> &'static str {
+        match self.algorithm.as_str() {
+            "dpso" => "dpso-generation",
+            "sync-sa" => "sync-sa-level",
+            _ => "sa-generation",
+        }
+    }
+
+    /// `(generation, ensemble best-so-far)` per sample.
+    #[must_use]
+    pub fn ensemble_best_curve(&self) -> Vec<(u64, i64)> {
+        self.samples.iter().map(|s| (s.gen, s.ensemble_best())).collect()
+    }
+}
+
+/// Summary statistics of one trajectory — the numbers a `%Δ` regression gets
+/// debugged with.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ConvergenceSummary {
+    /// Samples the trace retained.
+    pub samples: usize,
+    /// Chains recorded.
+    pub chains: usize,
+    /// Ensemble best at the final sample.
+    pub final_best: i64,
+    /// First sampled generation whose ensemble best is within 1% of the
+    /// final best (`None` for an empty trace).
+    pub generations_to_within_1pct: Option<u64>,
+    /// Fraction of chains whose best-so-far did not improve between the
+    /// midpoint sample and the final sample (0 when fewer than 2 samples).
+    pub stalled_chain_fraction: f64,
+    /// Acceptance rate over the final inter-sample window (SA pipelines;
+    /// 0 for DPSO). Can exceed 1 only when watchdog-killed launches were
+    /// retried (their accepted-move bumps re-run).
+    pub acceptance_rate_final: f64,
+    /// First sampled generation from which the ensemble stays collapsed to
+    /// the end (SA: all current energies equal; DPSO: every particle at
+    /// Hamming distance 0 from the swarm best). `None` if it never does.
+    pub diversity_collapse_gen: Option<u64>,
+}
+
+impl ConvergenceSummary {
+    /// Compute the summary of a trace.
+    #[must_use]
+    pub fn from_trace(trace: &ConvergenceTrace) -> Self {
+        let samples = &trace.samples;
+        let final_best = samples.last().map(GenerationSample::ensemble_best).unwrap_or(i64::MAX);
+
+        let generations_to_within_1pct = samples.iter().find_map(|s| {
+            let threshold = final_best as f64 * if final_best >= 0 { 1.01 } else { 0.99 };
+            (s.ensemble_best() as f64 <= threshold).then_some(s.gen)
+        });
+
+        let stalled_chain_fraction = if samples.len() >= 2 && trace.chains > 0 {
+            let mid = &samples[samples.len() / 2];
+            let last = samples.last().expect("len >= 2");
+            let stalled =
+                (0..trace.chains).filter(|&c| mid.best[c] == last.best[c]).count();
+            stalled as f64 / trace.chains as f64
+        } else {
+            0.0
+        };
+
+        let acceptance_rate_final = if trace.algorithm != "dpso" && samples.len() >= 2 {
+            let prev = &samples[samples.len() - 2];
+            let last = samples.last().expect("len >= 2");
+            let moves: i64 = (0..trace.chains)
+                .map(|c| (last.aux[c] - prev.aux[c]).max(0))
+                .sum();
+            let window = (last.gen - prev.gen).max(1) as f64 * trace.chains as f64;
+            moves as f64 / window
+        } else {
+            0.0
+        };
+
+        let collapsed = |s: &GenerationSample| -> bool {
+            if trace.algorithm == "dpso" {
+                s.aux.iter().all(|&d| d == 0)
+            } else {
+                s.current.windows(2).all(|w| w[0] == w[1])
+            }
+        };
+        let mut diversity_collapse_gen = None;
+        for s in samples.iter().rev() {
+            if collapsed(s) {
+                diversity_collapse_gen = Some(s.gen);
+            } else {
+                break;
+            }
+        }
+
+        ConvergenceSummary {
+            samples: samples.len(),
+            chains: trace.chains,
+            final_best,
+            generations_to_within_1pct,
+            stalled_chain_fraction,
+            acceptance_rate_final,
+            diversity_collapse_gen,
+        }
+    }
+}
+
+/// Convert a trajectory into Chrome-trace counter (`C`) events positioned on
+/// the modeled clock of `timeline`, so the best-so-far curve renders under
+/// the kernel tracks. Each sampled generation's ensemble best is emitted at
+/// the close of the span that executed it; `start_us` must match the value
+/// passed to `timeline_trace_events` for the same timeline.
+#[must_use]
+pub fn counter_trace_events(
+    trace: &ConvergenceTrace,
+    timeline: &[TimelineEvent],
+    pid: u32,
+    tid: u32,
+    start_us: f64,
+) -> Vec<TraceEvent> {
+    use std::collections::BTreeMap;
+    // span index -> ensemble best of the latest sample inside that span.
+    let mut by_span: BTreeMap<u64, i64> = BTreeMap::new();
+    for s in &trace.samples {
+        by_span.insert(s.gen / trace.gens_per_span, s.ensemble_best());
+    }
+    let label = trace.span_label();
+    let counter_name = format!("{}-best", trace.algorithm);
+    let mut out = Vec::new();
+    let mut clock = start_us;
+    let mut span_idx = 0u64;
+    for e in timeline {
+        clock += e.seconds() * 1e6;
+        if let TimelineEvent::SpanEnd { name } = e {
+            if name == label {
+                if let Some(&best) = by_span.get(&span_idx) {
+                    out.push(
+                        TraceEvent::counter(&counter_name, "convergence", pid, tid, clock)
+                            .with_num_arg("best", best as f64),
+                    );
+                }
+                span_idx += 1;
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(gen: u64, best: Vec<i64>, current: Vec<i64>, aux: Vec<i64>) -> GenerationSample {
+        GenerationSample { gen, temperature: 1.0, best, current, aux }
+    }
+
+    fn sa_trace(samples: Vec<GenerationSample>) -> ConvergenceTrace {
+        let chains = samples.first().map_or(0, |s| s.best.len());
+        ConvergenceTrace {
+            algorithm: "sa".into(),
+            stride: 1,
+            chains,
+            gens_per_span: 1,
+            samples,
+            counters: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn summary_of_a_converging_sa_run() {
+        let trace = sa_trace(vec![
+            sample(0, vec![100, 90], vec![100, 90], vec![1, 1]),
+            sample(1, vec![60, 90], vec![70, 95], vec![2, 1]),
+            sample(2, vec![50, 90], vec![50, 50], vec![3, 2]),
+            sample(3, vec![50, 90], vec![50, 50], vec![4, 2]),
+        ]);
+        let s = ConvergenceSummary::from_trace(&trace);
+        assert_eq!(s.final_best, 50);
+        assert_eq!(s.generations_to_within_1pct, Some(2));
+        // Midpoint = sample index 2; both chains' bests unchanged since.
+        assert_eq!(s.stalled_chain_fraction, 1.0);
+        // Final window: (4-3) + (2-2) accepted over 2 chains × 1 gen.
+        assert!((s.acceptance_rate_final - 0.5).abs() < 1e-12);
+        // Currents equalize at gen 2 and stay so.
+        assert_eq!(s.diversity_collapse_gen, Some(2));
+        assert_eq!(trace.ensemble_best_curve(), vec![(0, 90), (1, 60), (2, 50), (3, 50)]);
+    }
+
+    #[test]
+    fn dpso_collapse_uses_the_hamming_lane() {
+        let mut trace = sa_trace(vec![
+            sample(0, vec![10, 10], vec![10, 10], vec![3, 0]),
+            sample(1, vec![10, 10], vec![10, 10], vec![0, 0]),
+        ]);
+        trace.algorithm = "dpso".into();
+        let s = ConvergenceSummary::from_trace(&trace);
+        assert_eq!(s.diversity_collapse_gen, Some(1));
+        assert_eq!(s.acceptance_rate_final, 0.0, "acceptance is an SA-only statistic");
+        assert_eq!(trace.span_label(), "dpso-generation");
+    }
+
+    #[test]
+    fn empty_trace_summarizes_without_panicking() {
+        let s = ConvergenceSummary::from_trace(&sa_trace(Vec::new()));
+        assert_eq!(s.samples, 0);
+        assert_eq!(s.generations_to_within_1pct, None);
+        assert_eq!(s.stalled_chain_fraction, 0.0);
+        assert_eq!(s.diversity_collapse_gen, None);
+    }
+
+    #[test]
+    fn counter_events_land_on_their_spans_close() {
+        use cuda_sim::cost::CostCounter;
+        use cuda_sim::LaunchConfig;
+        let kernel = |secs: f64| TimelineEvent::Kernel {
+            name: "k".into(),
+            config: LaunchConfig::linear(1, 32),
+            seconds: secs,
+            total_cost: CostCounter::default(),
+        };
+        // Two generations, one sampled each; a non-matching span between.
+        let timeline = vec![
+            TimelineEvent::SpanBegin { name: "sa-generation".into(), args: Vec::new() },
+            kernel(0.001),
+            TimelineEvent::SpanEnd { name: "sa-generation".into() },
+            TimelineEvent::SpanBegin { name: "other".into(), args: Vec::new() },
+            TimelineEvent::SpanEnd { name: "other".into() },
+            TimelineEvent::SpanBegin { name: "sa-generation".into(), args: Vec::new() },
+            kernel(0.002),
+            TimelineEvent::SpanEnd { name: "sa-generation".into() },
+        ];
+        let trace = sa_trace(vec![
+            sample(0, vec![80], vec![80], vec![0]),
+            sample(1, vec![70], vec![70], vec![1]),
+        ]);
+        let evs = counter_trace_events(&trace, &timeline, 0, 5, 100.0);
+        assert_eq!(evs.len(), 2);
+        assert!(evs.iter().all(|e| e.ph == 'C' && e.tid == 5));
+        assert_eq!(evs[0].num_args, vec![("best".to_string(), 80.0)]);
+        assert!((evs[0].ts_us - 1100.0).abs() < 1e-9, "after the 1 ms kernel");
+        assert_eq!(evs[1].num_args, vec![("best".to_string(), 70.0)]);
+        assert!((evs[1].ts_us - 3100.0).abs() < 1e-9, "after both kernels");
+    }
+
+    #[test]
+    fn sampled_strides_map_to_span_indices() {
+        // Stride 2, spans of 1 gen: samples at gens 0 and 2 map to spans 0, 2.
+        let timeline: Vec<TimelineEvent> = (0..3)
+            .flat_map(|_| {
+                vec![
+                    TimelineEvent::SpanBegin { name: "sa-generation".into(), args: Vec::new() },
+                    TimelineEvent::SpanEnd { name: "sa-generation".into() },
+                ]
+            })
+            .collect();
+        let mut trace = sa_trace(vec![
+            sample(0, vec![9], vec![9], vec![0]),
+            sample(2, vec![5], vec![5], vec![1]),
+        ]);
+        trace.stride = 2;
+        let evs = counter_trace_events(&trace, &timeline, 0, 0, 0.0);
+        assert_eq!(evs.len(), 2, "unsampled span 1 emits nothing");
+        assert_eq!(evs[0].num_args[0].1, 9.0);
+        assert_eq!(evs[1].num_args[0].1, 5.0);
+    }
+}

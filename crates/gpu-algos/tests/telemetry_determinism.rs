@@ -1,0 +1,137 @@
+//! The telemetry hard contract (DESIGN.md §10): enabling convergence
+//! telemetry at *any* stride changes nothing observable about a run except
+//! the trace it returns. Results, modeled timelines, `sim_*` metric
+//! snapshots and `service_fault_*` fault counters must be byte-identical to
+//! the stride-0 (disabled) run — for all three pipelines, with and without
+//! fault injection.
+
+use cdd_gpu::{run_gpu_dpso, run_gpu_sa, run_gpu_sa_sync, GpuDpsoParams, GpuRunResult, GpuSaParams};
+use cdd_metrics::MetricsRegistry;
+use cuda_sim::{observe_timeline, FaultPlan, TelemetryConfig};
+use proptest::prelude::*;
+
+const ITERS: u64 = 12;
+
+fn fault_plan() -> FaultPlan {
+    FaultPlan::with_rates(11, 0.04, 0.01, 0.02)
+}
+
+/// Everything a run exposes except the telemetry trace itself, with the
+/// metrics rendered exactly the way the service and bench layers snapshot
+/// them (`sim_*` from the timeline, `service_fault_*` from the fault
+/// counters).
+fn fingerprint(r: &GpuRunResult) -> (Vec<u32>, i64, u64, usize, String) {
+    let mut reg = MetricsRegistry::new();
+    observe_timeline(&mut reg, &r.timeline);
+    r.recovery.faults.observe_into(&mut reg, "service_fault", &[]);
+    (
+        r.best.as_slice().to_vec(),
+        r.objective,
+        r.modeled_seconds.to_bits(),
+        r.kernel_launches,
+        reg.render_prometheus(),
+    )
+}
+
+fn sa_params(stride: u64, fault: bool) -> GpuSaParams {
+    GpuSaParams {
+        blocks: 1,
+        block_size: 8,
+        iterations: ITERS,
+        telemetry: TelemetryConfig::every(stride),
+        fault: fault.then(fault_plan),
+        ..Default::default()
+    }
+}
+
+fn dpso_params(stride: u64, fault: bool) -> GpuDpsoParams {
+    GpuDpsoParams {
+        blocks: 1,
+        block_size: 8,
+        iterations: ITERS,
+        telemetry: TelemetryConfig::every(stride),
+        fault: fault.then(fault_plan),
+        ..Default::default()
+    }
+}
+
+/// Strides exercised against the disabled baseline: every generation, a
+/// ragged divisor, and one past the whole run (samples only generation 0).
+const STRIDES: [u64; 3] = [1, 7, ITERS + 5];
+
+#[test]
+fn sa_runs_are_stride_independent() {
+    for inst in [cdd_core::Instance::paper_example_cdd(), cdd_core::Instance::paper_example_ucddcp()]
+    {
+        for fault in [false, true] {
+            let base = run_gpu_sa(&inst, &sa_params(0, fault)).unwrap();
+            assert!(base.convergence.is_none(), "stride 0 must not record");
+            for stride in STRIDES {
+                let on = run_gpu_sa(&inst, &sa_params(stride, fault)).unwrap();
+                assert_eq!(
+                    fingerprint(&on),
+                    fingerprint(&base),
+                    "sa stride {stride} fault {fault} diverged"
+                );
+                assert_eq!(on.timeline, base.timeline, "timelines must match event for event");
+                if !on.recovery.cpu_fallback {
+                    assert!(on.convergence.is_some(), "device run with telemetry has a trace");
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn dpso_runs_are_stride_independent() {
+    let inst = cdd_core::Instance::paper_example_cdd();
+    for fault in [false, true] {
+        let base = run_gpu_dpso(&inst, &dpso_params(0, fault)).unwrap();
+        assert!(base.convergence.is_none());
+        for stride in STRIDES {
+            let on = run_gpu_dpso(&inst, &dpso_params(stride, fault)).unwrap();
+            assert_eq!(
+                fingerprint(&on),
+                fingerprint(&base),
+                "dpso stride {stride} fault {fault} diverged"
+            );
+            assert_eq!(on.timeline, base.timeline);
+        }
+    }
+}
+
+#[test]
+fn sync_runs_are_stride_independent() {
+    let inst = cdd_core::Instance::paper_example_cdd();
+    for fault in [false, true] {
+        let base = run_gpu_sa_sync(&inst, &sa_params(0, fault), 3, 4).unwrap();
+        assert!(base.convergence.is_none());
+        for stride in STRIDES {
+            let on = run_gpu_sa_sync(&inst, &sa_params(stride, fault), 3, 4).unwrap();
+            assert_eq!(
+                fingerprint(&on),
+                fingerprint(&base),
+                "sync stride {stride} fault {fault} diverged"
+            );
+            assert_eq!(on.timeline, base.timeline);
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Arbitrary stride × seed × fault: the SA fingerprint never moves.
+    #[test]
+    fn any_stride_matches_the_disabled_run(
+        stride in 1u64..24,
+        seed in 0u64..1000,
+        fault in any::<bool>(),
+    ) {
+        let inst = cdd_core::Instance::paper_example_cdd();
+        let base = run_gpu_sa(&inst, &GpuSaParams { seed, ..sa_params(0, fault) }).unwrap();
+        let on = run_gpu_sa(&inst, &GpuSaParams { seed, ..sa_params(stride, fault) }).unwrap();
+        prop_assert_eq!(fingerprint(&on), fingerprint(&base));
+        prop_assert_eq!(&on.timeline, &base.timeline);
+    }
+}

@@ -604,6 +604,29 @@ impl ThreadCtx<'_> {
         self.cost.bank_conflicts += n;
     }
 
+    /// Read one element through the **instrumentation port**: no cost-model
+    /// charge, no fault-stream draw, no race tracking. Reserved for
+    /// telemetry buffers (see [`crate::telemetry`]) that must observe a run
+    /// without perturbing its modeled time, fault decision streams, or RNG
+    /// draw order. Never use this for algorithm state: it models an
+    /// out-of-band debug channel, not device memory traffic.
+    #[inline]
+    pub fn telemetry_read<T: DeviceValue>(&mut self, buf: impl AsBuf<T>, idx: usize) -> T {
+        let (id, len) = buf.id_len();
+        self.check_bounds(id, len, idx);
+        T::from_bits(self.mem.global[id][idx])
+    }
+
+    /// Write one element through the **instrumentation port** (uncharged,
+    /// fault-invisible, untracked — see
+    /// [`telemetry_read`](Self::telemetry_read)).
+    #[inline]
+    pub fn telemetry_write<T: DeviceValue>(&mut self, buf: impl AsBuf<T>, idx: usize, value: T) {
+        let (id, len) = buf.id_len();
+        self.check_bounds(id, len, idx);
+        self.mem.global[id][idx] = value.to_bits();
+    }
+
     /// Load this thread's XORWOW state from a device-resident state array
     /// (3 words per stream, like a `curandState*` argument).
     pub fn load_rng(&mut self, states: impl AsBuf<u64>, slot: usize) -> XorWow {
@@ -894,6 +917,13 @@ impl Gpu {
     /// timeline for trace rendering.
     pub fn span_begin(&mut self, name: impl Into<String>) {
         self.profiler.span_begin(name);
+    }
+
+    /// Open a named span carrying key/value metadata (e.g. the generation
+    /// index and temperature of one SA generation), rendered into the trace
+    /// sink's args.
+    pub fn span_begin_args(&mut self, name: impl Into<String>, args: Vec<(String, String)>) {
+        self.profiler.span_begin_args(name, args);
     }
 
     /// Close the innermost open span with this name.

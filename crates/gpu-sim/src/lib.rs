@@ -68,6 +68,7 @@ pub mod pool;
 pub mod profiler;
 pub mod reduce;
 pub mod rng;
+pub mod telemetry;
 
 pub use cost::{CostCounter, KernelTiming};
 pub use device::DeviceSpec;
@@ -81,3 +82,4 @@ pub use profiler::{
     TimelineEvent, TransferDir,
 };
 pub use rng::XorWow;
+pub use telemetry::{TelemetryConfig, TelemetryRing, TELEMETRY_LANES};

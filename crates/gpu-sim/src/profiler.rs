@@ -45,6 +45,10 @@ pub enum TimelineEvent {
     SpanBegin {
         /// Span label.
         name: String,
+        /// Key/value metadata attached to the span (e.g. `gen`,
+        /// `temperature` for one SA generation), rendered into the trace
+        /// sink's args.
+        args: Vec<(String, String)>,
     },
     /// End of the innermost open span with this name.
     SpanEnd {
@@ -84,7 +88,12 @@ impl Profiler {
 
     /// Open a named span on the timeline (zero modeled duration).
     pub fn span_begin(&mut self, name: impl Into<String>) {
-        self.events.push(TimelineEvent::SpanBegin { name: name.into() });
+        self.events.push(TimelineEvent::SpanBegin { name: name.into(), args: Vec::new() });
+    }
+
+    /// Open a named span carrying key/value metadata.
+    pub fn span_begin_args(&mut self, name: impl Into<String>, args: Vec<(String, String)>) {
+        self.events.push(TimelineEvent::SpanBegin { name: name.into(), args });
     }
 
     /// Close the innermost open span with this name.
@@ -269,8 +278,12 @@ pub fn timeline_trace_events(
                 );
                 clock += dur;
             }
-            TimelineEvent::SpanBegin { name } => {
-                out.push(TraceEvent::begin(name, "span", pid, tid, clock));
+            TimelineEvent::SpanBegin { name, args } => {
+                let mut ev = TraceEvent::begin(name, "span", pid, tid, clock);
+                for (k, v) in args {
+                    ev = ev.with_arg(k, v);
+                }
+                out.push(ev);
             }
             TimelineEvent::SpanEnd { name } => {
                 out.push(TraceEvent::end(name, "span", pid, tid, clock));
@@ -407,6 +420,26 @@ mod tests {
         assert!((p.total_seconds() - 0.002).abs() < 1e-12, "spans add no modeled time");
         assert_eq!(p.kernel_launches(), 1);
         assert!(p.summary().contains("perturb"), "spans don't disturb the summary");
+    }
+
+    #[test]
+    fn span_args_render_into_the_trace_sink() {
+        let mut p = Profiler::new();
+        p.span_begin_args(
+            "sa-generation",
+            vec![("gen".into(), "7".into()), ("temperature".into(), "35.2".into())],
+        );
+        p.push(kernel_event("perturb", 0.001));
+        p.span_end("sa-generation");
+        let (evs, _) = timeline_trace_events(p.events(), 0, 0, 0.0);
+        assert_eq!(evs[0].ph, 'B');
+        assert_eq!(evs[0].args, vec![
+            ("gen".to_string(), "7".to_string()),
+            ("temperature".to_string(), "35.2".to_string()),
+        ]);
+        let json = evs[0].to_json();
+        assert!(json.contains("\"gen\":\"7\""), "{json}");
+        assert!(json.contains("\"temperature\":\"35.2\""), "{json}");
     }
 
     #[test]

@@ -51,10 +51,57 @@ pub struct AtomicArgminKernel {
 /// Bits reserved for the index in the packed argmin key.
 pub const ARGMIN_INDEX_BITS: u32 = 20;
 
+/// Exclusive upper bound on the thread index a packed argmin key can carry.
+pub const ARGMIN_MAX_INDEX: usize = 1 << ARGMIN_INDEX_BITS;
+
+/// Exclusive upper bound on `|value|` for a packed argmin key.
+pub const ARGMIN_MAX_ABS_VALUE: i64 = 1 << (62 - ARGMIN_INDEX_BITS);
+
+/// Validate that an argmin reduction over `index_count` slots whose values
+/// can reach `max_abs_value` in magnitude fits the packed-key encoding.
+///
+/// Call this at **pipeline setup** with a worst-case objective bound: a
+/// value ≥ 2^42 or an ensemble ≥ 2^20 would silently truncate into the
+/// neighboring field and crown the wrong winner, so the pack limits must be
+/// rejected loudly before any kernel runs. (`max_abs_value` is an `i128` so
+/// callers can pass an over-approximated bound computed without overflow.)
+pub fn argmin_domain_check(max_abs_value: i128, index_count: usize) -> Result<(), String> {
+    if index_count > ARGMIN_MAX_INDEX {
+        return Err(format!(
+            "argmin ensemble too large for the packed reduction: {index_count} slots exceed \
+             the {ARGMIN_INDEX_BITS}-bit index field (max {ARGMIN_MAX_INDEX})"
+        ));
+    }
+    if max_abs_value >= ARGMIN_MAX_ABS_VALUE as i128 {
+        return Err(format!(
+            "argmin objective bound too large for the packed reduction: |value| can reach \
+             {max_abs_value}, which exceeds the {}-bit value field (max {})",
+            62 - ARGMIN_INDEX_BITS,
+            ARGMIN_MAX_ABS_VALUE - 1
+        ));
+    }
+    Ok(())
+}
+
 /// Pack a `(value, index)` pair into an order-preserving i64 key.
+///
+/// # Panics
+/// Panics when the pair exceeds the field widths — an out-of-range pack
+/// would silently corrupt the argmin, so it is rejected even in release
+/// builds. Pipelines validate their whole domain up front with
+/// [`argmin_domain_check`] and never reach this panic.
 pub fn pack_argmin(value: i64, index: usize) -> i64 {
-    debug_assert!(index < (1 << ARGMIN_INDEX_BITS));
-    debug_assert!(value.unsigned_abs() < (1 << (62 - ARGMIN_INDEX_BITS)));
+    assert!(
+        index < ARGMIN_MAX_INDEX,
+        "pack_argmin index {index} exceeds the {ARGMIN_INDEX_BITS}-bit field \
+         (max {ARGMIN_MAX_INDEX})"
+    );
+    assert!(
+        value.unsigned_abs() < ARGMIN_MAX_ABS_VALUE as u64,
+        "pack_argmin value {value} exceeds the {}-bit field (|value| must stay below {})",
+        62 - ARGMIN_INDEX_BITS,
+        ARGMIN_MAX_ABS_VALUE
+    );
     (value << ARGMIN_INDEX_BITS) | index as i64
 }
 
@@ -126,6 +173,30 @@ mod tests {
         for (v, i) in [(0i64, 0usize), (123, 45), (-7, 1023), (1 << 30, 99)] {
             assert_eq!(unpack_argmin(pack_argmin(v, i)), (v, i));
         }
+    }
+
+    #[test]
+    fn domain_check_accepts_paper_scale_and_rejects_overflow() {
+        // Every experiment in the paper fits comfortably.
+        assert!(argmin_domain_check(1_000_000_000, 768).is_ok());
+        assert!(argmin_domain_check((ARGMIN_MAX_ABS_VALUE - 1) as i128, ARGMIN_MAX_INDEX).is_ok());
+        // One past either field overflows with a clear message.
+        let too_many = argmin_domain_check(0, ARGMIN_MAX_INDEX + 1).unwrap_err();
+        assert!(too_many.contains("ensemble too large"), "{too_many}");
+        let too_big = argmin_domain_check(ARGMIN_MAX_ABS_VALUE as i128, 1).unwrap_err();
+        assert!(too_big.contains("objective bound too large"), "{too_big}");
+    }
+
+    #[test]
+    #[should_panic(expected = "pack_argmin index")]
+    fn pack_rejects_oversized_index_in_release_builds_too() {
+        let _ = pack_argmin(0, ARGMIN_MAX_INDEX);
+    }
+
+    #[test]
+    #[should_panic(expected = "pack_argmin value")]
+    fn pack_rejects_oversized_value_in_release_builds_too() {
+        let _ = pack_argmin(ARGMIN_MAX_ABS_VALUE, 0);
     }
 
     #[test]

@@ -9,8 +9,9 @@
 //! paper's Nvidia-profiler timelines are labelled.
 //!
 //! Event phases used here: `X` (complete, with a duration), `B`/`E`
-//! (nested span begin/end — the pipelines' per-generation spans), and `M`
-//! (metadata: process/track names).
+//! (nested span begin/end — the pipelines' per-generation spans), `C`
+//! (counter samples — e.g. the best-so-far convergence curve plotted on the
+//! modeled clock), and `M` (metadata: process/track names).
 
 use crate::escape;
 use std::fmt::Write as _;
@@ -34,6 +35,9 @@ pub struct TraceEvent {
     pub tid: u32,
     /// Extra key/value payload rendered into `args`.
     pub args: Vec<(String, String)>,
+    /// Numeric payload rendered into `args` unquoted — required for `C`
+    /// (counter) events, whose series values the trace viewer plots.
+    pub num_args: Vec<(String, f64)>,
 }
 
 impl TraceEvent {
@@ -49,6 +53,7 @@ impl TraceEvent {
             pid,
             tid,
             args: Vec::new(),
+            num_args: Vec::new(),
         }
     }
 
@@ -64,10 +69,25 @@ impl TraceEvent {
         TraceEvent { ph: 'E', dur_us: None, ..Self::complete(name, cat, pid, tid, ts_us, 0.0) }
     }
 
+    /// A counter-sample (`ph = C`) event; attach the plotted series values
+    /// with [`with_num_arg`](Self::with_num_arg).
+    #[must_use]
+    pub fn counter(name: &str, cat: &str, pid: u32, tid: u32, ts_us: f64) -> Self {
+        TraceEvent { ph: 'C', dur_us: None, ..Self::complete(name, cat, pid, tid, ts_us, 0.0) }
+    }
+
     /// The same event with one more `args` entry.
     #[must_use]
     pub fn with_arg(mut self, key: &str, value: impl ToString) -> Self {
         self.args.push((key.to_string(), value.to_string()));
+        self
+    }
+
+    /// The same event with one more numeric `args` entry (rendered unquoted,
+    /// so counter series plot as numbers).
+    #[must_use]
+    pub fn with_num_arg(mut self, key: &str, value: f64) -> Self {
+        self.num_args.push((key.to_string(), value));
         self
     }
 
@@ -88,11 +108,12 @@ impl TraceEvent {
         if let Some(dur) = self.dur_us {
             let _ = write!(out, ",\"dur\":{dur:?}");
         }
-        if !self.args.is_empty() {
+        if !self.args.is_empty() || !self.num_args.is_empty() {
             let inner: Vec<String> = self
                 .args
                 .iter()
                 .map(|(k, v)| format!("\"{}\":\"{}\"", escape(k), escape(v)))
+                .chain(self.num_args.iter().map(|(k, v)| format!("\"{}\":{v:?}", escape(k))))
                 .collect();
             let _ = write!(out, ",\"args\":{{{}}}", inner.join(","));
         }
@@ -209,6 +230,19 @@ mod tests {
             json,
             "{\"name\":\"fitness\",\"cat\":\"kernel\",\"ph\":\"X\",\"ts\":12.5,\"pid\":0,\
              \"tid\":3,\"dur\":100.0,\"args\":{\"blocks\":\"4\",\"threads\":\"192\"}}"
+        );
+    }
+
+    #[test]
+    fn counter_event_renders_numeric_args_unquoted() {
+        let e = TraceEvent::counter("convergence", "convergence", 0, 2, 1500.0)
+            .with_num_arg("best", 1234.0)
+            .with_arg("algo", "sa");
+        let json = e.to_json();
+        assert_eq!(
+            json,
+            "{\"name\":\"convergence\",\"cat\":\"convergence\",\"ph\":\"C\",\"ts\":1500.0,\
+             \"pid\":0,\"tid\":2,\"args\":{\"algo\":\"sa\",\"best\":1234.0}}"
         );
     }
 

@@ -8,7 +8,7 @@
 //!     [--devices 4] [--queue-capacity N] [--cache-capacity 256] \
 //!     [--blocks 1] [--block-size 64] [--seed 2016] [--window W] [--deadline-ms D] \
 //!     [--fault-seed S --launch-failure-rate P --bit-flip-rate P --hang-rate P] \
-//!     [--faulty-device IDX] \
+//!     [--faulty-device IDX] [--convergence-stride N] \
 //!     [--summary results/serve_summary.json] [--detail results/serve_requests.csv] \
 //!     [--metrics-out metrics.prom] [--metrics-json metrics.json] \
 //!     [--trace-out trace.json] [--trace-jsonl trace.jsonl]
@@ -31,6 +31,11 @@
 //! in `chrome://tracing` or Perfetto; `--trace-jsonl` is the streaming
 //! flavour).
 //!
+//! `--convergence-stride N` samples every chain's search trajectory every
+//! `N` generations: the metrics snapshot gains `service_convergence_*`
+//! anomaly counters, and a captured trace gains per-request best-so-far
+//! counter tracks. Sampling never changes a result (DESIGN.md §10).
+//!
 //! Latency percentiles come from the service's own metrics registry
 //! (`timing_request_wall_ms`, exact nearest-rank quantiles over every
 //! answered request) — the CLI no longer keeps its own latency math.
@@ -39,6 +44,7 @@ use cdd_bench::workload::{generate_mixed, load};
 use cdd_bench::{fault_plan_from_args, results_dir, write_csv, Args, Table};
 use cdd_core::SuiteError;
 use cdd_service::{RequestOutcome, ServiceConfig, ServiceReport, SolverService};
+use cuda_sim::TelemetryConfig;
 use std::collections::VecDeque;
 use std::path::{Path, PathBuf};
 
@@ -166,6 +172,7 @@ fn main() {
         fault: fleet_fault,
         device_faults,
         capture_trace,
+        telemetry: TelemetryConfig::every(args.get_or("convergence-stride", 0u64)),
         ..Default::default()
     };
     let deadline_ms: Option<u64> = args.get("deadline-ms").map(|s| s.parse().expect("--deadline-ms: milliseconds"));

@@ -34,10 +34,13 @@
 use crate::cache::{CacheStats, SolutionCache};
 use crate::queue::{QueueStats, QueuedJob, SubmissionQueue};
 use cdd_core::{SolveOutcome, SolveRequest, SuiteError};
-use cdd_gpu::{run_gpu_solve, GpuSolveSpec, RecoveryPolicy};
+use cdd_gpu::{counter_trace_events, run_gpu_solve, ConvergenceSummary, GpuSolveSpec, RecoveryPolicy};
 use cdd_metrics::trace::{TraceEvent, TraceSink};
 use cdd_metrics::{latency_ms_buckets, MetricsRegistry};
-use cuda_sim::{timeline_trace_events, DeviceHandle, DeviceSpec, DeviceUsage, FaultPlan, FaultStats};
+use cuda_sim::{
+    timeline_trace_events, DeviceHandle, DeviceSpec, DeviceUsage, FaultPlan, FaultStats,
+    TelemetryConfig,
+};
 use std::collections::HashMap;
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::{self, JoinHandle};
@@ -70,6 +73,11 @@ pub struct ServiceConfig {
     /// track per device, timestamps on the modeled clock). Off by default —
     /// traces grow with the workload.
     pub capture_trace: bool,
+    /// Convergence-telemetry policy applied to every dispatched solve
+    /// (disabled by default). Enabling it adds `service_convergence_*`
+    /// counters to the report and, with `capture_trace`, best-so-far
+    /// counter tracks to the Chrome trace; it never changes a result.
+    pub telemetry: TelemetryConfig,
 }
 
 impl Default for ServiceConfig {
@@ -85,7 +93,42 @@ impl Default for ServiceConfig {
             device_faults: Vec::new(),
             recovery: RecoveryPolicy::default(),
             capture_trace: false,
+            telemetry: TelemetryConfig::disabled(),
         }
+    }
+}
+
+/// Fleet-wide convergence tallies, summed over every request a device ran.
+/// Each request's summary is derived from its deterministic trace, so the
+/// fleet totals are routing-independent — they qualify for the `service_`
+/// metric namespace.
+#[derive(Debug, Clone, Copy, Default)]
+struct ConvergenceTotals {
+    /// Requests that produced a convergence trace.
+    requests: u64,
+    /// Generation samples recorded across those traces.
+    samples: u64,
+    /// Chains whose best-so-far had already plateaued by mid-run.
+    stalled_chains: u64,
+    /// Requests whose trace ended in a diversity collapse.
+    collapsed: u64,
+}
+
+impl ConvergenceTotals {
+    fn absorb(&mut self, other: ConvergenceTotals) {
+        self.requests += other.requests;
+        self.samples += other.samples;
+        self.stalled_chains += other.stalled_chains;
+        self.collapsed += other.collapsed;
+    }
+
+    fn record(&mut self, summary: &ConvergenceSummary) {
+        self.requests += 1;
+        self.samples += summary.samples as u64;
+        // The fraction was computed as count/chains; recover the count.
+        self.stalled_chains +=
+            (summary.stalled_chain_fraction * summary.chains as f64).round() as u64;
+        self.collapsed += u64::from(summary.diversity_collapse_gen.is_some());
     }
 }
 
@@ -193,6 +236,7 @@ struct Shared {
     block_size: usize,
     recovery: RecoveryPolicy,
     capture_trace: bool,
+    telemetry: TelemetryConfig,
 }
 
 fn elapsed_ms(since: Instant) -> f64 {
@@ -205,7 +249,7 @@ fn elapsed_ms(since: Instant) -> f64 {
 /// drain the queue and obtain the [`ServiceReport`].
 pub struct SolverService {
     shared: Arc<Shared>,
-    workers: Vec<JoinHandle<(DeviceHandle, Vec<TraceEvent>)>>,
+    workers: Vec<JoinHandle<(DeviceHandle, Vec<TraceEvent>, ConvergenceTotals)>>,
     started: Instant,
 }
 
@@ -233,6 +277,7 @@ impl SolverService {
             block_size: config.block_size,
             recovery: config.recovery.clone(),
             capture_trace: config.capture_trace,
+            telemetry: config.telemetry,
         });
         let workers = (0..devices)
             .map(|id| {
@@ -328,7 +373,7 @@ impl SolverService {
             st.shutdown = true;
             self.shared.work.notify_all();
         }
-        let joined: Vec<(DeviceHandle, Vec<TraceEvent>)> =
+        let joined: Vec<(DeviceHandle, Vec<TraceEvent>, ConvergenceTotals)> =
             self.workers.drain(..).map(|w| w.join().expect("worker thread exits")).collect();
         let wall_seconds = self.started.elapsed().as_secs_f64();
         let mut st = self.shared.state.lock().expect("service state lock");
@@ -336,17 +381,24 @@ impl SolverService {
         let mut metrics = std::mem::take(&mut st.metrics);
         let queue = st.queue.stats().clone();
         let cache = st.cache.stats().clone();
-        fold_final_metrics(&mut metrics, &st, &queue, &cache, &joined, wall_seconds);
+        let convergence = self.shared.telemetry.enabled().then(|| {
+            let mut totals = ConvergenceTotals::default();
+            for (_, _, t) in &joined {
+                totals.absorb(*t);
+            }
+            totals
+        });
+        fold_final_metrics(&mut metrics, &st, &queue, &cache, &joined, convergence, wall_seconds);
 
         let mut trace = TraceSink::new();
         if self.shared.capture_trace {
             trace.name_process(0, "cdd-service");
             // One named track per device, present even when a device never
             // ran a request — the Perfetto view shows the whole fleet.
-            for (h, _) in &joined {
+            for (h, _, _) in &joined {
                 trace.name_track(0, h.id as u32, &format!("device {}", h.id));
             }
-            for (_, events) in &joined {
+            for (_, events, _) in &joined {
                 trace.extend(events.iter().cloned());
             }
         }
@@ -362,7 +414,7 @@ impl SolverService {
             cache,
             devices: joined
                 .into_iter()
-                .map(|(h, _)| DeviceReport {
+                .map(|(h, _, _)| DeviceReport {
                     id: h.id,
                     utilization: h.usage.utilization(wall_seconds),
                     usage: h.usage,
@@ -389,7 +441,8 @@ fn fold_final_metrics(
     st: &State,
     queue: &QueueStats,
     cache: &CacheStats,
-    joined: &[(DeviceHandle, Vec<TraceEvent>)],
+    joined: &[(DeviceHandle, Vec<TraceEvent>, ConvergenceTotals)],
+    convergence: Option<ConvergenceTotals>,
     wall_seconds: f64,
 ) {
     metrics.inc("service_requests_submitted_total", &[], st.submitted);
@@ -414,8 +467,19 @@ fn fold_final_metrics(
     metrics.inc("timing_cache_hits_total", &[], cache.hits);
     metrics.inc("timing_cache_coalesced_total", &[], cache.coalesced);
 
+    // Convergence tallies only exist when telemetry was on: a disabled
+    // service must render a snapshot byte-identical to one that predates
+    // the telemetry feature. When on, all four series are registered even
+    // at zero so equal workloads stay line-for-line comparable.
+    if let Some(conv) = convergence {
+        metrics.inc("service_convergence_requests_total", &[], conv.requests);
+        metrics.inc("service_convergence_samples_total", &[], conv.samples);
+        metrics.inc("service_convergence_stalled_chains_total", &[], conv.stalled_chains);
+        metrics.inc("service_convergence_collapsed_total", &[], conv.collapsed);
+    }
+
     let mut fleet_faults = FaultStats::default();
-    for (h, _) in joined {
+    for (h, _, _) in joined {
         fleet_faults.launches_attempted += h.usage.faults.launches_attempted;
         fleet_faults.transient_launch_failures += h.usage.faults.transient_launch_failures;
         fleet_faults.bit_flips += h.usage.faults.bit_flips;
@@ -448,12 +512,13 @@ impl Drop for SolverService {
 fn worker_loop(
     shared: &Arc<Shared>,
     mut handle: DeviceHandle,
-) -> (DeviceHandle, Vec<TraceEvent>) {
+) -> (DeviceHandle, Vec<TraceEvent>, ConvergenceTotals) {
     // This device's trace track: each run's timeline is appended where the
     // previous one ended, so the track reads as one continuous modeled-time
     // axis per device.
     let mut trace: Vec<TraceEvent> = Vec::new();
     let mut trace_clock_us = 0.0f64;
+    let mut convergence = ConvergenceTotals::default();
     loop {
         let job = {
             let mut st = shared.state.lock().expect("service state lock");
@@ -471,7 +536,7 @@ fn worker_loop(
                 }
             }
         };
-        let Some(job) = job else { return (handle, trace) };
+        let Some(job) = job else { return (handle, trace, convergence) };
 
         // Run outside the lock — this is the long part, and it is what
         // makes the pool concurrent: every other worker keeps stealing
@@ -483,6 +548,7 @@ fn worker_loop(
             device: handle.spec.clone(),
             fault: handle.request_plan(job.request.seed),
             recovery: shared.recovery.clone(),
+            telemetry: shared.telemetry,
         };
         let result = run_gpu_solve(
             &job.request.instance,
@@ -503,6 +569,9 @@ fn worker_loop(
                     false,
                 );
                 handle.usage.merge_faults(r.recovery.faults);
+                if let Some(trace_data) = &r.convergence {
+                    convergence.record(&ConvergenceSummary::from_trace(trace_data));
+                }
                 if shared.capture_trace {
                     let tid = handle.id as u32;
                     let (events, end_us) =
@@ -519,6 +588,17 @@ fn worker_loop(
                         .with_arg("iterations", job.request.iterations),
                     );
                     trace.extend(events);
+                    // Best-so-far counter samples, pinned to the same
+                    // modeled-clock offsets as the kernel spans above.
+                    if let Some(conv) = &r.convergence {
+                        trace.extend(counter_trace_events(
+                            conv,
+                            &r.timeline,
+                            0,
+                            tid,
+                            trace_clock_us,
+                        ));
+                    }
                     trace.push(TraceEvent::end(
                         &format!("request seed={}", job.request.seed),
                         "request",

@@ -272,6 +272,51 @@ fn trace_capture_produces_one_track_per_device() {
 }
 
 #[test]
+fn convergence_telemetry_adds_counters_without_touching_results() {
+    fn run_workload(stride: u64, capture_trace: bool) -> (Vec<i64>, cdd_service::ServiceReport) {
+        let entries = cdd_bench::workload::generate_mixed(10, 57, 80, &[10]);
+        let service = SolverService::start(ServiceConfig {
+            devices: 2,
+            telemetry: cuda_sim::TelemetryConfig::every(stride),
+            capture_trace,
+            ..small_config(2)
+        });
+        let tickets: Vec<u64> =
+            entries.iter().map(|e| service.submit(e.to_request()).expect("admitted")).collect();
+        let objectives = tickets
+            .into_iter()
+            .map(|t| service.wait(t).result.expect("clean fleet").objective)
+            .collect();
+        (objectives, service.shutdown())
+    }
+
+    let (base_obj, base) = run_workload(0, false);
+    let (on_obj, on) = run_workload(5, true);
+    assert_eq!(on_obj, base_obj, "telemetry must not perturb any solve");
+
+    // Off: the snapshot has no convergence series at all (byte-compatible
+    // with the pre-telemetry service).
+    assert!(!base.metrics.render_prometheus().contains("service_convergence_"));
+
+    // On: every dispatched (non-cached) request contributes one trace.
+    let m = &on.metrics;
+    let dispatched: u64 = on.devices.iter().map(|d| d.usage.requests).sum();
+    assert_eq!(m.counter("service_convergence_requests_total", &[]), dispatched);
+    assert!(m.counter("service_convergence_samples_total", &[]) >= dispatched);
+    // The anomaly counters exist even when nothing anomalous happened.
+    let rendered = m.render_prometheus();
+    assert!(rendered.contains("service_convergence_stalled_chains_total"));
+    assert!(rendered.contains("service_convergence_collapsed_total"));
+
+    // The captured trace carries best-so-far counter samples on the same
+    // device tracks as the kernel spans.
+    let counters: Vec<_> =
+        on.trace.events().iter().filter(|e| e.ph == 'C' && e.cat == "convergence").collect();
+    assert!(!counters.is_empty(), "convergence counter events in the trace");
+    assert!(counters.iter().all(|e| e.tid < 2));
+}
+
+#[test]
 fn trace_capture_off_by_default_keeps_the_report_lean() {
     let service = SolverService::start(small_config(1));
     service.solve(request(10, 1, Algorithm::Sa, 60, 3)).expect("solve succeeds");
