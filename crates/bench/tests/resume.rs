@@ -7,7 +7,7 @@ use cdd_bench::campaign::{instance_seed, run_quality_suite};
 use cdd_bench::{write_csv, CampaignConfig, CampaignObserver, Journal, Table};
 use cdd_instances::{BestKnown, InstanceId};
 use cuda_sim::FaultPlan;
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 
 fn tmp_dir(name: &str) -> PathBuf {
     let dir = std::env::temp_dir().join("cdd-bench-resume").join(name);
@@ -35,7 +35,7 @@ fn small_faulty_config() -> (CampaignConfig, Vec<InstanceId>, BestKnown) {
     (cfg, ids, best)
 }
 
-fn render_csvs(dir: &PathBuf, rows: &[cdd_bench::QualityRow], detail: &Table) -> (String, String) {
+fn render_csvs(dir: &Path, rows: &[cdd_bench::QualityRow], detail: &Table) -> (String, String) {
     let mut summary = Table::new(vec!["Jobs", "SA1000", "SA5000", "DPSO1000", "DPSO5000"]);
     for r in rows {
         let mut cells = vec![r.n.to_string()];

@@ -89,7 +89,11 @@ impl SequenceEvaluator for UcddcpEvaluator {
 }
 
 /// Build the appropriate evaluator for an instance's problem kind.
-pub fn evaluator_for(inst: &Instance) -> Box<dyn SequenceEvaluator + Send> {
+///
+/// The returned evaluator is `Sync` as well as `Send`: it holds only
+/// immutable per-instance arrays, so concurrent simulated blocks (see
+/// `cuda_sim::dispatch`) can share one evaluator without cloning.
+pub fn evaluator_for(inst: &Instance) -> Box<dyn SequenceEvaluator + Send + Sync> {
     match inst.kind() {
         ProblemKind::Cdd => Box::new(CddEvaluator::new(inst)),
         ProblemKind::Ucddcp => Box::new(UcddcpEvaluator::new(inst)),

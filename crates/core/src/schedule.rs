@@ -197,8 +197,8 @@ mod tests {
         let sched = Schedule::build(&inst, &seq, 4, None);
         let starts = sched.starts();
         assert_eq!(starts[0], 4);
-        for k in 1..5 {
-            assert_eq!(starts[k], sched.completion_at(k - 1));
+        for (k, &start) in starts.iter().enumerate().skip(1) {
+            assert_eq!(start, sched.completion_at(k - 1));
         }
     }
 

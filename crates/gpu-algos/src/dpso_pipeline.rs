@@ -157,7 +157,7 @@ fn dpso_attempt(
             ring = Some(TelemetryRing::alloc(&mut gpu, ensemble, telem_cap));
         }
 
-        let fitness = FitnessKernel { prob, seqs: positions, out: energies, ensemble };
+        let fitness = FitnessKernel::new(prob, positions, energies, ensemble, params.blocks);
         // Init-time pbest seeding carries no probe: the improvement counter
         // counts in-loop generations only.
         let pbest_update = PbestKernel {
@@ -171,17 +171,17 @@ fn dpso_attempt(
         };
         let reduce = AtomicArgminKernel { values: pbest_energies, out: packed_best };
         let gbest_copy = GbestCopyKernel { packed: packed_best, pbest, gbest, n };
-        let update = DpsoUpdateKernel {
+        let update = DpsoUpdateKernel::new(
             positions,
             pbest,
             gbest,
-            rng: rng_states,
+            rng_states,
             n,
             ensemble,
-            w: params.w,
-            c1: params.c1,
-            c2: params.c2,
-        };
+            params.w,
+            params.c1,
+            params.c2,
+        );
 
         // Initialize: evaluate the random swarm, seed pbest/gbest
         // (Algorithm 2, lines 1–2 plus the first "find bests").

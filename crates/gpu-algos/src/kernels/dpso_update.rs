@@ -8,7 +8,7 @@
 
 use cdd_meta::dpso::{one_point_crossover, two_point_crossover};
 use cuda_sim::reduce::unpack_argmin;
-use cuda_sim::{Buf, Kernel, TelemetryRing, ThreadCtx};
+use cuda_sim::{Buf, Kernel, ScratchArena, TelemetryRing, ThreadCtx};
 
 /// Telemetry probe handed to the personal-best kernel on sampled runs.
 /// Probe access goes through the simulator's instrumentation port, so
@@ -28,6 +28,10 @@ pub struct DpsoProbe {
 }
 
 /// Position update: `p ← c₂ ⊕ F₃(c₁ ⊕ F₂(w ⊕ F₁(p), pbest), gbest)`.
+///
+/// Built once per pipeline run ([`DpsoUpdateKernel::new`]); each particle's
+/// crossover buffers persist in a scratch arena across launches, so
+/// steady-state generations allocate nothing.
 pub struct DpsoUpdateKernel {
     /// Particle positions (row-major).
     pub positions: Buf<u32>,
@@ -47,6 +51,37 @@ pub struct DpsoUpdateKernel {
     pub c1: f64,
     /// Social probability `c₂`.
     pub c2: f64,
+    /// Per-particle local memory, indexed by global thread id.
+    scratch: ScratchArena<UpdateScratch>,
+}
+
+impl DpsoUpdateKernel {
+    /// Build the kernel for `ensemble` live particles.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        positions: Buf<u32>,
+        pbest: Buf<u32>,
+        gbest: Buf<u32>,
+        rng: Buf<u64>,
+        n: usize,
+        ensemble: usize,
+        w: f64,
+        c1: f64,
+        c2: f64,
+    ) -> Self {
+        DpsoUpdateKernel {
+            positions,
+            pbest,
+            gbest,
+            rng,
+            n,
+            ensemble,
+            w,
+            c1,
+            c2,
+            scratch: ScratchArena::new(ensemble),
+        }
+    }
 }
 
 /// Per-thread local memory for the update.
@@ -79,7 +114,7 @@ fn sanitize_row(row: &mut [u32], marks: &mut Vec<bool>) {
 
 impl Kernel for DpsoUpdateKernel {
     type Shared = ();
-    type ThreadState = UpdateScratch;
+    type ThreadState = ();
 
     fn name(&self) -> &str {
         "dpso_update"
@@ -87,13 +122,7 @@ impl Kernel for DpsoUpdateKernel {
 
     fn make_shared(&self, _block_dim: usize) {}
 
-    fn phase(
-        &self,
-        _p: usize,
-        ctx: &mut ThreadCtx<'_>,
-        _s: &mut (),
-        scratch: &mut UpdateScratch,
-    ) {
+    fn phase(&self, _p: usize, ctx: &mut ThreadCtx<'_>, _s: &mut (), _t: &mut ()) {
         let gid = ctx.global_id();
         if gid >= self.ensemble {
             return;
@@ -101,57 +130,59 @@ impl Kernel for DpsoUpdateKernel {
         let n = self.n;
         let mut rng = ctx.load_rng(self.rng, gid);
 
-        scratch.row.resize(n, 0);
-        ctx.read_slice_into(self.positions, gid * n, &mut scratch.row);
-        if ctx.fault_injection_active() {
-            sanitize_row(&mut scratch.row, &mut scratch.marks);
-            ctx.charge_alu(2 * n as u64);
-        }
-
-        // λ = w ⊕ F₁(p): swap two random positions.
-        if n >= 2 && rng.next_f64() < self.w {
-            let a = rng.next_below(n as u32) as usize;
-            let mut b = rng.next_below(n as u32 - 1) as usize;
-            if b >= a {
-                b += 1;
-            }
-            scratch.row.swap(a, b);
-            ctx.charge_alu(6);
-        }
-
-        // δ = c₁ ⊕ F₂(λ, pbest): one-point crossover with the personal best.
-        if n >= 2 && rng.next_f64() < self.c1 {
-            scratch.other.resize(n, 0);
-            ctx.read_slice_into(self.pbest, gid * n, &mut scratch.other);
+        self.scratch.with_slot(gid, |scratch| {
+            scratch.row.resize(n, 0);
+            ctx.read_slice_into(self.positions, gid * n, &mut scratch.row);
             if ctx.fault_injection_active() {
-                sanitize_row(&mut scratch.other, &mut scratch.marks);
+                sanitize_row(&mut scratch.row, &mut scratch.marks);
                 ctx.charge_alu(2 * n as u64);
             }
-            let cut = 1 + rng.next_below(n as u32 - 1) as usize;
-            one_point_crossover(&scratch.row, &scratch.other, cut, &mut scratch.out);
-            std::mem::swap(&mut scratch.row, &mut scratch.out);
-            ctx.charge_alu(2 * n as u64);
-        }
 
-        // x = c₂ ⊕ F₃(δ, g): two-point crossover with the swarm best.
-        if n >= 2 && rng.next_f64() < self.c2 {
-            scratch.other.resize(n, 0);
-            ctx.read_slice_into(self.gbest, 0, &mut scratch.other);
-            if ctx.fault_injection_active() {
-                sanitize_row(&mut scratch.other, &mut scratch.marks);
+            // λ = w ⊕ F₁(p): swap two random positions.
+            if n >= 2 && rng.next_f64() < self.w {
+                let a = rng.next_below(n as u32) as usize;
+                let mut b = rng.next_below(n as u32 - 1) as usize;
+                if b >= a {
+                    b += 1;
+                }
+                scratch.row.swap(a, b);
+                ctx.charge_alu(6);
+            }
+
+            // δ = c₁ ⊕ F₂(λ, pbest): one-point crossover with the personal best.
+            if n >= 2 && rng.next_f64() < self.c1 {
+                scratch.other.resize(n, 0);
+                ctx.read_slice_into(self.pbest, gid * n, &mut scratch.other);
+                if ctx.fault_injection_active() {
+                    sanitize_row(&mut scratch.other, &mut scratch.marks);
+                    ctx.charge_alu(2 * n as u64);
+                }
+                let cut = 1 + rng.next_below(n as u32 - 1) as usize;
+                one_point_crossover(&scratch.row, &scratch.other, cut, &mut scratch.out);
+                std::mem::swap(&mut scratch.row, &mut scratch.out);
                 ctx.charge_alu(2 * n as u64);
             }
-            let mut lo = rng.next_below(n as u32) as usize;
-            let mut hi = rng.next_below(n as u32) as usize;
-            if lo > hi {
-                std::mem::swap(&mut lo, &mut hi);
-            }
-            two_point_crossover(&scratch.row, &scratch.other, lo, hi + 1, &mut scratch.out);
-            std::mem::swap(&mut scratch.row, &mut scratch.out);
-            ctx.charge_alu(2 * n as u64);
-        }
 
-        ctx.write_slice(self.positions, gid * n, &scratch.row);
+            // x = c₂ ⊕ F₃(δ, g): two-point crossover with the swarm best.
+            if n >= 2 && rng.next_f64() < self.c2 {
+                scratch.other.resize(n, 0);
+                ctx.read_slice_into(self.gbest, 0, &mut scratch.other);
+                if ctx.fault_injection_active() {
+                    sanitize_row(&mut scratch.other, &mut scratch.marks);
+                    ctx.charge_alu(2 * n as u64);
+                }
+                let mut lo = rng.next_below(n as u32) as usize;
+                let mut hi = rng.next_below(n as u32) as usize;
+                if lo > hi {
+                    std::mem::swap(&mut lo, &mut hi);
+                }
+                two_point_crossover(&scratch.row, &scratch.other, lo, hi + 1, &mut scratch.out);
+                std::mem::swap(&mut scratch.row, &mut scratch.out);
+                ctx.charge_alu(2 * n as u64);
+            }
+
+            ctx.write_slice(self.positions, gid * n, &scratch.row);
+        });
         ctx.store_rng(self.rng, gid, &rng);
     }
 }
@@ -283,17 +314,7 @@ mod tests {
         let rng = gpu.alloc::<u64>(t * 3);
         let words: Vec<u64> = (0..t).flat_map(|i| XorWow::new(5, i as u64).pack()).collect();
         gpu.h2d(rng, &words);
-        let k = DpsoUpdateKernel {
-            positions,
-            pbest,
-            gbest,
-            rng,
-            n,
-            ensemble: t,
-            w: 0.9,
-            c1: 0.8,
-            c2: 0.8,
-        };
+        let k = DpsoUpdateKernel::new(positions, pbest, gbest, rng, n, t, 0.9, 0.8, 0.8);
         gpu.launch(&k, LaunchConfig::cover(t, 8), &[]).unwrap();
         let out = gpu.d2h(positions);
         for i in 0..t {

@@ -14,7 +14,7 @@ use crate::layout::ProblemDevice;
 use cdd_core::cdd_optimal::cdd_objective_raw;
 use cdd_core::ucddcp_optimal::ucddcp_objective_raw;
 use cdd_core::ProblemKind;
-use cuda_sim::{Buf, Kernel, ThreadCtx};
+use cuda_sim::{Buf, Kernel, ScratchArena, ThreadCtx};
 
 /// Sentinel energy written when fault injection corrupted a thread's inputs
 /// beyond evaluation (non-permutation sequence, out-of-range data). Large
@@ -28,6 +28,12 @@ pub const CORRUPT_ENERGY: i64 = 1 << 40;
 const VALUE_CAP: i64 = 1 << 20;
 
 /// Evaluates one job sequence per thread.
+///
+/// The kernel is built once per pipeline run ([`FitnessKernel::new`]) and
+/// owns persistent scratch arenas: the per-block staged rates and the
+/// per-thread working vectors survive across launches, so a steady-state
+/// generation performs zero heap allocation (the vectors are resized on the
+/// first launch and fully overwritten on every one).
 pub struct FitnessKernel {
     /// Uploaded problem data.
     pub prob: ProblemDevice,
@@ -37,6 +43,10 @@ pub struct FitnessKernel {
     pub out: Buf<i64>,
     /// Number of live threads (threads with `gid ≥ ensemble` idle).
     pub ensemble: usize,
+    /// Per-block staged shared memory, indexed by block id.
+    staged: ScratchArena<StagedRates>,
+    /// Per-thread working vectors, indexed by global thread id.
+    scratch: ScratchArena<FitnessScratch>,
 }
 
 /// Penalty rates staged in shared memory.
@@ -58,6 +68,25 @@ pub struct FitnessScratch {
 }
 
 impl FitnessKernel {
+    /// Build the kernel for launches of up to `blocks` blocks, evaluating
+    /// `ensemble` live threads.
+    pub fn new(
+        prob: ProblemDevice,
+        seqs: Buf<u32>,
+        out: Buf<i64>,
+        ensemble: usize,
+        blocks: usize,
+    ) -> Self {
+        FitnessKernel {
+            prob,
+            seqs,
+            out,
+            ensemble,
+            staged: ScratchArena::new(blocks),
+            scratch: ScratchArena::new(ensemble),
+        }
+    }
+
     /// Validate the thread's staged inputs before evaluating. Only consulted
     /// under fault injection: a bit flip can turn a job id into an
     /// out-of-bounds index, a processing time into an overflowing magnitude,
@@ -97,16 +126,17 @@ impl FitnessKernel {
 }
 
 impl Kernel for FitnessKernel {
-    type Shared = StagedRates;
-    type ThreadState = FitnessScratch;
+    // Shared memory and thread state live in the kernel's persistent
+    // arenas (keyed by block id / global id) instead of per-launch
+    // `make_shared`/`Default` values, so launches allocate nothing.
+    type Shared = ();
+    type ThreadState = ();
 
     fn name(&self) -> &str {
         "fitness"
     }
 
-    fn make_shared(&self, _block_dim: usize) -> StagedRates {
-        StagedRates::default()
-    }
+    fn make_shared(&self, _block_dim: usize) {}
 
     fn shared_mem_bytes(&self, _block_dim: usize) -> usize {
         self.prob.staged_shared_bytes()
@@ -116,27 +146,23 @@ impl Kernel for FitnessKernel {
         2
     }
 
-    fn phase(
-        &self,
-        phase: usize,
-        ctx: &mut ThreadCtx<'_>,
-        shared: &mut StagedRates,
-        scratch: &mut FitnessScratch,
-    ) {
+    fn phase(&self, phase: usize, ctx: &mut ThreadCtx<'_>, _shared: &mut (), _state: &mut ()) {
         let n = self.prob.n;
         if phase == 0 {
             // Cooperative staging: threads conceptually load elements
             // tid, tid+blockDim, …; the engine performs the copy once and
             // every thread charges its share of the traffic.
             if ctx.thread_idx == 0 {
-                shared.alpha.resize(n, 0);
-                ctx.cooperative_read(self.prob.alpha, 0, &mut shared.alpha);
-                shared.beta.resize(n, 0);
-                ctx.cooperative_read(self.prob.beta, 0, &mut shared.beta);
-                if self.prob.kind == ProblemKind::Ucddcp {
-                    shared.gamma.resize(n, 0);
-                    ctx.cooperative_read(self.prob.gamma, 0, &mut shared.gamma);
-                }
+                self.staged.with_slot(ctx.block_idx, |shared| {
+                    shared.alpha.resize(n, 0);
+                    ctx.cooperative_read(self.prob.alpha, 0, &mut shared.alpha);
+                    shared.beta.resize(n, 0);
+                    ctx.cooperative_read(self.prob.beta, 0, &mut shared.beta);
+                    if self.prob.kind == ProblemKind::Ucddcp {
+                        shared.gamma.resize(n, 0);
+                        ctx.cooperative_read(self.prob.gamma, 0, &mut shared.gamma);
+                    }
+                });
             }
             let arrays = if self.prob.kind == ProblemKind::Ucddcp { 3 } else { 2 };
             let share = n.div_ceil(ctx.block_dim) as u64;
@@ -153,52 +179,61 @@ impl Kernel for FitnessKernel {
         let d = ctx.read_const(self.prob.scalars, 0);
         debug_assert_eq!(ctx.read_const(self.prob.scalars, 1), n as i64);
 
-        scratch.seq.resize(n, 0);
-        ctx.read_slice_into(self.seqs, gid * n, &mut scratch.seq);
-        scratch.p.resize(n, 0);
-        ctx.read_slice_into(self.prob.p, 0, &mut scratch.p);
-        if self.prob.kind == ProblemKind::Ucddcp {
-            scratch.m.resize(n, 0);
-            ctx.read_slice_into(self.prob.m, 0, &mut scratch.m);
-        }
+        self.staged.with_slot(ctx.block_idx, |shared| {
+            self.scratch.with_slot(gid, |scratch| {
+                scratch.seq.resize(n, 0);
+                ctx.read_slice_into(self.seqs, gid * n, &mut scratch.seq);
+                scratch.p.resize(n, 0);
+                ctx.read_slice_into(self.prob.p, 0, &mut scratch.p);
+                if self.prob.kind == ProblemKind::Ucddcp {
+                    scratch.m.resize(n, 0);
+                    ctx.read_slice_into(self.prob.m, 0, &mut scratch.m);
+                }
 
-        // Under fault injection, a corrupted input set is detected up front
-        // and scored with the sentinel instead of evaluated (the evaluators
-        // would index out of bounds or overflow on it). The clean path skips
-        // the validation entirely, so timing and results are bit-identical
-        // with no plan installed.
-        if ctx.fault_injection_active() && !self.inputs_valid(shared, scratch, d) {
-            ctx.charge_alu(4 * n as u64); // the validation scan
-            ctx.write(self.out, gid, CORRUPT_ENERGY);
-            return;
-        }
+                // Under fault injection, a corrupted input set is detected up
+                // front and scored with the sentinel instead of evaluated
+                // (the evaluators would index out of bounds or overflow on
+                // it). The clean path skips the validation entirely, so
+                // timing and results are bit-identical with no plan
+                // installed.
+                if ctx.fault_injection_active() && !self.inputs_valid(shared, scratch, d) {
+                    ctx.charge_alu(4 * n as u64); // the validation scan
+                    ctx.write(self.out, gid, CORRUPT_ENERGY);
+                    return;
+                }
 
-        let objective = match self.prob.kind {
-            ProblemKind::Cdd => {
-                // ~2 passes over shared rates + register arithmetic.
-                ctx.charge_shared(2 * n as u64);
-                ctx.charge_alu(8 * n as u64);
-                cdd_objective_raw(&scratch.p, &shared.alpha, &shared.beta, d, &scratch.seq)
-            }
-            ProblemKind::Ucddcp => {
-                ctx.charge_shared(3 * n as u64);
-                ctx.charge_alu(12 * n as u64);
-                ucddcp_objective_raw(
-                    &scratch.p,
-                    &scratch.m,
-                    &shared.alpha,
-                    &shared.beta,
-                    &shared.gamma,
-                    d,
-                    &scratch.seq,
-                )
-            }
-        };
-        // Flipped-but-valid data can still produce objectives past the
-        // packed-argmin range; the clamp keeps downstream reductions safe.
-        let objective =
-            if ctx.fault_injection_active() { objective.clamp(0, CORRUPT_ENERGY) } else { objective };
-        ctx.write(self.out, gid, objective);
+                let objective = match self.prob.kind {
+                    ProblemKind::Cdd => {
+                        // ~2 passes over shared rates + register arithmetic.
+                        ctx.charge_shared(2 * n as u64);
+                        ctx.charge_alu(8 * n as u64);
+                        cdd_objective_raw(&scratch.p, &shared.alpha, &shared.beta, d, &scratch.seq)
+                    }
+                    ProblemKind::Ucddcp => {
+                        ctx.charge_shared(3 * n as u64);
+                        ctx.charge_alu(12 * n as u64);
+                        ucddcp_objective_raw(
+                            &scratch.p,
+                            &scratch.m,
+                            &shared.alpha,
+                            &shared.beta,
+                            &shared.gamma,
+                            d,
+                            &scratch.seq,
+                        )
+                    }
+                };
+                // Flipped-but-valid data can still produce objectives past
+                // the packed-argmin range; the clamp keeps downstream
+                // reductions safe.
+                let objective = if ctx.fault_injection_active() {
+                    objective.clamp(0, CORRUPT_ENERGY)
+                } else {
+                    objective
+                };
+                ctx.write(self.out, gid, objective);
+            });
+        });
     }
 }
 
@@ -226,7 +261,8 @@ mod tests {
         gpu.h2d(seq_buf, &flat);
         let out = gpu.alloc::<i64>(threads);
 
-        let kernel = FitnessKernel { prob, seqs: seq_buf, out, ensemble: threads };
+        let kernel =
+            FitnessKernel::new(prob, seq_buf, out, threads, threads.div_ceil(block));
         let stats = gpu
             .launch(&kernel, LaunchConfig::cover(threads, block), &[])
             .unwrap();
@@ -261,7 +297,7 @@ mod tests {
         let seq_buf = gpu.alloc::<u32>(5);
         gpu.h2d(seq_buf, &[0, 1, 2, 3, 4]);
         let out = gpu.alloc::<i64>(1);
-        let kernel = FitnessKernel { prob, seqs: seq_buf, out, ensemble: 1 };
+        let kernel = FitnessKernel::new(prob, seq_buf, out, 1, 1);
         gpu.launch(&kernel, LaunchConfig::linear(1, 32), &[]).unwrap();
         assert_eq!(gpu.d2h(out)[0], 81);
     }
@@ -277,7 +313,7 @@ mod tests {
         gpu.h2d(seq_buf, &[4, 3, 2, 1, 0]);
         let out = gpu.alloc::<i64>(2);
         gpu.h2d(out, &[-1, -1]);
-        let kernel = FitnessKernel { prob, seqs: seq_buf, out, ensemble: 1 };
+        let kernel = FitnessKernel::new(prob, seq_buf, out, 1, 2);
         gpu.launch(&kernel, LaunchConfig::linear(2, 32), &[]).unwrap();
         let host = gpu.d2h(out);
         assert_ne!(host[0], -1);
@@ -291,7 +327,7 @@ mod tests {
         let prob = ProblemDevice::upload(&mut gpu, &inst).unwrap();
         let seq_buf = gpu.alloc::<u32>(5);
         let out = gpu.alloc::<i64>(1);
-        let k = FitnessKernel { prob, seqs: seq_buf, out, ensemble: 1 };
+        let k = FitnessKernel::new(prob, seq_buf, out, 1, 1);
         assert_eq!(k.shared_mem_bytes(192), 3 * 5 * 8);
     }
 }

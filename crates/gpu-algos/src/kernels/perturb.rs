@@ -6,9 +6,13 @@
 //! Randomness comes from the thread's device-resident XORWOW stream (the
 //! cuRAND analogue).
 
-use cuda_sim::{Buf, Kernel, ThreadCtx};
+use cuda_sim::{Buf, Kernel, ScratchArena, ThreadCtx};
 
 /// Derives `dst[row] = perturb(src[row])` per thread.
+///
+/// Built once per pipeline run ([`PerturbKernel::new`]); each thread's
+/// working vectors persist in a scratch arena across launches, so
+/// steady-state generations allocate nothing.
 pub struct PerturbKernel {
     /// Parent sequences (row-major, `n` per thread).
     pub src: Buf<u32>,
@@ -22,6 +26,8 @@ pub struct PerturbKernel {
     pub ensemble: usize,
     /// Perturbation size `Pert` (paper: 4).
     pub pert: usize,
+    /// Per-thread local memory, indexed by global thread id.
+    scratch: ScratchArena<PerturbScratch>,
 }
 
 /// Per-thread local memory.
@@ -31,9 +37,23 @@ pub struct PerturbScratch {
     positions: Vec<u32>,
 }
 
+impl PerturbKernel {
+    /// Build the kernel for `ensemble` live threads.
+    pub fn new(
+        src: Buf<u32>,
+        dst: Buf<u32>,
+        rng: Buf<u64>,
+        n: usize,
+        ensemble: usize,
+        pert: usize,
+    ) -> Self {
+        PerturbKernel { src, dst, rng, n, ensemble, pert, scratch: ScratchArena::new(ensemble) }
+    }
+}
+
 impl Kernel for PerturbKernel {
     type Shared = ();
-    type ThreadState = PerturbScratch;
+    type ThreadState = ();
 
     fn name(&self) -> &str {
         "perturbation"
@@ -41,13 +61,7 @@ impl Kernel for PerturbKernel {
 
     fn make_shared(&self, _block_dim: usize) {}
 
-    fn phase(
-        &self,
-        _phase: usize,
-        ctx: &mut ThreadCtx<'_>,
-        _shared: &mut (),
-        scratch: &mut PerturbScratch,
-    ) {
+    fn phase(&self, _phase: usize, ctx: &mut ThreadCtx<'_>, _shared: &mut (), _state: &mut ()) {
         let gid = ctx.global_id();
         if gid >= self.ensemble {
             return;
@@ -55,30 +69,32 @@ impl Kernel for PerturbKernel {
         let n = self.n;
         let mut rng = ctx.load_rng(self.rng, gid);
 
-        scratch.row.resize(n, 0);
-        ctx.read_slice_into(self.src, gid * n, &mut scratch.row);
+        self.scratch.with_slot(gid, |scratch| {
+            scratch.row.resize(n, 0);
+            ctx.read_slice_into(self.src, gid * n, &mut scratch.row);
 
-        let pert = self.pert.min(n);
-        if pert >= 2 {
-            // Select `pert` distinct positions (rejection sampling — cheap
-            // for the paper's Pert = 4, exact for any pert ≤ n).
-            scratch.positions.clear();
-            while scratch.positions.len() < pert {
-                let c = rng.next_below(n as u32);
-                if !scratch.positions.contains(&c) {
-                    scratch.positions.push(c);
+            let pert = self.pert.min(n);
+            if pert >= 2 {
+                // Select `pert` distinct positions (rejection sampling —
+                // cheap for the paper's Pert = 4, exact for any pert ≤ n).
+                scratch.positions.clear();
+                while scratch.positions.len() < pert {
+                    let c = rng.next_below(n as u32);
+                    if !scratch.positions.contains(&c) {
+                        scratch.positions.push(c);
+                    }
+                    ctx.charge_alu(2);
                 }
-                ctx.charge_alu(2);
+                // Fisher–Yates over the jobs at the selected positions.
+                for i in (1..pert).rev() {
+                    let j = rng.next_below(i as u32 + 1) as usize;
+                    scratch.row.swap(scratch.positions[i] as usize, scratch.positions[j] as usize);
+                    ctx.charge_alu(4);
+                }
             }
-            // Fisher–Yates over the jobs at the selected positions.
-            for i in (1..pert).rev() {
-                let j = rng.next_below(i as u32 + 1) as usize;
-                scratch.row.swap(scratch.positions[i] as usize, scratch.positions[j] as usize);
-                ctx.charge_alu(4);
-            }
-        }
 
-        ctx.write_slice(self.dst, gid * n, &scratch.row);
+            ctx.write_slice(self.dst, gid * n, &scratch.row);
+        });
         ctx.store_rng(self.rng, gid, &rng);
     }
 }
@@ -106,7 +122,7 @@ mod tests {
     #[test]
     fn candidates_are_permutations_with_bounded_displacement() {
         let (mut gpu, src, dst, rng) = setup(32, 20);
-        let kernel = PerturbKernel { src, dst, rng, n: 20, ensemble: 32, pert: 4 };
+        let kernel = PerturbKernel::new(src, dst, rng, 20, 32, 4);
         gpu.launch(&kernel, LaunchConfig::linear(1, 32), &[]).unwrap();
         let out = gpu.d2h(dst);
         for t in 0..32 {
@@ -122,7 +138,7 @@ mod tests {
     fn parent_rows_are_untouched() {
         let (mut gpu, src, dst, rng) = setup(8, 10);
         let before = gpu.peek(src);
-        let kernel = PerturbKernel { src, dst, rng, n: 10, ensemble: 8, pert: 4 };
+        let kernel = PerturbKernel::new(src, dst, rng, 10, 8, 4);
         gpu.launch(&kernel, LaunchConfig::linear(1, 8), &[]).unwrap();
         assert_eq!(gpu.peek(src), before);
     }
@@ -130,7 +146,7 @@ mod tests {
     #[test]
     fn threads_perturb_differently() {
         let (mut gpu, src, dst, rng) = setup(16, 30);
-        let kernel = PerturbKernel { src, dst, rng, n: 30, ensemble: 16, pert: 4 };
+        let kernel = PerturbKernel::new(src, dst, rng, 30, 16, 4);
         gpu.launch(&kernel, LaunchConfig::linear(1, 16), &[]).unwrap();
         let out = gpu.d2h(dst);
         let rows: std::collections::HashSet<Vec<u32>> =
@@ -142,7 +158,7 @@ mod tests {
     #[test]
     fn successive_launches_advance_the_stream() {
         let (mut gpu, src, dst, rng) = setup(4, 12);
-        let kernel = PerturbKernel { src, dst, rng, n: 12, ensemble: 4, pert: 4 };
+        let kernel = PerturbKernel::new(src, dst, rng, 12, 4, 4);
         gpu.launch(&kernel, LaunchConfig::linear(1, 4), &[]).unwrap();
         let first = gpu.d2h(dst);
         gpu.launch(&kernel, LaunchConfig::linear(1, 4), &[]).unwrap();
@@ -153,7 +169,7 @@ mod tests {
     #[test]
     fn tiny_sequences_pass_through() {
         let (mut gpu, src, dst, rng) = setup(2, 1);
-        let kernel = PerturbKernel { src, dst, rng, n: 1, ensemble: 2, pert: 4 };
+        let kernel = PerturbKernel::new(src, dst, rng, 1, 2, 4);
         gpu.launch(&kernel, LaunchConfig::linear(1, 2), &[]).unwrap();
         assert_eq!(gpu.d2h(dst), vec![0, 0]);
     }

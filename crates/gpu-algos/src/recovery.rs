@@ -76,7 +76,7 @@ pub(crate) fn merge_faults(into: &mut FaultStats, f: FaultStats) {
 }
 
 /// Launch `kernel`, retrying transient failures up to the policy's bound.
-pub fn launch_with_retry<K: Kernel>(
+pub fn launch_with_retry<K: Kernel + Sync>(
     gpu: &mut Gpu,
     kernel: &K,
     cfg: LaunchConfig,

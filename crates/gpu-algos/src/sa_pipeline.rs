@@ -247,20 +247,13 @@ fn sa_attempt(
         }
 
         // Initial fitness of the starting ensemble.
-        let fitness_current = FitnessKernel { prob, seqs: current, out: energies, ensemble };
+        let fitness_current = FitnessKernel::new(prob, current, energies, ensemble, params.blocks);
         launch_with_retry(&mut gpu, &fitness_current, cfg, policy, stats)
             .map_err(|e| suite_device_error(&e))?;
 
-        let perturb = PerturbKernel {
-            src: current,
-            dst: candidate,
-            rng: rng_states,
-            n,
-            ensemble,
-            pert: params.pert,
-        };
+        let perturb = PerturbKernel::new(current, candidate, rng_states, n, ensemble, params.pert);
         let fitness_candidate =
-            FitnessKernel { prob, seqs: candidate, out: cand_energies, ensemble };
+            FitnessKernel::new(prob, candidate, cand_energies, ensemble, params.blocks);
         let reduce = AtomicArgminKernel { values: best_energies, out: global_best };
 
         let mut temperature = t0;

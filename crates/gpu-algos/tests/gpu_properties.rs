@@ -47,7 +47,7 @@ proptest! {
         gpu.h2d(seq_buf, &flat);
         let out = gpu.alloc::<i64>(threads);
 
-        let kernel = FitnessKernel { prob, seqs: seq_buf, out, ensemble: threads };
+        let kernel = FitnessKernel::new(prob, seq_buf, out, threads, threads.div_ceil(8));
         gpu.launch(&kernel, LaunchConfig::cover(threads, 8), &[]).expect("clean launch");
 
         let host = CddEvaluator::new(&inst);

@@ -1,0 +1,169 @@
+//! The determinism contract of parallel block dispatch (DESIGN.md §11).
+//!
+//! The host thread count is a pure wall-clock knob: every observable output
+//! of a pipeline run — the winning sequence, the objective, the modeled
+//! clocks bit-for-bit, the launch and evaluation counts, the fault-recovery
+//! statistics, and the decoded convergence telemetry — must be byte-identical
+//! at every `SimParallelism` setting. The golden-value test additionally
+//! pins today's engine to the pre-parallel (serial-only) engine: the numbers
+//! below were captured from the commit before the dispatch rewrite.
+
+use cdd_gpu::{run_gpu_dpso, run_gpu_sa, GpuDpsoParams, GpuRunResult, GpuSaParams};
+use cdd_core::Instance;
+use cuda_sim::{FaultPlan, SimParallelism, TelemetryConfig};
+
+/// Everything observable about a run, with floats pinned to their bits.
+#[derive(Debug, PartialEq)]
+struct Observed {
+    best: Vec<u32>,
+    objective: i64,
+    evaluations: u64,
+    t0_bits: u64,
+    modeled_bits: u64,
+    kernel_bits: u64,
+    transfer_bits: u64,
+    kernel_launches: usize,
+    profiler_summary: String,
+    recovery: cdd_gpu::RecoveryStats,
+    convergence: Option<cdd_gpu::ConvergenceTrace>,
+}
+
+impl Observed {
+    fn of(r: &GpuRunResult) -> Observed {
+        Observed {
+            best: r.best.as_slice().to_vec(),
+            objective: r.objective,
+            evaluations: r.evaluations,
+            t0_bits: r.t0.to_bits(),
+            modeled_bits: r.modeled_seconds.to_bits(),
+            kernel_bits: r.kernel_seconds.to_bits(),
+            transfer_bits: r.transfer_seconds.to_bits(),
+            kernel_launches: r.kernel_launches,
+            profiler_summary: r.profiler_summary.clone(),
+            recovery: r.recovery,
+            convergence: r.convergence.clone(),
+        }
+    }
+}
+
+fn sa_params(par: SimParallelism) -> GpuSaParams {
+    let mut p = GpuSaParams {
+        blocks: 2,
+        block_size: 32,
+        iterations: 100,
+        telemetry: TelemetryConfig::every(5),
+        ..GpuSaParams::default()
+    };
+    p.device.parallelism = par;
+    p
+}
+
+fn dpso_params(par: SimParallelism) -> GpuDpsoParams {
+    let mut p = GpuDpsoParams {
+        blocks: 2,
+        block_size: 32,
+        iterations: 100,
+        telemetry: TelemetryConfig::every(5),
+        ..GpuDpsoParams::default()
+    };
+    p.device.parallelism = par;
+    p
+}
+
+const THREAD_COUNTS: [SimParallelism; 4] = [
+    SimParallelism::Serial,
+    SimParallelism::Threads(1),
+    SimParallelism::Threads(2),
+    SimParallelism::Threads(8),
+];
+
+#[test]
+fn sa_is_byte_identical_at_every_thread_count() {
+    let inst = Instance::paper_example_cdd();
+    let baseline = Observed::of(&run_gpu_sa(&inst, &sa_params(SimParallelism::Serial)).unwrap());
+    assert!(baseline.convergence.is_some(), "telemetry must be on for this test to bite");
+    for par in THREAD_COUNTS {
+        let run = Observed::of(&run_gpu_sa(&inst, &sa_params(par)).unwrap());
+        assert_eq!(baseline, run, "SA diverged at {par}");
+    }
+}
+
+#[test]
+fn dpso_is_byte_identical_at_every_thread_count() {
+    let inst = Instance::paper_example_cdd();
+    let baseline =
+        Observed::of(&run_gpu_dpso(&inst, &dpso_params(SimParallelism::Serial)).unwrap());
+    assert!(baseline.convergence.is_some(), "telemetry must be on for this test to bite");
+    for par in THREAD_COUNTS {
+        let run = Observed::of(&run_gpu_dpso(&inst, &dpso_params(par)).unwrap());
+        assert_eq!(baseline, run, "DPSO diverged at {par}");
+    }
+}
+
+/// Golden values captured from the pre-parallel engine (the commit before
+/// the dispatch rewrite), with the exact same instance and parameters. A
+/// failure here means the rewrite changed *results*, not just wall-clock.
+#[test]
+fn results_match_the_pre_parallel_engine_golden_values() {
+    let inst = Instance::paper_example_cdd();
+
+    for par in THREAD_COUNTS {
+        let mut p = GpuSaParams {
+            blocks: 2,
+            block_size: 32,
+            iterations: 100,
+            ..GpuSaParams::default()
+        };
+        p.device.parallelism = par;
+        let sa = run_gpu_sa(&inst, &p).unwrap();
+        assert_eq!(sa.objective, 81, "SA objective at {par}");
+        assert_eq!(sa.best.as_slice(), &[0, 1, 2, 3, 4], "SA sequence at {par}");
+        assert_eq!(sa.evaluations, 6464, "SA evaluations at {par}");
+        assert_eq!(sa.kernel_launches, 401, "SA launches at {par}");
+        assert_eq!(sa.t0.to_bits(), 0x4038603b57f93aea, "SA t0 at {par}");
+        assert_eq!(sa.modeled_seconds.to_bits(), 0x3f6195174ead7747, "SA modeled at {par}");
+        assert_eq!(sa.kernel_seconds.to_bits(), 0x3f60982e7704cb0b, "SA kernel at {par}");
+        assert_eq!(sa.transfer_seconds.to_bits(), 0x3f1f9d1af51587f0, "SA transfer at {par}");
+
+        let mut p = GpuDpsoParams {
+            blocks: 2,
+            block_size: 32,
+            iterations: 100,
+            ..GpuDpsoParams::default()
+        };
+        p.device.parallelism = par;
+        let dp = run_gpu_dpso(&inst, &p).unwrap();
+        assert_eq!(dp.objective, 81, "DPSO objective at {par}");
+        assert_eq!(dp.best.as_slice(), &[0, 1, 2, 3, 4], "DPSO sequence at {par}");
+        assert_eq!(dp.evaluations, 6464, "DPSO evaluations at {par}");
+        assert_eq!(dp.kernel_launches, 504, "DPSO launches at {par}");
+        assert_eq!(dp.modeled_seconds.to_bits(), 0x3f65cca9a69818c0, "DPSO modeled at {par}");
+        assert_eq!(dp.kernel_seconds.to_bits(), 0x3f64cfc0ceef6c84, "DPSO kernel at {par}");
+    }
+}
+
+/// Fault injection — including read bit-flips, the one fault class whose
+/// streams were redesigned for pre-drawing — is deterministic and
+/// thread-count-invariant: the same plan produces the same recovery story
+/// and the same final answer at every parallelism setting.
+#[test]
+fn faulted_runs_are_thread_count_invariant() {
+    let inst = Instance::paper_example_cdd();
+    let plan = FaultPlan::with_rates(9, 0.05, 0.02, 0.02);
+
+    let observe = |par: SimParallelism| {
+        let mut p = sa_params(par);
+        p.fault = Some(plan.clone());
+        Observed::of(&run_gpu_sa(&inst, &p).unwrap())
+    };
+
+    let baseline = observe(SimParallelism::Serial);
+    assert!(
+        baseline.recovery.launch_retries > 0 || baseline.recovery.device_attempts > 1,
+        "plan too mild to exercise the fault path: {:?}",
+        baseline.recovery
+    );
+    for par in THREAD_COUNTS {
+        assert_eq!(baseline, observe(par), "faulted SA diverged at {par}");
+    }
+}

@@ -196,7 +196,7 @@ mod tests {
         let spec = DeviceSpec::gt560m();
         let blocks: Vec<_> = (0..4).map(|_| vec![warp(1000, 0)]).collect();
         let t4 = model_kernel_time(&spec, &LaunchConfig::linear(4, 32), &blocks, 1);
-        let t1 = model_kernel_time(&spec, &LaunchConfig::linear(1, 32), &blocks[..1].to_vec(), 1);
+        let t1 = model_kernel_time(&spec, &LaunchConfig::linear(1, 32), &blocks[..1], 1);
         assert!((t4.critical_sm_cycles - t1.critical_sm_cycles).abs() < 1e-9);
     }
 

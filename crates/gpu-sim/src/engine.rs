@@ -1,15 +1,32 @@
 //! Kernel execution engine: launches, barriers, memory access, data-race
-//! detection, cost aggregation.
+//! detection, cost aggregation, parallel block dispatch.
+//!
+//! Blocks of a launch execute on a configurable number of host threads
+//! (see [`crate::dispatch::SimParallelism`]); determinism is a hard
+//! contract, maintained by three mechanisms (DESIGN.md §11):
+//!
+//! * fault decisions are pre-drawn per launch and derived per simulated
+//!   thread (`(salt, global id)`), so host scheduling cannot perturb them;
+//! * atomics are staged per block and merged in block-index order after
+//!   every block has run;
+//! * the modeled clock is computed from per-block cost counters that are
+//!   also merged in block-index order.
+//!
+//! Race detection keeps its exact cross-block semantics by falling back to
+//! serial in-line execution while enabled.
 
 use crate::cost::{model_kernel_time, CostCounter, KernelTiming};
 use crate::device::DeviceSpec;
-use crate::fault::{FaultPlan, FaultState, FaultStats};
+use crate::dispatch::{SimParallelism, WorkerPool};
+use crate::fault::{FaultPlan, FaultState, FaultStats, ReadFaultCfg, ReadFaultStream};
 use crate::grid::LaunchConfig;
 use crate::memory::{Buf, ConstBuf, DeviceValue, ErasedBuf, MemoryPool};
 use crate::profiler::{Profiler, TimelineEvent, TransferDir};
 use crate::rng::XorWow;
 use std::collections::HashMap;
 use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
 
 /// Why a launch or allocation was rejected.
 #[derive(Debug, Clone, PartialEq)]
@@ -220,6 +237,215 @@ impl RaceTracker {
     }
 }
 
+/// Raw view of one global buffer: base pointer + element count.
+#[derive(Clone, Copy)]
+struct BufSlice {
+    ptr: *mut u64,
+    len: usize,
+}
+
+/// A launch-scoped view of device memory that many host threads can access
+/// at once. Words are loaded/stored through `AtomicU64` with relaxed
+/// ordering, so even a kernel with a (simulated) data race is defined
+/// behavior on the host — it produces garbage values, never UB. Constant
+/// memory is read-only during a launch and needs no atomicity.
+pub(crate) struct MemView<'a> {
+    global: Vec<BufSlice>,
+    constant: &'a [Vec<u64>],
+}
+
+// SAFETY: all global-word access goes through atomic loads/stores (see
+// `load`/`store`); the constant regions are shared read-only. The pointers
+// stay valid for the view's lifetime because `new` takes `&mut MemoryPool`,
+// which prevents any reallocation of the underlying vectors while the view
+// is alive.
+unsafe impl Sync for MemView<'_> {}
+
+impl<'a> MemView<'a> {
+    fn new(pool: &'a mut MemoryPool) -> MemView<'a> {
+        let MemoryPool { global, constant, .. } = pool;
+        let global =
+            global.iter_mut().map(|b| BufSlice { ptr: b.as_mut_ptr(), len: b.len() }).collect();
+        MemView { global, constant }
+    }
+
+    #[inline]
+    fn word(&self, buf: usize, idx: usize) -> &AtomicU64 {
+        let b = &self.global[buf];
+        assert!(idx < b.len, "global memory access out of bounds: buffer {buf} has {} elements, index {idx}", b.len);
+        // SAFETY: in-bounds (asserted), aligned (`Vec<u64>` storage), and
+        // `u64`/`AtomicU64` share layout; atomicity makes concurrent access
+        // defined.
+        unsafe { &*(b.ptr.add(idx) as *const AtomicU64) }
+    }
+
+    #[inline]
+    fn load(&self, buf: usize, idx: usize) -> u64 {
+        self.word(buf, idx).load(Ordering::Relaxed)
+    }
+
+    #[inline]
+    fn store(&self, buf: usize, idx: usize, bits: u64) {
+        self.word(buf, idx).store(bits, Ordering::Relaxed)
+    }
+
+    #[inline]
+    fn const_word(&self, region: usize, idx: usize) -> u64 {
+        self.constant[region][idx]
+    }
+}
+
+/// The two atomic ops the engine models.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum AtomicOp {
+    Min,
+    Add,
+}
+
+#[derive(Debug)]
+struct StagedAtomic {
+    buf: usize,
+    idx: usize,
+    op: AtomicOp,
+    /// Global value at the block's first touch of this location.
+    snapshot: i64,
+    /// Block-local accumulated value (min over, or snapshot + deltas).
+    value: i64,
+}
+
+/// Per-block atomic accumulator. Atomics do not write global memory during
+/// block execution; each block accumulates into its own stage and the
+/// engine merges the stages **in block-index order** after all blocks have
+/// run ([`AtomicStage::apply`]). The ops the engine models (min, add) are
+/// associative and commutative, so the merged result equals the serial
+/// engine's — and the fixed merge order makes it deterministic by
+/// construction. Consequence (same as real CUDA): a launch must not read a
+/// location another block updates atomically; its post-launch value is only
+/// visible to the *next* launch.
+#[derive(Debug, Default)]
+struct AtomicStage {
+    entries: Vec<StagedAtomic>,
+}
+
+impl AtomicStage {
+    /// Returns the block-local previous value (the global snapshot on first
+    /// touch). Every kernel in this repo discards it; it is *not* the
+    /// serial engine's cross-block old value.
+    fn update(&mut self, mem: &MemView<'_>, buf: usize, idx: usize, op: AtomicOp, v: i64) -> i64 {
+        if let Some(e) =
+            self.entries.iter_mut().find(|e| e.buf == buf && e.idx == idx && e.op == op)
+        {
+            let old = e.value;
+            e.value = match op {
+                AtomicOp::Min => e.value.min(v),
+                AtomicOp::Add => e.value + v,
+            };
+            return old;
+        }
+        let snapshot = i64::from_bits(mem.load(buf, idx));
+        let value = match op {
+            AtomicOp::Min => snapshot.min(v),
+            AtomicOp::Add => snapshot + v,
+        };
+        self.entries.push(StagedAtomic { buf, idx, op, snapshot, value });
+        snapshot
+    }
+
+    /// Fold this block's accumulators into global memory (called in
+    /// block-index order).
+    fn apply(self, pool: &mut MemoryPool) {
+        for e in self.entries {
+            let cur = i64::from_bits(pool.global[e.buf][e.idx]);
+            let merged = match e.op {
+                // `value` already includes the snapshot, and min is
+                // idempotent: min(cur, value) folds this block's minimum in.
+                AtomicOp::Min => cur.min(e.value),
+                // Adds fold in this block's *delta* so every block's
+                // contribution counts exactly once.
+                AtomicOp::Add => cur + (e.value - e.snapshot),
+            };
+            pool.global[e.buf][e.idx] = merged.to_bits();
+        }
+    }
+}
+
+/// Everything one block's execution produced, merged by the engine in
+/// block-index order.
+struct BlockOutcome {
+    /// Lockstep warp costs (lane-max folded).
+    warps: Vec<CostCounter>,
+    /// Sum of the block's raw per-thread costs.
+    total: CostCounter,
+    /// Staged atomic updates.
+    atomics: AtomicStage,
+    /// Bit flips injected into this block's reads.
+    bit_flips: u64,
+}
+
+/// Execute one block to completion (all phases, barrier semantics) and
+/// return its outcome. Self-contained: writable state is either
+/// block-local (shared memory, thread states, costs, atomic stage, fault
+/// streams) or reached through the concurrency-safe [`MemView`], so any
+/// number of blocks may run on distinct host threads simultaneously.
+#[allow(clippy::too_many_arguments)]
+fn run_block<K: Kernel>(
+    kernel: &K,
+    block_idx: usize,
+    block_dim: usize,
+    grid_dim: usize,
+    phases: usize,
+    args: &[ErasedBuf],
+    mem: &MemView<'_>,
+    warp_size: usize,
+    read_cfg: Option<ReadFaultCfg>,
+    mut race: Option<&mut RaceTracker>,
+) -> BlockOutcome {
+    let mut shared = kernel.make_shared(block_dim);
+    let mut states: Vec<K::ThreadState> =
+        (0..block_dim).map(|_| K::ThreadState::default()).collect();
+    let mut costs = vec![CostCounter::default(); block_dim];
+    let mut stage = AtomicStage::default();
+    // Each simulated thread's fault stream is derived from the pre-drawn
+    // launch salt and its global id — private state, immune to scheduling.
+    let mut fault_streams: Vec<Option<ReadFaultStream>> = (0..block_dim)
+        .map(|t| {
+            read_cfg
+                .map(|cfg| ReadFaultStream::for_thread(cfg, (block_idx * block_dim + t) as u64))
+        })
+        .collect();
+    for phase in 0..phases {
+        for thread_idx in 0..block_dim {
+            let mut ctx = ThreadCtx {
+                thread_idx,
+                block_idx,
+                block_dim,
+                grid_dim,
+                phase,
+                args,
+                mem,
+                cost: &mut costs[thread_idx],
+                stage: &mut stage,
+                race: race.as_deref_mut(),
+                fault: fault_streams[thread_idx].as_mut(),
+            };
+            kernel.phase(phase, &mut ctx, &mut shared, &mut states[thread_idx]);
+        }
+    }
+    // Fold threads into lockstep warps.
+    let warps: Vec<CostCounter> = costs
+        .chunks(warp_size)
+        .map(|lanes| {
+            lanes.iter().fold(CostCounter::default(), |acc, c| CostCounter::lane_max(&acc, c))
+        })
+        .collect();
+    let mut total = CostCounter::default();
+    for c in &costs {
+        total.add(c);
+    }
+    let bit_flips = fault_streams.iter().flatten().map(|s| s.flips).sum();
+    BlockOutcome { warps, total, atomics: stage, bit_flips }
+}
+
 /// Per-thread execution context handed to [`Kernel::phase`].
 pub struct ThreadCtx<'a> {
     /// Thread index within the block (`threadIdx.x` for linear blocks).
@@ -232,12 +458,13 @@ pub struct ThreadCtx<'a> {
     pub grid_dim: usize,
     phase: usize,
     args: &'a [ErasedBuf],
-    mem: &'a mut MemoryPool,
+    mem: &'a MemView<'a>,
     /// This thread's cost counters (kernels may charge extra work through
     /// the `charge_*` helpers).
     pub cost: &'a mut CostCounter,
+    stage: &'a mut AtomicStage,
     race: Option<&'a mut RaceTracker>,
-    fault: Option<&'a mut FaultState>,
+    fault: Option<&'a mut ReadFaultStream>,
 }
 
 impl ThreadCtx<'_> {
@@ -305,7 +532,7 @@ impl ThreadCtx<'_> {
         if let Some(race) = self.race.as_deref_mut() {
             race.on_read(id, idx, who);
         }
-        let bits = self.mem.global[id][idx];
+        let bits = self.mem.load(id, idx);
         let bits = self.observe_read_bits(bits, 8 * std::mem::size_of::<T>() as u32);
         T::from_bits(bits)
     }
@@ -321,7 +548,7 @@ impl ThreadCtx<'_> {
         if let Some(race) = self.race.as_deref_mut() {
             race.on_write(id, idx, who);
         }
-        self.mem.global[id][idx] = value.to_bits();
+        self.mem.store(id, idx, value.to_bits());
     }
 
     /// Read one element through the **texture path** (read-only, spatially
@@ -341,7 +568,7 @@ impl ThreadCtx<'_> {
         if let Some(race) = self.race.as_deref_mut() {
             race.on_read(id, idx, who);
         }
-        let bits = self.mem.global[id][idx];
+        let bits = self.mem.load(id, idx);
         let bits = self.observe_read_bits(bits, 8 * std::mem::size_of::<T>() as u32);
         T::from_bits(bits)
     }
@@ -368,18 +595,16 @@ impl ThreadCtx<'_> {
                 race.on_read(id, start + i, who);
             }
         }
-        let fault = self.fault.as_deref_mut();
-        let src = &self.mem.global[id][start..start + dst.len()];
-        match fault {
+        let width = 8 * std::mem::size_of::<T>() as u32;
+        match self.fault.as_deref_mut() {
             Some(f) => {
-                let width = 8 * std::mem::size_of::<T>() as u32;
-                for (d, &bits) in dst.iter_mut().zip(src) {
-                    *d = T::from_bits(f.observe_read(bits, width));
+                for (i, d) in dst.iter_mut().enumerate() {
+                    *d = T::from_bits(f.observe_read(self.mem.load(id, start + i), width));
                 }
             }
             None => {
-                for (d, &bits) in dst.iter_mut().zip(src) {
-                    *d = T::from_bits(bits);
+                for (i, d) in dst.iter_mut().enumerate() {
+                    *d = T::from_bits(self.mem.load(id, start + i));
                 }
             }
         }
@@ -395,32 +620,28 @@ impl ThreadCtx<'_> {
             cb.len
         );
         self.cost.alu += 1;
-        T::from_bits(self.mem.constant[cb.id][idx])
+        T::from_bits(self.mem.const_word(cb.id, idx))
     }
 
-    /// `atomicMin` on a signed 64-bit global location; returns the previous
-    /// value. Atomics never race (they serialize at L2) but pay
-    /// [`DeviceSpec::cpi_atomic`].
+    /// `atomicMin` on a signed 64-bit global location. Atomics never race
+    /// (they serialize at L2) but pay [`DeviceSpec::cpi_atomic`]. Staged
+    /// per block and merged in block-index order when the launch completes
+    /// (see [`AtomicStage`]): the updated value is visible to *subsequent
+    /// launches*, and the returned "previous value" is block-local.
     pub fn atomic_min_i64(&mut self, buf: impl AsBuf<i64>, idx: usize, value: i64) -> i64 {
         let (id, len) = buf.id_len();
         self.check_bounds(id, len, idx);
         self.cost.atomics += 1;
-        let old = i64::from_bits(self.mem.global[id][idx]);
-        if value < old {
-            self.mem.global[id][idx] = value.to_bits();
-        }
-        old
+        self.stage.update(self.mem, id, idx, AtomicOp::Min, value)
     }
 
-    /// `atomicAdd` on a signed 64-bit global location; returns the previous
-    /// value.
+    /// `atomicAdd` on a signed 64-bit global location. Same staging
+    /// semantics as [`atomic_min_i64`](Self::atomic_min_i64).
     pub fn atomic_add_i64(&mut self, buf: impl AsBuf<i64>, idx: usize, value: i64) -> i64 {
         let (id, len) = buf.id_len();
         self.check_bounds(id, len, idx);
         self.cost.atomics += 1;
-        let old = i64::from_bits(self.mem.global[id][idx]);
-        self.mem.global[id][idx] = (old + value).to_bits();
-        old
+        self.stage.update(self.mem, id, idx, AtomicOp::Add, value)
     }
 
     /// Bulk read `dst.len()` consecutive elements starting at `start`
@@ -449,18 +670,16 @@ impl ThreadCtx<'_> {
                 race.on_read(id, start + i, who);
             }
         }
-        let fault = self.fault.as_deref_mut();
-        let src = &self.mem.global[id][start..start + dst.len()];
-        match fault {
+        let width = 8 * std::mem::size_of::<T>() as u32;
+        match self.fault.as_deref_mut() {
             Some(f) => {
-                let width = 8 * std::mem::size_of::<T>() as u32;
-                for (d, &bits) in dst.iter_mut().zip(src) {
-                    *d = T::from_bits(f.observe_read(bits, width));
+                for (i, d) in dst.iter_mut().enumerate() {
+                    *d = T::from_bits(f.observe_read(self.mem.load(id, start + i), width));
                 }
             }
             None => {
-                for (d, &bits) in dst.iter_mut().zip(src) {
-                    *d = T::from_bits(bits);
+                for (i, d) in dst.iter_mut().enumerate() {
+                    *d = T::from_bits(self.mem.load(id, start + i));
                 }
             }
         }
@@ -485,9 +704,8 @@ impl ThreadCtx<'_> {
                 race.on_write(id, start + i, who);
             }
         }
-        let dst = &mut self.mem.global[id][start..start + src.len()];
-        for (slot, &v) in dst.iter_mut().zip(src) {
-            *slot = v.to_bits();
+        for (i, &v) in src.iter().enumerate() {
+            self.mem.store(id, start + i, v.to_bits());
         }
     }
 
@@ -515,20 +733,17 @@ impl ThreadCtx<'_> {
                 race.on_write(did, dst_start + i, who);
             }
         }
-        if sid == did {
-            self.mem.global[sid]
-                .copy_within(src_start..src_start + count, dst_start);
+        // Overlap-aware element loop (memmove semantics without a staging
+        // allocation): same buffer with the destination ahead of the source
+        // must copy back-to-front.
+        if sid == did && dst_start > src_start {
+            for i in (0..count).rev() {
+                self.mem.store(did, dst_start + i, self.mem.load(sid, src_start + i));
+            }
         } else {
-            // Disjoint buffers: split borrows around the larger index.
-            let (source, dest) = if sid < did {
-                let (lo, hi) = self.mem.global.split_at_mut(did);
-                (&lo[sid], &mut hi[0])
-            } else {
-                let (lo, hi) = self.mem.global.split_at_mut(sid);
-                (&hi[0], &mut lo[did])
-            };
-            dest[dst_start..dst_start + count]
-                .copy_from_slice(&source[src_start..src_start + count]);
+            for i in 0..count {
+                self.mem.store(did, dst_start + i, self.mem.load(sid, src_start + i));
+            }
         }
     }
 
@@ -555,18 +770,16 @@ impl ThreadCtx<'_> {
                 race.on_read(id, start + i, who);
             }
         }
-        let fault = self.fault.as_deref_mut();
-        let src = &self.mem.global[id][start..start + dst.len()];
-        match fault {
+        let width = 8 * std::mem::size_of::<T>() as u32;
+        match self.fault.as_deref_mut() {
             Some(f) => {
-                let width = 8 * std::mem::size_of::<T>() as u32;
-                for (d, &bits) in dst.iter_mut().zip(src) {
-                    *d = T::from_bits(f.observe_read(bits, width));
+                for (i, d) in dst.iter_mut().enumerate() {
+                    *d = T::from_bits(f.observe_read(self.mem.load(id, start + i), width));
                 }
             }
             None => {
-                for (d, &bits) in dst.iter_mut().zip(src) {
-                    *d = T::from_bits(bits);
+                for (i, d) in dst.iter_mut().enumerate() {
+                    *d = T::from_bits(self.mem.load(id, start + i));
                 }
             }
         }
@@ -614,7 +827,7 @@ impl ThreadCtx<'_> {
     pub fn telemetry_read<T: DeviceValue>(&mut self, buf: impl AsBuf<T>, idx: usize) -> T {
         let (id, len) = buf.id_len();
         self.check_bounds(id, len, idx);
-        T::from_bits(self.mem.global[id][idx])
+        T::from_bits(self.mem.load(id, idx))
     }
 
     /// Write one element through the **instrumentation port** (uncharged,
@@ -624,7 +837,7 @@ impl ThreadCtx<'_> {
     pub fn telemetry_write<T: DeviceValue>(&mut self, buf: impl AsBuf<T>, idx: usize, value: T) {
         let (id, len) = buf.id_len();
         self.check_bounds(id, len, idx);
-        self.mem.global[id][idx] = value.to_bits();
+        self.mem.store(id, idx, value.to_bits());
     }
 
     /// Load this thread's XORWOW state from a device-resident state array
@@ -660,7 +873,7 @@ pub struct LaunchStats {
     pub threads: usize,
 }
 
-/// One simulated GPU: device spec, memory, profiler.
+/// One simulated GPU: device spec, memory, profiler, block-dispatch pool.
 #[derive(Debug)]
 pub struct Gpu {
     spec: DeviceSpec,
@@ -668,23 +881,50 @@ pub struct Gpu {
     profiler: Profiler,
     race_detection: bool,
     fault: Option<FaultState>,
+    parallelism: SimParallelism,
+    /// Lazily built block-execution pool (rebuilt when the resolved thread
+    /// count changes).
+    workers: Option<WorkerPool>,
 }
 
 impl Gpu {
-    /// Bring up a device.
+    /// Bring up a device. Host-side block parallelism is taken from
+    /// [`DeviceSpec::parallelism`] (override with
+    /// [`set_parallelism`](Self::set_parallelism)).
     pub fn new(spec: DeviceSpec) -> Self {
+        let parallelism = spec.parallelism;
         Gpu {
             spec,
             pool: MemoryPool::default(),
             profiler: Profiler::new(),
             race_detection: false,
             fault: None,
+            parallelism,
+            workers: None,
         }
     }
 
     /// The device description.
     pub fn spec(&self) -> &DeviceSpec {
         &self.spec
+    }
+
+    /// Set the host-side block parallelism for subsequent launches. A pure
+    /// wall-clock knob: results, modeled timing, fault streams, metrics and
+    /// traces are byte-identical at every setting.
+    pub fn set_parallelism(&mut self, parallelism: SimParallelism) {
+        self.parallelism = parallelism;
+    }
+
+    /// The configured host-side block parallelism.
+    pub fn parallelism(&self) -> SimParallelism {
+        self.parallelism
+    }
+
+    fn ensure_workers(&mut self, threads: usize) {
+        if self.workers.as_ref().map(|w| w.threads()) != Some(threads) {
+            self.workers = Some(WorkerPool::new(threads));
+        }
     }
 
     /// Enable/disable data-race detection for subsequent launches.
@@ -795,10 +1035,13 @@ impl Gpu {
 
     /// Launch a kernel.
     ///
-    /// Blocks are executed sequentially (single-core host); barrier
-    /// semantics are exact (phase-structured); timing is produced by the
-    /// analytic model in [`crate::cost`] and recorded in the profiler.
-    pub fn launch<K: Kernel>(
+    /// Blocks execute on the configured number of host threads (see
+    /// [`SimParallelism`]; race detection forces serial in-line execution
+    /// to keep its exact cross-block semantics); barrier semantics are
+    /// exact (phase-structured); timing is produced by the analytic model
+    /// in [`crate::cost`] and recorded in the profiler — identically at
+    /// every thread count.
+    pub fn launch<K: Kernel + Sync>(
         &mut self,
         kernel: &K,
         cfg: LaunchConfig,
@@ -808,11 +1051,14 @@ impl Gpu {
         let shared_bytes = kernel.shared_mem_bytes(block_dim);
         cfg.validate(&self.spec, shared_bytes).map_err(LaunchError::InvalidConfig)?;
 
-        // Fault injection, launch-level decisions. A transient failure
-        // aborts before any thread runs (memory untouched, retry safe); a
-        // hang lets the launch execute and is handled by the watchdog after
+        // Fault injection, launch-level decisions — all pre-drawn before
+        // any block runs, so block scheduling cannot perturb the streams. A
+        // transient failure aborts before any thread runs (memory
+        // untouched, retry safe, read-fault stream not consumed); a hang
+        // lets the launch execute and is handled by the watchdog after
         // timing (below).
         let mut hang = false;
+        let mut read_cfg = None;
         if let Some(f) = self.fault.as_mut() {
             if f.draw_launch_failure() {
                 return Err(LaunchError::TransientFault(format!(
@@ -821,47 +1067,64 @@ impl Gpu {
                 )));
             }
             hang = f.draw_hang();
+            // `inert` keeps `fault_injection_active()` observable by
+            // kernels even when the plan cannot flip bits.
+            read_cfg = Some(f.launch_read_faults().unwrap_or_else(ReadFaultCfg::inert));
         }
 
         let grid_dim = cfg.num_blocks();
         let phases = kernel.num_phases().max(1);
+        let warp_size = self.spec.warp_size;
+        let pool_threads = self.parallelism.resolve().min(grid_dim.max(1));
+        let dispatch_parallel = pool_threads > 1 && !self.race_detection;
+        if dispatch_parallel {
+            self.ensure_workers(pool_threads);
+        }
+
         let mut race = self.race_detection.then(RaceTracker::default);
+        let outcomes: Vec<BlockOutcome> = {
+            let mem = MemView::new(&mut self.pool);
+            if dispatch_parallel {
+                let slots: Vec<Mutex<Option<BlockOutcome>>> =
+                    (0..grid_dim).map(|_| Mutex::new(None)).collect();
+                let mem = &mem;
+                self.workers.as_ref().expect("ensured above").run(grid_dim, &|block_idx| {
+                    let outcome = run_block(
+                        kernel, block_idx, block_dim, grid_dim, phases, args, mem, warp_size,
+                        read_cfg, None,
+                    );
+                    *slots[block_idx].lock().expect("block slot poisoned") = Some(outcome);
+                });
+                slots
+                    .into_iter()
+                    .map(|s| s.into_inner().expect("slot poisoned").expect("every block ran"))
+                    .collect()
+            } else {
+                (0..grid_dim)
+                    .map(|block_idx| {
+                        run_block(
+                            kernel, block_idx, block_dim, grid_dim, phases, args, &mem,
+                            warp_size, read_cfg, race.as_mut(),
+                        )
+                    })
+                    .collect()
+            }
+        };
+
+        // Merge block outcomes in block-index order: cost totals, warp
+        // costs, staged atomics, fault counters. This fixed order is what
+        // makes the result independent of the host schedule.
         let mut per_block_warp_costs = Vec::with_capacity(grid_dim);
         let mut total_cost = CostCounter::default();
-
-        for block_idx in 0..grid_dim {
-            let mut shared = kernel.make_shared(block_dim);
-            let mut states: Vec<K::ThreadState> =
-                (0..block_dim).map(|_| K::ThreadState::default()).collect();
-            let mut costs = vec![CostCounter::default(); block_dim];
-            for phase in 0..phases {
-                for thread_idx in 0..block_dim {
-                    let mut ctx = ThreadCtx {
-                        thread_idx,
-                        block_idx,
-                        block_dim,
-                        grid_dim,
-                        phase,
-                        args,
-                        mem: &mut self.pool,
-                        cost: &mut costs[thread_idx],
-                        race: race.as_mut(),
-                        fault: self.fault.as_mut(),
-                    };
-                    kernel.phase(phase, &mut ctx, &mut shared, &mut states[thread_idx]);
-                }
-            }
-            // Fold threads into lockstep warps.
-            let warps: Vec<CostCounter> = costs
-                .chunks(self.spec.warp_size)
-                .map(|lanes| {
-                    lanes.iter().fold(CostCounter::default(), |acc, c| CostCounter::lane_max(&acc, c))
-                })
-                .collect();
-            for c in &costs {
-                total_cost.add(c);
-            }
-            per_block_warp_costs.push(warps);
+        let mut bit_flips = 0u64;
+        for outcome in outcomes {
+            total_cost.add(&outcome.total);
+            bit_flips += outcome.bit_flips;
+            per_block_warp_costs.push(outcome.warps);
+            outcome.atomics.apply(&mut self.pool);
+        }
+        if let Some(f) = self.fault.as_mut() {
+            f.absorb_bit_flips(bit_flips);
         }
 
         if let Some(race) = race {
@@ -1308,6 +1571,137 @@ mod tests {
         gpu.h2d(buf, &[1, 2, 3, 4]);
         gpu.launch(&Double, LaunchConfig::linear(1, 4), &[buf.erased()]).unwrap();
         assert_eq!(gpu.d2h(buf), vec![2, 4, 6, 8]);
+    }
+
+    /// A faulted multi-launch campaign at a given parallelism: returns
+    /// everything observable — memory, error sequence, fault stats, and the
+    /// modeled clocks bit-for-bit.
+    fn faulted_campaign_at(
+        par: SimParallelism,
+    ) -> (Vec<i64>, Vec<Option<LaunchError>>, FaultStats, u64, u64) {
+        let mut spec = DeviceSpec::gt560m();
+        spec.parallelism = par;
+        let mut gpu = Gpu::new(spec);
+        let buf = gpu.alloc::<i64>(256);
+        let host: Vec<i64> = (0..256).collect();
+        gpu.h2d(buf, &host);
+        gpu.set_fault_plan(Some(FaultPlan::with_rates(21, 0.2, 0.05, 0.1)));
+        let mut errors = Vec::new();
+        for _ in 0..60 {
+            errors.push(
+                gpu.launch(&WrappingDouble, LaunchConfig::linear(8, 32), &[buf.erased()]).err(),
+            );
+        }
+        let stats = gpu.fault_stats();
+        let kernel_bits = gpu.profiler().kernel_seconds().to_bits();
+        let clock_bits = gpu.elapsed_modeled().to_bits();
+        (gpu.d2h(buf), errors, stats, kernel_bits, clock_bits)
+    }
+
+    #[test]
+    fn faulted_campaign_is_byte_identical_at_every_thread_count() {
+        let serial = faulted_campaign_at(SimParallelism::Serial);
+        for k in [1usize, 2, 8] {
+            let par = faulted_campaign_at(SimParallelism::Threads(k));
+            assert_eq!(serial, par, "threads({k}) diverged from serial");
+        }
+        let auto = faulted_campaign_at(SimParallelism::Auto);
+        assert_eq!(serial, auto, "auto diverged from serial");
+    }
+
+    /// Every thread folds into two cross-block accumulators: the global
+    /// minimum of its value and a population count.
+    struct MinAndCount;
+    impl Kernel for MinAndCount {
+        type Shared = ();
+        type ThreadState = ();
+        fn name(&self) -> &str {
+            "min_and_count"
+        }
+        fn make_shared(&self, _b: usize) {}
+        fn phase(&self, _p: usize, ctx: &mut ThreadCtx<'_>, _s: &mut (), _t: &mut ()) {
+            let values = ctx.arg_buf(0);
+            let out = ctx.arg_buf(1);
+            let v: i64 = ctx.read(values, ctx.global_id());
+            ctx.atomic_min_i64(out, 0, v);
+            ctx.atomic_add_i64(out, 1, 1);
+        }
+    }
+
+    #[test]
+    fn atomics_merge_exactly_across_parallel_blocks() {
+        let mut spec = DeviceSpec::gt560m();
+        spec.parallelism = SimParallelism::Threads(4);
+        let mut gpu = Gpu::new(spec);
+        let values = gpu.alloc::<i64>(128);
+        let host: Vec<i64> = (0..128).map(|i| 1000 - 7 * i as i64).collect();
+        gpu.h2d(values, &host);
+        let out = gpu.alloc::<i64>(2);
+        gpu.h2d(out, &[i64::MAX, 0]);
+        let stats = gpu
+            .launch(&MinAndCount, LaunchConfig::linear(4, 32), &[values.erased(), out.erased()])
+            .unwrap();
+        assert_eq!(gpu.d2h(out), vec![*host.iter().min().unwrap(), 128]);
+        assert_eq!(stats.total_cost.atomics, 256);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn out_of_bounds_panics_propagate_from_worker_threads() {
+        struct Oob;
+        impl Kernel for Oob {
+            type Shared = ();
+            type ThreadState = ();
+            fn name(&self) -> &str {
+                "oob"
+            }
+            fn make_shared(&self, _b: usize) {}
+            fn phase(&self, _p: usize, ctx: &mut ThreadCtx<'_>, _s: &mut (), _t: &mut ()) {
+                let buf = ctx.arg_buf(0);
+                // Only the last block trips the bug, so the panic originates
+                // on whichever worker drew it — not the host thread.
+                if ctx.block_idx == 3 {
+                    let _: i64 = ctx.read(buf, 99);
+                }
+            }
+        }
+        let mut spec = DeviceSpec::gt560m();
+        spec.parallelism = SimParallelism::Threads(4);
+        let mut gpu = Gpu::new(spec);
+        let buf = gpu.alloc::<i64>(4);
+        let _ = gpu.launch(&Oob, LaunchConfig::linear(4, 8), &[buf.erased()]);
+    }
+
+    #[test]
+    fn race_detection_falls_back_to_serial_and_still_fires() {
+        let mut spec = DeviceSpec::gt560m();
+        spec.parallelism = SimParallelism::Threads(8);
+        let mut gpu = Gpu::new(spec);
+        gpu.set_race_detection(true);
+        let buf = gpu.alloc::<i64>(1);
+        let err = gpu.launch(&Racy, LaunchConfig::linear(2, 4), &[buf.erased()]).unwrap_err();
+        assert!(matches!(err, LaunchError::DataRace(_)), "{err}");
+        // With detection off again, the same Gpu dispatches in parallel and
+        // clean kernels still run.
+        gpu.set_race_detection(false);
+        let data = gpu.alloc::<i64>(8);
+        gpu.h2d(data, &[1, 2, 3, 4, 5, 6, 7, 8]);
+        gpu.launch(&Double, LaunchConfig::linear(2, 4), &[data.erased()]).unwrap();
+        assert_eq!(gpu.d2h(data), vec![2, 4, 6, 8, 10, 12, 14, 16]);
+    }
+
+    #[test]
+    fn parallelism_is_reconfigurable_between_launches() {
+        let mut gpu = Gpu::new(DeviceSpec::gt560m());
+        assert_eq!(gpu.parallelism(), SimParallelism::Serial);
+        let buf = gpu.alloc::<i64>(8);
+        gpu.h2d(buf, &[1, 2, 3, 4, 5, 6, 7, 8]);
+        gpu.launch(&Double, LaunchConfig::linear(2, 4), &[buf.erased()]).unwrap();
+        gpu.set_parallelism(SimParallelism::Threads(2));
+        gpu.launch(&Double, LaunchConfig::linear(2, 4), &[buf.erased()]).unwrap();
+        gpu.set_parallelism(SimParallelism::Threads(5));
+        gpu.launch(&Double, LaunchConfig::linear(2, 4), &[buf.erased()]).unwrap();
+        assert_eq!(gpu.d2h(buf), vec![8, 16, 24, 32, 40, 48, 56, 64]);
     }
 
     #[test]

@@ -21,10 +21,17 @@
 //!   (`watchdog_factor × model_kernel_time`), so the engine reports
 //!   [`crate::LaunchError::KernelTimeout`] as a driver watchdog kill would.
 //!
-//! All decisions come from two private SplitMix64 streams seeded by
-//! [`FaultPlan::seed`]: one advanced per launch, one per read. The same
-//! plan over the same operation sequence therefore reproduces the *exact*
-//! same fault sequence, which is what makes failure campaigns replayable.
+//! All decisions come from private SplitMix64 streams seeded by
+//! [`FaultPlan::seed`]. Launch-level decisions (failure, hang) advance one
+//! stream once per launch. Read-side bit flips are *pre-drawn per launch,
+//! per simulated thread*: when a plan with a non-zero flip rate executes a
+//! launch, a per-launch salt is drawn from a second stream, and every
+//! simulated thread derives its own flip stream from
+//! `(salt, global thread id)`. Host scheduling order therefore cannot
+//! perturb any decision — the parallel block dispatcher (DESIGN.md §11)
+//! produces the exact same fault sequence at every thread count — and the
+//! same plan over the same operation sequence reproduces the exact same
+//! faults, which is what makes failure campaigns replayable.
 
 use cdd_metrics::MetricsRegistry;
 use std::fmt;
@@ -159,12 +166,74 @@ pub struct FaultState {
     plan: FaultPlan,
     /// Stream advanced once per launch-level decision (failure, hang).
     launch_stream: u64,
-    /// Stream advanced once per global-memory read. Keeping it separate
+    /// Stream advanced once per *executed* launch (when the flip rate is
+    /// non-zero) to draw that launch's read-fault salt. Keeping it separate
     /// means the number of reads a kernel performs cannot perturb
-    /// launch-level decisions (and vice versa).
+    /// launch-level decisions (and vice versa) — and because each thread's
+    /// flips derive from the salt rather than a shared serial stream, the
+    /// host-side block schedule cannot perturb them either.
     read_stream: u64,
     /// What was injected so far.
     pub stats: FaultStats,
+}
+
+/// Per-launch read-fault parameters: the salt every simulated thread mixes
+/// with its global id to get its private flip stream. Pre-drawn by
+/// [`FaultState::launch_read_faults`] before any block executes.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct ReadFaultCfg {
+    pub(crate) salt: u64,
+    rate: f64,
+}
+
+impl ReadFaultCfg {
+    /// A config that never flips. Installed when a plan is active but its
+    /// flip rate is zero, so kernels still see
+    /// [`crate::ThreadCtx::fault_injection_active`] without any stream
+    /// being consumed.
+    pub(crate) fn inert() -> Self {
+        ReadFaultCfg { salt: 0, rate: 0.0 }
+    }
+}
+
+/// One simulated thread's private read-fault stream for one launch.
+/// Deterministic in `(plan seed, launch index, global thread id, read
+/// index)` — independent of which host thread runs the block and of what
+/// other blocks do.
+#[derive(Debug)]
+pub(crate) struct ReadFaultStream {
+    state: u64,
+    rate: f64,
+    /// Flips this thread produced; folded into
+    /// [`FaultStats::bit_flips`] when the launch's blocks are merged.
+    pub(crate) flips: u64,
+}
+
+impl ReadFaultStream {
+    /// The flip stream of simulated thread `global_thread` under `cfg`.
+    pub(crate) fn for_thread(cfg: ReadFaultCfg, global_thread: u64) -> Self {
+        let mut state = cfg.salt ^ global_thread.wrapping_mul(0x9e3779b97f4a7c15);
+        splitmix64(&mut state); // decorrelate adjacent thread ids
+        ReadFaultStream { state, rate: cfg.rate, flips: 0 }
+    }
+
+    /// Per-read decision: pass `bits` through, or flip one bit of it.
+    /// `width_bits` bounds the flipped position to the value's meaningful
+    /// low bits (a `u32` buffer only has 32 payload bits per word).
+    #[inline]
+    pub(crate) fn observe_read(&mut self, bits: u64, width_bits: u32) -> u64 {
+        if self.rate <= 0.0 {
+            return bits;
+        }
+        let draw = splitmix64(&mut self.state);
+        if unit_f64(draw) >= self.rate {
+            return bits;
+        }
+        self.flips += 1;
+        // Reuse the draw's untouched low bits to pick the position.
+        let bit = (draw % width_bits.max(1) as u64) as u32;
+        bits ^ 1u64 << bit
+    }
 }
 
 impl FaultState {
@@ -208,22 +277,23 @@ impl FaultState {
         self.stats.hung_kernels += 1;
     }
 
-    /// Per-read decision: pass `bits` through, or flip one bit of it.
-    /// `width_bits` bounds the flipped position to the value's meaningful
-    /// low bits (a `u32` buffer only has 32 payload bits per word).
-    #[inline]
-    pub(crate) fn observe_read(&mut self, bits: u64, width_bits: u32) -> u64 {
+    /// Pre-draw this launch's read-fault salt. Called once per *executed*
+    /// launch (after the failure/hang decisions; failed launches perform no
+    /// reads and must not advance the stream). `None` when the plan cannot
+    /// flip bits — so flip-free plans leave the stream untouched forever
+    /// and their launch-failure sequences stay comparable across engines.
+    pub(crate) fn launch_read_faults(&mut self) -> Option<ReadFaultCfg> {
         if self.plan.bit_flip_rate <= 0.0 {
-            return bits;
+            return None;
         }
-        let draw = splitmix64(&mut self.read_stream);
-        if unit_f64(draw) >= self.plan.bit_flip_rate {
-            return bits;
-        }
-        self.stats.bit_flips += 1;
-        // Reuse the draw's untouched low bits to pick the position.
-        let bit = (draw % width_bits.max(1) as u64) as u32;
-        bits ^ 1u64 << bit
+        let salt = splitmix64(&mut self.read_stream);
+        Some(ReadFaultCfg { salt, rate: self.plan.bit_flip_rate })
+    }
+
+    /// Fold the flips counted by the per-thread streams of one launch into
+    /// the stats (in block-index order, with the rest of the block merge).
+    pub(crate) fn absorb_bit_flips(&mut self, flips: u64) {
+        self.stats.bit_flips += flips;
     }
 }
 
@@ -234,10 +304,10 @@ mod tests {
     #[test]
     fn disabled_plan_injects_nothing() {
         let mut s = FaultState::new(FaultPlan::disabled());
-        for i in 0..1000u64 {
+        for _ in 0..1000u64 {
             assert!(!s.draw_launch_failure());
             assert!(!s.draw_hang());
-            assert_eq!(s.observe_read(i, 64), i);
+            assert!(s.launch_read_faults().is_none());
         }
         assert_eq!(s.stats, FaultStats { launches_attempted: 1000, ..Default::default() });
         assert!(!s.plan().is_active());
@@ -250,7 +320,24 @@ mod tests {
             let mut s = FaultState::new(plan.clone());
             let mut trace = Vec::new();
             for i in 0..500u64 {
-                trace.push((s.draw_launch_failure(), s.draw_hang(), s.observe_read(i, 64)));
+                let failed = s.draw_launch_failure();
+                let hang = s.draw_hang();
+                let mut words = Vec::new();
+                if !failed {
+                    // Two simulated threads, a few reads each.
+                    if let Some(cfg) = s.launch_read_faults() {
+                        let mut total = 0;
+                        for gid in 0..2u64 {
+                            let mut stream = ReadFaultStream::for_thread(cfg, gid);
+                            for r in 0..5u64 {
+                                words.push(stream.observe_read(i * 31 + r, 64));
+                            }
+                            total += stream.flips;
+                        }
+                        s.absorb_bit_flips(total);
+                    }
+                }
+                trace.push((failed, hang, words));
             }
             (trace, s.stats)
         };
@@ -274,25 +361,59 @@ mod tests {
         let mut fb = Vec::new();
         for i in 0..100u64 {
             fa.push(a.draw_launch_failure());
-            // b interleaves plenty of reads between launches.
-            for k in 0..17 {
-                b.observe_read(i * k, 64);
-            }
+            a.launch_read_faults();
             fb.push(b.draw_launch_failure());
+            // b's threads perform plenty of reads; a's perform none. The
+            // launch decisions must match regardless.
+            if let Some(cfg) = b.launch_read_faults() {
+                let mut stream = ReadFaultStream::for_thread(cfg, i);
+                for k in 0..17 {
+                    stream.observe_read(i * k, 64);
+                }
+            }
         }
         assert_eq!(fa, fb);
     }
 
     #[test]
     fn flips_respect_value_width() {
-        let plan = FaultPlan { bit_flip_rate: 1.0, ..FaultPlan::with_rates(3, 0.0, 1.0, 0.0) };
-        let mut s = FaultState::new(plan);
+        let mut s = FaultState::new(FaultPlan::with_rates(3, 0.0, 1.0, 0.0));
+        let cfg = s.launch_read_faults().expect("rate 1.0 yields a config");
+        let mut stream = ReadFaultStream::for_thread(cfg, 0);
         for _ in 0..200 {
-            let out = s.observe_read(0, 32);
+            let out = stream.observe_read(0, 32);
             assert!(out != 0, "rate 1.0 must flip");
             assert!(out < 1 << 32, "flip must stay in the 32 payload bits");
         }
+        assert_eq!(stream.flips, 200);
+        s.absorb_bit_flips(stream.flips);
         assert_eq!(s.stats.bit_flips, 200);
+    }
+
+    #[test]
+    fn thread_streams_are_schedule_independent_and_decorrelated() {
+        let mut s = FaultState::new(FaultPlan::with_rates(11, 0.0, 0.3, 0.0));
+        let cfg = s.launch_read_faults().unwrap();
+        let words = |gid: u64| {
+            let mut stream = ReadFaultStream::for_thread(cfg, gid);
+            (0..64u64).map(|r| stream.observe_read(r, 64)).collect::<Vec<_>>()
+        };
+        // Re-deriving a thread's stream reproduces it exactly, no matter
+        // what other threads did in between (no shared state).
+        let a0 = words(0);
+        let _ = words(5);
+        let _ = words(3);
+        assert_eq!(a0, words(0));
+        // Adjacent thread ids see different flips.
+        assert_ne!(words(0), words(1));
+        // A launch that flips nothing keeps the salt stream position: the
+        // next salt depends only on how many flip-capable launches executed.
+        let mut x = FaultState::new(FaultPlan::with_rates(11, 0.0, 0.3, 0.0));
+        let mut y = FaultState::new(FaultPlan::with_rates(11, 0.0, 0.3, 0.0));
+        let cx = (x.launch_read_faults().unwrap(), x.launch_read_faults().unwrap());
+        let _ = ReadFaultStream::for_thread(cx.0, 9).observe_read(1, 64);
+        let cy = (y.launch_read_faults().unwrap(), y.launch_read_faults().unwrap());
+        assert_eq!(cx.1.salt, cy.1.salt);
     }
 
     #[test]

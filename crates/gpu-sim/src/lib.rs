@@ -30,9 +30,12 @@
 //!   [`fault`] module docs) so resilience layers above the simulator can be
 //!   tested end to end.
 //!
-//! Blocks are *executed* sequentially on the host (the evaluation host has a
-//! single CPU core); all parallel timing comes from the model, and
-//! `EXPERIMENTS.md` labels every GPU time as modeled.
+//! Blocks of a launch are *executed* on a configurable number of host
+//! threads ([`SimParallelism`] on the [`DeviceSpec`], default `serial`) —
+//! a pure wall-clock knob: results, modeled timing, fault streams, metrics
+//! and traces are byte-identical at every thread count (DESIGN.md §11).
+//! All *parallel timing* still comes from the model, and `EXPERIMENTS.md`
+//! labels every GPU time as modeled.
 //!
 //! ```
 //! use cuda_sim::{DeviceSpec, Gpu, Kernel, LaunchConfig, ThreadCtx};
@@ -60,6 +63,7 @@
 
 pub mod cost;
 pub mod device;
+pub mod dispatch;
 pub mod engine;
 pub mod fault;
 pub mod grid;
@@ -68,10 +72,12 @@ pub mod pool;
 pub mod profiler;
 pub mod reduce;
 pub mod rng;
+pub mod scratch;
 pub mod telemetry;
 
 pub use cost::{CostCounter, KernelTiming};
 pub use device::DeviceSpec;
+pub use dispatch::{SimParallelism, SIM_THREADS_ENV};
 pub use engine::{Gpu, Kernel, LaunchError, LaunchStats, ThreadCtx};
 pub use fault::{FaultPlan, FaultStats};
 pub use grid::{Dim3, LaunchConfig};
@@ -82,4 +88,5 @@ pub use profiler::{
     TimelineEvent, TransferDir,
 };
 pub use rng::XorWow;
+pub use scratch::ScratchArena;
 pub use telemetry::{TelemetryConfig, TelemetryRing, TELEMETRY_LANES};

@@ -8,7 +8,7 @@
 //!     [--devices 4] [--queue-capacity N] [--cache-capacity 256] \
 //!     [--blocks 1] [--block-size 64] [--seed 2016] [--window W] [--deadline-ms D] \
 //!     [--fault-seed S --launch-failure-rate P --bit-flip-rate P --hang-rate P] \
-//!     [--faulty-device IDX] [--convergence-stride N] \
+//!     [--faulty-device IDX] [--convergence-stride N] [--sim-threads serial|auto|K] \
 //!     [--summary results/serve_summary.json] [--detail results/serve_requests.csv] \
 //!     [--metrics-out metrics.prom] [--metrics-json metrics.json] \
 //!     [--trace-out trace.json] [--trace-jsonl trace.jsonl]
@@ -36,12 +36,18 @@
 //! anomaly counters, and a captured trace gains per-request best-so-far
 //! counter tracks. Sampling never changes a result (DESIGN.md §10).
 //!
+//! `--sim-threads` (or `CDD_SIM_THREADS`) sets how many host threads each
+//! simulated device uses to execute the blocks of a launch. Results,
+//! modeled clocks and all `service_` metrics are byte-identical at every
+//! setting — only wall-clock time changes (DESIGN.md §11). The setting is
+//! echoed in the JSON summary's `sim_threads` field.
+//!
 //! Latency percentiles come from the service's own metrics registry
 //! (`timing_request_wall_ms`, exact nearest-rank quantiles over every
 //! answered request) — the CLI no longer keeps its own latency math.
 
 use cdd_bench::workload::{generate_mixed, load};
-use cdd_bench::{fault_plan_from_args, results_dir, write_csv, Args, Table};
+use cdd_bench::{fault_plan_from_args, results_dir, sim_parallelism_from_args, write_csv, Args, Table};
 use cdd_core::SuiteError;
 use cdd_service::{RequestOutcome, ServiceConfig, ServiceReport, SolverService};
 use cuda_sim::TelemetryConfig;
@@ -74,7 +80,7 @@ fn status_of(outcome: &RequestOutcome) -> &'static str {
     }
 }
 
-fn summary_json(report: &ServiceReport, requests: usize) -> String {
+fn summary_json(report: &ServiceReport, requests: usize, sim_threads: &str) -> String {
     let (p50, p95, max) = latency_summary(report);
     let mut devices = String::new();
     for (i, d) in report.devices.iter().enumerate() {
@@ -101,6 +107,7 @@ fn summary_json(report: &ServiceReport, requests: usize) -> String {
     format!(
         "{{\n\
          \x20 \"requests\": {requests},\n\
+         \x20 \"sim_threads\": \"{sim_threads}\",\n\
          \x20 \"completed\": {},\n\
          \x20 \"failed\": {},\n\
          \x20 \"expired\": {},\n\
@@ -163,7 +170,8 @@ fn main() {
     // only enabled when a trace output was actually requested.
     let capture_trace = args.get("trace-out").is_some() || args.get("trace-jsonl").is_some();
 
-    let config = ServiceConfig {
+    let sim_threads = sim_parallelism_from_args(&args);
+    let mut config = ServiceConfig {
         devices,
         queue_capacity: args.get_or("queue-capacity", entries.len().max(64)),
         cache_capacity: args.get_or("cache-capacity", 256usize),
@@ -175,11 +183,13 @@ fn main() {
         telemetry: TelemetryConfig::every(args.get_or("convergence-stride", 0u64)),
         ..Default::default()
     };
+    config.device_spec.parallelism = sim_threads;
     let deadline_ms: Option<u64> = args.get("deadline-ms").map(|s| s.parse().expect("--deadline-ms: milliseconds"));
     let window = args.get_or("window", 4 * devices).max(1);
 
     eprintln!(
-        "cdd-serve: {} requests over {} devices ({}x{} geometry), window {window}",
+        "cdd-serve: {} requests over {} devices ({}x{} geometry), window {window}, \
+         sim-threads {sim_threads}",
         entries.len(),
         devices,
         config.blocks,
@@ -242,7 +252,7 @@ fn main() {
         args.get("detail").map(PathBuf::from).unwrap_or_else(|| results_dir().join("serve_requests.csv"));
     write_csv(&detail, &detail_path).expect("detail CSV writable");
 
-    let json = summary_json(&report, entries.len());
+    let json = summary_json(&report, entries.len(), &sim_threads.to_string());
     let summary_path =
         args.get("summary").map(PathBuf::from).unwrap_or_else(|| results_dir().join("serve_summary.json"));
     write_text(&summary_path, &json, "summary");

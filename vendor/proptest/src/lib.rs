@@ -377,7 +377,7 @@ mod tests {
             v in prop::collection::vec(0..=9u32, 3),
             idx in any::<prop::sample::Index>(),
         ) {
-            prop_assert!(n >= 1 && n < 10);
+            prop_assert!((1..10).contains(&n));
             prop_assert!((1..=5).contains(&pair.0));
             prop_assert!((0.0..1.0).contains(&pair.1));
             prop_assert_eq!(v.len(), 3);
