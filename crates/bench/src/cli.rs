@@ -86,21 +86,26 @@ impl FromIterator<String> for Args {
 }
 
 /// Build a fault plan from the shared CLI flags (`--fault-seed`,
-/// `--launch-failure-rate`, `--bit-flip-rate`, `--hang-rate`); all-zero
-/// rates mean a clean device (`None`).
+/// `--launch-failure-rate`, `--bit-flip-rate`, `--hang-rate`,
+/// `--worker-crash-rate`, `--worker-crash-horizon`); all-zero rates mean a
+/// clean device (`None`).
 pub fn fault_plan_from_args(args: &Args) -> Option<FaultPlan> {
     let launch_failure = args.get_or("launch-failure-rate", 0.0f64);
     let bit_flip = args.get_or("bit-flip-rate", 0.0f64);
     let hang = args.get_or("hang-rate", 0.0f64);
-    if launch_failure == 0.0 && bit_flip == 0.0 && hang == 0.0 {
+    let worker_crash = args.get_or("worker-crash-rate", 0.0f64);
+    if launch_failure == 0.0 && bit_flip == 0.0 && hang == 0.0 && worker_crash == 0.0 {
         return None;
     }
-    Some(FaultPlan::with_rates(
-        args.get_or("fault-seed", 0xFA17u64),
-        launch_failure,
-        bit_flip,
-        hang,
-    ))
+    Some(
+        FaultPlan::with_rates(
+            args.get_or("fault-seed", 0xFA17u64),
+            launch_failure,
+            bit_flip,
+            hang,
+        )
+        .with_worker_crash(worker_crash, args.get_or("worker-crash-horizon", 128u64)),
+    )
 }
 
 /// Resolve the simulator's host-thread setting: the `--sim-threads` flag

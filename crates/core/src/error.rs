@@ -108,6 +108,25 @@ pub enum SuiteError {
         /// The deadline the request carried, milliseconds.
         deadline_ms: u64,
     },
+    /// The device died wholesale mid-run (injected worker crash or real
+    /// hardware loss). Unlike a transient [`SuiteError::Device`] fault this
+    /// is **not** recoverable *within* the run — the device is gone, so
+    /// retrying on it is pointless; recovery belongs to whoever owns the
+    /// device lifecycle (the service supervisor restarts the worker and
+    /// re-dispatches elsewhere).
+    DeviceLost {
+        /// What was lost, as reported by the simulator.
+        detail: String,
+    },
+    /// A service worker thread died (panic or injected crash) while running
+    /// a request. Carries the panic payload so callers and logs see the
+    /// cause instead of an opaque join error.
+    WorkerCrashed {
+        /// Pool device the dead worker was driving.
+        device: usize,
+        /// Stringified panic payload.
+        payload: String,
+    },
 }
 
 impl SuiteError {
@@ -134,6 +153,16 @@ impl SuiteError {
     /// Build a deadline-expiry error.
     pub fn deadline(deadline_ms: u64) -> Self {
         SuiteError::DeadlineExceeded { deadline_ms }
+    }
+
+    /// Build a device-lost error.
+    pub fn device_lost(detail: impl Into<String>) -> Self {
+        SuiteError::DeviceLost { detail: detail.into() }
+    }
+
+    /// Build a worker-crash error from a joined panic payload.
+    pub fn worker_crashed(device: usize, payload: impl Into<String>) -> Self {
+        SuiteError::WorkerCrashed { device, payload: payload.into() }
     }
 
     /// Whether a whole-run retry (fresh device attempt or CPU fallback) is a
@@ -164,6 +193,10 @@ impl fmt::Display for SuiteError {
             SuiteError::Rejected { reason } => write!(f, "request rejected: {reason}"),
             SuiteError::DeadlineExceeded { deadline_ms } => {
                 write!(f, "deadline of {deadline_ms} ms expired before dispatch")
+            }
+            SuiteError::DeviceLost { detail } => write!(f, "{detail}"),
+            SuiteError::WorkerCrashed { device, payload } => {
+                write!(f, "worker for device {device} crashed: {payload}")
             }
         }
     }
@@ -219,12 +252,21 @@ mod tests {
         // device cannot help (resubmission is a client decision).
         assert!(!SuiteError::rejected("queue full").is_recoverable());
         assert!(!SuiteError::deadline(50).is_recoverable());
+        // A lost device cannot be retried *in place* — the supervision
+        // layer owns the recovery, so the pipeline must surface it.
+        assert!(!SuiteError::device_lost("device lost: crash at launch 3").is_recoverable());
+        assert!(!SuiteError::worker_crashed(1, "injected").is_recoverable());
     }
 
     #[test]
     fn service_errors_display_their_cause() {
         assert!(SuiteError::rejected("queue full (capacity 8)").to_string().contains("capacity 8"));
         assert!(SuiteError::deadline(250).to_string().contains("250 ms"));
+        let lost = SuiteError::device_lost("device lost: worker crashed before kernel `fitness`");
+        assert!(lost.to_string().contains("device lost"));
+        let crashed = SuiteError::worker_crashed(3, "injected device loss");
+        assert!(crashed.to_string().contains("device 3"));
+        assert!(crashed.to_string().contains("injected device loss"), "payload must surface");
     }
 
     #[test]

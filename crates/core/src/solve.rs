@@ -115,6 +115,33 @@ pub struct SolveOutcome {
     pub device: Option<usize>,
     /// Whether the resilience layer degraded the solve to the CPU ensemble.
     pub cpu_fallback: bool,
+    /// Whether the *service* answered from the cheap CPU oracle instead of
+    /// running the requested metaheuristic at all (retry budget exhausted
+    /// under worker crashes, every breaker open, or queue brownout — see
+    /// [`degraded_outcome`]). A degraded answer is a valid schedule with an
+    /// exactly-evaluated objective, but not the metaheuristic's answer; it
+    /// is never cached.
+    pub degraded: bool,
+}
+
+/// The graceful-degradation answer for one instance: the V-shaped
+/// constructive heuristic (the paper's CPU baseline) evaluated by the exact
+/// polynomial evaluator. Pure in the instance — no seed, no iterations — so
+/// a degraded answer is byte-identical no matter when or why the service
+/// degraded, which is what keeps the chaos determinism contract closed.
+pub fn degraded_outcome(inst: &Instance) -> SolveOutcome {
+    let sequence = crate::heuristics::v_shaped_sequence(inst);
+    let objective = crate::eval::evaluator_for(inst).evaluate(sequence.as_slice());
+    SolveOutcome {
+        sequence,
+        objective,
+        modeled_seconds: 0.0,
+        evaluations: 1,
+        cache_hit: false,
+        device: None,
+        cpu_fallback: false,
+        degraded: true,
+    }
 }
 
 /// FNV-1a, 64-bit — tiny, dependency-free and stable across platforms
@@ -171,6 +198,19 @@ mod tests {
         for different in [other_algo, other_seed, other_budget, other_inst] {
             assert_ne!(req.content_key(), different.content_key());
         }
+    }
+
+    #[test]
+    fn degraded_outcome_is_the_oracle_answer_and_flagged() {
+        let inst = Instance::paper_example_cdd();
+        let a = degraded_outcome(&inst);
+        let b = degraded_outcome(&inst);
+        assert_eq!(a, b, "degraded answers are pure in the instance");
+        assert!(a.degraded);
+        assert!(!a.cache_hit);
+        assert!(a.device.is_none());
+        let oracle = crate::eval::evaluator_for(&inst).evaluate(a.sequence.as_slice());
+        assert_eq!(a.objective, oracle, "objective is exactly evaluated");
     }
 
     #[test]

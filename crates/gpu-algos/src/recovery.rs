@@ -63,8 +63,15 @@ pub struct RecoveryStats {
 
 /// Convert a simulator launch error into the suite umbrella, preserving
 /// transience (the orphan rule keeps this out of both defining crates).
+/// A lost device maps to the dedicated [`SuiteError::DeviceLost`] variant:
+/// it is *not* recoverable inside the pipeline (the device is gone, another
+/// attempt on it cannot succeed), so [`run_with_recovery`] surfaces it
+/// immediately to whoever owns the device lifecycle.
 pub fn suite_device_error(e: &LaunchError) -> SuiteError {
-    SuiteError::device(e.to_string(), e.is_transient())
+    match e {
+        LaunchError::DeviceLost { .. } => SuiteError::device_lost(e.to_string()),
+        _ => SuiteError::device(e.to_string(), e.is_transient()),
+    }
 }
 
 /// Accumulate per-attempt fault counters into the run-level stats.
@@ -73,6 +80,7 @@ pub(crate) fn merge_faults(into: &mut FaultStats, f: FaultStats) {
     into.transient_launch_failures += f.transient_launch_failures;
     into.bit_flips += f.bit_flips;
     into.hung_kernels += f.hung_kernels;
+    into.worker_crashes += f.worker_crashes;
 }
 
 /// Launch `kernel`, retrying transient failures up to the policy's bound.
@@ -268,6 +276,55 @@ mod tests {
         .unwrap_err();
         assert_eq!(calls, 1);
         assert!(!err.is_recoverable());
+    }
+
+    #[test]
+    fn device_lost_escapes_recovery_immediately() {
+        // A crashed device must surface to the supervision layer — not be
+        // retried on the same (dead) device, and not silently degrade to
+        // the CPU fallback (the service decides what a degraded answer is).
+        let policy = RecoveryPolicy::default();
+        let mut calls = 0;
+        let err = run_with_recovery(
+            &policy,
+            None,
+            |_, _| {
+                calls += 1;
+                Err(SuiteError::device_lost("device lost: crash at launch 0"))
+            },
+            || unreachable!("a lost device must not reach the CPU fallback"),
+        )
+        .unwrap_err();
+        assert_eq!(calls, 1, "no same-device re-attempts after a crash");
+        assert!(matches!(err, SuiteError::DeviceLost { .. }), "got {err:?}");
+    }
+
+    #[test]
+    fn lost_device_launch_maps_to_suite_device_lost() {
+        let mut gpu = Gpu::new(DeviceSpec::gt560m());
+        let buf = gpu.alloc::<i64>(1);
+        // Horizon 1 pins the crash to launch index 0: the very first launch
+        // observes the dead device, and launch_with_retry must not retry it
+        // (DeviceLost is not transient).
+        gpu.set_fault_plan(Some(
+            FaultPlan::disabled().reseeded(1).with_worker_crash(1.0, 1),
+        ));
+        let kernel = AddOne { buf };
+        let mut stats = RecoveryStats::default();
+        let err = launch_with_retry(
+            &mut gpu,
+            &kernel,
+            LaunchConfig::linear(1, 1),
+            &RecoveryPolicy::default(),
+            &mut stats,
+        )
+        .unwrap_err();
+        assert!(matches!(err, LaunchError::DeviceLost { .. }), "{err}");
+        assert_eq!(stats.launch_retries, 0, "dead devices are not retried in place");
+        let suite = suite_device_error(&err);
+        assert!(matches!(suite, SuiteError::DeviceLost { .. }));
+        assert!(!suite.is_recoverable());
+        assert!(suite.to_string().contains("device lost"));
     }
 
     #[test]

@@ -59,6 +59,16 @@ pub enum LaunchError {
         /// modeled time).
         budget_seconds: f64,
     },
+    /// The device died wholesale (injected worker crash,
+    /// [`FaultPlan::worker_crash_rate`]): this launch and every subsequent
+    /// one on this device fail until a fresh device is established.
+    /// Deliberately **not** transient — retrying on the *same* device
+    /// cannot succeed; recovery must escalate to whoever owns the device
+    /// lifecycle (the service's supervisor, DESIGN.md §12).
+    DeviceLost {
+        /// Kernel whose launch first observed the dead device.
+        kernel: String,
+    },
 }
 
 impl LaunchError {
@@ -84,6 +94,9 @@ impl fmt::Display for LaunchError {
                 "kernel `{kernel}` killed by watchdog: modeled {modeled_seconds:.6} s \
                  exceeds budget {budget_seconds:.6} s"
             ),
+            LaunchError::DeviceLost { kernel } => {
+                write!(f, "device lost: worker crashed before kernel `{kernel}` (injected)")
+            }
         }
     }
 }
@@ -1060,6 +1073,11 @@ impl Gpu {
         let mut hang = false;
         let mut read_cfg = None;
         if let Some(f) = self.fault.as_mut() {
+            // A dead device fails every launch before any stream advances:
+            // the crash leaves the pre-crash fault sequence untouched.
+            if f.draw_device_lost() {
+                return Err(LaunchError::DeviceLost { kernel: kernel.name().to_string() });
+            }
             if f.draw_launch_failure() {
                 return Err(LaunchError::TransientFault(format!(
                     "kernel `{}` failed to launch (injected)",
@@ -1494,6 +1512,37 @@ mod tests {
         assert_eq!(gpu.fault_stats().hung_kernels, 1);
         // The timeline charges the watchdog budget for the killed attempt.
         assert!((gpu.profiler().kernel_seconds() - budget_seconds).abs() < 1e-12);
+    }
+
+    #[test]
+    fn injected_worker_crash_kills_the_device_for_good() {
+        let mut gpu = Gpu::new(DeviceSpec::gt560m());
+        let buf = gpu.alloc::<i64>(4);
+        gpu.h2d(buf, &[1, 2, 3, 4]);
+        gpu.set_fault_plan(Some(FaultPlan::disabled().reseeded(5).with_worker_crash(1.0, 3)));
+        let mut survived = 0u64;
+        let err = loop {
+            match gpu.launch(&Double, LaunchConfig::linear(1, 4), &[buf.erased()]) {
+                Ok(_) => survived += 1,
+                Err(e) => break e,
+            }
+            assert!(survived <= 3, "horizon 3 bounds the crash index");
+        };
+        assert!(matches!(err, LaunchError::DeviceLost { .. }), "{err}");
+        assert!(!err.is_transient(), "a lost device must not be retried in place");
+        assert_eq!(gpu.fault_stats().worker_crashes, 1);
+        // The device stays dead: every further launch fails without
+        // executing, and the crash is not double-counted.
+        let before = gpu.peek(buf);
+        for _ in 0..5 {
+            let e = gpu.launch(&Double, LaunchConfig::linear(1, 4), &[buf.erased()]).unwrap_err();
+            assert!(matches!(e, LaunchError::DeviceLost { .. }));
+        }
+        assert_eq!(gpu.peek(buf), before, "launches on a dead device must not execute");
+        assert_eq!(gpu.fault_stats().worker_crashes, 1);
+        // Installing a fresh plan models standing up a fresh device.
+        gpu.set_fault_plan(None);
+        gpu.launch(&Double, LaunchConfig::linear(1, 4), &[buf.erased()]).unwrap();
     }
 
     #[test]

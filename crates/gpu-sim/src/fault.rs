@@ -20,6 +20,11 @@
 //!   inflated past the watchdog budget
 //!   (`watchdog_factor × model_kernel_time`), so the engine reports
 //!   [`crate::LaunchError::KernelTimeout`] as a driver watchdog kill would.
+//! * **Worker crashes** — the whole device dies at a launch index drawn
+//!   once at plan installation ([`crate::LaunchError::DeviceLost`]); every
+//!   launch from that index on fails until a fresh plan (a fresh device) is
+//!   installed. This is the chaos class the service's supervision layer
+//!   recovers from (DESIGN.md §12).
 //!
 //! All decisions come from private SplitMix64 streams seeded by
 //! [`FaultPlan::seed`]. Launch-level decisions (failure, hang) advance one
@@ -70,6 +75,18 @@ pub struct FaultPlan {
     /// Slowdown factor applied to a hung kernel's modeled time. A hang is
     /// killed by the watchdog iff `hang_slowdown > watchdog_factor`.
     pub hang_slowdown: f64,
+    /// Probability that the device dies wholesale while this plan is
+    /// installed ([`crate::LaunchError::DeviceLost`]). The decision — and
+    /// the launch index at which death strikes — is drawn **once, at plan
+    /// installation**, from a dedicated stream, so a crash is a property of
+    /// the plan seed, not of how many launches happen to have run: a
+    /// service that re-derives the same per-request plan reproduces the
+    /// same crash no matter which worker executes it.
+    pub worker_crash_rate: f64,
+    /// Upper bound (exclusive) of the drawn crash launch index. A crash
+    /// only fires if the workload actually reaches that launch, so the
+    /// horizon should sit well below the launches a typical run performs.
+    pub worker_crash_horizon: u64,
 }
 
 impl FaultPlan {
@@ -82,6 +99,8 @@ impl FaultPlan {
             hang_rate: 0.0,
             watchdog_factor: 8.0,
             hang_slowdown: 1e4,
+            worker_crash_rate: 0.0,
+            worker_crash_horizon: 128,
         }
     }
 
@@ -102,9 +121,21 @@ impl FaultPlan {
         FaultPlan { seed, ..self.clone() }
     }
 
+    /// The same plan with a worker-crash class added (death with
+    /// probability `rate`, at a launch index drawn in `[0, horizon)`).
+    #[must_use]
+    pub fn with_worker_crash(mut self, rate: f64, horizon: u64) -> Self {
+        self.worker_crash_rate = rate;
+        self.worker_crash_horizon = horizon.max(1);
+        self
+    }
+
     /// Whether the plan can inject anything at all.
     pub fn is_active(&self) -> bool {
-        self.launch_failure_rate > 0.0 || self.bit_flip_rate > 0.0 || self.hang_rate > 0.0
+        self.launch_failure_rate > 0.0
+            || self.bit_flip_rate > 0.0
+            || self.hang_rate > 0.0
+            || self.worker_crash_rate > 0.0
     }
 }
 
@@ -119,6 +150,9 @@ pub struct FaultStats {
     pub bit_flips: u64,
     /// Launches killed by the watchdog.
     pub hung_kernels: u64,
+    /// Whole-device deaths injected (at most one per installed plan — a
+    /// lost device stays lost until a fresh plan is installed).
+    pub worker_crashes: u64,
 }
 
 impl FaultStats {
@@ -143,6 +177,7 @@ impl FaultStats {
         );
         registry.inc(&name("bit_flips_total"), labels, self.bit_flips);
         registry.inc(&name("hung_kernels_total"), labels, self.hung_kernels);
+        registry.inc(&name("worker_crashes_total"), labels, self.worker_crashes);
     }
 }
 
@@ -150,11 +185,12 @@ impl fmt::Display for FaultStats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "{} launches: {} transient failures, {} watchdog kills, {} bit flips",
+            "{} launches: {} transient failures, {} watchdog kills, {} bit flips, {} worker crashes",
             self.launches_attempted,
             self.transient_launch_failures,
             self.hung_kernels,
-            self.bit_flips
+            self.bit_flips,
+            self.worker_crashes
         )
     }
 }
@@ -173,6 +209,13 @@ pub struct FaultState {
     /// flips derive from the salt rather than a shared serial stream, the
     /// host-side block schedule cannot perturb them either.
     read_stream: u64,
+    /// Launch index at which the device dies, pre-drawn at installation
+    /// from a third stream (`None` = this plan never crashes the device).
+    crash_at: Option<u64>,
+    /// Latched once the crash fires: every subsequent launch on this state
+    /// reports the device as lost (a dead device does not come back until a
+    /// fresh plan — i.e. a fresh device — is installed).
+    lost: bool,
     /// What was injected so far.
     pub stats: FaultStats,
 }
@@ -242,12 +285,44 @@ impl FaultState {
         let mut seed = plan.seed;
         let launch_stream = splitmix64(&mut seed);
         let read_stream = splitmix64(&mut seed);
-        FaultState { plan, launch_stream, read_stream, stats: FaultStats::default() }
+        // The crash decision consumes a *third* derivation — drawn after
+        // the two streams above so plans without a crash class keep their
+        // historical launch/read sequences byte-identical.
+        let mut crash_stream = splitmix64(&mut seed);
+        let crash_at = (plan.worker_crash_rate > 0.0
+            && unit_f64(splitmix64(&mut crash_stream)) < plan.worker_crash_rate)
+            .then(|| splitmix64(&mut crash_stream) % plan.worker_crash_horizon.max(1));
+        FaultState {
+            plan,
+            launch_stream,
+            read_stream,
+            crash_at,
+            lost: false,
+            stats: FaultStats::default(),
+        }
     }
 
     /// The installed plan.
     pub fn plan(&self) -> &FaultPlan {
         &self.plan
+    }
+
+    /// Pre-launch check: is the device dead (or dying at exactly this
+    /// launch index)? Called before any other per-launch decision; a lost
+    /// device consumes no streams and counts no attempt, so the launch
+    /// sequence up to the crash is unchanged by the crash class.
+    pub(crate) fn draw_device_lost(&mut self) -> bool {
+        if self.lost {
+            return true;
+        }
+        match self.crash_at {
+            Some(at) if self.stats.launches_attempted >= at => {
+                self.lost = true;
+                self.stats.worker_crashes += 1;
+                true
+            }
+            _ => false,
+        }
     }
 
     /// Per-launch decision: should this launch fail transiently?
@@ -428,6 +503,80 @@ mod tests {
         let text = reg.render_prometheus();
         assert!(text.contains("sim_fault_hung_kernels_total 0"));
         assert!(text.contains("sim_fault_transient_launch_failures_total 0"));
+    }
+
+    #[test]
+    fn worker_crash_fires_once_at_the_drawn_index_and_latches() {
+        // Rate 1.0: the crash is certain and the index is drawn in
+        // [0, horizon). Replaying the same plan reproduces the same index.
+        let plan = FaultPlan::with_rates(77, 0.0, 0.0, 0.0).with_worker_crash(1.0, 8);
+        assert!(plan.is_active(), "a crash-only plan is still active");
+        let crash_index = |plan: &FaultPlan| {
+            let mut s = FaultState::new(plan.clone());
+            let mut at = None;
+            for i in 0..32u64 {
+                if s.draw_device_lost() {
+                    at.get_or_insert(i);
+                } else {
+                    assert!(!s.draw_launch_failure());
+                }
+            }
+            assert_eq!(s.stats.worker_crashes, 1, "the crash is counted exactly once");
+            at.expect("rate 1.0 must crash within the horizon")
+        };
+        let a = crash_index(&plan);
+        assert_eq!(a, crash_index(&plan), "crash index is a pure function of the seed");
+        assert!(a < 8, "index bounded by the horizon");
+        // Once lost, the device stays lost.
+        let mut s = FaultState::new(plan.clone());
+        while !s.draw_device_lost() {
+            s.draw_launch_failure();
+        }
+        for _ in 0..10 {
+            assert!(s.draw_device_lost());
+        }
+        assert_eq!(s.stats.worker_crashes, 1);
+        // A different seed draws a different fate/index eventually.
+        let other = crash_index(&plan.reseeded(78));
+        let _ = other; // may coincide for one seed; determinism is what matters
+    }
+
+    #[test]
+    fn crash_class_does_not_perturb_other_fault_streams() {
+        // The crash decision comes from a third derivation, so a plan with
+        // the crash class produces the *same* launch-failure/hang/read
+        // sequence as the same plan without it, up to the crash point.
+        let base = FaultPlan::with_rates(13, 0.3, 0.2, 0.1);
+        let crashy = base.clone().with_worker_crash(1.0, 1 << 60); // never reached
+        let mut a = FaultState::new(base);
+        let mut b = FaultState::new(crashy);
+        for _ in 0..200u64 {
+            assert!(!b.draw_device_lost(), "horizon far beyond the run");
+            assert_eq!(a.draw_launch_failure(), b.draw_launch_failure());
+            assert_eq!(a.draw_hang(), b.draw_hang());
+            assert_eq!(
+                a.launch_read_faults().map(|c| c.salt),
+                b.launch_read_faults().map(|c| c.salt)
+            );
+        }
+    }
+
+    #[test]
+    fn worker_crash_rate_scales_crash_probability() {
+        let mut crashed = 0;
+        for seed in 0..400u64 {
+            let plan = FaultPlan::disabled().reseeded(seed).with_worker_crash(0.5, 4);
+            let mut s = FaultState::new(plan);
+            for _ in 0..8 {
+                if s.draw_device_lost() {
+                    break;
+                }
+                s.draw_launch_failure();
+            }
+            crashed += u64::from(s.stats.worker_crashes > 0);
+        }
+        let frac = crashed as f64 / 400.0;
+        assert!((0.4..0.6).contains(&frac), "observed crash fraction {frac}");
     }
 
     #[test]

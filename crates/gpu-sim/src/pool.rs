@@ -61,6 +61,7 @@ impl DeviceUsage {
         self.faults.transient_launch_failures += f.transient_launch_failures;
         self.faults.bit_flips += f.bit_flips;
         self.faults.hung_kernels += f.hung_kernels;
+        self.faults.worker_crashes += f.worker_crashes;
     }
 
     /// Fold the usage record into a metrics registry under the `device_`
@@ -130,6 +131,29 @@ impl DeviceHandle {
             p.reseeded(z ^ (z >> 31))
         })
     }
+
+    /// [`request_plan`](Self::request_plan) for the `retry`-th service-level
+    /// re-dispatch of a request. Retry 0 is the original dispatch and
+    /// returns exactly `request_plan(request_seed)`; each later retry
+    /// decorrelates the seed so a crashing fault draw is not replayed
+    /// verbatim — while staying a pure function of
+    /// `(base plan, request seed, retry)`. The *sequence* of plans a request
+    /// walks through is therefore identical across runs no matter which
+    /// devices the retries land on, which is what makes the service's
+    /// crash/retry/degrade trajectory deterministic (DESIGN.md §12).
+    #[must_use]
+    pub fn request_plan_retry(&self, request_seed: u64, retry: u32) -> Option<FaultPlan> {
+        self.request_plan(request_seed).map(|p| {
+            if retry == 0 {
+                p
+            } else {
+                let mut z = p.seed ^ 0x9e3779b97f4a7c15u64.wrapping_mul(u64::from(retry));
+                z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+                p.reseeded(z ^ (z >> 31))
+            }
+        })
+    }
 }
 
 #[cfg(test)]
@@ -155,6 +179,21 @@ mod tests {
         assert_eq!(a, c, "routing to another identically-configured device changes nothing");
         assert_ne!(a.seed, dev0.request_plan(1235).unwrap().seed, "requests decorrelate");
         assert_eq!(a.launch_failure_rate, base.launch_failure_rate, "rates carry over");
+    }
+
+    #[test]
+    fn retry_plans_decorrelate_but_stay_routing_independent() {
+        let base = FaultPlan::with_rates(9, 0.05, 0.0, 0.0).with_worker_crash(0.3, 16);
+        let dev0 = DeviceHandle::new(0, DeviceSpec::gt560m()).with_fault(base.clone());
+        let dev5 = DeviceHandle::new(5, DeviceSpec::gt560m()).with_fault(base);
+        let r0 = dev0.request_plan_retry(42, 0).unwrap();
+        assert_eq!(r0, dev0.request_plan(42).unwrap(), "retry 0 is the original dispatch");
+        let r1 = dev0.request_plan_retry(42, 1).unwrap();
+        let r2 = dev0.request_plan_retry(42, 2).unwrap();
+        assert_ne!(r0.seed, r1.seed);
+        assert_ne!(r1.seed, r2.seed);
+        assert_eq!(r1, dev5.request_plan_retry(42, 1).unwrap(), "device id never enters");
+        assert_eq!(r1.worker_crash_rate, 0.3, "rates carry over to retries");
     }
 
     #[test]
@@ -194,6 +233,7 @@ mod tests {
             transient_launch_failures: 2,
             bit_flips: 1,
             hung_kernels: 1,
+            worker_crashes: 1,
         });
         u.merge_faults(FaultStats { launches_attempted: 5, ..Default::default() });
         assert_eq!(u.faults.launches_attempted, 15);

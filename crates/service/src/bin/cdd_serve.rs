@@ -8,6 +8,9 @@
 //!     [--devices 4] [--queue-capacity N] [--cache-capacity 256] \
 //!     [--blocks 1] [--block-size 64] [--seed 2016] [--window W] [--deadline-ms D] \
 //!     [--fault-seed S --launch-failure-rate P --bit-flip-rate P --hang-rate P] \
+//!     [--chaos] [--worker-crash-rate P] [--worker-crash-horizon N] \
+//!     [--retry-budget N] [--breaker-threshold N] [--breaker-open-ms MS] \
+//!     [--stuck-after-ms MS] [--no-degraded] \
 //!     [--faulty-device IDX] [--convergence-stride N] [--sim-threads serial|auto|K] \
 //!     [--summary results/serve_summary.json] [--detail results/serve_requests.csv] \
 //!     [--metrics-out metrics.prom] [--metrics-json metrics.json] \
@@ -20,11 +23,22 @@
 //! `4 × devices`), which bounds queue depth and lets later duplicates score
 //! direct cache hits against completed entries.
 //!
+//! `--chaos` arms the resilience layer's failure mode: every device's
+//! fault plan gains a worker-crash class (default rate 0.15 over a
+//! 16-launch horizon; override with `--worker-crash-rate` /
+//! `--worker-crash-horizon`). Crashed workers are restarted by the
+//! supervisor and their jobs retried (`--retry-budget`, default 2) with a
+//! deterministic seed-jittered backoff; budget-exhausted requests are
+//! answered from the CPU oracle with `degraded=true` (or failed with a
+//! structured `WorkerCrashed` error under `--no-degraded`). The breaker
+//! knobs (`--breaker-threshold`, `--breaker-open-ms`) tune how fast a sick
+//! device is shed. See DESIGN.md §12.
+//!
 //! Outputs: a human summary on stdout, a JSON summary (machine-checkable —
-//! the CI smoke job parses it), a per-request CSV whose first nine
-//! columns (`idx..cpu_fallback`) are deterministic under a fixed workload
-//! and fault configuration — routing and latency live in the last two —
-//! and, on request, a Prometheus-text / JSON metrics snapshot
+//! the CI smoke job parses it), a per-request CSV whose first ten
+//! columns (`idx..degraded`) are deterministic under a fixed workload
+//! and fault/chaos configuration — routing and latency live in the last
+//! two — and, on request, a Prometheus-text / JSON metrics snapshot
 //! (`--metrics-out` / `--metrics-json`; `service_`-prefixed lines are
 //! byte-identical across runs of the same workload) and a Chrome
 //! `trace_event` timeline with one track per device (`--trace-out` loads
@@ -49,8 +63,10 @@
 use cdd_bench::workload::{generate_mixed, load};
 use cdd_bench::{fault_plan_from_args, results_dir, sim_parallelism_from_args, write_csv, Args, Table};
 use cdd_core::SuiteError;
-use cdd_service::{RequestOutcome, ServiceConfig, ServiceReport, SolverService};
-use cuda_sim::TelemetryConfig;
+use cdd_service::{
+    BreakerConfig, RequestOutcome, ServiceConfig, ServiceReport, SolverService, SupervisorConfig,
+};
+use cuda_sim::{FaultPlan, TelemetryConfig};
 use std::collections::VecDeque;
 use std::path::{Path, PathBuf};
 
@@ -90,7 +106,8 @@ fn summary_json(report: &ServiceReport, requests: usize, sim_threads: &str) -> S
         devices.push_str(&format!(
             "    {{\"id\": {}, \"requests\": {}, \"failed\": {}, \"busy_wall_seconds\": {:.6}, \
              \"utilization\": {:.4}, \"modeled_seconds\": {:.6}, \"kernel_launches\": {}, \
-             \"faults_injected\": {}}}",
+             \"faults_injected\": {}, \"worker_crashes\": {}, \"restarts\": {}, \
+             \"breaker_opened\": {}}}",
             d.id,
             d.usage.requests,
             d.usage.failed,
@@ -101,6 +118,9 @@ fn summary_json(report: &ServiceReport, requests: usize, sim_threads: &str) -> S
             d.usage.faults.transient_launch_failures
                 + d.usage.faults.bit_flips
                 + d.usage.faults.hung_kernels,
+            d.usage.faults.worker_crashes,
+            d.restarts,
+            d.breaker.opened,
         ));
     }
     let c = &report.cache;
@@ -112,10 +132,13 @@ fn summary_json(report: &ServiceReport, requests: usize, sim_threads: &str) -> S
          \x20 \"failed\": {},\n\
          \x20 \"expired\": {},\n\
          \x20 \"rejected\": {},\n\
+         \x20 \"degraded\": {},\n\
          \x20 \"wall_seconds\": {:.6},\n\
          \x20 \"throughput_rps\": {:.3},\n\
          \x20 \"latency_ms\": {{\"p50\": {:.3}, \"p95\": {:.3}, \"max\": {:.3}}},\n\
          \x20 \"queue\": {{\"peak_depth\": {}, \"rejected\": {}}},\n\
+         \x20 \"supervisor\": {{\"restarts\": {}, \"retries\": {}}},\n\
+         \x20 \"breaker\": {{\"opened\": {}, \"probes\": {}, \"reclosed\": {}}},\n\
          \x20 \"cache\": {{\"hits\": {}, \"coalesced\": {}, \"served_from_cache\": {}, \
          \"misses\": {}, \"insertions\": {}, \"evictions\": {}, \"hit_rate\": {:.4}}},\n\
          \x20 \"devices\": [\n{devices}\n  ]\n\
@@ -124,6 +147,7 @@ fn summary_json(report: &ServiceReport, requests: usize, sim_threads: &str) -> S
         report.failed,
         report.expired,
         report.rejected,
+        report.degraded,
         report.wall_seconds,
         report.completed as f64 / report.wall_seconds.max(1e-9),
         p50,
@@ -131,6 +155,11 @@ fn summary_json(report: &ServiceReport, requests: usize, sim_threads: &str) -> S
         max,
         report.queue.peak_depth,
         report.queue.rejected,
+        report.restarts,
+        report.retried,
+        report.devices.iter().map(|d| d.breaker.opened).sum::<u64>(),
+        report.devices.iter().map(|d| d.breaker.probes).sum::<u64>(),
+        report.devices.iter().map(|d| d.breaker.reclosed).sum::<u64>(),
         c.hits,
         c.coalesced,
         c.hits + c.coalesced,
@@ -158,6 +187,16 @@ fn main() {
     // --faulty-device confines the fault plan to one pool member;
     // otherwise the plan (if any) applies fleet-wide.
     let plan = fault_plan_from_args(&args);
+    // --chaos arms the worker-crash class with a default rate unless the
+    // explicit --worker-crash-rate flag already configured one.
+    let plan = if args.flag("chaos") && args.get("worker-crash-rate").is_none() {
+        let base = plan.unwrap_or_else(|| {
+            FaultPlan::with_rates(args.get_or("fault-seed", 0xFA17u64), 0.0, 0.0, 0.0)
+        });
+        Some(base.with_worker_crash(0.15, args.get_or("worker-crash-horizon", 16u64)))
+    } else {
+        plan
+    };
     let (fleet_fault, device_faults) = match (plan, args.get("faulty-device")) {
         (Some(p), Some(id)) => {
             let id: usize = id.parse().expect("--faulty-device: device index");
@@ -181,6 +220,17 @@ fn main() {
         device_faults,
         capture_trace,
         telemetry: TelemetryConfig::every(args.get_or("convergence-stride", 0u64)),
+        supervisor: SupervisorConfig {
+            retry_budget: args.get_or("retry-budget", 2u32),
+            stuck_after_ms: args.get_or("stuck-after-ms", 30_000u64),
+            degraded_answers: !args.flag("no-degraded"),
+            ..SupervisorConfig::default()
+        },
+        breaker: BreakerConfig {
+            failure_threshold: args.get_or("breaker-threshold", 3u32),
+            open_ms: args.get_or("breaker-open-ms", 250u64),
+            ..BreakerConfig::default()
+        },
         ..Default::default()
     };
     config.device_spec.parallelism = sim_threads;
@@ -226,13 +276,18 @@ fn main() {
     // Per-request detail CSV.
     let mut detail = Table::new(vec![
         "idx", "instance", "algorithm", "iterations", "seed", "status", "objective", "cache_hit",
-        "cpu_fallback", "device", "wall_ms",
+        "cpu_fallback", "degraded", "device", "wall_ms",
     ]);
     for (i, (entry, outcome)) in entries.iter().zip(&results).enumerate() {
         let outcome = outcome.as_ref().expect("every request answered");
-        let (objective, cache_hit, cpu_fallback) = match &outcome.result {
-            Ok(o) => (o.objective.to_string(), o.cache_hit.to_string(), o.cpu_fallback.to_string()),
-            Err(_) => ("-".to_string(), "-".to_string(), "-".to_string()),
+        let (objective, cache_hit, cpu_fallback, degraded) = match &outcome.result {
+            Ok(o) => (
+                o.objective.to_string(),
+                o.cache_hit.to_string(),
+                o.cpu_fallback.to_string(),
+                o.degraded.to_string(),
+            ),
+            Err(_) => ("-".to_string(), "-".to_string(), "-".to_string(), "-".to_string()),
         };
         detail.push(vec![
             i.to_string(),
@@ -244,6 +299,7 @@ fn main() {
             objective,
             cache_hit,
             cpu_fallback,
+            degraded,
             outcome.device.map_or("-".to_string(), |d| d.to_string()),
             format!("{:.3}", outcome.wall_ms),
         ]);
@@ -275,15 +331,25 @@ fn main() {
     }
 
     println!(
-        "\ncompleted {}/{} requests ({} failed, {} expired, {} rejected) in {:.3}s -> {:.2} req/s",
+        "\ncompleted {}/{} requests ({} failed, {} expired, {} rejected, {} degraded) in {:.3}s -> {:.2} req/s",
         report.completed,
         entries.len(),
         report.failed,
         report.expired,
         report.rejected,
+        report.degraded,
         report.wall_seconds,
         report.completed as f64 / report.wall_seconds.max(1e-9),
     );
+    if report.restarts > 0 || report.degraded > 0 {
+        println!(
+            "resilience: {} worker restarts, {} retries, {} degraded answers, breaker opened {}x",
+            report.restarts,
+            report.retried,
+            report.degraded,
+            report.devices.iter().map(|d| d.breaker.opened).sum::<u64>(),
+        );
+    }
     let (p50, p95, _) = latency_summary(&report);
     println!(
         "latency p50 {:.1} ms, p95 {:.1} ms | cache: {} hits + {} coalesced / {} lookups ({:.0}% served from cache)",

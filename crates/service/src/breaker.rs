@@ -1,0 +1,283 @@
+//! Per-device circuit breaker: `closed → open → half-open`, driven by
+//! consecutive recovery-layer failures and by the injected-fault rate a
+//! finished run reports ([`cuda_sim::FaultStats`]).
+//!
+//! The breaker sheds traffic away from a sick device: while it is **open**
+//! the device's worker does not pop jobs (they stay queued for healthy
+//! workers), and after a deterministic backoff the breaker admits exactly
+//! one **half-open** probe. A successful probe re-closes the breaker; a
+//! failed one re-opens it with a doubled backoff (capped).
+//!
+//! Time is an explicit `now_ms` parameter — the service feeds wall-clock
+//! milliseconds since it started, tests feed a logical clock — so the whole
+//! state machine is a pure function of its inputs and the "deterministic
+//! reopen backoff" invariant is directly checkable (see the proptest suite
+//! in `tests/breaker_properties.rs` and DESIGN.md §12).
+
+use cuda_sim::FaultStats;
+
+/// Tuning of one device's circuit breaker.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BreakerConfig {
+    /// Consecutive failures that trip a closed breaker open.
+    pub failure_threshold: u32,
+    /// Backoff before the first half-open probe, milliseconds. Doubles on
+    /// every consecutive re-open.
+    pub open_ms: u64,
+    /// Cap of the doubling backoff, milliseconds.
+    pub max_open_ms: u64,
+    /// Injected-fault rate (faults per attempted launch) at or above which
+    /// a *successful* run still counts as a failure signal — a device that
+    /// needed the recovery layer for nearly every launch is sick even when
+    /// recovery wins. Values above 1.0 disable the signal.
+    pub fault_rate_threshold: f64,
+}
+
+impl Default for BreakerConfig {
+    fn default() -> Self {
+        BreakerConfig {
+            failure_threshold: 3,
+            open_ms: 250,
+            max_open_ms: 4_000,
+            fault_rate_threshold: 0.9,
+        }
+    }
+}
+
+/// Where the breaker is in its `closed → open → half-open` cycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BreakerState {
+    /// Healthy: every request is admitted.
+    Closed,
+    /// Shedding: no request is admitted until the backoff elapses.
+    Open,
+    /// Probing: the single probe has been granted; its outcome decides
+    /// between re-closing and re-opening.
+    HalfOpen,
+}
+
+/// Counters of what one breaker did over the service lifetime.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct BreakerStats {
+    /// Transitions into `Open` (first trips and re-opens alike).
+    pub opened: u64,
+    /// Half-open probes granted.
+    pub probes: u64,
+    /// Successful probes that re-closed the breaker.
+    pub reclosed: u64,
+}
+
+/// One device's breaker. All methods take the current time explicitly;
+/// callers must use one monotone clock consistently.
+#[derive(Debug, Clone)]
+pub struct CircuitBreaker {
+    config: BreakerConfig,
+    state: BreakerState,
+    consecutive_failures: u32,
+    /// Consecutive `Open` entries without an intervening re-close; drives
+    /// the doubling backoff. At least 1 whenever the breaker is open.
+    reopens: u32,
+    opened_at_ms: u64,
+    /// What happened so far.
+    pub stats: BreakerStats,
+}
+
+impl CircuitBreaker {
+    pub fn new(config: BreakerConfig) -> Self {
+        CircuitBreaker {
+            config,
+            state: BreakerState::Closed,
+            consecutive_failures: 0,
+            reopens: 0,
+            opened_at_ms: 0,
+            stats: BreakerStats::default(),
+        }
+    }
+
+    /// Current state, with the open→half-open transition *not* applied (the
+    /// transition only happens when [`allow`](Self::allow) grants the probe).
+    pub fn state(&self) -> BreakerState {
+        self.state
+    }
+
+    /// The backoff the current (or next) open period uses: `open_ms`
+    /// doubled per consecutive re-open, capped at `max_open_ms`. A pure
+    /// function of the re-open count — never of the clock — which is the
+    /// "deterministic reopen backoff" half of the breaker contract.
+    pub fn open_duration_ms(&self) -> u64 {
+        let exp = self.reopens.saturating_sub(1).min(32);
+        self.config
+            .open_ms
+            .max(1)
+            .saturating_mul(1u64 << exp)
+            .min(self.config.max_open_ms.max(1))
+    }
+
+    /// May this device take a request at `now_ms`? Granting the first call
+    /// after an elapsed open backoff transitions to half-open and counts
+    /// the probe; every further call is refused until the probe's outcome
+    /// is recorded.
+    pub fn allow(&mut self, now_ms: u64) -> bool {
+        match self.state {
+            BreakerState::Closed => true,
+            BreakerState::Open => {
+                if now_ms.saturating_sub(self.opened_at_ms) >= self.open_duration_ms() {
+                    self.state = BreakerState::HalfOpen;
+                    self.stats.probes += 1;
+                    true
+                } else {
+                    false
+                }
+            }
+            // The single probe is already out.
+            BreakerState::HalfOpen => false,
+        }
+    }
+
+    /// Record a completed request that produced a usable answer.
+    pub fn record_success(&mut self) {
+        self.consecutive_failures = 0;
+        if self.state == BreakerState::HalfOpen {
+            self.state = BreakerState::Closed;
+            self.reopens = 0;
+            self.stats.reclosed += 1;
+        }
+    }
+
+    /// Record a failed request (recovery-layer error or worker crash).
+    pub fn record_failure(&mut self, now_ms: u64) {
+        self.consecutive_failures = self.consecutive_failures.saturating_add(1);
+        match self.state {
+            BreakerState::HalfOpen => self.trip(now_ms),
+            BreakerState::Closed
+                if self.consecutive_failures >= self.config.failure_threshold.max(1) =>
+            {
+                self.trip(now_ms)
+            }
+            // Open, or closed below threshold: nothing more to do — a
+            // failure while open can only come from a run that was already
+            // in flight when the breaker tripped.
+            _ => {}
+        }
+    }
+
+    /// Feed a *successful* run's injected-fault counters: at or above the
+    /// configured rate the run counts as a failure signal, otherwise as a
+    /// success. Returns whether the fault rate tripped the failure path.
+    pub fn note_fault_rate(&mut self, faults: &FaultStats, now_ms: u64) -> bool {
+        let injected = faults.transient_launch_failures + faults.hung_kernels;
+        let sick = faults.launches_attempted > 0
+            && injected as f64 / faults.launches_attempted as f64
+                >= self.config.fault_rate_threshold;
+        if sick {
+            self.record_failure(now_ms);
+        } else {
+            self.record_success();
+        }
+        sick
+    }
+
+    fn trip(&mut self, now_ms: u64) {
+        self.state = BreakerState::Open;
+        self.reopens = self.reopens.saturating_add(1);
+        self.opened_at_ms = now_ms;
+        self.consecutive_failures = 0;
+        self.stats.opened += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn breaker() -> CircuitBreaker {
+        CircuitBreaker::new(BreakerConfig {
+            failure_threshold: 3,
+            open_ms: 100,
+            max_open_ms: 400,
+            fault_rate_threshold: 0.9,
+        })
+    }
+
+    #[test]
+    fn trips_after_consecutive_failures_and_sheds() {
+        let mut b = breaker();
+        assert!(b.allow(0));
+        b.record_failure(0);
+        b.record_failure(1);
+        assert_eq!(b.state(), BreakerState::Closed, "below threshold stays closed");
+        b.record_failure(2);
+        assert_eq!(b.state(), BreakerState::Open);
+        assert_eq!(b.stats.opened, 1);
+        assert!(!b.allow(50), "open breaker sheds until the backoff elapses");
+        assert!(!b.allow(101), "opened at t=2: 2+100 elapses at 102");
+        assert!(b.allow(102), "backoff elapsed: the probe is granted");
+        assert_eq!(b.state(), BreakerState::HalfOpen);
+        assert!(!b.allow(103), "exactly one probe in half-open");
+        assert_eq!(b.stats.probes, 1);
+    }
+
+    #[test]
+    fn probe_outcome_decides_reclose_or_doubled_reopen() {
+        let mut b = breaker();
+        for t in 0..3 {
+            b.record_failure(t);
+        }
+        assert!(b.allow(102));
+        b.record_success();
+        assert_eq!(b.state(), BreakerState::Closed);
+        assert_eq!(b.stats.reclosed, 1);
+        assert_eq!(b.open_duration_ms(), 100, "re-close resets the backoff");
+
+        // Trip again; this time the probe fails: backoff doubles per
+        // consecutive re-open and caps at max_open_ms.
+        for t in 200..203 {
+            b.record_failure(t);
+        }
+        assert_eq!(b.open_duration_ms(), 100);
+        assert!(b.allow(302));
+        b.record_failure(303);
+        assert_eq!(b.state(), BreakerState::Open);
+        assert_eq!(b.open_duration_ms(), 200, "second consecutive open doubles");
+        assert!(!b.allow(502));
+        assert!(b.allow(503));
+        b.record_failure(504);
+        assert_eq!(b.open_duration_ms(), 400);
+        b.record_failure(700); // while open: no state change
+        assert_eq!(b.state(), BreakerState::Open);
+        assert!(b.allow(904), "opened at 504 + 400 backoff");
+        b.record_failure(905);
+        assert_eq!(b.open_duration_ms(), 400, "capped at max_open_ms");
+    }
+
+    #[test]
+    fn intervening_success_resets_the_consecutive_count() {
+        let mut b = breaker();
+        b.record_failure(0);
+        b.record_failure(1);
+        b.record_success();
+        b.record_failure(2);
+        b.record_failure(3);
+        assert_eq!(b.state(), BreakerState::Closed, "the streak was broken");
+        b.record_failure(4);
+        assert_eq!(b.state(), BreakerState::Open);
+    }
+
+    #[test]
+    fn fault_rate_counts_as_failure_signal() {
+        let mut b = breaker();
+        let sick = FaultStats {
+            launches_attempted: 10,
+            transient_launch_failures: 9,
+            ..Default::default()
+        };
+        let healthy = FaultStats { launches_attempted: 10, ..Default::default() };
+        assert!(b.note_fault_rate(&sick, 0));
+        assert!(b.note_fault_rate(&sick, 1));
+        assert!(b.note_fault_rate(&sick, 2));
+        assert_eq!(b.state(), BreakerState::Open, "three all-faulty runs trip the breaker");
+        assert!(b.allow(102));
+        assert!(!b.note_fault_rate(&healthy, 103), "clean run re-closes via the probe");
+        assert_eq!(b.state(), BreakerState::Closed);
+    }
+}

@@ -159,6 +159,7 @@ mod tests {
             cache_hit: false,
             device: Some(1),
             cpu_fallback: false,
+            degraded: false,
         }
     }
 

@@ -16,6 +16,14 @@
 //! throughput, latency percentiles, cache hit rate and per-device
 //! utilization.
 //!
+//! PR 6 adds the **resilience layer**: a [`supervisor`] that detects dead
+//! or stuck workers, restarts them with fresh devices and re-dispatches
+//! their in-flight jobs with a bounded, deterministically-jittered retry
+//! backoff; a per-device [`CircuitBreaker`] that sheds traffic away from
+//! sick devices; and graceful degradation — requests the pool cannot
+//! serve are answered from the CPU oracle with `degraded: true` instead
+//! of erroring (see DESIGN.md §12 and the `--chaos` mode of `cdd-serve`).
+//!
 //! ```
 //! use cdd_core::{Algorithm, Instance, SolveRequest};
 //! use cdd_service::{ServiceConfig, SolverService};
@@ -36,10 +44,14 @@
 //! assert_eq!(report.cache.hits + report.cache.coalesced, 1);
 //! ```
 
+pub mod breaker;
 pub mod cache;
 pub mod queue;
 pub mod service;
+pub mod supervisor;
 
+pub use breaker::{BreakerConfig, BreakerState, BreakerStats, CircuitBreaker};
 pub use cache::{CacheStats, SolutionCache};
 pub use queue::QueueStats;
 pub use service::{DeviceReport, RequestOutcome, ServiceConfig, ServiceReport, SolverService};
+pub use supervisor::SupervisorConfig;

@@ -22,8 +22,14 @@ pub(crate) struct QueuedJob {
     pub request: SolveRequest,
     /// Cached `request.content_key()`.
     pub key: u64,
-    /// Submission time (latency accounting and deadline expiry).
+    /// Submission time (latency accounting and deadline expiry). Survives
+    /// retries: a re-dispatched job keeps its original submission instant,
+    /// so its deadline never resets.
     pub submitted: Instant,
+    /// Supervisor re-dispatches this job has been through (0 = original
+    /// dispatch). Drives the deterministic retry fault-plan derivation and
+    /// the bounded retry budget.
+    pub retries: u32,
 }
 
 impl QueuedJob {
@@ -49,6 +55,9 @@ pub struct QueueStats {
     /// Jobs re-admitted at the front into an inherited slot
     /// ([`SubmissionQueue::requeue_front`]).
     pub requeued: u64,
+    /// Jobs re-admitted by the supervisor after a worker crash
+    /// ([`SubmissionQueue::requeue_retry`]).
+    pub retried: u64,
     /// Deepest the queue of *admitted* slots ever got. Inherited re-admits
     /// reuse a slot that was already counted at admission, so this never
     /// exceeds the configured capacity.
@@ -112,6 +121,41 @@ impl SubmissionQueue {
         self.stats.peak_depth = self.stats.peak_depth.max(self.admitted_depth());
     }
 
+    /// Re-admit a crashed-and-retried job into the inherited front segment,
+    /// **ordered by ticket among the retried/inherited peers already
+    /// there**. Retries therefore re-enter ahead of every new arrival (they
+    /// cannot deadline-starve behind fresh submissions) while preserving
+    /// the original arrival order among themselves — unlike
+    /// [`requeue_front`](Self::requeue_front), which is LIFO by design (the
+    /// promoted follower has been waiting longest). The job keeps its
+    /// original `submitted` instant (and therefore its original deadline)
+    /// and inherits its already-admitted slot, bypassing capacity.
+    pub fn requeue_retry(&mut self, job: QueuedJob) {
+        let pos = self
+            .jobs
+            .iter()
+            .take(self.inherited)
+            .position(|j| j.ticket > job.ticket)
+            .unwrap_or(self.inherited);
+        self.jobs.insert(pos, job);
+        self.inherited += 1;
+        self.stats.retried += 1;
+        self.stats.peak_depth = self.stats.peak_depth.max(self.admitted_depth());
+    }
+
+    /// Pop the front job only when `pred` accepts it. Lets a worker drain
+    /// expired heads (and decide whether to take work at all) without ever
+    /// holding a job outside the queue — which matters for breaker gating:
+    /// the half-open probe must only be consumed when a job is actually
+    /// taken.
+    pub fn pop_if(&mut self, pred: impl FnOnce(&QueuedJob) -> bool) -> Option<QueuedJob> {
+        if pred(self.jobs.front()?) {
+            self.pop()
+        } else {
+            None
+        }
+    }
+
     /// Next job in FIFO order.
     pub fn pop(&mut self) -> Option<QueuedJob> {
         let job = self.jobs.pop_front();
@@ -119,6 +163,35 @@ impl SubmissionQueue {
             self.inherited -= 1;
         }
         job
+    }
+
+    /// Remove and return every queued job matching `pred` (used by the
+    /// brownout path to pull deadline-pressured jobs for degraded answers).
+    /// Keeps the inherited-slot accounting consistent: extracted inherited
+    /// jobs no longer count toward the front segment.
+    pub fn extract_if(&mut self, mut pred: impl FnMut(&QueuedJob) -> bool) -> Vec<QueuedJob> {
+        let inherited_before = self.inherited;
+        let mut kept = VecDeque::with_capacity(self.jobs.len());
+        let mut out = Vec::new();
+        let mut kept_inherited = 0;
+        for (i, job) in self.jobs.drain(..).enumerate() {
+            if pred(&job) {
+                out.push(job);
+            } else {
+                if i < inherited_before {
+                    kept_inherited += 1;
+                }
+                kept.push_back(job);
+            }
+        }
+        self.jobs = kept;
+        self.inherited = kept_inherited;
+        out
+    }
+
+    /// Jobs currently queued (admitted + inherited).
+    pub fn depth(&self) -> usize {
+        self.jobs.len()
     }
 
     pub fn stats(&self) -> &QueueStats {
@@ -137,7 +210,7 @@ mod tests {
             ..SolveRequest::new(Instance::paper_example_cdd(), Algorithm::Sa, 10, ticket)
         };
         let key = request.content_key();
-        QueuedJob { ticket, request, key, submitted: Instant::now() }
+        QueuedJob { ticket, request, key, submitted: Instant::now(), retries: 0 }
     }
 
     #[test]
@@ -201,6 +274,81 @@ mod tests {
         assert_eq!(q.pop().unwrap().ticket, 1);
         assert_eq!(q.pop().unwrap().ticket, 2);
         assert_eq!(q.pop().unwrap().ticket, 3);
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn retried_jobs_reenter_at_the_front_in_original_arrival_order() {
+        // Satellite: a crashed job's retry must re-enter *ahead of new
+        // arrivals* (no deadline starvation) but keep the original arrival
+        // order among retried peers — and keep its original deadline.
+        let mut q = SubmissionQueue::new(8);
+        for t in 1..=4 {
+            q.try_push(job(t, Some(60_000))).unwrap();
+        }
+        let j1 = q.pop().unwrap(); // tickets 1 and 2 get dispatched…
+        let mut j2 = q.pop().unwrap();
+        let submitted_2 = j2.submitted;
+        q.try_push(job(5, None)).unwrap(); // …while a new request arrives.
+
+        // Both dispatched jobs crash; the supervisor retries 2 before 1.
+        j2.retries += 1;
+        q.requeue_retry(j2);
+        q.requeue_retry(j1);
+        assert_eq!(q.stats().retried, 2);
+
+        // Retries run first, in original arrival order; then the untouched
+        // FIFO tail; new arrivals never starve a retry.
+        let first = q.pop().unwrap();
+        assert_eq!(first.ticket, 1, "arrival order among retried peers");
+        let second = q.pop().unwrap();
+        assert_eq!(second.ticket, 2);
+        assert_eq!(second.submitted, submitted_2, "original deadline clock is preserved");
+        assert_eq!(second.retries, 1);
+        assert_eq!(q.pop().unwrap().ticket, 3);
+        assert_eq!(q.pop().unwrap().ticket, 4);
+        assert_eq!(q.pop().unwrap().ticket, 5);
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn retry_reentry_interleaves_with_promoted_followers() {
+        // requeue_retry orders among the *inherited segment* by ticket, so
+        // a retried job slots correctly even when expiry promotions
+        // (LIFO requeue_front) already populated the front.
+        let mut q = SubmissionQueue::new(8);
+        for t in 1..=3 {
+            q.try_push(job(t, None)).unwrap();
+        }
+        let j1 = q.pop().unwrap();
+        let j2 = q.pop().unwrap();
+        q.requeue_front(j2); // a promoted follower sits at the front
+        q.requeue_retry(j1); // the retried job (older ticket) goes before it
+        assert_eq!(q.pop().unwrap().ticket, 1);
+        assert_eq!(q.pop().unwrap().ticket, 2);
+        assert_eq!(q.pop().unwrap().ticket, 3);
+    }
+
+    #[test]
+    fn extract_if_keeps_inherited_accounting_consistent() {
+        let mut q = SubmissionQueue::new(8);
+        for t in 1..=4 {
+            q.try_push(job(t, if t == 3 { Some(5) } else { None })).unwrap();
+        }
+        let j1 = q.pop().unwrap();
+        q.requeue_retry(j1); // front segment: [1]
+        let pulled = q.extract_if(|j| j.request.deadline_ms.is_some());
+        assert_eq!(pulled.len(), 1);
+        assert_eq!(pulled[0].ticket, 3);
+        // The inherited job survived the extraction and still runs first.
+        assert_eq!(q.depth(), 3);
+        assert_eq!(q.pop().unwrap().ticket, 1);
+        // Extracting the inherited job itself also rebalances the count.
+        let j2 = q.pop().unwrap();
+        q.requeue_retry(j2);
+        let pulled = q.extract_if(|j| j.ticket == 2);
+        assert_eq!(pulled.len(), 1);
+        assert_eq!(q.pop().unwrap().ticket, 4);
         assert!(q.pop().is_none());
     }
 

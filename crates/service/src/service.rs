@@ -1,6 +1,6 @@
 //! The solver service: a bounded submission queue feeding a pool of
 //! simulated GPU devices through work stealing, fronted by a
-//! content-addressed solution cache.
+//! content-addressed solution cache and watched over by a supervisor.
 //!
 //! # Architecture
 //!
@@ -11,28 +11,47 @@
 //!                  │no
 //!                  └─► bounded FIFO queue ──full──► SuiteError::Rejected
 //!                            │
-//!            (work stealing: each idle device worker pops the next job)
+//!            (work stealing: each idle device worker pops the next job,
+//!             gated by that device's circuit breaker)
 //!                            │
 //!          device 0 ─ device 1 ─ … ─ device N-1   (one in-flight run each)
-//!                            │
-//!                  completion: cache insert + ticket fulfilment
+//!                │ DeviceLost            │ completion: cache insert +
+//!                ▼                       ▼ ticket fulfilment
+//!          worker panics ──► supervisor reaps, restarts the worker with a
+//!          fresh device, and re-dispatches the in-flight job (bounded
+//!          deterministic retry/backoff) or serves it degraded from the
+//!          CPU oracle (`cdd_core::degraded_outcome`)
 //! ```
+//!
+//! The resilience pieces live in sibling modules: [`crate::supervisor`]
+//! (worker death detection, restart, retry/park/degrade policy) and
+//! [`crate::breaker`] (the per-device `closed → open → half-open` circuit
+//! breaker). Mutable per-device state — usage, breaker, trace, in-flight
+//! job — lives in [`SlotState`] inside the shared state, **not** in the
+//! worker thread, so it survives worker crashes and restarts.
 //!
 //! # Determinism contract
 //!
-//! Which *device* runs a request and how long it waits are wall-clock
-//! matters and vary run to run. The request's *fitness* does not: the
-//! pipelines are deterministic in `(instance, algorithm, iterations,
-//! seed)`, and a device's per-request fault plan is derived purely from its
-//! base plan and the request seed ([`DeviceHandle::request_plan`] — device
-//! id deliberately excluded). A uniform fleet therefore returns the same
-//! sequence and objective for a request no matter how it is routed, and a
-//! cached response is bit-identical to a fresh solve of the same request.
-//! Per-device utilization, latency and the hit/coalesced split are *not*
-//! part of the contract.
+//! Which *device* runs a request, how long it waits and how often its
+//! worker was restarted are wall-clock matters and vary run to run. The
+//! request's *fitness and degraded flag* do not: the pipelines are
+//! deterministic in `(instance, algorithm, iterations, seed)`, a device's
+//! per-request fault plan is derived purely from its base plan, the request
+//! seed and the retry ordinal ([`DeviceHandle::request_plan_retry`] —
+//! device id deliberately excluded), and a degraded answer is pure in the
+//! instance. Whether attempt `r` of a request crashes is decided by plan
+//! `r` alone, so the attempt trajectory — and therefore the final
+//! `(fitness, degraded)` pair — is routing- and timing-independent for
+//! deadline-free workloads. Per-device utilization, latency, the
+//! hit/coalesced split and breaker state *timing* are not part of the
+//! contract. See DESIGN.md §12.
 
+use crate::breaker::{BreakerConfig, BreakerStats, CircuitBreaker};
 use crate::cache::{CacheStats, SolutionCache};
 use crate::queue::{QueueStats, QueuedJob, SubmissionQueue};
+use crate::supervisor::{
+    install_quiet_crash_hook, supervisor_loop, SupervisorConfig, WorkerCrashPanic,
+};
 use cdd_core::{SolveOutcome, SolveRequest, SuiteError};
 use cdd_gpu::{counter_trace_events, run_gpu_solve, ConvergenceSummary, GpuSolveSpec, RecoveryPolicy};
 use cdd_metrics::trace::{TraceEvent, TraceSink};
@@ -44,7 +63,7 @@ use cuda_sim::{
 use std::collections::HashMap;
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::{self, JoinHandle};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// Static configuration of a [`SolverService`].
 #[derive(Debug, Clone)]
@@ -78,6 +97,11 @@ pub struct ServiceConfig {
     /// counters to the report and, with `capture_trace`, best-so-far
     /// counter tracks to the Chrome trace; it never changes a result.
     pub telemetry: TelemetryConfig,
+    /// Supervision policy: worker restart, retry budget, deterministic
+    /// backoff and graceful degradation (see [`SupervisorConfig`]).
+    pub supervisor: SupervisorConfig,
+    /// Per-device circuit-breaker tuning (see [`BreakerConfig`]).
+    pub breaker: BreakerConfig,
 }
 
 impl Default for ServiceConfig {
@@ -94,6 +118,8 @@ impl Default for ServiceConfig {
             recovery: RecoveryPolicy::default(),
             capture_trace: false,
             telemetry: TelemetryConfig::disabled(),
+            supervisor: SupervisorConfig::default(),
+            breaker: BreakerConfig::default(),
         }
     }
 }
@@ -103,7 +129,7 @@ impl Default for ServiceConfig {
 /// fleet totals are routing-independent — they qualify for the `service_`
 /// metric namespace.
 #[derive(Debug, Clone, Copy, Default)]
-struct ConvergenceTotals {
+pub(crate) struct ConvergenceTotals {
     /// Requests that produced a convergence trace.
     requests: u64,
     /// Generation samples recorded across those traces.
@@ -137,9 +163,9 @@ impl ConvergenceTotals {
 pub struct RequestOutcome {
     /// The ticket this outcome fulfils.
     pub ticket: u64,
-    /// Device that did the work (`None` when answered from the cache or
-    /// expired before dispatch; coalesced requests report the device that
-    /// ran the shared solve).
+    /// Device that did the work (`None` when answered from the cache,
+    /// expired before dispatch or served degraded; coalesced requests
+    /// report the device that ran the shared solve).
     pub device: Option<usize>,
     /// Milliseconds from submission to fulfilment.
     pub wall_ms: f64,
@@ -153,9 +179,16 @@ pub struct DeviceReport {
     /// Pool device id.
     pub id: usize,
     /// Accumulated usage (modeled time, run counts, injected faults).
+    /// Survives worker restarts — this is the *slot's* usage, not one
+    /// worker incarnation's.
     pub usage: DeviceUsage,
     /// Busy-wall-seconds / service-wall-seconds.
     pub utilization: f64,
+    /// Worker restarts the supervisor performed on this slot (crash
+    /// reaps + stuck fences).
+    pub restarts: u64,
+    /// What this device's circuit breaker did.
+    pub breaker: BreakerStats,
 }
 
 /// Counters and per-device usage returned by [`SolverService::shutdown`].
@@ -171,13 +204,21 @@ pub struct ServiceReport {
     pub failed: u64,
     /// Tickets expired before dispatch.
     pub expired: u64,
+    /// Tickets answered from the CPU oracle with `degraded: true`
+    /// (retry budget exhausted, or pulled by a brownout pass). Degraded
+    /// answers count toward `completed` as well.
+    pub degraded: u64,
     /// Submissions refused by admission control.
     pub rejected: u64,
+    /// Crashed jobs re-admitted by the supervisor for another attempt.
+    pub retried: u64,
+    /// Worker restarts across the fleet (crash reaps + stuck fences).
+    pub restarts: u64,
     /// Queue depth/admission counters.
     pub queue: QueueStats,
     /// Cache hit/miss/eviction counters.
     pub cache: CacheStats,
-    /// Per-device usage and utilization.
+    /// Per-device usage, utilization, restarts and breaker activity.
     pub devices: Vec<DeviceReport>,
     /// Metrics snapshot of the whole service lifetime. Series under the
     /// `service_` prefix are timing-independent for a deterministic
@@ -185,7 +226,11 @@ pub struct ServiceReport {
     /// *what* was computed, which the determinism contract fixes, not
     /// *where or when*, which it does not. The `timing_` and `device_`
     /// prefixes carry the wall-clock-dependent remainder (latency
-    /// histograms, the hit/coalesce split, per-device placement).
+    /// histograms, the hit/coalesce split, per-device placement). One
+    /// carve-out: `service_breaker_*` totals are deterministic only in the
+    /// clean case (all zero) — under chaos, per-slot consecutive-failure
+    /// streaks depend on placement, so the chaos CI job byte-compares the
+    /// per-request CSV instead of these series.
     pub metrics: MetricsRegistry,
     /// Chrome trace of every run's profiler timeline, one track per device
     /// on the modeled clock. Empty unless [`ServiceConfig::capture_trace`]
@@ -200,8 +245,42 @@ struct Follower {
     deadline_ms: Option<u64>,
 }
 
-struct State {
-    queue: SubmissionQueue,
+/// Everything that belongs to one device *slot* and must survive worker
+/// crashes: the worker thread is disposable, this is not.
+pub(crate) struct SlotState {
+    /// Fencing token: bumped on every restart. A worker whose generation
+    /// no longer matches is a zombie — it discards its result and exits.
+    pub(crate) generation: u64,
+    /// The job this slot is currently running, if any. Taken by the
+    /// supervisor on crash/stuck so the job can be re-dispatched.
+    pub(crate) in_flight: Option<QueuedJob>,
+    /// Logical-clock ms (service epoch) of the worker's last sign of life
+    /// (job pop or completion). Only meaningful while `in_flight` is some.
+    pub(crate) heartbeat_ms: u64,
+    /// This device's circuit breaker. Survives restarts deliberately — a
+    /// crashing device should not get a fresh breaker with every worker.
+    pub(crate) breaker: CircuitBreaker,
+    /// Accumulated usage across all worker incarnations.
+    pub(crate) usage: DeviceUsage,
+    /// This device's trace track (when capture is on).
+    pub(crate) trace: Vec<TraceEvent>,
+    pub(crate) trace_clock_us: f64,
+    /// Convergence tallies across all worker incarnations.
+    pub(crate) convergence: ConvergenceTotals,
+    /// Worker restarts on this slot (crash reaps + stuck fences).
+    pub(crate) restarts: u64,
+    /// Stuck fences among those restarts.
+    pub(crate) stuck: u64,
+}
+
+/// A retried job waiting out its backoff before re-entering the queue.
+pub(crate) struct ParkedJob {
+    pub(crate) due_at: Instant,
+    pub(crate) job: QueuedJob,
+}
+
+pub(crate) struct State {
+    pub(crate) queue: SubmissionQueue,
     /// `content key → followers`; a key is present exactly while a primary
     /// with that key is queued or in flight.
     waiters: HashMap<u64, Vec<Follower>>,
@@ -214,8 +293,16 @@ struct State {
     completed: u64,
     failed: u64,
     expired: u64,
+    /// Tickets answered degraded (subset of `completed`).
+    degraded: u64,
+    /// Degraded answers that came from a brownout pass specifically.
+    degraded_brownout: u64,
+    /// Retry re-dispatches the supervisor scheduled (parked or immediate).
+    pub(crate) retries_scheduled: u64,
     next_ticket: u64,
-    shutdown: bool,
+    pub(crate) shutdown: bool,
+    pub(crate) slots: Vec<SlotState>,
+    pub(crate) parked: Vec<ParkedJob>,
 }
 
 impl State {
@@ -224,24 +311,56 @@ impl State {
     fn observe_latency(&mut self, wall_ms: f64) {
         self.metrics.observe("timing_request_wall_ms", &[], wall_ms, latency_ms_buckets());
     }
+
+    /// Nothing left to run: shutdown was requested, the queue and the
+    /// parking lot are empty, and no slot has a job in flight. Workers and
+    /// the supervisor exit exactly when this holds.
+    pub(crate) fn drained(&self) -> bool {
+        self.shutdown
+            && self.queue.depth() == 0
+            && self.parked.is_empty()
+            && self.slots.iter().all(|s| s.in_flight.is_none())
+    }
 }
 
-struct Shared {
-    state: Mutex<State>,
+pub(crate) struct Shared {
+    pub(crate) state: Mutex<State>,
     /// Signalled when work arrives or shutdown begins (workers wait here).
-    work: Condvar,
+    pub(crate) work: Condvar,
     /// Signalled when a ticket is fulfilled (clients wait here).
-    done: Condvar,
+    pub(crate) done: Condvar,
+    /// Signalled to wake the supervisor early (worker crash imminent).
+    pub(crate) supervise: Condvar,
     blocks: usize,
     block_size: usize,
     recovery: RecoveryPolicy,
     capture_trace: bool,
     telemetry: TelemetryConfig,
+    /// Hardware description shared by all pool devices (restarts clone it).
+    device_spec: DeviceSpec,
+    /// Per-slot base fault plan, resolved once at start — a restarted
+    /// worker gets a fresh device with the *same* base plan.
+    slot_plans: Vec<Option<FaultPlan>>,
+    pub(crate) supervisor: SupervisorConfig,
+    /// Origin of the service's logical millisecond clock (`now_ms`).
+    epoch: Instant,
+}
+
+impl Shared {
+    /// Milliseconds since the service started — the one monotone clock the
+    /// breakers, heartbeats and stuck checks all share.
+    pub(crate) fn now_ms(&self) -> u64 {
+        self.epoch.elapsed().as_millis() as u64
+    }
 }
 
 fn elapsed_ms(since: Instant) -> f64 {
     since.elapsed().as_secs_f64() * 1e3
 }
+
+/// How long a breaker-gated worker naps before re-checking `allow` (the
+/// condvar has no "breaker re-opened" edge to signal on).
+const BREAKER_RECHECK_MS: u64 = 10;
 
 /// A running solver service. Submit requests with [`submit`](Self::submit)
 /// (or the blocking [`solve`](Self::solve)), collect answers with
@@ -249,14 +368,40 @@ fn elapsed_ms(since: Instant) -> f64 {
 /// drain the queue and obtain the [`ServiceReport`].
 pub struct SolverService {
     shared: Arc<Shared>,
-    workers: Vec<JoinHandle<(DeviceHandle, Vec<TraceEvent>, ConvergenceTotals)>>,
+    /// The supervisor thread owns the worker handles; joining it joins the
+    /// whole pool.
+    supervisor: Option<JoinHandle<()>>,
     started: Instant,
 }
 
 impl SolverService {
-    /// Start the worker pool (one thread per device).
+    /// Start the worker pool (one thread per device) and the supervisor.
     pub fn start(config: ServiceConfig) -> Self {
         let devices = config.devices.max(1);
+        let slot_plans: Vec<Option<FaultPlan>> = (0..devices)
+            .map(|id| {
+                config
+                    .device_faults
+                    .iter()
+                    .find(|(dev, _)| *dev == id)
+                    .map(|(_, p)| p.clone())
+                    .or_else(|| config.fault.clone())
+            })
+            .collect();
+        let slots = (0..devices)
+            .map(|_| SlotState {
+                generation: 0,
+                in_flight: None,
+                heartbeat_ms: 0,
+                breaker: CircuitBreaker::new(config.breaker.clone()),
+                usage: DeviceUsage::default(),
+                trace: Vec::new(),
+                trace_clock_us: 0.0,
+                convergence: ConvergenceTotals::default(),
+                restarts: 0,
+                stuck: 0,
+            })
+            .collect();
         let shared = Arc::new(Shared {
             state: Mutex::new(State {
                 queue: SubmissionQueue::new(config.queue_capacity),
@@ -268,37 +413,36 @@ impl SolverService {
                 completed: 0,
                 failed: 0,
                 expired: 0,
+                degraded: 0,
+                degraded_brownout: 0,
+                retries_scheduled: 0,
                 next_ticket: 0,
                 shutdown: false,
+                slots,
+                parked: Vec::new(),
             }),
             work: Condvar::new(),
             done: Condvar::new(),
+            supervise: Condvar::new(),
             blocks: config.blocks,
             block_size: config.block_size,
             recovery: config.recovery.clone(),
             capture_trace: config.capture_trace,
             telemetry: config.telemetry,
+            device_spec: config.device_spec.clone(),
+            slot_plans,
+            supervisor: config.supervisor.clone(),
+            epoch: Instant::now(),
         });
-        let workers = (0..devices)
-            .map(|id| {
-                let plan = config
-                    .device_faults
-                    .iter()
-                    .find(|(dev, _)| *dev == id)
-                    .map(|(_, p)| p.clone())
-                    .or_else(|| config.fault.clone());
-                let mut handle = DeviceHandle::new(id, config.device_spec.clone());
-                if let Some(p) = plan {
-                    handle = handle.with_fault(p);
-                }
-                let shared = Arc::clone(&shared);
-                thread::Builder::new()
-                    .name(format!("cdd-device-{id}"))
-                    .spawn(move || worker_loop(&shared, handle))
-                    .expect("worker thread spawns")
-            })
-            .collect();
-        SolverService { shared, workers, started: Instant::now() }
+        install_quiet_crash_hook();
+        let workers: Vec<Option<JoinHandle<()>>> =
+            (0..devices).map(|id| Some(spawn_worker(&shared, id, 0))).collect();
+        let sup_shared = Arc::clone(&shared);
+        let supervisor = thread::Builder::new()
+            .name("cdd-supervisor".into())
+            .spawn(move || supervisor_loop(&sup_shared, workers))
+            .expect("supervisor thread spawns");
+        SolverService { shared, supervisor: Some(supervisor), started: Instant::now() }
     }
 
     /// Submit a request. Returns a ticket to [`wait`](Self::wait) on, or
@@ -339,13 +483,21 @@ impl SolverService {
             return Ok(ticket);
         }
 
-        // 3. Fresh dispatch — subject to admission control.
-        st.queue.try_push(QueuedJob { ticket, request, key, submitted: Instant::now() })?;
+        // 3. Fresh dispatch — subject to admission control. Wake every
+        // worker: with breakers in play, `notify_one` could land on a
+        // worker whose breaker is open, leaving the job waiting.
+        st.queue.try_push(QueuedJob {
+            ticket,
+            request,
+            key,
+            submitted: Instant::now(),
+            retries: 0,
+        })?;
         st.cache.note_miss();
         st.waiters.insert(key, Vec::new());
         st.next_ticket += 1;
         st.submitted += 1;
-        self.shared.work.notify_one();
+        self.shared.work.notify_all();
         Ok(ticket)
     }
 
@@ -366,15 +518,19 @@ impl SolverService {
         self.wait(ticket).result
     }
 
-    /// Stop accepting work, drain the queue, join the workers and report.
+    /// Stop accepting work, drain the queue (parked retries re-enter
+    /// immediately — shutdown never strands a retry in its backoff), join
+    /// the supervisor and the workers, and report.
     pub fn shutdown(mut self) -> ServiceReport {
         {
             let mut st = self.shared.state.lock().expect("service state lock");
             st.shutdown = true;
             self.shared.work.notify_all();
+            self.shared.supervise.notify_all();
         }
-        let joined: Vec<(DeviceHandle, Vec<TraceEvent>, ConvergenceTotals)> =
-            self.workers.drain(..).map(|w| w.join().expect("worker thread exits")).collect();
+        if let Some(sup) = self.supervisor.take() {
+            let _ = sup.join();
+        }
         let wall_seconds = self.started.elapsed().as_secs_f64();
         let mut st = self.shared.state.lock().expect("service state lock");
 
@@ -383,23 +539,23 @@ impl SolverService {
         let cache = st.cache.stats().clone();
         let convergence = self.shared.telemetry.enabled().then(|| {
             let mut totals = ConvergenceTotals::default();
-            for (_, _, t) in &joined {
-                totals.absorb(*t);
+            for s in &st.slots {
+                totals.absorb(s.convergence);
             }
             totals
         });
-        fold_final_metrics(&mut metrics, &st, &queue, &cache, &joined, convergence, wall_seconds);
+        fold_final_metrics(&mut metrics, &st, &queue, &cache, convergence, wall_seconds);
 
         let mut trace = TraceSink::new();
         if self.shared.capture_trace {
             trace.name_process(0, "cdd-service");
             // One named track per device, present even when a device never
             // ran a request — the Perfetto view shows the whole fleet.
-            for (h, _, _) in &joined {
-                trace.name_track(0, h.id as u32, &format!("device {}", h.id));
+            for id in 0..st.slots.len() {
+                trace.name_track(0, id as u32, &format!("device {id}"));
             }
-            for (_, events, _) in &joined {
-                trace.extend(events.iter().cloned());
+            for s in &st.slots {
+                trace.extend(s.trace.iter().cloned());
             }
         }
 
@@ -409,15 +565,22 @@ impl SolverService {
             completed: st.completed,
             failed: st.failed,
             expired: st.expired,
+            degraded: st.degraded,
             rejected: queue.rejected,
+            retried: queue.retried,
+            restarts: st.slots.iter().map(|s| s.restarts).sum(),
             queue,
             cache,
-            devices: joined
-                .into_iter()
-                .map(|(h, _, _)| DeviceReport {
-                    id: h.id,
-                    utilization: h.usage.utilization(wall_seconds),
-                    usage: h.usage,
+            devices: st
+                .slots
+                .iter()
+                .enumerate()
+                .map(|(id, s)| DeviceReport {
+                    id,
+                    utilization: s.usage.utilization(wall_seconds),
+                    usage: s.usage.clone(),
+                    restarts: s.restarts,
+                    breaker: s.breaker.stats,
                 })
                 .collect(),
             metrics,
@@ -435,13 +598,15 @@ impl SolverService {
 /// Anything shaped by the wall clock — latency, the hit-vs-coalesced split,
 /// per-device placement and utilization — lives under `timing_` or
 /// `device_` instead, so a consumer can byte-compare the deterministic
-/// subset with `grep '^service_'`.
+/// subset with `grep '^service_'`. One carve-out, documented on
+/// [`ServiceReport::metrics`]: `service_breaker_*` is deterministic only
+/// when it is all zero (clean fleet) — breaker trips count *consecutive*
+/// per-slot failures, which depend on placement under chaos.
 fn fold_final_metrics(
     metrics: &mut MetricsRegistry,
     st: &State,
     queue: &QueueStats,
     cache: &CacheStats,
-    joined: &[(DeviceHandle, Vec<TraceEvent>, ConvergenceTotals)],
     convergence: Option<ConvergenceTotals>,
     wall_seconds: f64,
 ) {
@@ -449,13 +614,45 @@ fn fold_final_metrics(
     metrics.inc("service_requests_completed_total", &[], st.completed);
     metrics.inc("service_requests_failed_total", &[], st.failed);
     metrics.inc("service_requests_expired_total", &[], st.expired);
+    metrics.inc("service_degraded_total", &[], st.degraded);
+    metrics.inc("service_degraded_brownout_total", &[], st.degraded_brownout);
 
     metrics.inc("service_queue_enqueued_total", &[], queue.enqueued);
     metrics.inc("service_queue_rejected_total", &[], queue.rejected);
     metrics.inc("service_queue_requeued_total", &[], queue.requeued);
+    metrics.inc("service_queue_retried_total", &[], queue.retried);
     // Peak depth is a race between the submitting client and the draining
     // workers — timing-shaped, so it stays out of the `service_` namespace.
     metrics.set_gauge("timing_queue_peak_depth", &[], queue.peak_depth as f64);
+
+    // Supervision counters. Restarts and retries are driven by injected
+    // crash plans (routing-independent) and are deterministic for
+    // deadline-free workloads; stuck fences are wall-clock events and stay
+    // 0 unless a worker really wedged.
+    metrics.inc(
+        "service_supervisor_restarts_total",
+        &[],
+        st.slots.iter().map(|s| s.restarts).sum(),
+    );
+    metrics.inc("service_supervisor_stuck_total", &[], st.slots.iter().map(|s| s.stuck).sum());
+    metrics.inc("service_supervisor_retries_total", &[], st.retries_scheduled);
+
+    // Breaker counters — the documented `service_` carve-out (see above).
+    metrics.inc(
+        "service_breaker_opened_total",
+        &[],
+        st.slots.iter().map(|s| s.breaker.stats.opened).sum(),
+    );
+    metrics.inc(
+        "service_breaker_probes_total",
+        &[],
+        st.slots.iter().map(|s| s.breaker.stats.probes).sum(),
+    );
+    metrics.inc(
+        "service_breaker_reclosed_total",
+        &[],
+        st.slots.iter().map(|s| s.breaker.stats.reclosed).sum(),
+    );
 
     // Whether a repeat is served as a direct hit or by coalescing depends
     // on whether the primary finished first — a race. Their *sum* does not.
@@ -479,12 +676,13 @@ fn fold_final_metrics(
     }
 
     let mut fleet_faults = FaultStats::default();
-    for (h, _, _) in joined {
-        fleet_faults.launches_attempted += h.usage.faults.launches_attempted;
-        fleet_faults.transient_launch_failures += h.usage.faults.transient_launch_failures;
-        fleet_faults.bit_flips += h.usage.faults.bit_flips;
-        fleet_faults.hung_kernels += h.usage.faults.hung_kernels;
-        h.usage.observe_into(metrics, &h.id.to_string(), wall_seconds);
+    for (id, s) in st.slots.iter().enumerate() {
+        fleet_faults.launches_attempted += s.usage.faults.launches_attempted;
+        fleet_faults.transient_launch_failures += s.usage.faults.transient_launch_failures;
+        fleet_faults.bit_flips += s.usage.faults.bit_flips;
+        fleet_faults.hung_kernels += s.usage.faults.hung_kernels;
+        fleet_faults.worker_crashes += s.usage.faults.worker_crashes;
+        s.usage.observe_into(metrics, &id.to_string(), wall_seconds);
     }
     fleet_faults.observe_into(metrics, "service_fault", &[]);
 
@@ -493,134 +691,217 @@ fn fold_final_metrics(
 
 impl Drop for SolverService {
     fn drop(&mut self) {
-        if self.workers.is_empty() {
-            return; // shutdown() already joined them
-        }
+        let Some(sup) = self.supervisor.take() else {
+            return; // shutdown() already joined everything
+        };
         if let Ok(mut st) = self.shared.state.lock() {
             st.shutdown = true;
         }
         self.shared.work.notify_all();
-        for w in self.workers.drain(..) {
-            let _ = w.join();
-        }
+        self.shared.supervise.notify_all();
+        let _ = sup.join();
     }
 }
 
-/// One device worker: steal the next job off the shared queue, run it on
-/// this device, publish the outcome. Returns the handle (with accumulated
-/// usage) when the service shuts down and the queue is drained.
-fn worker_loop(
-    shared: &Arc<Shared>,
-    mut handle: DeviceHandle,
-) -> (DeviceHandle, Vec<TraceEvent>, ConvergenceTotals) {
-    // This device's trace track: each run's timeline is appended where the
-    // previous one ended, so the track reads as one continuous modeled-time
-    // axis per device.
-    let mut trace: Vec<TraceEvent> = Vec::new();
-    let mut trace_clock_us = 0.0f64;
-    let mut convergence = ConvergenceTotals::default();
+/// Spawn (or respawn) the worker thread for `slot` at `generation`. Every
+/// incarnation gets a *fresh* device built from the shared spec and the
+/// slot's base fault plan — restarting a crashed worker replaces its dead
+/// device rather than resurrecting it.
+pub(crate) fn spawn_worker(shared: &Arc<Shared>, slot: usize, generation: u64) -> JoinHandle<()> {
+    let mut handle = DeviceHandle::new(slot, shared.device_spec.clone());
+    if let Some(plan) = shared.slot_plans[slot].clone() {
+        handle = handle.with_fault(plan);
+    }
+    let shared = Arc::clone(shared);
+    thread::Builder::new()
+        .name(format!("cdd-device-{slot}"))
+        .spawn(move || worker_loop(&shared, slot, generation, handle))
+        .expect("worker thread spawns")
+}
+
+/// One device worker: steal the next job off the shared queue (when this
+/// device's breaker admits it), run it on this device, publish the outcome.
+///
+/// Exits cleanly when the service is drained or when the slot's generation
+/// moved past this worker (it was fenced as stuck — the result, if any, is
+/// discarded because the job was already re-dispatched). Exits by *panic*
+/// — with a [`WorkerCrashPanic`] payload the supervisor reaps — when the
+/// device reports [`SuiteError::DeviceLost`].
+fn worker_loop(shared: &Arc<Shared>, slot: usize, generation: u64, handle: DeviceHandle) {
     loop {
-        let job = {
+        let (request, retries) = {
             let mut st = shared.state.lock().expect("service state lock");
             loop {
-                match st.queue.pop() {
-                    Some(job) if job.expired() => {
-                        expire_locked(&mut st, job);
-                        shared.done.notify_all();
-                        // A promoted follower (if any) is at the queue
-                        // front; keep popping.
-                    }
-                    Some(job) => break Some(job),
-                    None if st.shutdown => break None,
-                    None => st = shared.work.wait(st).expect("service state lock"),
+                if st.slots[slot].generation != generation {
+                    return; // fenced: a replacement worker owns this slot
                 }
+                // Drain expired heads first — an expired job must never
+                // consume the breaker's half-open probe.
+                while let Some(dead) = st.queue.pop_if(|j| j.expired()) {
+                    expire_locked(&mut st, dead);
+                    shared.done.notify_all();
+                    // A promoted follower (if any) is at the queue front;
+                    // keep checking.
+                }
+                if st.queue.depth() == 0 {
+                    if st.drained() {
+                        shared.work.notify_all(); // wake peers to re-check
+                        return;
+                    }
+                    st = shared.work.wait(st).expect("service state lock");
+                    continue;
+                }
+                let now = shared.now_ms();
+                if !st.slots[slot].breaker.allow(now) {
+                    // Open breaker: leave the queue to healthy workers and
+                    // nap — the backoff elapsing is a clock edge, not a
+                    // condvar edge.
+                    let (guard, _) = shared
+                        .work
+                        .wait_timeout(st, Duration::from_millis(BREAKER_RECHECK_MS))
+                        .expect("service state lock");
+                    st = guard;
+                    continue;
+                }
+                // The breaker admitted us with a job available: take it.
+                // (`allow` and the pop happen under one lock hold, so a
+                // granted half-open probe always takes a job.)
+                let job = st.queue.pop().expect("depth checked above");
+                st.slots[slot].heartbeat_ms = now;
+                let request = job.request.clone();
+                let retries = job.retries;
+                st.slots[slot].in_flight = Some(job);
+                break (request, retries);
             }
         };
-        let Some(job) = job else { return (handle, trace, convergence) };
 
         // Run outside the lock — this is the long part, and it is what
         // makes the pool concurrent: every other worker keeps stealing
-        // while this device is busy.
+        // while this device is busy. The fault plan is derived from the
+        // request seed and the retry ordinal only (never the device id or
+        // the clock) — the chaos determinism contract hangs on this.
         let run_started = Instant::now();
         let spec = GpuSolveSpec {
             blocks: shared.blocks,
             block_size: shared.block_size,
             device: handle.spec.clone(),
-            fault: handle.request_plan(job.request.seed),
+            fault: handle.request_plan_retry(request.seed, retries),
             recovery: shared.recovery.clone(),
             telemetry: shared.telemetry,
         };
         let result = run_gpu_solve(
-            &job.request.instance,
-            job.request.algorithm,
-            job.request.iterations,
-            job.request.seed,
+            &request.instance,
+            request.algorithm,
+            request.iterations,
+            request.seed,
             &spec,
         );
         let run_wall = run_started.elapsed().as_secs_f64();
-        match &result {
-            Ok(r) => {
-                handle.usage.record_run(
-                    r.modeled_seconds,
-                    r.kernel_seconds,
-                    r.transfer_seconds,
-                    r.kernel_launches,
-                    run_wall,
-                    false,
-                );
-                handle.usage.merge_faults(r.recovery.faults);
-                if let Some(trace_data) = &r.convergence {
-                    convergence.record(&ConvergenceSummary::from_trace(trace_data));
-                }
-                if shared.capture_trace {
-                    let tid = handle.id as u32;
-                    let (events, end_us) =
-                        timeline_trace_events(&r.timeline, 0, tid, trace_clock_us);
-                    trace.push(
-                        TraceEvent::begin(
-                            &format!("request seed={}", job.request.seed),
-                            "request",
-                            0,
-                            tid,
-                            trace_clock_us,
-                        )
-                        .with_arg("algorithm", job.request.algorithm)
-                        .with_arg("iterations", job.request.iterations),
-                    );
-                    trace.extend(events);
-                    // Best-so-far counter samples, pinned to the same
-                    // modeled-clock offsets as the kernel spans above.
-                    if let Some(conv) = &r.convergence {
-                        trace.extend(counter_trace_events(
-                            conv,
-                            &r.timeline,
-                            0,
-                            tid,
-                            trace_clock_us,
-                        ));
-                    }
-                    trace.push(TraceEvent::end(
-                        &format!("request seed={}", job.request.seed),
-                        "request",
-                        0,
-                        tid,
-                        end_us,
-                    ));
-                    trace_clock_us = end_us;
-                }
-            }
-            Err(_) => handle.usage.record_run(0.0, 0.0, 0.0, 0, run_wall, true),
-        }
 
         let mut st = shared.state.lock().expect("service state lock");
-        complete_locked(&mut st, job, handle.id, result);
-        shared.done.notify_all();
+        if st.slots[slot].generation != generation {
+            // Fenced while running: the supervisor already took the job
+            // back and re-dispatched it. Discard everything — recording
+            // usage or a result here would double-count against the
+            // replacement worker's slot.
+            return;
+        }
+        let now = shared.now_ms();
+        st.slots[slot].heartbeat_ms = now;
+        match result {
+            Err(SuiteError::DeviceLost { detail }) => {
+                // The simulated device died under this job. Leave the job
+                // in `in_flight` for the supervisor to re-dispatch, record
+                // the failed run, and crash this worker the way a real
+                // device loss kills a host thread: by panicking. The
+                // breaker failure is recorded by the supervisor (exactly
+                // once per death, whether the job was mid-run or not).
+                st.slots[slot].usage.record_run(0.0, 0.0, 0.0, 0, run_wall, true);
+                drop(st);
+                shared.supervise.notify_all();
+                std::panic::panic_any(WorkerCrashPanic { device: slot, detail });
+            }
+            result => {
+                let job = st.slots[slot].in_flight.take().expect("job was in flight");
+                match &result {
+                    Ok(r) => {
+                        record_success_locked(&mut st, slot, &job, r, run_wall, now, shared);
+                    }
+                    Err(_) => {
+                        st.slots[slot].usage.record_run(0.0, 0.0, 0.0, 0, run_wall, true);
+                        st.slots[slot].breaker.record_failure(now);
+                    }
+                }
+                complete_locked(&mut st, job, slot, result);
+                shared.done.notify_all();
+                if st.shutdown {
+                    // Peers may be waiting to observe the drain.
+                    shared.work.notify_all();
+                }
+            }
+        }
+    }
+}
+
+/// Book-keep a successful run against its slot: usage, breaker fault-rate
+/// signal, convergence tallies and (when capture is on) the trace track.
+fn record_success_locked(
+    st: &mut State,
+    slot: usize,
+    job: &QueuedJob,
+    r: &cdd_gpu::GpuRunResult,
+    run_wall: f64,
+    now_ms: u64,
+    shared: &Shared,
+) {
+    let s = &mut st.slots[slot];
+    s.usage.record_run(
+        r.modeled_seconds,
+        r.kernel_seconds,
+        r.transfer_seconds,
+        r.kernel_launches,
+        run_wall,
+        false,
+    );
+    s.usage.merge_faults(r.recovery.faults);
+    s.breaker.note_fault_rate(&r.recovery.faults, now_ms);
+    if let Some(trace_data) = &r.convergence {
+        s.convergence.record(&ConvergenceSummary::from_trace(trace_data));
+    }
+    if shared.capture_trace {
+        let tid = slot as u32;
+        let (events, end_us) = timeline_trace_events(&r.timeline, 0, tid, s.trace_clock_us);
+        s.trace.push(
+            TraceEvent::begin(
+                &format!("request seed={}", job.request.seed),
+                "request",
+                0,
+                tid,
+                s.trace_clock_us,
+            )
+            .with_arg("algorithm", job.request.algorithm)
+            .with_arg("iterations", job.request.iterations),
+        );
+        s.trace.extend(events);
+        // Best-so-far counter samples, pinned to the same modeled-clock
+        // offsets as the kernel spans above.
+        if let Some(conv) = &r.convergence {
+            s.trace.extend(counter_trace_events(conv, &r.timeline, 0, tid, s.trace_clock_us));
+        }
+        s.trace.push(TraceEvent::end(
+            &format!("request seed={}", job.request.seed),
+            "request",
+            0,
+            tid,
+            end_us,
+        ));
+        s.trace_clock_us = end_us;
     }
 }
 
 /// Fulfil an expired primary; promote its oldest still-live follower into
 /// the vacated queue slot (at the front — it has been waiting longest).
-fn expire_locked(st: &mut State, job: QueuedJob) {
+pub(crate) fn expire_locked(st: &mut State, job: QueuedJob) {
     st.expired += 1;
     let deadline = job.request.deadline_ms.unwrap_or(0);
     st.observe_latency(elapsed_ms(job.submitted));
@@ -662,36 +943,27 @@ fn expire_locked(st: &mut State, job: QueuedJob) {
             request,
             key: job.key,
             submitted: f.submitted,
+            retries: 0,
         });
         st.waiters.insert(job.key, rest.collect());
         return;
     }
 }
 
-/// Publish a finished solve: update the cache, fulfil the primary ticket
-/// and every coalesced follower.
-fn complete_locked(
+/// Publish a finished solve: optionally cache it, fulfil the primary
+/// ticket and every coalesced follower.
+pub(crate) fn publish_locked(
     st: &mut State,
     job: QueuedJob,
-    device: usize,
-    result: Result<cdd_gpu::GpuRunResult, SuiteError>,
+    device: Option<usize>,
+    outcome: Result<SolveOutcome, SuiteError>,
+    cache: bool,
 ) {
-    let outcome: Result<SolveOutcome, SuiteError> = match result {
-        Ok(r) => {
-            let o = SolveOutcome {
-                sequence: r.best,
-                objective: r.objective,
-                modeled_seconds: r.modeled_seconds,
-                evaluations: r.evaluations,
-                cache_hit: false,
-                device: Some(device),
-                cpu_fallback: r.recovery.cpu_fallback,
-            };
-            st.cache.insert(job.key, &o);
-            Ok(o)
+    if cache {
+        if let Ok(o) = &outcome {
+            st.cache.insert(job.key, o);
         }
-        Err(e) => Err(e),
-    };
+    }
     fulfil(st, job.ticket, device, job.submitted, &outcome, false);
     if let Some(followers) = st.waiters.remove(&job.key) {
         for f in followers {
@@ -700,10 +972,46 @@ fn complete_locked(
     }
 }
 
+/// Publish a finished device solve: update the cache, fulfil the primary
+/// ticket and every coalesced follower.
+fn complete_locked(
+    st: &mut State,
+    job: QueuedJob,
+    device: usize,
+    result: Result<cdd_gpu::GpuRunResult, SuiteError>,
+) {
+    let outcome: Result<SolveOutcome, SuiteError> = match result {
+        Ok(r) => Ok(SolveOutcome {
+            sequence: r.best,
+            objective: r.objective,
+            modeled_seconds: r.modeled_seconds,
+            evaluations: r.evaluations,
+            cache_hit: false,
+            device: Some(device),
+            cpu_fallback: r.recovery.cpu_fallback,
+            degraded: false,
+        }),
+        Err(e) => Err(e),
+    };
+    publish_locked(st, job, Some(device), outcome, true);
+}
+
+/// Answer `job` from the CPU oracle with `degraded: true` — the graceful
+/// half of "graceful degradation". Never cached: a later healthy fleet
+/// must be able to serve the real metaheuristic answer for the same key.
+pub(crate) fn serve_degraded(st: &mut State, job: QueuedJob, brownout: bool) {
+    st.degraded += 1;
+    if brownout {
+        st.degraded_brownout += 1;
+    }
+    let outcome = cdd_core::degraded_outcome(&job.request.instance);
+    publish_locked(st, job, None, Ok(outcome), false);
+}
+
 fn fulfil(
     st: &mut State,
     ticket: u64,
-    device: usize,
+    device: Option<usize>,
     submitted: Instant,
     outcome: &Result<SolveOutcome, SuiteError>,
     coalesced: bool,
@@ -726,5 +1034,5 @@ fn fulfil(
     };
     let wall_ms = elapsed_ms(submitted);
     st.observe_latency(wall_ms);
-    st.results.insert(ticket, RequestOutcome { ticket, device: Some(device), wall_ms, result });
+    st.results.insert(ticket, RequestOutcome { ticket, device, wall_ms, result });
 }

@@ -18,6 +18,7 @@ fn outcome(objective: i64) -> SolveOutcome {
         cache_hit: false,
         device: Some(0),
         cpu_fallback: false,
+        degraded: false,
     }
 }
 

@@ -5,7 +5,7 @@
 use cdd_core::{Algorithm, SolveRequest, SuiteError};
 use cdd_gpu::{run_gpu_solve, GpuSolveSpec, RecoveryPolicy};
 use cdd_instances::InstanceId;
-use cdd_service::{ServiceConfig, SolverService};
+use cdd_service::{BreakerConfig, ServiceConfig, SolverService, SupervisorConfig};
 use cuda_sim::FaultPlan;
 
 fn small_config(devices: usize) -> ServiceConfig {
@@ -323,6 +323,206 @@ fn trace_capture_off_by_default_keeps_the_report_lean() {
     let report = service.shutdown();
     assert!(report.trace.is_empty(), "no trace unless explicitly requested");
     assert!(!report.metrics.is_empty(), "metrics are always on");
+}
+
+// ---------------------------------------------------------------------------
+// Chaos: worker crashes, supervision, retry/degrade and the determinism
+// contract of PR 6 (see DESIGN.md §12).
+// ---------------------------------------------------------------------------
+
+/// Fast supervisor for tests: tight tick, no backoff parking delays worth
+/// waiting out, deterministic jitter still on.
+fn chaos_supervisor() -> SupervisorConfig {
+    SupervisorConfig { tick_ms: 1, backoff_base_ms: 1, backoff_jitter_ms: 2, ..Default::default() }
+}
+
+#[test]
+fn chaos_crashes_restart_workers_and_strand_no_request() {
+    // Every other request's plan kills its device early on; the supervisor
+    // must restart workers and every request must still get an answer —
+    // real (retry succeeded) or degraded (budget exhausted) — never an
+    // error, never a hang.
+    fn run_once() -> (Vec<(u64, i64, bool)>, cdd_service::ServiceReport) {
+        let service = SolverService::start(ServiceConfig {
+            devices: 2,
+            fault: Some(FaultPlan::with_rates(0xC0A5, 0.01, 0.0, 0.0).with_worker_crash(0.5, 8)),
+            supervisor: chaos_supervisor(),
+            ..small_config(2)
+        });
+        let tickets: Vec<(u64, u64)> = (0..14)
+            .map(|i| {
+                let seed = 9000 + u64::from(i);
+                (seed, service.submit(request(12, 1 + (i % 3), Algorithm::Sa, 150, seed)).unwrap())
+            })
+            .collect();
+        let outcomes = tickets
+            .into_iter()
+            .map(|(seed, t)| {
+                let o = service.wait(t).result.expect("chaos must never fail a request");
+                (seed, o.objective, o.degraded)
+            })
+            .collect();
+        (outcomes, service.shutdown())
+    }
+
+    let (outcomes_a, report_a) = run_once();
+    let (outcomes_b, report_b) = run_once();
+
+    // The tentpole contract: the (request, fitness, degraded) set is
+    // byte-identical across runs, whatever the restart timing did.
+    assert_eq!(outcomes_a, outcomes_b, "chaos outcome set must be deterministic");
+
+    assert!(report_a.restarts > 0, "a 50% crash rate must kill at least one worker");
+    assert_eq!(report_a.restarts, report_b.restarts, "crash plans are routing-independent");
+    assert_eq!(report_a.retried, report_b.retried);
+    assert_eq!(report_a.degraded, report_b.degraded);
+    assert_eq!(report_a.completed, report_a.submitted, "no request stranded");
+    assert_eq!(report_a.failed, 0);
+    let m = &report_a.metrics;
+    assert_eq!(m.counter("service_supervisor_restarts_total", &[]), report_a.restarts);
+    assert_eq!(m.counter("service_queue_retried_total", &[]), report_a.retried);
+    assert_eq!(m.counter("service_degraded_total", &[]), report_a.degraded);
+    assert_eq!(
+        m.counter("service_fault_worker_crashes_total", &[]),
+        report_a.restarts,
+        "every reaped crash lands in the fleet fault ledger"
+    );
+}
+
+#[test]
+fn exhausted_retry_budget_degrades_to_the_cpu_oracle() {
+    // A certain crash on every attempt: the retry budget burns out and the
+    // service answers from the CPU oracle, flagged and never cached.
+    let service = SolverService::start(ServiceConfig {
+        devices: 1,
+        fault: Some(FaultPlan::disabled().with_worker_crash(1.0, 1)),
+        supervisor: SupervisorConfig { retry_budget: 1, ..chaos_supervisor() },
+        ..small_config(1)
+    });
+    let req = request(10, 1, Algorithm::Sa, 100, 4242);
+    let first = service.solve(req.clone()).expect("degraded, not failed");
+    assert!(first.degraded);
+    assert!(first.device.is_none());
+    assert!(!first.cache_hit);
+    let oracle = cdd_core::degraded_outcome(&req.instance);
+    assert_eq!(first.objective, oracle.objective, "degraded answer IS the oracle answer");
+    assert_eq!(first.sequence, oracle.sequence);
+
+    // Degraded answers are not cached: the same request dispatches again
+    // (and crashes/degrades again) instead of being served from the cache.
+    let second = service.solve(req).expect("degraded again");
+    assert!(second.degraded);
+    assert!(!second.cache_hit, "degraded answers must never populate the cache");
+
+    let report = service.shutdown();
+    assert_eq!(report.degraded, 2);
+    assert_eq!(report.completed, 2);
+    assert_eq!(report.cache.misses, 2);
+    assert_eq!(report.cache.insertions, 0);
+    // Each request: initial dispatch + 1 retry, every attempt crashing.
+    assert_eq!(report.restarts, 4);
+    assert_eq!(report.retried, 2);
+}
+
+#[test]
+fn degradation_off_surfaces_the_structured_worker_crashed_error() {
+    // Satellite: with degraded answers disabled, the client sees the
+    // structured error carrying the device id and the panic payload.
+    let service = SolverService::start(ServiceConfig {
+        devices: 1,
+        fault: Some(FaultPlan::disabled().with_worker_crash(1.0, 1)),
+        supervisor: SupervisorConfig {
+            retry_budget: 0,
+            degraded_answers: false,
+            ..chaos_supervisor()
+        },
+        ..small_config(1)
+    });
+    let err = service.solve(request(10, 1, Algorithm::Sa, 100, 777)).unwrap_err();
+    match &err {
+        SuiteError::WorkerCrashed { device, payload } => {
+            assert_eq!(*device, 0);
+            assert!(payload.contains("device lost"), "payload carries the cause: {payload}");
+        }
+        other => panic!("expected WorkerCrashed, got {other:?}"),
+    }
+    assert!(!err.is_recoverable(), "a worker crash is not a retryable launch fault");
+    let report = service.shutdown();
+    assert_eq!(report.failed, 1);
+    assert_eq!(report.degraded, 0);
+    assert_eq!(report.restarts, 1);
+}
+
+#[test]
+fn breaker_trips_on_a_sick_device_and_brownout_degrades_deadline_work() {
+    // One device whose every launch fails (no crash — the worker survives,
+    // the runs error). With threshold 1 the breaker opens on the first
+    // failure and stays open far longer than the test; a deadline-carrying
+    // request submitted afterwards cannot be served by the pool, so the
+    // brownout pass answers it degraded instead of letting it expire.
+    let service = SolverService::start(ServiceConfig {
+        devices: 1,
+        fault: Some(FaultPlan::with_rates(0x51C6, 1.0, 0.0, 0.0)),
+        recovery: RecoveryPolicy {
+            max_launch_retries: 1,
+            max_device_attempts: 1,
+            cpu_fallback: false,
+        },
+        breaker: BreakerConfig { failure_threshold: 1, open_ms: 60_000, ..Default::default() },
+        supervisor: chaos_supervisor(),
+        ..small_config(1)
+    });
+
+    // First request fails and trips the breaker.
+    let err = service.solve(request(10, 1, Algorithm::Sa, 100, 1)).unwrap_err();
+    assert!(matches!(err, SuiteError::Device { .. }), "got {err:?}");
+
+    // Second request carries a deadline: the open breaker sheds it to the
+    // brownout pass, which serves it degraded well before the deadline.
+    let req = SolveRequest { deadline_ms: Some(30_000), ..request(10, 1, Algorithm::Sa, 100, 2) };
+    let outcome = service.solve(req).expect("browned out, not expired");
+    assert!(outcome.degraded);
+
+    let report = service.shutdown();
+    assert_eq!(report.failed, 1);
+    assert_eq!(report.degraded, 1);
+    assert_eq!(report.expired, 0, "brownout preempts the expiry");
+    assert!(report.devices[0].breaker.opened >= 1);
+    assert!(report.metrics.counter("service_breaker_opened_total", &[]) >= 1);
+    assert_eq!(report.metrics.counter("service_degraded_brownout_total", &[]), 1);
+}
+
+#[test]
+fn stuck_worker_is_fenced_and_its_job_redispatched() {
+    // A watchdog tight enough that every attempt of a genuinely slow solve
+    // is declared stuck: the supervisor fences the worker (generation
+    // bump), re-dispatches the job until the budget runs out, then serves
+    // it degraded. The fenced zombies' results are discarded, so exactly
+    // one answer comes back.
+    let service = SolverService::start(ServiceConfig {
+        devices: 1,
+        supervisor: SupervisorConfig {
+            stuck_after_ms: 1,
+            retry_budget: 2,
+            ..chaos_supervisor()
+        },
+        ..small_config(1)
+    });
+    let outcome = service
+        .solve(request(30, 1, Algorithm::Sa, 4000, 11))
+        .expect("fenced job is answered, not stranded");
+    assert!(outcome.degraded, "every attempt outlives the 1ms watchdog, so the oracle answers");
+
+    let report = service.shutdown();
+    let dev = &report.devices[0];
+    assert!(dev.restarts >= 1, "at least one fence happened");
+    assert_eq!(
+        report.metrics.counter("service_supervisor_stuck_total", &[]),
+        dev.restarts,
+        "all restarts here are stuck fences (no crashes injected)"
+    );
+    assert_eq!(report.completed, 1);
+    assert_eq!(report.degraded, 1);
 }
 
 #[test]
