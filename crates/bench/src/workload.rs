@@ -7,19 +7,26 @@
 //! (plus algorithm, budget and seed) reproduces the exact request anywhere:
 //!
 //! ```text
-//! # kind n k h algorithm iterations seed
-//! cdd 10 1 0.6 sa 150 11491960066
-//! ucddcp 20 3 - dpso 150 99220417
+//! # kind n k h algorithm iterations seed tenant priority
+//! cdd 10 1 0.6 sa 150 11491960066 t0 normal
+//! ucddcp 20 3 - dpso 150 99220417 t2 interactive
 //! ```
 //!
-//! [`generate_mixed`] deliberately re-emits earlier entries verbatim (about
-//! a quarter of the stream) so a replay exercises the service's solution
-//! cache: a duplicate request is always served from the cache layer —
-//! either as a direct hit or by coalescing onto the identical in-flight
-//! request.
+//! The trailing `tenant priority` columns are the service-identity half of
+//! the schema (who asked, how urgently); the file-replay path (`cdd-serve`)
+//! and the network path (`cdd-node`/`cdd-router`) both parse this one
+//! format. Legacy 7-field lines still load — they default to tenant
+//! `default` at `normal` priority.
+//!
+//! [`generate_mixed`] deliberately re-emits earlier entries' *work* (about
+//! a quarter of the stream) under freshly drawn tenant/priority columns, so
+//! a replay exercises the service's solution cache — including the
+//! cross-tenant case: a duplicate request is always served from the cache
+//! layer (direct hit or coalesced onto the identical in-flight request)
+//! because tenant and priority are excluded from the content key.
 
 use crate::campaign::instance_seed;
-use cdd_core::{Algorithm, SolveRequest};
+use cdd_core::{Algorithm, Priority, SolveRequest};
 use cdd_instances::{InstanceId, PAPER_H_VALUES};
 use std::io::{Error, ErrorKind, Write};
 use std::path::Path;
@@ -35,12 +42,20 @@ pub struct WorkloadEntry {
     pub iterations: u64,
     /// Master seed of the solve.
     pub seed: u64,
+    /// Owning tenant (rate-limit/accounting identity on the network path).
+    pub tenant: String,
+    /// Service priority class.
+    pub priority: Priority,
 }
 
 impl WorkloadEntry {
     /// Materialize the entry into a service request (no deadline).
     pub fn to_request(&self) -> SolveRequest {
-        SolveRequest::new(self.id.instantiate(), self.algorithm, self.iterations, self.seed)
+        SolveRequest {
+            tenant: self.tenant.clone(),
+            priority: self.priority,
+            ..SolveRequest::new(self.id.instantiate(), self.algorithm, self.iterations, self.seed)
+        }
     }
 
     /// Serialize as one workload-file line.
@@ -50,16 +65,19 @@ impl WorkloadEntry {
             None => ("ucddcp", "-".to_string()),
         };
         format!(
-            "{kind} {} {} {h} {} {} {}",
-            self.id.n, self.id.k, self.algorithm, self.iterations, self.seed
+            "{kind} {} {} {h} {} {} {} {} {}",
+            self.id.n, self.id.k, self.algorithm, self.iterations, self.seed, self.tenant,
+            self.priority
         )
     }
 
-    /// Parse one workload-file line (inverse of [`Self::to_line`]).
+    /// Parse one workload-file line (inverse of [`Self::to_line`]). Accepts
+    /// both the 9-field schema and the pre-tenant 7-field one (tenant
+    /// `default`, `normal` priority).
     pub fn parse_line(line: &str) -> Result<Self, String> {
         let fields: Vec<&str> = line.split_whitespace().collect();
-        if fields.len() != 7 {
-            return Err(format!("expected 7 fields, got {}: {line:?}", fields.len()));
+        if fields.len() != 7 && fields.len() != 9 {
+            return Err(format!("expected 7 or 9 fields, got {}: {line:?}", fields.len()));
         }
         let n: usize = fields[1].parse().map_err(|_| format!("bad n {:?}", fields[1]))?;
         let k: u32 = fields[2].parse().map_err(|_| format!("bad k {:?}", fields[2]))?;
@@ -71,11 +89,18 @@ impl WorkloadEntry {
             "ucddcp" => InstanceId::ucddcp(n, k),
             other => return Err(format!("unknown problem kind {other:?}")),
         };
+        let (tenant, priority) = if fields.len() == 9 {
+            (fields[7].to_string(), fields[8].parse::<Priority>()?)
+        } else {
+            ("default".to_string(), Priority::Normal)
+        };
         Ok(WorkloadEntry {
             id,
             algorithm: fields[4].parse()?,
             iterations: fields[5].parse().map_err(|_| format!("bad iterations {:?}", fields[5]))?,
             seed: fields[6].parse().map_err(|_| format!("bad seed {:?}", fields[6]))?,
+            tenant,
+            priority,
         })
     }
 }
@@ -89,18 +114,50 @@ fn splitmix64(state: &mut u64) -> u64 {
     z ^ (z >> 31)
 }
 
+/// Draw a `(tenant, priority)` identity: tenants `t0 .. t{tenants-1}`
+/// uniformly, priorities in a 1/4 batch : 1/2 normal : 1/4 interactive mix.
+fn draw_identity(state: &mut u64, tenants: usize) -> (String, Priority) {
+    let tenant = format!("t{}", (splitmix64(state) as usize) % tenants.max(1));
+    let priority = match splitmix64(state) % 4 {
+        0 => Priority::Batch,
+        3 => Priority::Interactive,
+        _ => Priority::Normal,
+    };
+    (tenant, priority)
+}
+
 /// Generate a mixed CDD/UCDDCP workload of `count` requests, deterministic
-/// in `seed`. Roughly every fourth request (from the fifth on) duplicates a
-/// uniformly chosen earlier entry *verbatim*, guaranteeing the stream
-/// contains cacheable repeats.
+/// in `seed`, spread over [`DEFAULT_TENANTS`] tenants. Roughly every fourth
+/// request (from the fifth on) duplicates a uniformly chosen earlier
+/// entry's *work* under a freshly drawn tenant/priority, guaranteeing the
+/// stream contains cacheable repeats — including cross-tenant ones.
 pub fn generate_mixed(count: usize, seed: u64, iterations: u64, sizes: &[usize]) -> Vec<WorkloadEntry> {
+    generate_mixed_tenants(count, seed, iterations, sizes, DEFAULT_TENANTS)
+}
+
+/// Tenant-pool size used by [`generate_mixed`].
+pub const DEFAULT_TENANTS: usize = 4;
+
+/// [`generate_mixed`] with an explicit tenant-pool size.
+pub fn generate_mixed_tenants(
+    count: usize,
+    seed: u64,
+    iterations: u64,
+    sizes: &[usize],
+    tenants: usize,
+) -> Vec<WorkloadEntry> {
     assert!(!sizes.is_empty(), "generate_mixed needs at least one size");
     let mut state = seed ^ 0x57D0_10AD;
     let mut entries: Vec<WorkloadEntry> = Vec::with_capacity(count);
     for i in 0..count {
         if i >= 4 && i % 4 == 3 {
             let j = (splitmix64(&mut state) as usize) % i;
-            let dup = entries[j].clone();
+            let mut dup = entries[j].clone();
+            // Same work, fresh identity: the duplicate must collide on
+            // content key even when another tenant submits it.
+            let (tenant, priority) = draw_identity(&mut state, tenants);
+            dup.tenant = tenant;
+            dup.priority = priority;
             entries.push(dup);
             continue;
         }
@@ -115,7 +172,15 @@ pub fn generate_mixed(count: usize, seed: u64, iterations: u64, sizes: &[usize])
         let algorithm =
             if splitmix64(&mut state).is_multiple_of(2) { Algorithm::Sa } else { Algorithm::Dpso };
         let request_seed = instance_seed(seed, &id) ^ splitmix64(&mut state);
-        entries.push(WorkloadEntry { id, algorithm, iterations, seed: request_seed });
+        let (tenant, priority) = draw_identity(&mut state, tenants);
+        entries.push(WorkloadEntry {
+            id,
+            algorithm,
+            iterations,
+            seed: request_seed,
+            tenant,
+            priority,
+        });
     }
     entries
 }
@@ -125,7 +190,7 @@ pub fn save(path: &Path, entries: &[WorkloadEntry]) -> std::io::Result<()> {
     if let Some(dir) = path.parent() {
         std::fs::create_dir_all(dir)?;
     }
-    let mut out = String::from("# kind n k h algorithm iterations seed\n");
+    let mut out = String::from("# kind n k h algorithm iterations seed tenant priority\n");
     for e in entries {
         out.push_str(&e.to_line());
         out.push('\n');
@@ -162,7 +227,21 @@ mod tests {
             assert_eq!(WorkloadEntry::parse_line(&e.to_line()).unwrap(), *e);
         }
         assert!(WorkloadEntry::parse_line("cdd 10 1 0.6 sa 100").is_err(), "field count");
-        assert!(WorkloadEntry::parse_line("tsp 10 1 - sa 100 1").is_err(), "unknown kind");
+        assert!(WorkloadEntry::parse_line("tsp 10 1 - sa 100 1 t0 normal").is_err(), "unknown kind");
+        assert!(
+            WorkloadEntry::parse_line("cdd 10 1 0.6 sa 100 1 t0 urgent").is_err(),
+            "unknown priority"
+        );
+    }
+
+    #[test]
+    fn legacy_seven_field_lines_default_tenant_and_priority() {
+        let e = WorkloadEntry::parse_line("cdd 10 1 0.6 sa 150 11491960066").unwrap();
+        assert_eq!(e.tenant, "default");
+        assert_eq!(e.priority, Priority::Normal);
+        let req = e.to_request();
+        assert_eq!(req.tenant, "default");
+        assert_eq!(req.priority, Priority::Normal);
     }
 
     #[test]
@@ -170,13 +249,41 @@ mod tests {
         let a = generate_mixed(32, 42, 150, &[10, 20]);
         let b = generate_mixed(32, 42, 150, &[10, 20]);
         assert_eq!(a, b);
-        let distinct: std::collections::BTreeSet<String> =
-            a.iter().map(WorkloadEntry::to_line).collect();
-        assert!(distinct.len() < a.len(), "the stream must contain verbatim repeats");
+        let work = |e: &WorkloadEntry| (e.to_line().split_whitespace().take(7).collect::<Vec<_>>()).join(" ");
+        let distinct: std::collections::BTreeSet<String> = a.iter().map(work).collect();
+        assert!(distinct.len() < a.len(), "the stream must contain repeated work");
         let kinds: std::collections::BTreeSet<bool> =
             a.iter().map(|e| e.id.h.is_some()).collect();
         assert_eq!(kinds.len(), 2, "both problem kinds appear");
         assert_ne!(generate_mixed(32, 43, 150, &[10, 20]), a, "seed matters");
+        let tenants: std::collections::BTreeSet<&str> =
+            a.iter().map(|e| e.tenant.as_str()).collect();
+        assert!(tenants.len() > 1, "the stream spreads over multiple tenants: {tenants:?}");
+        let priorities: std::collections::BTreeSet<Priority> =
+            a.iter().map(|e| e.priority).collect();
+        assert!(priorities.len() > 1, "the stream mixes priority classes");
+        let pool = generate_mixed_tenants(32, 42, 150, &[10, 20], 1);
+        assert!(pool.iter().all(|e| e.tenant == "t0"), "tenant pool size is honoured");
+    }
+
+    #[test]
+    fn duplicates_cross_tenants_but_share_work() {
+        // At least one duplicated work-item must appear under two different
+        // tenant/priority identities — that is what lets the net smoke
+        // assert a cross-tenant cache hit.
+        let a = generate_mixed(64, 42, 150, &[10]);
+        let mut by_key: std::collections::BTreeMap<u64, std::collections::BTreeSet<String>> =
+            Default::default();
+        for e in &a {
+            by_key
+                .entry(e.to_request().content_key())
+                .or_default()
+                .insert(format!("{}/{}", e.tenant, e.priority));
+        }
+        assert!(
+            by_key.values().any(|idents| idents.len() > 1),
+            "some duplicated work must carry a different identity"
+        );
     }
 
     #[test]

@@ -127,6 +127,25 @@ pub enum SuiteError {
         /// Stringified panic payload.
         payload: String,
     },
+    /// A network peer violated the framed wire protocol (bad frame tag,
+    /// oversized length prefix, truncated payload, version mismatch, failed
+    /// authentication). Protocol errors are connection-scoped: the offending
+    /// connection is answered with a structured error frame and may be
+    /// closed, but the service itself never panics on adversarial input.
+    Protocol {
+        /// What the codec or handshake rejected.
+        detail: String,
+    },
+    /// The tenant's token bucket is empty: the request was shed before
+    /// admission. Unlike [`SuiteError::Rejected`] (global queue pressure)
+    /// this is per-tenant back-pressure — other tenants are unaffected, and
+    /// the client may retry after `retry_after_ms`.
+    RateLimited {
+        /// Tenant whose bucket ran dry.
+        tenant: String,
+        /// Milliseconds until the bucket refills enough for one request.
+        retry_after_ms: u64,
+    },
 }
 
 impl SuiteError {
@@ -165,6 +184,16 @@ impl SuiteError {
         SuiteError::WorkerCrashed { device, payload: payload.into() }
     }
 
+    /// Build a wire-protocol violation error.
+    pub fn protocol(detail: impl Into<String>) -> Self {
+        SuiteError::Protocol { detail: detail.into() }
+    }
+
+    /// Build a per-tenant rate-limit rejection.
+    pub fn rate_limited(tenant: impl Into<String>, retry_after_ms: u64) -> Self {
+        SuiteError::RateLimited { tenant: tenant.into(), retry_after_ms }
+    }
+
     /// Whether a whole-run retry (fresh device attempt or CPU fallback) is a
     /// sensible response. Core/config errors are deterministic and would
     /// fail again; transient device faults and corrupted results are not.
@@ -197,6 +226,10 @@ impl fmt::Display for SuiteError {
             SuiteError::DeviceLost { detail } => write!(f, "{detail}"),
             SuiteError::WorkerCrashed { device, payload } => {
                 write!(f, "worker for device {device} crashed: {payload}")
+            }
+            SuiteError::Protocol { detail } => write!(f, "protocol error: {detail}"),
+            SuiteError::RateLimited { tenant, retry_after_ms } => {
+                write!(f, "tenant {tenant:?} rate limited; retry after {retry_after_ms} ms")
             }
         }
     }
@@ -256,6 +289,10 @@ mod tests {
         // layer owns the recovery, so the pipeline must surface it.
         assert!(!SuiteError::device_lost("device lost: crash at launch 3").is_recoverable());
         assert!(!SuiteError::worker_crashed(1, "injected").is_recoverable());
+        // A protocol violation is deterministic (the bytes are wrong) and a
+        // rate-limit shed is a client decision — neither is a device retry.
+        assert!(!SuiteError::protocol("unknown frame tag 0x7f").is_recoverable());
+        assert!(!SuiteError::rate_limited("acme", 40).is_recoverable());
     }
 
     #[test]
@@ -267,6 +304,11 @@ mod tests {
         let crashed = SuiteError::worker_crashed(3, "injected device loss");
         assert!(crashed.to_string().contains("device 3"));
         assert!(crashed.to_string().contains("injected device loss"), "payload must surface");
+        let proto = SuiteError::protocol("length prefix 4294967295 exceeds frame cap");
+        assert!(proto.to_string().contains("length prefix"));
+        let limited = SuiteError::rate_limited("acme", 125);
+        assert!(limited.to_string().contains("acme"));
+        assert!(limited.to_string().contains("125 ms"));
     }
 
     #[test]

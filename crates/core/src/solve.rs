@@ -54,6 +54,74 @@ impl FromStr for Algorithm {
     }
 }
 
+/// Service priority class of a request. Priority shapes *scheduling and
+/// admission* — a higher class is dispatched first and keeps its queue
+/// headroom under load — but never the computed answer: it is deliberately
+/// excluded from [`SolveRequest::content_key`], so identical work submitted
+/// at different priorities still deduplicates through the solution cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub enum Priority {
+    /// Best-effort bulk work: first to be shed under queue pressure.
+    Batch,
+    /// The default class.
+    #[default]
+    Normal,
+    /// Latency-sensitive traffic: dispatched ahead of both other classes.
+    Interactive,
+}
+
+impl Priority {
+    /// Lower-case wire label, as used in workload files and frames.
+    pub fn label(self) -> &'static str {
+        match self {
+            Priority::Batch => "batch",
+            Priority::Normal => "normal",
+            Priority::Interactive => "interactive",
+        }
+    }
+
+    /// Stable wire encoding (`0/1/2` in ascending urgency).
+    pub fn as_u8(self) -> u8 {
+        match self {
+            Priority::Batch => 0,
+            Priority::Normal => 1,
+            Priority::Interactive => 2,
+        }
+    }
+
+    /// Inverse of [`Self::as_u8`] — unknown bytes are a protocol error, not
+    /// a panic.
+    pub fn from_u8(v: u8) -> Result<Self, String> {
+        match v {
+            0 => Ok(Priority::Batch),
+            1 => Ok(Priority::Normal),
+            2 => Ok(Priority::Interactive),
+            other => Err(format!("unknown priority byte {other}")),
+        }
+    }
+}
+
+impl fmt::Display for Priority {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+impl FromStr for Priority {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "batch" => Ok(Priority::Batch),
+            "normal" => Ok(Priority::Normal),
+            "interactive" => Ok(Priority::Interactive),
+            other => Err(format!(
+                "unknown priority {other:?} (expected `batch`, `normal` or `interactive`)"
+            )),
+        }
+    }
+}
+
 /// One solve request: instance + algorithm + budget + seed, plus an
 /// optional service-level deadline.
 #[derive(Debug, Clone, PartialEq)]
@@ -71,12 +139,29 @@ pub struct SolveRequest {
     /// forever. An expired request is answered with
     /// [`crate::SuiteError::DeadlineExceeded`] without consuming device time.
     pub deadline_ms: Option<u64>,
+    /// Owning tenant (rate-limit and accounting identity). Like the
+    /// deadline, the tenant describes *who* asked, not *what* was asked —
+    /// it is excluded from [`Self::content_key`], so two tenants submitting
+    /// identical work share one cached answer.
+    pub tenant: String,
+    /// Service priority class (scheduling/admission only — see
+    /// [`Priority`]).
+    pub priority: Priority,
 }
 
 impl SolveRequest {
-    /// A request with no deadline.
+    /// A request with no deadline, the `"default"` tenant and
+    /// [`Priority::Normal`].
     pub fn new(instance: Instance, algorithm: Algorithm, iterations: u64, seed: u64) -> Self {
-        SolveRequest { instance, algorithm, iterations, seed, deadline_ms: None }
+        SolveRequest {
+            instance,
+            algorithm,
+            iterations,
+            seed,
+            deadline_ms: None,
+            tenant: "default".to_string(),
+            priority: Priority::Normal,
+        }
     }
 
     /// Content hash of the request: a pure function of the instance data,
@@ -218,5 +303,31 @@ mod tests {
         let req = SolveRequest::new(Instance::paper_example_cdd(), Algorithm::Sa, 100, 7);
         let hurried = SolveRequest { deadline_ms: Some(5), ..req.clone() };
         assert_eq!(req.content_key(), hurried.content_key(), "deadline changes urgency, not work");
+    }
+
+    #[test]
+    fn tenant_and_priority_are_not_part_of_the_content() {
+        // Cross-tenant cache sharding hangs on this: identical work from
+        // different tenants (or at different priorities) must collide on
+        // one content key so a router shards them to the same node and the
+        // node's cache deduplicates them.
+        let req = SolveRequest::new(Instance::paper_example_cdd(), Algorithm::Sa, 100, 7);
+        let other_tenant = SolveRequest { tenant: "acme".into(), ..req.clone() };
+        let urgent = SolveRequest { priority: Priority::Interactive, ..req.clone() };
+        assert_eq!(req.content_key(), other_tenant.content_key());
+        assert_eq!(req.content_key(), urgent.content_key());
+    }
+
+    #[test]
+    fn priority_round_trips_and_orders_by_urgency() {
+        for p in [Priority::Batch, Priority::Normal, Priority::Interactive] {
+            assert_eq!(p.label().parse::<Priority>().unwrap(), p);
+            assert_eq!(Priority::from_u8(p.as_u8()).unwrap(), p);
+        }
+        assert!(Priority::Interactive > Priority::Normal);
+        assert!(Priority::Normal > Priority::Batch);
+        assert_eq!(Priority::default(), Priority::Normal);
+        assert!("urgent".parse::<Priority>().is_err());
+        assert!(Priority::from_u8(9).is_err(), "unknown bytes are errors, not panics");
     }
 }

@@ -60,6 +60,23 @@ pub fn modeled_seconds_buckets() -> &'static [f64] {
     ]
 }
 
+/// Fixed bucket bounds for wire-frame sizes, bytes (16 B … 1 MiB in
+/// powers of four — request/response frames cluster at the small end,
+/// inline instances and long sequence streams at the large end).
+#[must_use]
+pub fn frame_bytes_buckets() -> &'static [f64] {
+    &[
+        16.0, 64.0, 256.0, 1024.0, 4096.0, 16384.0, 65536.0, 262144.0, 1048576.0,
+    ]
+}
+
+/// Fixed bucket bounds for per-connection request counts (1 … 4096):
+/// how much work each accepted socket carried before closing.
+#[must_use]
+pub fn connection_requests_buckets() -> &'static [f64] {
+    &[1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0, 256.0, 512.0, 1024.0, 2048.0, 4096.0]
+}
+
 /// Render an f64 deterministically (shortest string that round-trips).
 fn fmt_f64(v: f64) -> String {
     format!("{v:?}")

@@ -1,0 +1,65 @@
+//! Per-tenant token auth for the framed protocol.
+//!
+//! Deliberately minimal: a token is the FNV-1a-64 keyed digest of the
+//! tenant name under a shared secret, rendered as fixed-width hex. This is
+//! **not** a cryptographic MAC — the threat model for the reproduction is
+//! misrouted traffic and fat-fingered tenant names, not an adversary on
+//! the wire — but the interface (opaque token per tenant, verified on
+//! every request) is the one a real deployment would keep while swapping
+//! the digest for an HMAC.
+
+/// Shared secret used when none is configured; every binary accepts
+/// `--secret` to override it.
+pub const DEFAULT_SECRET: &str = "cdd-net-dev-secret";
+
+/// Derive the auth token for `tenant` under `secret`.
+#[must_use]
+pub fn token_for(tenant: &str, secret: &str) -> String {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut eat = |bytes: &[u8]| {
+        for &b in bytes {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    };
+    eat(secret.as_bytes());
+    eat(&[0x1f]); // domain separator: secret | 0x1f | tenant
+    eat(tenant.as_bytes());
+    format!("{h:016x}")
+}
+
+/// Check `token` against the expected token for `tenant`.
+#[must_use]
+pub fn verify(tenant: &str, token: &str, secret: &str) -> bool {
+    // Constant-shape comparison (always walks the full expected token).
+    let expected = token_for(tenant, secret);
+    let mut diff = usize::from(expected.len() != token.len());
+    for (a, b) in expected.bytes().zip(token.bytes().chain(std::iter::repeat(0))) {
+        diff |= usize::from(a != b);
+    }
+    diff == 0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tokens_are_stable_and_tenant_specific() {
+        let a = token_for("t0", DEFAULT_SECRET);
+        assert_eq!(a, token_for("t0", DEFAULT_SECRET), "derivation is pure");
+        assert_ne!(a, token_for("t1", DEFAULT_SECRET));
+        assert_ne!(a, token_for("t0", "other-secret"));
+        assert_eq!(a.len(), 16);
+    }
+
+    #[test]
+    fn verify_accepts_only_the_matching_token() {
+        let tok = token_for("acme", DEFAULT_SECRET);
+        assert!(verify("acme", &tok, DEFAULT_SECRET));
+        assert!(!verify("acme", &tok, "wrong-secret"));
+        assert!(!verify("evil", &tok, DEFAULT_SECRET));
+        assert!(!verify("acme", "", DEFAULT_SECRET));
+        assert!(!verify("acme", &tok[..15], DEFAULT_SECRET));
+    }
+}

@@ -1,0 +1,71 @@
+//! `cdd-client` — drive a workload file through a `cdd-node` or
+//! `cdd-router` socket and write the sorted outcome CSV.
+//!
+//! ```text
+//! cargo run --release -p cdd-net --bin cdd-client -- \
+//!     --addr 127.0.0.1:4100 [--workload results/workload.txt] \
+//!     [--connections 2] [--window 8] [--secret cdd-net-dev-secret] \
+//!     [--out results/net_outcomes.csv] [--shutdown]
+//! ```
+//!
+//! The outcome CSV is the network path's determinism artifact: sorted
+//! `(request, fitness, degraded)` rows, byte-identical for a fixed
+//! workload across shard counts, routings and node restarts. `--shutdown`
+//! sends a `Shutdown` frame after the workload (a router forwards it to
+//! its nodes), which is how the CI smoke scripts tear the fleet down.
+
+use cdd_bench::workload;
+use cdd_bench::{results_dir, Args};
+use cdd_net::client::{run_workload_sharded, shutdown, sorted_outcome_csv};
+use std::path::PathBuf;
+
+fn main() {
+    let args = Args::parse();
+    let addr = args.get("addr").expect("--addr host:port is required").to_string();
+    let workload_path = args
+        .get("workload")
+        .map(PathBuf::from)
+        .unwrap_or_else(|| results_dir().join("workload.txt"));
+    let connections = args.get_or("connections", 1usize);
+    let window = args.get_or("window", 8usize);
+    let secret = args.get("secret").unwrap_or(cdd_net::auth::DEFAULT_SECRET).to_string();
+    let out = args
+        .get("out")
+        .map(PathBuf::from)
+        .unwrap_or_else(|| results_dir().join("net_outcomes.csv"));
+
+    let entries = workload::load(&workload_path).expect("workload file readable");
+    let started = std::time::Instant::now();
+    let outcomes = run_workload_sharded(&addr, &entries, connections, window, &secret)
+        .expect("workload completed");
+    let wall = started.elapsed().as_secs_f64();
+
+    let csv = sorted_outcome_csv(&outcomes);
+    if let Some(dir) = out.parent() {
+        std::fs::create_dir_all(dir).expect("out dir");
+    }
+    std::fs::write(&out, &csv).expect("write outcome csv");
+
+    let ok = outcomes.iter().filter(|o| o.response.is_some()).count();
+    let errs = outcomes.len() - ok;
+    let cache_hits =
+        outcomes.iter().filter(|o| o.response.as_ref().is_some_and(|r| r.cache_hit)).count();
+    let degraded =
+        outcomes.iter().filter(|o| o.response.as_ref().is_some_and(|r| r.degraded)).count();
+    let retried = outcomes.iter().filter(|o| o.attempts > 1).count();
+    println!(
+        "cdd-client: {}/{} ok ({errs} errors), {cache_hits} cache/coalesced hits, \
+         {degraded} degraded, {retried} retried, {:.2}s wall, {:.1} req/s; outcomes at {}",
+        ok,
+        outcomes.len(),
+        wall,
+        outcomes.len() as f64 / wall.max(1e-9),
+        out.display()
+    );
+
+    if args.flag("shutdown") {
+        shutdown(&addr).expect("shutdown acknowledged");
+        println!("cdd-client: shutdown delivered to {addr}");
+    }
+    assert!(errs == 0, "{errs} requests ended in terminal errors");
+}

@@ -1,0 +1,122 @@
+//! Per-tenant token-bucket rate limiting for `cdd-node`.
+//!
+//! Each tenant owns an independent bucket of `burst` tokens refilled at
+//! `rate_per_sec`; a request costs one token. Time enters only through
+//! the caller-supplied millisecond clock, so the limiter itself is a pure
+//! state machine — tests (and the determinism story) drive it with a
+//! logical clock, while the node feeds it milliseconds since process
+//! start. Shedding is **lossless** at the protocol level: a limited
+//! request is answered with `ErrorCode::RateLimited` plus a
+//! `retry_after_ms` hint and the client resubmits, so the final outcome
+//! set is unchanged — rate limiting shapes *when* work is admitted, never
+//! *what* it computes (DESIGN.md §13).
+
+use std::collections::BTreeMap;
+
+/// Rejection detail: how long until a token is available.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryAfter {
+    /// Milliseconds until the next token matures (minimum 1).
+    pub retry_after_ms: u64,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Bucket {
+    /// Token balance scaled by 1000 (milli-tokens) to keep refill integer.
+    milli_tokens: u64,
+    last_refill_ms: u64,
+}
+
+/// Token buckets keyed by tenant name (`BTreeMap` for deterministic
+/// iteration in stats and tests).
+#[derive(Debug, Clone)]
+pub struct TenantLimiter {
+    rate_per_sec: u64,
+    burst: u64,
+    buckets: BTreeMap<String, Bucket>,
+}
+
+impl TenantLimiter {
+    /// A limiter granting `rate_per_sec` requests/second with bursts up to
+    /// `burst`. `rate_per_sec == 0` disables limiting entirely.
+    #[must_use]
+    pub fn new(rate_per_sec: u64, burst: u64) -> Self {
+        TenantLimiter { rate_per_sec, burst: burst.max(1), buckets: BTreeMap::new() }
+    }
+
+    /// Whether limiting is active at all.
+    #[must_use]
+    pub fn enabled(&self) -> bool {
+        self.rate_per_sec > 0
+    }
+
+    /// Try to spend one token for `tenant` at time `now_ms`.
+    pub fn try_acquire(&mut self, tenant: &str, now_ms: u64) -> Result<(), RetryAfter> {
+        if !self.enabled() {
+            return Ok(());
+        }
+        let full = self.burst * 1000;
+        let bucket = self
+            .buckets
+            .entry(tenant.to_string())
+            .or_insert(Bucket { milli_tokens: full, last_refill_ms: now_ms });
+        // Refill: rate_per_sec tokens/s == rate_per_sec milli-tokens/ms.
+        let elapsed = now_ms.saturating_sub(bucket.last_refill_ms);
+        bucket.milli_tokens = (bucket.milli_tokens + elapsed * self.rate_per_sec).min(full);
+        bucket.last_refill_ms = now_ms;
+        if bucket.milli_tokens >= 1000 {
+            bucket.milli_tokens -= 1000;
+            Ok(())
+        } else {
+            let deficit = 1000 - bucket.milli_tokens;
+            Err(RetryAfter { retry_after_ms: deficit.div_ceil(self.rate_per_sec).max(1) })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_limiter_admits_everything() {
+        let mut l = TenantLimiter::new(0, 1);
+        for i in 0..10_000 {
+            assert!(l.try_acquire("t", i).is_ok());
+        }
+    }
+
+    #[test]
+    fn burst_then_refill() {
+        let mut l = TenantLimiter::new(10, 3); // 10/s, burst 3
+        assert!(l.try_acquire("t", 0).is_ok());
+        assert!(l.try_acquire("t", 0).is_ok());
+        assert!(l.try_acquire("t", 0).is_ok());
+        let hint = l.try_acquire("t", 0).unwrap_err();
+        assert_eq!(hint.retry_after_ms, 100, "one token matures in 1000/10 ms");
+        // 100 ms later exactly one token has matured.
+        assert!(l.try_acquire("t", 100).is_ok());
+        assert!(l.try_acquire("t", 100).is_err());
+        // A long idle period caps at the burst, not unbounded credit.
+        assert!(l.try_acquire("t", 1_000_000).is_ok());
+        assert!(l.try_acquire("t", 1_000_000).is_ok());
+        assert!(l.try_acquire("t", 1_000_000).is_ok());
+        assert!(l.try_acquire("t", 1_000_000).is_err());
+    }
+
+    #[test]
+    fn tenants_are_isolated() {
+        let mut l = TenantLimiter::new(1, 1);
+        assert!(l.try_acquire("a", 0).is_ok());
+        assert!(l.try_acquire("a", 0).is_err(), "a exhausted its bucket");
+        assert!(l.try_acquire("b", 0).is_ok(), "b is unaffected");
+    }
+
+    #[test]
+    fn clock_going_backwards_is_tolerated() {
+        let mut l = TenantLimiter::new(10, 1);
+        assert!(l.try_acquire("t", 1000).is_ok());
+        // Earlier timestamp: elapsed saturates to 0, no panic, no credit.
+        assert!(l.try_acquire("t", 500).is_err());
+    }
+}

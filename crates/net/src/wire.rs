@@ -1,0 +1,319 @@
+//! Bounded little-endian byte codec for the cdd-net wire protocol.
+//!
+//! Everything on the wire is built from a handful of primitives — `u8`,
+//! `u32`, `u64`, `i64`, `f64` (IEEE-754 bits), length-prefixed UTF-8
+//! strings and length-prefixed byte blobs — written little-endian. The
+//! reader is the security boundary: every `take_*` checks the remaining
+//! buffer *before* touching it and returns a structured [`WireError`]
+//! instead of panicking, and every length prefix is validated against the
+//! bytes actually present before any allocation happens, so a hostile
+//! 4-byte prefix claiming 4 GiB of payload costs nothing (DESIGN.md §13).
+
+use std::fmt;
+
+/// Decode-side failure: what was expected, and where the buffer ran out or
+/// the content went wrong. Converted to `SuiteError::Protocol` at the
+/// frame layer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WireError {
+    /// Human-readable description of the failed read.
+    pub detail: String,
+    /// Byte offset at which the failure was detected.
+    pub at: usize,
+}
+
+impl WireError {
+    fn new(detail: impl Into<String>, at: usize) -> Self {
+        WireError { detail: detail.into(), at }
+    }
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} (at byte {})", self.detail, self.at)
+    }
+}
+
+/// Growable little-endian writer. Infallible: the writer trusts its
+/// caller; only the *reader* deals with hostile input.
+#[derive(Debug, Default, Clone)]
+pub struct ByteWriter {
+    buf: Vec<u8>,
+}
+
+impl ByteWriter {
+    /// Fresh empty writer.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The bytes written so far.
+    #[must_use]
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Number of bytes written so far.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether nothing has been written yet.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    pub fn put_u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    pub fn put_u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    pub fn put_u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    pub fn put_i64(&mut self, v: i64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// IEEE-754 bit pattern — exact round-trip, no formatting involved.
+    pub fn put_f64(&mut self, v: f64) {
+        self.buf.extend_from_slice(&v.to_bits().to_le_bytes());
+    }
+
+    pub fn put_bool(&mut self, v: bool) {
+        self.buf.push(u8::from(v));
+    }
+
+    /// `u32` length prefix + UTF-8 bytes.
+    pub fn put_str(&mut self, s: &str) {
+        self.put_u32(u32::try_from(s.len()).expect("string fits a u32 length prefix"));
+        self.buf.extend_from_slice(s.as_bytes());
+    }
+
+    /// `u32` length prefix + raw bytes.
+    pub fn put_bytes(&mut self, b: &[u8]) {
+        self.put_u32(u32::try_from(b.len()).expect("blob fits a u32 length prefix"));
+        self.buf.extend_from_slice(b);
+    }
+
+    /// `Some(v)` as `1` + encoded value, `None` as `0`.
+    pub fn put_opt_u64(&mut self, v: Option<u64>) {
+        match v {
+            Some(x) => {
+                self.put_u8(1);
+                self.put_u64(x);
+            }
+            None => self.put_u8(0),
+        }
+    }
+}
+
+/// Bounds-checked little-endian reader over a borrowed buffer.
+#[derive(Debug, Clone)]
+pub struct ByteReader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> ByteReader<'a> {
+    /// Read from the start of `buf`.
+    #[must_use]
+    pub fn new(buf: &'a [u8]) -> Self {
+        ByteReader { buf, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    #[must_use]
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Fail unless every byte was consumed — trailing garbage in a frame
+    /// payload is a protocol violation, not padding.
+    pub fn finish(&self) -> Result<(), WireError> {
+        if self.remaining() == 0 {
+            Ok(())
+        } else {
+            Err(WireError::new(
+                format!("{} trailing bytes after payload", self.remaining()),
+                self.pos,
+            ))
+        }
+    }
+
+    fn take(&mut self, n: usize, what: &str) -> Result<&'a [u8], WireError> {
+        if self.remaining() < n {
+            return Err(WireError::new(
+                format!("truncated {what}: need {n} bytes, have {}", self.remaining()),
+                self.pos,
+            ));
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    pub fn take_u8(&mut self, what: &str) -> Result<u8, WireError> {
+        Ok(self.take(1, what)?[0])
+    }
+
+    pub fn take_u32(&mut self, what: &str) -> Result<u32, WireError> {
+        let b = self.take(4, what)?;
+        Ok(u32::from_le_bytes(b.try_into().expect("4-byte slice")))
+    }
+
+    pub fn take_u64(&mut self, what: &str) -> Result<u64, WireError> {
+        let b = self.take(8, what)?;
+        Ok(u64::from_le_bytes(b.try_into().expect("8-byte slice")))
+    }
+
+    pub fn take_i64(&mut self, what: &str) -> Result<i64, WireError> {
+        let b = self.take(8, what)?;
+        Ok(i64::from_le_bytes(b.try_into().expect("8-byte slice")))
+    }
+
+    pub fn take_f64(&mut self, what: &str) -> Result<f64, WireError> {
+        Ok(f64::from_bits(self.take_u64(what)?))
+    }
+
+    pub fn take_bool(&mut self, what: &str) -> Result<bool, WireError> {
+        match self.take_u8(what)? {
+            0 => Ok(false),
+            1 => Ok(true),
+            v => Err(WireError::new(format!("invalid bool {v} in {what}"), self.pos - 1)),
+        }
+    }
+
+    /// Length-prefixed UTF-8 string. The prefix is validated against the
+    /// bytes remaining *before* anything is copied.
+    pub fn take_str(&mut self, what: &str) -> Result<String, WireError> {
+        let len = self.take_u32(what)? as usize;
+        if len > self.remaining() {
+            return Err(WireError::new(
+                format!("{what} length {len} exceeds {} remaining bytes", self.remaining()),
+                self.pos,
+            ));
+        }
+        let bytes = self.take(len, what)?;
+        String::from_utf8(bytes.to_vec())
+            .map_err(|_| WireError::new(format!("{what} is not valid UTF-8"), self.pos - len))
+    }
+
+    /// Length-prefixed byte blob, prefix validated before allocation.
+    pub fn take_bytes(&mut self, what: &str) -> Result<Vec<u8>, WireError> {
+        let len = self.take_u32(what)? as usize;
+        if len > self.remaining() {
+            return Err(WireError::new(
+                format!("{what} length {len} exceeds {} remaining bytes", self.remaining()),
+                self.pos,
+            ));
+        }
+        Ok(self.take(len, what)?.to_vec())
+    }
+
+    /// Element count for a fixed-stride array, validated against the bytes
+    /// remaining so a hostile count can never drive an allocation larger
+    /// than the (already length-capped) frame itself.
+    pub fn take_count(&mut self, elem_size: usize, what: &str) -> Result<usize, WireError> {
+        let count = self.take_u32(what)? as usize;
+        let need = count.saturating_mul(elem_size.max(1));
+        if need > self.remaining() {
+            return Err(WireError::new(
+                format!(
+                    "{what} count {count} needs {need} bytes but only {} remain",
+                    self.remaining()
+                ),
+                self.pos,
+            ));
+        }
+        Ok(count)
+    }
+
+    pub fn take_opt_u64(&mut self, what: &str) -> Result<Option<u64>, WireError> {
+        match self.take_u8(what)? {
+            0 => Ok(None),
+            1 => Ok(Some(self.take_u64(what)?)),
+            v => Err(WireError::new(format!("invalid option tag {v} in {what}"), self.pos - 1)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_round_trip() {
+        let mut w = ByteWriter::new();
+        w.put_u8(7);
+        w.put_u32(0xDEAD_BEEF);
+        w.put_u64(u64::MAX - 1);
+        w.put_i64(-42);
+        w.put_f64(std::f64::consts::PI);
+        w.put_bool(true);
+        w.put_str("héllo");
+        w.put_bytes(&[1, 2, 3]);
+        w.put_opt_u64(Some(9));
+        w.put_opt_u64(None);
+        let bytes = w.into_bytes();
+
+        let mut r = ByteReader::new(&bytes);
+        assert_eq!(r.take_u8("a").unwrap(), 7);
+        assert_eq!(r.take_u32("b").unwrap(), 0xDEAD_BEEF);
+        assert_eq!(r.take_u64("c").unwrap(), u64::MAX - 1);
+        assert_eq!(r.take_i64("d").unwrap(), -42);
+        assert_eq!(r.take_f64("e").unwrap(), std::f64::consts::PI);
+        assert!(r.take_bool("f").unwrap());
+        assert_eq!(r.take_str("g").unwrap(), "héllo");
+        assert_eq!(r.take_bytes("h").unwrap(), vec![1, 2, 3]);
+        assert_eq!(r.take_opt_u64("i").unwrap(), Some(9));
+        assert_eq!(r.take_opt_u64("j").unwrap(), None);
+        r.finish().unwrap();
+    }
+
+    #[test]
+    fn truncation_is_an_error_not_a_panic() {
+        let mut r = ByteReader::new(&[1, 2]);
+        let err = r.take_u32("field").unwrap_err();
+        assert!(err.detail.contains("truncated field"), "{err}");
+    }
+
+    #[test]
+    fn hostile_string_length_is_rejected_before_allocation() {
+        // Claims a 4 GiB string with 1 byte behind it.
+        let bytes = [0xFF, 0xFF, 0xFF, 0xFF, 0x41];
+        let mut r = ByteReader::new(&bytes);
+        let err = r.take_str("name").unwrap_err();
+        assert!(err.detail.contains("exceeds"), "{err}");
+    }
+
+    #[test]
+    fn hostile_array_count_is_rejected_before_allocation() {
+        let mut w = ByteWriter::new();
+        w.put_u32(u32::MAX); // claims 4 G elements
+        let bytes = w.into_bytes();
+        let mut r = ByteReader::new(&bytes);
+        let err = r.take_count(40, "jobs").unwrap_err();
+        assert!(err.detail.contains("only 0 remain"), "{err}");
+    }
+
+    #[test]
+    fn trailing_bytes_fail_finish() {
+        let mut r = ByteReader::new(&[0, 1, 2]);
+        r.take_u8("x").unwrap();
+        assert!(r.finish().is_err());
+    }
+
+    #[test]
+    fn invalid_bool_and_option_tags_are_errors() {
+        assert!(ByteReader::new(&[2]).take_bool("b").is_err());
+        assert!(ByteReader::new(&[7]).take_opt_u64("o").is_err());
+    }
+}

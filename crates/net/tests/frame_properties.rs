@@ -1,0 +1,221 @@
+//! Property tests for the frame codec (satellite 1 of the network PR):
+//! round-trips are exact, and *no* input — truncated, oversized,
+//! bit-flipped, or raw noise — can make the decoder panic or allocate
+//! past the frame cap. The decoder's only failure mode is a structured
+//! `SuiteError::Protocol`.
+
+use cdd_core::{Algorithm, Job, Priority, SuiteError};
+use cdd_net::frame::{
+    chunk_sequence, read_frame, Frame, NetError, NetRequest, NetResponse, StreamChunk, WorkSpec,
+    ErrorCode, MAX_FRAME_LEN, PROTOCOL_VERSION,
+};
+use proptest::prelude::*;
+use std::io::Cursor;
+
+/// Build a request from plain integers so the strategies stay simple.
+#[allow(clippy::too_many_arguments)]
+fn request_from(
+    id: u64,
+    tenant_tag: u32,
+    priority: u8,
+    deadline: u64,
+    algo: bool,
+    iterations: u64,
+    seed: u64,
+    inline_jobs: &[(i64, i64, i64)],
+) -> NetRequest {
+    let work = if inline_jobs.is_empty() {
+        WorkSpec::ById { n: 10 + (seed % 90), k: 1 + (tenant_tag % 10), h: Some(0.6) }
+    } else {
+        WorkSpec::Inline {
+            ucddcp: false,
+            due_date: 50,
+            jobs: inline_jobs
+                .iter()
+                .map(|&(p, a, b)| Job::cdd(1 + p.abs() % 50, a.abs() % 9, b.abs() % 9))
+                .collect(),
+        }
+    };
+    NetRequest {
+        id,
+        tenant: format!("tenant-{tenant_tag}"),
+        token: format!("{:016x}", u64::from(tenant_tag).wrapping_mul(0x9E37)),
+        priority: Priority::from_u8(priority % 3).expect("priority in range"),
+        deadline_ms: if deadline.is_multiple_of(2) { None } else { Some(deadline) },
+        algorithm: if algo { Algorithm::Sa } else { Algorithm::Dpso },
+        iterations,
+        seed,
+        work,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn requests_round_trip_exactly(
+        id in any::<u64>(),
+        tenant_tag in any::<u32>(),
+        priority in 0..=2u8,
+        deadline in any::<u64>(),
+        algo in any::<bool>(),
+        iterations in 1..10_000u64,
+        seed in any::<u64>(),
+        jobs in prop::collection::vec((1..100i64, 0..9i64, 0..9i64), 0..40),
+    ) {
+        let frame = Frame::Request(request_from(
+            id, tenant_tag, priority, deadline, algo, iterations, seed, &jobs,
+        ));
+        let wire = frame.encode();
+        let got = read_frame(&mut Cursor::new(&wire)).unwrap().expect("one frame");
+        prop_assert_eq!(got, frame);
+    }
+
+    #[test]
+    fn responses_errors_and_chunks_round_trip(
+        id in any::<u64>(),
+        objective in any::<i64>(),
+        bits in any::<u64>(),
+        evaluations in any::<u64>(),
+        flags in any::<u8>(),
+        code in 1..=7u8,
+        data in prop::collection::vec(any::<u8>(), 0..300),
+    ) {
+        let frames = vec![
+            Frame::Response(NetResponse {
+                id,
+                objective,
+                modeled_seconds: f64::from_bits(bits & !(0x7FFu64 << 52)), // keep finite-ish
+                evaluations,
+                cache_hit: flags & 1 != 0,
+                device: if flags & 2 != 0 { Some(u64::from(flags)) } else { None },
+                cpu_fallback: flags & 4 != 0,
+                degraded: flags & 8 != 0,
+                wall_ms: 0.5,
+            }),
+            Frame::Error(NetError {
+                id,
+                code: ErrorCode::from_u8(code).expect("code in range"),
+                detail: format!("detail-{id}"),
+                retry_after_ms: u64::from(flags),
+            }),
+            Frame::Chunk(StreamChunk {
+                id,
+                index: u32::from(flags),
+                total: u32::from(flags) + 1,
+                data: data.clone(),
+            }),
+            Frame::Ping { nonce: id },
+            Frame::Pong { nonce: id ^ 1 },
+            Frame::Stats,
+            Frame::Shutdown,
+        ];
+        let mut wire = Vec::new();
+        for f in &frames {
+            wire.extend_from_slice(&f.encode());
+        }
+        let mut cursor = Cursor::new(&wire);
+        for f in &frames {
+            prop_assert_eq!(&read_frame(&mut cursor).unwrap().expect("frame"), f);
+        }
+        prop_assert!(read_frame(&mut cursor).unwrap().is_none());
+    }
+
+    #[test]
+    fn random_bytes_never_panic_the_decoder(
+        noise in prop::collection::vec(any::<u8>(), 0..600),
+    ) {
+        // Raw payload decode: any outcome but a panic is acceptable.
+        let _ = Frame::decode_body(&noise);
+        // Stream decode: same.
+        let mut cursor = Cursor::new(&noise);
+        while let Ok(Some(_)) = read_frame(&mut cursor) {}
+    }
+
+    #[test]
+    fn truncated_frames_error_cleanly(
+        seed in any::<u64>(),
+        cut_num in any::<u32>(),
+        jobs in prop::collection::vec((1..100i64, 0..9i64, 0..9i64), 0..20),
+    ) {
+        let wire = Frame::Request(request_from(7, 3, 1, seed, true, 100, seed, &jobs)).encode();
+        let cut = 1 + (cut_num as usize) % (wire.len() - 1);
+        // Anything but a complete decode is fine: clean EOF (cut < 4) or
+        // a structured error.
+        if let Ok(Some(_)) = read_frame(&mut Cursor::new(&wire[..cut])) {
+            prop_assert!(false, "truncated frame decoded as complete");
+        }
+    }
+
+    #[test]
+    fn corrupted_frames_never_panic(
+        flip_pos in any::<u32>(),
+        flip_bit in 0..8u32,
+        seed in any::<u64>(),
+    ) {
+        let mut wire = Frame::Request(request_from(9, 1, 2, seed, false, 50, seed, &[])).encode();
+        let pos = 4 + (flip_pos as usize) % (wire.len() - 4); // keep the length prefix intact
+        wire[pos] ^= 1 << flip_bit;
+        match read_frame(&mut Cursor::new(&wire)) {
+            Ok(_) | Err(SuiteError::Protocol { .. }) => {}
+            Err(other) => prop_assert!(false, "non-protocol error from codec: {other}"),
+        }
+    }
+
+    #[test]
+    fn hostile_length_prefixes_are_rejected_without_allocation(
+        len in (MAX_FRAME_LEN as u32 + 1)..u32::MAX,
+        tail in prop::collection::vec(any::<u8>(), 0..32),
+    ) {
+        let mut wire = len.to_le_bytes().to_vec();
+        wire.extend_from_slice(&tail);
+        let err = read_frame(&mut Cursor::new(&wire)).unwrap_err();
+        prop_assert!(
+            err.to_string().contains("exceeds limit"),
+            "oversized prefix must be rejected with the bounded-allocation guard, got: {}",
+            err
+        );
+    }
+
+    #[test]
+    fn unknown_tags_and_versions_are_structured_errors(
+        tag in 10..=255u8,
+        version in 2..=255u8,
+        pad in prop::collection::vec(any::<u8>(), 0..64),
+    ) {
+        let mut body = vec![PROTOCOL_VERSION, tag];
+        body.extend_from_slice(&pad);
+        match Frame::decode_body(&body) {
+            Err(SuiteError::Protocol { detail }) => {
+                prop_assert!(detail.contains(&format!("unknown frame tag {tag}")), "{detail}");
+            }
+            other => prop_assert!(false, "expected protocol error, got {other:?}"),
+        }
+        let mut body = vec![version, 5];
+        body.extend_from_slice(&[0; 8]);
+        match Frame::decode_body(&body) {
+            Err(SuiteError::Protocol { detail }) => {
+                prop_assert!(detail.contains("version"), "{detail}");
+            }
+            other => prop_assert!(false, "expected protocol error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn sequences_survive_chunking(
+        order in prop::collection::vec(any::<u32>(), 0..2000),
+        id in any::<u64>(),
+    ) {
+        let chunks = chunk_sequence(id, &order);
+        prop_assert!(!chunks.is_empty());
+        let total = chunks.len() as u32;
+        let mut data = Vec::new();
+        for (i, c) in chunks.iter().enumerate() {
+            prop_assert_eq!(c.index, i as u32);
+            prop_assert_eq!(c.total, total);
+            prop_assert_eq!(c.id, id);
+            data.extend_from_slice(&c.data);
+        }
+        prop_assert_eq!(cdd_net::frame::assemble_sequence(&data).unwrap(), order);
+    }
+}

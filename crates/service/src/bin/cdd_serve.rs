@@ -274,9 +274,12 @@ fn main() {
     let report = service.shutdown();
 
     // Per-request detail CSV.
+    // Columns 1-10 are the deterministic outcome set the CI smoke jobs
+    // byte-compare; routing/latency and the tenant/priority identity ride
+    // behind them.
     let mut detail = Table::new(vec![
         "idx", "instance", "algorithm", "iterations", "seed", "status", "objective", "cache_hit",
-        "cpu_fallback", "degraded", "device", "wall_ms",
+        "cpu_fallback", "degraded", "device", "wall_ms", "tenant", "priority",
     ]);
     for (i, (entry, outcome)) in entries.iter().zip(&results).enumerate() {
         let outcome = outcome.as_ref().expect("every request answered");
@@ -302,6 +305,8 @@ fn main() {
             degraded,
             outcome.device.map_or("-".to_string(), |d| d.to_string()),
             format!("{:.3}", outcome.wall_ms),
+            entry.tenant.clone(),
+            entry.priority.to_string(),
         ]);
     }
     let detail_path =

@@ -53,5 +53,7 @@ pub mod supervisor;
 pub use breaker::{BreakerConfig, BreakerState, BreakerStats, CircuitBreaker};
 pub use cache::{CacheStats, SolutionCache};
 pub use queue::QueueStats;
-pub use service::{DeviceReport, RequestOutcome, ServiceConfig, ServiceReport, SolverService};
+pub use service::{
+    DeviceReport, RequestOutcome, ServiceConfig, ServiceReport, ServiceSnapshot, SolverService,
+};
 pub use supervisor::SupervisorConfig;

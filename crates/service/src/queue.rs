@@ -1,13 +1,28 @@
-//! The bounded submission queue: FIFO admission of solve jobs with
-//! capacity-based back-pressure and pre-dispatch deadline expiry.
+//! The bounded submission queue: priority-class admission of solve jobs
+//! with capacity-based back-pressure and pre-dispatch deadline expiry.
 //!
 //! This is a plain data structure — the service serializes access to it
 //! under its state mutex. Admission control is synchronous and immediate:
 //! [`SubmissionQueue::try_push`] on a full queue returns
 //! [`SuiteError::Rejected`] rather than blocking, so an overloaded service
 //! sheds load at submission time instead of hanging clients.
+//!
+//! # Priority classes
+//!
+//! [`cdd_core::Priority`] maps onto the queue in two ways, neither of which
+//! can change a computed answer (dispatch *order* is not part of the
+//! determinism contract — fitness is pure in the request):
+//!
+//! 1. **Ordering** — a new job enters behind every queued job of its own or
+//!    a higher class and ahead of lower classes (FIFO within a class). The
+//!    inherited front segment (supervisor retries, promoted followers) is
+//!    never reordered: those jobs were already admitted and dispatched once,
+//!    so they outrank any fresh arrival regardless of class.
+//! 2. **Admission headroom** — `batch` jobs are rejected once the admitted
+//!    depth reaches ¾ of capacity, reserving the last quarter of the queue
+//!    for `normal`/`interactive` traffic under load.
 
-use cdd_core::{SolveRequest, SuiteError};
+use cdd_core::{Priority, SolveRequest, SuiteError};
 use std::collections::VecDeque;
 use std::time::Instant;
 
@@ -93,7 +108,18 @@ impl SubmissionQueue {
         self.jobs.len() - self.inherited
     }
 
-    /// Admit a job, or reject it immediately when the queue is full.
+    /// Capacity visible to `batch` submissions: the last quarter of the
+    /// queue is reserved for `normal`/`interactive` traffic (never below 1
+    /// slot, so a tiny queue still admits batch work when idle).
+    fn batch_capacity(&self) -> usize {
+        (self.capacity - self.capacity / 4).max(1)
+    }
+
+    /// Admit a job into its priority class's position, or reject it
+    /// immediately when the class's capacity is exhausted. Within the
+    /// non-inherited segment the job enters behind its own and higher
+    /// classes and ahead of strictly lower ones (FIFO per class); the
+    /// inherited front segment is never reordered.
     pub fn try_push(&mut self, job: QueuedJob) -> Result<(), SuiteError> {
         if self.jobs.len() >= self.capacity {
             self.stats.rejected += 1;
@@ -102,7 +128,19 @@ impl SubmissionQueue {
                 self.jobs.len()
             )));
         }
-        self.jobs.push_back(job);
+        if job.request.priority == Priority::Batch && self.admitted_depth() >= self.batch_capacity()
+        {
+            self.stats.rejected += 1;
+            return Err(SuiteError::rejected(format!(
+                "batch headroom exhausted ({} pending requests; batch admits up to {})",
+                self.jobs.len(),
+                self.batch_capacity()
+            )));
+        }
+        let pos = (self.inherited..self.jobs.len())
+            .find(|&i| self.jobs[i].request.priority < job.request.priority)
+            .unwrap_or(self.jobs.len());
+        self.jobs.insert(pos, job);
         self.stats.enqueued += 1;
         self.stats.peak_depth = self.stats.peak_depth.max(self.admitted_depth());
         Ok(())
@@ -350,6 +388,60 @@ mod tests {
         assert_eq!(pulled.len(), 1);
         assert_eq!(q.pop().unwrap().ticket, 4);
         assert!(q.pop().is_none());
+    }
+
+    fn job_at(ticket: u64, priority: Priority) -> QueuedJob {
+        let mut j = job(ticket, None);
+        j.request.priority = priority;
+        j
+    }
+
+    #[test]
+    fn higher_priority_jobs_are_dispatched_first_fifo_within_class() {
+        let mut q = SubmissionQueue::new(8);
+        q.try_push(job_at(1, Priority::Normal)).unwrap();
+        q.try_push(job_at(2, Priority::Batch)).unwrap();
+        q.try_push(job_at(3, Priority::Interactive)).unwrap();
+        q.try_push(job_at(4, Priority::Normal)).unwrap();
+        q.try_push(job_at(5, Priority::Interactive)).unwrap();
+        let order: Vec<u64> = std::iter::from_fn(|| q.pop()).map(|j| j.ticket).collect();
+        assert_eq!(order, [3, 5, 1, 4, 2], "interactive, then normal, then batch; FIFO within");
+    }
+
+    #[test]
+    fn priority_insertion_never_reorders_the_inherited_front_segment() {
+        let mut q = SubmissionQueue::new(8);
+        q.try_push(job_at(1, Priority::Batch)).unwrap();
+        let dispatched = q.pop().unwrap(); // the batch job was already running
+        q.try_push(job_at(2, Priority::Normal)).unwrap();
+        q.requeue_retry(dispatched);
+        // A fresh interactive arrival outranks queued lower classes but not
+        // the retried job: that one was admitted and dispatched already.
+        q.try_push(job_at(3, Priority::Interactive)).unwrap();
+        assert_eq!(q.pop().unwrap().ticket, 1, "retry runs first despite being batch");
+        assert_eq!(q.pop().unwrap().ticket, 3);
+        assert_eq!(q.pop().unwrap().ticket, 2);
+    }
+
+    #[test]
+    fn batch_loses_its_headroom_under_load_but_higher_classes_keep_theirs() {
+        let mut q = SubmissionQueue::new(4); // batch capacity: 3
+        q.try_push(job_at(1, Priority::Batch)).unwrap();
+        q.try_push(job_at(2, Priority::Batch)).unwrap();
+        q.try_push(job_at(3, Priority::Batch)).unwrap();
+        let err = q.try_push(job_at(4, Priority::Batch)).unwrap_err();
+        assert!(err.to_string().contains("batch headroom"), "got {err}");
+        q.try_push(job_at(5, Priority::Normal)).expect("the reserved quarter admits normal");
+        let err = q.try_push(job_at(6, Priority::Interactive)).unwrap_err();
+        assert!(err.to_string().contains("queue full"), "hard capacity still binds: {err}");
+        assert_eq!(q.stats().rejected, 2);
+    }
+
+    #[test]
+    fn tiny_queues_still_admit_batch_work_when_idle() {
+        let mut q = SubmissionQueue::new(1);
+        q.try_push(job_at(1, Priority::Batch)).expect("batch capacity is never zero");
+        assert!(q.try_push(job_at(2, Priority::Interactive)).is_err());
     }
 
     #[test]

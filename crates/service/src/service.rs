@@ -52,7 +52,7 @@ use crate::queue::{QueueStats, QueuedJob, SubmissionQueue};
 use crate::supervisor::{
     install_quiet_crash_hook, supervisor_loop, SupervisorConfig, WorkerCrashPanic,
 };
-use cdd_core::{SolveOutcome, SolveRequest, SuiteError};
+use cdd_core::{Priority, SolveOutcome, SolveRequest, SuiteError};
 use cdd_gpu::{counter_trace_events, run_gpu_solve, ConvergenceSummary, GpuSolveSpec, RecoveryPolicy};
 use cdd_metrics::trace::{TraceEvent, TraceSink};
 use cdd_metrics::{latency_ms_buckets, MetricsRegistry};
@@ -60,7 +60,7 @@ use cuda_sim::{
     timeline_trace_events, DeviceHandle, DeviceSpec, DeviceUsage, FaultPlan, FaultStats,
     TelemetryConfig,
 };
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::{self, JoinHandle};
 use std::time::{Duration, Instant};
@@ -238,6 +238,34 @@ pub struct ServiceReport {
     pub trace: TraceSink,
 }
 
+/// Live counters mid-flight — the probe-sized view of a running service
+/// (see [`SolverService::snapshot`]). Everything here is a monotone count
+/// or an instantaneous depth; the full per-device/metrics report still
+/// requires [`SolverService::shutdown`].
+#[derive(Debug, Clone)]
+pub struct ServiceSnapshot {
+    /// Tickets accepted so far.
+    pub submitted: u64,
+    /// Tickets answered with a solve outcome so far.
+    pub completed: u64,
+    /// Tickets answered with an error so far.
+    pub failed: u64,
+    /// Tickets expired before dispatch so far.
+    pub expired: u64,
+    /// Tickets answered degraded so far.
+    pub degraded: u64,
+    /// Submissions refused by admission control so far.
+    pub rejected: u64,
+    /// Crashed jobs re-admitted for another attempt so far.
+    pub retried: u64,
+    /// Worker restarts across the fleet so far.
+    pub restarts: u64,
+    /// Jobs currently queued.
+    pub queue_depth: usize,
+    /// Cache hit/miss/eviction counters so far.
+    pub cache: CacheStats,
+}
+
 /// A request coalesced onto an identical queued or in-flight primary.
 struct Follower {
     ticket: u64,
@@ -299,6 +327,10 @@ pub(crate) struct State {
     degraded_brownout: u64,
     /// Retry re-dispatches the supervisor scheduled (parked or immediate).
     pub(crate) retries_scheduled: u64,
+    /// Accepted tickets per tenant (BTreeMap: deterministic fold order).
+    tenant_submitted: BTreeMap<String, u64>,
+    /// Accepted tickets per priority class, indexed by `Priority::as_u8`.
+    priority_submitted: [u64; 3],
     next_ticket: u64,
     pub(crate) shutdown: bool,
     pub(crate) slots: Vec<SlotState>,
@@ -310,6 +342,15 @@ impl State {
     /// durations vary run to run, hence the `timing_` prefix.
     fn observe_latency(&mut self, wall_ms: f64) {
         self.metrics.observe("timing_request_wall_ms", &[], wall_ms, latency_ms_buckets());
+    }
+
+    /// Book-keep an accepted ticket against its tenant and priority class.
+    /// Pure counts of admitted work — they qualify for the `service_`
+    /// metric namespace.
+    fn note_accepted(&mut self, tenant: &str, priority: Priority) {
+        self.submitted += 1;
+        *self.tenant_submitted.entry(tenant.to_string()).or_insert(0) += 1;
+        self.priority_submitted[priority.as_u8() as usize] += 1;
     }
 
     /// Nothing left to run: shutdown was requested, the queue and the
@@ -416,6 +457,8 @@ impl SolverService {
                 degraded: 0,
                 degraded_brownout: 0,
                 retries_scheduled: 0,
+                tenant_submitted: BTreeMap::new(),
+                priority_submitted: [0; 3],
                 next_ticket: 0,
                 shutdown: false,
                 slots,
@@ -459,7 +502,7 @@ impl SolverService {
         // 1. Completed identical solve in the cache?
         if let Some(outcome) = st.cache.lookup(key) {
             st.next_ticket += 1;
-            st.submitted += 1;
+            st.note_accepted(&request.tenant, request.priority);
             st.completed += 1;
             st.observe_latency(0.0);
             st.results.insert(
@@ -479,13 +522,14 @@ impl SolverService {
             });
             st.cache.note_coalesced();
             st.next_ticket += 1;
-            st.submitted += 1;
+            st.note_accepted(&request.tenant, request.priority);
             return Ok(ticket);
         }
 
         // 3. Fresh dispatch — subject to admission control. Wake every
         // worker: with breakers in play, `notify_one` could land on a
         // worker whose breaker is open, leaving the job waiting.
+        let (tenant, priority) = (request.tenant.clone(), request.priority);
         st.queue.try_push(QueuedJob {
             ticket,
             request,
@@ -496,7 +540,7 @@ impl SolverService {
         st.cache.note_miss();
         st.waiters.insert(key, Vec::new());
         st.next_ticket += 1;
-        st.submitted += 1;
+        st.note_accepted(&tenant, priority);
         self.shared.work.notify_all();
         Ok(ticket)
     }
@@ -518,16 +562,54 @@ impl SolverService {
         self.wait(ticket).result
     }
 
+    /// Begin a graceful shutdown from a shared reference: new submissions
+    /// are rejected from this call on, while queued and parked work keeps
+    /// draining. Needed by embeddings that share the service behind an
+    /// `Arc` (the `cdd-node` front door begins draining from a connection
+    /// thread, then the owner calls [`shutdown`](Self::shutdown) to join
+    /// and collect the report). Idempotent.
+    pub fn begin_shutdown(&self) {
+        let mut st = self.shared.state.lock().expect("service state lock");
+        st.shutdown = true;
+        self.shared.work.notify_all();
+        self.shared.supervise.notify_all();
+    }
+
+    /// Whether every accepted ticket has been answered (no queued, parked
+    /// or in-flight work). With [`begin_shutdown`](Self::begin_shutdown)
+    /// already called, `idle() == true` means the workers are exiting — the
+    /// deterministic drain point an embedding waits for before restarting.
+    pub fn idle(&self) -> bool {
+        let st = self.shared.state.lock().expect("service state lock");
+        st.queue.depth() == 0
+            && st.parked.is_empty()
+            && st.slots.iter().all(|s| s.in_flight.is_none())
+    }
+
+    /// Live counters for health/stats probes: cheap, lock-scoped, callable
+    /// from any thread while the service runs (the full [`ServiceReport`]
+    /// only exists at shutdown).
+    pub fn snapshot(&self) -> ServiceSnapshot {
+        let st = self.shared.state.lock().expect("service state lock");
+        ServiceSnapshot {
+            submitted: st.submitted,
+            completed: st.completed,
+            failed: st.failed,
+            expired: st.expired,
+            degraded: st.degraded,
+            rejected: st.queue.stats().rejected,
+            retried: st.queue.stats().retried,
+            restarts: st.slots.iter().map(|s| s.restarts).sum(),
+            queue_depth: st.queue.depth(),
+            cache: st.cache.stats().clone(),
+        }
+    }
+
     /// Stop accepting work, drain the queue (parked retries re-enter
     /// immediately — shutdown never strands a retry in its backoff), join
     /// the supervisor and the workers, and report.
     pub fn shutdown(mut self) -> ServiceReport {
-        {
-            let mut st = self.shared.state.lock().expect("service state lock");
-            st.shutdown = true;
-            self.shared.work.notify_all();
-            self.shared.supervise.notify_all();
-        }
+        self.begin_shutdown();
         if let Some(sup) = self.supervisor.take() {
             let _ = sup.join();
         }
@@ -611,6 +693,19 @@ fn fold_final_metrics(
     wall_seconds: f64,
 ) {
     metrics.inc("service_requests_submitted_total", &[], st.submitted);
+    // Per-tenant and per-class admission counts. Tenants appear in BTreeMap
+    // (= byte-stable) order; all three priority classes register even at
+    // zero so equal workloads stay line-for-line comparable.
+    for (tenant, count) in &st.tenant_submitted {
+        metrics.inc("service_tenant_submitted_total", &[("tenant", tenant)], *count);
+    }
+    for p in [Priority::Batch, Priority::Normal, Priority::Interactive] {
+        metrics.inc(
+            "service_priority_submitted_total",
+            &[("class", p.label())],
+            st.priority_submitted[p.as_u8() as usize],
+        );
+    }
     metrics.inc("service_requests_completed_total", &[], st.completed);
     metrics.inc("service_requests_failed_total", &[], st.failed);
     metrics.inc("service_requests_expired_total", &[], st.expired);

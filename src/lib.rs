@@ -13,6 +13,7 @@
 //! | [`meta`] | `cdd-meta` | CPU metaheuristics (SA, DPSO, ES) and ensembles |
 //! | [`gpu`] | `cdd-gpu` | GPU-parallel SA/DPSO pipelines (4 kernels) |
 //! | [`service`] | `cdd-service` | multi-device solver service (queue, pool, cache) |
+//! | [`net`] | `cdd-net` | framed TCP front door, multi-node router, net client |
 //!
 //! See the repository `README.md` for a quickstart and `DESIGN.md` for the
 //! system inventory and per-experiment index.
@@ -22,6 +23,7 @@ pub use cdd_gpu as gpu;
 pub use cdd_instances as instances;
 pub use cdd_lp as lp;
 pub use cdd_meta as meta;
+pub use cdd_net as net;
 pub use cdd_service as service;
 pub use cuda_sim as cuda;
 
