@@ -1,0 +1,852 @@
+//! Incremental (delta) fitness evaluation for swap/insert moves.
+//!
+//! The O(n) fixed-sequence optimizers in [`crate::cdd_optimal`] /
+//! [`crate::ucddcp_optimal`] re-walk the whole sequence for every candidate
+//! the metaheuristics propose, yet a swap or insert move only changes a
+//! handful of positions. The per-sequence polynomial structure (Awasthi /
+//! Lässig / Kramer, arXiv:1311.2879) decomposes the objective into prefix /
+//! suffix sums over the *committed* sequence, so a move can be scored from
+//! cached state plus per-changed-position corrections:
+//!
+//! * **CDD** — `O(m log n)` for `m` changed positions: two binary searches
+//!   (due position and earliness/tardiness split over the piecewise-shifted
+//!   completion times) plus `O(m)` correction terms, plus the optimal-shift
+//!   walk (short in practice: it terminates at the first position whose
+//!   earliness rate stops dominating).
+//! * **UCDDCP** — additionally `O(window)` where `window` is the span
+//!   between the first and last changed position: the compression-gain
+//!   terms depend on suffix-β / prefix-α sums that shift *inside* the
+//!   window, and threshold crossings there cannot be pre-aggregated.
+//!
+//! The cached state is exact integer arithmetic — there is no numeric
+//! drift. The periodic re-sync knob ([`DeltaEvaluator::new`]'s
+//! `resync_every`, and the GPU pipelines' `DeltaConfig::resync_every`)
+//! exists for the *fault-injection* story: on the simulated device the
+//! cached arrays live in global memory where bit flips can corrupt them,
+//! and a forced rebuild bounds how long corrupted cache state can survive.
+//!
+//! The scoring core is generic over [`DeltaSource`] so the exact same
+//! arithmetic runs on the host (slice-backed, used by [`DeltaEvaluator`]
+//! and the proptest equivalence suite) and inside the simulated GPU kernel
+//! (device-buffer-backed, charging modeled reads per access).
+
+use crate::{Cost, Instance, ProblemKind, Time};
+
+/// One changed position of a candidate sequence relative to the committed
+/// one: position `pos` held `old_job` and would hold `new_job`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DeltaMove {
+    /// Position in the sequence (0-based).
+    pub pos: u32,
+    /// Job currently at `pos` in the committed sequence.
+    pub old_job: u32,
+    /// Job the candidate places at `pos`.
+    pub new_job: u32,
+}
+
+/// Read access to the committed-sequence cache and the instance data,
+/// abstracted so the delta scoring core runs identically on host slices
+/// and on simulated device buffers (where each read charges modeled cost).
+///
+/// Methods take `&mut self` purely so device-backed sources can charge the
+/// cost model; slice-backed sources just read.
+pub trait DeltaSource {
+    /// Number of jobs.
+    fn n(&self) -> usize;
+    /// Common due date.
+    fn d(&self) -> Time;
+    /// Problem kind (selects the compression-gain passes).
+    fn kind(&self) -> ProblemKind;
+    /// Processing time of job `job`.
+    fn p(&mut self, job: usize) -> Time;
+    /// Earliness rate of job `job`.
+    fn alpha(&mut self, job: usize) -> Time;
+    /// Tardiness rate of job `job`.
+    fn beta(&mut self, job: usize) -> Time;
+    /// Compression rate of job `job` (UCDDCP; unused for CDD).
+    fn gamma(&mut self, job: usize) -> Time;
+    /// Maximum compression `Pⱼ − Mⱼ` of job `job` (UCDDCP; unused for CDD).
+    fn slack(&mut self, job: usize) -> Time;
+    /// Committed job at position `k`.
+    fn seq(&mut self, k: usize) -> u32;
+    /// Cached packed completion time of position `k` (`k < n`).
+    fn c(&mut self, k: usize) -> Time;
+    /// Cached `Σ_{t<k} α` over committed positions (`k ≤ n`).
+    fn a_pref(&mut self, k: usize) -> Time;
+    /// Cached `Σ_{t≥k} β` over committed positions (`k ≤ n`).
+    fn b_suff(&mut self, k: usize) -> Time;
+    /// Cached `Σ_{t<k} α_t·C_t` (`k ≤ n`).
+    fn wa_pref(&mut self, k: usize) -> Time;
+    /// Cached `Σ_{t≥k} β_t·C_t` (`k ≤ n`).
+    fn wb_suff(&mut self, k: usize) -> Time;
+    /// Cached suffix sums of the tardy-side compression gains (`k ≤ n`).
+    fn gt_suff(&mut self, k: usize) -> Time;
+    /// Cached prefix sums of the early-side compression gains (`k ≤ n`).
+    fn ge_pref(&mut self, k: usize) -> Time;
+    /// Charge `alu` units of pure arithmetic to the cost model (no-op on
+    /// host sources).
+    fn tick(&mut self, _alu: u64) {}
+}
+
+/// The cached prefix/suffix state of one committed sequence.
+///
+/// All vectors are indexed by *position*: `c` has length `n` (packed
+/// completion times), the six sum tables have length `n + 1` so that both
+/// the empty prefix (`k = 0`) and the empty suffix (`k = n`) are addressable.
+/// For CDD instances the two gain tables are zero-filled.
+#[derive(Debug, Clone, Default)]
+pub struct DeltaState {
+    /// Packed completion time of position `k` (strictly increasing, `p ≥ 1`).
+    pub c: Vec<Time>,
+    /// `a_pref[k] = Σ_{t<k} α_{seq[t]}`.
+    pub a_pref: Vec<Time>,
+    /// `b_suff[k] = Σ_{t≥k} β_{seq[t]}`.
+    pub b_suff: Vec<Time>,
+    /// `wa_pref[k] = Σ_{t<k} α_{seq[t]}·c[t]`.
+    pub wa_pref: Vec<Time>,
+    /// `wb_suff[k] = Σ_{t≥k} β_{seq[t]}·c[t]`.
+    pub wb_suff: Vec<Time>,
+    /// `gt_suff[k] = Σ_{t≥k} Gᵗ(t)` — tardy-side compression gains, where
+    /// `Gᵗ(t) = xₜ·max(0, b_suff[t] − γₜ)` when `xₜ = Pₜ − Mₜ > 0`.
+    pub gt_suff: Vec<Time>,
+    /// `ge_pref[k] = Σ_{t<k} Gᵉ(t)` — early-side compression gains, where
+    /// `Gᵉ(t) = xₜ·max(0, a_pref[t] − γₜ)` when `xₜ > 0`.
+    pub ge_pref: Vec<Time>,
+}
+
+impl DeltaState {
+    /// Rebuild the whole cache from the per-job arrays and a committed
+    /// sequence — the O(n) "commit" both the host evaluator and the GPU
+    /// kernel's rebuild path share.
+    #[allow(clippy::too_many_arguments)]
+    pub fn rebuild(
+        &mut self,
+        kind: ProblemKind,
+        p: &[Time],
+        m: &[Time],
+        alpha: &[Time],
+        beta: &[Time],
+        gamma: &[Time],
+        seq: &[u32],
+    ) {
+        let n = seq.len();
+        self.c.clear();
+        self.c.resize(n, 0);
+        for v in [
+            &mut self.a_pref,
+            &mut self.b_suff,
+            &mut self.wa_pref,
+            &mut self.wb_suff,
+            &mut self.gt_suff,
+            &mut self.ge_pref,
+        ] {
+            v.clear();
+            v.resize(n + 1, 0);
+        }
+        let mut c = 0;
+        for (k, &sj) in seq.iter().enumerate() {
+            let j = sj as usize;
+            c += p[j];
+            self.c[k] = c;
+            self.a_pref[k + 1] = self.a_pref[k] + alpha[j];
+            self.wa_pref[k + 1] = self.wa_pref[k] + alpha[j] * c;
+        }
+        for k in (0..n).rev() {
+            let j = seq[k] as usize;
+            self.b_suff[k] = self.b_suff[k + 1] + beta[j];
+            self.wb_suff[k] = self.wb_suff[k + 1] + beta[j] * self.c[k];
+        }
+        if kind == ProblemKind::Ucddcp {
+            for k in (0..n).rev() {
+                let j = seq[k] as usize;
+                let x = p[j] - m[j];
+                let over = self.b_suff[k] - gamma[j];
+                let g = if x > 0 && over > 0 { x * over } else { 0 };
+                self.gt_suff[k] = self.gt_suff[k + 1] + g;
+            }
+            for (k, &sj) in seq.iter().enumerate() {
+                let j = sj as usize;
+                let x = p[j] - m[j];
+                let over = self.a_pref[k] - gamma[j];
+                let g = if x > 0 && over > 0 { x * over } else { 0 };
+                self.ge_pref[k + 1] = self.ge_pref[k] + g;
+            }
+        }
+    }
+}
+
+/// Structural validation of a move list against a sequence length: positions
+/// strictly increasing and in range, job ids in range, every move a real
+/// change, and the old/new jobs a permutation of each other (a move list
+/// violating any of these cannot come from a swap/shuffle of a valid
+/// permutation — on the GPU fault path it marks a corrupted candidate).
+pub fn moves_structurally_valid(n: usize, moves: &[DeltaMove]) -> bool {
+    let mut last: Option<u32> = None;
+    for mv in moves {
+        if mv.pos as usize >= n || mv.old_job as usize >= n || mv.new_job as usize >= n {
+            return false;
+        }
+        if mv.old_job == mv.new_job {
+            return false;
+        }
+        if let Some(prev) = last {
+            if mv.pos <= prev {
+                return false;
+            }
+        }
+        last = Some(mv.pos);
+    }
+    // Multiset equality of old vs new jobs (m is tiny: O(m²) matching).
+    let mut used = [false; 64];
+    let mut used_vec;
+    let used: &mut [bool] = if moves.len() <= 64 {
+        &mut used[..moves.len()]
+    } else {
+        used_vec = vec![false; moves.len()];
+        &mut used_vec
+    };
+    for mv in moves {
+        let mut found = false;
+        for (i, other) in moves.iter().enumerate() {
+            if !used[i] && other.old_job == mv.new_job {
+                used[i] = true;
+                found = true;
+                break;
+            }
+        }
+        if !found {
+            return false;
+        }
+    }
+    true
+}
+
+/// Per-move working row: instance data read once, plus running cumulative
+/// deltas (`Σ Δp` over moves up to here, `Σ Δα` likewise, `Σ Δβ` from here
+/// to the end). All deltas are widened to `i128` so that fault-corrupted
+/// cache reads can never overflow host arithmetic (the GPU kernel clamps
+/// the final value to the `CORRUPT_ENERGY` sentinel range).
+#[derive(Debug, Clone, Copy, Default)]
+struct MoveRow {
+    pos: usize,
+    new_job: u32,
+    c_pos: i128,
+    alpha_old: i128,
+    alpha_new: i128,
+    beta_old: i128,
+    beta_new: i128,
+    /// `Σ_{t≤i} (P_new − P_old)` — completion-time delta for `k ≥ pos_i`.
+    dp_cum: i128,
+    /// `Σ_{t≤i} (α_new − α_old)` — prefix-α delta for `k > pos_i`.
+    da_cum: i128,
+    /// `Σ_{t≥i} (β_new − β_old)` — suffix-β delta for `k ≤ pos_i`.
+    db_tail: i128,
+}
+
+/// Reusable scratch for [`delta_objective`] so steady-state scoring does
+/// zero allocation (both the host evaluator and each GPU thread's scratch
+/// slot hold one).
+#[derive(Debug, Clone, Default)]
+pub struct DeltaWorkspace {
+    rows: Vec<MoveRow>,
+}
+
+/// `Σ Δp` over moves with `pos ≤ k`.
+fn dp_le(rows: &[MoveRow], k: usize) -> i128 {
+    let mut v = 0;
+    for r in rows {
+        if r.pos <= k {
+            v = r.dp_cum;
+        } else {
+            break;
+        }
+    }
+    v
+}
+
+/// `Σ Δα` over moves with `pos < k`.
+fn da_lt(rows: &[MoveRow], k: usize) -> i128 {
+    let mut v = 0;
+    for r in rows {
+        if r.pos < k {
+            v = r.da_cum;
+        } else {
+            break;
+        }
+    }
+    v
+}
+
+/// `Σ Δβ` over moves with `pos ≥ k`.
+fn db_ge(rows: &[MoveRow], k: usize) -> i128 {
+    for r in rows {
+        if r.pos >= k {
+            return r.db_tail;
+        }
+    }
+    0
+}
+
+/// Score a candidate sequence described as the committed sequence plus a
+/// sorted list of changed positions, from cached state only.
+///
+/// `moves` must satisfy [`moves_structurally_valid`] and `old_job` must
+/// match the committed sequence at each position (debug-asserted; the GPU
+/// kernel enforces it with the fault sentinel instead). An empty move list
+/// returns the committed objective.
+///
+/// The arithmetic is internally `i128` and the result saturates into
+/// `i64`: corrupted cache values (GPU fault injection) produce a wrong but
+/// *finite* score, never UB or a panic, and downstream clamps restore the
+/// sentinel invariants.
+pub fn delta_objective<S: DeltaSource>(
+    src: &mut S,
+    moves: &[DeltaMove],
+    ws: &mut DeltaWorkspace,
+) -> Cost {
+    let n = src.n();
+    let d = src.d() as i128;
+    debug_assert!(moves_structurally_valid(n, moves), "invalid move list: {moves:?}");
+
+    // Pass 0: read each move's instance data once and build cumulative
+    // delta tables.
+    ws.rows.clear();
+    let mut dp = 0i128;
+    let mut da = 0i128;
+    // NOTE: no read-backed asserts here — on the simulated device every
+    // `src` access charges the cost model (and, under fault injection, can
+    // flip), so debug-only re-reads would skew modeled time between build
+    // profiles and panic on corrupted-but-clamped inputs. Consistency of
+    // `old_job` with the committed row is the caller's contract.
+    for mv in moves {
+        let (oj, nj) = (mv.old_job as usize, mv.new_job as usize);
+        dp += src.p(nj) as i128 - src.p(oj) as i128;
+        let alpha_old = src.alpha(oj) as i128;
+        let alpha_new = src.alpha(nj) as i128;
+        da += alpha_new - alpha_old;
+        ws.rows.push(MoveRow {
+            pos: mv.pos as usize,
+            new_job: mv.new_job,
+            c_pos: src.c(mv.pos as usize) as i128,
+            alpha_old,
+            alpha_new,
+            beta_old: src.beta(oj) as i128,
+            beta_new: src.beta(nj) as i128,
+            dp_cum: dp,
+            da_cum: da,
+            db_tail: 0,
+        });
+        src.tick(8);
+    }
+    let mut db = 0i128;
+    for r in ws.rows.iter_mut().rev() {
+        db += r.beta_new - r.beta_old;
+        r.db_tail = db;
+        src.tick(2);
+    }
+    let rows = &ws.rows[..];
+    // Multiset equality makes the total deltas vanish beyond the window
+    // (not asserted: fault-flipped device reads may break it, and the
+    // arithmetic below stays finite regardless).
+
+    // Pass 1: the candidate's due position τ' = #{k : c'(k) ≤ d}, where
+    // c'(k) = c(k) + Σ_{pos ≤ k} Δp is still strictly increasing.
+    let mut lo = 0usize;
+    let mut hi = n;
+    while lo < hi {
+        let mid = lo + (hi - lo) / 2;
+        if src.c(mid) as i128 + dp_le(rows, mid) <= d {
+            lo = mid + 1;
+        } else {
+            hi = mid;
+        }
+        src.tick(4);
+    }
+    let tau = lo;
+
+    // Pass 2: optimal shift — identical walk to `cdd_optimal_shift_raw`,
+    // reading the candidate's jobs (committed row with moved positions
+    // substituted) and the delta-corrected penalty-rate splits.
+    let mut shift = 0i128;
+    let mut r_pos = tau;
+    if tau > 0 {
+        let mut pe = src.a_pref(tau) as i128 + da_lt(rows, tau);
+        let mut pl = src.b_suff(tau) as i128 + db_ge(rows, tau);
+        src.tick(4);
+        if pl < pe {
+            let c_tau = src.c(tau - 1) as i128 + dp_le(rows, tau - 1);
+            shift = d - c_tau;
+            let mut t = tau;
+            while t >= 1 {
+                let k = t - 1;
+                let j = match rows.iter().find(|r| r.pos == k) {
+                    Some(r) => r.new_job as usize,
+                    None => src.seq(k) as usize,
+                };
+                let pe_next = pe - src.alpha(j) as i128;
+                let pl_next = pl + src.beta(j) as i128;
+                src.tick(6);
+                if pl_next < pe_next {
+                    shift += src.p(j) as i128;
+                    pe = pe_next;
+                    pl = pl_next;
+                    t -= 1;
+                } else {
+                    break;
+                }
+            }
+            r_pos = t;
+        }
+    }
+
+    // Pass 3: CDD objective from the weighted prefix/suffix tables. Split
+    // point e = #{k : c'(k) + shift < d}; positions below are early
+    // (contribute α·(d − s − c')), the rest tardy (β·(c' + s − d)).
+    let mut lo = 0usize;
+    let mut hi = n;
+    while lo < hi {
+        let mid = lo + (hi - lo) / 2;
+        if src.c(mid) as i128 + dp_le(rows, mid) + shift < d {
+            lo = mid + 1;
+        } else {
+            hi = mid;
+        }
+        src.tick(4);
+    }
+    let e = lo;
+
+    let a_e = src.a_pref(e) as i128 + da_lt(rows, e);
+    let b_e = src.b_suff(e) as i128 + db_ge(rows, e);
+    let mut wa_e = src.wa_pref(e) as i128;
+    let mut wb_e = src.wb_suff(e) as i128;
+    src.tick(8);
+    // Changed positions: replace the committed α·c / β·c terms exactly.
+    for r in rows {
+        let c_new = r.c_pos + r.dp_cum;
+        if r.pos < e {
+            wa_e += r.alpha_new * c_new - r.alpha_old * r.c_pos;
+        } else {
+            wb_e += r.beta_new * c_new - r.beta_old * r.c_pos;
+        }
+        src.tick(6);
+    }
+    // Unchanged positions inside the window: their completion shifted by a
+    // per-segment constant Δp, so the correction is Δp · (Σ rates) over
+    // each inter-move segment, clipped at the early/tardy split.
+    for (i, r) in rows.iter().enumerate() {
+        if r.dp_cum == 0 {
+            continue;
+        }
+        let seg_end = rows.get(i + 1).map_or(n, |nx| nx.pos);
+        let a = r.pos + 1;
+        // Early side: positions in [a, min(seg_end, e)).
+        let b = seg_end.min(e);
+        if a < b {
+            wa_e += r.dp_cum * (src.a_pref(b) as i128 - src.a_pref(a) as i128);
+        }
+        // Tardy side: positions in [max(a, e), seg_end).
+        let a2 = a.max(e);
+        if a2 < seg_end {
+            wb_e += r.dp_cum * (src.b_suff(a2) as i128 - src.b_suff(seg_end) as i128);
+        }
+        src.tick(8);
+    }
+    let mut obj = (d - shift) * a_e - wa_e + wb_e + (shift - d) * b_e;
+    src.tick(6);
+
+    // Pass 4 (UCDDCP): subtract the compression gains. Outside the move
+    // window [q₀, q_m] both the job identities and the running α/β sums are
+    // untouched, so the cached gain tables cover everything except an
+    // explicit O(window) sweep between the first and last changed position.
+    if src.kind() == ProblemKind::Ucddcp {
+        let (gain_t, gain_e) = if rows.is_empty() {
+            (src.gt_suff(r_pos) as i128, src.ge_pref(r_pos) as i128)
+        } else {
+            let q0 = rows[0].pos;
+            let qm = rows[rows.len() - 1].pos;
+            // Tardy-side gains over k ≥ r_pos.
+            let mut gt = src.gt_suff(r_pos.max(qm + 1)) as i128;
+            if r_pos < q0 {
+                gt += src.gt_suff(r_pos) as i128 - src.gt_suff(q0) as i128;
+            }
+            let start = r_pos.max(q0);
+            let mut ri = 0usize;
+            while ri < rows.len() && rows[ri].pos < start {
+                ri += 1;
+            }
+            for k in start..=qm {
+                while ri < rows.len() && rows[ri].pos < k {
+                    ri += 1;
+                }
+                let j = if ri < rows.len() && rows[ri].pos == k {
+                    rows[ri].new_job as usize
+                } else {
+                    src.seq(k) as usize
+                };
+                let dbk = if ri < rows.len() { rows[ri].db_tail } else { 0 };
+                let x = src.slack(j) as i128;
+                let over = src.b_suff(k) as i128 + dbk - src.gamma(j) as i128;
+                if x > 0 && over > 0 {
+                    gt += x * over;
+                }
+                src.tick(8);
+            }
+            // Early-side gains over k < r_pos.
+            let mut ge = src.ge_pref(r_pos.min(q0)) as i128;
+            if r_pos > qm + 1 {
+                ge += src.ge_pref(r_pos) as i128 - src.ge_pref(qm + 1) as i128;
+            }
+            let end = r_pos.min(qm + 1);
+            let mut ri = 0usize;
+            let mut dak = 0i128;
+            for k in q0..end {
+                while ri < rows.len() && rows[ri].pos < k {
+                    dak = rows[ri].da_cum;
+                    ri += 1;
+                }
+                let j = if ri < rows.len() && rows[ri].pos == k {
+                    rows[ri].new_job as usize
+                } else {
+                    src.seq(k) as usize
+                };
+                let x = src.slack(j) as i128;
+                let over = src.a_pref(k) as i128 + dak - src.gamma(j) as i128;
+                if x > 0 && over > 0 {
+                    ge += x * over;
+                }
+                src.tick(8);
+            }
+            (gt, ge)
+        };
+        obj -= gain_t + gain_e;
+        src.tick(2);
+    }
+
+    obj.clamp(i64::MIN as i128, i64::MAX as i128) as Cost
+}
+
+/// Slice-backed [`DeltaSource`] over host arrays — the host half of the
+/// shared scoring core.
+pub struct SliceDeltaSource<'a> {
+    /// Problem kind.
+    pub kind: ProblemKind,
+    /// Common due date.
+    pub d: Time,
+    /// Per-job arrays (processing, min processing, rates).
+    pub p: &'a [Time],
+    /// Minimum processing times (UCDDCP; same as `p` for CDD).
+    pub m: &'a [Time],
+    /// Earliness rates.
+    pub alpha: &'a [Time],
+    /// Tardiness rates.
+    pub beta: &'a [Time],
+    /// Compression rates.
+    pub gamma: &'a [Time],
+    /// Committed sequence.
+    pub seq: &'a [u32],
+    /// Cached prefix/suffix state for `seq`.
+    pub state: &'a DeltaState,
+}
+
+impl DeltaSource for SliceDeltaSource<'_> {
+    fn n(&self) -> usize {
+        self.p.len()
+    }
+    fn d(&self) -> Time {
+        self.d
+    }
+    fn kind(&self) -> ProblemKind {
+        self.kind
+    }
+    fn p(&mut self, job: usize) -> Time {
+        self.p[job]
+    }
+    fn alpha(&mut self, job: usize) -> Time {
+        self.alpha[job]
+    }
+    fn beta(&mut self, job: usize) -> Time {
+        self.beta[job]
+    }
+    fn gamma(&mut self, job: usize) -> Time {
+        self.gamma[job]
+    }
+    fn slack(&mut self, job: usize) -> Time {
+        self.p[job] - self.m[job]
+    }
+    fn seq(&mut self, k: usize) -> u32 {
+        self.seq[k]
+    }
+    fn c(&mut self, k: usize) -> Time {
+        self.state.c[k]
+    }
+    fn a_pref(&mut self, k: usize) -> Time {
+        self.state.a_pref[k]
+    }
+    fn b_suff(&mut self, k: usize) -> Time {
+        self.state.b_suff[k]
+    }
+    fn wa_pref(&mut self, k: usize) -> Time {
+        self.state.wa_pref[k]
+    }
+    fn wb_suff(&mut self, k: usize) -> Time {
+        self.state.wb_suff[k]
+    }
+    fn gt_suff(&mut self, k: usize) -> Time {
+        self.state.gt_suff[k]
+    }
+    fn ge_pref(&mut self, k: usize) -> Time {
+        self.state.ge_pref[k]
+    }
+}
+
+/// Host-side incremental evaluator: a committed sequence plus its cached
+/// [`DeltaState`], scoring candidate moves without re-walking the sequence.
+///
+/// `commit` is the O(n) rebuild; scoring is O(m log n) (CDD) /
+/// O(window) (UCDDCP). Every `resync_every`-th commit additionally
+/// verifies the freshly built cache by re-evaluating the committed
+/// sequence through the full optimizer (`debug_assert`), mirroring the
+/// GPU pipelines' forced-rebuild generations.
+pub struct DeltaEvaluator {
+    kind: ProblemKind,
+    d: Time,
+    p: Vec<Time>,
+    m: Vec<Time>,
+    alpha: Vec<Time>,
+    beta: Vec<Time>,
+    gamma: Vec<Time>,
+    seq: Vec<u32>,
+    state: DeltaState,
+    ws: DeltaWorkspace,
+    moves: Vec<DeltaMove>,
+    resync_every: u64,
+    commits: u64,
+    resyncs: u64,
+}
+
+impl DeltaEvaluator {
+    /// Build an evaluator committed to `seq`. `resync_every == 0` disables
+    /// the periodic verification.
+    pub fn new(inst: &Instance, seq: &[u32], resync_every: u64) -> Self {
+        let (p, m, alpha, beta, gamma) = inst.to_arrays();
+        let mut ev = DeltaEvaluator {
+            kind: inst.kind(),
+            d: inst.due_date(),
+            p,
+            m,
+            alpha,
+            beta,
+            gamma,
+            seq: seq.to_vec(),
+            state: DeltaState::default(),
+            ws: DeltaWorkspace::default(),
+            moves: Vec::new(),
+            resync_every,
+            commits: 0,
+            resyncs: 0,
+        };
+        ev.rebuild();
+        ev
+    }
+
+    fn rebuild(&mut self) {
+        self.state.rebuild(
+            self.kind,
+            &self.p,
+            &self.m,
+            &self.alpha,
+            &self.beta,
+            &self.gamma,
+            &self.seq,
+        );
+    }
+
+    /// The committed sequence.
+    #[must_use]
+    pub fn committed(&self) -> &[u32] {
+        &self.seq
+    }
+
+    /// Number of forced re-sync verifications performed so far.
+    #[must_use]
+    pub fn resyncs(&self) -> u64 {
+        self.resyncs
+    }
+
+    /// Score an explicit (sorted, structurally valid) move list.
+    pub fn score_moves(&mut self, moves: &[DeltaMove]) -> Cost {
+        let mut src = SliceDeltaSource {
+            kind: self.kind,
+            d: self.d,
+            p: &self.p,
+            m: &self.m,
+            alpha: &self.alpha,
+            beta: &self.beta,
+            gamma: &self.gamma,
+            seq: &self.seq,
+            state: &self.state,
+        };
+        delta_objective(&mut src, moves, &mut self.ws)
+    }
+
+    /// The committed sequence's own objective (empty move list).
+    pub fn committed_objective(&mut self) -> Cost {
+        self.score_moves(&[])
+    }
+
+    /// Score a full candidate sequence by diffing it against the committed
+    /// one. The candidate must be a permutation of the same job set.
+    pub fn score_sequence(&mut self, candidate: &[u32]) -> Cost {
+        assert_eq!(candidate.len(), self.seq.len(), "candidate length mismatch");
+        self.moves.clear();
+        for (k, (&old, &new)) in self.seq.iter().zip(candidate).enumerate() {
+            if old != new {
+                self.moves.push(DeltaMove { pos: k as u32, old_job: old, new_job: new });
+            }
+        }
+        let moves = std::mem::take(&mut self.moves);
+        let cost = self.score_moves(&moves);
+        self.moves = moves;
+        cost
+    }
+
+    /// Score swapping the jobs at positions `i` and `j` of the committed
+    /// sequence.
+    pub fn score_swap(&mut self, i: usize, j: usize) -> Cost {
+        if i == j {
+            return self.committed_objective();
+        }
+        let (lo, hi) = if i < j { (i, j) } else { (j, i) };
+        let moves = [
+            DeltaMove { pos: lo as u32, old_job: self.seq[lo], new_job: self.seq[hi] },
+            DeltaMove { pos: hi as u32, old_job: self.seq[hi], new_job: self.seq[lo] },
+        ];
+        self.score_moves(&moves)
+    }
+
+    /// Adopt `candidate` as the new committed sequence (O(n) rebuild).
+    /// Every `resync_every`-th commit verifies the cache against the full
+    /// optimizer in debug builds.
+    pub fn commit(&mut self, candidate: &[u32]) {
+        assert_eq!(candidate.len(), self.seq.len(), "candidate length mismatch");
+        self.seq.clear();
+        self.seq.extend_from_slice(candidate);
+        self.rebuild();
+        self.commits += 1;
+        if self.resync_every > 0 && self.commits.is_multiple_of(self.resync_every) {
+            self.resyncs += 1;
+            debug_assert_eq!(
+                self.committed_objective(),
+                match self.kind {
+                    ProblemKind::Cdd => crate::cdd_optimal::cdd_objective_raw(
+                        &self.p, &self.alpha, &self.beta, self.d, &self.seq,
+                    ),
+                    ProblemKind::Ucddcp => crate::ucddcp_optimal::ucddcp_objective_raw(
+                        &self.p, &self.m, &self.alpha, &self.beta, &self.gamma, self.d, &self.seq,
+                    ),
+                },
+                "delta cache diverged from the full optimizer at a re-sync boundary"
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eval::evaluator_for;
+    use crate::Instance;
+
+    #[test]
+    fn committed_objective_matches_full_evaluator_on_paper_examples() {
+        for inst in [Instance::paper_example_cdd(), Instance::paper_example_ucddcp()] {
+            let seq: Vec<u32> = (0..5).collect();
+            let mut ev = DeltaEvaluator::new(&inst, &seq, 0);
+            let full = evaluator_for(&inst);
+            assert_eq!(ev.committed_objective(), full.evaluate(&seq));
+        }
+    }
+
+    #[test]
+    fn paper_cdd_identity_scores_81() {
+        let inst = Instance::paper_example_cdd();
+        let seq: Vec<u32> = (0..5).collect();
+        let mut ev = DeltaEvaluator::new(&inst, &seq, 0);
+        assert_eq!(ev.committed_objective(), 81);
+    }
+
+    #[test]
+    fn all_swaps_match_full_evaluation_on_paper_examples() {
+        for inst in [Instance::paper_example_cdd(), Instance::paper_example_ucddcp()] {
+            let seq: Vec<u32> = (0..5).collect();
+            let mut ev = DeltaEvaluator::new(&inst, &seq, 0);
+            let full = evaluator_for(&inst);
+            for i in 0..5 {
+                for j in 0..5 {
+                    let mut cand = seq.clone();
+                    cand.swap(i, j);
+                    assert_eq!(
+                        ev.score_swap(i, j),
+                        full.evaluate(&cand),
+                        "swap ({i},{j}) on {:?}",
+                        inst.kind()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn commit_then_score_tracks_the_new_sequence() {
+        let inst = Instance::paper_example_ucddcp();
+        let seq: Vec<u32> = (0..5).collect();
+        let mut ev = DeltaEvaluator::new(&inst, &seq, 2);
+        let full = evaluator_for(&inst);
+        let cand = vec![3u32, 1, 4, 0, 2];
+        assert_eq!(ev.score_sequence(&cand), full.evaluate(&cand));
+        ev.commit(&cand);
+        assert_eq!(ev.committed_objective(), full.evaluate(&cand));
+        ev.commit(&seq); // second commit crosses the resync boundary
+        assert_eq!(ev.resyncs(), 1);
+        assert_eq!(ev.committed_objective(), full.evaluate(&seq));
+    }
+
+    #[test]
+    fn structural_validation_rejects_malformed_move_lists() {
+        // Out-of-range position.
+        assert!(!moves_structurally_valid(
+            5,
+            &[DeltaMove { pos: 5, old_job: 0, new_job: 1 }]
+        ));
+        // Not a change.
+        assert!(!moves_structurally_valid(
+            5,
+            &[DeltaMove { pos: 0, old_job: 2, new_job: 2 }]
+        ));
+        // Unsorted.
+        assert!(!moves_structurally_valid(
+            5,
+            &[
+                DeltaMove { pos: 3, old_job: 0, new_job: 1 },
+                DeltaMove { pos: 1, old_job: 1, new_job: 0 },
+            ]
+        ));
+        // Not a multiset permutation (job 4 appears from nowhere).
+        assert!(!moves_structurally_valid(
+            5,
+            &[
+                DeltaMove { pos: 0, old_job: 0, new_job: 4 },
+                DeltaMove { pos: 1, old_job: 1, new_job: 0 },
+            ]
+        ));
+        // A genuine 3-cycle is fine.
+        assert!(moves_structurally_valid(
+            5,
+            &[
+                DeltaMove { pos: 0, old_job: 0, new_job: 1 },
+                DeltaMove { pos: 1, old_job: 1, new_job: 2 },
+                DeltaMove { pos: 2, old_job: 2, new_job: 0 },
+            ]
+        ));
+    }
+}

@@ -1,0 +1,202 @@
+//! Property-based equivalence of the incremental [`DeltaEvaluator`] against
+//! the full O(n) fixed-sequence optimizers, over random swap/insert move
+//! streams on both problem kinds — including commits across re-sync
+//! boundaries and fault-corrupted inputs (which must be rejected or scored
+//! without panicking, never silently trusted).
+
+use cdd_core::delta::{
+    delta_objective, moves_structurally_valid, DeltaEvaluator, DeltaMove, DeltaState,
+    DeltaWorkspace, SliceDeltaSource,
+};
+use cdd_core::eval::evaluator_for;
+use cdd_core::{Instance, Time};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Strategy: a random CDD instance with n jobs, due date from restrictive
+/// to unrestricted.
+fn cdd_instance(max_n: usize) -> impl Strategy<Value = Instance> {
+    (2..=max_n).prop_flat_map(|n| {
+        (
+            prop::collection::vec(1..=20i64, n),
+            prop::collection::vec(0..=10i64, n),
+            prop::collection::vec(0..=15i64, n),
+            0.0..1.4f64,
+        )
+            .prop_map(|(p, a, b, h)| {
+                let d = (p.iter().sum::<Time>() as f64 * h) as Time;
+                Instance::cdd_from_arrays(&p, &a, &b, d).expect("valid by construction")
+            })
+    })
+}
+
+/// Strategy: a random unrestricted UCDDCP instance.
+fn ucddcp_instance(max_n: usize) -> impl Strategy<Value = Instance> {
+    (2..=max_n).prop_flat_map(|n| {
+        (
+            prop::collection::vec((1..=20i64, 0..=10i64, 0..=15i64, 0..=10i64), n),
+            0.0..0.6f64,
+        )
+            .prop_map(|(rows, slack)| {
+                let p: Vec<Time> = rows.iter().map(|r| r.0).collect();
+                let m: Vec<Time> = rows.iter().map(|r| 1 + (r.3 % r.0)).collect();
+                let a: Vec<Time> = rows.iter().map(|r| r.1).collect();
+                let b: Vec<Time> = rows.iter().map(|r| r.2).collect();
+                let g: Vec<Time> = rows.iter().map(|r| r.3).collect();
+                let total: Time = p.iter().sum();
+                let d = total + (total as f64 * slack) as Time;
+                Instance::ucddcp_from_arrays(&p, &m, &a, &b, &g, d)
+                    .expect("valid by construction")
+            })
+    })
+}
+
+/// Drive a random stream of swap and insert moves against one instance:
+/// every candidate is scored by the delta evaluator and must match the full
+/// evaluator exactly; accepted candidates are committed (with a small
+/// `resync_every` so the stream crosses several re-sync boundaries).
+fn check_move_stream(inst: &Instance, seed: u64, steps: usize) {
+    let n = inst.n();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut seq: Vec<u32> = (0..n as u32).collect();
+    for i in (1..n).rev() {
+        seq.swap(i, rng.gen_range(0..=i));
+    }
+    let mut ev = DeltaEvaluator::new(inst, &seq, 3);
+    let full = evaluator_for(inst);
+    assert_eq!(ev.committed_objective(), full.evaluate(&seq));
+    for step in 0..steps {
+        let mut cand = seq.clone();
+        if rng.gen_bool(0.5) {
+            // Swap move.
+            let i = rng.gen_range(0..n);
+            let j = rng.gen_range(0..n);
+            cand.swap(i, j);
+        } else {
+            // Insert move: remove at i, re-insert at j (rotates the window).
+            let i = rng.gen_range(0..n);
+            let j = rng.gen_range(0..n);
+            let job = cand.remove(i);
+            cand.insert(j, job);
+        }
+        let delta_score = ev.score_sequence(&cand);
+        let full_score = full.evaluate(&cand);
+        assert_eq!(
+            delta_score,
+            full_score,
+            "step {step}: delta disagrees with full eval on {:?} (n={n})",
+            inst.kind()
+        );
+        if delta_score <= full.evaluate(&seq) {
+            seq = cand;
+            ev.commit(&seq);
+            assert_eq!(ev.committed_objective(), full.evaluate(&seq));
+        }
+    }
+    assert!(steps < 9 || ev.resyncs() > 0 || steps == 0 || n < 2);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(80))]
+
+    #[test]
+    fn cdd_delta_matches_full_eval_over_move_streams(
+        inst in cdd_instance(24),
+        seed in any::<u64>(),
+    ) {
+        check_move_stream(&inst, seed, 40);
+    }
+
+    #[test]
+    fn ucddcp_delta_matches_full_eval_over_move_streams(
+        inst in ucddcp_instance(24),
+        seed in any::<u64>(),
+    ) {
+        check_move_stream(&inst, seed, 40);
+    }
+
+    /// Structurally corrupted move lists — out-of-range positions/jobs,
+    /// non-permutation job substitutions — are always detected.
+    #[test]
+    fn corrupted_move_lists_are_rejected(
+        n in 2usize..16,
+        raw in prop::collection::vec((any::<u32>(), any::<u32>(), any::<u32>()), 1..6),
+    ) {
+        let moves: Vec<DeltaMove> = raw
+            .iter()
+            .map(|&(p, o, nj)| DeltaMove { pos: p % 32, old_job: o % 32, new_job: nj % 32 })
+            .collect();
+        let in_range = moves.iter().all(|m| {
+            (m.pos as usize) < n && (m.old_job as usize) < n && (m.new_job as usize) < n
+        });
+        let sorted_changes = moves.windows(2).all(|w| w[0].pos < w[1].pos)
+            && moves.iter().all(|m| m.old_job != m.new_job);
+        let mut old: Vec<u32> = moves.iter().map(|m| m.old_job).collect();
+        let mut new: Vec<u32> = moves.iter().map(|m| m.new_job).collect();
+        old.sort_unstable();
+        new.sort_unstable();
+        prop_assert_eq!(
+            moves_structurally_valid(n, &moves),
+            in_range && sorted_changes && old == new,
+        );
+    }
+
+    /// Bit-flipped cache state (the GPU fault-injection case) must never
+    /// panic or overflow — the score is garbage but finite, and downstream
+    /// clamps restore the sentinel invariants.
+    #[test]
+    fn corrupted_cache_state_never_panics(
+        inst in ucddcp_instance(12),
+        seed in any::<u64>(),
+        flips in prop::collection::vec((0usize..7, any::<usize>(), any::<u64>()), 1..8),
+    ) {
+        let n = inst.n();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut seq: Vec<u32> = (0..n as u32).collect();
+        for i in (1..n).rev() {
+            seq.swap(i, rng.gen_range(0..=i));
+        }
+        let (p, m, alpha, beta, gamma) = inst.to_arrays();
+        let mut state = DeltaState::default();
+        state.rebuild(inst.kind(), &p, &m, &alpha, &beta, &gamma, &seq);
+        for &(table, idx, bits) in &flips {
+            let t = match table {
+                0 => &mut state.c,
+                1 => &mut state.a_pref,
+                2 => &mut state.b_suff,
+                3 => &mut state.wa_pref,
+                4 => &mut state.wb_suff,
+                5 => &mut state.gt_suff,
+                _ => &mut state.ge_pref,
+            };
+            let slot = idx % t.len();
+            t[slot] = (t[slot] as u64 ^ bits) as i64;
+        }
+        let i = rng.gen_range(0..n);
+        let j = rng.gen_range(0..n);
+        let mut cand = seq.clone();
+        cand.swap(i, j);
+        let moves: Vec<DeltaMove> = seq
+            .iter()
+            .zip(&cand)
+            .enumerate()
+            .filter(|(_, (o, c))| o != c)
+            .map(|(k, (&o, &c))| DeltaMove { pos: k as u32, old_job: o, new_job: c })
+            .collect();
+        let mut src = SliceDeltaSource {
+            kind: inst.kind(),
+            d: inst.due_date(),
+            p: &p,
+            m: &m,
+            alpha: &alpha,
+            beta: &beta,
+            gamma: &gamma,
+            seq: &seq,
+            state: &state,
+        };
+        let mut ws = DeltaWorkspace::default();
+        // Must terminate and produce *some* i64 — no panic, no overflow.
+        let _ = delta_objective(&mut src, &moves, &mut ws);
+    }
+}

@@ -1,0 +1,643 @@
+//! Incremental (delta) fitness kernel — the device half of
+//! `cdd_core::delta`.
+//!
+//! Replaces the full O(n) fitness kernel for *candidate* scoring in the SA
+//! pipelines: each thread keeps the prefix/suffix cache of its committed
+//! sequence resident in global memory and scores the perturbation's changed
+//! positions against it (`O(pert·log n)` for CDD, `O(window)` for UCDDCP)
+//! instead of re-walking the whole sequence.
+//!
+//! Cache maintenance is **lazy**. Acceptance marks the thread's sticky
+//! dirty flag; a dirty thread scores its candidate directly from a gathered
+//! row (no cache traffic), and the O(n) rebuild + writeback runs only at
+//! the re-sync cadence. A warp pays the lane-max under lockstep SIMT, so
+//! rebuilding eagerly on every accepted lane would stall whole warps every
+//! generation. The kernel also stages the processing times (and, for
+//! UCDDCP, the compression bounds) in shared memory alongside the rates, so
+//! even the dirty path's direct evaluation beats the full kernel: it pays
+//! one gathered row of global traffic where the full kernel pays the row
+//! *plus* the processing times. Delta scoring from the resident cache —
+//! what clean warps run — is cheaper still.
+//!
+//! Fault story: structurally corrupted move lists and out-of-range move
+//! data score the `CORRUPT_ENERGY` sentinel exactly like the full kernel's
+//! input validation; bit flips on cache reads produce garbage-but-finite
+//! scores (the shared scoring core is overflow-proof) clamped into
+//! `[0, CORRUPT_ENERGY]`, and the re-sync cadence plus the dirty-flag
+//! rebuild self-heal the cache. Clean runs skip all validation, so the
+//! *outcome set* is bit-identical to the full-evaluation path (the modeled
+//! time is what changes — that is the point).
+
+use crate::kernels::fitness::{CORRUPT_ENERGY, VALUE_CAP};
+use crate::layout::ProblemDevice;
+use cdd_core::cdd_optimal::cdd_objective_raw;
+use cdd_core::delta::{
+    delta_objective, moves_structurally_valid, DeltaMove, DeltaSource, DeltaState, DeltaWorkspace,
+};
+use cdd_core::ucddcp_optimal::ucddcp_objective_raw;
+use cdd_core::ProblemKind;
+use cuda_sim::{Buf, Gpu, Kernel, ScratchArena, ThreadCtx};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Device-resident per-thread delta cache: row-major slabs, one row per
+/// chain. `c` rows have length `n`; the six sum tables have `n + 1` (the
+/// empty prefix/suffix is addressable). Living in (simulated) global memory
+/// keeps the cache inside the fault-injection and race-detection domain.
+#[derive(Debug, Clone, Copy)]
+pub struct DeltaCacheBufs {
+    /// Packed completion times (`ensemble × n`).
+    pub c: Buf<i64>,
+    /// Prefix α sums (`ensemble × (n+1)`).
+    pub a_pref: Buf<i64>,
+    /// Suffix β sums (`ensemble × (n+1)`).
+    pub b_suff: Buf<i64>,
+    /// Weighted prefix α·C sums (`ensemble × (n+1)`).
+    pub wa_pref: Buf<i64>,
+    /// Weighted suffix β·C sums (`ensemble × (n+1)`).
+    pub wb_suff: Buf<i64>,
+    /// Tardy-side compression-gain suffix sums (`ensemble × (n+1)`).
+    pub gt_suff: Buf<i64>,
+    /// Early-side compression-gain prefix sums (`ensemble × (n+1)`).
+    pub ge_pref: Buf<i64>,
+}
+
+impl DeltaCacheBufs {
+    /// Allocate the cache slabs for `ensemble` chains of `n` jobs.
+    pub fn alloc(gpu: &mut Gpu, ensemble: usize, n: usize) -> Self {
+        DeltaCacheBufs {
+            c: gpu.alloc::<i64>(ensemble * n),
+            a_pref: gpu.alloc::<i64>(ensemble * (n + 1)),
+            b_suff: gpu.alloc::<i64>(ensemble * (n + 1)),
+            wa_pref: gpu.alloc::<i64>(ensemble * (n + 1)),
+            wb_suff: gpu.alloc::<i64>(ensemble * (n + 1)),
+            gt_suff: gpu.alloc::<i64>(ensemble * (n + 1)),
+            ge_pref: gpu.alloc::<i64>(ensemble * (n + 1)),
+        }
+    }
+}
+
+/// Problem arrays staged in (simulated) shared memory, one slot per block.
+/// The full fitness kernel stages only the penalty rates (the paper's
+/// design); the delta kernel additionally stages the processing times — and,
+/// for UCDDCP, the compression bounds — because it touches them sparsely by
+/// job id, where per-access global transactions would dominate. The whole
+/// footprint is `3n·8` bytes for CDD and `5n·8` for UCDDCP, still far under
+/// the 48 KiB shared-memory budget for any realistic `n`.
+#[derive(Default)]
+struct StagedDeltaRates {
+    p: Vec<i64>,
+    m: Vec<i64>,
+    alpha: Vec<i64>,
+    beta: Vec<i64>,
+    gamma: Vec<i64>,
+}
+
+/// Per-thread local memory for the delta kernel.
+#[derive(Default)]
+struct DeltaScratch {
+    moves: Vec<DeltaMove>,
+    ws: DeltaWorkspace,
+    row: Vec<u32>,
+    state: DeltaState,
+    marks: Vec<bool>,
+}
+
+/// [`DeltaSource`] over the device buffers: cache-table and sequence
+/// accesses are charged global reads; processing-time, compression-bound,
+/// and penalty-rate accesses come from the block's staged shared copy (a
+/// charged shared access); every pure-arithmetic tick is a charged ALU op.
+/// The modeled cost of delta scoring is therefore exactly its memory/ALU
+/// footprint.
+struct GpuDeltaSource<'a, 'b, 'c> {
+    ctx: &'a mut ThreadCtx<'c>,
+    prob: &'b ProblemDevice,
+    cache: &'b DeltaCacheBufs,
+    rates: &'b StagedDeltaRates,
+    seqs: Buf<u32>,
+    gid: usize,
+    /// Fault injection active: job ids read back from the (corruptible)
+    /// committed row are clamped into range before they become indices.
+    fault: bool,
+}
+
+impl GpuDeltaSource<'_, '_, '_> {
+    #[inline]
+    fn table(&mut self, buf: Buf<i64>, k: usize) -> i64 {
+        let w = self.prob.n + 1;
+        self.ctx.read(buf, self.gid * w + k)
+    }
+
+    /// A job id sourced from a device read can be a flipped bit pattern
+    /// under fault injection; clamping keeps it a valid (garbage) index, and
+    /// the final `[0, CORRUPT_ENERGY]` clamp bounds the resulting score.
+    #[inline]
+    fn job(&self, job: usize) -> usize {
+        if self.fault { job.min(self.prob.n - 1) } else { job }
+    }
+}
+
+impl DeltaSource for GpuDeltaSource<'_, '_, '_> {
+    fn n(&self) -> usize {
+        self.prob.n
+    }
+    fn d(&self) -> i64 {
+        self.prob.d
+    }
+    fn kind(&self) -> ProblemKind {
+        self.prob.kind
+    }
+    fn p(&mut self, job: usize) -> i64 {
+        let j = self.job(job);
+        self.ctx.charge_shared(1);
+        self.rates.p[j]
+    }
+    fn alpha(&mut self, job: usize) -> i64 {
+        let j = self.job(job);
+        self.ctx.charge_shared(1);
+        self.rates.alpha[j]
+    }
+    fn beta(&mut self, job: usize) -> i64 {
+        let j = self.job(job);
+        self.ctx.charge_shared(1);
+        self.rates.beta[j]
+    }
+    fn gamma(&mut self, job: usize) -> i64 {
+        let j = self.job(job);
+        self.ctx.charge_shared(1);
+        self.rates.gamma[j]
+    }
+    fn slack(&mut self, job: usize) -> i64 {
+        let j = self.job(job);
+        self.ctx.charge_shared(2);
+        self.rates.p[j] - self.rates.m[j]
+    }
+    fn seq(&mut self, k: usize) -> u32 {
+        self.ctx.read(self.seqs, self.gid * self.prob.n + k)
+    }
+    fn c(&mut self, k: usize) -> i64 {
+        self.ctx.read(self.cache.c, self.gid * self.prob.n + k)
+    }
+    fn a_pref(&mut self, k: usize) -> i64 {
+        self.table(self.cache.a_pref, k)
+    }
+    fn b_suff(&mut self, k: usize) -> i64 {
+        self.table(self.cache.b_suff, k)
+    }
+    fn wa_pref(&mut self, k: usize) -> i64 {
+        self.table(self.cache.wa_pref, k)
+    }
+    fn wb_suff(&mut self, k: usize) -> i64 {
+        self.table(self.cache.wb_suff, k)
+    }
+    fn gt_suff(&mut self, k: usize) -> i64 {
+        self.table(self.cache.gt_suff, k)
+    }
+    fn ge_pref(&mut self, k: usize) -> i64 {
+        self.table(self.cache.ge_pref, k)
+    }
+    fn tick(&mut self, alu: u64) {
+        self.ctx.charge_alu(alu);
+    }
+}
+
+/// Scores each thread's candidate against its committed sequence — from the
+/// resident delta cache when the cache is still valid, directly from a
+/// gathered row (full-kernel charges) when the acceptance/broadcast kernels
+/// marked the row changed. Stale caches are rebuilt at the re-sync cadence.
+pub struct DeltaFitnessKernel {
+    /// Uploaded problem data.
+    pub prob: ProblemDevice,
+    /// Committed sequences (row-major).
+    pub current: Buf<u32>,
+    /// Candidate sequences from the perturbation kernel.
+    pub candidate: Buf<u32>,
+    /// Perturbed positions per thread (`ensemble × pert`), recorded by the
+    /// perturbation kernel — the move descriptor.
+    pub moves: Buf<u32>,
+    /// Per-thread sticky dirty flags (non-zero ⇒ the committed row diverged
+    /// from the cache; cleared when the cache is rebuilt).
+    pub flags: Buf<u32>,
+    /// Output candidate energies.
+    pub out: Buf<i64>,
+    /// The resident cache slabs.
+    pub cache: DeltaCacheBufs,
+    /// Live threads.
+    pub ensemble: usize,
+    /// Positions recorded per thread (the effective perturbation size).
+    pub pert: usize,
+    /// Re-sync cadence: generations `g` with `g % resync_every == 0` (plus
+    /// generation 0) rebuild stale caches — and, under fault injection,
+    /// every cache, bounding how long corrupted state survives. 0 limits
+    /// re-sync to generation 0.
+    pub resync_every: u64,
+    /// Current generation, set by the pipeline before each launch
+    /// ([`DeltaFitnessKernel::set_generation`]).
+    gen: AtomicU64,
+    /// Per-block staged shared memory, indexed by block id.
+    staged: ScratchArena<StagedDeltaRates>,
+    scratch: ScratchArena<DeltaScratch>,
+}
+
+impl DeltaFitnessKernel {
+    /// Build the kernel for launches of up to `blocks` blocks, scoring
+    /// `ensemble` live threads.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        prob: ProblemDevice,
+        current: Buf<u32>,
+        candidate: Buf<u32>,
+        moves: Buf<u32>,
+        flags: Buf<u32>,
+        out: Buf<i64>,
+        cache: DeltaCacheBufs,
+        ensemble: usize,
+        blocks: usize,
+        pert: usize,
+        resync_every: u64,
+    ) -> Self {
+        DeltaFitnessKernel {
+            prob,
+            current,
+            candidate,
+            moves,
+            flags,
+            out,
+            cache,
+            ensemble,
+            pert,
+            resync_every,
+            gen: AtomicU64::new(0),
+            staged: ScratchArena::new(blocks),
+            scratch: ScratchArena::new(ensemble),
+        }
+    }
+
+    /// Tell the kernel which generation the next launch scores (drives the
+    /// forced re-sync cadence). Retried launches of the same generation see
+    /// the same value.
+    pub fn set_generation(&self, gen: u64) {
+        self.gen.store(gen, Ordering::Relaxed);
+    }
+
+    /// Full-input validation for the rebuild path (fault injection only) —
+    /// the same checks as the full fitness kernel's `inputs_valid`, applied
+    /// to the gathered committed row and the staged problem arrays.
+    fn rebuild_inputs_valid(&self, s: &mut DeltaScratch, staged: &StagedDeltaRates) -> bool {
+        let n = self.prob.n;
+        s.marks.clear();
+        s.marks.resize(n, false);
+        for &j in &s.row {
+            let j = j as usize;
+            if j >= n || s.marks[j] {
+                return false;
+            }
+            s.marks[j] = true;
+        }
+        let rates_ok = |v: &[i64]| v.iter().all(|&x| (0..=VALUE_CAP).contains(&x));
+        if !staged.p.iter().all(|&x| (1..=VALUE_CAP).contains(&x))
+            || !rates_ok(&staged.alpha)
+            || !rates_ok(&staged.beta)
+        {
+            return false;
+        }
+        if self.prob.kind == ProblemKind::Ucddcp {
+            if !rates_ok(&staged.gamma)
+                || !staged.m.iter().zip(&staged.p).all(|(&m, &p)| (0..=p).contains(&m))
+            {
+                return false;
+            }
+            if staged.p.iter().sum::<i64>() > self.prob.d {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+impl Kernel for DeltaFitnessKernel {
+    type Shared = ();
+    type ThreadState = ();
+
+    fn name(&self) -> &str {
+        "delta_fitness"
+    }
+
+    fn make_shared(&self, _block_dim: usize) {}
+
+    fn shared_mem_bytes(&self, _block_dim: usize) -> usize {
+        let arrays = if self.prob.kind == ProblemKind::Ucddcp { 5 } else { 3 };
+        arrays * self.prob.n * std::mem::size_of::<i64>()
+    }
+
+    fn num_phases(&self) -> usize {
+        2
+    }
+
+    fn phase(&self, phase: usize, ctx: &mut ThreadCtx<'_>, _s: &mut (), _t: &mut ()) {
+        let n = self.prob.n;
+        if phase == 0 {
+            // Cooperative staging, same shape as the full fitness kernel's
+            // phase 0 but wider: rates *and* processing times (the delta
+            // path indexes p by job id, not sequentially, so a shared copy
+            // turns scattered global transactions into shared accesses).
+            if ctx.thread_idx == 0 {
+                self.staged.with_slot(ctx.block_idx, |shared| {
+                    shared.p.resize(n, 0);
+                    ctx.cooperative_read(self.prob.p, 0, &mut shared.p);
+                    shared.alpha.resize(n, 0);
+                    ctx.cooperative_read(self.prob.alpha, 0, &mut shared.alpha);
+                    shared.beta.resize(n, 0);
+                    ctx.cooperative_read(self.prob.beta, 0, &mut shared.beta);
+                    if self.prob.kind == ProblemKind::Ucddcp {
+                        shared.m.resize(n, 0);
+                        ctx.cooperative_read(self.prob.m, 0, &mut shared.m);
+                        shared.gamma.resize(n, 0);
+                        ctx.cooperative_read(self.prob.gamma, 0, &mut shared.gamma);
+                    }
+                });
+            }
+            let arrays = if self.prob.kind == ProblemKind::Ucddcp { 5 } else { 3 };
+            let share = n.div_ceil(ctx.block_dim) as u64;
+            ctx.charge_global(arrays * share);
+            ctx.charge_shared(arrays * share);
+            return;
+        }
+
+        // Phase 1: score (past the barrier, staged rates are visible).
+        let gid = ctx.global_id();
+        if gid >= self.ensemble {
+            return;
+        }
+        let gen = self.gen.load(Ordering::Relaxed);
+        let fault = ctx.fault_injection_active();
+        // The sticky dirty flag marks "committed row changed since the last
+        // cache rebuild". Rebuilding is *lazy*: a dirty thread scores its
+        // candidate directly (full-kernel charges) without touching the
+        // cache, and the rebuild + writeback happens only at the re-sync
+        // cadence — a warp pays the lane-max, so eagerly rebuilding on every
+        // accepted lane would stall whole warps every generation. Under
+        // fault injection re-sync generations rebuild unconditionally,
+        // healing corrupted cache state within `resync_every` generations.
+        let force = gen == 0 || (self.resync_every > 0 && gen.is_multiple_of(self.resync_every));
+        let dirty = ctx.read(self.flags, gid) != 0;
+        let rebuild = force && (dirty || fault);
+
+        self.staged.with_slot(ctx.block_idx, |shared| {
+        self.scratch.with_slot(gid, |s| {
+            // Gather the move descriptor: perturbed positions plus the jobs
+            // the committed row and the candidate hold there. Out-of-range
+            // positions (a flipped read) are caught *before* they become
+            // indices.
+            s.moves.clear();
+            let mut pos_invalid = false;
+            for i in 0..self.pert {
+                let pos = ctx.read(self.moves, gid * self.pert + i) as usize;
+                ctx.charge_alu(1);
+                if pos >= n {
+                    pos_invalid = true;
+                    continue;
+                }
+                let old_job = ctx.read(self.current, gid * n + pos);
+                let new_job = ctx.read(self.candidate, gid * n + pos);
+                if old_job != new_job {
+                    s.moves.push(DeltaMove { pos: pos as u32, old_job, new_job });
+                }
+            }
+            s.moves.sort_unstable_by_key(|mv| mv.pos);
+            ctx.charge_alu(4 * self.pert as u64); // sort + dedup pass
+
+            // Fault validation: a corrupted descriptor (or corrupted job
+            // reads) scores the sentinel, exactly like the full kernel's
+            // input validation. Clean runs skip this entirely.
+            if ctx.fault_injection_active() {
+                let mut valid = !pos_invalid && moves_structurally_valid(n, &s.moves);
+                if valid {
+                    // The per-move job data must be in the trusted range
+                    // (the full kernel checks the whole arrays; the delta
+                    // path only touches these). Jobs are in range here —
+                    // `moves_structurally_valid` just checked them.
+                    for mv in &s.moves {
+                        let j = mv.new_job as usize;
+                        ctx.charge_shared(3);
+                        let p = shared.p[j];
+                        let a = shared.alpha[j];
+                        let b = shared.beta[j];
+                        if !(1..=VALUE_CAP).contains(&p)
+                            || !(0..=VALUE_CAP).contains(&a)
+                            || !(0..=VALUE_CAP).contains(&b)
+                        {
+                            valid = false;
+                            break;
+                        }
+                    }
+                }
+                ctx.charge_alu(8 * self.pert as u64);
+                if !valid {
+                    ctx.write(self.out, gid, CORRUPT_ENERGY);
+                    return;
+                }
+            }
+
+            if dirty || rebuild {
+                // The cache row is (or may be) stale: gather the committed
+                // row from global memory. Everything else the direct
+                // evaluation needs is already staged in shared memory, so
+                // this path pays *half* the full kernel's global traffic
+                // (one row, not row + processing times).
+                s.row.resize(n, 0);
+                ctx.read_slice_into(self.current, gid * n, &mut s.row);
+                if fault && !self.rebuild_inputs_valid(s, shared) {
+                    ctx.charge_alu(4 * n as u64);
+                    ctx.write(self.out, gid, CORRUPT_ENERGY);
+                    return;
+                }
+
+                if rebuild {
+                    // Re-sync generation: rebuild the prefix/suffix tables
+                    // from the gathered row and the staged arrays, persist
+                    // them, and clear the sticky flag.
+                    let arrays: u64 = if self.prob.kind == ProblemKind::Ucddcp { 5 } else { 3 };
+                    ctx.charge_shared(arrays * n as u64);
+                    s.state.rebuild(
+                        self.prob.kind,
+                        &shared.p,
+                        if self.prob.kind == ProblemKind::Ucddcp { &shared.m } else { &shared.p },
+                        &shared.alpha,
+                        &shared.beta,
+                        &shared.gamma,
+                        &s.row,
+                    );
+                    ctx.charge_alu(8 * n as u64);
+                    ctx.write_slice(self.cache.c, gid * n, &s.state.c);
+                    let w = n + 1;
+                    ctx.write_slice(self.cache.a_pref, gid * w, &s.state.a_pref);
+                    ctx.write_slice(self.cache.b_suff, gid * w, &s.state.b_suff);
+                    ctx.write_slice(self.cache.wa_pref, gid * w, &s.state.wa_pref);
+                    ctx.write_slice(self.cache.wb_suff, gid * w, &s.state.wb_suff);
+                    if self.prob.kind == ProblemKind::Ucddcp {
+                        ctx.write_slice(self.cache.gt_suff, gid * w, &s.state.gt_suff);
+                        ctx.write_slice(self.cache.ge_pref, gid * w, &s.state.ge_pref);
+                    }
+                    ctx.write(self.flags, gid, 0);
+                }
+
+                // Score the candidate (the row with the moved positions
+                // substituted) directly: the row is in registers, the
+                // problem arrays are in shared memory. Delta scoring from
+                // the resident cache — the clean path below — is cheaper
+                // still.
+                for mv in &s.moves {
+                    s.row[mv.pos as usize] = mv.new_job;
+                }
+                ctx.charge_alu(s.moves.len() as u64);
+                let d = self.prob.d;
+                let objective = match self.prob.kind {
+                    ProblemKind::Cdd => {
+                        ctx.charge_shared(3 * n as u64);
+                        ctx.charge_alu(8 * n as u64);
+                        cdd_objective_raw(&shared.p, &shared.alpha, &shared.beta, d, &s.row)
+                    }
+                    ProblemKind::Ucddcp => {
+                        ctx.charge_shared(5 * n as u64);
+                        ctx.charge_alu(12 * n as u64);
+                        ucddcp_objective_raw(
+                            &shared.p,
+                            &shared.m,
+                            &shared.alpha,
+                            &shared.beta,
+                            &shared.gamma,
+                            d,
+                            &s.row,
+                        )
+                    }
+                };
+                let objective =
+                    if fault { objective.clamp(0, CORRUPT_ENERGY) } else { objective };
+                ctx.write(self.out, gid, objective);
+                return;
+            }
+
+            // Score the candidate from the (still valid) resident cache.
+            let mut src = GpuDeltaSource {
+                ctx: &mut *ctx,
+                prob: &self.prob,
+                cache: &self.cache,
+                rates: shared,
+                seqs: self.current,
+                gid,
+                fault,
+            };
+            let objective = delta_objective(&mut src, &s.moves, &mut s.ws);
+            let objective = if fault { objective.clamp(0, CORRUPT_ENERGY) } else { objective };
+            ctx.write(self.out, gid, objective);
+        });
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernels::FitnessKernel;
+    use cdd_core::eval::evaluator_for;
+    use cdd_core::{Instance, JobSequence};
+    use cuda_sim::{DeviceSpec, Gpu, LaunchConfig};
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    /// Drive the kernel directly: commit rows, perturb on the host (so the
+    /// moves are known), and compare against the full fitness kernel.
+    fn check_against_full(inst: &Instance, threads: usize, gens: usize) {
+        let n = inst.n();
+        let pert = 4.min(n);
+        let mut gpu = Gpu::new(DeviceSpec::gt560m());
+        gpu.set_race_detection(true);
+        let prob = ProblemDevice::upload(&mut gpu, inst).unwrap();
+        let mut rng = StdRng::seed_from_u64(9);
+
+        let mut rows: Vec<Vec<u32>> =
+            (0..threads).map(|_| JobSequence::random(n, &mut rng).as_slice().to_vec()).collect();
+        let current = gpu.alloc::<u32>(threads * n);
+        let candidate = gpu.alloc::<u32>(threads * n);
+        let moves = gpu.alloc::<u32>(threads * pert);
+        let flags = gpu.alloc::<u32>(threads);
+        gpu.h2d(flags, &vec![1u32; threads]);
+        let out = gpu.alloc::<i64>(threads);
+        let out_full = gpu.alloc::<i64>(threads);
+        let cache = DeltaCacheBufs::alloc(&mut gpu, threads, n);
+        let blocks = threads.div_ceil(32);
+        let kernel = DeltaFitnessKernel::new(
+            prob, current, candidate, moves, flags, out, cache, threads, blocks, pert, 16,
+        );
+        let full = FitnessKernel::new(prob, candidate, out_full, threads, blocks);
+        let eval = evaluator_for(inst);
+
+        for gen in 0..gens {
+            // Host-side perturbation: pick `pert` distinct positions, shuffle.
+            let mut cand_rows = rows.clone();
+            let mut mv_flat = Vec::new();
+            for row in cand_rows.iter_mut() {
+                let mut positions: Vec<u32> = Vec::new();
+                while positions.len() < pert {
+                    let c = rng.gen_range(0..n as u32);
+                    if !positions.contains(&c) {
+                        positions.push(c);
+                    }
+                }
+                for i in (1..pert).rev() {
+                    let j = rng.gen_range(0..=i);
+                    row.swap(positions[i] as usize, positions[j] as usize);
+                }
+                mv_flat.extend_from_slice(&positions);
+            }
+            let cur_flat: Vec<u32> = rows.iter().flatten().copied().collect();
+            let cand_flat: Vec<u32> = cand_rows.iter().flatten().copied().collect();
+            gpu.h2d(current, &cur_flat);
+            gpu.h2d(candidate, &cand_flat);
+            gpu.h2d(moves, &mv_flat);
+
+            kernel.set_generation(gen as u64);
+            gpu.launch(&kernel, LaunchConfig::cover(threads, 32), &[]).unwrap();
+            gpu.launch(&full, LaunchConfig::cover(threads, 32), &[]).unwrap();
+            let delta_e = gpu.d2h(out);
+            let full_e = gpu.d2h(out_full);
+            let mut accept_flags = vec![0u32; threads];
+            for t in 0..threads {
+                assert_eq!(delta_e[t], full_e[t], "gen {gen} thread {t}: delta != full kernel");
+                assert_eq!(
+                    delta_e[t],
+                    eval.evaluate(&cand_rows[t]),
+                    "gen {gen} thread {t}: delta != CPU oracle"
+                );
+                // Accept every other thread's candidate (exercises both the
+                // dirty-rebuild and the clean-cache path next generation).
+                if t % 2 == 0 {
+                    rows[t] = cand_rows[t].clone();
+                    accept_flags[t] = 1;
+                }
+            }
+            gpu.h2d(flags, &accept_flags);
+        }
+    }
+
+    #[test]
+    fn cdd_delta_kernel_matches_full_kernel_across_generations() {
+        check_against_full(&Instance::paper_example_cdd(), 16, 6);
+    }
+
+    #[test]
+    fn ucddcp_delta_kernel_matches_full_kernel_across_generations() {
+        check_against_full(&Instance::paper_example_ucddcp(), 16, 6);
+    }
+
+    #[test]
+    fn larger_instance_matches_and_is_cheaper_in_steady_state() {
+        let mut rng = StdRng::seed_from_u64(123);
+        let p: Vec<i64> = (0..40).map(|_| rng.gen_range(1..=20)).collect();
+        let a: Vec<i64> = (0..40).map(|_| rng.gen_range(1..=10)).collect();
+        let b: Vec<i64> = (0..40).map(|_| rng.gen_range(1..=15)).collect();
+        let d = (p.iter().sum::<i64>() as f64 * 0.6) as i64;
+        let inst = Instance::cdd_from_arrays(&p, &a, &b, d).unwrap();
+        check_against_full(&inst, 8, 5);
+    }
+}

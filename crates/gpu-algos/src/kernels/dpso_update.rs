@@ -69,6 +69,9 @@ impl DpsoUpdateKernel {
         c1: f64,
         c2: f64,
     ) -> Self {
+        // Job ids travel through u32 buffers and the u32 RNG bound below;
+        // checking once here makes every `n as u32` in the hot path exact.
+        assert!(u32::try_from(n).is_ok(), "sequence length {n} exceeds the u32 job-id domain");
         DpsoUpdateKernel {
             positions,
             pbest,
@@ -102,11 +105,14 @@ fn sanitize_row(row: &mut [u32], marks: &mut Vec<bool>) {
     marks.clear();
     marks.resize(n, false);
     let valid = row.iter().all(|&j| {
+        // u32 → usize widens; a flipped id is caught by the bounds check,
+        // never truncated into a valid-looking index.
         let j = j as usize;
         j < n && !std::mem::replace(&mut marks[j], true)
     });
     if !valid {
         for (k, slot) in row.iter_mut().enumerate() {
+            // k < n ≤ u32::MAX (the row was read from a u32 buffer).
             *slot = k as u32;
         }
     }

@@ -25,7 +25,7 @@ pub const CORRUPT_ENERGY: i64 = 1 << 40;
 /// Upper bound accepted for problem data (processing times, penalty rates)
 /// when validating under fault injection. Benchmark data is orders of
 /// magnitude below this; a high bit flip lands far above it.
-const VALUE_CAP: i64 = 1 << 20;
+pub(crate) const VALUE_CAP: i64 = 1 << 20;
 
 /// Evaluates one job sequence per thread.
 ///
@@ -77,6 +77,13 @@ impl FitnessKernel {
         ensemble: usize,
         blocks: usize,
     ) -> Self {
+        // Job ids travel through u32 sequence buffers; checking once here
+        // makes every `n as u32`/`n as i64` cast downstream exact.
+        assert!(
+            u32::try_from(prob.n).is_ok(),
+            "sequence length {} exceeds the u32 job-id domain",
+            prob.n
+        );
         FitnessKernel {
             prob,
             seqs,
@@ -97,6 +104,9 @@ impl FitnessKernel {
         scratch.marks.clear();
         scratch.marks.resize(n, false);
         for &j in &scratch.seq {
+            // u32 → usize is a widening cast on every supported target;
+            // a bit-flipped id is caught by the bounds check below, not
+            // silently truncated into a valid-looking index.
             let j = j as usize;
             if j >= n || scratch.marks[j] {
                 return false;

@@ -26,6 +26,11 @@ pub struct PerturbKernel {
     pub ensemble: usize,
     /// Perturbation size `Pert` (paper: 4).
     pub pert: usize,
+    /// Optional move-descriptor output for the delta-fitness path: the
+    /// `pert.min(n)` selected positions per thread (`ensemble × pert`
+    /// row-major). `None` keeps the kernel's writes — and therefore its
+    /// modeled cost — bit-identical to the full-evaluation path.
+    pub moves: Option<Buf<u32>>,
     /// Per-thread local memory, indexed by global thread id.
     scratch: ScratchArena<PerturbScratch>,
 }
@@ -47,7 +52,19 @@ impl PerturbKernel {
         ensemble: usize,
         pert: usize,
     ) -> Self {
-        PerturbKernel { src, dst, rng, n, ensemble, pert, scratch: ScratchArena::new(ensemble) }
+        // Job ids travel through u32 buffers and the u32 RNG bound below;
+        // checking once here makes every `n as u32` in the hot path exact.
+        assert!(u32::try_from(n).is_ok(), "sequence length {n} exceeds the u32 job-id domain");
+        PerturbKernel {
+            src,
+            dst,
+            rng,
+            n,
+            ensemble,
+            pert,
+            moves: None,
+            scratch: ScratchArena::new(ensemble),
+        }
     }
 }
 
@@ -79,6 +96,7 @@ impl Kernel for PerturbKernel {
                 // cheap for the paper's Pert = 4, exact for any pert ≤ n).
                 scratch.positions.clear();
                 while scratch.positions.len() < pert {
+                    // `n as u32` is exact: `new` rejects n > u32::MAX.
                     let c = rng.next_below(n as u32);
                     if !scratch.positions.contains(&c) {
                         scratch.positions.push(c);
@@ -90,6 +108,9 @@ impl Kernel for PerturbKernel {
                     let j = rng.next_below(i as u32 + 1) as usize;
                     scratch.row.swap(scratch.positions[i] as usize, scratch.positions[j] as usize);
                     ctx.charge_alu(4);
+                }
+                if let Some(moves) = self.moves {
+                    ctx.write_slice(moves, gid * pert, &scratch.positions);
                 }
             }
 

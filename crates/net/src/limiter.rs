@@ -61,8 +61,13 @@ impl TenantLimiter {
             .entry(tenant.to_string())
             .or_insert(Bucket { milli_tokens: full, last_refill_ms: now_ms });
         // Refill: rate_per_sec tokens/s == rate_per_sec milli-tokens/ms.
+        // A long-idle bucket can see an elapsed gap large enough that
+        // `elapsed * rate` wraps `u64` (release builds wrap silently and the
+        // `.min(full)` clamp would then *corrupt* the balance instead of
+        // capping it), so the refill saturates before clamping.
         let elapsed = now_ms.saturating_sub(bucket.last_refill_ms);
-        bucket.milli_tokens = (bucket.milli_tokens + elapsed * self.rate_per_sec).min(full);
+        bucket.milli_tokens =
+            elapsed.saturating_mul(self.rate_per_sec).saturating_add(bucket.milli_tokens).min(full);
         bucket.last_refill_ms = now_ms;
         if bucket.milli_tokens >= 1000 {
             bucket.milli_tokens -= 1000;
@@ -110,6 +115,28 @@ mod tests {
         assert!(l.try_acquire("a", 0).is_ok());
         assert!(l.try_acquire("a", 0).is_err(), "a exhausted its bucket");
         assert!(l.try_acquire("b", 0).is_ok(), "b is unaffected");
+    }
+
+    #[test]
+    fn near_u64_max_idle_gap_refills_to_burst_instead_of_overflowing() {
+        let mut l = TenantLimiter::new(1000, 2);
+        // Drain the bucket at t=0.
+        assert!(l.try_acquire("t", 0).is_ok());
+        assert!(l.try_acquire("t", 0).is_ok());
+        assert!(l.try_acquire("t", 0).is_err(), "burst exhausted");
+        // A near-u64::MAX gap previously wrapped `elapsed * rate` and could
+        // zero out the balance; it must refill to exactly the burst cap.
+        assert!(l.try_acquire("t", u64::MAX - 1).is_ok());
+        assert!(l.try_acquire("t", u64::MAX - 1).is_ok());
+        assert!(
+            l.try_acquire("t", u64::MAX - 1).is_err(),
+            "refill caps at burst, no unbounded or wrapped credit"
+        );
+        // And the limiter keeps functioning after the jump: at 1000/s one
+        // token matures in the final millisecond before the clock pegs.
+        assert!(l.try_acquire("t", u64::MAX).is_ok());
+        let hint = l.try_acquire("t", u64::MAX).unwrap_err();
+        assert!(hint.retry_after_ms >= 1);
     }
 
     #[test]

@@ -52,8 +52,11 @@ use crate::queue::{QueueStats, QueuedJob, SubmissionQueue};
 use crate::supervisor::{
     install_quiet_crash_hook, supervisor_loop, SupervisorConfig, WorkerCrashPanic,
 };
-use cdd_core::{Priority, SolveOutcome, SolveRequest, SuiteError};
-use cdd_gpu::{counter_trace_events, run_gpu_solve, ConvergenceSummary, GpuSolveSpec, RecoveryPolicy};
+use cdd_core::{Algorithm, Priority, SolveOutcome, SolveRequest, SuiteError};
+use cdd_gpu::{
+    counter_trace_events, run_gpu_solve, run_gpu_solve_batch, ConvergenceSummary, DeltaConfig,
+    GpuSolveSpec, RecoveryPolicy,
+};
 use cdd_metrics::trace::{TraceEvent, TraceSink};
 use cdd_metrics::{latency_ms_buckets, MetricsRegistry};
 use cuda_sim::{
@@ -102,6 +105,22 @@ pub struct ServiceConfig {
     pub supervisor: SupervisorConfig,
     /// Per-device circuit-breaker tuning (see [`BreakerConfig`]).
     pub breaker: BreakerConfig,
+    /// Cross-request batching window: a worker that pops an SA job may
+    /// drain up to `batch_window - 1` further *compatible* jobs off the
+    /// queue front (same algorithm, problem kind, job count and iteration
+    /// budget) and run them as one fused device launch sequence —
+    /// amortizing the per-kernel launch overhead that dominates small-`n`
+    /// traffic. `1` (the default) disables batching. Per-request outcomes
+    /// are byte-identical to solo runs (see `cdd_gpu::batch`); fusion is
+    /// skipped — jobs just run solo — on fault-injected slots and when
+    /// telemetry or trace capture is on.
+    pub batch_window: usize,
+    /// Incremental (delta) candidate scoring for every dispatched SA solve
+    /// — outcome-identical to full evaluation on clean runs (under an
+    /// active fault plan it is a different deterministic trajectory, see
+    /// the DESIGN.md §14 fault carve-out); DPSO and fused batch launches
+    /// ignore it.
+    pub delta: DeltaConfig,
 }
 
 impl Default for ServiceConfig {
@@ -120,6 +139,8 @@ impl Default for ServiceConfig {
             telemetry: TelemetryConfig::disabled(),
             supervisor: SupervisorConfig::default(),
             breaker: BreakerConfig::default(),
+            batch_window: 1,
+            delta: DeltaConfig::default(),
         }
     }
 }
@@ -282,6 +303,10 @@ pub(crate) struct SlotState {
     /// The job this slot is currently running, if any. Taken by the
     /// supervisor on crash/stuck so the job can be re-dispatched.
     pub(crate) in_flight: Option<QueuedJob>,
+    /// Further jobs fused onto the in-flight primary by the batching
+    /// window. Empty outside a fused run; the supervisor re-dispatches
+    /// these alongside `in_flight` when it fences the slot.
+    pub(crate) in_flight_extras: Vec<QueuedJob>,
     /// Logical-clock ms (service epoch) of the worker's last sign of life
     /// (job pop or completion). Only meaningful while `in_flight` is some.
     pub(crate) heartbeat_ms: u64,
@@ -327,6 +352,12 @@ pub(crate) struct State {
     degraded_brownout: u64,
     /// Retry re-dispatches the supervisor scheduled (parked or immediate).
     pub(crate) retries_scheduled: u64,
+    /// Fused device runs the batching window produced (each covered ≥ 2
+    /// requests). Which jobs meet in the queue is a race between clients
+    /// and workers, so these two live under the `timing_` namespace.
+    batch_launches: u64,
+    /// Requests answered out of those fused runs.
+    batch_fused_requests: u64,
     /// Accepted tickets per tenant (BTreeMap: deterministic fold order).
     tenant_submitted: BTreeMap<String, u64>,
     /// Accepted tickets per priority class, indexed by `Priority::as_u8`.
@@ -360,7 +391,7 @@ impl State {
         self.shutdown
             && self.queue.depth() == 0
             && self.parked.is_empty()
-            && self.slots.iter().all(|s| s.in_flight.is_none())
+            && self.slots.iter().all(|s| s.in_flight.is_none() && s.in_flight_extras.is_empty())
     }
 }
 
@@ -377,6 +408,8 @@ pub(crate) struct Shared {
     recovery: RecoveryPolicy,
     capture_trace: bool,
     telemetry: TelemetryConfig,
+    batch_window: usize,
+    delta: DeltaConfig,
     /// Hardware description shared by all pool devices (restarts clone it).
     device_spec: DeviceSpec,
     /// Per-slot base fault plan, resolved once at start — a restarted
@@ -433,6 +466,7 @@ impl SolverService {
             .map(|_| SlotState {
                 generation: 0,
                 in_flight: None,
+                in_flight_extras: Vec::new(),
                 heartbeat_ms: 0,
                 breaker: CircuitBreaker::new(config.breaker.clone()),
                 usage: DeviceUsage::default(),
@@ -457,6 +491,8 @@ impl SolverService {
                 degraded: 0,
                 degraded_brownout: 0,
                 retries_scheduled: 0,
+                batch_launches: 0,
+                batch_fused_requests: 0,
                 tenant_submitted: BTreeMap::new(),
                 priority_submitted: [0; 3],
                 next_ticket: 0,
@@ -472,6 +508,8 @@ impl SolverService {
             recovery: config.recovery.clone(),
             capture_trace: config.capture_trace,
             telemetry: config.telemetry,
+            batch_window: config.batch_window,
+            delta: config.delta,
             device_spec: config.device_spec.clone(),
             slot_plans,
             supervisor: config.supervisor.clone(),
@@ -583,7 +621,7 @@ impl SolverService {
         let st = self.shared.state.lock().expect("service state lock");
         st.queue.depth() == 0
             && st.parked.is_empty()
-            && st.slots.iter().all(|s| s.in_flight.is_none())
+            && st.slots.iter().all(|s| s.in_flight.is_none() && s.in_flight_extras.is_empty())
     }
 
     /// Live counters for health/stats probes: cheap, lock-scoped, callable
@@ -626,7 +664,8 @@ impl SolverService {
             }
             totals
         });
-        fold_final_metrics(&mut metrics, &st, &queue, &cache, convergence, wall_seconds);
+        let batching = self.shared.batch_window > 1;
+        fold_final_metrics(&mut metrics, &st, &queue, &cache, convergence, batching, wall_seconds);
 
         let mut trace = TraceSink::new();
         if self.shared.capture_trace {
@@ -690,6 +729,7 @@ fn fold_final_metrics(
     queue: &QueueStats,
     cache: &CacheStats,
     convergence: Option<ConvergenceTotals>,
+    batching: bool,
     wall_seconds: f64,
 ) {
     metrics.inc("service_requests_submitted_total", &[], st.submitted);
@@ -748,6 +788,16 @@ fn fold_final_metrics(
         &[],
         st.slots.iter().map(|s| s.breaker.stats.reclosed).sum(),
     );
+
+    // Which jobs meet in the batching window depends on queue timing — a
+    // race between clients and workers — so the fusion tallies live under
+    // `timing_`, registered (even at zero) only when the window is open: a
+    // window-of-1 service must render a snapshot byte-identical to one
+    // predating the batching feature.
+    if batching {
+        metrics.inc("timing_batch_launches_total", &[], st.batch_launches);
+        metrics.inc("timing_batch_fused_requests_total", &[], st.batch_fused_requests);
+    }
 
     // Whether a repeat is served as a direct hit or by coalescing depends
     // on whether the primary finished first — a race. Their *sum* does not.
@@ -824,7 +874,7 @@ pub(crate) fn spawn_worker(shared: &Arc<Shared>, slot: usize, generation: u64) -
 /// device reports [`SuiteError::DeviceLost`].
 fn worker_loop(shared: &Arc<Shared>, slot: usize, generation: u64, handle: DeviceHandle) {
     loop {
-        let (request, retries) = {
+        let (request, retries, extra_requests) = {
             let mut st = shared.state.lock().expect("service state lock");
             loop {
                 if st.slots[slot].generation != generation {
@@ -866,7 +916,34 @@ fn worker_loop(shared: &Arc<Shared>, slot: usize, generation: u64, handle: Devic
                 let request = job.request.clone();
                 let retries = job.retries;
                 st.slots[slot].in_flight = Some(job);
-                break (request, retries);
+                // Batching window: drain adjacent compatible SA jobs off
+                // the queue front to fuse with the primary. Only on a
+                // fault-free slot (fused runs carry no fault plan), with
+                // telemetry and trace capture off (fused results have no
+                // per-request timeline). An incompatible queue head simply
+                // stops the drain — FIFO order is never reshuffled.
+                let mut extra_requests = Vec::new();
+                if shared.batch_window > 1
+                    && request.algorithm == Algorithm::Sa
+                    && shared.slot_plans[slot].is_none()
+                    && !shared.telemetry.enabled()
+                    && !shared.capture_trace
+                {
+                    while extra_requests.len() + 2 <= shared.batch_window {
+                        let Some(extra) = st.queue.pop_if(|j| {
+                            !j.expired()
+                                && j.request.algorithm == Algorithm::Sa
+                                && j.request.iterations == request.iterations
+                                && j.request.instance.kind() == request.instance.kind()
+                                && j.request.instance.n() == request.instance.n()
+                        }) else {
+                            break;
+                        };
+                        extra_requests.push(extra.request.clone());
+                        st.slots[slot].in_flight_extras.push(extra);
+                    }
+                }
+                break (request, retries, extra_requests);
             }
         };
 
@@ -883,57 +960,90 @@ fn worker_loop(shared: &Arc<Shared>, slot: usize, generation: u64, handle: Devic
             fault: handle.request_plan_retry(request.seed, retries),
             recovery: shared.recovery.clone(),
             telemetry: shared.telemetry,
+            delta: shared.delta,
         };
-        let result = run_gpu_solve(
-            &request.instance,
-            request.algorithm,
-            request.iterations,
-            request.seed,
-            &spec,
-        );
+        // One result per fused job, primary first. A failed fused launch
+        // falls back to running each request solo — batching is a latency
+        // optimization, never a new failure mode.
+        let mut fused = false;
+        let results: Vec<Result<cdd_gpu::GpuRunResult, SuiteError>> = if extra_requests.is_empty()
+        {
+            vec![run_gpu_solve(
+                &request.instance,
+                request.algorithm,
+                request.iterations,
+                request.seed,
+                &spec,
+            )]
+        } else {
+            let entries: Vec<(cdd_core::Instance, u64)> = std::iter::once(&request)
+                .chain(extra_requests.iter())
+                .map(|r| (r.instance.clone(), r.seed))
+                .collect();
+            match run_gpu_solve_batch(&entries, Algorithm::Sa, request.iterations, &spec) {
+                Ok(rs) => {
+                    fused = true;
+                    rs.into_iter().map(Ok).collect()
+                }
+                Err(_) => entries
+                    .iter()
+                    .map(|(inst, seed)| {
+                        run_gpu_solve(inst, Algorithm::Sa, request.iterations, *seed, &spec)
+                    })
+                    .collect(),
+            }
+        };
         let run_wall = run_started.elapsed().as_secs_f64();
 
         let mut st = shared.state.lock().expect("service state lock");
         if st.slots[slot].generation != generation {
-            // Fenced while running: the supervisor already took the job
-            // back and re-dispatched it. Discard everything — recording
+            // Fenced while running: the supervisor already took the jobs
+            // back and re-dispatched them. Discard everything — recording
             // usage or a result here would double-count against the
             // replacement worker's slot.
             return;
         }
         let now = shared.now_ms();
         st.slots[slot].heartbeat_ms = now;
-        match result {
-            Err(SuiteError::DeviceLost { detail }) => {
-                // The simulated device died under this job. Leave the job
-                // in `in_flight` for the supervisor to re-dispatch, record
-                // the failed run, and crash this worker the way a real
-                // device loss kills a host thread: by panicking. The
-                // breaker failure is recorded by the supervisor (exactly
-                // once per death, whether the job was mid-run or not).
-                st.slots[slot].usage.record_run(0.0, 0.0, 0.0, 0, run_wall, true);
-                drop(st);
-                shared.supervise.notify_all();
-                std::panic::panic_any(WorkerCrashPanic { device: slot, detail });
-            }
-            result => {
-                let job = st.slots[slot].in_flight.take().expect("job was in flight");
-                match &result {
-                    Ok(r) => {
-                        record_success_locked(&mut st, slot, &job, r, run_wall, now, shared);
-                    }
-                    Err(_) => {
-                        st.slots[slot].usage.record_run(0.0, 0.0, 0.0, 0, run_wall, true);
-                        st.slots[slot].breaker.record_failure(now);
-                    }
+        if let [Err(SuiteError::DeviceLost { detail })] = results.as_slice() {
+            // The simulated device died under this job (solo path only —
+            // fused runs only form on fault-free slots). Leave the job in
+            // `in_flight` for the supervisor to re-dispatch, record the
+            // failed run, and crash this worker the way a real device loss
+            // kills a host thread: by panicking. The breaker failure is
+            // recorded by the supervisor (exactly once per death, whether
+            // the job was mid-run or not).
+            let detail = detail.clone();
+            st.slots[slot].usage.record_run(0.0, 0.0, 0.0, 0, run_wall, true);
+            drop(st);
+            shared.supervise.notify_all();
+            std::panic::panic_any(WorkerCrashPanic { device: slot, detail });
+        }
+        let job = st.slots[slot].in_flight.take().expect("job was in flight");
+        let extras = std::mem::take(&mut st.slots[slot].in_flight_extras);
+        if fused {
+            st.batch_launches += 1;
+            st.batch_fused_requests += results.len() as u64;
+        }
+        // The shared wall time is split evenly across the fused jobs, like
+        // the modeled time inside the batch pipeline.
+        let wall_share = run_wall / results.len() as f64;
+        for (job, result) in std::iter::once(job).chain(extras).zip(results) {
+            match &result {
+                Ok(r) => {
+                    record_success_locked(&mut st, slot, &job, r, wall_share, now, shared);
                 }
-                complete_locked(&mut st, job, slot, result);
-                shared.done.notify_all();
-                if st.shutdown {
-                    // Peers may be waiting to observe the drain.
-                    shared.work.notify_all();
+                Err(_) => {
+                    st.slots[slot].usage.record_run(0.0, 0.0, 0.0, 0, wall_share, true);
+                    st.slots[slot].breaker.record_failure(now);
                 }
             }
+            complete_locked(&mut st, job, slot, result);
+        }
+        shared.done.notify_all();
+        if st.shutdown {
+            // Peers may be waiting to observe the drain.
+            shared.work.notify_all();
         }
     }
 }
