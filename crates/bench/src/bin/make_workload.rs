@@ -4,15 +4,19 @@
 //! ```text
 //! cargo run --release -p cdd-bench --bin make_workload -- \
 //!     [--requests 64] [--seed 2016] [--iterations 150] [--sizes 10,20] \
-//!     [--tenants 4] [--out results/workload.txt]
+//!     [--tenants 4] [--unique] [--out results/workload.txt]
 //! ```
 //!
 //! About a quarter of the stream repeats earlier requests' work (under a
 //! freshly drawn tenant/priority identity), so a replay through `cdd-serve`
 //! or the `cdd-node`/`cdd-router` socket path exercises the solution cache
-//! — including cross-tenant deduplication.
+//! — including cross-tenant deduplication. `--unique` disables the repeats
+//! (every entry is distinct work), which the trace-stability smoke needs:
+//! cache-hit vs coalesced classification of a repeated key depends on
+//! arrival timing, so duplicate work would perturb flight records between
+//! otherwise identical runs.
 
-use cdd_bench::workload::{generate_mixed_tenants, save, DEFAULT_TENANTS};
+use cdd_bench::workload::{generate_mixed_tenants, generate_unique_tenants, save, DEFAULT_TENANTS};
 use cdd_bench::{results_dir, Args};
 use std::collections::{BTreeMap, BTreeSet};
 use std::path::PathBuf;
@@ -29,7 +33,11 @@ fn main() {
         .map(PathBuf::from)
         .unwrap_or_else(|| results_dir().join("workload.txt"));
 
-    let entries = generate_mixed_tenants(requests, seed, iterations, &sizes, tenants);
+    let entries = if args.flag("unique") {
+        generate_unique_tenants(requests, seed, iterations, &sizes, tenants)
+    } else {
+        generate_mixed_tenants(requests, seed, iterations, &sizes, tenants)
+    };
     save(&out, &entries).expect("workload file writable");
 
     let distinct: BTreeSet<u64> = entries.iter().map(|e| e.to_request().content_key()).collect();

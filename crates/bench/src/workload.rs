@@ -185,6 +185,36 @@ pub fn generate_mixed_tenants(
     entries
 }
 
+/// [`generate_mixed_tenants`] with the duplicate branch (and any residual
+/// content-key collisions) filtered out: every entry is distinct work.
+/// Trace byte-stability across runs needs this — whether a repeated key is
+/// served from cache or coalesced depends on arrival timing, which would
+/// change the per-request flight records between otherwise identical runs.
+pub fn generate_unique_tenants(
+    count: usize,
+    seed: u64,
+    iterations: u64,
+    sizes: &[usize],
+    tenants: usize,
+) -> Vec<WorkloadEntry> {
+    let mut batch = count.max(1);
+    loop {
+        // ~25% of the mixed stream is duplicates, so one doubling almost
+        // always suffices; the loop keeps the function total regardless.
+        batch *= 2;
+        let mut seen = std::collections::BTreeSet::new();
+        let mut entries = Vec::with_capacity(count);
+        for e in generate_mixed_tenants(batch, seed, iterations, sizes, tenants) {
+            if seen.insert(e.to_request().content_key()) {
+                entries.push(e);
+                if entries.len() == count {
+                    return entries;
+                }
+            }
+        }
+    }
+}
+
 /// Write a workload file (one line per entry, `#` header comment).
 pub fn save(path: &Path, entries: &[WorkloadEntry]) -> std::io::Result<()> {
     if let Some(dir) = path.parent() {

@@ -67,7 +67,7 @@ pub use instance::{Instance, ProblemKind};
 pub use job::Job;
 pub use schedule::Schedule;
 pub use sequence::JobSequence;
-pub use solve::{degraded_outcome, Algorithm, Priority, SolveOutcome, SolveRequest};
+pub use solve::{degraded_outcome, Algorithm, Priority, SolveOutcome, SolveRequest, TraceContext};
 pub use ucddcp_optimal::{optimize_ucddcp_sequence, UcddcpSequenceSolution};
 
 /// Integer time/penalty scalar used throughout the suite.

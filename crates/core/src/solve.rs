@@ -122,6 +122,38 @@ impl FromStr for Priority {
     }
 }
 
+/// Distributed-tracing context carried alongside a request as it crosses
+/// process boundaries (client → router → node → service), in the spirit of
+/// Dapper-style context propagation.
+///
+/// Like [`SolveRequest::tenant`] and priority, the trace context describes
+/// *who is watching*, never *what is asked*: it is excluded from
+/// [`SolveRequest::content_key`], so traced and untraced submissions of the
+/// same work still deduplicate through the solution cache, and an untraced
+/// run is byte-identical to a pre-tracing one.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TraceContext {
+    /// Fleet-unique id of the end-to-end request flight.
+    pub trace_id: u64,
+    /// Span id of the hop that forwarded the request (0 at the origin).
+    pub parent_span_id: u64,
+    /// Whether hops along the path should record spans for this request.
+    pub sampled: bool,
+}
+
+impl TraceContext {
+    /// A sampled root context with no parent hop.
+    pub fn root(trace_id: u64) -> Self {
+        TraceContext { trace_id, parent_span_id: 0, sampled: true }
+    }
+
+    /// The context a hop forwards downstream: same trace, this hop's span
+    /// as the parent.
+    pub fn child(self, span_id: u64) -> Self {
+        TraceContext { parent_span_id: span_id, ..self }
+    }
+}
+
 /// One solve request: instance + algorithm + budget + seed, plus an
 /// optional service-level deadline.
 #[derive(Debug, Clone, PartialEq)]
@@ -147,6 +179,10 @@ pub struct SolveRequest {
     /// Service priority class (scheduling/admission only — see
     /// [`Priority`]).
     pub priority: Priority,
+    /// Optional distributed-tracing context. Observability only: excluded
+    /// from [`Self::content_key`] and never consulted by scheduling, so a
+    /// traced request computes and caches exactly like an untraced one.
+    pub trace: Option<TraceContext>,
 }
 
 impl SolveRequest {
@@ -161,6 +197,7 @@ impl SolveRequest {
             deadline_ms: None,
             tenant: "default".to_string(),
             priority: Priority::Normal,
+            trace: None,
         }
     }
 
@@ -316,6 +353,20 @@ mod tests {
         let urgent = SolveRequest { priority: Priority::Interactive, ..req.clone() };
         assert_eq!(req.content_key(), other_tenant.content_key());
         assert_eq!(req.content_key(), urgent.content_key());
+    }
+
+    #[test]
+    fn trace_context_is_not_part_of_the_content() {
+        // Observability must never perturb the computation: a traced request
+        // shares its cache slot with the untraced identical request.
+        let req = SolveRequest::new(Instance::paper_example_cdd(), Algorithm::Sa, 100, 7);
+        let traced = SolveRequest { trace: Some(TraceContext::root(0xDEAD)), ..req.clone() };
+        assert_eq!(req.content_key(), traced.content_key());
+        let ctx = TraceContext::root(9);
+        let child = ctx.child(42);
+        assert_eq!(child.trace_id, 9);
+        assert_eq!(child.parent_span_id, 42);
+        assert!(child.sampled);
     }
 
     #[test]

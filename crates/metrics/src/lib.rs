@@ -35,7 +35,10 @@
 //! assert!(text.contains("timing_request_wall_ms_count 1"));
 //! ```
 
+pub mod flight;
 pub mod trace;
+
+pub use flight::{fleet_trace, FlightHop, FlightRecord};
 
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
@@ -116,6 +119,12 @@ impl SeriesKey {
         SeriesKey { name: name.to_string(), labels }
     }
 
+    /// Same identity from owned label pairs (wire decoding path).
+    fn from_owned(name: String, mut labels: Vec<(String, String)>) -> Self {
+        labels.sort();
+        SeriesKey { name, labels }
+    }
+
     /// `name{k="v",…}` — the Prometheus sample identity.
     fn render(&self) -> String {
         if self.labels.is_empty() {
@@ -143,7 +152,12 @@ impl SeriesKey {
 
 /// A fixed-bucket histogram that also keeps its raw samples, so bucket
 /// counts serve the Prometheus exposition while percentiles stay exact.
-#[derive(Debug, Clone, Default)]
+///
+/// The histogram's state is fully determined by `(bounds, samples)`:
+/// bucket counts re-derive by bucketing the samples and the sum re-derives
+/// by folding them in storage order, which is what lets the wire codec ship
+/// only those two fields and still round-trip bit-exactly.
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct Histogram {
     /// Strictly increasing finite bucket upper bounds; `+Inf` is implicit.
     bounds: Vec<f64>,
@@ -232,6 +246,64 @@ impl Histogram {
             })
             .collect()
     }
+
+    /// Raw samples in storage order (observation order for a histogram fed
+    /// through [`Self::observe`]; sorted after a merge).
+    #[must_use]
+    pub fn samples(&self) -> &[f64] {
+        &self.samples
+    }
+
+    /// Rebuild a histogram from its canonical state: finite, strictly
+    /// increasing bounds and finite samples (the wire decoding path, so
+    /// hostile input is an error, never a panic). Bucket counts and the sum
+    /// are re-derived, making `encode → decode` bit-exact: the sum was
+    /// originally accumulated by folding samples in storage order, and that
+    /// is exactly how it is recomputed here.
+    pub fn from_parts(bounds: Vec<f64>, samples: Vec<f64>) -> Result<Self, String> {
+        if !bounds.iter().all(|b| b.is_finite()) {
+            return Err("histogram bounds must be finite".to_string());
+        }
+        if !bounds.windows(2).all(|w| w[0] < w[1]) {
+            return Err("histogram bounds must be strictly increasing".to_string());
+        }
+        if !samples.iter().all(|s| s.is_finite()) {
+            return Err("histogram samples must be finite".to_string());
+        }
+        let mut h = Histogram {
+            bounds,
+            counts: Vec::new(),
+            sum: samples.iter().sum(),
+            samples,
+        };
+        h.counts = h.rebucket();
+        Ok(h)
+    }
+
+    /// Per-bucket (non-cumulative) counts derived from the samples.
+    fn rebucket(&self) -> Vec<u64> {
+        let mut counts = vec![0u64; self.bounds.len() + 1];
+        for &value in &self.samples {
+            let idx =
+                self.bounds.iter().position(|&b| value <= b).unwrap_or(self.bounds.len());
+            counts[idx] += 1;
+        }
+        counts
+    }
+
+    /// Fold another histogram into this one, keeping this histogram's
+    /// bounds (the other's samples are re-bucketed). The merged sample set
+    /// is **sorted** and the sum recomputed by folding it in that order, so
+    /// the merged state is a pure function of the combined sample *multiset*
+    /// — merge order and fold shape cannot leak into the bytes a fleet
+    /// snapshot renders.
+    pub fn merge_from(&mut self, other: &Histogram) {
+        self.samples.extend_from_slice(&other.samples);
+        self.samples
+            .sort_by(|a, b| a.partial_cmp(b).expect("samples are finite"));
+        self.sum = self.samples.iter().sum();
+        self.counts = self.rebucket();
+    }
 }
 
 /// A deterministic registry of counters, gauges and histograms.
@@ -239,11 +311,14 @@ impl Histogram {
 /// Series are created on first touch; touching a series with an increment of
 /// zero still creates it, so two runs that take the same code paths render
 /// the same *set* of lines even where the values are zero.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct MetricsRegistry {
     counters: BTreeMap<SeriesKey, u64>,
     gauges: BTreeMap<SeriesKey, f64>,
     histograms: BTreeMap<SeriesKey, Histogram>,
+    /// Optional `# HELP` text per metric name, registered at observation
+    /// sites via [`Self::describe`].
+    descriptions: BTreeMap<String, String>,
 }
 
 impl MetricsRegistry {
@@ -296,17 +371,130 @@ impl MetricsRegistry {
         self.counters.is_empty() && self.gauges.is_empty() && self.histograms.is_empty()
     }
 
+    /// Register `# HELP` text for a metric name. Conflict resolution is
+    /// order-independent: the lexicographically smallest description wins,
+    /// so a fleet merge renders the same bytes no matter which node's
+    /// snapshot arrived first. (In practice every process registers the
+    /// same text, so this is only a tie-break for buggy callers.)
+    pub fn describe(&mut self, name: &str, help: &str) {
+        self.descriptions
+            .entry(name.to_string())
+            .and_modify(|d| {
+                if help < d.as_str() {
+                    *d = help.to_string();
+                }
+            })
+            .or_insert_with(|| help.to_string());
+    }
+
+    /// `# HELP` text registered for a metric name, if any.
+    #[must_use]
+    pub fn description(&self, name: &str) -> Option<&str> {
+        self.descriptions.get(name).map(String::as_str)
+    }
+
+    /// All registered descriptions in name order (wire encoding path).
+    pub fn descriptions(&self) -> impl Iterator<Item = (&str, &str)> + '_ {
+        self.descriptions.iter().map(|(n, d)| (n.as_str(), d.as_str()))
+    }
+
+    /// All counter series in `(name, labels)` order (wire encoding path).
+    pub fn counter_series(&self) -> impl Iterator<Item = (&str, &[(String, String)], u64)> + '_ {
+        self.counters.iter().map(|(k, v)| (k.name.as_str(), k.labels.as_slice(), *v))
+    }
+
+    /// All gauge series in `(name, labels)` order (wire encoding path).
+    pub fn gauge_series(&self) -> impl Iterator<Item = (&str, &[(String, String)], f64)> + '_ {
+        self.gauges.iter().map(|(k, v)| (k.name.as_str(), k.labels.as_slice(), *v))
+    }
+
+    /// All histogram series in `(name, labels)` order (wire encoding path).
+    pub fn histogram_series(
+        &self,
+    ) -> impl Iterator<Item = (&str, &[(String, String)], &Histogram)> + '_ {
+        self.histograms.iter().map(|(k, h)| (k.name.as_str(), k.labels.as_slice(), h))
+    }
+
+    /// Insert-or-add a counter series from owned label pairs (wire decoding
+    /// path; labels are sorted into canonical order).
+    pub fn put_counter(&mut self, name: String, labels: Vec<(String, String)>, value: u64) {
+        *self.counters.entry(SeriesKey::from_owned(name, labels)).or_insert(0) += value;
+    }
+
+    /// Insert a gauge series from owned label pairs (wire decoding path).
+    pub fn put_gauge(&mut self, name: String, labels: Vec<(String, String)>, value: f64) {
+        self.gauges.insert(SeriesKey::from_owned(name, labels), value);
+    }
+
+    /// Insert a histogram series from owned label pairs (wire decoding
+    /// path). An existing series under the same key is merged into.
+    pub fn put_histogram(&mut self, name: String, labels: Vec<(String, String)>, hist: Histogram) {
+        match self.histograms.entry(SeriesKey::from_owned(name, labels)) {
+            std::collections::btree_map::Entry::Vacant(e) => {
+                e.insert(hist);
+            }
+            std::collections::btree_map::Entry::Occupied(mut e) => e.get_mut().merge_from(&hist),
+        }
+    }
+
+    /// Fold another registry into this one — the fleet-aggregation
+    /// primitive. The operation is deterministic and order-independent so
+    /// that a router merging N node snapshots renders the same bytes no
+    /// matter which upstream answered first and no matter how the fold is
+    /// parenthesised:
+    ///
+    /// * counters add (integer addition — exactly associative);
+    /// * gauges add (additive gauges like queue depths are the fleet-wide
+    ///   semantic; float addition is exact for the integral/dyadic values
+    ///   this workspace records);
+    /// * histograms merge via [`Histogram::merge_from`] — the merged state
+    ///   is a pure function of the combined sample multiset. A series only
+    ///   one side has is cloned as-is. Merging mismatched bounds keeps the
+    ///   target's bounds and re-buckets;
+    /// * descriptions union with the lexicographically smallest text
+    ///   winning on conflict.
+    pub fn merge_from(&mut self, other: &MetricsRegistry) {
+        for (key, value) in &other.counters {
+            *self.counters.entry(key.clone()).or_insert(0) += value;
+        }
+        for (key, value) in &other.gauges {
+            *self.gauges.entry(key.clone()).or_insert(0.0) += value;
+        }
+        for (key, hist) in &other.histograms {
+            match self.histograms.entry(key.clone()) {
+                std::collections::btree_map::Entry::Vacant(e) => {
+                    e.insert(hist.clone());
+                }
+                std::collections::btree_map::Entry::Occupied(mut e) => {
+                    e.get_mut().merge_from(hist);
+                }
+            }
+        }
+        for (name, help) in &other.descriptions {
+            self.describe(name, help);
+        }
+    }
+
     /// Render the registry in the Prometheus text exposition format.
     /// Counters first, then gauges, then histograms; within each kind,
-    /// series sort by `(name, labels)`. The output is a pure function of
-    /// the recorded values.
+    /// series sort by `(name, labels)`. A `# HELP` line precedes the
+    /// `# TYPE` line for metrics with a [`Self::describe`]d description.
+    /// The output is a pure function of the recorded values.
     #[must_use]
     pub fn render_prometheus(&self) -> String {
         let mut out = String::new();
         let mut last_type_line = String::new();
+        let descriptions = &self.descriptions;
         let mut type_line = |out: &mut String, name: &str, kind: &str| {
             let line = format!("# TYPE {name} {kind}\n");
             if line != last_type_line {
+                if let Some(help) = descriptions.get(name) {
+                    let _ = writeln!(
+                        out,
+                        "# HELP {name} {}",
+                        help.replace('\\', "\\\\").replace('\n', "\\n")
+                    );
+                }
                 out.push_str(&line);
                 last_type_line = line;
             }
@@ -536,5 +724,113 @@ mod tests {
         for bounds in [latency_ms_buckets(), modeled_seconds_buckets()] {
             assert!(bounds.windows(2).all(|w| w[0] < w[1]));
         }
+    }
+
+    #[test]
+    fn empty_histogram_quantile_and_max_are_zero() {
+        let h = Histogram::new(&[1.0, 2.0]);
+        for q in [0.0, 0.5, 0.95, 0.99, 1.0] {
+            assert_eq!(h.quantile(q), 0.0, "empty histogram q={q}");
+        }
+        assert_eq!(h.max(), 0.0);
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.sum(), 0.0);
+        assert_eq!(h.cumulative_counts(), vec![0, 0, 0]);
+    }
+
+    #[test]
+    fn histogram_from_parts_rederives_counts_and_sum() {
+        let mut direct = Histogram::new(&[1.0, 5.0]);
+        for v in [0.5, 3.0, 9.0] {
+            direct.observe(v);
+        }
+        let rebuilt =
+            Histogram::from_parts(vec![1.0, 5.0], vec![0.5, 3.0, 9.0]).expect("valid parts");
+        assert_eq!(direct, rebuilt, "state is fully determined by (bounds, samples)");
+        assert!(Histogram::from_parts(vec![2.0, 1.0], vec![]).is_err(), "unsorted bounds");
+        assert!(Histogram::from_parts(vec![f64::NAN], vec![]).is_err(), "non-finite bound");
+        assert!(
+            Histogram::from_parts(vec![1.0], vec![f64::INFINITY]).is_err(),
+            "non-finite sample"
+        );
+    }
+
+    #[test]
+    fn histogram_merge_is_a_function_of_the_sample_multiset() {
+        let mut a = Histogram::new(&[1.0, 5.0]);
+        let mut b = Histogram::new(&[1.0, 5.0]);
+        for v in [3.0, 0.5] {
+            a.observe(v);
+        }
+        for v in [9.0, 0.25] {
+            b.observe(v);
+        }
+        let mut ab = a.clone();
+        ab.merge_from(&b);
+        let mut ba = b.clone();
+        ba.merge_from(&a);
+        assert_eq!(ab, ba, "merge is commutative");
+        assert_eq!(ab.count(), 4);
+        assert_eq!(ab.samples(), &[0.25, 0.5, 3.0, 9.0], "merged samples are sorted");
+        assert_eq!(ab.cumulative_counts(), vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn registry_merge_adds_counters_gauges_and_merges_histograms() {
+        let mut a = MetricsRegistry::new();
+        a.inc("reqs_total", &[("node", "a")], 2);
+        a.inc("shared_total", &[], 1);
+        a.set_gauge("depth", &[], 3.0);
+        a.observe("lat", &[], 1.0, &[2.0]);
+
+        let mut b = MetricsRegistry::new();
+        b.inc("reqs_total", &[("node", "b")], 5);
+        b.inc("shared_total", &[], 4);
+        b.set_gauge("depth", &[], 2.0);
+        b.observe("lat", &[], 3.0, &[2.0]);
+
+        let mut merged = a.clone();
+        merged.merge_from(&b);
+        assert_eq!(merged.counter("reqs_total", &[("node", "a")]), 2);
+        assert_eq!(merged.counter("reqs_total", &[("node", "b")]), 5);
+        assert_eq!(merged.counter("shared_total", &[]), 5);
+        assert_eq!(merged.gauge("depth", &[]), Some(5.0));
+        let h = merged.histogram("lat", &[]).expect("merged histogram");
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.samples(), &[1.0, 3.0]);
+
+        let mut other_way = b.clone();
+        other_way.merge_from(&a);
+        assert_eq!(merged, other_way, "registry merge is commutative");
+        assert_eq!(merged.render_prometheus(), other_way.render_prometheus());
+    }
+
+    #[test]
+    fn help_lines_render_before_type_and_stay_deterministic() {
+        let mut reg = MetricsRegistry::new();
+        reg.inc("reqs_total", &[("t", "a")], 1);
+        reg.inc("reqs_total", &[("t", "b")], 2);
+        reg.describe("reqs_total", "Requests admitted per tenant.");
+        reg.observe("lat", &[], 1.0, &[2.0]);
+        let text = reg.render_prometheus();
+        assert!(
+            text.contains("# HELP reqs_total Requests admitted per tenant.\n# TYPE reqs_total counter"),
+            "{text}"
+        );
+        assert!(!text.contains("# HELP lat"), "undescribed metrics get no HELP line");
+        // HELP is emitted once per metric, not per labelled series.
+        assert_eq!(text.matches("# HELP reqs_total").count(), 1);
+
+        // Conflicting descriptions resolve order-independently.
+        let mut x = MetricsRegistry::new();
+        x.describe("m", "zzz");
+        let mut y = MetricsRegistry::new();
+        y.describe("m", "aaa");
+        let mut xy = x.clone();
+        xy.merge_from(&y);
+        let mut yx = y.clone();
+        yx.merge_from(&x);
+        assert_eq!(xy.description("m"), Some("aaa"));
+        assert_eq!(xy, yx);
     }
 }

@@ -204,6 +204,24 @@ impl TraceSink {
         out
     }
 
+    /// Merge named per-process sinks into one fleet trace: part `i` becomes
+    /// process `i` (its events' pids are rewritten, so each part is treated
+    /// as a single-process sink), preceded by a `process_name` metadata
+    /// event. Part order is preserved verbatim — callers sort parts
+    /// deterministically to keep merged output byte-stable.
+    #[must_use]
+    pub fn merge_named(parts: &[(&str, &TraceSink)]) -> TraceSink {
+        let mut out = TraceSink::new();
+        for (i, (name, sink)) in parts.iter().enumerate() {
+            let pid = u32::try_from(i).expect("fewer than 2^32 processes");
+            out.name_process(pid, name);
+            for event in sink.events() {
+                out.push(TraceEvent { pid, ..event.clone() });
+            }
+        }
+        out
+    }
+
     /// Render one JSON object per line (streaming-friendly).
     #[must_use]
     pub fn render_jsonl(&self) -> String {
@@ -280,6 +298,22 @@ mod tests {
         let jsonl = sink.render_jsonl();
         assert_eq!(jsonl.lines().count(), 2);
         assert!(jsonl.lines().all(|l| l.starts_with('{') && l.ends_with('}')));
+    }
+
+    #[test]
+    fn merge_named_rewrites_pids_and_names_processes() {
+        let mut a = TraceSink::new();
+        a.push(TraceEvent::complete("ka", "kernel", 7, 1, 0.0, 1.0));
+        let mut b = TraceSink::new();
+        b.push(TraceEvent::complete("kb", "kernel", 9, 0, 0.0, 1.0));
+        let merged = TraceSink::merge_named(&[("node a", &a), ("node b", &b)]);
+        assert_eq!(merged.len(), 4, "two metadata + two events");
+        let json = merged.render_chrome_json();
+        assert!(json.contains("\"args\":{\"name\":\"node a\"}"));
+        assert!(json.contains("\"args\":{\"name\":\"node b\"}"));
+        let pids: Vec<u32> = merged.events().iter().map(|e| e.pid).collect();
+        assert_eq!(pids, vec![0, 0, 1, 1], "source pids are rewritten per part");
+        assert_eq!(merged.events()[1].tid, 1, "tids pass through untouched");
     }
 
     #[test]

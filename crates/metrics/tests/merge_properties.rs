@@ -1,0 +1,140 @@
+//! Property tests for the fleet-aggregation primitive: registry merge is
+//! associative and commutative at the byte level (a router folding N node
+//! snapshots renders identical Prometheus/JSON text no matter which
+//! upstream answered first or how the fold is parenthesised), and empty
+//! histograms answer their summary queries without panicking.
+
+use cdd_metrics::{latency_ms_buckets, Histogram, MetricsRegistry};
+use proptest::prelude::*;
+
+#[test]
+fn empty_histogram_summary_queries_are_total() {
+    let h = Histogram::new(latency_ms_buckets());
+    assert_eq!(h.count(), 0);
+    assert_eq!(h.sum(), 0.0);
+    assert_eq!(h.max(), 0.0);
+    for q in [0.0, 0.5, 0.95, 0.99, 1.0] {
+        assert_eq!(h.quantile(q), 0.0, "empty histogram quantile({q}) is 0");
+    }
+    assert_eq!(h.cumulative_counts().last().copied(), Some(0));
+
+    // Degenerate but legal: no finite bounds at all — only the +Inf bucket.
+    let boundless = Histogram::new(&[]);
+    assert_eq!(boundless.max(), 0.0);
+    assert_eq!(boundless.quantile(0.5), 0.0);
+    assert_eq!(boundless.cumulative_counts(), vec![0]);
+}
+
+#[test]
+fn merging_an_empty_registry_is_identity() {
+    let mut reg = MetricsRegistry::new();
+    reg.inc("a_total", &[], 3);
+    reg.observe("h_ms", &[], 2.5, latency_ms_buckets());
+    let before = reg.render_prometheus();
+    reg.merge_from(&MetricsRegistry::new());
+    assert_eq!(reg.render_prometheus(), before);
+
+    let mut empty = MetricsRegistry::new();
+    empty.merge_from(&reg);
+    assert_eq!(empty.render_prometheus(), before);
+}
+
+/// A small registry driven by an integer recipe so every generated value
+/// is one the public mutation API can produce.
+fn registry_strategy() -> impl Strategy<Value = MetricsRegistry> {
+    let counter = (0..6u32, 0..3u32, 1..1_000u64);
+    // Gauges add on merge; the byte-level associativity contract covers
+    // the integral/dyadic values the workspace records (queue depths,
+    // flags), where f64 addition is exact — so generate quarters.
+    let gauge = (0..4u32, -4_000_000..4_000_000i64);
+    let sample = (0..3u32, 0.0..1e5f64);
+    (
+        prop::collection::vec(counter, 0..8),
+        prop::collection::vec(gauge, 0..6),
+        prop::collection::vec(sample, 0..20),
+        0..4usize,
+    )
+        .prop_map(|(counters, gauges, samples, described)| {
+            let mut reg = MetricsRegistry::new();
+            for d in 0..described {
+                reg.describe(&format!("counter_{d}_total"), &format!("Counter number {d}."));
+            }
+            for (name, tenant, by) in &counters {
+                let tenant = format!("t{tenant}");
+                reg.inc(&format!("counter_{name}_total"), &[("tenant", &tenant)], *by);
+            }
+            for (name, value) in &gauges {
+                reg.set_gauge(&format!("gauge_{name}"), &[], *value as f64 / 4.0);
+            }
+            for (name, value) in &samples {
+                reg.observe(&format!("hist_{name}_ms"), &[], *value, latency_ms_buckets());
+            }
+            reg
+        })
+}
+
+/// Byte-level fingerprint of a registry: both rendered artifacts.
+fn fingerprint(reg: &MetricsRegistry) -> (String, String) {
+    (reg.render_prometheus(), reg.render_json())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn merge_is_commutative(a in registry_strategy(), b in registry_strategy()) {
+        let mut ab = a.clone();
+        ab.merge_from(&b);
+        let mut ba = b.clone();
+        ba.merge_from(&a);
+        prop_assert_eq!(fingerprint(&ab), fingerprint(&ba));
+    }
+
+    #[test]
+    fn merge_is_associative(
+        a in registry_strategy(),
+        b in registry_strategy(),
+        c in registry_strategy(),
+    ) {
+        // (a ⊕ b) ⊕ c
+        let mut left = a.clone();
+        left.merge_from(&b);
+        left.merge_from(&c);
+        // a ⊕ (b ⊕ c)
+        let mut bc = b.clone();
+        bc.merge_from(&c);
+        let mut right = a.clone();
+        right.merge_from(&bc);
+        prop_assert_eq!(fingerprint(&left), fingerprint(&right));
+    }
+
+    #[test]
+    fn merged_histograms_are_a_function_of_the_sample_multiset(
+        xs in prop::collection::vec(0.0..1e5f64, 0..30),
+        ys in prop::collection::vec(0.0..1e5f64, 0..30),
+    ) {
+        let mut a = Histogram::new(latency_ms_buckets());
+        for &x in &xs {
+            a.observe(x);
+        }
+        let mut b = Histogram::new(latency_ms_buckets());
+        for &y in &ys {
+            b.observe(y);
+        }
+        let mut ab = a.clone();
+        ab.merge_from(&b);
+        let mut ba = b.clone();
+        ba.merge_from(&a);
+        prop_assert_eq!(&ab, &ba);
+        prop_assert_eq!(ab.count(), (xs.len() + ys.len()) as u64);
+        // Summary queries agree with a histogram fed the union directly
+        // (sample sets are sorted post-merge, so state is canonical).
+        let mut union: Vec<f64> = xs.iter().chain(ys.iter()).copied().collect();
+        union.sort_by(|p, q| p.partial_cmp(q).expect("finite"));
+        let direct = Histogram::from_parts(latency_ms_buckets().to_vec(), union)
+            .expect("valid parts");
+        prop_assert_eq!(ab.max(), direct.max());
+        prop_assert_eq!(ab.quantile(0.5), direct.quantile(0.5));
+        prop_assert_eq!(ab.cumulative_counts(), direct.cumulative_counts());
+    }
+}

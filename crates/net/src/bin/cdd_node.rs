@@ -4,7 +4,8 @@
 //! cargo run --release -p cdd-net --bin cdd-node -- \
 //!     [--addr 127.0.0.1:0] [--devices 2] [--blocks 2] [--block-size 64] \
 //!     [--queue 64] [--cache 128] [--rate 0] [--burst 8] \
-//!     [--secret cdd-net-dev-secret] [--metrics-out results/node_metrics.prom]
+//!     [--secret cdd-net-dev-secret] [--metrics-out results/node_metrics.prom] \
+//!     [--label node-a] [--slow-log results/slow.jsonl] [--slow-threshold-ms 250]
 //! ```
 //!
 //! Prints `cdd-node listening on <addr>` once bound (scripts parse this
@@ -32,6 +33,9 @@ fn main() {
         secret: args.get("secret").unwrap_or(cdd_net::auth::DEFAULT_SECRET).to_string(),
         rate_per_sec: args.get_or("rate", 0u64),
         burst: args.get_or("burst", 8u64),
+        label: args.get("label").unwrap_or("node").to_string(),
+        slow_log: args.get("slow-log").map(PathBuf::from),
+        slow_threshold_ms: args.get_or("slow-threshold-ms", 0u64),
     };
     let metrics_out = args
         .get("metrics-out")

@@ -5,7 +5,7 @@
 //!     --upstreams 127.0.0.1:4101,127.0.0.1:4102 \
 //!     [--addr 127.0.0.1:0] [--secret cdd-net-dev-secret] \
 //!     [--health-interval 100] [--max-attempts 8] [--backoff 10] \
-//!     [--no-forward-shutdown]
+//!     [--no-forward-shutdown] [--metrics-out results/router_metrics.prom]
 //! ```
 //!
 //! Prints `cdd-router listening on <addr>` once bound. A client
@@ -39,6 +39,13 @@ fn main() {
     std::io::stdout().flush().expect("flush stdout");
 
     let report = handle.join();
+    if let Some(out) = args.get("metrics-out").map(std::path::PathBuf::from) {
+        if let Some(dir) = out.parent() {
+            std::fs::create_dir_all(dir).expect("metrics dir");
+        }
+        std::fs::write(&out, report.net_metrics.render_prometheus()).expect("write metrics");
+        println!("cdd-router metrics at {}", out.display());
+    }
     println!(
         "cdd-router done: {} routed, {} re-routed after upstream deaths",
         report.routed, report.reroutes

@@ -18,10 +18,11 @@
 use crate::auth;
 use crate::frame::{
     assemble_sequence, read_frame, write_frame, ErrorCode, Frame, NetError, NetRequest,
-    NetResponse, NodeStats, WorkSpec,
+    NetResponse, NodeStats, StatsEnvelope, WorkSpec,
 };
 use cdd_bench::workload::WorkloadEntry;
-use cdd_core::SuiteError;
+use cdd_core::{SuiteError, TraceContext};
+use cdd_metrics::FlightRecord;
 use std::collections::BTreeMap;
 use std::net::TcpStream;
 use std::time::Duration;
@@ -29,6 +30,17 @@ use std::time::Duration;
 /// Give-up threshold for one entry: reconnects, rate-limit waits and
 /// re-routes all count.
 pub const MAX_ATTEMPTS: u32 = 64;
+
+/// Client-side behavior switches beyond the transport basics.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ClientOptions {
+    /// Attach a sampled [`TraceContext`] to every request and collect the
+    /// per-request [`FlightRecord`]s the fleet returns. Trace ids derive
+    /// from workload entry positions, so they are stable across runs,
+    /// resubmissions and reconnects — which is what keeps traced
+    /// artifacts byte-comparable.
+    pub trace: bool,
+}
 
 /// Terminal result of one workload entry driven through the socket.
 #[derive(Debug, Clone)]
@@ -94,7 +106,12 @@ fn connect(addr: &str) -> Result<TcpStream, SuiteError> {
     Ok(stream)
 }
 
-fn entry_request(id: u64, entry: &WorkloadEntry, secret: &str) -> NetRequest {
+fn entry_request(
+    id: u64,
+    entry: &WorkloadEntry,
+    secret: &str,
+    trace: Option<TraceContext>,
+) -> NetRequest {
     NetRequest {
         id,
         tenant: entry.tenant.clone(),
@@ -109,6 +126,7 @@ fn entry_request(id: u64, entry: &WorkloadEntry, secret: &str) -> NetRequest {
             k: entry.id.k,
             h: entry.id.h,
         },
+        trace,
     }
 }
 
@@ -126,6 +144,33 @@ pub fn run_workload(
     entries: &[WorkloadEntry],
     window: usize,
     secret: &str,
+) -> Result<Vec<ClientOutcome>, SuiteError> {
+    run_workload_opts(addr, entries, window, secret, ClientOptions::default())
+}
+
+/// [`run_workload`] with behavior switches (request tracing).
+pub fn run_workload_opts(
+    addr: &str,
+    entries: &[WorkloadEntry],
+    window: usize,
+    secret: &str,
+    opts: ClientOptions,
+) -> Result<Vec<ClientOutcome>, SuiteError> {
+    let indexed: Vec<(u64, WorkloadEntry)> =
+        entries.iter().cloned().enumerate().map(|(i, e)| (i as u64, e)).collect();
+    run_indexed(addr, &indexed, window, secret, opts)
+}
+
+/// The workhorse: entries tagged with their *global* workload position,
+/// which seeds the trace id (`position + 1`) — globally unique across
+/// sharded connections and stable across runs, resubmissions and
+/// reconnects.
+fn run_indexed(
+    addr: &str,
+    entries: &[(u64, WorkloadEntry)],
+    window: usize,
+    secret: &str,
+    opts: ClientOptions,
 ) -> Result<Vec<ClientOutcome>, SuiteError> {
     let window = window.max(1);
     let mut outcomes: Vec<Option<ClientOutcome>> = entries.iter().map(|_| None).collect();
@@ -148,7 +193,9 @@ pub fn run_workload(
      -> Result<(), SuiteError> {
         let id = *next_id;
         *next_id += 1;
-        let req = entry_request(id, &entries[entry_idx], secret);
+        let (global_idx, entry) = &entries[entry_idx];
+        let trace = opts.trace.then(|| TraceContext::root(global_idx + 1));
+        let req = entry_request(id, entry, secret, trace);
         write_frame(stream, &Frame::Request(req))?;
         pending.insert(id, Pending { entry_idx, chunks: Vec::new(), attempts: attempts + 1 });
         Ok(())
@@ -203,7 +250,7 @@ pub fn run_workload(
                 if let Some(p) = pending.remove(&r.id) {
                     let sequence = assemble_sequence(&p.chunks)?;
                     outcomes[p.entry_idx] = Some(ClientOutcome {
-                        entry: entries[p.entry_idx].clone(),
+                        entry: entries[p.entry_idx].1.clone(),
                         response: Some(r),
                         sequence,
                         error: None,
@@ -226,7 +273,7 @@ pub fn run_workload(
                     submit(&mut stream, &mut pending, &mut next_id, p.entry_idx, p.attempts)?;
                 } else {
                     outcomes[p.entry_idx] = Some(ClientOutcome {
-                        entry: entries[p.entry_idx].clone(),
+                        entry: entries[p.entry_idx].1.clone(),
                         response: None,
                         sequence: Vec::new(),
                         error: Some(e),
@@ -254,9 +301,24 @@ pub fn run_workload_sharded(
     window: usize,
     secret: &str,
 ) -> Result<Vec<ClientOutcome>, SuiteError> {
+    run_workload_sharded_opts(addr, entries, connections, window, secret, ClientOptions::default())
+}
+
+/// [`run_workload_sharded`] with behavior switches. Trace ids keep their
+/// *global* workload positions through the round-robin split, so a traced
+/// sharded run produces the same flight-record set as a single-connection
+/// run of the same workload.
+pub fn run_workload_sharded_opts(
+    addr: &str,
+    entries: &[WorkloadEntry],
+    connections: usize,
+    window: usize,
+    secret: &str,
+    opts: ClientOptions,
+) -> Result<Vec<ClientOutcome>, SuiteError> {
     let connections = connections.max(1);
     if connections == 1 {
-        return run_workload(addr, entries, window, secret);
+        return run_workload_opts(addr, entries, window, secret, opts);
     }
     let mut slots: Vec<Vec<(usize, WorkloadEntry)>> = vec![Vec::new(); connections];
     for (i, e) in entries.iter().enumerate() {
@@ -268,9 +330,9 @@ pub fn run_workload_sharded(
                 .iter()
                 .map(|slot| {
                     scope.spawn(move || {
-                        let local: Vec<WorkloadEntry> =
-                            slot.iter().map(|(_, e)| e.clone()).collect();
-                        let outs = run_workload(addr, &local, window, secret)?;
+                        let local: Vec<(u64, WorkloadEntry)> =
+                            slot.iter().map(|(i, e)| (*i as u64, e.clone())).collect();
+                        let outs = run_indexed(addr, &local, window, secret, opts)?;
                         Ok(slot.iter().map(|(i, _)| *i).zip(outs).collect())
                     })
                 })
@@ -298,12 +360,31 @@ pub fn ping(addr: &str, nonce: u64) -> Result<bool, SuiteError> {
 
 /// Fetch a live counter snapshot from a node.
 pub fn stats(addr: &str) -> Result<NodeStats, SuiteError> {
+    Ok(stats_envelope(addr, false)?.stats)
+}
+
+/// Fetch a stats envelope, optionally asking for the full metrics
+/// registry (`full: true`). Against a router, the envelope also carries
+/// [`crate::frame::UpstreamHealth`] and the registry is the
+/// deterministically merged fleet-wide aggregate.
+pub fn stats_envelope(addr: &str, full: bool) -> Result<StatsEnvelope, SuiteError> {
     let mut stream = connect(addr)?;
-    write_frame(&mut stream, &Frame::Stats)?;
+    write_frame(&mut stream, &Frame::Stats { full })?;
     match read_frame(&mut stream)? {
-        Some(Frame::StatsReply(s)) => Ok(s),
+        Some(Frame::StatsReply(env)) => Ok(env),
         other => Err(SuiteError::protocol(format!("expected stats reply, got {other:?}"))),
     }
+}
+
+/// Extract the flight records a traced workload brought home, one per
+/// successfully answered entry (order follows the outcome slice; the
+/// fleet-trace builder orders internally, so callers need not sort).
+#[must_use]
+pub fn flight_records(outcomes: &[ClientOutcome]) -> Vec<FlightRecord> {
+    outcomes
+        .iter()
+        .filter_map(|o| o.response.as_ref().and_then(|r| r.flight.clone()))
+        .collect()
 }
 
 /// Ask a node (or router) to drain and exit; returns once the peer

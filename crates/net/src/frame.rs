@@ -21,10 +21,27 @@
 //! | 7   | `Stats`      | client → node    | snapshot request                     |
 //! | 8   | `StatsReply` | node → client    | live service counters                |
 //! | 9   | `Shutdown`   | client → node    | drain queue, join workers, exit      |
+//!
+//! ## Frame extensions
+//!
+//! `Request`, `Response`, `Stats` and `StatsReply` may carry an optional
+//! **extension block** after their legacy fields:
+//! `[u8 count]([u8 ext_tag][u32 len][payload])*`. The block is written
+//! only when at least one extension is present, so a frame without
+//! extensions encodes byte-identically to protocol version 1 before
+//! extensions existed — tracing off means bytes unchanged. Decoders skip
+//! unknown extension tags (and tolerate bytes appended inside a known
+//! extension's payload), so an old node still parses a new client's
+//! frames and vice versa. Current extensions: trace context on `Request`
+//! (tag 1), a [`FlightRecord`] on `Response` (tag 1), the full-snapshot
+//! flag on `Stats` (tag 1), and a full [`MetricsRegistry`] snapshot
+//! (tag 1) plus router [`UpstreamHealth`] (tag 2) on `StatsReply`.
 
+use crate::snapshot::{decode_flight, decode_registry, encode_flight, encode_registry};
 use crate::wire::{ByteReader, ByteWriter, WireError};
-use cdd_core::{Algorithm, Instance, Job, Priority, SolveRequest, SuiteError};
+use cdd_core::{Algorithm, Instance, Job, Priority, SolveRequest, SuiteError, TraceContext};
 use cdd_instances::InstanceId;
+use cdd_metrics::{FlightRecord, MetricsRegistry};
 use std::io::{Read, Write};
 
 /// Wire protocol version; bumped on any incompatible layout change.
@@ -38,6 +55,82 @@ pub const MAX_FRAME_LEN: usize = 1 << 20;
 /// Upper bound on inline job counts and catalog `n` accepted over the
 /// wire; the solver's own campaign sizes top out at 1000 jobs.
 pub const MAX_WIRE_JOBS: usize = 20_000;
+
+/// `Request` extension: a propagated [`TraceContext`].
+pub const EXT_REQUEST_TRACE: u8 = 1;
+
+/// `Response` extension: the request's stitched [`FlightRecord`].
+pub const EXT_RESPONSE_FLIGHT: u8 = 1;
+
+/// `Stats` extension: ask for a full [`MetricsRegistry`] snapshot in the
+/// reply, not just the flat counters (empty payload — presence is the
+/// flag).
+pub const EXT_STATS_FULL: u8 = 1;
+
+/// `StatsReply` extension: a full [`MetricsRegistry`] snapshot.
+pub const EXT_STATS_REPLY_REGISTRY: u8 = 1;
+
+/// `StatsReply` extension: router-side [`UpstreamHealth`].
+pub const EXT_STATS_REPLY_HEALTH: u8 = 2;
+
+/// Append the extension block — only when non-empty, so extension-free
+/// frames stay byte-identical to the pre-extension wire format.
+fn write_extensions(w: &mut ByteWriter, exts: &[(u8, Vec<u8>)]) {
+    if exts.is_empty() {
+        return;
+    }
+    w.put_u8(u8::try_from(exts.len()).expect("extension count fits u8"));
+    for (tag, payload) in exts {
+        w.put_u8(*tag);
+        w.put_bytes(payload);
+    }
+}
+
+/// Parse the optional extension block (anything after the legacy fields).
+/// Unknown tags are returned to the caller, which skips them — the
+/// cross-version tolerance rule. Hostile counts/lengths fail through the
+/// bounds-checked reader.
+fn read_extensions(r: &mut ByteReader) -> Result<Vec<(u8, Vec<u8>)>, WireError> {
+    if r.remaining() == 0 {
+        return Ok(Vec::new());
+    }
+    let count = r.take_u8("extension count")? as usize;
+    let mut exts = Vec::with_capacity(count.min(16));
+    for _ in 0..count {
+        let tag = r.take_u8("extension tag")?;
+        let payload = r.take_bytes("extension payload")?;
+        exts.push((tag, payload));
+    }
+    Ok(exts)
+}
+
+/// Encode a [`TraceContext`] extension payload: trace id, parent span id,
+/// then a flags byte (bit 0 = sampled; other bits reserved).
+fn encode_trace(t: &TraceContext) -> Vec<u8> {
+    let mut w = ByteWriter::new();
+    w.put_u64(t.trace_id);
+    w.put_u64(t.parent_span_id);
+    w.put_u8(u8::from(t.sampled));
+    w.into_bytes()
+}
+
+/// Decode a [`TraceContext`] payload; unknown flag bits and appended
+/// future fields are tolerated.
+fn decode_trace(payload: &[u8]) -> Result<TraceContext, WireError> {
+    let mut r = ByteReader::new(payload);
+    let trace_id = r.take_u64("trace id")?;
+    let parent_span_id = r.take_u64("parent span id")?;
+    let flags = r.take_u8("trace flags")?;
+    Ok(TraceContext { trace_id, parent_span_id, sampled: flags & 1 == 1 })
+}
+
+fn decode_health(payload: &[u8]) -> Result<UpstreamHealth, WireError> {
+    let mut r = ByteReader::new(payload);
+    Ok(UpstreamHealth {
+        upstreams_alive: r.take_u32("upstreams alive")?,
+        upstreams_unreachable: r.take_u32("upstreams unreachable")?,
+    })
+}
 
 /// Structured error codes carried by [`Frame::Error`]; stable numeric
 /// values are part of the wire contract.
@@ -152,6 +245,9 @@ pub struct NetRequest {
     pub seed: u64,
     /// The instance to solve.
     pub work: WorkSpec,
+    /// Optional distributed-tracing context, carried as a frame extension
+    /// (`None` encodes byte-identically to the pre-extension format).
+    pub trace: Option<TraceContext>,
 }
 
 impl NetRequest {
@@ -189,6 +285,7 @@ impl NetRequest {
             deadline_ms: self.deadline_ms,
             tenant: self.tenant.clone(),
             priority: self.priority,
+            trace: self.trace,
             ..SolveRequest::new(instance, self.algorithm, self.iterations, self.seed)
         })
     }
@@ -225,6 +322,10 @@ pub struct NetResponse {
     /// Wall-clock milliseconds from submit to completion (timing-shaped,
     /// excluded from determinism comparisons).
     pub wall_ms: f64,
+    /// Opt-in per-hop latency attribution for traced requests, carried as
+    /// a frame extension (`None` encodes byte-identically to the
+    /// pre-extension format).
+    pub flight: Option<FlightRecord>,
 }
 
 /// One slice of a streamed job sequence. Chunks for a request arrive in
@@ -290,6 +391,42 @@ pub struct NodeStats {
     pub coalesced: u64,
 }
 
+/// Router-side upstream reachability attached to an aggregated
+/// `StatsReply`, so a partial fleet aggregate is distinguishable from a
+/// full one.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct UpstreamHealth {
+    /// Upstreams that answered the stats poll.
+    pub upstreams_alive: u32,
+    /// Upstreams that were dead or unreachable when aggregating (their
+    /// counters are missing from the aggregate).
+    pub upstreams_unreachable: u32,
+}
+
+/// The `StatsReply` payload: the legacy flat counters, plus optional
+/// extensions — a full registry snapshot and (from routers) upstream
+/// health. A plain-counters envelope encodes byte-identically to the
+/// pre-extension `StatsReply`.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct StatsEnvelope {
+    /// Flat service counters (always present — the legacy payload).
+    pub stats: NodeStats,
+    /// Router aggregation health (routers always attach this; nodes never
+    /// do).
+    pub health: Option<UpstreamHealth>,
+    /// Full metrics-registry snapshot (attached when the poll asked for
+    /// `Stats { full: true }`).
+    pub registry: Option<MetricsRegistry>,
+}
+
+impl StatsEnvelope {
+    /// An envelope carrying only the flat counters.
+    #[must_use]
+    pub fn flat(stats: NodeStats) -> Self {
+        StatsEnvelope { stats, health: None, registry: None }
+    }
+}
+
 /// One protocol frame.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Frame {
@@ -311,10 +448,15 @@ pub enum Frame {
         /// The probe's nonce.
         nonce: u64,
     },
-    /// Snapshot request (tag 7).
-    Stats,
+    /// Snapshot request (tag 7); `full` asks for a registry snapshot in
+    /// the reply (carried as an extension — `full: false` encodes as the
+    /// legacy empty payload).
+    Stats {
+        /// Whether the reply should include the full metrics registry.
+        full: bool,
+    },
     /// Snapshot reply (tag 8).
-    StatsReply(NodeStats),
+    StatsReply(StatsEnvelope),
     /// Drain-and-exit request (tag 9).
     Shutdown,
 }
@@ -330,7 +472,7 @@ impl Frame {
             Frame::Error(_) => 4,
             Frame::Ping { .. } => 5,
             Frame::Pong { .. } => 6,
-            Frame::Stats => 7,
+            Frame::Stats { .. } => 7,
             Frame::StatsReply(_) => 8,
             Frame::Shutdown => 9,
         }
@@ -346,7 +488,7 @@ impl Frame {
             Frame::Error(_) => "error",
             Frame::Ping { .. } => "ping",
             Frame::Pong { .. } => "pong",
-            Frame::Stats => "stats",
+            Frame::Stats { .. } => "stats",
             Frame::StatsReply(_) => "stats_reply",
             Frame::Shutdown => "shutdown",
         }
@@ -395,6 +537,11 @@ impl Frame {
                         }
                     }
                 }
+                let mut exts = Vec::new();
+                if let Some(t) = &r.trace {
+                    exts.push((EXT_REQUEST_TRACE, encode_trace(t)));
+                }
+                write_extensions(&mut w, &exts);
             }
             Frame::Response(r) => {
                 w.put_u64(r.id);
@@ -406,6 +553,11 @@ impl Frame {
                 w.put_bool(r.cpu_fallback);
                 w.put_bool(r.degraded);
                 w.put_f64(r.wall_ms);
+                let mut exts = Vec::new();
+                if let Some(f) = &r.flight {
+                    exts.push((EXT_RESPONSE_FLIGHT, encode_flight(f)));
+                }
+                write_extensions(&mut w, &exts);
             }
             Frame::Chunk(c) => {
                 w.put_u64(c.id);
@@ -420,8 +572,14 @@ impl Frame {
                 w.put_u64(e.retry_after_ms);
             }
             Frame::Ping { nonce } | Frame::Pong { nonce } => w.put_u64(*nonce),
-            Frame::Stats | Frame::Shutdown => {}
-            Frame::StatsReply(s) => {
+            Frame::Shutdown => {}
+            Frame::Stats { full } => {
+                if *full {
+                    write_extensions(&mut w, &[(EXT_STATS_FULL, Vec::new())]);
+                }
+            }
+            Frame::StatsReply(env) => {
+                let s = &env.stats;
                 w.put_u64(s.submitted);
                 w.put_u64(s.completed);
                 w.put_u64(s.failed);
@@ -434,6 +592,17 @@ impl Frame {
                 w.put_u64(s.cache_hits);
                 w.put_u64(s.cache_misses);
                 w.put_u64(s.coalesced);
+                let mut exts = Vec::new();
+                if let Some(reg) = &env.registry {
+                    exts.push((EXT_STATS_REPLY_REGISTRY, encode_registry(reg)));
+                }
+                if let Some(h) = &env.health {
+                    let mut hw = ByteWriter::new();
+                    hw.put_u32(h.upstreams_alive);
+                    hw.put_u32(h.upstreams_unreachable);
+                    exts.push((EXT_STATS_REPLY_HEALTH, hw.into_bytes()));
+                }
+                write_extensions(&mut w, &exts);
             }
         }
         let body = w.into_bytes();
@@ -507,6 +676,12 @@ impl Frame {
                     }
                     v => return Err(SuiteError::protocol(format!("unknown work kind {v}"))),
                 };
+                let mut trace = None;
+                for (ext, payload) in read_extensions(&mut r).map_err(wire)? {
+                    if ext == EXT_REQUEST_TRACE {
+                        trace = Some(decode_trace(&payload).map_err(wire)?);
+                    }
+                }
                 Frame::Request(NetRequest {
                     id,
                     tenant,
@@ -517,19 +692,29 @@ impl Frame {
                     iterations,
                     seed,
                     work,
+                    trace,
                 })
             }
-            2 => Frame::Response(NetResponse {
-                id: r.take_u64("response id").map_err(wire)?,
-                objective: r.take_i64("objective").map_err(wire)?,
-                modeled_seconds: r.take_f64("modeled seconds").map_err(wire)?,
-                evaluations: r.take_u64("evaluations").map_err(wire)?,
-                cache_hit: r.take_bool("cache hit").map_err(wire)?,
-                device: r.take_opt_u64("device").map_err(wire)?,
-                cpu_fallback: r.take_bool("cpu fallback").map_err(wire)?,
-                degraded: r.take_bool("degraded").map_err(wire)?,
-                wall_ms: r.take_f64("wall ms").map_err(wire)?,
-            }),
+            2 => {
+                let mut resp = NetResponse {
+                    id: r.take_u64("response id").map_err(wire)?,
+                    objective: r.take_i64("objective").map_err(wire)?,
+                    modeled_seconds: r.take_f64("modeled seconds").map_err(wire)?,
+                    evaluations: r.take_u64("evaluations").map_err(wire)?,
+                    cache_hit: r.take_bool("cache hit").map_err(wire)?,
+                    device: r.take_opt_u64("device").map_err(wire)?,
+                    cpu_fallback: r.take_bool("cpu fallback").map_err(wire)?,
+                    degraded: r.take_bool("degraded").map_err(wire)?,
+                    wall_ms: r.take_f64("wall ms").map_err(wire)?,
+                    flight: None,
+                };
+                for (ext, payload) in read_extensions(&mut r).map_err(wire)? {
+                    if ext == EXT_RESPONSE_FLIGHT {
+                        resp.flight = Some(decode_flight(&payload).map_err(wire)?);
+                    }
+                }
+                Frame::Response(resp)
+            }
             3 => Frame::Chunk(StreamChunk {
                 id: r.take_u64("chunk id").map_err(wire)?,
                 index: r.take_u32("chunk index").map_err(wire)?,
@@ -545,21 +730,39 @@ impl Frame {
             }),
             5 => Frame::Ping { nonce: r.take_u64("ping nonce").map_err(wire)? },
             6 => Frame::Pong { nonce: r.take_u64("pong nonce").map_err(wire)? },
-            7 => Frame::Stats,
-            8 => Frame::StatsReply(NodeStats {
-                submitted: r.take_u64("submitted").map_err(wire)?,
-                completed: r.take_u64("completed").map_err(wire)?,
-                failed: r.take_u64("failed").map_err(wire)?,
-                expired: r.take_u64("expired").map_err(wire)?,
-                degraded: r.take_u64("degraded").map_err(wire)?,
-                rejected: r.take_u64("rejected").map_err(wire)?,
-                retried: r.take_u64("retried").map_err(wire)?,
-                restarts: r.take_u64("restarts").map_err(wire)?,
-                queue_depth: r.take_u64("queue depth").map_err(wire)?,
-                cache_hits: r.take_u64("cache hits").map_err(wire)?,
-                cache_misses: r.take_u64("cache misses").map_err(wire)?,
-                coalesced: r.take_u64("coalesced").map_err(wire)?,
-            }),
+            7 => {
+                let exts = read_extensions(&mut r).map_err(wire)?;
+                Frame::Stats { full: exts.iter().any(|(ext, _)| *ext == EXT_STATS_FULL) }
+            }
+            8 => {
+                let stats = NodeStats {
+                    submitted: r.take_u64("submitted").map_err(wire)?,
+                    completed: r.take_u64("completed").map_err(wire)?,
+                    failed: r.take_u64("failed").map_err(wire)?,
+                    expired: r.take_u64("expired").map_err(wire)?,
+                    degraded: r.take_u64("degraded").map_err(wire)?,
+                    rejected: r.take_u64("rejected").map_err(wire)?,
+                    retried: r.take_u64("retried").map_err(wire)?,
+                    restarts: r.take_u64("restarts").map_err(wire)?,
+                    queue_depth: r.take_u64("queue depth").map_err(wire)?,
+                    cache_hits: r.take_u64("cache hits").map_err(wire)?,
+                    cache_misses: r.take_u64("cache misses").map_err(wire)?,
+                    coalesced: r.take_u64("coalesced").map_err(wire)?,
+                };
+                let mut env = StatsEnvelope::flat(stats);
+                for (ext, payload) in read_extensions(&mut r).map_err(wire)? {
+                    match ext {
+                        EXT_STATS_REPLY_REGISTRY => {
+                            env.registry = Some(decode_registry(&payload).map_err(wire)?);
+                        }
+                        EXT_STATS_REPLY_HEALTH => {
+                            env.health = Some(decode_health(&payload).map_err(wire)?);
+                        }
+                        _ => {}
+                    }
+                }
+                Frame::StatsReply(env)
+            }
             9 => Frame::Shutdown,
             other => {
                 return Err(SuiteError::protocol(format!("unknown frame tag {other}")));
@@ -690,6 +893,7 @@ mod tests {
             iterations: 100,
             seed: 7,
             work: WorkSpec::ById { n: 10, k: 1, h: Some(0.6) },
+            trace: None,
         }
     }
 
@@ -707,6 +911,7 @@ mod tests {
                 cpu_fallback: false,
                 degraded: false,
                 wall_ms: 12.5,
+                flight: None,
             }),
             Frame::Chunk(StreamChunk { id: 42, index: 0, total: 1, data: vec![1, 0, 0, 0] }),
             Frame::Error(NetError {
@@ -717,8 +922,12 @@ mod tests {
             }),
             Frame::Ping { nonce: 77 },
             Frame::Pong { nonce: 77 },
-            Frame::Stats,
-            Frame::StatsReply(NodeStats { submitted: 3, completed: 2, ..Default::default() }),
+            Frame::Stats { full: false },
+            Frame::StatsReply(StatsEnvelope::flat(NodeStats {
+                submitted: 3,
+                completed: 2,
+                ..Default::default()
+            })),
             Frame::Shutdown,
         ];
         let mut wire = Vec::new();
@@ -758,6 +967,93 @@ mod tests {
     fn trailing_bytes_are_rejected() {
         let mut body = Frame::Ping { nonce: 1 }.encode()[4..].to_vec();
         body.push(0xFF);
+        assert!(Frame::decode_body(&body).is_err());
+    }
+
+    #[test]
+    fn traced_frames_round_trip_and_untraced_bytes_are_unchanged() {
+        let untraced = Frame::Request(sample_request());
+        let traced = Frame::Request(NetRequest {
+            trace: Some(TraceContext { trace_id: 0xABCD, parent_span_id: 7, sampled: true }),
+            ..sample_request()
+        });
+        assert_eq!(Frame::decode_body(&traced.encode()[4..]).unwrap(), traced);
+        // The extension block appears only when an extension is present:
+        // past the length prefix, the untraced body is a byte-identical
+        // prefix of the traced one.
+        let (traced_wire, untraced_wire) = (traced.encode(), untraced.encode());
+        assert!(traced_wire.len() > untraced_wire.len());
+        assert_eq!(
+            &traced_wire[4..untraced_wire.len()],
+            &untraced_wire[4..],
+            "legacy fields are a byte-identical prefix"
+        );
+
+        let response = Frame::Response(NetResponse {
+            id: 42,
+            objective: 10,
+            modeled_seconds: 0.5,
+            evaluations: 100,
+            cache_hit: false,
+            device: Some(0),
+            cpu_fallback: false,
+            degraded: false,
+            wall_ms: 3.25,
+            flight: Some(FlightRecord {
+                trace_id: 0xABCD,
+                node: "a".into(),
+                hops: vec![cdd_metrics::FlightHop::new("worker", "attempt", 500.0, 512.0)],
+            }),
+        });
+        assert_eq!(Frame::decode_body(&response.encode()[4..]).unwrap(), response);
+    }
+
+    #[test]
+    fn stats_frames_round_trip_with_extensions() {
+        for frame in [Frame::Stats { full: false }, Frame::Stats { full: true }] {
+            assert_eq!(Frame::decode_body(&frame.encode()[4..]).unwrap(), frame);
+        }
+        assert_eq!(
+            Frame::Stats { full: false }.encode().len(),
+            4 + 2,
+            "plain stats poll is the legacy empty payload"
+        );
+
+        let mut reg = MetricsRegistry::new();
+        reg.inc("net_requests_total", &[("tenant", "t0")], 3);
+        let env = StatsEnvelope {
+            stats: NodeStats { submitted: 3, ..Default::default() },
+            health: Some(UpstreamHealth { upstreams_alive: 2, upstreams_unreachable: 1 }),
+            registry: Some(reg),
+        };
+        let frame = Frame::StatsReply(env);
+        assert_eq!(Frame::decode_body(&frame.encode()[4..]).unwrap(), frame);
+    }
+
+    #[test]
+    fn unknown_extensions_are_skipped_not_errors() {
+        // A frame from a *newer* peer: legacy fields, then an extension
+        // block holding one unknown tag. This build must parse the known
+        // shape and ignore the stranger.
+        let mut body = Frame::Request(sample_request()).encode()[4..].to_vec();
+        body.push(1); // extension count
+        body.push(200); // unknown tag
+        body.extend_from_slice(&3u32.to_le_bytes());
+        body.extend_from_slice(&[1, 2, 3]);
+        let decoded = Frame::decode_body(&body).expect("unknown extension tolerated");
+        assert_eq!(decoded, Frame::Request(sample_request()));
+
+        // Same for a stats reply carrying a future extension.
+        let mut body =
+            Frame::StatsReply(StatsEnvelope::flat(NodeStats::default())).encode()[4..].to_vec();
+        body.push(1);
+        body.push(250);
+        body.extend_from_slice(&0u32.to_le_bytes());
+        assert!(Frame::decode_body(&body).is_ok());
+
+        // A truncated extension block is still an error.
+        let mut body = Frame::Request(sample_request()).encode()[4..].to_vec();
+        body.push(2); // claims two extensions, provides none
         assert!(Frame::decode_body(&body).is_err());
     }
 

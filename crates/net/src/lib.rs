@@ -34,13 +34,15 @@ pub mod frame;
 pub mod limiter;
 pub mod node;
 pub mod router;
+pub mod snapshot;
 pub mod wire;
 
 pub use client::{run_workload, run_workload_sharded, sorted_outcome_csv, ClientOutcome};
 pub use frame::{
     read_frame, write_frame, ErrorCode, Frame, NetError, NetRequest, NetResponse, NodeStats,
-    StreamChunk, WorkSpec, MAX_FRAME_LEN, PROTOCOL_VERSION,
+    StatsEnvelope, StreamChunk, UpstreamHealth, WorkSpec, MAX_FRAME_LEN, PROTOCOL_VERSION,
 };
+pub use snapshot::{decode_flight, decode_registry, encode_flight, encode_registry};
 pub use limiter::TenantLimiter;
 pub use node::{serve as serve_node, NodeConfig, NodeHandle, NodeReport};
 pub use router::{serve as serve_router, RouterConfig, RouterHandle, RouterReport};

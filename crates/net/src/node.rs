@@ -18,14 +18,15 @@
 use crate::auth;
 use crate::frame::{
     self, chunk_sequence, read_frame, ErrorCode, Frame, NetError, NetRequest, NetResponse,
-    NodeStats,
+    NodeStats, StatsEnvelope,
 };
 use crate::limiter::TenantLimiter;
-use cdd_metrics::{connection_requests_buckets, frame_bytes_buckets, MetricsRegistry};
+use cdd_metrics::{connection_requests_buckets, frame_bytes_buckets, FlightHop, MetricsRegistry};
 use cdd_service::{ServiceConfig, ServiceReport, SolverService};
 use cdd_core::SuiteError;
 use std::io::Write as _;
 use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
@@ -44,6 +45,17 @@ pub struct NodeConfig {
     pub rate_per_sec: u64,
     /// Per-tenant burst allowance.
     pub burst: u64,
+    /// Label this node stamps on every flight record it ships (and on its
+    /// slow-log lines). Fleet traces group by it, so give each node in a
+    /// fleet a distinct label.
+    pub label: String,
+    /// Append threshold-gated slow-request JSONL lines to this file (only
+    /// traced requests can be logged — the line is the flight record's
+    /// latency attribution). `None` disables the log.
+    pub slow_log: Option<PathBuf>,
+    /// Wall-clock latency, milliseconds, at or above which a traced
+    /// request is written to `slow_log`.
+    pub slow_threshold_ms: u64,
 }
 
 impl Default for NodeConfig {
@@ -54,6 +66,9 @@ impl Default for NodeConfig {
             secret: auth::DEFAULT_SECRET.to_string(),
             rate_per_sec: 0,
             burst: 8,
+            label: "node".to_string(),
+            slow_log: None,
+            slow_threshold_ms: 0,
         }
     }
 }
@@ -75,9 +90,29 @@ struct NodeShared {
     limiter: Mutex<TenantLimiter>,
     metrics: Mutex<MetricsRegistry>,
     secret: String,
+    label: String,
+    slow_log: Option<Mutex<std::fs::File>>,
+    slow_threshold_ms: u64,
     stop: AtomicBool,
     connections: AtomicU64,
     started: Instant,
+}
+
+/// The node's `net_*` registry with its deterministic `# HELP` table
+/// pre-installed (descriptions render only for series that exist).
+fn net_registry() -> MetricsRegistry {
+    let mut m = MetricsRegistry::new();
+    for (name, help) in [
+        ("net_frames_total", "Frames read and written, by direction and type."),
+        ("net_frame_bytes", "Encoded frame sizes, bytes, by direction."),
+        ("net_requests_total", "Request frames received, per tenant."),
+        ("net_admitted_total", "Requests admitted into the service, per tenant."),
+        ("net_shed_total", "Requests shed before admission, per tenant and reason."),
+        ("net_connection_requests", "Requests handled per connection."),
+    ] {
+        m.describe(name, help);
+    }
+    m
 }
 
 impl NodeShared {
@@ -122,11 +157,20 @@ pub fn serve(config: NodeConfig) -> std::io::Result<NodeHandle> {
     let listener = TcpListener::bind(&config.addr)?;
     listener.set_nonblocking(true)?;
     let addr = listener.local_addr()?;
+    let slow_log = match &config.slow_log {
+        Some(path) => Some(Mutex::new(
+            std::fs::OpenOptions::new().create(true).append(true).open(path)?,
+        )),
+        None => None,
+    };
     let shared = Arc::new(NodeShared {
         service: SolverService::start(config.service),
         limiter: Mutex::new(TenantLimiter::new(config.rate_per_sec, config.burst)),
-        metrics: Mutex::new(MetricsRegistry::new()),
+        metrics: Mutex::new(net_registry()),
         secret: config.secret,
+        label: config.label,
+        slow_log,
+        slow_threshold_ms: config.slow_threshold_ms,
         stop: AtomicBool::new(false),
         connections: AtomicU64::new(0),
         started: Instant::now(),
@@ -250,26 +294,30 @@ fn handle_connection(shared: &Arc<NodeShared>, stream: TcpStream) {
                 handle_request(shared, &writer, req, &mut waiters);
             }
             Frame::Ping { nonce } => send(shared, &writer, &Frame::Pong { nonce }),
-            Frame::Stats => {
+            Frame::Stats { full } => {
                 let snap = shared.service.snapshot();
-                send(
-                    shared,
-                    &writer,
-                    &Frame::StatsReply(NodeStats {
-                        submitted: snap.submitted,
-                        completed: snap.completed,
-                        failed: snap.failed,
-                        expired: snap.expired,
-                        degraded: snap.degraded,
-                        rejected: snap.rejected,
-                        retried: snap.retried,
-                        restarts: snap.restarts,
-                        queue_depth: snap.queue_depth as u64,
-                        cache_hits: snap.cache.hits,
-                        cache_misses: snap.cache.misses,
-                        coalesced: snap.cache.coalesced,
-                    }),
-                );
+                let mut envelope = StatsEnvelope::flat(NodeStats {
+                    submitted: snap.submitted,
+                    completed: snap.completed,
+                    failed: snap.failed,
+                    expired: snap.expired,
+                    degraded: snap.degraded,
+                    rejected: snap.rejected,
+                    retried: snap.retried,
+                    restarts: snap.restarts,
+                    queue_depth: snap.queue_depth as u64,
+                    cache_hits: snap.cache.hits,
+                    cache_misses: snap.cache.misses,
+                    coalesced: snap.cache.coalesced,
+                });
+                if full {
+                    // The full registry: the service's lifetime fold plus
+                    // the node's own net_* namespace, one merged snapshot.
+                    let mut registry = shared.service.metrics_snapshot();
+                    registry.merge_from(&shared.metrics.lock().expect("net metrics lock"));
+                    envelope.registry = Some(registry);
+                }
+                send(shared, &writer, &Frame::StatsReply(envelope));
             }
             Frame::Shutdown => {
                 shared.stop.store(true, Ordering::SeqCst);
@@ -329,9 +377,23 @@ fn handle_request(
         );
     };
 
+    // Node-layer hop spans for the flight record: each admission step is a
+    // logical decision (modeled 0), wall-timed for the slow log only.
+    // Recorded only for sampled requests, so untraced traffic pays nothing.
+    let sampled = req.trace.is_some_and(|t| t.sampled);
+    let mut node_hops: Vec<FlightHop> = Vec::new();
+    let mut step = Instant::now();
+
     if !auth::verify(&req.tenant, &req.token, &shared.secret) {
         shed(ErrorCode::Auth, format!("bad token for tenant {:?}", req.tenant), 0);
         return;
+    }
+    if sampled {
+        node_hops.push(
+            FlightHop::new("node", "auth", 0.0, step.elapsed().as_secs_f64() * 1e6)
+                .with_detail("tenant", &tenant),
+        );
+        step = Instant::now();
     }
     let now = shared.now_ms();
     if let Err(hint) =
@@ -344,6 +406,10 @@ fn handle_request(
         );
         return;
     }
+    if sampled {
+        node_hops.push(FlightHop::new("node", "limit", 0.0, step.elapsed().as_secs_f64() * 1e6));
+        step = Instant::now();
+    }
     let solve_req = match req.to_solve_request() {
         Ok(r) => r,
         Err(e) => {
@@ -351,6 +417,10 @@ fn handle_request(
             return;
         }
     };
+    if sampled {
+        node_hops
+            .push(FlightHop::new("node", "validate", 0.0, step.elapsed().as_secs_f64() * 1e6));
+    }
     match shared.service.submit(solve_req) {
         Ok(ticket) => {
             shared
@@ -365,6 +435,25 @@ fn handle_request(
                 .name(format!("cdd-node-wait-{ticket}"))
                 .spawn(move || {
                     let outcome = sh.service.wait(ticket);
+                    // Stitch the flight: node hops first (they happened
+                    // first), then the service-side hops, stamped with this
+                    // node's label.
+                    let flight = outcome.flight.map(|mut f| {
+                        f.node = sh.label.clone();
+                        let mut hops = node_hops;
+                        hops.append(&mut f.hops);
+                        f.hops = hops;
+                        f
+                    });
+                    if let (Some(f), Some(log)) = (&flight, &sh.slow_log) {
+                        #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+                        let wall_ms = outcome.wall_ms.max(0.0) as u64;
+                        if wall_ms >= sh.slow_threshold_ms {
+                            let line = f.slow_log_json(wall_ms, sh.slow_threshold_ms);
+                            let mut w = log.lock().expect("slow log lock");
+                            let _ = writeln!(w, "{line}");
+                        }
+                    }
                     match outcome.result {
                         Ok(out) => {
                             for chunk in chunk_sequence(id, out.sequence.as_slice()) {
@@ -383,6 +472,7 @@ fn handle_request(
                                     cpu_fallback: out.cpu_fallback,
                                     degraded: out.degraded,
                                     wall_ms: outcome.wall_ms,
+                                    flight,
                                 }),
                             );
                         }

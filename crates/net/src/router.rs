@@ -24,9 +24,10 @@
 use crate::auth;
 use crate::client as netclient;
 use crate::frame::{
-    self, read_frame, ErrorCode, Frame, NetError, NetRequest, NodeStats,
+    self, read_frame, ErrorCode, Frame, NetError, NetRequest, NodeStats, StatsEnvelope,
+    UpstreamHealth,
 };
-use cdd_metrics::MetricsRegistry;
+use cdd_metrics::{FlightHop, MetricsRegistry};
 use std::collections::BTreeMap;
 use std::io::Write as _;
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -141,6 +142,10 @@ struct PendingRoute {
     content_key: u64,
     upstream: usize,
     attempts: u32,
+    /// Router-layer hop spans (route decision, re-route sweeps) for a
+    /// sampled request; prepended to the node's flight record when the
+    /// response passes back through. Empty for untraced requests.
+    hops: Vec<FlightHop>,
 }
 
 struct RouterShared {
@@ -223,6 +228,7 @@ impl RouterShared {
                 p.attempts += 1;
                 (p.content_key, p.attempts, Arc::clone(&p.client), p.client_frame_id)
             };
+            let delay = backoff_ms(self.cfg.backoff_base_ms, key, attempts);
             if attempts > self.cfg.max_attempts {
                 let removed = self.pending.lock().expect("router pending lock").remove(&rid);
                 if removed.is_some() {
@@ -242,17 +248,25 @@ impl RouterShared {
                 }
                 return;
             }
-            std::thread::sleep(Duration::from_millis(backoff_ms(
-                self.cfg.backoff_base_ms,
-                key,
-                attempts,
-            )));
+            std::thread::sleep(Duration::from_millis(delay));
             let target = shard_for(key, &self.upstream_addrs(), &self.alive_mask());
             let Some(target) = target else { continue };
             let frame = {
                 let mut pending = self.pending.lock().expect("router pending lock");
                 let Some(p) = pending.get_mut(&rid) else { return };
                 p.upstream = target;
+                if p.request.trace.is_some_and(|t| t.sampled) {
+                    p.hops.push(
+                        // Shard is named by its index in the configured
+                        // upstream list, not its address: OS-assigned
+                        // ports vary run to run and would break the
+                        // fleet trace's byte-stability contract.
+                        FlightHop::new("router", "reroute", 0.0, 0.0)
+                            .with_detail("attempt", attempts)
+                            .with_detail("backoff_ms", delay)
+                            .with_detail("shard", target),
+                    );
+                }
                 let mut req = p.request.clone();
                 req.id = rid;
                 Frame::Request(req)
@@ -310,6 +324,16 @@ impl RouterShared {
                         self.pending.lock().expect("router pending lock").remove(&r.id);
                     if let Some(p) = dest {
                         r.id = p.client_frame_id;
+                        // Stitch the router's hops onto the front of the
+                        // node's flight record (path order: the route
+                        // decision happened before anything node-side).
+                        if let Some(f) = r.flight.as_mut() {
+                            if !p.hops.is_empty() {
+                                let mut hops = p.hops;
+                                hops.append(&mut f.hops);
+                                f.hops = hops;
+                            }
+                        }
                         send_to_client(&p.client, &Frame::Response(r));
                     }
                 }
@@ -494,20 +518,44 @@ fn handle_client(shared: &Arc<RouterShared>, stream: TcpStream) {
         match fr {
             Frame::Request(req) => route_request(shared, &client, req),
             Frame::Ping { nonce } => send_to_client(&client, &Frame::Pong { nonce }),
-            Frame::Stats => {
+            Frame::Stats { full } => {
                 // Aggregate over currently-alive upstreams via fresh
                 // short-lived connections (the persistent ones belong to
-                // the reader threads).
+                // the reader threads). The health extension makes a
+                // partial aggregate distinguishable from a full one: an
+                // upstream that is marked dead — or that fails the stats
+                // round-trip right now — counts as unreachable and its
+                // (unknown) counters are simply absent from the sums.
                 let mut agg = NodeStats::default();
+                let mut health = UpstreamHealth::default();
+                let mut registry = full.then(MetricsRegistry::new);
                 for u in &shared.upstreams {
                     if !u.alive.load(Ordering::SeqCst) {
+                        health.upstreams_unreachable += 1;
                         continue;
                     }
-                    if let Ok(s) = netclient::stats(&u.addr) {
-                        agg = add_stats(agg, s);
+                    match netclient::stats_envelope(&u.addr, full) {
+                        Ok(env) => {
+                            health.upstreams_alive += 1;
+                            agg = add_stats(agg, env.stats);
+                            if let (Some(fleet), Some(up)) =
+                                (registry.as_mut(), env.registry.as_ref())
+                            {
+                                fleet.merge_from(up);
+                            }
+                        }
+                        Err(_) => health.upstreams_unreachable += 1,
                     }
                 }
-                send_to_client(&client, &Frame::StatsReply(agg));
+                if let Some(fleet) = registry.as_mut() {
+                    // The router's own net_router_* series join the fleet
+                    // view.
+                    fleet.merge_from(&shared.metrics.lock().expect("router metrics lock"));
+                }
+                let mut envelope = StatsEnvelope::flat(agg);
+                envelope.health = Some(health);
+                envelope.registry = registry;
+                send_to_client(&client, &Frame::StatsReply(envelope));
             }
             Frame::Shutdown => {
                 if shared.cfg.forward_shutdown {
@@ -601,6 +649,16 @@ fn route_request(shared: &Arc<RouterShared>, client: &Arc<ClientConn>, req: NetR
         return;
     };
     let rid = shared.next_route_id.fetch_add(1, Ordering::SeqCst);
+    // The route decision is a logical hop (modeled 0): its detail — which
+    // shard rendezvous hashing picked — is deterministic in the content
+    // key and the upstream set. The shard is named by its index in the
+    // configured upstream list (addresses carry OS-assigned ports, which
+    // would break trace byte-stability across runs).
+    let hops = if req.trace.is_some_and(|t| t.sampled) {
+        vec![FlightHop::new("router", "route", 0.0, 0.0).with_detail("shard", target)]
+    } else {
+        Vec::new()
+    };
     let mut fwd = req.clone();
     fwd.id = rid;
     shared.pending.lock().expect("router pending lock").insert(
@@ -612,6 +670,7 @@ fn route_request(shared: &Arc<RouterShared>, client: &Arc<ClientConn>, req: NetR
             content_key,
             upstream: target,
             attempts: 1,
+            hops,
         },
     );
     shared.routed.fetch_add(1, Ordering::SeqCst);

@@ -1,0 +1,299 @@
+//! Wire codecs for the observability payloads carried in frame
+//! extensions: full [`MetricsRegistry`] snapshots (the `StatsReply`
+//! registry extension) and per-request [`FlightRecord`]s (the `Response`
+//! flight extension).
+//!
+//! Both codecs are **payload** codecs: they produce/consume the byte body
+//! of one extension entry, not a whole frame. Decoders follow the
+//! extension tolerance rule — bytes after the fields a decoder knows are
+//! ignored, so a newer peer may append fields without breaking an older
+//! one — and never panic on hostile input: every length is bounds-checked
+//! against the remaining payload and every float is re-validated before it
+//! reaches a [`Histogram`].
+//!
+//! A registry snapshot ships each histogram as `(bounds, samples)` only;
+//! bucket counts and the sum re-derive on receipt
+//! ([`Histogram::from_parts`]), which keeps the round-trip bit-exact and
+//! the payload free of redundant state that could disagree with itself.
+
+use crate::wire::{ByteReader, ByteWriter, WireError};
+use cdd_metrics::{FlightHop, FlightRecord, Histogram, MetricsRegistry};
+
+/// Upper bound on hop spans in one flight record; a legitimate flight
+/// crosses a handful of layers, so this is generous while keeping hostile
+/// counts from driving allocation.
+pub const MAX_FLIGHT_HOPS: usize = 4096;
+
+/// Upper bound on detail pairs per hop.
+pub const MAX_HOP_DETAIL: usize = 64;
+
+fn put_label_pairs(w: &mut ByteWriter, labels: &[(String, String)]) {
+    w.put_u32(u32::try_from(labels.len()).expect("label count fits u32"));
+    for (k, v) in labels {
+        w.put_str(k);
+        w.put_str(v);
+    }
+}
+
+fn take_label_pairs(r: &mut ByteReader, what: &str) -> Result<Vec<(String, String)>, WireError> {
+    // Each pair costs at least 8 bytes (two empty length-prefixed strings).
+    let count = r.take_count(8, what)?;
+    let mut labels = Vec::with_capacity(count);
+    for _ in 0..count {
+        labels.push((r.take_str(what)?, r.take_str(what)?));
+    }
+    Ok(labels)
+}
+
+fn take_f64_vec(r: &mut ByteReader, what: &str) -> Result<Vec<f64>, WireError> {
+    let count = r.take_count(8, what)?;
+    let mut out = Vec::with_capacity(count);
+    for _ in 0..count {
+        out.push(r.take_f64(what)?);
+    }
+    Ok(out)
+}
+
+/// Encode a full registry snapshot as one extension payload.
+#[must_use]
+pub fn encode_registry(reg: &MetricsRegistry) -> Vec<u8> {
+    let mut w = ByteWriter::new();
+    let descriptions: Vec<_> = reg.descriptions().collect();
+    w.put_u32(u32::try_from(descriptions.len()).expect("description count fits u32"));
+    for (name, help) in descriptions {
+        w.put_str(name);
+        w.put_str(help);
+    }
+    let counters: Vec<_> = reg.counter_series().collect();
+    w.put_u32(u32::try_from(counters.len()).expect("counter count fits u32"));
+    for (name, labels, value) in counters {
+        w.put_str(name);
+        put_label_pairs(&mut w, labels);
+        w.put_u64(value);
+    }
+    let gauges: Vec<_> = reg.gauge_series().collect();
+    w.put_u32(u32::try_from(gauges.len()).expect("gauge count fits u32"));
+    for (name, labels, value) in gauges {
+        w.put_str(name);
+        put_label_pairs(&mut w, labels);
+        w.put_f64(value);
+    }
+    let histograms: Vec<_> = reg.histogram_series().collect();
+    w.put_u32(u32::try_from(histograms.len()).expect("histogram count fits u32"));
+    for (name, labels, hist) in histograms {
+        w.put_str(name);
+        put_label_pairs(&mut w, labels);
+        w.put_u32(u32::try_from(hist.bounds().len()).expect("bound count fits u32"));
+        for b in hist.bounds() {
+            w.put_f64(*b);
+        }
+        w.put_u32(u32::try_from(hist.samples().len()).expect("sample count fits u32"));
+        for s in hist.samples() {
+            w.put_f64(*s);
+        }
+    }
+    w.into_bytes()
+}
+
+/// Decode a registry snapshot payload. Trailing bytes are tolerated
+/// (extension forward-compatibility); malformed content is an error,
+/// never a panic.
+pub fn decode_registry(payload: &[u8]) -> Result<MetricsRegistry, WireError> {
+    let mut r = ByteReader::new(payload);
+    let mut reg = MetricsRegistry::new();
+    let descriptions = r.take_count(8, "description count")?;
+    for _ in 0..descriptions {
+        let name = r.take_str("description name")?;
+        let help = r.take_str("description help")?;
+        reg.describe(&name, &help);
+    }
+    let counters = r.take_count(12, "counter count")?;
+    for _ in 0..counters {
+        let name = r.take_str("counter name")?;
+        let labels = take_label_pairs(&mut r, "counter labels")?;
+        let value = r.take_u64("counter value")?;
+        reg.put_counter(name, labels, value);
+    }
+    let gauges = r.take_count(12, "gauge count")?;
+    for _ in 0..gauges {
+        let name = r.take_str("gauge name")?;
+        let labels = take_label_pairs(&mut r, "gauge labels")?;
+        let value = r.take_f64("gauge value")?;
+        reg.put_gauge(name, labels, value);
+    }
+    let histograms = r.take_count(12, "histogram count")?;
+    for _ in 0..histograms {
+        let name = r.take_str("histogram name")?;
+        let labels = take_label_pairs(&mut r, "histogram labels")?;
+        let bounds = take_f64_vec(&mut r, "histogram bounds")?;
+        let samples = take_f64_vec(&mut r, "histogram samples")?;
+        let hist = Histogram::from_parts(bounds, samples)
+            .map_err(|detail| WireError { detail, at: payload.len() - r.remaining() })?;
+        reg.put_histogram(name, labels, hist);
+    }
+    Ok(reg)
+}
+
+/// Encode a flight record as one extension payload.
+#[must_use]
+pub fn encode_flight(flight: &FlightRecord) -> Vec<u8> {
+    let mut w = ByteWriter::new();
+    w.put_u64(flight.trace_id);
+    w.put_str(&flight.node);
+    w.put_u32(u32::try_from(flight.hops.len()).expect("hop count fits u32"));
+    for hop in &flight.hops {
+        w.put_str(&hop.layer);
+        w.put_str(&hop.name);
+        w.put_u32(u32::try_from(hop.detail.len()).expect("detail count fits u32"));
+        for (k, v) in &hop.detail {
+            w.put_str(k);
+            w.put_str(v);
+        }
+        w.put_f64(hop.modeled_us);
+        w.put_f64(hop.wall_us);
+        match hop.device {
+            Some(d) => {
+                w.put_u8(1);
+                w.put_u32(d);
+            }
+            None => w.put_u8(0),
+        }
+    }
+    w.into_bytes()
+}
+
+/// Decode a flight-record payload (trailing bytes tolerated, hostile
+/// counts bounded).
+pub fn decode_flight(payload: &[u8]) -> Result<FlightRecord, WireError> {
+    let mut r = ByteReader::new(payload);
+    let trace_id = r.take_u64("flight trace id")?;
+    let node = r.take_str("flight node")?;
+    let hop_count = r.take_count(25, "flight hops")?;
+    if hop_count > MAX_FLIGHT_HOPS {
+        return Err(WireError {
+            detail: format!("flight hop count {hop_count} exceeds limit {MAX_FLIGHT_HOPS}"),
+            at: 0,
+        });
+    }
+    let mut hops = Vec::with_capacity(hop_count);
+    for _ in 0..hop_count {
+        let layer = r.take_str("hop layer")?;
+        let name = r.take_str("hop name")?;
+        let detail_count = r.take_count(8, "hop detail")?;
+        if detail_count > MAX_HOP_DETAIL {
+            return Err(WireError {
+                detail: format!("hop detail count {detail_count} exceeds limit {MAX_HOP_DETAIL}"),
+                at: 0,
+            });
+        }
+        let mut detail = Vec::with_capacity(detail_count);
+        for _ in 0..detail_count {
+            detail.push((r.take_str("detail key")?, r.take_str("detail value")?));
+        }
+        let modeled_us = r.take_f64("hop modeled us")?;
+        let wall_us = r.take_f64("hop wall us")?;
+        let device = match r.take_u8("hop device flag")? {
+            0 => None,
+            1 => Some(r.take_u32("hop device")?),
+            v => {
+                return Err(WireError { detail: format!("invalid device flag {v}"), at: 0 });
+            }
+        };
+        hops.push(FlightHop { layer, name, detail, modeled_us, wall_us, device });
+    }
+    Ok(FlightRecord { trace_id, node, hops })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cdd_metrics::latency_ms_buckets;
+
+    fn sample_registry() -> MetricsRegistry {
+        let mut reg = MetricsRegistry::new();
+        reg.describe("service_requests_total", "Requests accepted into the service.");
+        reg.inc("service_requests_total", &[("tenant", "t0")], 4);
+        reg.set_gauge("service_queue_depth", &[], 2.0);
+        reg.observe("timing_request_wall_ms", &[], 12.5, latency_ms_buckets());
+        reg.observe("timing_request_wall_ms", &[], 1.25, latency_ms_buckets());
+        reg
+    }
+
+    #[test]
+    fn registry_round_trips_bit_exactly() {
+        let reg = sample_registry();
+        let decoded = decode_registry(&encode_registry(&reg)).expect("valid payload");
+        assert_eq!(reg, decoded);
+        assert_eq!(reg.render_prometheus(), decoded.render_prometheus());
+        assert_eq!(reg.render_json(), decoded.render_json());
+    }
+
+    #[test]
+    fn empty_registry_round_trips() {
+        let decoded = decode_registry(&encode_registry(&MetricsRegistry::new())).unwrap();
+        assert!(decoded.is_empty());
+    }
+
+    #[test]
+    fn registry_decoder_tolerates_appended_fields() {
+        let mut payload = encode_registry(&sample_registry());
+        payload.extend_from_slice(&[9, 9, 9]); // a future field
+        let decoded = decode_registry(&payload).expect("trailing bytes tolerated");
+        assert_eq!(decoded, sample_registry());
+    }
+
+    #[test]
+    fn registry_decoder_rejects_hostile_input() {
+        // Truncations at every prefix must error, never panic.
+        let full = encode_registry(&sample_registry());
+        for cut in 0..full.len() {
+            let _ = decode_registry(&full[..cut]);
+        }
+        // Hostile count prefix claiming more series than bytes.
+        let mut hostile = Vec::new();
+        hostile.extend_from_slice(&0u32.to_le_bytes());
+        hostile.extend_from_slice(&u32::MAX.to_le_bytes());
+        assert!(decode_registry(&hostile).is_err());
+        // A NaN histogram bound is rejected by Histogram::from_parts.
+        let mut w = ByteWriter::new();
+        w.put_u32(0); // descriptions
+        w.put_u32(0); // counters
+        w.put_u32(0); // gauges
+        w.put_u32(1); // one histogram
+        w.put_str("h");
+        w.put_u32(0); // labels
+        w.put_u32(1); // one bound
+        w.put_f64(f64::NAN);
+        w.put_u32(0); // samples
+        assert!(decode_registry(&w.into_bytes()).is_err());
+    }
+
+    #[test]
+    fn flight_round_trips_and_tolerates_trailing_bytes() {
+        let mut flight = FlightRecord::new(0xFEED, "node-a");
+        flight.hops.push(
+            FlightHop::new("queue", "queue_wait", 0.0, 412.5).with_detail("breaker", "closed"),
+        );
+        flight.hops.push(FlightHop::new("worker", "attempt", 1500.0, 1612.0).with_device(1));
+        let mut payload = encode_flight(&flight);
+        let decoded = decode_flight(&payload).expect("valid payload");
+        assert_eq!(flight, decoded);
+        payload.push(0xAB);
+        assert_eq!(decode_flight(&payload).expect("trailing tolerated"), flight);
+    }
+
+    #[test]
+    fn flight_decoder_rejects_hostile_counts() {
+        let mut w = ByteWriter::new();
+        w.put_u64(1);
+        w.put_str("n");
+        w.put_u32(u32::MAX); // hop count with no bytes behind it
+        assert!(decode_flight(&w.into_bytes()).is_err());
+
+        let flight = FlightRecord::new(3, "n");
+        let full = encode_flight(&flight);
+        for cut in 0..full.len() {
+            let _ = decode_flight(&full[..cut]); // must not panic
+        }
+    }
+}

@@ -4,11 +4,14 @@
 //! past the frame cap. The decoder's only failure mode is a structured
 //! `SuiteError::Protocol`.
 
-use cdd_core::{Algorithm, Job, Priority, SuiteError};
+use cdd_core::{Algorithm, Job, Priority, SuiteError, TraceContext};
+use cdd_metrics::{FlightHop, FlightRecord, MetricsRegistry};
 use cdd_net::frame::{
-    chunk_sequence, read_frame, Frame, NetError, NetRequest, NetResponse, StreamChunk, WorkSpec,
-    ErrorCode, MAX_FRAME_LEN, PROTOCOL_VERSION,
+    chunk_sequence, read_frame, Frame, NetError, NetRequest, NetResponse, NodeStats,
+    StatsEnvelope, StreamChunk, UpstreamHealth, WorkSpec, ErrorCode, MAX_FRAME_LEN,
+    PROTOCOL_VERSION,
 };
+use cdd_net::snapshot::{decode_flight, decode_registry, encode_flight, encode_registry};
 use proptest::prelude::*;
 use std::io::Cursor;
 
@@ -46,7 +49,70 @@ fn request_from(
         iterations,
         seed,
         work,
+        trace: None,
     }
+}
+
+/// Strategy for an arbitrary flight record: derived names, finite span
+/// times, optional device and detail pairs.
+fn flight_strategy() -> impl Strategy<Value = FlightRecord> {
+    let hop = (any::<u32>(), 0..5usize, 0.0..1e9f64, 0.0..1e9f64, any::<u64>()).prop_map(
+        |(tag, details, modeled_us, wall_us, dev_bits)| FlightHop {
+            layer: format!("layer{}", tag % 5),
+            name: format!("span_{}", tag % 11),
+            detail: (0..details)
+                .map(|i| (format!("k{i}"), format!("v{}", tag.wrapping_add(i as u32))))
+                .collect(),
+            modeled_us,
+            wall_us,
+            device: (dev_bits & 1 == 1).then_some((dev_bits >> 33) as u32),
+        },
+    );
+    (any::<u64>(), any::<u32>(), prop::collection::vec(hop, 0..12)).prop_map(
+        |(trace_id, node_tag, hops)| FlightRecord {
+            trace_id,
+            node: format!("node-{}", node_tag % 8),
+            hops,
+        },
+    )
+}
+
+/// Strategy for an arbitrary registry built through the public mutation
+/// API, so every generated snapshot is one the service could produce.
+fn registry_strategy() -> impl Strategy<Value = MetricsRegistry> {
+    let counter = (any::<u32>(), 1..1_000_000u64);
+    let gauge = (any::<u32>(), -1e12..1e12f64);
+    let hist = (any::<u32>(), prop::collection::vec(0.0..1e6f64, 1..20));
+    (
+        prop::collection::vec(counter, 0..6),
+        prop::collection::vec(gauge, 0..4),
+        prop::collection::vec(hist, 0..3),
+        0..4usize,
+    )
+        .prop_map(|(counters, gauges, hists, descriptions)| {
+            let mut reg = MetricsRegistry::new();
+            for d in 0..descriptions {
+                reg.describe(&format!("series_{d}"), &format!("Help text {d}."));
+            }
+            for (tag, by) in &counters {
+                let tenant = format!("t{}", tag % 4);
+                reg.inc(&format!("series_{}", tag % 8), &[("tenant", &tenant)], *by);
+            }
+            for (tag, value) in &gauges {
+                reg.set_gauge(&format!("gauge_{}", tag % 6), &[], *value);
+            }
+            for (tag, samples) in &hists {
+                for s in samples {
+                    reg.observe(
+                        &format!("hist_{}", tag % 4),
+                        &[],
+                        *s,
+                        cdd_metrics::latency_ms_buckets(),
+                    );
+                }
+            }
+            reg
+        })
 }
 
 proptest! {
@@ -92,6 +158,7 @@ proptest! {
                 cpu_fallback: flags & 4 != 0,
                 degraded: flags & 8 != 0,
                 wall_ms: 0.5,
+                flight: None,
             }),
             Frame::Error(NetError {
                 id,
@@ -107,7 +174,7 @@ proptest! {
             }),
             Frame::Ping { nonce: id },
             Frame::Pong { nonce: id ^ 1 },
-            Frame::Stats,
+            Frame::Stats { full: false },
             Frame::Shutdown,
         ];
         let mut wire = Vec::new();
@@ -198,6 +265,167 @@ proptest! {
                 prop_assert!(detail.contains("version"), "{detail}");
             }
             other => prop_assert!(false, "expected protocol error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn traced_requests_round_trip_and_absence_is_byte_identical(
+        id in any::<u64>(),
+        trace_id in 1..u64::MAX,
+        parent in any::<u64>(),
+        sampled in any::<bool>(),
+        seed in any::<u64>(),
+    ) {
+        let bare = request_from(id, 7, 1, seed, true, 200, seed, &[]);
+        let traced = NetRequest {
+            trace: Some(TraceContext { trace_id, parent_span_id: parent, sampled }),
+            ..bare.clone()
+        };
+        // Round-trip preserves the trace context exactly.
+        let wire = Frame::Request(traced.clone()).encode();
+        let got = read_frame(&mut Cursor::new(&wire)).unwrap().expect("one frame");
+        prop_assert_eq!(&got, &Frame::Request(traced));
+        // Tracing off ⇒ byte-identical to the pre-extension format: the
+        // untraced frame is a strict prefix of the traced one.
+        let bare_wire = Frame::Request(bare).encode();
+        prop_assert!(wire.len() > bare_wire.len());
+        // Skip the length prefix (differs by the extension block size);
+        // everything after it up to the extension block must match.
+        prop_assert_eq!(&wire[4..bare_wire.len()], &bare_wire[4..]);
+    }
+
+    #[test]
+    fn unknown_request_extensions_are_skipped(
+        id in any::<u64>(),
+        seed in any::<u64>(),
+        unknown_tag in 2..=255u8,
+    ) {
+        let bare = request_from(id, 3, 0, seed, false, 100, seed, &[]);
+        let traced = NetRequest {
+            trace: Some(TraceContext { trace_id: 42, parent_span_id: 0, sampled: true }),
+            ..bare.clone()
+        };
+        let mut wire = Frame::Request(traced).encode();
+        // The trace extension payload is the last 17 bytes; its tag byte
+        // sits before the 4-byte payload length. Rewrite it to an unknown
+        // tag: the decoder must skip it and yield the untraced request.
+        let tag_at = wire.len() - 17 - 4 - 1;
+        prop_assert_eq!(wire[tag_at], 1); // EXT_REQUEST_TRACE
+        wire[tag_at] = unknown_tag;
+        let got = read_frame(&mut Cursor::new(&wire)).unwrap().expect("frame");
+        prop_assert_eq!(got, Frame::Request(bare));
+    }
+
+    #[test]
+    fn responses_with_flight_records_round_trip(
+        id in any::<u64>(),
+        flight in flight_strategy(),
+    ) {
+        let frame = Frame::Response(NetResponse {
+            id,
+            objective: 1234,
+            modeled_seconds: 0.5,
+            evaluations: 99,
+            cache_hit: false,
+            device: Some(0),
+            cpu_fallback: false,
+            degraded: false,
+            wall_ms: 7.5,
+            flight: Some(flight),
+        });
+        let wire = frame.encode();
+        prop_assert!(wire.len() <= MAX_FRAME_LEN + 4);
+        let got = read_frame(&mut Cursor::new(&wire)).unwrap().expect("frame");
+        prop_assert_eq!(got, frame);
+    }
+
+    #[test]
+    fn flight_payloads_survive_fuzzing(
+        flight in flight_strategy(),
+        cut_num in any::<u32>(),
+        noise in prop::collection::vec(any::<u8>(), 0..200),
+    ) {
+        let payload = encode_flight(&flight);
+        // Exact round-trip.
+        prop_assert_eq!(&decode_flight(&payload).expect("valid"), &flight);
+        // Trailing bytes tolerated (forward compatibility).
+        let mut extended = payload.clone();
+        extended.extend_from_slice(&noise);
+        prop_assert_eq!(&decode_flight(&extended).expect("trailing tolerated"), &flight);
+        // Truncation never panics.
+        if !payload.is_empty() {
+            let cut = (cut_num as usize) % payload.len();
+            let _ = decode_flight(&payload[..cut]);
+        }
+        // Raw noise never panics.
+        let _ = decode_flight(&noise);
+    }
+
+    #[test]
+    fn registry_snapshots_survive_fuzzing(
+        reg in registry_strategy(),
+        cut_num in any::<u32>(),
+        noise in prop::collection::vec(any::<u8>(), 0..200),
+    ) {
+        let payload = encode_registry(&reg);
+        let decoded = decode_registry(&payload).expect("valid");
+        prop_assert_eq!(&decoded, &reg);
+        // Renders agree bit-for-bit — what a fleet aggregator compares.
+        prop_assert_eq!(decoded.render_prometheus(), reg.render_prometheus());
+        // Truncation and raw noise never panic.
+        if !payload.is_empty() {
+            let cut = (cut_num as usize) % payload.len();
+            let _ = decode_registry(&payload[..cut]);
+        }
+        let _ = decode_registry(&noise);
+    }
+
+    #[test]
+    fn stats_reply_envelopes_round_trip(
+        completed in any::<u64>(),
+        alive in any::<u32>(),
+        unreachable in any::<u32>(),
+        with_health in any::<bool>(),
+        with_registry in any::<bool>(),
+        reg in registry_strategy(),
+    ) {
+        let envelope = StatsEnvelope {
+            stats: NodeStats { completed, ..NodeStats::default() },
+            health: with_health.then_some(UpstreamHealth {
+                upstreams_alive: alive,
+                upstreams_unreachable: unreachable,
+            }),
+            registry: with_registry.then_some(reg),
+        };
+        for frame in [
+            Frame::Stats { full: with_health },
+            Frame::StatsReply(envelope),
+        ] {
+            let wire = frame.encode();
+            let got = read_frame(&mut Cursor::new(&wire)).unwrap().expect("frame");
+            prop_assert_eq!(got, frame);
+        }
+    }
+
+    #[test]
+    fn hostile_extension_blocks_never_panic(
+        id in any::<u64>(),
+        seed in any::<u64>(),
+        ext_count in any::<u8>(),
+        ext_len in any::<u32>(),
+        garbage in prop::collection::vec(any::<u8>(), 0..64),
+    ) {
+        // Hand-build an extension block with a hostile count and length
+        // prefix after a legitimate request body.
+        let wire = Frame::Request(request_from(id, 1, 2, seed, true, 50, seed, &[])).encode();
+        let mut body = wire[4..].to_vec(); // strip the frame length prefix
+        body.push(ext_count);
+        body.push(1); // EXT_REQUEST_TRACE
+        body.extend_from_slice(&ext_len.to_le_bytes());
+        body.extend_from_slice(&garbage);
+        match Frame::decode_body(&body) {
+            Ok(_) | Err(SuiteError::Protocol { .. }) => {}
+            Err(other) => prop_assert!(false, "non-protocol error from codec: {other}"),
         }
     }
 

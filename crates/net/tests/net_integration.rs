@@ -61,6 +61,7 @@ fn baseline_csv(entries: &[WorkloadEntry]) -> String {
                     cpu_fallback: out.cpu_fallback,
                     degraded: out.degraded,
                     wall_ms: 0.0,
+                    flight: None,
                 }),
                 sequence: out.sequence.as_slice().to_vec(),
                 error: None,
@@ -118,6 +119,7 @@ fn bad_tokens_are_rejected_with_auth_errors() {
             iterations: entry.iterations,
             seed: entry.seed,
             work: WorkSpec::ById { n: entry.id.n as u64, k: entry.id.k, h: entry.id.h },
+            trace: None,
         }),
     )
     .expect("write");
@@ -159,6 +161,7 @@ fn rate_limits_shed_with_retry_hints() {
             iterations: entry.iterations,
             seed: entry.seed,
             work: WorkSpec::ById { n: entry.id.n as u64, k: entry.id.k, h: entry.id.h },
+            trace: None,
         })
     };
     // Burst of 3 back-to-back: bucket holds 1, so at least one is shed

@@ -279,6 +279,7 @@ fn main() {
                     device: None,
                     wall_ms: 0.0,
                     result: Err(e),
+                    flight: None,
                 });
             }
         }

@@ -23,6 +23,7 @@
 //!    for `normal`/`interactive` traffic under load.
 
 use cdd_core::{Priority, SolveRequest, SuiteError};
+use cdd_metrics::FlightHop;
 use std::collections::VecDeque;
 use std::time::Instant;
 
@@ -45,6 +46,11 @@ pub(crate) struct QueuedJob {
     /// dispatch). Drives the deterministic retry fault-plan derivation and
     /// the bounded retry budget.
     pub retries: u32,
+    /// Hop spans recorded along this job's path through the service
+    /// (queue wait, retries, worker attempts). Empty — and never appended
+    /// to — unless the request carries a sampled trace context, so
+    /// untraced runs pay nothing.
+    pub hops: Vec<FlightHop>,
 }
 
 impl QueuedJob {
@@ -248,7 +254,7 @@ mod tests {
             ..SolveRequest::new(Instance::paper_example_cdd(), Algorithm::Sa, 10, ticket)
         };
         let key = request.content_key();
-        QueuedJob { ticket, request, key, submitted: Instant::now(), retries: 0 }
+        QueuedJob { ticket, request, key, submitted: Instant::now(), retries: 0, hops: Vec::new() }
     }
 
     #[test]

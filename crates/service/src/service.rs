@@ -52,13 +52,13 @@ use crate::queue::{QueueStats, QueuedJob, SubmissionQueue};
 use crate::supervisor::{
     install_quiet_crash_hook, supervisor_loop, SupervisorConfig, WorkerCrashPanic,
 };
-use cdd_core::{Algorithm, Priority, SolveOutcome, SolveRequest, SuiteError};
+use cdd_core::{Algorithm, Priority, SolveOutcome, SolveRequest, SuiteError, TraceContext};
 use cdd_gpu::{
     counter_trace_events, run_gpu_solve, run_gpu_solve_batch, ConvergenceSummary, DeltaConfig,
     GpuSolveSpec, RecoveryPolicy,
 };
 use cdd_metrics::trace::{TraceEvent, TraceSink};
-use cdd_metrics::{latency_ms_buckets, MetricsRegistry};
+use cdd_metrics::{latency_ms_buckets, FlightHop, FlightRecord, MetricsRegistry};
 use cuda_sim::{
     timeline_trace_events, DeviceHandle, DeviceSpec, DeviceUsage, FaultPlan, FaultStats,
     TelemetryConfig,
@@ -192,6 +192,12 @@ pub struct RequestOutcome {
     pub wall_ms: f64,
     /// The solve result, or why it was not produced.
     pub result: Result<SolveOutcome, SuiteError>,
+    /// Per-hop flight record of this request's path through the service.
+    /// `None` unless the request carried a sampled [`TraceContext`] —
+    /// untraced requests are book-kept identically to a build without
+    /// tracing. The record's `node` field is left empty here; the embedding
+    /// (e.g. `cdd-node`) stamps its own label before shipping it.
+    pub flight: Option<FlightRecord>,
 }
 
 /// Per-device section of the final report.
@@ -292,6 +298,22 @@ struct Follower {
     ticket: u64,
     submitted: Instant,
     deadline_ms: Option<u64>,
+    /// The follower's own trace context — a coalesced request keeps its own
+    /// trace id even though the primary does the work.
+    trace: Option<TraceContext>,
+}
+
+/// Whether a request asked for hop spans: it carries a sampled trace
+/// context. Everything flight-record-shaped in this module is gated on
+/// this, so untraced runs take the exact pre-tracing code path.
+fn traced(request: &SolveRequest) -> bool {
+    request.trace.is_some_and(|t| t.sampled)
+}
+
+/// Start a flight record for a sampled request, or `None`. The `node`
+/// label is stamped by the embedding.
+fn start_flight(trace: Option<TraceContext>) -> Option<FlightRecord> {
+    trace.filter(|t| t.sampled).map(|t| FlightRecord::new(t.trace_id, ""))
 }
 
 /// Everything that belongs to one device *slot* and must survive worker
@@ -543,9 +565,13 @@ impl SolverService {
             st.note_accepted(&request.tenant, request.priority);
             st.completed += 1;
             st.observe_latency(0.0);
+            let flight = start_flight(request.trace).map(|mut f| {
+                f.hops.push(FlightHop::new("service", "cache_hit", 0.0, 0.0));
+                f
+            });
             st.results.insert(
                 ticket,
-                RequestOutcome { ticket, device: None, wall_ms: 0.0, result: Ok(outcome) },
+                RequestOutcome { ticket, device: None, wall_ms: 0.0, result: Ok(outcome), flight },
             );
             self.shared.done.notify_all();
             return Ok(ticket);
@@ -557,6 +583,7 @@ impl SolverService {
                 ticket,
                 submitted: Instant::now(),
                 deadline_ms: request.deadline_ms,
+                trace: request.trace,
             });
             st.cache.note_coalesced();
             st.next_ticket += 1;
@@ -574,6 +601,7 @@ impl SolverService {
             key,
             submitted: Instant::now(),
             retries: 0,
+            hops: Vec::new(),
         })?;
         st.cache.note_miss();
         st.waiters.insert(key, Vec::new());
@@ -641,6 +669,32 @@ impl SolverService {
             queue_depth: st.queue.depth(),
             cache: st.cache.stats().clone(),
         }
+    }
+
+    /// A full [`MetricsRegistry`] snapshot of the service *so far*: the
+    /// live per-request observations plus the lifetime counters folded in
+    /// exactly as [`shutdown`](Self::shutdown) would fold them. Unlike
+    /// `shutdown` this is non-destructive and callable mid-flight — it is
+    /// what a `Stats { full: true }` probe ships over the wire. The
+    /// `service_` determinism contract applies to a *drained* snapshot
+    /// (every accepted ticket answered); a mid-drain snapshot is merely a
+    /// consistent point-in-time view.
+    pub fn metrics_snapshot(&self) -> MetricsRegistry {
+        let wall_seconds = self.started.elapsed().as_secs_f64();
+        let st = self.shared.state.lock().expect("service state lock");
+        let mut metrics = st.metrics.clone();
+        let queue = st.queue.stats().clone();
+        let cache = st.cache.stats().clone();
+        let convergence = self.shared.telemetry.enabled().then(|| {
+            let mut totals = ConvergenceTotals::default();
+            for s in &st.slots {
+                totals.absorb(s.convergence);
+            }
+            totals
+        });
+        let batching = self.shared.batch_window > 1;
+        fold_final_metrics(&mut metrics, &st, &queue, &cache, convergence, batching, wall_seconds);
+        metrics
     }
 
     /// Stop accepting work, drain the queue (parked retries re-enter
@@ -723,6 +777,49 @@ impl SolverService {
 /// [`ServiceReport::metrics`]: `service_breaker_*` is deterministic only
 /// when it is all zero (clean fleet) — breaker trips count *consecutive*
 /// per-slot failures, which depend on placement under chaos.
+/// The deterministic description table behind the `# HELP` lines: one
+/// entry per core series, applied on every fold so local renders and
+/// wire-shipped registry snapshots carry identical help text. Merging
+/// registries keeps descriptions deterministic (lexicographic-min wins on
+/// conflict), so fleet-aggregated renders are byte-stable too.
+fn describe_service_metrics(metrics: &mut MetricsRegistry) {
+    const HELP: &[(&str, &str)] = &[
+        ("service_requests_submitted_total", "Tickets accepted (admitted, coalesced or cached)."),
+        ("service_requests_completed_total", "Tickets answered with a solve outcome."),
+        ("service_requests_failed_total", "Tickets answered with a device or pipeline error."),
+        ("service_requests_expired_total", "Tickets expired before dispatch."),
+        ("service_degraded_total", "Tickets answered from the CPU oracle with degraded=true."),
+        ("service_degraded_brownout_total", "Degraded answers pulled by a brownout pass."),
+        ("service_tenant_submitted_total", "Accepted tickets per tenant."),
+        ("service_priority_submitted_total", "Accepted tickets per priority class."),
+        ("service_queue_enqueued_total", "Jobs accepted into the submission queue."),
+        ("service_queue_rejected_total", "Submissions refused by admission control."),
+        ("service_queue_requeued_total", "Promoted followers re-admitted at the queue front."),
+        ("service_queue_retried_total", "Crashed jobs re-admitted by the supervisor."),
+        ("service_supervisor_restarts_total", "Worker restarts across the fleet."),
+        ("service_supervisor_stuck_total", "Stuck-worker fences among those restarts."),
+        ("service_supervisor_retries_total", "Retry re-dispatches the supervisor scheduled."),
+        ("service_breaker_opened_total", "Circuit-breaker transitions into open."),
+        ("service_breaker_probes_total", "Half-open probes granted."),
+        ("service_breaker_reclosed_total", "Successful probes that re-closed a breaker."),
+        ("service_cache_served_total", "Requests served from the cache or by coalescing."),
+        ("service_cache_misses_total", "Cache lookups that missed."),
+        ("service_cache_insertions_total", "Solutions inserted into the cache."),
+        ("service_cache_replacements_total", "Cache insertions that replaced an entry."),
+        ("service_cache_evictions_total", "Cache entries evicted by capacity pressure."),
+        ("timing_request_wall_ms", "Submission-to-fulfilment latency (wall clock)."),
+        ("timing_queue_peak_depth", "Deepest the admitted queue ever got."),
+        ("timing_cache_hits_total", "Requests served as direct cache hits."),
+        ("timing_cache_coalesced_total", "Requests coalesced onto an in-flight primary."),
+        ("timing_batch_launches_total", "Fused device launches the batching window produced."),
+        ("timing_batch_fused_requests_total", "Requests answered out of fused launches."),
+        ("timing_wall_seconds", "Wall-clock lifetime of the service, seconds."),
+    ];
+    for (name, help) in HELP {
+        metrics.describe(name, help);
+    }
+}
+
 fn fold_final_metrics(
     metrics: &mut MetricsRegistry,
     st: &State,
@@ -732,6 +829,7 @@ fn fold_final_metrics(
     batching: bool,
     wall_seconds: f64,
 ) {
+    describe_service_metrics(metrics);
     metrics.inc("service_requests_submitted_total", &[], st.submitted);
     // Per-tenant and per-class admission counts. Tenants appear in BTreeMap
     // (= byte-stable) order; all three priority classes register even at
@@ -911,8 +1009,21 @@ fn worker_loop(shared: &Arc<Shared>, slot: usize, generation: u64, handle: Devic
                 // The breaker admitted us with a job available: take it.
                 // (`allow` and the pop happen under one lock hold, so a
                 // granted half-open probe always takes a job.)
-                let job = st.queue.pop().expect("depth checked above");
+                let mut job = st.queue.pop().expect("depth checked above");
                 st.slots[slot].heartbeat_ms = now;
+                if traced(&job.request) {
+                    // Queue wait ends here. The breaker just admitted this
+                    // worker, so its state at dispatch is closed or probing.
+                    let breaker = match st.slots[slot].breaker.state() {
+                        crate::breaker::BreakerState::HalfOpen => "half_open",
+                        _ => "closed",
+                    };
+                    job.hops.push(
+                        FlightHop::new("queue", "queue_wait", 0.0, elapsed_ms(job.submitted) * 1e3)
+                            .with_detail("breaker", breaker)
+                            .with_detail("retries", job.retries),
+                    );
+                }
                 let request = job.request.clone();
                 let retries = job.retries;
                 st.slots[slot].in_flight = Some(job);
@@ -1028,7 +1139,25 @@ fn worker_loop(shared: &Arc<Shared>, slot: usize, generation: u64, handle: Devic
         // The shared wall time is split evenly across the fused jobs, like
         // the modeled time inside the batch pipeline.
         let wall_share = run_wall / results.len() as f64;
-        for (job, result) in std::iter::once(job).chain(extras).zip(results) {
+        let batch_size = results.len();
+        for (mut job, result) in std::iter::once(job).chain(extras).zip(results) {
+            if traced(&job.request) {
+                let mut hop = match &result {
+                    Ok(r) => FlightHop::new(
+                        "worker",
+                        "attempt",
+                        r.modeled_seconds * 1e6,
+                        wall_share * 1e6,
+                    ),
+                    Err(_) => FlightHop::new("worker", "attempt_failed", 0.0, wall_share * 1e6),
+                }
+                .with_device(slot as u32)
+                .with_detail("retry", job.retries);
+                if fused {
+                    hop = hop.with_detail("batch_size", batch_size);
+                }
+                job.hops.push(hop);
+            }
             match &result {
                 Ok(r) => {
                     record_success_locked(&mut st, slot, &job, r, wall_share, now, shared);
@@ -1106,10 +1235,20 @@ fn record_success_locked(
 
 /// Fulfil an expired primary; promote its oldest still-live follower into
 /// the vacated queue slot (at the front — it has been waiting longest).
-pub(crate) fn expire_locked(st: &mut State, job: QueuedJob) {
+pub(crate) fn expire_locked(st: &mut State, mut job: QueuedJob) {
     st.expired += 1;
     let deadline = job.request.deadline_ms.unwrap_or(0);
     st.observe_latency(elapsed_ms(job.submitted));
+    if traced(&job.request) {
+        job.hops.push(
+            FlightHop::new("queue", "expired", 0.0, elapsed_ms(job.submitted) * 1e3)
+                .with_detail("deadline_ms", deadline),
+        );
+    }
+    let flight = start_flight(job.request.trace).map(|mut f| {
+        f.hops = job.hops.clone();
+        f
+    });
     st.results.insert(
         job.ticket,
         RequestOutcome {
@@ -1117,6 +1256,7 @@ pub(crate) fn expire_locked(st: &mut State, job: QueuedJob) {
             device: None,
             wall_ms: elapsed_ms(job.submitted),
             result: Err(SuiteError::deadline(deadline)),
+            flight,
         },
     );
     let Some(followers) = st.waiters.remove(&job.key) else { return };
@@ -1131,6 +1271,15 @@ pub(crate) fn expire_locked(st: &mut State, job: QueuedJob) {
         if f_expired {
             st.expired += 1;
             st.observe_latency(elapsed_ms(f.submitted));
+            let flight = start_flight(f.trace).map(|mut fl| {
+                fl.hops.push(FlightHop::new(
+                    "queue",
+                    "expired",
+                    0.0,
+                    elapsed_ms(f.submitted) * 1e3,
+                ));
+                fl
+            });
             st.results.insert(
                 f.ticket,
                 RequestOutcome {
@@ -1138,17 +1287,22 @@ pub(crate) fn expire_locked(st: &mut State, job: QueuedJob) {
                     device: None,
                     wall_ms: elapsed_ms(f.submitted),
                     result: Err(SuiteError::deadline(f.deadline_ms.unwrap_or(0))),
+                    flight,
                 },
             );
             continue;
         }
-        let request = SolveRequest { deadline_ms: f.deadline_ms, ..job.request.clone() };
+        // The promoted follower keeps its *own* trace context — it was a
+        // distinct request that merely coalesced onto the expired primary.
+        let request =
+            SolveRequest { deadline_ms: f.deadline_ms, trace: f.trace, ..job.request.clone() };
         st.queue.requeue_front(QueuedJob {
             ticket: f.ticket,
             request,
             key: job.key,
             submitted: f.submitted,
             retries: 0,
+            hops: Vec::new(),
         });
         st.waiters.insert(job.key, rest.collect());
         return;
@@ -1169,10 +1323,25 @@ pub(crate) fn publish_locked(
             st.cache.insert(job.key, o);
         }
     }
-    fulfil(st, job.ticket, device, job.submitted, &outcome, false);
+    let flight = start_flight(job.request.trace).map(|mut f| {
+        f.hops = job.hops.clone();
+        f
+    });
+    fulfil(st, job.ticket, device, job.submitted, &outcome, false, flight);
     if let Some(followers) = st.waiters.remove(&job.key) {
         for f in followers {
-            fulfil(st, f.ticket, device, f.submitted, &outcome, true);
+            // A follower's whole journey was "wait for the shared solve":
+            // one hop, wall-timed from its own submission.
+            let flight = start_flight(f.trace).map(|mut fl| {
+                fl.hops.push(FlightHop::new(
+                    "service",
+                    "coalesced",
+                    0.0,
+                    elapsed_ms(f.submitted) * 1e3,
+                ));
+                fl
+            });
+            fulfil(st, f.ticket, device, f.submitted, &outcome, true, flight);
         }
     }
 }
@@ -1204,10 +1373,16 @@ fn complete_locked(
 /// Answer `job` from the CPU oracle with `degraded: true` — the graceful
 /// half of "graceful degradation". Never cached: a later healthy fleet
 /// must be able to serve the real metaheuristic answer for the same key.
-pub(crate) fn serve_degraded(st: &mut State, job: QueuedJob, brownout: bool) {
+pub(crate) fn serve_degraded(st: &mut State, mut job: QueuedJob, brownout: bool) {
     st.degraded += 1;
     if brownout {
         st.degraded_brownout += 1;
+    }
+    if traced(&job.request) {
+        job.hops.push(
+            FlightHop::new("supervisor", "degraded", 0.0, elapsed_ms(job.submitted) * 1e3)
+                .with_detail("brownout", brownout),
+        );
     }
     let outcome = cdd_core::degraded_outcome(&job.request.instance);
     publish_locked(st, job, None, Ok(outcome), false);
@@ -1220,6 +1395,7 @@ fn fulfil(
     submitted: Instant,
     outcome: &Result<SolveOutcome, SuiteError>,
     coalesced: bool,
+    flight: Option<FlightRecord>,
 ) {
     let result = match outcome {
         Ok(o) => {
@@ -1239,5 +1415,5 @@ fn fulfil(
     };
     let wall_ms = elapsed_ms(submitted);
     st.observe_latency(wall_ms);
-    st.results.insert(ticket, RequestOutcome { ticket, device, wall_ms, result });
+    st.results.insert(ticket, RequestOutcome { ticket, device, wall_ms, result, flight });
 }

@@ -337,6 +337,13 @@ fn redispatch_or_degrade(
         };
         if fits_deadline {
             job.retries = next_retry;
+            if job.request.trace.is_some_and(|t| t.sampled) {
+                job.hops.push(
+                    cdd_metrics::FlightHop::new("supervisor", "retry", 0.0, 0.0)
+                        .with_detail("retry", next_retry)
+                        .with_detail("backoff_ms", delay),
+                );
+            }
             st.retries_scheduled += 1;
             if delay == 0 || st.shutdown {
                 st.queue.requeue_retry(job);
