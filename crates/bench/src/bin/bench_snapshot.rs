@@ -37,9 +37,10 @@
 use cdd_bench::{results_dir, Args};
 use cdd_core::{Algorithm, Instance};
 use cdd_gpu::{
-    run_gpu_sa, run_gpu_solve_batch, DeltaConfig, GpuRunResult, GpuSaParams, GpuSolveSpec,
+    run_gpu_sa, run_gpu_solve_batch, Backend, DeltaConfig, GpuRunResult, GpuSaParams,
+    GpuSolveSpec,
 };
-use cdd_instances::cdd_instance;
+use cdd_instances::{cdd_instance, InstanceId};
 use cuda_sim::SimParallelism;
 use std::fmt::Write as _;
 use std::time::Instant;
@@ -282,10 +283,151 @@ fn batch_snapshot(args: &Args) {
     println!("snapshot: {}", out.display());
 }
 
+/// One (n, ensemble) cell of the `--backend` snapshot: both backends run
+/// the identical campaign; only the host wall clock may differ.
+struct BackendCell {
+    n: usize,
+    ensemble: usize,
+    blocks: usize,
+    sim_wall: f64,
+    native_wall: f64,
+    outcome_sha: u64,
+    modeled_seconds: f64,
+    objective: i64,
+}
+
+/// `--backend` mode: the BENCH_pr10 snapshot (native host execution vs the
+/// cuda-sim backend, DESIGN.md §16). Sweeps the Fig-11 `(n, ensemble)` grid
+/// of the UCDDCP SA pipeline through both backends, asserts the FNV outcome
+/// hash identical per cell before anything is written, and reports the real
+/// wall-time speedup the native backend buys by skipping the simulator's
+/// per-access cost model, fault machinery and modeled clock.
+fn backend_snapshot(args: &Args) {
+    let sizes = args.get_list_or("sizes", &[50usize, 200]);
+    let ensembles = args.get_list_or("ensembles", &[192usize, 768]);
+    let block_size = args.get_or("block-size", 192usize);
+    let iterations = args.get_or("iterations", 200u64);
+    let repeats = args.get_or("repeats", 3usize).max(1);
+    let seed = args.get_or("seed", 2016u64);
+    let out = args
+        .get("out")
+        .map(std::path::PathBuf::from)
+        .unwrap_or_else(|| results_dir().join("BENCH_pr10.json"));
+
+    let host_cores = std::thread::available_parallelism().map(|c| c.get()).unwrap_or(1);
+    eprintln!(
+        "bench_snapshot --backend: sizes {sizes:?}, ensembles {ensembles:?}, \
+         {iterations} generations, {repeats} repeats, host has {host_cores} core(s)"
+    );
+
+    let mut cells: Vec<BackendCell> = Vec::new();
+    for &n in &sizes {
+        let inst = InstanceId::ucddcp(n, 1).instantiate();
+        for &ensemble in &ensembles {
+            let blocks = ensemble.div_ceil(block_size).max(1);
+            let params = |backend| GpuSaParams {
+                blocks,
+                block_size: block_size.min(ensemble),
+                iterations,
+                seed,
+                backend,
+                ..GpuSaParams::default()
+            };
+            let mut walls = [f64::INFINITY; 2];
+            let mut shas = [0u64; 2];
+            let mut residue = None;
+            for (b, backend) in [Backend::Sim, Backend::Native].into_iter().enumerate() {
+                for _ in 0..repeats {
+                    let start = Instant::now();
+                    let r = run_gpu_sa(&inst, &params(backend)).expect("clean run");
+                    walls[b] = walls[b].min(start.elapsed().as_secs_f64());
+                    shas[b] = outcome_sha(std::slice::from_ref(&(0usize, r.clone())));
+                    if backend == Backend::Sim {
+                        residue = Some((r.modeled_seconds, r.objective));
+                    }
+                }
+            }
+            // The parity contract, enforced before anything is written.
+            assert!(
+                shas[0] == shas[1],
+                "BYTE-IDENTITY VIOLATION: n={n} ensemble={ensemble} native diverged from sim"
+            );
+            let (modeled_seconds, objective) = residue.expect("repeats >= 1");
+            eprintln!(
+                "  n={n:>4} ensemble={ensemble:>4} sim {:>8.4}s  native {:>8.4}s  \
+                 speedup {:>5.1}x  sha {:#018x}",
+                walls[0],
+                walls[1],
+                walls[0] / walls[1],
+                shas[0]
+            );
+            cells.push(BackendCell {
+                n,
+                ensemble,
+                blocks,
+                sim_wall: walls[0],
+                native_wall: walls[1],
+                outcome_sha: shas[0],
+                modeled_seconds,
+                objective,
+            });
+        }
+    }
+
+    let mut rows = String::new();
+    for c in &cells {
+        if !rows.is_empty() {
+            rows.push_str(",\n    ");
+        }
+        let _ = write!(
+            rows,
+            "{{\"n\":{},\"ensemble\":{},\"blocks\":{},\"block_size\":{},\
+             \"sim_wall_seconds\":{:?},\"native_wall_seconds\":{:?},\
+             \"native_speedup\":{:?},\"modeled_seconds\":{:?},\"objective\":{},\
+             \"outcome_sha\":\"{:#018x}\",\"byte_identical\":true}}",
+            c.n,
+            c.ensemble,
+            c.blocks,
+            block_size.min(c.ensemble),
+            c.sim_wall,
+            c.native_wall,
+            c.sim_wall / c.native_wall,
+            c.modeled_seconds,
+            c.objective,
+            c.outcome_sha,
+        );
+    }
+    let snapshot = format!(
+        "{{\n  \"bench\": \"pr10_native_backend\",\n  \"pipeline\": \"gpu_sa\",\n  \
+         \"host\": {{\"cores\": {host_cores}, \"os\": {:?}, \"arch\": {:?}}},\n  \
+         \"config\": {{\"kind\": \"ucddcp\", \"block_size\": {block_size}, \
+         \"iterations\": {iterations}, \"seed\": {seed}, \"repeats\": {repeats}}},\n  \
+         \"note\": \"Each (n, ensemble) cell runs the identical SA campaign on the \
+         cuda-sim backend (per-access cost model, modeled clock, fault machinery) and \
+         the native host backend (same kernel bodies on the worker pool, none of the \
+         simulation overhead). Outcomes are asserted FNV-identical per cell before \
+         this file is written; the speedup is pure wall clock (DESIGN.md 16).\",\n  \
+         \"runs\": [\n    {rows}\n  ]\n}}\n",
+        std::env::consts::OS,
+        std::env::consts::ARCH,
+    );
+    if let Some(dir) = out.parent() {
+        if !dir.as_os_str().is_empty() {
+            std::fs::create_dir_all(dir).expect("create output dir");
+        }
+    }
+    std::fs::write(&out, &snapshot).expect("write snapshot");
+    println!("snapshot: {}", out.display());
+}
+
 fn main() {
     let args = Args::parse();
     if args.flag("batch") {
         batch_snapshot(&args);
+        return;
+    }
+    if args.flag("backend") {
+        backend_snapshot(&args);
         return;
     }
     let sizes = args.get_list_or("sizes", &[50usize, 200, 500]);

@@ -57,8 +57,10 @@ pub struct UcddcpSequenceSolution {
 /// fitness function. O(n), zero allocation.
 ///
 /// `p`, `m`, `alpha`, `beta`, `gamma` are indexed by job id; `seq[k]` is the
-/// job at position `k`. Requires an unrestricted due date (`d ≥ Σ Pᵢ`),
-/// checked only by `debug_assert`.
+/// job at position `k` and must be a **permutation** of `0..seq.len()`
+/// (job ids are validated, uniqueness is the caller's contract — it is what
+/// makes the specialized rate sums below exact). Requires an unrestricted
+/// due date (`d ≥ Σ Pᵢ`), checked only by `debug_assert`.
 pub fn ucddcp_objective_raw(
     p: &[Time],
     m: &[Time],
@@ -68,34 +70,90 @@ pub fn ucddcp_objective_raw(
     d: Time,
     seq: &[u32],
 ) -> Cost {
-    debug_assert!(
-        p.iter().sum::<Time>() <= d,
-        "ucddcp_objective_raw requires an unrestricted due date"
+    let n = seq.len();
+    // One vectorizable pass validates every job id against the shortest
+    // array; afterwards each gather below is in bounds by construction, so
+    // the per-access bounds checks (and their branches) drop out of the
+    // O(n) hot loops.
+    let limit = p.len().min(m.len()).min(alpha.len()).min(beta.len()).min(gamma.len());
+    assert!(
+        n <= limit && seq.iter().all(|&j| (j as usize) < n),
+        "ucddcp_objective_raw: sequence contains a job id outside the instance"
     );
-    let (shift, r) = cdd_optimal_shift_raw(p, alpha, beta, d, seq);
-    let mut obj = cdd_objective_with_shift(p, alpha, beta, d, seq, shift);
 
-    // Tardy side: walk positions n..r+1 (1-based), accumulating the suffix
-    // tardiness-rate sum.
-    let mut suffix_beta: Time = 0;
-    for k in (r..seq.len()).rev() {
-        let j = seq[k] as usize;
-        suffix_beta += beta[j];
-        let x = p[j] - m[j];
-        if x > 0 && suffix_beta > gamma[j] {
-            obj -= x * (suffix_beta - gamma[j]);
+    // With `d ≥ Σ Pᵢ`, the packed schedule completes every position at or
+    // before `d`: pass 1 of `cdd_optimal_shift_raw` is fully determined —
+    // `τ = n`, `c_τ = Σ Pᵢ`, `pe = Σ αᵢ`, `pl = 0` — and both sums are
+    // order-independent (a permutation visits each of the first `n` job
+    // ids exactly once), so they come from direct gather-free slice sums.
+    let sum_p: Time = p[..n].iter().sum();
+    debug_assert!(sum_p <= d, "ucddcp_objective_raw requires an unrestricted due date");
+    let pe0: Time = alpha[..n].iter().sum();
+
+    let (shift, r, pl) = if n == 0 || pe0 == 0 {
+        // All-tardy is impossible here; pl (= 0) ≥ pe means packed is optimal.
+        (0, n, 0)
+    } else {
+        // Align position τ with the due date, then keep shifting while making
+        // position τ tardy still pays off (Theorem 1, Case 2(ii)).
+        let mut shift = d - sum_p;
+        let mut tau = n;
+        let mut pe = pe0;
+        let mut pl: Time = 0;
+        while tau >= 1 {
+            // SAFETY: `tau - 1 < n = seq.len()` and every id in `seq` was
+            // validated above against the shortest array.
+            let j = unsafe { *seq.get_unchecked(tau - 1) } as usize;
+            let pe_next = pe - unsafe { *alpha.get_unchecked(j) };
+            let pl_next = pl + unsafe { *beta.get_unchecked(j) };
+            if pl_next < pe_next {
+                shift += unsafe { *p.get_unchecked(j) };
+                pe = pe_next;
+                pl = pl_next;
+                tau -= 1;
+            } else {
+                break;
+            }
         }
-    }
-    // Early side: walk positions 1..r (1-based), accumulating the prefix
-    // earliness-rate sum over strict predecessors.
+        (shift, tau, pl)
+    };
+
+    // Single fused pass: CDD penalty plus both compression rules. Positions
+    // before `r` complete at or before `d` (earliness side, prefix-α rule);
+    // positions from `r` on complete at or after `d` (tardiness side,
+    // suffix-β rule). `pl` is exactly the β-sum over the tardy positions,
+    // so the backward suffix accumulation of the two-pass form becomes a
+    // forward decrement — same value at every position, identical integer
+    // results.
+    let mut c = shift;
+    let mut obj: Cost = 0;
     let mut prefix_alpha: Time = 0;
-    for &job in &seq[..r] {
+    let mut suffix_beta = pl;
+    for (k, &job) in seq.iter().enumerate() {
         let j = job as usize;
-        let x = p[j] - m[j];
-        if x > 0 && prefix_alpha > gamma[j] {
-            obj -= x * (prefix_alpha - gamma[j]);
+        // SAFETY: every id in `seq` was validated above against the
+        // shortest of the five arrays.
+        unsafe {
+            let pj = *p.get_unchecked(j);
+            let x = pj - *m.get_unchecked(j);
+            let gj = *gamma.get_unchecked(j);
+            c += pj;
+            if k < r {
+                let aj = *alpha.get_unchecked(j);
+                obj += aj * (d - c);
+                if x > 0 && prefix_alpha > gj {
+                    obj -= x * (prefix_alpha - gj);
+                }
+                prefix_alpha += aj;
+            } else {
+                let bj = *beta.get_unchecked(j);
+                obj += bj * (c - d);
+                if x > 0 && suffix_beta > gj {
+                    obj -= x * (suffix_beta - gj);
+                }
+                suffix_beta -= bj;
+            }
         }
-        prefix_alpha += alpha[j];
     }
     obj
 }
@@ -265,6 +323,33 @@ mod tests {
         // Prefix α before job 2 (id 1) is α₀ = 8 > γ₁ = 2, headroom 8 units.
         assert_eq!(sol.compressions[1], 8);
         assert_eq!(sol.objective, sol.cdd_objective - 8 * (8 - 2));
+    }
+
+    /// The fused single-pass form of `ucddcp_objective_raw` must agree with
+    /// the two-pass optimizer on arbitrary instances, including the edge
+    /// cases its specialization leans on (`pe = 0`, `d = Σ Pᵢ` exactly).
+    #[test]
+    fn raw_objective_matches_two_pass_optimizer_on_random_instances() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(0xCDD1);
+        for case in 0..500 {
+            let n = rng.gen_range(1..=24);
+            let p: Vec<Time> = (0..n).map(|_| rng.gen_range(1..=30)).collect();
+            let m: Vec<Time> = p.iter().map(|&pi| rng.gen_range(1..=pi)).collect();
+            let zero_alpha = case % 7 == 0;
+            let a: Vec<Time> =
+                (0..n).map(|_| if zero_alpha { 0 } else { rng.gen_range(0..=15) }).collect();
+            let b: Vec<Time> = (0..n).map(|_| rng.gen_range(0..=15)).collect();
+            let g: Vec<Time> = (0..n).map(|_| rng.gen_range(0..=12)).collect();
+            let sum_p: Time = p.iter().sum();
+            let d = if case % 5 == 0 { sum_p } else { sum_p + rng.gen_range(0..=40 as Time) };
+            let inst = Instance::ucddcp_from_arrays(&p, &m, &a, &b, &g, d).unwrap();
+            let seq = JobSequence::random(n, &mut rng);
+            let sol = optimize_ucddcp_sequence(&inst, &seq);
+            let raw = ucddcp_objective_raw(&p, &m, &a, &b, &g, d, seq.as_slice());
+            assert_eq!(raw, sol.objective, "case {case}: n={n} d={d} seq={:?}", seq.as_slice());
+        }
     }
 
     #[test]

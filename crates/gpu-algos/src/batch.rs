@@ -35,7 +35,7 @@ use cdd_core::eval::evaluator_for;
 use cdd_core::{Cost, Instance, JobSequence, SuiteError};
 use cdd_meta::temperature::initial_temperature;
 use cuda_sim::reduce::{unpack_argmin, SegmentedArgminKernel};
-use cuda_sim::{Gpu, LaunchConfig, XorWow};
+use cuda_sim::{Backend, ExecBackend, Gpu, LaunchConfig, NativeGpu, XorWow};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -86,7 +86,6 @@ pub fn run_gpu_sa_batch(
 
     let k = entries.len();
     let ensemble = params.ensemble();
-    let total = k * ensemble;
     // The packed argmin index is segment-local, so only the per-request
     // ensemble must fit the index field — but every instance's objective
     // bound must fit the value field.
@@ -120,8 +119,30 @@ pub fn run_gpu_sa_batch(
         evaluators.push(evaluator);
     }
 
+    match params.backend {
+        Backend::Sim => batch_device_run::<Gpu>(entries, params, &evaluators, &t0s, init_rows),
+        Backend::Native => {
+            batch_device_run::<NativeGpu>(entries, params, &evaluators, &t0s, init_rows)
+        }
+    }
+}
+
+/// The device half of a fused batch run, on either execution backend: upload
+/// every request, drive the four fused kernels per generation, demultiplex
+/// and oracle-verify each request's winner.
+fn batch_device_run<B: ExecBackend>(
+    entries: &[BatchEntry],
+    params: &GpuSaParams,
+    evaluators: &[Box<dyn cdd_core::eval::SequenceEvaluator + Send + Sync>],
+    t0s: &[f64],
+    init_rows: Vec<Vec<u32>>,
+) -> Result<Vec<GpuRunResult>, SuiteError> {
+    let k = entries.len();
+    let n = entries[0].instance.n();
+    let ensemble = params.ensemble();
+    let total = k * ensemble;
     let cfg = LaunchConfig::linear(k * params.blocks, params.block_size);
-    let mut gpu = Gpu::new(params.device.clone());
+    let mut gpu = B::from_spec(params.device.clone());
     let mut stats = RecoveryStats { device_attempts: 1, ..RecoveryStats::default() };
 
     let probs: Vec<ProblemDevice> = entries
@@ -152,7 +173,7 @@ pub fn run_gpu_sa_batch(
     // Initial fitness of every request's starting ensemble, one launch.
     let fitness_current =
         BatchFitnessKernel::new(probs.clone(), current, energies, ensemble, params.blocks);
-    gpu.launch(&fitness_current, cfg, &[]).map_err(|e| suite_device_error(&e))?;
+    gpu.launch_kernel(&fitness_current, cfg, &[]).map_err(|e| suite_device_error(&e))?;
 
     let perturb = PerturbKernel::new(current, candidate, rng_states, n, total, params.pert);
     let fitness =
@@ -162,10 +183,10 @@ pub fn run_gpu_sa_batch(
 
     // Each request cools independently from its own T₀ — iterative
     // multiplication, bit-identical to the solo schedule.
-    let mut temps = t0s.clone();
+    let mut temps = t0s.to_vec();
     for _gen in 0..params.iterations {
-        gpu.launch(&perturb, cfg, &[]).map_err(|e| suite_device_error(&e))?;
-        gpu.launch(&fitness, cfg, &[]).map_err(|e| suite_device_error(&e))?;
+        gpu.launch_kernel(&perturb, cfg, &[]).map_err(|e| suite_device_error(&e))?;
+        gpu.launch_kernel(&fitness, cfg, &[]).map_err(|e| suite_device_error(&e))?;
         let accept = AcceptKernel {
             current,
             candidate,
@@ -181,8 +202,8 @@ pub fn run_gpu_sa_batch(
             telemetry: None,
             flags: None,
         };
-        gpu.launch(&accept, cfg, &[]).map_err(|e| suite_device_error(&e))?;
-        gpu.launch(&reduce, cfg, &[]).map_err(|e| suite_device_error(&e))?;
+        gpu.launch_kernel(&accept, cfg, &[]).map_err(|e| suite_device_error(&e))?;
+        gpu.launch_kernel(&reduce, cfg, &[]).map_err(|e| suite_device_error(&e))?;
         for t in temps.iter_mut() {
             *t *= params.cooling_rate;
         }
@@ -231,9 +252,8 @@ pub fn run_gpu_sa_batch(
     // One profiler accounts for the fused run; modeled time is split evenly
     // across the requests that shared it (each report carries the *fused*
     // launch count — k requests rode the same 1 + 4·iterations launches).
-    let profiler = gpu.profiler();
     let share = 1.0 / k as f64;
-    let summary = format!("batched×{k}: {}", profiler.summary());
+    let summary = format!("batched×{k}: {}", gpu.profiler_summary());
     Ok(results
         .into_iter()
         .enumerate()
@@ -242,10 +262,10 @@ pub fn run_gpu_sa_batch(
             objective,
             evaluations: ensemble as u64 * (params.iterations + 1),
             t0: t0s[r],
-            modeled_seconds: profiler.total_seconds() * share,
-            kernel_seconds: profiler.kernel_seconds() * share,
-            transfer_seconds: profiler.transfer_seconds() * share,
-            kernel_launches: profiler.kernel_launches(),
+            modeled_seconds: gpu.modeled_total_seconds() * share,
+            kernel_seconds: gpu.modeled_kernel_seconds() * share,
+            transfer_seconds: gpu.modeled_transfer_seconds() * share,
+            kernel_launches: gpu.kernel_launches(),
             profiler_summary: summary.clone(),
             timeline: Vec::new(),
             recovery: stats,

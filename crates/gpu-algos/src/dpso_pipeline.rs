@@ -12,13 +12,16 @@ use crate::recovery::{
     launch_with_retry, merge_faults, run_with_recovery, suite_device_error, verified_best,
     RecoveryPolicy, RecoveryStats,
 };
-use crate::sa_pipeline::{check_argmin_domain, GpuRunResult};
+use crate::sa_pipeline::{check_argmin_domain, check_native_capabilities, GpuRunResult};
 use crate::trajectory::ConvergenceTrace;
 use cdd_core::eval::{evaluator_for, SequenceEvaluator};
 use cdd_core::{Cost, Instance, JobSequence, SuiteError};
 use cdd_meta::{Dpso, DpsoParams};
 use cuda_sim::reduce::{unpack_argmin, AtomicArgminKernel};
-use cuda_sim::{DeviceSpec, FaultPlan, Gpu, LaunchConfig, TelemetryConfig, TelemetryRing, XorWow};
+use cuda_sim::{
+    Backend, DeviceSpec, ExecBackend, FaultPlan, Gpu, LaunchConfig, NativeGpu, TelemetryConfig,
+    TelemetryRing, XorWow,
+};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -50,6 +53,8 @@ pub struct GpuDpsoParams {
     /// Convergence-telemetry policy (disabled by default; sampling changes
     /// no result — see `cuda_sim::telemetry`).
     pub telemetry: TelemetryConfig,
+    /// Execution backend: the simulator (default) or the native host path.
+    pub backend: Backend,
 }
 
 impl Default for GpuDpsoParams {
@@ -67,6 +72,7 @@ impl Default for GpuDpsoParams {
             fault: None,
             recovery: RecoveryPolicy::default(),
             telemetry: TelemetryConfig::disabled(),
+            backend: Backend::default(),
         }
     }
 }
@@ -97,19 +103,31 @@ impl GpuDpsoParams {
 pub fn run_gpu_dpso(inst: &Instance, params: &GpuDpsoParams) -> Result<GpuRunResult, SuiteError> {
     assert!(params.iterations >= 1, "need at least one generation");
     check_argmin_domain(inst, params.ensemble())?;
+    check_native_capabilities(params.backend, params.fault.as_ref(), &params.telemetry)?;
     let evaluator = evaluator_for(inst);
     let host_rng = StdRng::seed_from_u64(params.seed);
 
-    run_with_recovery(
-        &params.recovery,
-        params.fault.as_ref(),
-        |plan, stats| dpso_attempt(inst, params, &*evaluator, &host_rng, plan, stats),
-        || cpu_fallback_dpso(params, &*evaluator),
-    )
+    match params.backend {
+        Backend::Sim => run_with_recovery(
+            &params.recovery,
+            params.fault.as_ref(),
+            |plan, stats| dpso_attempt::<Gpu>(inst, params, &*evaluator, &host_rng, plan, stats),
+            || cpu_fallback_dpso(params, &*evaluator),
+        ),
+        Backend::Native => run_with_recovery(
+            &params.recovery,
+            params.fault.as_ref(),
+            |plan, stats| {
+                dpso_attempt::<NativeGpu>(inst, params, &*evaluator, &host_rng, plan, stats)
+            },
+            || cpu_fallback_dpso(params, &*evaluator),
+        ),
+    }
 }
 
-/// One complete device run of the DPSO pipeline.
-fn dpso_attempt(
+/// One complete device run of the DPSO pipeline, on either execution
+/// backend.
+fn dpso_attempt<B: ExecBackend>(
     inst: &Instance,
     params: &GpuDpsoParams,
     evaluator: &dyn SequenceEvaluator,
@@ -123,7 +141,7 @@ fn dpso_attempt(
     let mut host_rng = host_rng.clone();
     let policy = &params.recovery;
 
-    let mut gpu = Gpu::new(params.device.clone());
+    let mut gpu = B::from_spec(params.device.clone());
     gpu.set_fault_plan(plan);
 
     // Telemetry state lives outside the attempt closure so the ring can be
@@ -205,7 +223,7 @@ fn dpso_attempt(
             if slot.is_some() {
                 sample_headers.push((gen, 0.0));
             }
-            let gen_result = (|gpu: &mut Gpu| -> Result<(), SuiteError> {
+            let gen_result = (|gpu: &mut B| -> Result<(), SuiteError> {
                 launch_with_retry(gpu, &update, cfg, policy, stats)
                     .map_err(|e| suite_device_error(&e))?;
                 launch_with_retry(gpu, &fitness, cfg, policy, stats)
@@ -241,18 +259,17 @@ fn dpso_attempt(
     let convergence = ring.map(|r| {
         ConvergenceTrace::from_ring("dpso", params.telemetry.stride, 1, &sample_headers, &r, &gpu)
     });
-    let profiler = gpu.profiler();
     Ok(GpuRunResult {
         best,
         objective,
         evaluations: ensemble as u64 * (params.iterations + 1),
         t0: 0.0,
-        modeled_seconds: profiler.total_seconds(),
-        kernel_seconds: profiler.kernel_seconds(),
-        transfer_seconds: profiler.transfer_seconds(),
-        kernel_launches: profiler.kernel_launches(),
-        profiler_summary: profiler.summary(),
-        timeline: profiler.events().to_vec(),
+        modeled_seconds: gpu.modeled_total_seconds(),
+        kernel_seconds: gpu.modeled_kernel_seconds(),
+        transfer_seconds: gpu.modeled_transfer_seconds(),
+        kernel_launches: gpu.kernel_launches(),
+        profiler_summary: gpu.profiler_summary(),
+        timeline: gpu.timeline_events(),
         recovery: RecoveryStats::default(),
         convergence,
     })

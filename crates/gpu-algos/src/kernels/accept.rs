@@ -5,7 +5,7 @@
 
 use crate::kernels::fitness::CORRUPT_ENERGY;
 use cdd_meta::sa::metropolis_accept;
-use cuda_sim::{Buf, Kernel, TelemetryRing, ThreadCtx};
+use cuda_sim::{Buf, DeviceCtx, Kernel, TelemetryRing};
 
 /// Telemetry probe handed to the acceptance kernel on sampled runs. Probe
 /// access goes through the simulator's instrumentation port, so carrying one
@@ -68,7 +68,7 @@ impl Kernel for AcceptKernel {
 
     fn make_shared(&self, _block_dim: usize) {}
 
-    fn phase(&self, _p: usize, ctx: &mut ThreadCtx<'_>, _s: &mut (), _t: &mut ()) {
+    fn phase<C: DeviceCtx>(&self, _p: usize, ctx: &mut C, _s: &mut (), _t: &mut ()) {
         let gid = ctx.global_id();
         if gid >= self.ensemble {
             return;

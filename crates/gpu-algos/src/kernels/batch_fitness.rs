@@ -19,7 +19,7 @@ use crate::layout::ProblemDevice;
 use cdd_core::cdd_optimal::cdd_objective_raw;
 use cdd_core::ucddcp_optimal::ucddcp_objective_raw;
 use cdd_core::ProblemKind;
-use cuda_sim::{Buf, Kernel, ScratchArena, ThreadCtx};
+use cuda_sim::{Buf, DeviceCtx, Kernel, ScratchArena};
 
 /// Evaluates one job sequence per thread across a fused multi-request grid.
 pub struct BatchFitnessKernel {
@@ -147,14 +147,14 @@ impl Kernel for BatchFitnessKernel {
         2
     }
 
-    fn phase(&self, phase: usize, ctx: &mut ThreadCtx<'_>, _shared: &mut (), _state: &mut ()) {
-        let prob = self.prob_of_block(ctx.block_idx);
+    fn phase<C: DeviceCtx>(&self, phase: usize, ctx: &mut C, _shared: &mut (), _state: &mut ()) {
+        let prob = self.prob_of_block(ctx.block_idx());
         let n = prob.n;
         if phase == 0 {
             // Cooperative staging of the owning request's rates — identical
             // in shape and charge to the single-request kernel's phase 0.
-            if ctx.thread_idx == 0 {
-                self.staged.with_slot(ctx.block_idx, |shared| {
+            if ctx.thread_idx() == 0 {
+                self.staged.with_slot(ctx.block_idx(), |shared| {
                     shared.alpha.resize(n, 0);
                     ctx.cooperative_read(prob.alpha, 0, &mut shared.alpha);
                     shared.beta.resize(n, 0);
@@ -166,7 +166,7 @@ impl Kernel for BatchFitnessKernel {
                 });
             }
             let arrays = if prob.kind == ProblemKind::Ucddcp { 3 } else { 2 };
-            let share = n.div_ceil(ctx.block_dim) as u64;
+            let share = n.div_ceil(ctx.block_dim()) as u64;
             ctx.charge_global(arrays * share);
             ctx.charge_shared(arrays * share);
             return;
@@ -176,21 +176,27 @@ impl Kernel for BatchFitnessKernel {
         // the grid covers whole segments, so the live-thread guard is
         // segment-local.
         let gid = ctx.global_id();
-        let local = gid % (self.blocks_per_req * ctx.block_dim);
+        let local = gid % (self.blocks_per_req * ctx.block_dim());
         if local >= self.ensemble_per_req {
             return;
         }
         let d = ctx.read_const(prob.scalars, 0);
 
-        self.staged.with_slot(ctx.block_idx, |shared| {
+        self.staged.with_slot(ctx.block_idx(), |shared| {
             self.scratch.with_slot(gid, |scratch| {
                 scratch.seq.resize(n, 0);
                 ctx.read_slice_into(self.seqs, gid * n, &mut scratch.seq);
-                scratch.p.resize(n, 0);
-                ctx.read_slice_into(prob.p, 0, &mut scratch.p);
-                if prob.kind == ProblemKind::Ucddcp {
-                    scratch.m.resize(n, 0);
-                    ctx.read_slice_into(prob.m, 0, &mut scratch.m);
+                // As in the single-request kernel: the simulator stages the
+                // problem arrays (every access charged and fault-filtered),
+                // the native backend serves them as zero-copy windows.
+                let zero_copy = ctx.global_window_i64(prob.p, 0, n).is_some();
+                if !zero_copy {
+                    scratch.p.resize(n, 0);
+                    ctx.read_slice_into(prob.p, 0, &mut scratch.p);
+                    if prob.kind == ProblemKind::Ucddcp {
+                        scratch.m.resize(n, 0);
+                        ctx.read_slice_into(prob.m, 0, &mut scratch.m);
+                    }
                 }
 
                 if ctx.fault_injection_active()
@@ -201,24 +207,34 @@ impl Kernel for BatchFitnessKernel {
                     return;
                 }
 
-                let objective = match prob.kind {
+                match prob.kind {
                     ProblemKind::Cdd => {
                         ctx.charge_shared(2 * n as u64);
                         ctx.charge_alu(8 * n as u64);
-                        cdd_objective_raw(&scratch.p, &shared.alpha, &shared.beta, d, &scratch.seq)
                     }
                     ProblemKind::Ucddcp => {
                         ctx.charge_shared(3 * n as u64);
                         ctx.charge_alu(12 * n as u64);
-                        ucddcp_objective_raw(
-                            &scratch.p,
-                            &scratch.m,
-                            &shared.alpha,
-                            &shared.beta,
-                            &shared.gamma,
-                            d,
-                            &scratch.seq,
-                        )
+                    }
+                }
+                let objective = {
+                    let p = ctx.global_window_i64(prob.p, 0, n).unwrap_or(&scratch.p);
+                    match prob.kind {
+                        ProblemKind::Cdd => {
+                            cdd_objective_raw(p, &shared.alpha, &shared.beta, d, &scratch.seq)
+                        }
+                        ProblemKind::Ucddcp => {
+                            let m = ctx.global_window_i64(prob.m, 0, n).unwrap_or(&scratch.m);
+                            ucddcp_objective_raw(
+                                p,
+                                m,
+                                &shared.alpha,
+                                &shared.beta,
+                                &shared.gamma,
+                                d,
+                                &scratch.seq,
+                            )
+                        }
                     }
                 };
                 let objective = if ctx.fault_injection_active() {

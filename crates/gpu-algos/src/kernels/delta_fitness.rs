@@ -36,7 +36,7 @@ use cdd_core::delta::{
 };
 use cdd_core::ucddcp_optimal::ucddcp_objective_raw;
 use cdd_core::ProblemKind;
-use cuda_sim::{Buf, Gpu, Kernel, ScratchArena, ThreadCtx};
+use cuda_sim::{Buf, DeviceCtx, ExecBackend, Kernel, ScratchArena};
 use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Device-resident per-thread delta cache: row-major slabs, one row per
@@ -63,7 +63,7 @@ pub struct DeltaCacheBufs {
 
 impl DeltaCacheBufs {
     /// Allocate the cache slabs for `ensemble` chains of `n` jobs.
-    pub fn alloc(gpu: &mut Gpu, ensemble: usize, n: usize) -> Self {
+    pub fn alloc<B: ExecBackend>(gpu: &mut B, ensemble: usize, n: usize) -> Self {
         DeltaCacheBufs {
             c: gpu.alloc::<i64>(ensemble * n),
             a_pref: gpu.alloc::<i64>(ensemble * (n + 1)),
@@ -108,8 +108,8 @@ struct DeltaScratch {
 /// charged shared access); every pure-arithmetic tick is a charged ALU op.
 /// The modeled cost of delta scoring is therefore exactly its memory/ALU
 /// footprint.
-struct GpuDeltaSource<'a, 'b, 'c> {
-    ctx: &'a mut ThreadCtx<'c>,
+struct GpuDeltaSource<'a, 'b, C: DeviceCtx> {
+    ctx: &'a mut C,
     prob: &'b ProblemDevice,
     cache: &'b DeltaCacheBufs,
     rates: &'b StagedDeltaRates,
@@ -120,7 +120,7 @@ struct GpuDeltaSource<'a, 'b, 'c> {
     fault: bool,
 }
 
-impl GpuDeltaSource<'_, '_, '_> {
+impl<C: DeviceCtx> GpuDeltaSource<'_, '_, C> {
     #[inline]
     fn table(&mut self, buf: Buf<i64>, k: usize) -> i64 {
         let w = self.prob.n + 1;
@@ -136,7 +136,7 @@ impl GpuDeltaSource<'_, '_, '_> {
     }
 }
 
-impl DeltaSource for GpuDeltaSource<'_, '_, '_> {
+impl<C: DeviceCtx> DeltaSource for GpuDeltaSource<'_, '_, C> {
     fn n(&self) -> usize {
         self.prob.n
     }
@@ -333,15 +333,15 @@ impl Kernel for DeltaFitnessKernel {
         2
     }
 
-    fn phase(&self, phase: usize, ctx: &mut ThreadCtx<'_>, _s: &mut (), _t: &mut ()) {
+    fn phase<C: DeviceCtx>(&self, phase: usize, ctx: &mut C, _s: &mut (), _t: &mut ()) {
         let n = self.prob.n;
         if phase == 0 {
             // Cooperative staging, same shape as the full fitness kernel's
             // phase 0 but wider: rates *and* processing times (the delta
             // path indexes p by job id, not sequentially, so a shared copy
             // turns scattered global transactions into shared accesses).
-            if ctx.thread_idx == 0 {
-                self.staged.with_slot(ctx.block_idx, |shared| {
+            if ctx.thread_idx() == 0 {
+                self.staged.with_slot(ctx.block_idx(), |shared| {
                     shared.p.resize(n, 0);
                     ctx.cooperative_read(self.prob.p, 0, &mut shared.p);
                     shared.alpha.resize(n, 0);
@@ -357,7 +357,7 @@ impl Kernel for DeltaFitnessKernel {
                 });
             }
             let arrays = if self.prob.kind == ProblemKind::Ucddcp { 5 } else { 3 };
-            let share = n.div_ceil(ctx.block_dim) as u64;
+            let share = n.div_ceil(ctx.block_dim()) as u64;
             ctx.charge_global(arrays * share);
             ctx.charge_shared(arrays * share);
             return;
@@ -382,7 +382,7 @@ impl Kernel for DeltaFitnessKernel {
         let dirty = ctx.read(self.flags, gid) != 0;
         let rebuild = force && (dirty || fault);
 
-        self.staged.with_slot(ctx.block_idx, |shared| {
+        self.staged.with_slot(ctx.block_idx(), |shared| {
         self.scratch.with_slot(gid, |s| {
             // Gather the move descriptor: perturbed positions plus the jobs
             // the committed row and the candidate hold there. Out-of-range

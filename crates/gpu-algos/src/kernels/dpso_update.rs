@@ -8,7 +8,7 @@
 
 use cdd_meta::dpso::{one_point_crossover, two_point_crossover};
 use cuda_sim::reduce::unpack_argmin;
-use cuda_sim::{Buf, Kernel, ScratchArena, TelemetryRing, ThreadCtx};
+use cuda_sim::{Buf, DeviceCtx, Kernel, ScratchArena, TelemetryRing};
 
 /// Telemetry probe handed to the personal-best kernel on sampled runs.
 /// Probe access goes through the simulator's instrumentation port, so
@@ -128,7 +128,7 @@ impl Kernel for DpsoUpdateKernel {
 
     fn make_shared(&self, _block_dim: usize) {}
 
-    fn phase(&self, _p: usize, ctx: &mut ThreadCtx<'_>, _s: &mut (), _t: &mut ()) {
+    fn phase<C: DeviceCtx>(&self, _p: usize, ctx: &mut C, _s: &mut (), _t: &mut ()) {
         let gid = ctx.global_id();
         if gid >= self.ensemble {
             return;
@@ -224,7 +224,7 @@ impl Kernel for PbestKernel {
 
     fn make_shared(&self, _block_dim: usize) {}
 
-    fn phase(&self, _p: usize, ctx: &mut ThreadCtx<'_>, _s: &mut (), _t: &mut ()) {
+    fn phase<C: DeviceCtx>(&self, _p: usize, ctx: &mut C, _s: &mut (), _t: &mut ()) {
         let gid = ctx.global_id();
         if gid >= self.ensemble {
             return;
@@ -279,7 +279,7 @@ impl Kernel for GbestCopyKernel {
 
     fn make_shared(&self, _block_dim: usize) {}
 
-    fn phase(&self, _p: usize, ctx: &mut ThreadCtx<'_>, _s: &mut (), _t: &mut ()) {
+    fn phase<C: DeviceCtx>(&self, _p: usize, ctx: &mut C, _s: &mut (), _t: &mut ()) {
         if ctx.global_id() != 0 {
             return;
         }

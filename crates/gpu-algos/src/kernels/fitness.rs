@@ -14,7 +14,7 @@ use crate::layout::ProblemDevice;
 use cdd_core::cdd_optimal::cdd_objective_raw;
 use cdd_core::ucddcp_optimal::ucddcp_objective_raw;
 use cdd_core::ProblemKind;
-use cuda_sim::{Buf, Kernel, ScratchArena, ThreadCtx};
+use cuda_sim::{Buf, DeviceCtx, Kernel, ScratchArena};
 
 /// Sentinel energy written when fault injection corrupted a thread's inputs
 /// beyond evaluation (non-permutation sequence, out-of-range data). Large
@@ -156,14 +156,14 @@ impl Kernel for FitnessKernel {
         2
     }
 
-    fn phase(&self, phase: usize, ctx: &mut ThreadCtx<'_>, _shared: &mut (), _state: &mut ()) {
+    fn phase<C: DeviceCtx>(&self, phase: usize, ctx: &mut C, _shared: &mut (), _state: &mut ()) {
         let n = self.prob.n;
         if phase == 0 {
             // Cooperative staging: threads conceptually load elements
             // tid, tid+blockDim, …; the engine performs the copy once and
             // every thread charges its share of the traffic.
-            if ctx.thread_idx == 0 {
-                self.staged.with_slot(ctx.block_idx, |shared| {
+            if ctx.thread_idx() == 0 {
+                self.staged.with_slot(ctx.block_idx(), |shared| {
                     shared.alpha.resize(n, 0);
                     ctx.cooperative_read(self.prob.alpha, 0, &mut shared.alpha);
                     shared.beta.resize(n, 0);
@@ -175,7 +175,7 @@ impl Kernel for FitnessKernel {
                 });
             }
             let arrays = if self.prob.kind == ProblemKind::Ucddcp { 3 } else { 2 };
-            let share = n.div_ceil(ctx.block_dim) as u64;
+            let share = n.div_ceil(ctx.block_dim()) as u64;
             ctx.charge_global(arrays * share);
             ctx.charge_shared(arrays * share);
             return;
@@ -189,15 +189,22 @@ impl Kernel for FitnessKernel {
         let d = ctx.read_const(self.prob.scalars, 0);
         debug_assert_eq!(ctx.read_const(self.prob.scalars, 1), n as i64);
 
-        self.staged.with_slot(ctx.block_idx, |shared| {
+        self.staged.with_slot(ctx.block_idx(), |shared| {
             self.scratch.with_slot(gid, |scratch| {
                 scratch.seq.resize(n, 0);
                 ctx.read_slice_into(self.seqs, gid * n, &mut scratch.seq);
-                scratch.p.resize(n, 0);
-                ctx.read_slice_into(self.prob.p, 0, &mut scratch.p);
-                if self.prob.kind == ProblemKind::Ucddcp {
-                    scratch.m.resize(n, 0);
-                    ctx.read_slice_into(self.prob.m, 0, &mut scratch.m);
+                // The simulator must observe (charge, race-track,
+                // fault-filter) every read of the problem arrays, so it
+                // stages them into scratch; the native backend serves them
+                // as zero-copy windows below and skips the staging.
+                let zero_copy = ctx.global_window_i64(self.prob.p, 0, n).is_some();
+                if !zero_copy {
+                    scratch.p.resize(n, 0);
+                    ctx.read_slice_into(self.prob.p, 0, &mut scratch.p);
+                    if self.prob.kind == ProblemKind::Ucddcp {
+                        scratch.m.resize(n, 0);
+                        ctx.read_slice_into(self.prob.m, 0, &mut scratch.m);
+                    }
                 }
 
                 // Under fault injection, a corrupted input set is detected up
@@ -205,32 +212,44 @@ impl Kernel for FitnessKernel {
                 // (the evaluators would index out of bounds or overflow on
                 // it). The clean path skips the validation entirely, so
                 // timing and results are bit-identical with no plan
-                // installed.
+                // installed. (Fault plans are sim-only, so the staged copies
+                // the validation reads always exist when this fires.)
                 if ctx.fault_injection_active() && !self.inputs_valid(shared, scratch, d) {
                     ctx.charge_alu(4 * n as u64); // the validation scan
                     ctx.write(self.out, gid, CORRUPT_ENERGY);
                     return;
                 }
 
-                let objective = match self.prob.kind {
+                match self.prob.kind {
                     ProblemKind::Cdd => {
                         // ~2 passes over shared rates + register arithmetic.
                         ctx.charge_shared(2 * n as u64);
                         ctx.charge_alu(8 * n as u64);
-                        cdd_objective_raw(&scratch.p, &shared.alpha, &shared.beta, d, &scratch.seq)
                     }
                     ProblemKind::Ucddcp => {
                         ctx.charge_shared(3 * n as u64);
                         ctx.charge_alu(12 * n as u64);
-                        ucddcp_objective_raw(
-                            &scratch.p,
-                            &scratch.m,
-                            &shared.alpha,
-                            &shared.beta,
-                            &shared.gamma,
-                            d,
-                            &scratch.seq,
-                        )
+                    }
+                }
+                let objective = {
+                    let p = ctx.global_window_i64(self.prob.p, 0, n).unwrap_or(&scratch.p);
+                    match self.prob.kind {
+                        ProblemKind::Cdd => {
+                            cdd_objective_raw(p, &shared.alpha, &shared.beta, d, &scratch.seq)
+                        }
+                        ProblemKind::Ucddcp => {
+                            let m =
+                                ctx.global_window_i64(self.prob.m, 0, n).unwrap_or(&scratch.m);
+                            ucddcp_objective_raw(
+                                p,
+                                m,
+                                &shared.alpha,
+                                &shared.beta,
+                                &shared.gamma,
+                                d,
+                                &scratch.seq,
+                            )
+                        }
                     }
                 };
                 // Flipped-but-valid data can still produce objectives past

@@ -6,7 +6,7 @@
 //! Randomness comes from the thread's device-resident XORWOW stream (the
 //! cuRAND analogue).
 
-use cuda_sim::{Buf, Kernel, ScratchArena, ThreadCtx};
+use cuda_sim::{Buf, DeviceCtx, Kernel, ScratchArena};
 
 /// Derives `dst[row] = perturb(src[row])` per thread.
 ///
@@ -78,7 +78,7 @@ impl Kernel for PerturbKernel {
 
     fn make_shared(&self, _block_dim: usize) {}
 
-    fn phase(&self, _phase: usize, ctx: &mut ThreadCtx<'_>, _shared: &mut (), _state: &mut ()) {
+    fn phase<C: DeviceCtx>(&self, _phase: usize, ctx: &mut C, _shared: &mut (), _state: &mut ()) {
         let gid = ctx.global_id();
         if gid >= self.ensemble {
             return;

@@ -5,7 +5,7 @@
 //! stored row-major, one row of `n` job ids per thread.
 
 use cdd_core::{Instance, ProblemKind, Time};
-use cuda_sim::{Buf, ConstBuf, Gpu, LaunchError};
+use cuda_sim::{Buf, ConstBuf, ExecBackend, LaunchError};
 
 /// Handles to an uploaded problem instance.
 #[derive(Debug, Clone, Copy)]
@@ -33,7 +33,7 @@ pub struct ProblemDevice {
 
 impl ProblemDevice {
     /// Upload `inst` to the device (records the H2D transfers of Fig. 9).
-    pub fn upload(gpu: &mut Gpu, inst: &Instance) -> Result<Self, LaunchError> {
+    pub fn upload<B: ExecBackend>(gpu: &mut B, inst: &Instance) -> Result<Self, LaunchError> {
         let (p, m, a, b, g) = inst.to_arrays();
         let n = inst.n();
         let pb = gpu.alloc::<i64>(n);
@@ -73,7 +73,7 @@ impl ProblemDevice {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use cuda_sim::DeviceSpec;
+    use cuda_sim::{DeviceSpec, Gpu};
 
     #[test]
     fn upload_records_transfers_and_mirrors_scalars() {

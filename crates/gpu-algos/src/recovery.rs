@@ -25,7 +25,7 @@
 use crate::sa_pipeline::GpuRunResult;
 use cdd_core::eval::SequenceEvaluator;
 use cdd_core::{Cost, JobSequence, SuiteError};
-use cuda_sim::{Buf, FaultPlan, FaultStats, Gpu, Kernel, LaunchConfig, LaunchError};
+use cuda_sim::{Buf, ExecBackend, FaultPlan, FaultStats, Kernel, LaunchConfig, LaunchError};
 
 /// Knobs of the resilience layer.
 #[derive(Debug, Clone, PartialEq)]
@@ -84,8 +84,8 @@ pub(crate) fn merge_faults(into: &mut FaultStats, f: FaultStats) {
 }
 
 /// Launch `kernel`, retrying transient failures up to the policy's bound.
-pub fn launch_with_retry<K: Kernel + Sync>(
-    gpu: &mut Gpu,
+pub fn launch_with_retry<B: ExecBackend, K: Kernel + Sync>(
+    gpu: &mut B,
     kernel: &K,
     cfg: LaunchConfig,
     policy: &RecoveryPolicy,
@@ -93,7 +93,7 @@ pub fn launch_with_retry<K: Kernel + Sync>(
 ) -> Result<(), LaunchError> {
     let mut retries = 0;
     loop {
-        match gpu.launch(kernel, cfg, &[]) {
+        match gpu.launch_kernel(kernel, cfg, &[]) {
             Ok(_) => return Ok(()),
             Err(e) if e.is_transient() && retries < policy.max_launch_retries => {
                 retries += 1;
@@ -112,8 +112,8 @@ pub fn launch_with_retry<K: Kernel + Sync>(
 /// [`SuiteError::CorruptResult`] when not a single device row survives
 /// validation.
 #[allow(clippy::too_many_arguments)]
-pub fn verified_best<E: SequenceEvaluator + ?Sized>(
-    gpu: &mut Gpu,
+pub fn verified_best<B: ExecBackend, E: SequenceEvaluator + ?Sized>(
+    gpu: &mut B,
     rows: Buf<u32>,
     n: usize,
     ensemble: usize,
@@ -201,7 +201,7 @@ pub fn run_with_recovery(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use cuda_sim::DeviceSpec;
+    use cuda_sim::{DeviceSpec, Gpu};
 
     fn dummy_result(tag: f64) -> GpuRunResult {
         GpuRunResult {
@@ -371,10 +371,10 @@ mod tests {
             "add_one"
         }
         fn make_shared(&self, _b: usize) {}
-        fn phase(
+        fn phase<C: cuda_sim::DeviceCtx>(
             &self,
             _p: usize,
-            ctx: &mut cuda_sim::ThreadCtx<'_>,
+            ctx: &mut C,
             _s: &mut (),
             _t: &mut (),
         ) {

@@ -28,11 +28,37 @@ use cdd_meta::temperature::initial_temperature;
 use cdd_meta::{AsyncEnsemble, Cooling, SaParams};
 use cuda_sim::reduce::{unpack_argmin, AtomicArgminKernel};
 use cuda_sim::{
-    DeviceSpec, FaultPlan, Gpu, LaunchConfig, TelemetryConfig, TelemetryRing, TimelineEvent,
-    XorWow,
+    Backend, DeviceSpec, ExecBackend, FaultPlan, Gpu, LaunchConfig, NativeGpu, TelemetryConfig,
+    TelemetryRing, TimelineEvent, XorWow,
 };
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+
+/// Native-backend admission check, shared by all four pipelines: fault
+/// injection and convergence telemetry are sim-only capabilities, so a
+/// request that needs either must route to [`Backend::Sim`] and is rejected
+/// — never silently degraded — when aimed at the native backend
+/// (DESIGN.md §16).
+pub(crate) fn check_native_capabilities(
+    backend: Backend,
+    fault: Option<&FaultPlan>,
+    telemetry: &TelemetryConfig,
+) -> Result<(), SuiteError> {
+    if backend != Backend::Native {
+        return Ok(());
+    }
+    if fault.is_some_and(|p| p.is_active()) {
+        return Err(SuiteError::rejected(
+            "fault injection is sim-only: route fault-plan runs to backend=sim",
+        ));
+    }
+    if telemetry.enabled() {
+        return Err(SuiteError::rejected(
+            "convergence telemetry is sim-only: route telemetry runs to backend=sim",
+        ));
+    }
+    Ok(())
+}
 
 /// Validate, before any kernel runs, that every objective this instance can
 /// produce — plus the fault-injection sentinel energy — fits the packed
@@ -110,6 +136,10 @@ pub struct GpuSaParams {
     /// Incremental candidate-evaluation policy (off by default; enabling it
     /// changes modeled time only, never the outcome).
     pub delta: DeltaConfig,
+    /// Execution backend: the simulator (default) or the native host path.
+    /// Both produce byte-identical [`GpuRunResult`]s for clean runs; fault
+    /// injection and telemetry are sim-only and are rejected on native.
+    pub backend: Backend,
 }
 
 impl Default for GpuSaParams {
@@ -129,6 +159,7 @@ impl Default for GpuSaParams {
             recovery: RecoveryPolicy::default(),
             telemetry: TelemetryConfig::disabled(),
             delta: DeltaConfig::default(),
+            backend: Backend::default(),
         }
     }
 }
@@ -193,6 +224,7 @@ pub struct GpuRunResult {
 pub fn run_gpu_sa(inst: &Instance, params: &GpuSaParams) -> Result<GpuRunResult, SuiteError> {
     assert!(params.iterations >= 1, "need at least one generation");
     check_argmin_domain(inst, params.ensemble())?;
+    check_native_capabilities(params.backend, params.fault.as_ref(), &params.telemetry)?;
 
     // Host-side setup: T₀ rule and initial ensemble. Randomly initialized
     // chains use the paper's global rule (stddev of `t0_samples` random
@@ -214,12 +246,22 @@ pub fn run_gpu_sa(inst: &Instance, params: &GpuSaParams) -> Result<GpuRunResult,
         ),
     });
 
-    run_with_recovery(
-        &params.recovery,
-        params.fault.as_ref(),
-        |plan, stats| sa_attempt(inst, params, &*evaluator, t0, &host_rng, plan, stats),
-        || cpu_fallback_sa(params, &*evaluator, t0, params.iterations),
-    )
+    match params.backend {
+        Backend::Sim => run_with_recovery(
+            &params.recovery,
+            params.fault.as_ref(),
+            |plan, stats| sa_attempt::<Gpu>(inst, params, &*evaluator, t0, &host_rng, plan, stats),
+            || cpu_fallback_sa(params, &*evaluator, t0, params.iterations),
+        ),
+        Backend::Native => run_with_recovery(
+            &params.recovery,
+            params.fault.as_ref(),
+            |plan, stats| {
+                sa_attempt::<NativeGpu>(inst, params, &*evaluator, t0, &host_rng, plan, stats)
+            },
+            || cpu_fallback_sa(params, &*evaluator, t0, params.iterations),
+        ),
+    }
 }
 
 /// The candidate-scoring kernel of a pipeline run: the full O(n) fitness
@@ -231,8 +273,10 @@ pub(crate) enum CandidateScorer {
     Delta(DeltaFitnessKernel),
 }
 
-/// One complete device run of the asynchronous SA pipeline.
-fn sa_attempt(
+/// One complete device run of the asynchronous SA pipeline, on either
+/// execution backend (the result is byte-identical across backends for a
+/// clean run — the cross-backend parity contract).
+fn sa_attempt<B: ExecBackend>(
     inst: &Instance,
     params: &GpuSaParams,
     evaluator: &dyn SequenceEvaluator,
@@ -249,7 +293,7 @@ fn sa_attempt(
     let mut host_rng = host_rng.clone();
     let policy = &params.recovery;
 
-    let mut gpu = Gpu::new(params.device.clone());
+    let mut gpu = B::from_spec(params.device.clone());
     gpu.set_fault_plan(plan);
 
     // Telemetry state lives outside the attempt closure so the ring can be
@@ -349,7 +393,7 @@ fn sa_attempt(
             if slot.is_some() {
                 sample_headers.push((gen, temperature));
             }
-            let gen_result = (|gpu: &mut Gpu| -> Result<(), SuiteError> {
+            let gen_result = (|gpu: &mut B| -> Result<(), SuiteError> {
                 launch_with_retry(gpu, &perturb, cfg, policy, stats)
                     .map_err(|e| suite_device_error(&e))?;
                 match &scorer {
@@ -401,18 +445,17 @@ fn sa_attempt(
     let convergence = ring.map(|r| {
         ConvergenceTrace::from_ring("sa", params.telemetry.stride, 1, &sample_headers, &r, &gpu)
     });
-    let profiler = gpu.profiler();
     Ok(GpuRunResult {
         best,
         objective,
         evaluations: ensemble as u64 * (params.iterations + 1),
         t0,
-        modeled_seconds: profiler.total_seconds(),
-        kernel_seconds: profiler.kernel_seconds(),
-        transfer_seconds: profiler.transfer_seconds(),
-        kernel_launches: profiler.kernel_launches(),
-        profiler_summary: profiler.summary(),
-        timeline: profiler.events().to_vec(),
+        modeled_seconds: gpu.modeled_total_seconds(),
+        kernel_seconds: gpu.modeled_kernel_seconds(),
+        transfer_seconds: gpu.modeled_transfer_seconds(),
+        kernel_launches: gpu.kernel_launches(),
+        profiler_summary: gpu.profiler_summary(),
+        timeline: gpu.timeline_events(),
         recovery: RecoveryStats::default(),
         convergence,
     })

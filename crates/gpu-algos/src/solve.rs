@@ -14,7 +14,7 @@ use crate::dpso_pipeline::{run_gpu_dpso, GpuDpsoParams};
 use crate::recovery::RecoveryPolicy;
 use crate::sa_pipeline::{run_gpu_sa, DeltaConfig, GpuRunResult, GpuSaParams};
 use cdd_core::{Algorithm, Instance, SuiteError};
-use cuda_sim::{DeviceSpec, FaultPlan, TelemetryConfig};
+use cuda_sim::{Backend, DeviceSpec, FaultPlan, TelemetryConfig};
 
 /// Device, geometry and resilience configuration shared by every solve a
 /// caller dispatches — everything about *where and how safely* to run, as
@@ -38,6 +38,10 @@ pub struct GpuSolveSpec {
     /// identical to full evaluation by contract; DPSO ignores it (personal-
     /// best maintenance needs the full score anyway).
     pub delta: DeltaConfig,
+    /// Execution backend: the simulator (default) or the native host path.
+    /// Byte-identical outcomes by contract; fault injection and telemetry
+    /// are sim-only and rejected on native.
+    pub backend: Backend,
 }
 
 impl Default for GpuSolveSpec {
@@ -50,6 +54,7 @@ impl Default for GpuSolveSpec {
             recovery: RecoveryPolicy::default(),
             telemetry: TelemetryConfig::disabled(),
             delta: DeltaConfig::default(),
+            backend: Backend::default(),
         }
     }
 }
@@ -85,6 +90,7 @@ pub fn run_gpu_solve(
                 recovery: spec.recovery.clone(),
                 telemetry: spec.telemetry,
                 delta: spec.delta,
+                backend: spec.backend,
                 ..Default::default()
             },
         ),
@@ -99,6 +105,7 @@ pub fn run_gpu_solve(
                 fault: spec.fault.clone(),
                 recovery: spec.recovery.clone(),
                 telemetry: spec.telemetry,
+                backend: spec.backend,
                 ..Default::default()
             },
         ),
@@ -135,6 +142,7 @@ pub fn run_gpu_solve_batch(
                     recovery: spec.recovery.clone(),
                     telemetry: spec.telemetry,
                     delta: spec.delta,
+                    backend: spec.backend,
                     ..Default::default()
                 },
             )

@@ -24,14 +24,18 @@ use crate::recovery::{
     RecoveryStats,
 };
 use crate::sa_pipeline::{
-    check_argmin_domain, cpu_fallback_sa, CandidateScorer, GpuRunResult, GpuSaParams,
+    check_argmin_domain, check_native_capabilities, cpu_fallback_sa, CandidateScorer, GpuRunResult,
+    GpuSaParams,
 };
 use crate::trajectory::ConvergenceTrace;
 use cdd_core::eval::{evaluator_for, SequenceEvaluator};
 use cdd_core::{Cost, Instance, JobSequence, SuiteError};
 use cdd_meta::initial_temperature;
 use cuda_sim::reduce::{unpack_argmin, AtomicArgminKernel};
-use cuda_sim::{Buf, FaultPlan, Gpu, Kernel, LaunchConfig, TelemetryRing, ThreadCtx, XorWow};
+use cuda_sim::{
+    Backend, Buf, DeviceCtx, ExecBackend, FaultPlan, Gpu, Kernel, LaunchConfig, NativeGpu,
+    TelemetryRing, XorWow,
+};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -64,7 +68,7 @@ impl Kernel for BroadcastKernel {
 
     fn make_shared(&self, _block_dim: usize) {}
 
-    fn phase(&self, _p: usize, ctx: &mut ThreadCtx<'_>, _s: &mut (), _t: &mut ()) {
+    fn phase<C: DeviceCtx>(&self, _p: usize, ctx: &mut C, _s: &mut (), _t: &mut ()) {
         let gid = ctx.global_id();
         if gid >= self.ensemble {
             return;
@@ -99,6 +103,7 @@ pub fn run_gpu_sa_sync(
 ) -> Result<GpuRunResult, SuiteError> {
     assert!(levels >= 1 && markov_len >= 1, "need at least one level and one step");
     check_argmin_domain(inst, params.ensemble())?;
+    check_native_capabilities(params.backend, params.fault.as_ref(), &params.telemetry)?;
 
     let mut host_rng = StdRng::seed_from_u64(params.seed);
     let evaluator = evaluator_for(inst);
@@ -106,19 +111,34 @@ pub fn run_gpu_sa_sync(
         .t0
         .unwrap_or_else(|| initial_temperature(evaluator.as_ref(), params.t0_samples, &mut host_rng));
 
-    run_with_recovery(
-        &params.recovery,
-        params.fault.as_ref(),
-        |plan, stats| {
-            sync_attempt(inst, params, levels, markov_len, &*evaluator, t0, &host_rng, plan, stats)
-        },
-        || cpu_fallback_sa(params, &*evaluator, t0, levels * markov_len),
-    )
+    match params.backend {
+        Backend::Sim => run_with_recovery(
+            &params.recovery,
+            params.fault.as_ref(),
+            |plan, stats| {
+                sync_attempt::<Gpu>(
+                    inst, params, levels, markov_len, &*evaluator, t0, &host_rng, plan, stats,
+                )
+            },
+            || cpu_fallback_sa(params, &*evaluator, t0, levels * markov_len),
+        ),
+        Backend::Native => run_with_recovery(
+            &params.recovery,
+            params.fault.as_ref(),
+            |plan, stats| {
+                sync_attempt::<NativeGpu>(
+                    inst, params, levels, markov_len, &*evaluator, t0, &host_rng, plan, stats,
+                )
+            },
+            || cpu_fallback_sa(params, &*evaluator, t0, levels * markov_len),
+        ),
+    }
 }
 
-/// One complete device run of the synchronous SA pipeline.
+/// One complete device run of the synchronous SA pipeline, on either
+/// execution backend.
 #[allow(clippy::too_many_arguments)]
-fn sync_attempt(
+fn sync_attempt<B: ExecBackend>(
     inst: &Instance,
     params: &GpuSaParams,
     levels: u64,
@@ -135,7 +155,7 @@ fn sync_attempt(
     let mut host_rng = host_rng.clone();
     let policy = &params.recovery;
 
-    let mut gpu = Gpu::new(params.device.clone());
+    let mut gpu = B::from_spec(params.device.clone());
     gpu.set_fault_plan(plan);
 
     // Telemetry state lives outside the attempt closure so the ring can be
@@ -236,7 +256,7 @@ fn sync_attempt(
                     ("temperature".to_string(), format!("{temperature:.6e}")),
                 ],
             );
-            let level_result = (|gpu: &mut Gpu| -> Result<(), SuiteError> {
+            let level_result = (|gpu: &mut B| -> Result<(), SuiteError> {
                 for step in 0..markov_len {
                     let gen = level * markov_len + step;
                     let slot = ring.and_then(|_| params.telemetry.slot_for(gen, telem_cap));
@@ -309,18 +329,17 @@ fn sync_attempt(
             &gpu,
         )
     });
-    let profiler = gpu.profiler();
     Ok(GpuRunResult {
         best,
         objective,
         evaluations: ensemble as u64 * (levels * markov_len + 1),
         t0,
-        modeled_seconds: profiler.total_seconds(),
-        kernel_seconds: profiler.kernel_seconds(),
-        transfer_seconds: profiler.transfer_seconds(),
-        kernel_launches: profiler.kernel_launches(),
-        profiler_summary: profiler.summary(),
-        timeline: profiler.events().to_vec(),
+        modeled_seconds: gpu.modeled_total_seconds(),
+        kernel_seconds: gpu.modeled_kernel_seconds(),
+        transfer_seconds: gpu.modeled_transfer_seconds(),
+        kernel_launches: gpu.kernel_launches(),
+        profiler_summary: gpu.profiler_summary(),
+        timeline: gpu.timeline_events(),
         recovery: RecoveryStats::default(),
         convergence,
     })

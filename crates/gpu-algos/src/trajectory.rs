@@ -18,7 +18,7 @@
 
 use cdd_metrics::trace::TraceEvent;
 use cuda_sim::telemetry::{TelemetryRing, TELEMETRY_LANES};
-use cuda_sim::{Gpu, TimelineEvent};
+use cuda_sim::{ExecBackend, TimelineEvent};
 
 /// One sampled generation across the whole ensemble.
 #[derive(Debug, Clone, PartialEq)]
@@ -72,13 +72,13 @@ impl ConvergenceTrace {
     /// generation in run order; when the run sampled more generations than
     /// the ring holds, only the newest `capacity` survive.
     #[must_use]
-    pub fn from_ring(
+    pub fn from_ring<B: ExecBackend>(
         algorithm: &str,
         stride: u64,
         gens_per_span: u64,
         headers: &[(u64, f64)],
         ring: &TelemetryRing,
-        gpu: &Gpu,
+        gpu: &B,
     ) -> Self {
         let (lanes, counters) = ring.snapshot(gpu);
         let kept = headers.len().min(ring.capacity);

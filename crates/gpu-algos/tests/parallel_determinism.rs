@@ -121,13 +121,14 @@ fn results_match_the_pre_parallel_engine_golden_values() {
         assert_eq!(sa.evaluations, 6464, "SA evaluations at {par}");
         assert_eq!(sa.kernel_launches, 401, "SA launches at {par}");
         assert_eq!(sa.t0.to_bits(), 0x4038603b57f93aea, "SA t0 at {par}");
-        // Clock pins re-captured from the serial engine (the original
-        // capture predated the final charge model of the dispatch rewrite
-        // — objective/sequence/evaluations/launches/t0/transfer never
-        // moved, and the values below are stable across every commit
-        // since).
-        assert_eq!(sa.modeled_seconds.to_bits(), 0x3f6194f452fa61ad, "SA modeled at {par}");
-        assert_eq!(sa.kernel_seconds.to_bits(), 0x3f60980b7b51b571, "SA kernel at {par}");
+        // Clock pins re-captured from the serial engine after the batching
+        // PR's charge-model adjustments (the kernel-second pins drifted by
+        // ~1e-7 modeled seconds there and the stale values were left
+        // behind — objective/sequence/evaluations/launches/t0/transfer
+        // never moved). What this test actually guards is that the pins
+        // are identical at every thread count.
+        assert_eq!(sa.modeled_seconds.to_bits(), 0x3f6195174ead7747, "SA modeled at {par}");
+        assert_eq!(sa.kernel_seconds.to_bits(), 0x3f60982e7704cb0b, "SA kernel at {par}");
         assert_eq!(sa.transfer_seconds.to_bits(), 0x3f1f9d1af51587f0, "SA transfer at {par}");
 
         let mut p = GpuDpsoParams {
@@ -142,8 +143,8 @@ fn results_match_the_pre_parallel_engine_golden_values() {
         assert_eq!(dp.best.as_slice(), &[0, 1, 2, 3, 4], "DPSO sequence at {par}");
         assert_eq!(dp.evaluations, 6464, "DPSO evaluations at {par}");
         assert_eq!(dp.kernel_launches, 504, "DPSO launches at {par}");
-        assert_eq!(dp.modeled_seconds.to_bits(), 0x3f65cc86aae50327, "DPSO modeled at {par}");
-        assert_eq!(dp.kernel_seconds.to_bits(), 0x3f64cf9dd33c56ea, "DPSO kernel at {par}");
+        assert_eq!(dp.modeled_seconds.to_bits(), 0x3f65cca9a69818c0, "DPSO modeled at {par}");
+        assert_eq!(dp.kernel_seconds.to_bits(), 0x3f64cfc0ceef6c84, "DPSO kernel at {par}");
     }
 }
 

@@ -137,10 +137,16 @@ pub trait Kernel {
     }
 
     /// Execute one phase for one thread.
-    fn phase(
+    ///
+    /// Generic over the execution context so the same kernel body runs on
+    /// the simulator ([`ThreadCtx`], modeled time / faults / races) and on
+    /// the native host backend ([`crate::backend::NativeCtx`], raw speed) —
+    /// the backend byte-identity contract of DESIGN.md §16 depends on both
+    /// paths executing this exact code.
+    fn phase<C: DeviceCtx>(
         &self,
         phase: usize,
-        ctx: &mut ThreadCtx<'_>,
+        ctx: &mut C,
         shared: &mut Self::Shared,
         state: &mut Self::ThreadState,
     );
@@ -162,6 +168,166 @@ impl<T: DeviceValue> AsBuf<T> for Buf<T> {
 impl<T: DeviceValue> AsBuf<T> for ErasedBuf {
     fn id_len(&self) -> (usize, usize) {
         (self.id, self.len)
+    }
+}
+
+/// The device-side surface a kernel thread programs against.
+///
+/// Every access a kernel can make — global/constant/texture memory, staged
+/// atomics, cooperative staging, cost self-instrumentation, the telemetry
+/// port, RNG state marshalling — goes through this trait, so a kernel body
+/// is executable by any backend that implements it:
+///
+/// * [`ThreadCtx`] — the cuda-sim context: every access is bounds-checked,
+///   cost-counted, race-tracked and fault-filtered, feeding the modeled
+///   clock and the fault-injection machinery.
+/// * [`crate::backend::NativeCtx`] — the native host context: plain
+///   bounds-checked memory access with **no** per-access simulation; the
+///   `charge_*` hooks are no-ops and fault injection is never active.
+///
+/// The byte-identity contract between the two (DESIGN.md §16) holds because
+/// the value semantics of every method below are identical across
+/// implementations; only the instrumentation differs.
+pub trait DeviceCtx {
+    /// Thread index within the block (`threadIdx.x` for linear blocks).
+    fn thread_idx(&self) -> usize;
+    /// Block index within the grid (`blockIdx.x`).
+    fn block_idx(&self) -> usize;
+    /// Threads per block (`blockDim.x`).
+    fn block_dim(&self) -> usize;
+    /// Blocks per grid (`gridDim.x`).
+    fn grid_dim(&self) -> usize;
+    /// The `i`-th kernel argument.
+    fn arg_buf(&self, i: usize) -> ErasedBuf;
+
+    /// Whether a fault-injection plan is installed for this launch. Kernels
+    /// that derive memory indices from *data* (not thread ids) use this to
+    /// turn on defensive validation of values read from global memory —
+    /// modeling resilient device code — without perturbing the clean path's
+    /// cost model. Always `false` on the native backend.
+    fn fault_injection_active(&self) -> bool;
+
+    /// Read one element from global memory.
+    fn read<T: DeviceValue>(&mut self, buf: impl AsBuf<T>, idx: usize) -> T;
+    /// Write one element to global memory.
+    fn write<T: DeviceValue>(&mut self, buf: impl AsBuf<T>, idx: usize, value: T);
+    /// Read one element through the **texture path** (read-only, spatially
+    /// cached). Semantically identical to [`read`](Self::read); must only be
+    /// used for data no kernel writes during the launch.
+    fn read_texture<T: DeviceValue>(&mut self, buf: impl AsBuf<T>, idx: usize) -> T;
+    /// Bulk texture-path read (one [`read_texture`](Self::read_texture) per
+    /// element).
+    fn read_texture_slice_into<T: DeviceValue>(
+        &mut self,
+        buf: impl AsBuf<T>,
+        start: usize,
+        dst: &mut [T],
+    );
+    /// Read from constant memory (broadcast-cached).
+    fn read_const<T: DeviceValue>(&mut self, cb: ConstBuf<T>, idx: usize) -> T;
+    /// `atomicMin` on a signed 64-bit global location. Staged per block and
+    /// merged in block-index order when the launch completes (see
+    /// [`AtomicStage`]): the updated value is visible to *subsequent
+    /// launches*, and the returned "previous value" is block-local.
+    fn atomic_min_i64(&mut self, buf: impl AsBuf<i64>, idx: usize, value: i64) -> i64;
+    /// `atomicAdd` on a signed 64-bit global location. Same staging
+    /// semantics as [`atomic_min_i64`](Self::atomic_min_i64).
+    fn atomic_add_i64(&mut self, buf: impl AsBuf<i64>, idx: usize, value: i64) -> i64;
+    /// Bulk read `dst.len()` consecutive elements starting at `start`.
+    fn read_slice_into<T: DeviceValue>(&mut self, buf: impl AsBuf<T>, start: usize, dst: &mut [T]);
+    /// Bulk write `src.len()` consecutive elements starting at `start`.
+    fn write_slice<T: DeviceValue>(&mut self, buf: impl AsBuf<T>, start: usize, src: &[T]);
+    /// Device-to-device row copy (`memcpy` within global memory) with
+    /// overlap-aware memmove semantics.
+    fn copy_row<T: DeviceValue>(
+        &mut self,
+        src: impl AsBuf<T>,
+        src_start: usize,
+        dst: impl AsBuf<T>,
+        dst_start: usize,
+        count: usize,
+    );
+    /// Uncharged bulk load used for **cooperative** staging: one thread does
+    /// the physical copy while *every* participating thread charges its own
+    /// share via [`charge_global`](Self::charge_global)/
+    /// [`charge_shared`](Self::charge_shared).
+    fn cooperative_read<T: DeviceValue>(
+        &mut self,
+        buf: impl AsBuf<T>,
+        start: usize,
+        dst: &mut [T],
+    );
+
+    /// Borrow a read-only window of an `i64` global buffer **without
+    /// copying**, when the backend can expose one. The default (and the
+    /// simulator's) answer is `None`: every simulated access must be
+    /// charged, race-tracked and fault-filtered, so callers fall back to
+    /// [`read_slice_into`](Self::read_slice_into). The native backend
+    /// returns a direct view, letting hot kernels skip staging data they
+    /// only read. Like the texture path, the window must only cover data no
+    /// thread writes during the launch.
+    #[inline]
+    fn global_window_i64(&self, _buf: impl AsBuf<i64>, _start: usize, _len: usize) -> Option<&[i64]> {
+        None
+    }
+
+    /// Charge `n` global-memory transactions (the accounting half of a
+    /// cooperative load). No-op outside the simulator.
+    fn charge_global(&mut self, n: u64);
+    /// Charge `n` warp-wide ALU instructions (self-instrumentation for work
+    /// the engine cannot observe). No-op outside the simulator.
+    fn charge_alu(&mut self, n: u64);
+    /// Charge `n` special-function instructions (`exp`, …). No-op outside
+    /// the simulator.
+    fn charge_special(&mut self, n: u64);
+    /// Charge `n` shared-memory accesses. No-op outside the simulator.
+    fn charge_shared(&mut self, n: u64);
+    /// Charge `n` shared-memory bank conflicts. No-op outside the simulator.
+    fn charge_bank_conflicts(&mut self, n: u64);
+
+    /// Read one element through the **instrumentation port**: no cost-model
+    /// charge, no fault-stream draw, no race tracking. Reserved for
+    /// telemetry buffers (see [`crate::telemetry`]) that must observe a run
+    /// without perturbing its modeled time, fault decision streams, or RNG
+    /// draw order.
+    fn telemetry_read<T: DeviceValue>(&mut self, buf: impl AsBuf<T>, idx: usize) -> T;
+    /// Write one element through the **instrumentation port** (uncharged,
+    /// fault-invisible, untracked).
+    fn telemetry_write<T: DeviceValue>(&mut self, buf: impl AsBuf<T>, idx: usize, value: T);
+
+    /// Global linear thread id (`blockIdx.x * blockDim.x + threadIdx.x`).
+    #[inline]
+    fn global_id(&self) -> usize {
+        self.block_idx() * self.block_dim() + self.thread_idx()
+    }
+
+    /// Total threads in the launch.
+    #[inline]
+    fn total_threads(&self) -> usize {
+        self.grid_dim() * self.block_dim()
+    }
+
+    /// Load this thread's XORWOW state from a device-resident state array
+    /// (3 words per stream, like a `curandState*` argument).
+    fn load_rng(&mut self, states: impl AsBuf<u64>, slot: usize) -> XorWow {
+        let (id, len) = states.id_len();
+        let e = ErasedBuf { id, len };
+        let words = [
+            self.read::<u64>(e, slot * 3),
+            self.read::<u64>(e, slot * 3 + 1),
+            self.read::<u64>(e, slot * 3 + 2),
+        ];
+        XorWow::unpack(words)
+    }
+
+    /// Store this thread's XORWOW state back to the device array.
+    fn store_rng(&mut self, states: impl AsBuf<u64>, slot: usize, rng: &XorWow) {
+        let (id, len) = states.id_len();
+        let e = ErasedBuf { id, len };
+        let words = rng.pack();
+        self.write::<u64>(e, slot * 3, words[0]);
+        self.write::<u64>(e, slot * 3 + 1, words[1]);
+        self.write::<u64>(e, slot * 3 + 2, words[2]);
     }
 }
 
@@ -275,7 +441,7 @@ pub(crate) struct MemView<'a> {
 unsafe impl Sync for MemView<'_> {}
 
 impl<'a> MemView<'a> {
-    fn new(pool: &'a mut MemoryPool) -> MemView<'a> {
+    pub(crate) fn new(pool: &'a mut MemoryPool) -> MemView<'a> {
         let MemoryPool { global, constant, .. } = pool;
         let global =
             global.iter_mut().map(|b| BufSlice { ptr: b.as_mut_ptr(), len: b.len() }).collect();
@@ -293,24 +459,46 @@ impl<'a> MemView<'a> {
     }
 
     #[inline]
-    fn load(&self, buf: usize, idx: usize) -> u64 {
+    pub(crate) fn load(&self, buf: usize, idx: usize) -> u64 {
         self.word(buf, idx).load(Ordering::Relaxed)
     }
 
     #[inline]
-    fn store(&self, buf: usize, idx: usize, bits: u64) {
+    pub(crate) fn store(&self, buf: usize, idx: usize, bits: u64) {
         self.word(buf, idx).store(bits, Ordering::Relaxed)
     }
 
+    /// Raw pointer to a bounds-checked window of global words — the native
+    /// backend's vectorizable bulk path (atomic loads cannot auto-vectorize).
+    ///
+    /// Reading or writing through the pointer while another host thread
+    /// touches the same *words* is a data race in the Rust sense. The
+    /// native backend only accepts kernels whose cross-backend parity runs
+    /// clean under the simulator's race detector (races are a sim-detected,
+    /// sim-only concern), and simulated threads own disjoint rows by
+    /// construction, so the plain accesses never overlap a concurrent
+    /// writer in practice.
     #[inline]
-    fn const_word(&self, region: usize, idx: usize) -> u64 {
+    pub(crate) fn words_ptr(&self, buf: usize, start: usize, len: usize) -> *mut u64 {
+        let b = &self.global[buf];
+        assert!(
+            start.checked_add(len).is_some_and(|end| end <= b.len),
+            "global memory slice out of bounds: buffer {buf} has {} elements, range {start}..+{len}",
+            b.len
+        );
+        // SAFETY: in-bounds (asserted) and aligned (`Vec<u64>` storage).
+        unsafe { b.ptr.add(start) }
+    }
+
+    #[inline]
+    pub(crate) fn const_word(&self, region: usize, idx: usize) -> u64 {
         self.constant[region][idx]
     }
 }
 
 /// The two atomic ops the engine models.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum AtomicOp {
+pub(crate) enum AtomicOp {
     Min,
     Add,
 }
@@ -336,7 +524,7 @@ struct StagedAtomic {
 /// location another block updates atomically; its post-launch value is only
 /// visible to the *next* launch.
 #[derive(Debug, Default)]
-struct AtomicStage {
+pub(crate) struct AtomicStage {
     entries: Vec<StagedAtomic>,
 }
 
@@ -344,7 +532,14 @@ impl AtomicStage {
     /// Returns the block-local previous value (the global snapshot on first
     /// touch). Every kernel in this repo discards it; it is *not* the
     /// serial engine's cross-block old value.
-    fn update(&mut self, mem: &MemView<'_>, buf: usize, idx: usize, op: AtomicOp, v: i64) -> i64 {
+    pub(crate) fn update(
+        &mut self,
+        mem: &MemView<'_>,
+        buf: usize,
+        idx: usize,
+        op: AtomicOp,
+        v: i64,
+    ) -> i64 {
         if let Some(e) =
             self.entries.iter_mut().find(|e| e.buf == buf && e.idx == idx && e.op == op)
         {
@@ -366,7 +561,7 @@ impl AtomicStage {
 
     /// Fold this block's accumulators into global memory (called in
     /// block-index order).
-    fn apply(self, pool: &mut MemoryPool) {
+    pub(crate) fn apply(self, pool: &mut MemoryPool) {
         for e in self.entries {
             let cur = i64::from_bits(pool.global[e.buf][e.idx]);
             let merged = match e.op {
@@ -481,23 +676,6 @@ pub struct ThreadCtx<'a> {
 }
 
 impl ThreadCtx<'_> {
-    /// Global linear thread id (`blockIdx.x * blockDim.x + threadIdx.x`).
-    #[inline]
-    pub fn global_id(&self) -> usize {
-        self.block_idx * self.block_dim + self.thread_idx
-    }
-
-    /// Total threads in the launch.
-    #[inline]
-    pub fn total_threads(&self) -> usize {
-        self.grid_dim * self.block_dim
-    }
-
-    /// The `i`-th kernel argument.
-    pub fn arg_buf(&self, i: usize) -> ErasedBuf {
-        self.args[i]
-    }
-
     fn who(&self) -> ThreadRef {
         ThreadRef {
             block: self.block_idx as u32,
@@ -514,16 +692,6 @@ impl ThreadCtx<'_> {
         );
     }
 
-    /// Whether a fault-injection plan is installed for this launch. Kernels
-    /// that derive memory indices from *data* (not thread ids) use this to
-    /// turn on defensive validation of values read from global memory —
-    /// modeling resilient device code — without perturbing the clean path's
-    /// cost model.
-    #[inline]
-    pub fn fault_injection_active(&self) -> bool {
-        self.fault.is_some()
-    }
-
     /// Pass a loaded word through the fault layer (possibly flipping a bit
     /// of its low `width_bits`).
     #[inline]
@@ -533,10 +701,44 @@ impl ThreadCtx<'_> {
             None => bits,
         }
     }
+}
+
+/// The simulator implementation of the device surface: every access is
+/// cost-counted toward the modeled clock, tracked by the (optional) race
+/// detector, and filtered through the (optional) per-thread fault stream.
+impl DeviceCtx for ThreadCtx<'_> {
+    #[inline]
+    fn thread_idx(&self) -> usize {
+        self.thread_idx
+    }
+
+    #[inline]
+    fn block_idx(&self) -> usize {
+        self.block_idx
+    }
+
+    #[inline]
+    fn block_dim(&self) -> usize {
+        self.block_dim
+    }
+
+    #[inline]
+    fn grid_dim(&self) -> usize {
+        self.grid_dim
+    }
+
+    fn arg_buf(&self, i: usize) -> ErasedBuf {
+        self.args[i]
+    }
+
+    #[inline]
+    fn fault_injection_active(&self) -> bool {
+        self.fault.is_some()
+    }
 
     /// Read one element from global memory (counts one transaction).
     #[inline]
-    pub fn read<T: DeviceValue>(&mut self, buf: impl AsBuf<T>, idx: usize) -> T {
+    fn read<T: DeviceValue>(&mut self, buf: impl AsBuf<T>, idx: usize) -> T {
         let (id, len) = buf.id_len();
         self.check_bounds(id, len, idx);
         self.cost.global_transactions += 1;
@@ -552,7 +754,7 @@ impl ThreadCtx<'_> {
 
     /// Write one element to global memory (counts one transaction).
     #[inline]
-    pub fn write<T: DeviceValue>(&mut self, buf: impl AsBuf<T>, idx: usize, value: T) {
+    fn write<T: DeviceValue>(&mut self, buf: impl AsBuf<T>, idx: usize, value: T) {
         let (id, len) = buf.id_len();
         self.check_bounds(id, len, idx);
         self.cost.global_transactions += 1;
@@ -572,7 +774,7 @@ impl ThreadCtx<'_> {
     /// must only be used for data no kernel writes during the launch (race
     /// detection still checks this).
     #[inline]
-    pub fn read_texture<T: DeviceValue>(&mut self, buf: impl AsBuf<T>, idx: usize) -> T {
+    fn read_texture<T: DeviceValue>(&mut self, buf: impl AsBuf<T>, idx: usize) -> T {
         let (id, len) = buf.id_len();
         self.check_bounds(id, len, idx);
         self.cost.texture_reads += 1;
@@ -588,7 +790,7 @@ impl ThreadCtx<'_> {
 
     /// Bulk texture-path read (one [`read_texture`](Self::read_texture) per
     /// element).
-    pub fn read_texture_slice_into<T: DeviceValue>(
+    fn read_texture_slice_into<T: DeviceValue>(
         &mut self,
         buf: impl AsBuf<T>,
         start: usize,
@@ -625,7 +827,7 @@ impl ThreadCtx<'_> {
 
     /// Read from constant memory (broadcast-cached: ALU cost only).
     #[inline]
-    pub fn read_const<T: DeviceValue>(&mut self, cb: ConstBuf<T>, idx: usize) -> T {
+    fn read_const<T: DeviceValue>(&mut self, cb: ConstBuf<T>, idx: usize) -> T {
         assert!(
             idx < cb.len,
             "constant memory access out of bounds: region {} has {} elements, index {idx}",
@@ -641,7 +843,7 @@ impl ThreadCtx<'_> {
     /// per block and merged in block-index order when the launch completes
     /// (see [`AtomicStage`]): the updated value is visible to *subsequent
     /// launches*, and the returned "previous value" is block-local.
-    pub fn atomic_min_i64(&mut self, buf: impl AsBuf<i64>, idx: usize, value: i64) -> i64 {
+    fn atomic_min_i64(&mut self, buf: impl AsBuf<i64>, idx: usize, value: i64) -> i64 {
         let (id, len) = buf.id_len();
         self.check_bounds(id, len, idx);
         self.cost.atomics += 1;
@@ -650,7 +852,7 @@ impl ThreadCtx<'_> {
 
     /// `atomicAdd` on a signed 64-bit global location. Same staging
     /// semantics as [`atomic_min_i64`](Self::atomic_min_i64).
-    pub fn atomic_add_i64(&mut self, buf: impl AsBuf<i64>, idx: usize, value: i64) -> i64 {
+    fn atomic_add_i64(&mut self, buf: impl AsBuf<i64>, idx: usize, value: i64) -> i64 {
         let (id, len) = buf.id_len();
         self.check_bounds(id, len, idx);
         self.cost.atomics += 1;
@@ -661,7 +863,7 @@ impl ThreadCtx<'_> {
     /// (charges one transaction per element, like the per-element
     /// [`read`](Self::read) — per-thread rows are strided across threads, so
     /// accesses do not coalesce; see the crate docs).
-    pub fn read_slice_into<T: DeviceValue>(
+    fn read_slice_into<T: DeviceValue>(
         &mut self,
         buf: impl AsBuf<T>,
         start: usize,
@@ -700,7 +902,7 @@ impl ThreadCtx<'_> {
 
     /// Bulk write `src.len()` consecutive elements starting at `start`
     /// (charges one transaction per element).
-    pub fn write_slice<T: DeviceValue>(&mut self, buf: impl AsBuf<T>, start: usize, src: &[T]) {
+    fn write_slice<T: DeviceValue>(&mut self, buf: impl AsBuf<T>, start: usize, src: &[T]) {
         let (id, len) = buf.id_len();
         assert!(
             start + src.len() <= len,
@@ -724,7 +926,7 @@ impl ThreadCtx<'_> {
 
     /// Device-to-device row copy (`memcpy` within global memory); charges a
     /// read and a write transaction per element.
-    pub fn copy_row<T: DeviceValue>(
+    fn copy_row<T: DeviceValue>(
         &mut self,
         src: impl AsBuf<T>,
         src_start: usize,
@@ -765,7 +967,7 @@ impl ThreadCtx<'_> {
     /// share via [`charge_global`](Self::charge_global)/
     /// [`charge_shared`](Self::charge_shared). Race detection still sees the
     /// reads.
-    pub fn cooperative_read<T: DeviceValue>(
+    fn cooperative_read<T: DeviceValue>(
         &mut self,
         buf: impl AsBuf<T>,
         start: usize,
@@ -801,32 +1003,32 @@ impl ThreadCtx<'_> {
     /// Charge `n` global-memory transactions (the accounting half of a
     /// cooperative load).
     #[inline]
-    pub fn charge_global(&mut self, n: u64) {
+    fn charge_global(&mut self, n: u64) {
         self.cost.global_transactions += n;
     }
 
     /// Charge `n` warp-wide ALU instructions (self-instrumentation for work
     /// the engine cannot observe, e.g. register arithmetic in a loop).
     #[inline]
-    pub fn charge_alu(&mut self, n: u64) {
+    fn charge_alu(&mut self, n: u64) {
         self.cost.alu += n;
     }
 
     /// Charge `n` special-function instructions (`exp`, …).
     #[inline]
-    pub fn charge_special(&mut self, n: u64) {
+    fn charge_special(&mut self, n: u64) {
         self.cost.special += n;
     }
 
     /// Charge `n` shared-memory accesses.
     #[inline]
-    pub fn charge_shared(&mut self, n: u64) {
+    fn charge_shared(&mut self, n: u64) {
         self.cost.shared_accesses += n;
     }
 
     /// Charge `n` shared-memory bank conflicts.
     #[inline]
-    pub fn charge_bank_conflicts(&mut self, n: u64) {
+    fn charge_bank_conflicts(&mut self, n: u64) {
         self.cost.bank_conflicts += n;
     }
 
@@ -837,7 +1039,7 @@ impl ThreadCtx<'_> {
     /// draw order. Never use this for algorithm state: it models an
     /// out-of-band debug channel, not device memory traffic.
     #[inline]
-    pub fn telemetry_read<T: DeviceValue>(&mut self, buf: impl AsBuf<T>, idx: usize) -> T {
+    fn telemetry_read<T: DeviceValue>(&mut self, buf: impl AsBuf<T>, idx: usize) -> T {
         let (id, len) = buf.id_len();
         self.check_bounds(id, len, idx);
         T::from_bits(self.mem.load(id, idx))
@@ -847,32 +1049,12 @@ impl ThreadCtx<'_> {
     /// fault-invisible, untracked — see
     /// [`telemetry_read`](Self::telemetry_read)).
     #[inline]
-    pub fn telemetry_write<T: DeviceValue>(&mut self, buf: impl AsBuf<T>, idx: usize, value: T) {
+    fn telemetry_write<T: DeviceValue>(&mut self, buf: impl AsBuf<T>, idx: usize, value: T) {
         let (id, len) = buf.id_len();
         self.check_bounds(id, len, idx);
         self.mem.store(id, idx, value.to_bits());
     }
 
-    /// Load this thread's XORWOW state from a device-resident state array
-    /// (3 words per stream, like a `curandState*` argument).
-    pub fn load_rng(&mut self, states: impl AsBuf<u64>, slot: usize) -> XorWow {
-        let words = [
-            self.read::<u64>(ErasedBuf { id: states.id_len().0, len: states.id_len().1 }, slot * 3),
-            self.read::<u64>(ErasedBuf { id: states.id_len().0, len: states.id_len().1 }, slot * 3 + 1),
-            self.read::<u64>(ErasedBuf { id: states.id_len().0, len: states.id_len().1 }, slot * 3 + 2),
-        ];
-        XorWow::unpack(words)
-    }
-
-    /// Store this thread's XORWOW state back to the device array.
-    pub fn store_rng(&mut self, states: impl AsBuf<u64>, slot: usize, rng: &XorWow) {
-        let (id, len) = states.id_len();
-        let e = ErasedBuf { id, len };
-        let words = rng.pack();
-        self.write::<u64>(e, slot * 3, words[0]);
-        self.write::<u64>(e, slot * 3 + 1, words[1]);
-        self.write::<u64>(e, slot * 3 + 2, words[2]);
-    }
 }
 
 /// Outcome of a successful launch.
@@ -1236,7 +1418,7 @@ mod tests {
             "double"
         }
         fn make_shared(&self, _block: usize) {}
-        fn phase(&self, _p: usize, ctx: &mut ThreadCtx<'_>, _s: &mut (), _t: &mut ()) {
+        fn phase<C: DeviceCtx>(&self, _p: usize, ctx: &mut C, _s: &mut (), _t: &mut ()) {
             let buf = ctx.arg_buf(0);
             let gid = ctx.global_id();
             if gid < buf.len() {
@@ -1275,21 +1457,21 @@ mod tests {
         fn num_phases(&self) -> usize {
             2
         }
-        fn phase(&self, p: usize, ctx: &mut ThreadCtx<'_>, sh: &mut Vec<i64>, _t: &mut ()) {
+        fn phase<C: DeviceCtx>(&self, p: usize, ctx: &mut C, sh: &mut Vec<i64>, _t: &mut ()) {
             let buf = ctx.arg_buf(0);
             match p {
                 0 => {
                     // Each thread stages its value; thread 0 reads *everyone's*
                     // value in phase 1, which is only safe past the barrier.
                     let v: i64 = ctx.read(buf, ctx.global_id());
-                    sh[ctx.thread_idx] = v;
+                    sh[ctx.thread_idx()] = v;
                     ctx.charge_shared(1);
                 }
                 _ => {
-                    if ctx.thread_idx == 0 {
+                    if ctx.thread_idx() == 0 {
                         let sum: i64 = sh.iter().sum();
                         ctx.charge_shared(sh.len() as u64);
-                        ctx.write(buf, ctx.block_idx * ctx.block_dim, sum);
+                        ctx.write(buf, ctx.block_idx() * ctx.block_dim(), sum);
                     }
                 }
             }
@@ -1314,7 +1496,7 @@ mod tests {
             "racy"
         }
         fn make_shared(&self, _b: usize) {}
-        fn phase(&self, _p: usize, ctx: &mut ThreadCtx<'_>, _s: &mut (), _t: &mut ()) {
+        fn phase<C: DeviceCtx>(&self, _p: usize, ctx: &mut C, _s: &mut (), _t: &mut ()) {
             let buf = ctx.arg_buf(0);
             let id = ctx.global_id() as i64;
             ctx.write(buf, 0, id);
@@ -1348,7 +1530,7 @@ mod tests {
             "atomic_min"
         }
         fn make_shared(&self, _b: usize) {}
-        fn phase(&self, _p: usize, ctx: &mut ThreadCtx<'_>, _s: &mut (), _t: &mut ()) {
+        fn phase<C: DeviceCtx>(&self, _p: usize, ctx: &mut C, _s: &mut (), _t: &mut ()) {
             let values = ctx.arg_buf(0);
             let out = ctx.arg_buf(1);
             let v: i64 = ctx.read(values, ctx.global_id());
@@ -1412,7 +1594,7 @@ mod tests {
                 "oob"
             }
             fn make_shared(&self, _b: usize) {}
-            fn phase(&self, _p: usize, ctx: &mut ThreadCtx<'_>, _s: &mut (), _t: &mut ()) {
+            fn phase<C: DeviceCtx>(&self, _p: usize, ctx: &mut C, _s: &mut (), _t: &mut ()) {
                 let buf = ctx.arg_buf(0);
                 let _: i64 = ctx.read(buf, 99);
             }
@@ -1433,7 +1615,7 @@ mod tests {
             "wrapping_double"
         }
         fn make_shared(&self, _block: usize) {}
-        fn phase(&self, _p: usize, ctx: &mut ThreadCtx<'_>, _s: &mut (), _t: &mut ()) {
+        fn phase<C: DeviceCtx>(&self, _p: usize, ctx: &mut C, _s: &mut (), _t: &mut ()) {
             let buf = ctx.arg_buf(0);
             let gid = ctx.global_id();
             if gid < buf.len() {
@@ -1580,7 +1762,7 @@ mod tests {
                 "copy"
             }
             fn make_shared(&self, _b: usize) {}
-            fn phase(&self, _p: usize, ctx: &mut ThreadCtx<'_>, _s: &mut (), _t: &mut ()) {
+            fn phase<C: DeviceCtx>(&self, _p: usize, ctx: &mut C, _s: &mut (), _t: &mut ()) {
                 let src = ctx.arg_buf(0);
                 let dst = ctx.arg_buf(1);
                 let gid = ctx.global_id();
@@ -1668,7 +1850,7 @@ mod tests {
             "min_and_count"
         }
         fn make_shared(&self, _b: usize) {}
-        fn phase(&self, _p: usize, ctx: &mut ThreadCtx<'_>, _s: &mut (), _t: &mut ()) {
+        fn phase<C: DeviceCtx>(&self, _p: usize, ctx: &mut C, _s: &mut (), _t: &mut ()) {
             let values = ctx.arg_buf(0);
             let out = ctx.arg_buf(1);
             let v: i64 = ctx.read(values, ctx.global_id());
@@ -1705,11 +1887,11 @@ mod tests {
                 "oob"
             }
             fn make_shared(&self, _b: usize) {}
-            fn phase(&self, _p: usize, ctx: &mut ThreadCtx<'_>, _s: &mut (), _t: &mut ()) {
+            fn phase<C: DeviceCtx>(&self, _p: usize, ctx: &mut C, _s: &mut (), _t: &mut ()) {
                 let buf = ctx.arg_buf(0);
                 // Only the last block trips the bug, so the panic originates
                 // on whichever worker drew it — not the host thread.
-                if ctx.block_idx == 3 {
+                if ctx.block_idx() == 3 {
                     let _: i64 = ctx.read(buf, 99);
                 }
             }
@@ -1763,7 +1945,7 @@ mod tests {
                 "rng_step"
             }
             fn make_shared(&self, _b: usize) {}
-            fn phase(&self, _p: usize, ctx: &mut ThreadCtx<'_>, _s: &mut (), _t: &mut ()) {
+            fn phase<C: DeviceCtx>(&self, _p: usize, ctx: &mut C, _s: &mut (), _t: &mut ()) {
                 let states = ctx.arg_buf(0);
                 let out = ctx.arg_buf(1);
                 let slot = ctx.global_id();

@@ -37,8 +37,15 @@
 //! All *parallel timing* still comes from the model, and `EXPERIMENTS.md`
 //! labels every GPU time as modeled.
 //!
+//! Kernels are written once against the [`DeviceCtx`] trait and run on
+//! either execution backend ([`backend::ExecBackend`]): the simulator
+//! ([`Gpu`]) or the native host backend ([`backend::NativeGpu`]), which
+//! executes the same kernel bodies on host threads with no simulation
+//! overhead and byte-identical results (DESIGN.md §16).
+//!
 //! ```
-//! use cuda_sim::{DeviceSpec, Gpu, Kernel, LaunchConfig, ThreadCtx};
+//! use cuda_sim::{DeviceCtx, DeviceSpec, Gpu, Kernel, LaunchConfig};
+//! use cuda_sim::backend::{ExecBackend, NativeGpu};
 //!
 //! struct AddOne;
 //! impl Kernel for AddOne {
@@ -46,7 +53,7 @@
 //!     type ThreadState = ();
 //!     fn name(&self) -> &str { "add_one" }
 //!     fn make_shared(&self, _block_dim: usize) -> () {}
-//!     fn phase(&self, _p: usize, ctx: &mut ThreadCtx<'_>, _s: &mut (), _t: &mut ()) {
+//!     fn phase<C: DeviceCtx>(&self, _p: usize, ctx: &mut C, _s: &mut (), _t: &mut ()) {
 //!         let buf = ctx.arg_buf(0);
 //!         let gid = ctx.global_id();
 //!         let v: i64 = ctx.read(buf, gid);
@@ -59,8 +66,16 @@
 //! gpu.h2d(buf, &[0i64, 1, 2, 3, 4, 5, 6, 7]);
 //! gpu.launch(&AddOne, LaunchConfig::linear(2, 4), &[buf.erased()]).unwrap();
 //! assert_eq!(gpu.d2h(buf), vec![1i64, 2, 3, 4, 5, 6, 7, 8]);
+//!
+//! // The same kernel on the native backend, through the backend trait.
+//! let mut native = NativeGpu::new(DeviceSpec::gt560m());
+//! let nbuf = ExecBackend::alloc::<i64>(&mut native, 8);
+//! native.h2d(nbuf, &[0i64, 1, 2, 3, 4, 5, 6, 7]);
+//! native.launch_kernel(&AddOne, LaunchConfig::linear(2, 4), &[nbuf.erased()]).unwrap();
+//! assert_eq!(native.d2h(nbuf), vec![1i64, 2, 3, 4, 5, 6, 7, 8]);
 //! ```
 
+pub mod backend;
 pub mod cost;
 pub mod device;
 pub mod dispatch;
@@ -75,10 +90,11 @@ pub mod rng;
 pub mod scratch;
 pub mod telemetry;
 
+pub use backend::{Backend, ExecBackend, NativeCtx, NativeGpu};
 pub use cost::{CostCounter, KernelTiming};
 pub use device::DeviceSpec;
 pub use dispatch::{SimParallelism, SIM_THREADS_ENV};
-pub use engine::{Gpu, Kernel, LaunchError, LaunchStats, ThreadCtx};
+pub use engine::{DeviceCtx, Gpu, Kernel, LaunchError, LaunchStats, ThreadCtx};
 pub use fault::{FaultPlan, FaultStats};
 pub use grid::{Dim3, LaunchConfig};
 pub use memory::{Buf, ConstBuf, ErasedBuf};

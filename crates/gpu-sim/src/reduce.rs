@@ -2,7 +2,8 @@
 //! solution with an atomic minimization; this module provides that kernel
 //! plus a host-side helper for (value, index) argmin reductions.
 
-use crate::engine::{Gpu, Kernel, LaunchError, ThreadCtx};
+use crate::backend::ExecBackend;
+use crate::engine::{DeviceCtx, Kernel, LaunchError};
 use crate::grid::LaunchConfig;
 use crate::memory::Buf;
 
@@ -26,7 +27,7 @@ impl Kernel for AtomicMinKernel {
 
     fn make_shared(&self, _block_dim: usize) {}
 
-    fn phase(&self, _p: usize, ctx: &mut ThreadCtx<'_>, _s: &mut (), _t: &mut ()) {
+    fn phase<C: DeviceCtx>(&self, _p: usize, ctx: &mut C, _s: &mut (), _t: &mut ()) {
         let gid = ctx.global_id();
         if gid < self.values.len() {
             let v = ctx.read(self.values, gid);
@@ -120,7 +121,7 @@ impl Kernel for AtomicArgminKernel {
 
     fn make_shared(&self, _block_dim: usize) {}
 
-    fn phase(&self, _p: usize, ctx: &mut ThreadCtx<'_>, _s: &mut (), _t: &mut ()) {
+    fn phase<C: DeviceCtx>(&self, _p: usize, ctx: &mut C, _s: &mut (), _t: &mut ()) {
         let gid = ctx.global_id();
         if gid < self.values.len() {
             let mut v = ctx.read(self.values, gid);
@@ -163,7 +164,7 @@ impl Kernel for SegmentedArgminKernel {
 
     fn make_shared(&self, _block_dim: usize) {}
 
-    fn phase(&self, _p: usize, ctx: &mut ThreadCtx<'_>, _s: &mut (), _t: &mut ()) {
+    fn phase<C: DeviceCtx>(&self, _p: usize, ctx: &mut C, _s: &mut (), _t: &mut ()) {
         let gid = ctx.global_id();
         if gid < self.values.len() {
             let mut v = ctx.read(self.values, gid);
@@ -180,16 +181,17 @@ impl Kernel for SegmentedArgminKernel {
 }
 
 /// Host-side convenience: run the argmin reduction over `values` and return
-/// `(min value, index)`. Allocates and seeds the output buffer.
-pub fn device_argmin(
-    gpu: &mut Gpu,
+/// `(min value, index)`. Allocates and seeds the output buffer. Generic
+/// over the execution backend.
+pub fn device_argmin<B: ExecBackend>(
+    gpu: &mut B,
     values: Buf<i64>,
     block_size: usize,
 ) -> Result<(i64, usize), LaunchError> {
     let out = gpu.alloc::<i64>(1);
     gpu.h2d(out, &[i64::MAX]);
     let kernel = AtomicArgminKernel { values, out };
-    gpu.launch(&kernel, LaunchConfig::cover(values.len(), block_size), &[])?;
+    gpu.launch_kernel(&kernel, LaunchConfig::cover(values.len(), block_size), &[])?;
     let key = gpu.d2h(out)[0];
     Ok(unpack_argmin(key))
 }
@@ -198,6 +200,7 @@ pub fn device_argmin(
 mod tests {
     use super::*;
     use crate::device::DeviceSpec;
+    use crate::engine::Gpu;
 
     #[test]
     fn pack_preserves_order() {

@@ -10,8 +10,8 @@
 //! * **Allocation** uses [`crate::engine::Gpu::alloc`], which records no
 //!   profiler event (buffers are zero-initialized, like `cudaMalloc` +
 //!   `cudaMemset` done before the measurement window opens).
-//! * **Kernel-side access** uses [`crate::engine::ThreadCtx::telemetry_read`]
-//!   / [`telemetry_write`](crate::engine::ThreadCtx::telemetry_write), which
+//! * **Kernel-side access** uses [`crate::engine::DeviceCtx::telemetry_read`]
+//!   / [`telemetry_write`](crate::engine::DeviceCtx::telemetry_write), which
 //!   charge no cost-model work, draw nothing from the fault-injection
 //!   streams, and bypass race tracking (rings are indexed by `(slot, chain)`
 //!   with one owner chain per cell, so there is nothing to track).
@@ -39,7 +39,8 @@
 //! acceptance kernel writes best/current/accepted-count; the DPSO
 //! personal-best kernel writes pbest/current/diversity).
 
-use crate::engine::{Gpu, ThreadCtx};
+use crate::backend::ExecBackend;
+use crate::engine::DeviceCtx;
 use crate::memory::Buf;
 
 /// Lanes (i64 values) stored per `(slot, chain)` sample cell.
@@ -126,8 +127,9 @@ pub struct TelemetryRing {
 
 impl TelemetryRing {
     /// Allocate a zero-initialized ring on `gpu` (no profiler events — see
-    /// the module docs).
-    pub fn alloc(gpu: &mut Gpu, chains: usize, capacity: usize) -> Self {
+    /// the module docs). Generic over the execution backend, although
+    /// telemetry-carrying runs are routed to the simulator in practice.
+    pub fn alloc<B: ExecBackend>(gpu: &mut B, chains: usize, capacity: usize) -> Self {
         assert!(chains > 0 && capacity > 0, "telemetry ring needs chains and capacity");
         TelemetryRing {
             lanes: gpu.alloc::<i64>(capacity * chains * TELEMETRY_LANES),
@@ -146,9 +148,9 @@ impl TelemetryRing {
 
     /// Kernel-side: write one full sample cell through the instrumentation
     /// port (uncharged, fault-invisible).
-    pub fn write_sample(
+    pub fn write_sample<C: DeviceCtx>(
         &self,
-        ctx: &mut ThreadCtx<'_>,
+        ctx: &mut C,
         slot: usize,
         chain: usize,
         lanes: [i64; TELEMETRY_LANES],
@@ -161,7 +163,7 @@ impl TelemetryRing {
 
     /// Kernel-side: add `delta` to the chain's cumulative counter and return
     /// the new value (uncharged, fault-invisible).
-    pub fn bump_counter(&self, ctx: &mut ThreadCtx<'_>, chain: usize, delta: i64) -> i64 {
+    pub fn bump_counter<C: DeviceCtx>(&self, ctx: &mut C, chain: usize, delta: i64) -> i64 {
         let v = ctx.telemetry_read::<i64>(self.counters, chain) + delta;
         ctx.telemetry_write(self.counters, chain, v);
         v
@@ -170,7 +172,7 @@ impl TelemetryRing {
     /// Host-side drain: the raw ring lanes and counters, read without a
     /// modeled transfer. Pair with the host-kept sample headers to decode.
     #[must_use]
-    pub fn snapshot(&self, gpu: &Gpu) -> (Vec<i64>, Vec<i64>) {
+    pub fn snapshot<B: ExecBackend>(&self, gpu: &B) -> (Vec<i64>, Vec<i64>) {
         (gpu.peek(self.lanes), gpu.peek(self.counters))
     }
 }
@@ -179,7 +181,7 @@ impl TelemetryRing {
 mod tests {
     use super::*;
     use crate::device::DeviceSpec;
-    use crate::engine::Kernel;
+    use crate::engine::{Gpu, Kernel};
     use crate::grid::LaunchConfig;
 
     #[test]
@@ -221,7 +223,7 @@ mod tests {
             "probe"
         }
         fn make_shared(&self, _b: usize) {}
-        fn phase(&self, _p: usize, ctx: &mut ThreadCtx<'_>, _s: &mut (), _t: &mut ()) {
+        fn phase<C: DeviceCtx>(&self, _p: usize, ctx: &mut C, _s: &mut (), _t: &mut ()) {
             let chain = ctx.global_id();
             if chain < self.ring.chains {
                 let c = self.ring.bump_counter(ctx, chain, 1);

@@ -2,7 +2,7 @@
 //! operations, barrier ordering, cross-block race detection, and the
 //! monotonicity of the performance model.
 
-use cuda_sim::{DeviceSpec, Gpu, Kernel, LaunchConfig, LaunchError, ThreadCtx};
+use cuda_sim::{DeviceCtx, DeviceSpec, Gpu, Kernel, LaunchConfig, LaunchError};
 
 /// Reverses its row via bulk read + bulk write.
 struct RowReverse {
@@ -15,7 +15,7 @@ impl Kernel for RowReverse {
         "row_reverse"
     }
     fn make_shared(&self, _b: usize) {}
-    fn phase(&self, _p: usize, ctx: &mut ThreadCtx<'_>, _s: &mut (), row: &mut Vec<i64>) {
+    fn phase<C: DeviceCtx>(&self, _p: usize, ctx: &mut C, _s: &mut (), row: &mut Vec<i64>) {
         let buf = ctx.arg_buf(0);
         let gid = ctx.global_id();
         row.resize(self.n, 0);
@@ -54,7 +54,7 @@ impl Kernel for CopyFirstRow {
         "copy_first_row"
     }
     fn make_shared(&self, _b: usize) {}
-    fn phase(&self, _p: usize, ctx: &mut ThreadCtx<'_>, _s: &mut (), _t: &mut ()) {
+    fn phase<C: DeviceCtx>(&self, _p: usize, ctx: &mut C, _s: &mut (), _t: &mut ()) {
         if ctx.global_id() == 0 {
             let src = ctx.arg_buf(0);
             let dst = ctx.arg_buf(1);
@@ -92,12 +92,12 @@ impl Kernel for CrossBlockRace {
     fn num_phases(&self) -> usize {
         2
     }
-    fn phase(&self, p: usize, ctx: &mut ThreadCtx<'_>, _s: &mut (), _t: &mut ()) {
+    fn phase<C: DeviceCtx>(&self, p: usize, ctx: &mut C, _s: &mut (), _t: &mut ()) {
         let buf = ctx.arg_buf(0);
-        if p == 0 && ctx.block_idx == 0 && ctx.thread_idx == 0 {
+        if p == 0 && ctx.block_idx() == 0 && ctx.thread_idx() == 0 {
             ctx.write(buf, 0, 1i64);
         }
-        if p == 1 && ctx.block_idx == 1 && ctx.thread_idx == 0 {
+        if p == 1 && ctx.block_idx() == 1 && ctx.thread_idx() == 0 {
             let _: i64 = ctx.read(buf, 0);
         }
     }
@@ -127,12 +127,12 @@ impl Kernel for BarrierOrdered {
     fn num_phases(&self) -> usize {
         2
     }
-    fn phase(&self, p: usize, ctx: &mut ThreadCtx<'_>, _s: &mut (), _t: &mut ()) {
+    fn phase<C: DeviceCtx>(&self, p: usize, ctx: &mut C, _s: &mut (), _t: &mut ()) {
         let buf = ctx.arg_buf(0);
-        if p == 0 && ctx.thread_idx == 0 {
+        if p == 0 && ctx.thread_idx() == 0 {
             ctx.write(buf, 0, 42i64);
         }
-        if p == 1 && ctx.thread_idx == 1 {
+        if p == 1 && ctx.thread_idx() == 1 {
             let v: i64 = ctx.read(buf, 0);
             ctx.write(buf, 1, v + 1);
         }
@@ -160,7 +160,7 @@ impl Kernel for Toucher {
         "toucher"
     }
     fn make_shared(&self, _b: usize) {}
-    fn phase(&self, _p: usize, ctx: &mut ThreadCtx<'_>, _s: &mut (), _t: &mut ()) {
+    fn phase<C: DeviceCtx>(&self, _p: usize, ctx: &mut C, _s: &mut (), _t: &mut ()) {
         let buf = ctx.arg_buf(0);
         for i in 0..self.reads_per_thread {
             let _: i64 = ctx.read(buf, i % buf.len());
@@ -192,7 +192,7 @@ impl Kernel for PathReader {
         "path_reader"
     }
     fn make_shared(&self, _b: usize) {}
-    fn phase(&self, _p: usize, ctx: &mut ThreadCtx<'_>, _s: &mut (), _t: &mut ()) {
+    fn phase<C: DeviceCtx>(&self, _p: usize, ctx: &mut C, _s: &mut (), _t: &mut ()) {
         let buf = ctx.arg_buf(0);
         for i in 0..buf.len() {
             if self.use_texture {

@@ -2,7 +2,8 @@
 //!
 //! ```text
 //! cargo run --release -p cdd-net --bin cdd-node -- \
-//!     [--addr 127.0.0.1:0] [--devices 2] [--blocks 2] [--block-size 64] \
+//!     [--addr 127.0.0.1:0] [--backend sim|native] \
+//!     [--devices 2] [--blocks 2] [--block-size 64] \
 //!     [--queue 64] [--cache 128] [--rate 0] [--burst 8] \
 //!     [--secret cdd-net-dev-secret] [--metrics-out results/node_metrics.prom] \
 //!     [--label node-a] [--slow-log results/slow.jsonl] [--slow-threshold-ms 250]
@@ -14,7 +15,7 @@
 
 use cdd_bench::{results_dir, Args};
 use cdd_net::node::{serve, NodeConfig};
-use cdd_service::ServiceConfig;
+use cdd_service::{Backend, ServiceConfig};
 use std::io::Write as _;
 use std::path::PathBuf;
 
@@ -23,6 +24,13 @@ fn main() {
     let config = NodeConfig {
         addr: args.get("addr").unwrap_or("127.0.0.1:0").to_string(),
         service: ServiceConfig {
+            // Native execution skips the modeled clock and fault machinery;
+            // requests that need sim-only features (fault plans, telemetry,
+            // traces) are rejected per-request by the service.
+            backend: args
+                .get("backend")
+                .map(|s| s.parse::<Backend>().expect("--backend: `sim` or `native`"))
+                .unwrap_or_default(),
             devices: args.get_or("devices", 2usize),
             blocks: args.get_or("blocks", 2usize),
             block_size: args.get_or("block-size", 64usize),

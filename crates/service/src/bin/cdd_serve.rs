@@ -5,6 +5,7 @@
 //! ```text
 //! cargo run --release -p cdd-service --bin cdd-serve -- \
 //!     [--workload results/workload.txt | --requests 64 --sizes 10,20 --iterations 150] \
+//!     [--backend sim|native] \
 //!     [--devices 4] [--queue-capacity N] [--cache-capacity 256] \
 //!     [--blocks 1] [--block-size 64] [--seed 2016] [--window W] [--deadline-ms D] \
 //!     [--batch-window K] [--delta-eval] [--delta-resync N] \
@@ -78,7 +79,8 @@ use cdd_bench::{fault_plan_from_args, results_dir, sim_parallelism_from_args, wr
 use cdd_core::SuiteError;
 use cdd_gpu::DeltaConfig;
 use cdd_service::{
-    BreakerConfig, RequestOutcome, ServiceConfig, ServiceReport, SolverService, SupervisorConfig,
+    Backend, BreakerConfig, RequestOutcome, ServiceConfig, ServiceReport, SolverService,
+    SupervisorConfig,
 };
 use cuda_sim::{FaultPlan, TelemetryConfig};
 use std::collections::VecDeque;
@@ -224,8 +226,18 @@ fn main() {
     let capture_trace = args.get("trace-out").is_some() || args.get("trace-jsonl").is_some();
 
     let sim_threads = sim_parallelism_from_args(&args);
+    // --backend native runs kernels directly on host threads (no modeled
+    // clock, no fault machinery); sim-only requests (fault plans,
+    // telemetry, traces) are rejected by the service rather than silently
+    // degraded, so pairing native with --chaos/--trace-out is an error the
+    // caller sees per-request.
+    let backend: Backend = args
+        .get("backend")
+        .map(|s| s.parse().expect("--backend: `sim` or `native`"))
+        .unwrap_or_default();
     let mut config = ServiceConfig {
         devices,
+        backend,
         queue_capacity: args.get_or("queue-capacity", entries.len().max(64)),
         cache_capacity: args.get_or("cache-capacity", 256usize),
         blocks: args.get_or("blocks", 1usize),
@@ -258,7 +270,7 @@ fn main() {
 
     eprintln!(
         "cdd-serve: {} requests over {} devices ({}x{} geometry), window {window}, \
-         sim-threads {sim_threads}",
+         backend {backend}, sim-threads {sim_threads}",
         entries.len(),
         devices,
         config.blocks,

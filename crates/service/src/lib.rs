@@ -51,6 +51,7 @@ pub mod service;
 pub mod supervisor;
 
 pub use breaker::{BreakerConfig, BreakerState, BreakerStats, CircuitBreaker};
+pub use cdd_gpu::Backend;
 pub use cache::{CacheStats, SolutionCache};
 pub use queue::QueueStats;
 pub use service::{

@@ -54,8 +54,8 @@ use crate::supervisor::{
 };
 use cdd_core::{Algorithm, Priority, SolveOutcome, SolveRequest, SuiteError, TraceContext};
 use cdd_gpu::{
-    counter_trace_events, run_gpu_solve, run_gpu_solve_batch, ConvergenceSummary, DeltaConfig,
-    GpuSolveSpec, RecoveryPolicy,
+    counter_trace_events, run_gpu_solve, run_gpu_solve_batch, Backend, ConvergenceSummary,
+    DeltaConfig, GpuSolveSpec, RecoveryPolicy,
 };
 use cdd_metrics::trace::{TraceEvent, TraceSink};
 use cdd_metrics::{latency_ms_buckets, FlightHop, FlightRecord, MetricsRegistry};
@@ -83,6 +83,16 @@ pub struct ServiceConfig {
     pub block_size: usize,
     /// Hardware description shared by all pool devices.
     pub device_spec: DeviceSpec,
+    /// Execution backend for clean production requests (DESIGN.md §16).
+    /// Sim-only capabilities override it per request: a run that carries an
+    /// *active* fault plan, convergence telemetry or trace capture always
+    /// routes to [`Backend::Sim`], whatever is configured here — chaos,
+    /// replay and verification traffic never silently loses its
+    /// instrumentation. The default is [`Backend::Sim`]; production
+    /// deployments opt into [`Backend::Native`] for wall-clock speed (the
+    /// outcome is byte-identical either way, see `cdd_gpu`'s
+    /// `backend_parity` suite).
+    pub backend: Backend,
     /// Base fault plan installed on *every* device (`None` = clean fleet).
     pub fault: Option<FaultPlan>,
     /// Per-device overrides: `(device id, plan)` — takes precedence over
@@ -132,6 +142,7 @@ impl Default for ServiceConfig {
             blocks: 1,
             block_size: 64,
             device_spec: DeviceSpec::gt560m(),
+            backend: Backend::default(),
             fault: None,
             device_faults: Vec::new(),
             recovery: RecoveryPolicy::default(),
@@ -380,6 +391,12 @@ pub(crate) struct State {
     batch_launches: u64,
     /// Requests answered out of those fused runs.
     batch_fused_requests: u64,
+    /// Requests dispatched per execution backend, indexed `[sim, native]`.
+    /// Deterministic on uniform fleets (routing is config- and
+    /// capability-driven); on mixed `device_faults` fleets a request's
+    /// backend follows the slot race, the same carve-out as
+    /// `service_breaker_*`.
+    backend_requests: [u64; 2],
     /// Accepted tickets per tenant (BTreeMap: deterministic fold order).
     tenant_submitted: BTreeMap<String, u64>,
     /// Accepted tickets per priority class, indexed by `Priority::as_u8`.
@@ -432,6 +449,8 @@ pub(crate) struct Shared {
     telemetry: TelemetryConfig,
     batch_window: usize,
     delta: DeltaConfig,
+    /// Backend for clean requests; sim-only capabilities override it.
+    backend: Backend,
     /// Hardware description shared by all pool devices (restarts clone it).
     device_spec: DeviceSpec,
     /// Per-slot base fault plan, resolved once at start — a restarted
@@ -515,6 +534,7 @@ impl SolverService {
                 retries_scheduled: 0,
                 batch_launches: 0,
                 batch_fused_requests: 0,
+                backend_requests: [0; 2],
                 tenant_submitted: BTreeMap::new(),
                 priority_submitted: [0; 3],
                 next_ticket: 0,
@@ -532,6 +552,7 @@ impl SolverService {
             telemetry: config.telemetry,
             batch_window: config.batch_window,
             delta: config.delta,
+            backend: config.backend,
             device_spec: config.device_spec.clone(),
             slot_plans,
             supervisor: config.supervisor.clone(),
@@ -693,7 +714,8 @@ impl SolverService {
             totals
         });
         let batching = self.shared.batch_window > 1;
-        fold_final_metrics(&mut metrics, &st, &queue, &cache, convergence, batching, wall_seconds);
+        let native = self.shared.backend == Backend::Native;
+        fold_final_metrics(&mut metrics, &st, &queue, &cache, convergence, batching, native, wall_seconds);
         metrics
     }
 
@@ -719,7 +741,8 @@ impl SolverService {
             totals
         });
         let batching = self.shared.batch_window > 1;
-        fold_final_metrics(&mut metrics, &st, &queue, &cache, convergence, batching, wall_seconds);
+        let native = self.shared.backend == Backend::Native;
+        fold_final_metrics(&mut metrics, &st, &queue, &cache, convergence, batching, native, wall_seconds);
 
         let mut trace = TraceSink::new();
         if self.shared.capture_trace {
@@ -813,6 +836,8 @@ fn describe_service_metrics(metrics: &mut MetricsRegistry) {
         ("timing_cache_coalesced_total", "Requests coalesced onto an in-flight primary."),
         ("timing_batch_launches_total", "Fused device launches the batching window produced."),
         ("timing_batch_fused_requests_total", "Requests answered out of fused launches."),
+        ("service_backend_requests_total", "Requests dispatched per execution backend."),
+        ("timing_backend_native_wall_ms", "Per-request device wall time on the native backend."),
         ("timing_wall_seconds", "Wall-clock lifetime of the service, seconds."),
     ];
     for (name, help) in HELP {
@@ -820,6 +845,7 @@ fn describe_service_metrics(metrics: &mut MetricsRegistry) {
     }
 }
 
+#[allow(clippy::too_many_arguments)]
 fn fold_final_metrics(
     metrics: &mut MetricsRegistry,
     st: &State,
@@ -827,6 +853,7 @@ fn fold_final_metrics(
     cache: &CacheStats,
     convergence: Option<ConvergenceTotals>,
     batching: bool,
+    native: bool,
     wall_seconds: f64,
 ) {
     describe_service_metrics(metrics);
@@ -895,6 +922,24 @@ fn fold_final_metrics(
     if batching {
         metrics.inc("timing_batch_launches_total", &[], st.batch_launches);
         metrics.inc("timing_batch_fused_requests_total", &[], st.batch_fused_requests);
+    }
+
+    // Backend routing tallies — registered (both labels, even at zero) only
+    // when the fleet is configured native, so a default sim fleet renders a
+    // snapshot byte-identical to one predating the backend split. On a
+    // native fleet the `sim` label counts the capability-routed residue:
+    // chaos, telemetry and trace-capture requests (see `worker_loop`).
+    if native {
+        metrics.inc(
+            "service_backend_requests_total",
+            &[("backend", "sim")],
+            st.backend_requests[0],
+        );
+        metrics.inc(
+            "service_backend_requests_total",
+            &[("backend", "native")],
+            st.backend_requests[1],
+        );
     }
 
     // Whether a repeat is served as a direct hit or by coalescing depends
@@ -1064,11 +1109,26 @@ fn worker_loop(shared: &Arc<Shared>, slot: usize, generation: u64, handle: Devic
         // request seed and the retry ordinal only (never the device id or
         // the clock) — the chaos determinism contract hangs on this.
         let run_started = Instant::now();
+        let fault = handle.request_plan_retry(request.seed, retries);
+        // Per-request backend routing (DESIGN.md §16): fault injection,
+        // convergence telemetry and trace capture exist only in the
+        // simulator, so a request carrying any of them runs on sim no
+        // matter what the fleet is configured for. Everything else — the
+        // clean production path — runs on the configured backend.
+        let backend = if fault.as_ref().is_some_and(FaultPlan::is_active)
+            || shared.telemetry.enabled()
+            || shared.capture_trace
+        {
+            Backend::Sim
+        } else {
+            shared.backend
+        };
         let spec = GpuSolveSpec {
             blocks: shared.blocks,
             block_size: shared.block_size,
             device: handle.spec.clone(),
-            fault: handle.request_plan_retry(request.seed, retries),
+            backend,
+            fault,
             recovery: shared.recovery.clone(),
             telemetry: shared.telemetry,
             delta: shared.delta,
@@ -1140,6 +1200,22 @@ fn worker_loop(shared: &Arc<Shared>, slot: usize, generation: u64, handle: Devic
         // the modeled time inside the batch pipeline.
         let wall_share = run_wall / results.len() as f64;
         let batch_size = results.len();
+        st.backend_requests[match backend {
+            Backend::Sim => 0,
+            Backend::Native => 1,
+        }] += batch_size as u64;
+        if backend == Backend::Native {
+            // One observation per answered request (the fused wall time is
+            // split evenly), mirroring `timing_request_wall_ms`.
+            for _ in 0..batch_size {
+                st.metrics.observe(
+                    "timing_backend_native_wall_ms",
+                    &[],
+                    wall_share * 1e3,
+                    latency_ms_buckets(),
+                );
+            }
+        }
         for (mut job, result) in std::iter::once(job).chain(extras).zip(results) {
             if traced(&job.request) {
                 let mut hop = match &result {

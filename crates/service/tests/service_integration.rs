@@ -625,3 +625,98 @@ fn incompatible_neighbors_never_fuse() {
     }
     service.shutdown();
 }
+
+// ---------------------------------------------------------------------------
+// Execution-backend routing (PR 10)
+// ---------------------------------------------------------------------------
+
+/// A native-configured fleet answers every request byte-identically to the
+/// default sim fleet — the service-level face of the cross-backend parity
+/// contract — and the report carries the per-backend dispatch counters.
+#[test]
+fn native_fleet_answers_are_byte_identical_to_sim() {
+    fn run_workload(backend: cdd_service::Backend) -> (Vec<(i64, Vec<u32>)>, cdd_service::ServiceReport) {
+        let service = SolverService::start(ServiceConfig {
+            devices: 2,
+            cache_capacity: 0, // every request really dispatches
+            backend,
+            ..small_config(2)
+        });
+        let tickets: Vec<u64> = (0..6)
+            .map(|i| {
+                let algo = if i % 3 == 2 { Algorithm::Dpso } else { Algorithm::Sa };
+                service.submit(request(10 + (i % 2) * 2, 1, algo, 120, i as u64)).expect("admitted")
+            })
+            .collect();
+        let answers = tickets
+            .into_iter()
+            .map(|t| {
+                let o = service.wait(t).result.expect("clean solve succeeds");
+                (o.objective, o.sequence.as_slice().to_vec())
+            })
+            .collect();
+        (answers, service.shutdown())
+    }
+    let (sim_answers, sim_report) = run_workload(cdd_service::Backend::Sim);
+    let (native_answers, native_report) = run_workload(cdd_service::Backend::Native);
+    assert_eq!(sim_answers, native_answers, "outcomes are backend-independent");
+
+    // A sim fleet predates the backend split metric-wise; a native fleet
+    // accounts every dispatch under its backend label.
+    let m = &native_report.metrics;
+    assert_eq!(m.counter("service_backend_requests_total", &[("backend", "native")]), 6);
+    assert_eq!(m.counter("service_backend_requests_total", &[("backend", "sim")]), 0);
+    assert!(m.histogram("timing_backend_native_wall_ms", &[]).is_some());
+    assert_eq!(m.histogram("timing_backend_native_wall_ms", &[]).unwrap().count(), 6);
+    assert!(!sim_report
+        .metrics
+        .render_prometheus()
+        .contains("service_backend_requests_total"));
+
+    // Native runs report no modeled device time — the usage ledger only
+    // accumulates wall clock.
+    assert!(native_report.devices.iter().all(|d| d.usage.modeled.busy_seconds == 0.0));
+    assert!(sim_report.devices.iter().any(|d| d.usage.modeled.busy_seconds > 0.0));
+}
+
+/// Sim-only capabilities override the configured backend per request:
+/// a chaos fleet configured native still runs every request on sim (the
+/// fault machinery lives there), rather than rejecting or dropping plans.
+#[test]
+fn chaos_requests_route_to_sim_on_a_native_fleet() {
+    let service = SolverService::start(ServiceConfig {
+        devices: 2,
+        backend: cdd_service::Backend::Native,
+        fault: Some(FaultPlan::with_rates(0xFA17, 0.02, 0.005, 0.0)),
+        ..small_config(2)
+    });
+    let tickets: Vec<u64> =
+        (0..4).map(|i| service.submit(request(10, 1, Algorithm::Sa, 100, i)).expect("admitted")).collect();
+    for t in tickets {
+        service.wait(t).result.expect("recovery absorbs injected faults");
+    }
+    let report = service.shutdown();
+    let m = &report.metrics;
+    assert_eq!(m.counter("service_backend_requests_total", &[("backend", "sim")]), 4);
+    assert_eq!(m.counter("service_backend_requests_total", &[("backend", "native")]), 0);
+    assert!(m.counter("service_fault_launches_attempted_total", &[]) > 0, "chaos really ran");
+}
+
+/// Telemetry is likewise sim-only: enabling it on a native fleet routes the
+/// requests to sim and the convergence counters still appear.
+#[test]
+fn telemetry_requests_route_to_sim_on_a_native_fleet() {
+    let service = SolverService::start(ServiceConfig {
+        devices: 1,
+        backend: cdd_service::Backend::Native,
+        telemetry: cuda_sim::TelemetryConfig::every(8),
+        ..small_config(1)
+    });
+    let t = service.submit(request(10, 1, Algorithm::Sa, 120, 5)).expect("admitted");
+    service.wait(t).result.expect("solve succeeds");
+    let report = service.shutdown();
+    let m = &report.metrics;
+    assert_eq!(m.counter("service_backend_requests_total", &[("backend", "sim")]), 1);
+    assert_eq!(m.counter("service_backend_requests_total", &[("backend", "native")]), 0);
+    assert!(m.render_prometheus().contains("service_convergence_"));
+}
